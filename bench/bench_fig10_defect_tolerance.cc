@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fig 10: accuracy vs number of defects in the input and hidden
+ * layers, after retraining, for the 10 benchmark tasks.
+ *
+ * Quick mode trades repetition count, fold count, dataset size and
+ * epoch budget for runtime while keeping the paper's shape: flat
+ * accuracy up to ~12 defects, gradual degradation beyond.
+ */
+
+#include "bench_util.hh"
+#include "core/campaign.hh"
+
+using namespace dtann;
+
+int
+main()
+{
+    benchBanner("Fig 10: accuracy vs # defects (input+hidden layers)",
+                "Temam, ISCA 2012, Figure 10");
+
+    Fig10Config cfg;
+    cfg.seed = experimentSeed();
+    if (fullScale()) {
+        cfg.repetitions = 100;
+        cfg.folds = 10;
+        cfg.rows = 0; // original dataset sizes
+        cfg.epochScale = 1.0;
+        cfg.retrainScale = 0.25;
+    } else {
+        cfg.defectCounts = {0, 3, 6, 12, 18, 24, 27, 54};
+        cfg.repetitions = 1;
+        cfg.folds = 2;
+        cfg.rows = 300;
+        cfg.epochScale = 0.3;
+        cfg.retrainScale = 0.3;
+    }
+
+    auto curves = runFig10(cfg);
+
+    // Print one combined series: rows = defect counts, one column
+    // per task (the paper's figure layout).
+    std::vector<std::string> cols{"defects"};
+    for (const auto &c : curves)
+        cols.push_back(c.task);
+    std::vector<std::vector<double>> points;
+    for (size_t p = 0; p < curves[0].points.size(); ++p) {
+        std::vector<double> row{
+            static_cast<double>(curves[0].points[p].defects)};
+        for (const auto &c : curves)
+            row.push_back(c.points[p].accuracy);
+        points.push_back(std::move(row));
+    }
+    printSeries(std::cout, "accuracy after retraining vs # defects",
+                cols, points);
+
+    // Headline checks from the paper's text.
+    int tolerant_at_12 = 0;
+    for (const auto &c : curves) {
+        double base = c.points[0].accuracy;
+        double at12 = base;
+        for (const auto &pt : c.points)
+            if (pt.defects <= 12)
+                at12 = pt.accuracy;
+        if (at12 >= base - 0.10)
+            ++tolerant_at_12;
+    }
+    std::printf("tasks within 0.10 of baseline at <=12 defects: "
+                "%d/%zu (paper: all applications tolerate up to 12 "
+                "defects)\n",
+                tolerant_at_12, curves.size());
+    return 0;
+}

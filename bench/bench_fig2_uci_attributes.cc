@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fig 2: cumulative fraction of UCI data sets vs #attributes.
+ */
+
+#include "bench_util.hh"
+#include "data/uci_meta.hh"
+
+using namespace dtann;
+
+int
+main()
+{
+    benchBanner("Fig 2: UCI repository attribute census",
+                "Temam, ISCA 2012, Figure 2");
+
+    std::vector<std::vector<double>> points;
+    for (int a : {10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 1000, 10000})
+        points.push_back({static_cast<double>(a),
+                          censusCumulativeFraction(a)});
+    printSeries(std::cout, "cumulative fraction of data sets vs "
+                           "#attributes (135 data sets)",
+                {"attributes", "cum_fraction"}, points);
+
+    std::printf("design-point checks:\n");
+    std::printf("  fraction with < 100 attributes : %.3f "
+                "(paper: > 0.92)\n",
+                censusCumulativeFraction(99));
+    std::printf("  fraction covered by 90 inputs  : %.3f\n",
+                censusCumulativeFraction(90));
+    std::printf("  census size                    : %zu data sets\n",
+                uciCensus().size());
+    return 0;
+}

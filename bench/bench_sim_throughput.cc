@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Simulator micro-benchmarks: gate-level evaluation throughput,
+ * faulty-operator simulation cost, and reconstruction cost. These
+ * bound the runtime of the defect campaigns.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "ann/sigmoid.hh"
+#include "circuit/batch_evaluator.hh"
+#include "circuit/evaluator.hh"
+#include "common/rng.hh"
+#include "rtl/adder.hh"
+#include "rtl/fault_inject.hh"
+#include "rtl/latch.hh"
+#include "rtl/multiplier.hh"
+#include "rtl/sigmoid_unit.hh"
+#include "transistor/reconstruct.hh"
+
+using namespace dtann;
+
+namespace {
+
+void
+BM_EvalAdder16(benchmark::State &state)
+{
+    Netlist nl = buildRippleAdder(16, FaStyle::Nand9, true);
+    Evaluator ev(nl);
+    Rng rng(1);
+    uint64_t a = rng.nextUint(1 << 16), b = rng.nextUint(1 << 16);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ev.evaluateBits(a | (b << 16)));
+        a = (a + 12345) & 0xffff;
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * nl.numGates()));
+}
+BENCHMARK(BM_EvalAdder16);
+
+void
+BM_EvalMultiplier16(benchmark::State &state)
+{
+    Netlist nl = buildMultiplierSigned(16, FaStyle::Nand9);
+    Evaluator ev(nl);
+    uint64_t a = 0x1234, b = 0x4321;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ev.evaluateBits(a | (b << 16)));
+        a = (a * 7 + 3) & 0xffff;
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * nl.numGates()));
+}
+BENCHMARK(BM_EvalMultiplier16);
+
+void
+BM_EvalMultiplier16Faulty(benchmark::State &state)
+{
+    Netlist nl = buildMultiplierSigned(16, FaStyle::Nand9);
+    Rng rng(2);
+    Injection inj =
+        injectTransistorDefects(nl, static_cast<int>(state.range(0)), rng);
+    Evaluator ev(nl, std::move(inj.faults));
+    uint64_t a = 0x1234, b = 0x4321;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ev.evaluateBits(a | (b << 16)));
+        a = (a * 7 + 3) & 0xffff;
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * nl.numGates()));
+}
+BENCHMARK(BM_EvalMultiplier16Faulty)->Arg(1)->Arg(8);
+
+void
+BM_EvalSigmoidUnit(benchmark::State &state)
+{
+    Netlist nl = buildSigmoidUnit(logisticPwlTable(), FaStyle::Nand9);
+    Evaluator ev(nl);
+    uint64_t x = 0x0400;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ev.evaluateBits(x));
+        x = (x + 911) & 0xffff;
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * nl.numGates()));
+}
+BENCHMARK(BM_EvalSigmoidUnit);
+
+void
+BM_EvalLatchRegister(benchmark::State &state)
+{
+    Netlist nl = buildLatchRegister(16);
+    Evaluator ev(nl);
+    uint64_t d = 0xa5a5;
+    for (auto _ : state) {
+        ev.setInputBits(d | (1ull << 16), 17);
+        ev.evaluate();
+        ev.setInput(16, false);
+        ev.evaluate();
+        benchmark::DoNotOptimize(ev.outputBits(16));
+        d = (d << 1) | (d >> 15);
+        d &= 0xffff;
+    }
+}
+BENCHMARK(BM_EvalLatchRegister);
+
+void
+BM_ReconstructGate(benchmark::State &state)
+{
+    Rng rng(3);
+    for (auto _ : state) {
+        Defect d = randomDefect(GateKind::MirrorSumN, rng);
+        benchmark::DoNotOptimize(
+            reconstruct(GateKind::MirrorSumN, {{d}}));
+    }
+}
+BENCHMARK(BM_ReconstructGate);
+
+void
+BM_InjectTwentyDefects(benchmark::State &state)
+{
+    Netlist nl = buildMultiplierSigned(16, FaStyle::Nand9);
+    Rng rng(4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(injectTransistorDefects(nl, 20, rng));
+    }
+}
+BENCHMARK(BM_InjectTwentyDefects);
+
+void
+BM_BatchEvalMultiplier16(benchmark::State &state)
+{
+    // 64 vectors per call: the bit-parallel path used by
+    // exhaustive verification.
+    Netlist nl = buildMultiplierSigned(16, FaStyle::Nand9);
+    BatchEvaluator ev(nl);
+    std::vector<uint64_t> vectors(64);
+    Rng rng(5);
+    for (auto &v : vectors)
+        v = rng.nextUint(1ull << 32);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ev.evaluateVectors(vectors));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(
+        state.iterations() * 64 * nl.numGates()));
+}
+BENCHMARK(BM_BatchEvalMultiplier16);
+
+} // namespace
+
+BENCHMARK_MAIN();

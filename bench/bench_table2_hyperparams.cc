@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Tables I and II: hyper-parameter space and per-task best
+ * hyper-parameters found by cross-validated grid search.
+ *
+ * The data sets are synthetic stand-ins with the paper's
+ * dimensions, so the selected optima need not equal Table II's —
+ * the harness reports both side by side.
+ */
+
+#include "ann/hyper.hh"
+#include "bench_util.hh"
+#include "data/synth_uci.hh"
+
+using namespace dtann;
+
+int
+main()
+{
+    benchBanner("Tables I & II: hyper-parameter search",
+                "Temam, ISCA 2012, Tables I and II");
+
+    HyperSpace space =
+        fullScale() ? HyperSpace::paperTableI() : HyperSpace::reduced();
+    std::printf("Table I search space (%s): hidden %d..%d, epochs "
+                "%d..%d, lr %.1f..%.1f, momentum %.1f..%.1f -> %zu "
+                "points\n\n",
+                fullScale() ? "paper" : "reduced", space.hidden.front(),
+                space.hidden.back(), space.epochs.front(),
+                space.epochs.back(), space.learningRate.front(),
+                space.learningRate.back(), space.momentum.front(),
+                space.momentum.back(), space.size());
+
+    int folds = scaled(10, 3);
+    size_t rows = fullScale() ? 0 : 220;
+    Rng master(experimentSeed());
+
+    TextTable table({"task", "in", "out", "lr", "epochs", "hidden",
+                     "accuracy", "paper(lr,epochs,hidden)"});
+    for (const UciTaskSpec &spec : uciTasks()) {
+        Rng task_rng = master.split();
+        Dataset ds = makeSyntheticTask(spec, task_rng, rows);
+        HyperResult r = gridSearch(ds, space, folds, task_rng);
+        char paper[48];
+        std::snprintf(paper, sizeof(paper), "%.1f, %d, %d",
+                      spec.learningRate, spec.epochs, spec.hidden);
+        table.addRow({spec.name, std::to_string(spec.attributes),
+                      std::to_string(spec.classes),
+                      fmtDouble(r.best.learningRate, 1),
+                      std::to_string(r.best.epochs),
+                      std::to_string(r.best.hidden),
+                      fmtDouble(r.accuracy, 3), paper});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Table IV: processor execution characteristics and the
+ * accelerator-vs-CPU energy comparison (Section VI-B).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "core/cost_model.hh"
+#include "cpu/simple_cpu.hh"
+
+using namespace dtann;
+
+namespace {
+
+void
+printTableIV()
+{
+    SimpleCpuModel cpu;
+    MlpTopology topo{90, 10, 10};
+    CpuExecution e = cpu.execute(topo);
+
+    TextTable t({"characteristic", "value", "paper"});
+    t.addRow({"clock frequency (MHz)",
+              fmtDouble(cpu.config().clockMhz, 0), "800"});
+    t.addRow({"# cycles per row", fmtDouble(e.cyclesPerRow, 0),
+              "19680"});
+    t.addRow({"avg power per cycle (W)", fmtDouble(e.avgPowerW, 2),
+              "2.78"});
+    t.addRow({"energy per row (nJ)", fmtDouble(e.energyPerRowNj, 0),
+              "68388"});
+    t.print(std::cout);
+
+    KernelOpCounts ops = kernelOpsPerRow(topo);
+    std::printf("\nkernel operations per row: %zu multiplies, %zu "
+                "adds, %zu loads, %zu stores, %zu branches, %zu LUT "
+                "reads\n",
+                ops.multiplies, ops.adds, ops.loads, ops.stores,
+                ops.branches, ops.lutReads);
+
+    CostModel cm((AcceleratorConfig()));
+    BlockCost acc = cm.accelerator();
+    std::printf("\nSection VI-B comparison (per input row):\n");
+    std::printf("  accelerator: %.2f ns, %.2f W, %.2f nJ\n",
+                acc.latencyNs, acc.powerW, acc.energyPerRowNj);
+    std::printf("  processor  : %.0f ns, %.2f W, %.0f nJ\n",
+                e.timePerRowNs, e.avgPowerW, e.energyPerRowNj);
+    std::printf("  energy ratio CPU/accelerator: %.0fx "
+                "(paper: ~975x; Hameed et al. report ~500x for "
+                "H.264, Chung et al. ~100x)\n",
+                cpu.energyRatioVs(acc.energyPerRowNj, topo));
+    std::printf("  speedup (latency)           : %.0fx\n",
+                e.timePerRowNs / acc.latencyNs);
+    std::printf("  note: accelerator power is HIGHER (%.2f vs %.2f "
+                "W) -- the win is energy, not power\n",
+                acc.powerW, e.avgPowerW);
+}
+
+/** Wall-clock throughput of the trimmed software kernel. */
+void
+BM_SoftwareKernelRow(benchmark::State &state)
+{
+    MlpTopology topo{90, 10, 10};
+    Rng rng(1);
+    std::vector<Fix16> hid_w(
+        static_cast<size_t>(topo.hidden) *
+        static_cast<size_t>(topo.inputs + 1));
+    std::vector<Fix16> out_w(
+        static_cast<size_t>(topo.outputs) *
+        static_cast<size_t>(topo.hidden + 1));
+    for (auto &w : hid_w)
+        w = Fix16::fromDouble(rng.nextDouble(-0.5, 0.5));
+    for (auto &w : out_w)
+        w = Fix16::fromDouble(rng.nextDouble(-0.5, 0.5));
+    std::vector<Fix16> in(90);
+    for (auto &v : in)
+        v = Fix16::fromDouble(rng.nextDouble());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            runSoftwareKernel(topo, hid_w, out_w, in));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SoftwareKernelRow);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchBanner("Table IV: processor execution characteristics",
+                "Temam, ISCA 2012, Table IV + Section VI-B");
+    printTableIV();
+    std::printf("\nhost-machine kernel throughput "
+                "(google-benchmark):\n");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

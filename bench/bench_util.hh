@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness.
+ *
+ * Every bench binary regenerates one of the paper's tables or
+ * figures and prints the same rows/series the paper reports.
+ * Campaign sizes default to a scaled-down "quick" configuration
+ * that preserves the shape of every result; DTANN_FULL=1 switches
+ * to paper scale (see EXPERIMENTS.md).
+ */
+
+#ifndef DTANN_BENCH_BENCH_UTIL_HH
+#define DTANN_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/env.hh"
+#include "common/table.hh"
+
+namespace dtann {
+
+/** Print the standard bench banner. */
+inline void
+benchBanner(const std::string &what, const std::string &paper_ref)
+{
+    std::cout << "==========================================================\n"
+              << what << "\n"
+              << "reproduces: " << paper_ref << "\n"
+              << "scale: " << (fullScale() ? "FULL (paper)" : "quick")
+              << " (set DTANN_FULL=1 for paper scale), seed "
+              << experimentSeed() << "\n"
+              << "==========================================================\n";
+}
+
+} // namespace dtann
+
+#endif // DTANN_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Effective yield vs defect density.
+ *
+ * Extends the paper's motivation quantitatively: combine a measured
+ * Fig 10 accuracy-vs-defects curve with a Poisson defect model to
+ * compare the defect-tolerant array's effective yield against a
+ * conventional circuit of the same 9.02 mm^2 area that dies on its
+ * first defect.
+ */
+
+#include "bench_util.hh"
+#include "core/cost_model.hh"
+#include "core/yield.hh"
+
+using namespace dtann;
+
+int
+main()
+{
+    benchBanner("Effective yield vs defect density",
+                "Temam, ISCA 2012, Section I motivation (Borkar; "
+                "Alam et al.)");
+
+    // Measure one tolerance curve (vehicle: shows the cliff).
+    Fig10Config cfg;
+    cfg.seed = experimentSeed();
+    cfg.tasks = {"vehicle"};
+    cfg.defectCounts = {0, 12, 27, 54, 108};
+    cfg.repetitions = scaled(20, 2);
+    cfg.folds = scaled(10, 2);
+    cfg.rows = fullScale() ? 0 : 300;
+    cfg.epochScale = fullScale() ? 1.0 : 0.3;
+    cfg.retrainScale = 0.3;
+    Fig10Curve curve = runFig10(cfg).front();
+
+    std::printf("accuracy curve (task %s):", curve.task.c_str());
+    for (const auto &p : curve.points)
+        std::printf("  %d:%.3f", p.defects, p.accuracy);
+    std::printf("\n\n");
+
+    CostModel cm((AcceleratorConfig()));
+    double area = cm.accelerator().areaMm2;
+    double threshold = 0.9 * curve.points.front().accuracy;
+    std::printf("die area %.2f mm^2, acceptance threshold %.3f "
+                "(90%% of clean accuracy)\n\n",
+                area, threshold);
+
+    TextTable t({"defects/cm^2", "mean defects/die", "classic yield",
+                 "effective yield", "E[accuracy]"});
+    for (double density : {10.0, 50.0, 100.0, 300.0, 600.0, 1200.0}) {
+        YieldPoint y = effectiveYield(curve, area, density, threshold);
+        t.addRow({fmtDouble(density, 0), fmtDouble(y.meanDefects, 2),
+                  fmtDouble(y.classicYield, 4),
+                  fmtDouble(y.effectiveYield, 4),
+                  fmtDouble(y.expectedAccuracy, 3)});
+    }
+    t.print(std::cout);
+    std::printf("\n(classic yield = P(zero defects): what a "
+                "defect-intolerant custom circuit of equal area "
+                "would yield; the gap is the paper's argument for "
+                "intrinsically defect-tolerant accelerators. The "
+                "accuracy curve is measured up to %d defects and "
+                "clamped beyond, so effective yield at the highest "
+                "densities is optimistic.)\n",
+                curve.points.back().defects);
+    return 0;
+}

@@ -1,0 +1,150 @@
+#include "ann/fixed_trainer.hh"
+
+#include <numeric>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dtann {
+
+namespace {
+
+/** Saturating multiply-accumulate helper. */
+Fix16
+mac(Fix16 acc, Fix16 a, Fix16 b)
+{
+    return Fix16::satAdd(acc, Fix16::satMul(a, b));
+}
+
+} // namespace
+
+MlpWeights
+FixedTrainer::train(ForwardModel &model, const Dataset &train_set,
+                    Rng &rng, const MlpWeights *init) const
+{
+    MlpTopology topo = model.topology();
+    dtann_assert(topo.inputs == train_set.numAttributes,
+                 "dataset arity mismatch");
+    dtann_assert(topo.outputs >= train_set.numClasses,
+                 "too few outputs for dataset classes");
+
+    // Q6.10 shadow weights.
+    size_t n_hid = static_cast<size_t>(topo.hidden) *
+        static_cast<size_t>(topo.inputs + 1);
+    size_t n_out = static_cast<size_t>(topo.outputs) *
+        static_cast<size_t>(topo.hidden + 1);
+    std::vector<Fix16> hid_w(n_hid), out_w(n_out);
+    auto hid_at = [&](int j, int i) -> Fix16 & {
+        return hid_w[static_cast<size_t>(j) *
+                         static_cast<size_t>(topo.inputs + 1) +
+                     static_cast<size_t>(i)];
+    };
+    auto out_at = [&](int k, int j) -> Fix16 & {
+        return out_w[static_cast<size_t>(k) *
+                         static_cast<size_t>(topo.hidden + 1) +
+                     static_cast<size_t>(j)];
+    };
+
+    MlpWeights w(topo);
+    if (init) {
+        dtann_assert(init->topology() == topo,
+                     "init weight topology mismatch");
+        w = *init;
+    } else {
+        w.initRandom(rng);
+    }
+    for (int j = 0; j < topo.hidden; ++j)
+        for (int i = 0; i <= topo.inputs; ++i)
+            hid_at(j, i) = Fix16::fromDouble(w.hid(j, i));
+    for (int k = 0; k < topo.outputs; ++k)
+        for (int j = 0; j <= topo.hidden; ++j)
+            out_at(k, j) = Fix16::fromDouble(w.out(k, j));
+
+    auto push = [&]() {
+        for (int j = 0; j < topo.hidden; ++j)
+            for (int i = 0; i <= topo.inputs; ++i)
+                w.hid(j, i) = hid_at(j, i).toDouble();
+        for (int k = 0; k < topo.outputs; ++k)
+            for (int j = 0; j <= topo.hidden; ++j)
+                w.out(k, j) = out_at(k, j).toDouble();
+        model.setWeights(w);
+    };
+    push();
+
+    const Fix16 lr = Fix16::fromDouble(hyper.learningRate);
+    const Fix16 one = Fix16::fromDouble(1.0);
+
+    std::vector<size_t> order(train_set.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<Fix16> delta_out(static_cast<size_t>(topo.outputs));
+    std::vector<Fix16> delta_hid(static_cast<size_t>(topo.hidden));
+    std::vector<Fix16> x(static_cast<size_t>(topo.inputs));
+    std::vector<Fix16> hid_act(static_cast<size_t>(topo.hidden));
+
+    for (int epoch = 0; epoch < hyper.epochs; ++epoch) {
+        rng.shuffle(order);
+        for (size_t n : order) {
+            for (int i = 0; i < topo.inputs; ++i)
+                x[static_cast<size_t>(i)] = Fix16::fromDouble(
+                    train_set.rows[n][static_cast<size_t>(i)]);
+            Activations act = model.forward(train_set.rows[n]);
+            for (int j = 0; j < topo.hidden; ++j)
+                hid_act[static_cast<size_t>(j)] = Fix16::fromDouble(
+                    act.hidden[static_cast<size_t>(j)]);
+
+            // Output gradients: (t - y) * y * (1 - y), all Q6.10.
+            for (int k = 0; k < topo.outputs; ++k) {
+                Fix16 y = Fix16::fromDouble(
+                    act.output[static_cast<size_t>(k)]);
+                Fix16 t = Fix16::fromDouble(
+                    k == train_set.labels[n] ? 1.0 : 0.0);
+                Fix16 err = Fix16::satAdd(
+                    t, Fix16::fromDouble(-y.toDouble()));
+                Fix16 deriv = Fix16::satMul(
+                    y, Fix16::satAdd(one,
+                                     Fix16::fromDouble(-y.toDouble())));
+                delta_out[static_cast<size_t>(k)] =
+                    Fix16::satMul(deriv, err);
+            }
+            // Hidden gradients.
+            for (int j = 0; j < topo.hidden; ++j) {
+                Fix16 back;
+                for (int k = 0; k < topo.outputs; ++k)
+                    back = mac(back, delta_out[static_cast<size_t>(k)],
+                               out_at(k, j));
+                Fix16 h = hid_act[static_cast<size_t>(j)];
+                Fix16 deriv = Fix16::satMul(
+                    h, Fix16::satAdd(one,
+                                     Fix16::fromDouble(-h.toDouble())));
+                delta_hid[static_cast<size_t>(j)] =
+                    Fix16::satMul(deriv, back);
+            }
+            // Updates: w += lr * delta * activation (no momentum in
+            // the on-line datapath; Q6.10 momentum memory would
+            // underflow immediately).
+            for (int k = 0; k < topo.outputs; ++k) {
+                Fix16 scaled =
+                    Fix16::satMul(lr, delta_out[static_cast<size_t>(k)]);
+                for (int j = 0; j < topo.hidden; ++j)
+                    out_at(k, j) =
+                        mac(out_at(k, j), scaled,
+                            hid_act[static_cast<size_t>(j)]);
+                out_at(k, topo.hidden) =
+                    Fix16::satAdd(out_at(k, topo.hidden), scaled);
+            }
+            for (int j = 0; j < topo.hidden; ++j) {
+                Fix16 scaled =
+                    Fix16::satMul(lr, delta_hid[static_cast<size_t>(j)]);
+                for (int i = 0; i < topo.inputs; ++i)
+                    hid_at(j, i) = mac(hid_at(j, i), scaled,
+                                       x[static_cast<size_t>(i)]);
+                hid_at(j, topo.inputs) =
+                    Fix16::satAdd(hid_at(j, topo.inputs), scaled);
+            }
+            push();
+        }
+    }
+    return w;
+}
+
+} // namespace dtann

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Hyper-parameter grid search over the paper's Table I space.
+ */
+
+#ifndef DTANN_ANN_HYPER_HH
+#define DTANN_ANN_HYPER_HH
+
+#include <vector>
+
+#include "ann/crossval.hh"
+
+namespace dtann {
+
+/** Axes of the search grid. */
+struct HyperSpace
+{
+    std::vector<int> hidden;
+    std::vector<int> epochs;
+    std::vector<double> learningRate;
+    std::vector<double> momentum;
+
+    /** The paper's full Table I space (1920 points). */
+    static HyperSpace paperTableI();
+
+    /** A reduced space for quick runs (same extremes). */
+    static HyperSpace reduced();
+
+    size_t size() const
+    {
+        return hidden.size() * epochs.size() * learningRate.size() *
+            momentum.size();
+    }
+};
+
+/** Grid-search outcome. */
+struct HyperResult
+{
+    Hyper best;
+    double accuracy = 0.0;
+    size_t evaluated = 0;
+};
+
+/**
+ * Search the grid with k-fold cross-validated FloatMlp training
+ * (the paper searches hyper-parameters in software).
+ */
+HyperResult gridSearch(const Dataset &ds, const HyperSpace &space,
+                       int folds, Rng &rng);
+
+} // namespace dtann
+
+#endif // DTANN_ANN_HYPER_HH

@@ -1,0 +1,90 @@
+#include "ann/mlp.hh"
+
+#include "ann/sigmoid.hh"
+#include "common/logging.hh"
+
+namespace dtann {
+
+MlpWeights::MlpWeights(MlpTopology t)
+    : topo(t),
+      hiddenW(static_cast<size_t>(t.hidden) *
+              static_cast<size_t>(t.inputs + 1)),
+      outputW(static_cast<size_t>(t.outputs) *
+              static_cast<size_t>(t.hidden + 1))
+{
+    dtann_assert(t.inputs >= 1 && t.hidden >= 1 && t.outputs >= 1,
+                 "degenerate topology");
+}
+
+double &
+MlpWeights::hid(int j, int i)
+{
+    dtann_assert(j >= 0 && j < topo.hidden && i >= 0 && i <= topo.inputs,
+                 "hid(%d, %d) out of range", j, i);
+    return hiddenW[static_cast<size_t>(j) *
+                       static_cast<size_t>(topo.inputs + 1) +
+                   static_cast<size_t>(i)];
+}
+
+double
+MlpWeights::hid(int j, int i) const
+{
+    return const_cast<MlpWeights *>(this)->hid(j, i);
+}
+
+double &
+MlpWeights::out(int k, int j)
+{
+    dtann_assert(k >= 0 && k < topo.outputs && j >= 0 && j <= topo.hidden,
+                 "out(%d, %d) out of range", k, j);
+    return outputW[static_cast<size_t>(k) *
+                       static_cast<size_t>(topo.hidden + 1) +
+                   static_cast<size_t>(j)];
+}
+
+double
+MlpWeights::out(int k, int j) const
+{
+    return const_cast<MlpWeights *>(this)->out(k, j);
+}
+
+void
+MlpWeights::initRandom(Rng &rng, double range)
+{
+    for (double &w : hiddenW)
+        w = rng.nextDouble(-range, range);
+    for (double &w : outputW)
+        w = rng.nextDouble(-range, range);
+}
+
+void
+FloatMlp::setWeights(const MlpWeights &w)
+{
+    dtann_assert(w.topology() == topo, "weight topology mismatch");
+    weights = w;
+}
+
+Activations
+FloatMlp::forward(std::span<const double> input)
+{
+    dtann_assert(static_cast<int>(input.size()) == topo.inputs,
+                 "input arity mismatch");
+    Activations act;
+    act.hidden.resize(static_cast<size_t>(topo.hidden));
+    act.output.resize(static_cast<size_t>(topo.outputs));
+    for (int j = 0; j < topo.hidden; ++j) {
+        double o = weights.hid(j, topo.inputs); // bias
+        for (int i = 0; i < topo.inputs; ++i)
+            o += weights.hid(j, i) * input[static_cast<size_t>(i)];
+        act.hidden[static_cast<size_t>(j)] = logistic(o);
+    }
+    for (int k = 0; k < topo.outputs; ++k) {
+        double o = weights.out(k, topo.hidden); // bias
+        for (int j = 0; j < topo.hidden; ++j)
+            o += weights.out(k, j) * act.hidden[static_cast<size_t>(j)];
+        act.output[static_cast<size_t>(k)] = logistic(o);
+    }
+    return act;
+}
+
+} // namespace dtann

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Multi-layer perceptron: topology, weight storage, and the
+ * double-precision reference forward model.
+ *
+ * The paper's network is a 2-layer MLP (one hidden layer, sigmoid
+ * activations). Each neuron has a bias, modelled as one extra
+ * synapse whose input is the constant 1.
+ */
+
+#ifndef DTANN_ANN_MLP_HH
+#define DTANN_ANN_MLP_HH
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace dtann {
+
+/** Layer sizes of a 2-layer MLP. */
+struct MlpTopology
+{
+    int inputs;
+    int hidden;
+    int outputs;
+
+    bool operator==(const MlpTopology &o) const = default;
+};
+
+/**
+ * Dense weight storage: hidden weights are [hidden][inputs + 1]
+ * (bias last), output weights are [outputs][hidden + 1].
+ */
+class MlpWeights
+{
+  public:
+    MlpWeights() = default;
+    explicit MlpWeights(MlpTopology topo);
+
+    const MlpTopology &topology() const { return topo; }
+
+    /** Hidden-layer weight from input @p i (or bias when i ==
+     *  inputs) to hidden neuron @p j. @{ */
+    double &hid(int j, int i);
+    double hid(int j, int i) const;
+    /** @} */
+
+    /** Output-layer weight from hidden @p j (bias when j ==
+     *  hidden) to output neuron @p k. @{ */
+    double &out(int k, int j);
+    double out(int k, int j) const;
+    /** @} */
+
+    /** Uniform random initialization in [-range, range]. */
+    void initRandom(Rng &rng, double range = 0.5);
+
+    /** Total number of weights (including biases). */
+    size_t count() const { return hiddenW.size() + outputW.size(); }
+
+  private:
+    MlpTopology topo{0, 0, 0};
+    std::vector<double> hiddenW;
+    std::vector<double> outputW;
+};
+
+/** Post-activation values produced by one forward pass. */
+struct Activations
+{
+    std::vector<double> hidden;
+    std::vector<double> output;
+};
+
+/**
+ * Abstract forward path.
+ *
+ * Training runs on a companion core holding float weights (the
+ * Trainer); the forward activations may come from the float
+ * reference, the fixed-point model, or the (possibly defective)
+ * hardware accelerator model. This is how retraining "factors in
+ * the faulty elements".
+ */
+class ForwardModel
+{
+  public:
+    virtual ~ForwardModel() = default;
+
+    /** Network dimensions. */
+    virtual MlpTopology topology() const = 0;
+
+    /** Install weights (hardware models quantize/write latches). */
+    virtual void setWeights(const MlpWeights &w) = 0;
+
+    /** Run one input row through the network. */
+    virtual Activations forward(std::span<const double> input) = 0;
+};
+
+/** Double-precision reference MLP (exact sigmoid). */
+class FloatMlp : public ForwardModel
+{
+  public:
+    explicit FloatMlp(MlpTopology topo) : topo(topo), weights(topo) {}
+
+    MlpTopology topology() const override { return topo; }
+    void setWeights(const MlpWeights &w) override;
+    Activations forward(std::span<const double> input) override;
+
+  private:
+    MlpTopology topo;
+    MlpWeights weights;
+};
+
+} // namespace dtann
+
+#endif // DTANN_ANN_MLP_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Activation functions: exact logistic sigmoid and its 16-segment
+ * piecewise-linear approximation (the hardware's Fig 4 unit).
+ */
+
+#ifndef DTANN_ANN_SIGMOID_HH
+#define DTANN_ANN_SIGMOID_HH
+
+#include "common/fixed_point.hh"
+#include "rtl/sigmoid_unit.hh"
+
+namespace dtann {
+
+/** Exact logistic sigmoid 1 / (1 + e^-x). */
+double logistic(double x);
+
+/** Derivative of the logistic expressed via its output y. */
+inline double logisticDerivFromY(double y) { return y * (1.0 - y); }
+
+/**
+ * The hardware's 16-segment PWL coefficient table over [-8, 8),
+ * segment i interpolating the logistic between integer breakpoints.
+ */
+const PwlTable &logisticPwlTable();
+
+/** Evaluate the PWL approximation in double precision. */
+double logisticPwl(double x);
+
+/**
+ * Evaluate the PWL approximation with the hardware's exact Q6.10
+ * semantics (what a clean activation unit computes).
+ */
+Fix16 logisticPwlFix(Fix16 x);
+
+} // namespace dtann
+
+#endif // DTANN_ANN_SIGMOID_HH

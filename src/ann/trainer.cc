@@ -1,0 +1,148 @@
+#include "ann/trainer.hh"
+
+#include <numeric>
+
+#include "ann/sigmoid.hh"
+#include "common/logging.hh"
+
+namespace dtann {
+
+int
+argmax(std::span<const double> values)
+{
+    dtann_assert(!values.empty(), "argmax of empty span");
+    size_t best = 0;
+    for (size_t i = 1; i < values.size(); ++i)
+        if (values[i] > values[best])
+            best = i;
+    return static_cast<int>(best);
+}
+
+MlpWeights
+Trainer::train(ForwardModel &model, const Dataset &train_set,
+               Rng &rng, const MlpWeights *init) const
+{
+    MlpTopology topo = model.topology();
+    dtann_assert(topo.inputs == train_set.numAttributes,
+                 "dataset arity mismatch");
+    dtann_assert(topo.outputs >= train_set.numClasses,
+                 "too few outputs for dataset classes");
+
+    MlpWeights w(topo);
+    if (init) {
+        dtann_assert(init->topology() == topo,
+                     "init weight topology mismatch");
+        w = *init;
+    } else {
+        w.initRandom(rng);
+    }
+    MlpWeights delta(topo); // momentum memory, zero-initialized
+    model.setWeights(w);
+
+    std::vector<size_t> order(train_set.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    std::vector<double> target(static_cast<size_t>(topo.outputs));
+    std::vector<double> delta_out(static_cast<size_t>(topo.outputs));
+    std::vector<double> delta_hid(static_cast<size_t>(topo.hidden));
+
+    for (int epoch = 0; epoch < hyper.epochs; ++epoch) {
+        rng.shuffle(order);
+        for (size_t n : order) {
+            const auto &x = train_set.rows[n];
+            Activations act = model.forward(x);
+
+            std::fill(target.begin(), target.end(), 0.0);
+            target[static_cast<size_t>(train_set.labels[n])] = 1.0;
+
+            // Output-layer gradients from post-activation values.
+            for (int k = 0; k < topo.outputs; ++k) {
+                double y = act.output[static_cast<size_t>(k)];
+                delta_out[static_cast<size_t>(k)] =
+                    logisticDerivFromY(y) *
+                    (target[static_cast<size_t>(k)] - y);
+            }
+            // Hidden-layer gradients.
+            for (int j = 0; j < topo.hidden; ++j) {
+                double back = 0.0;
+                for (int k = 0; k < topo.outputs; ++k)
+                    back += delta_out[static_cast<size_t>(k)] * w.out(k, j);
+                delta_hid[static_cast<size_t>(j)] =
+                    logisticDerivFromY(act.hidden[static_cast<size_t>(j)]) *
+                    back;
+            }
+            // Weight updates with momentum.
+            for (int k = 0; k < topo.outputs; ++k) {
+                double dk = delta_out[static_cast<size_t>(k)];
+                for (int j = 0; j < topo.hidden; ++j) {
+                    double d = hyper.learningRate * dk *
+                            act.hidden[static_cast<size_t>(j)] +
+                        hyper.momentum * delta.out(k, j);
+                    delta.out(k, j) = d;
+                    w.out(k, j) += d;
+                }
+                double db = hyper.learningRate * dk +
+                    hyper.momentum * delta.out(k, topo.hidden);
+                delta.out(k, topo.hidden) = db;
+                w.out(k, topo.hidden) += db;
+            }
+            for (int j = 0; j < topo.hidden; ++j) {
+                double dj = delta_hid[static_cast<size_t>(j)];
+                for (int i = 0; i < topo.inputs; ++i) {
+                    double d = hyper.learningRate * dj *
+                            x[static_cast<size_t>(i)] +
+                        hyper.momentum * delta.hid(j, i);
+                    delta.hid(j, i) = d;
+                    w.hid(j, i) += d;
+                }
+                double db = hyper.learningRate * dj +
+                    hyper.momentum * delta.hid(j, topo.inputs);
+                delta.hid(j, topo.inputs) = db;
+                w.hid(j, topo.inputs) += db;
+            }
+            model.setWeights(w);
+        }
+    }
+    return w;
+}
+
+double
+Trainer::accuracy(ForwardModel &model, const Dataset &test_set)
+{
+    if (test_set.size() == 0)
+        return 0.0;
+    size_t correct = 0;
+    for (size_t n = 0; n < test_set.size(); ++n) {
+        Activations act = model.forward(test_set.rows[n]);
+        // Restrict the prediction to the classes the task uses (the
+        // physical network may have spare outputs).
+        std::span<const double> outs(
+            act.output.data(),
+            static_cast<size_t>(test_set.numClasses));
+        if (argmax(outs) == test_set.labels[n])
+            ++correct;
+    }
+    return static_cast<double>(correct) /
+        static_cast<double>(test_set.size());
+}
+
+double
+Trainer::mse(ForwardModel &model, const Dataset &test_set)
+{
+    if (test_set.size() == 0)
+        return 0.0;
+    double total = 0.0;
+    int outputs = model.topology().outputs;
+    for (size_t n = 0; n < test_set.size(); ++n) {
+        Activations act = model.forward(test_set.rows[n]);
+        for (int k = 0; k < outputs; ++k) {
+            double t =
+                k == test_set.labels[n] ? 1.0 : 0.0;
+            double e = t - act.output[static_cast<size_t>(k)];
+            total += e * e;
+        }
+    }
+    return total / (static_cast<double>(test_set.size()) * outputs);
+}
+
+} // namespace dtann

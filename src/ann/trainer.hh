@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Back-propagation trainer (companion-core training).
+ *
+ * The trainer owns double-precision shadow weights and updates them
+ * with classic online back-propagation (learning rate + momentum,
+ * MSE objective). Forward activations come from a ForwardModel —
+ * the float reference, the fixed-point model, or the (possibly
+ * defective) accelerator — so retraining silences faulty elements
+ * exactly as the paper describes.
+ */
+
+#ifndef DTANN_ANN_TRAINER_HH
+#define DTANN_ANN_TRAINER_HH
+
+#include "ann/mlp.hh"
+#include "data/dataset.hh"
+
+namespace dtann {
+
+/** Training hyper-parameters (paper Table I axes). */
+struct Hyper
+{
+    int hidden = 10;
+    int epochs = 100;
+    double learningRate = 0.1;
+    double momentum = 0.1;
+};
+
+/** Online back-propagation over an abstract forward path. */
+class Trainer
+{
+  public:
+    /**
+     * @param hyper training hyper-parameters (hidden count must
+     *        match the model's topology)
+     */
+    explicit Trainer(Hyper hyper) : hyper(hyper) {}
+
+    /**
+     * Train @p model on @p train_set.
+     *
+     * @param model forward path; receives weight updates each step
+     * @param train_set training examples (normalized to [0, 1])
+     * @param rng order shuffling and weight initialization
+     * @param init warm-start weights (retraining), or null for
+     *        random initialization
+     * @return the final shadow weights
+     */
+    MlpWeights train(ForwardModel &model, const Dataset &train_set,
+                     Rng &rng, const MlpWeights *init = nullptr) const;
+
+    /** Classification accuracy of @p model on @p test_set. */
+    static double accuracy(ForwardModel &model, const Dataset &test_set);
+
+    /** Mean squared error of @p model on @p test_set. */
+    static double mse(ForwardModel &model, const Dataset &test_set);
+
+    const Hyper &hyperParams() const { return hyper; }
+
+  private:
+    Hyper hyper;
+};
+
+/** Index of the largest output (class prediction). */
+int argmax(std::span<const double> values);
+
+} // namespace dtann
+
+#endif // DTANN_ANN_TRAINER_HH

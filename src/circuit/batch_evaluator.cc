@@ -1,0 +1,88 @@
+#include "circuit/batch_evaluator.hh"
+
+#include "common/logging.hh"
+
+namespace dtann {
+
+BatchEvaluator::BatchEvaluator(const Netlist &netlist)
+    : nl(netlist), netLanes(netlist.numNets(), 0)
+{
+    if (nl.hasFeedback())
+        fatal("BatchEvaluator requires a feedback-free netlist");
+}
+
+void
+BatchEvaluator::setInputLanes(size_t index, uint64_t lanes)
+{
+    dtann_assert(index < nl.inputs().size(), "input index out of range");
+    netLanes[nl.inputs()[index]] = lanes;
+}
+
+void
+BatchEvaluator::evaluate()
+{
+    for (size_t gi = 0; gi < nl.numGates(); ++gi) {
+        const Gate &g = nl.gate(gi);
+        uint64_t a = g.arity() > 0 ? netLanes[g.in[0]] : 0;
+        uint64_t b = g.arity() > 1 ? netLanes[g.in[1]] : 0;
+        uint64_t c = g.arity() > 2 ? netLanes[g.in[2]] : 0;
+        uint64_t d = g.arity() > 3 ? netLanes[g.in[3]] : 0;
+        uint64_t out;
+        switch (g.kind) {
+          case GateKind::Const0: out = 0; break;
+          case GateKind::Const1: out = ~0ull; break;
+          case GateKind::Not: out = ~a; break;
+          case GateKind::Nand2: out = ~(a & b); break;
+          case GateKind::Nand3: out = ~(a & b & c); break;
+          case GateKind::Nor2: out = ~(a | b); break;
+          case GateKind::Nor3: out = ~(a | b | c); break;
+          case GateKind::Aoi21: out = ~((a & b) | c); break;
+          case GateKind::Aoi22: out = ~((a & b) | (c & d)); break;
+          case GateKind::Oai21: out = ~((a | b) & c); break;
+          case GateKind::Oai22: out = ~((a | b) & (c | d)); break;
+          case GateKind::CarryN:
+            out = ~((a & b) | (c & (a | b)));
+            break;
+          case GateKind::MirrorSumN:
+            out = ~((a & b & c) | (d & (a | b | c)));
+            break;
+          default:
+            panic("batch eval: bad gate kind");
+        }
+        netLanes[g.out] = out;
+    }
+}
+
+uint64_t
+BatchEvaluator::outputLanes(size_t index) const
+{
+    dtann_assert(index < nl.outputs().size(),
+                 "output index out of range");
+    return netLanes[nl.outputs()[index]];
+}
+
+std::vector<uint64_t>
+BatchEvaluator::evaluateVectors(const std::vector<uint64_t> &vectors)
+{
+    dtann_assert(vectors.size() <= 64, "at most 64 lanes");
+    size_t n_in = nl.inputs().size();
+    dtann_assert(n_in <= 64, "at most 64 primary inputs");
+    for (size_t i = 0; i < n_in; ++i) {
+        uint64_t lanes = 0;
+        for (size_t l = 0; l < vectors.size(); ++l)
+            lanes |= ((vectors[l] >> i) & 1) << l;
+        setInputLanes(i, lanes);
+    }
+    evaluate();
+    size_t n_out = nl.outputs().size();
+    dtann_assert(n_out <= 64, "at most 64 primary outputs");
+    std::vector<uint64_t> result(vectors.size(), 0);
+    for (size_t o = 0; o < n_out; ++o) {
+        uint64_t lanes = outputLanes(o);
+        for (size_t l = 0; l < vectors.size(); ++l)
+            result[l] |= ((lanes >> l) & 1) << o;
+    }
+    return result;
+}
+
+} // namespace dtann

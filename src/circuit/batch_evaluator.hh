@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Bit-parallel (64-lane) evaluation of clean combinational
+ * netlists.
+ *
+ * Each net holds a 64-bit word whose bit L is the net's value in
+ * lane L, and every gate evaluates all lanes with a handful of
+ * bitwise operations. This gives a ~40x speedup for exhaustive
+ * equivalence checks and distribution sweeps. Restricted to
+ * feedback-free netlists without faults: memory effects make
+ * evaluation order-dependent across input vectors, which lanes
+ * cannot represent.
+ */
+
+#ifndef DTANN_CIRCUIT_BATCH_EVALUATOR_HH
+#define DTANN_CIRCUIT_BATCH_EVALUATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.hh"
+
+namespace dtann {
+
+/** 64-lane evaluator for clean combinational netlists. */
+class BatchEvaluator
+{
+  public:
+    /**
+     * @param netlist feedback-free netlist; fatal otherwise
+     */
+    explicit BatchEvaluator(const Netlist &netlist);
+
+    /** Set primary input @p index to a 64-lane word. */
+    void setInputLanes(size_t index, uint64_t lanes);
+
+    /** Evaluate all lanes in one topological sweep. */
+    void evaluate();
+
+    /** Read primary output @p index as a 64-lane word. */
+    uint64_t outputLanes(size_t index) const;
+
+    /**
+     * Convenience: evaluate up to 64 input vectors at once.
+     *
+     * @param vectors packed input bits, one per lane
+     * @param count number of vectors (<= 64)
+     * @return packed output bits per lane
+     */
+    std::vector<uint64_t> evaluateVectors(
+        const std::vector<uint64_t> &vectors);
+
+  private:
+    const Netlist &nl;
+    std::vector<uint64_t> netLanes;
+};
+
+} // namespace dtann
+
+#endif // DTANN_CIRCUIT_BATCH_EVALUATOR_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Stateful netlist evaluation.
+ *
+ * The evaluator resolves a netlist by relaxation: it sweeps gates in
+ * construction order until no net changes. Builders emit gates
+ * topologically, so defect-free combinational netlists converge in
+ * one sweep; feedback structures (cross-coupled NAND latches) and
+ * faulty gates with MEM entries converge in a few. Net values
+ * persist across evaluations, which is what gives faulty gates their
+ * memory behaviour.
+ */
+
+#ifndef DTANN_CIRCUIT_EVALUATOR_HH
+#define DTANN_CIRCUIT_EVALUATOR_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/faults.hh"
+#include "circuit/netlist.hh"
+
+namespace dtann {
+
+/** Evaluates a Netlist, optionally with injected faults. */
+class Evaluator
+{
+  public:
+    /**
+     * @param netlist the circuit; must outlive the evaluator
+     * @param faults faults to apply (copied)
+     */
+    explicit Evaluator(const Netlist &netlist, FaultSet faults = {});
+
+    // Internal tables point into the owned fault set; keep the
+    // evaluator pinned in place.
+    Evaluator(const Evaluator &) = delete;
+    Evaluator &operator=(const Evaluator &) = delete;
+
+    /** Clear all state (nets and delayed-gate stores) to 0. */
+    void reset();
+
+    /** Set primary input @p index (bus order) to @p value. */
+    void setInput(size_t index, bool value);
+
+    /** Set the first @p count primary inputs from packed bits. */
+    void setInputBits(uint64_t bits, size_t count);
+
+    /** Set @p width inputs starting at @p offset from packed bits. */
+    void setInputRange(size_t offset, size_t width, uint64_t bits);
+
+    /** Propagate values until stable (or the sweep cap). */
+    void evaluate();
+
+    /** Read primary output @p index (bus order). */
+    bool output(size_t index) const;
+
+    /** Read the first @p count primary outputs as packed bits. */
+    uint64_t outputBits(size_t count) const;
+
+    /** Read @p width outputs starting at @p offset as packed bits. */
+    uint64_t outputRange(size_t offset, size_t width) const;
+
+    /** Convenience: set all inputs, evaluate, return all outputs. */
+    uint64_t evaluateBits(uint64_t input_bits);
+
+    /** Number of sweeps used by the last evaluate(). */
+    int lastSweeps() const { return sweeps; }
+
+    /** True when the last evaluate() hit the sweep cap. */
+    bool lastOscillated() const { return oscillated; }
+
+    /** The netlist being evaluated. */
+    const Netlist &netlist() const { return nl; }
+
+    /** The installed fault set. */
+    const FaultSet &faults() const { return faultSet; }
+
+  private:
+    const Netlist &nl;
+    FaultSet faultSet;
+
+    /** Per-net current value. */
+    std::vector<uint8_t> netVal;
+    /** Per-gate stored output for delayed gates (index aligned). */
+    std::vector<uint8_t> delayStore;
+    /** Per-gate override pointer (null when clean), by gate index. */
+    std::vector<const GateFunction *> overridePtr;
+    /** Per-gate delayed flag. */
+    std::vector<uint8_t> delayedFlag;
+    /** Per-gate, per-input stuck value (-1 = none). */
+    std::vector<std::array<int8_t, 4>> inputForce;
+    /** Per-gate output stuck value (-1 = none). */
+    std::vector<int8_t> outputForce;
+    /** True when any fault table is populated. */
+    bool haveFaults;
+    /** True when the netlist has feedback and needs relaxation. */
+    bool needsRelaxation;
+
+    int sweeps = 0;
+    bool oscillated = false;
+
+    /** Compute the (fault-adjusted) packed inputs of gate @p gi. */
+    uint32_t gateInputs(size_t gi) const;
+};
+
+} // namespace dtann
+
+#endif // DTANN_CIRCUIT_EVALUATOR_HH

@@ -1,0 +1,95 @@
+#include "circuit/gate.hh"
+
+#include "common/logging.hh"
+
+namespace dtann {
+
+int
+gateArity(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::Const0:
+      case GateKind::Const1:
+        return 0;
+      case GateKind::Not:
+        return 1;
+      case GateKind::Nand2:
+      case GateKind::Nor2:
+        return 2;
+      case GateKind::Nand3:
+      case GateKind::Nor3:
+      case GateKind::Aoi21:
+      case GateKind::Oai21:
+      case GateKind::CarryN:
+        return 3;
+      case GateKind::Aoi22:
+      case GateKind::Oai22:
+      case GateKind::MirrorSumN:
+        return 4;
+      default:
+        panic("gateArity: bad gate kind %d", static_cast<int>(kind));
+    }
+}
+
+const char *
+gateName(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::Const0: return "CONST0";
+      case GateKind::Const1: return "CONST1";
+      case GateKind::Not: return "NOT";
+      case GateKind::Nand2: return "NAND2";
+      case GateKind::Nand3: return "NAND3";
+      case GateKind::Nor2: return "NOR2";
+      case GateKind::Nor3: return "NOR3";
+      case GateKind::Aoi21: return "AOI21";
+      case GateKind::Aoi22: return "AOI22";
+      case GateKind::Oai21: return "OAI21";
+      case GateKind::Oai22: return "OAI22";
+      case GateKind::CarryN: return "CARRYN";
+      case GateKind::MirrorSumN: return "MSUMN";
+      default: return "?";
+    }
+}
+
+bool
+gateEval(GateKind kind, uint32_t in)
+{
+    const bool a = in & 1, b = in & 2, c = in & 4, d = in & 8;
+    switch (kind) {
+      case GateKind::Const0: return false;
+      case GateKind::Const1: return true;
+      case GateKind::Not: return !a;
+      case GateKind::Nand2: return !(a && b);
+      case GateKind::Nand3: return !(a && b && c);
+      case GateKind::Nor2: return !(a || b);
+      case GateKind::Nor3: return !(a || b || c);
+      case GateKind::Aoi21: return !((a && b) || c);
+      case GateKind::Aoi22: return !((a && b) || (c && d));
+      case GateKind::Oai21: return !((a || b) && c);
+      case GateKind::Oai22: return !((a || b) && (c || d));
+      case GateKind::CarryN: return !((a && b) || (c && (a || b)));
+      case GateKind::MirrorSumN:
+        return !((a && b && c) || (d && (a || b || c)));
+      default:
+        panic("gateEval: bad gate kind %d", static_cast<int>(kind));
+    }
+}
+
+int
+gateTransistorCount(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::Const0:
+      case GateKind::Const1:
+        return 0;
+      case GateKind::CarryN:
+        return 10; // 5 NMOS + 5 PMOS mirror networks.
+      case GateKind::MirrorSumN:
+        return 14; // 7 NMOS + 7 PMOS mirror networks.
+      default:
+        return 2 * gateArity(kind);
+    }
+}
+
+} // namespace dtann

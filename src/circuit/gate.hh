@@ -1,0 +1,64 @@
+/**
+ * @file
+ * CMOS logic gate primitives.
+ *
+ * Netlists are restricted to gates that exist as single static CMOS
+ * stages (one P pull-up network, one N pull-down network), so every
+ * gate has a concrete transistor schematic for defect injection.
+ * Composite functions (AND, OR, XOR, adders, latches) are built from
+ * these primitives by the RTL builders.
+ *
+ * CarryN and MirrorSumN are the complex gates of the classic 28T
+ * "mirror" full adder; the paper stresses that transistor faults in
+ * such complex gates are poorly captured by gate-level stuck-at
+ * models.
+ */
+
+#ifndef DTANN_CIRCUIT_GATE_HH
+#define DTANN_CIRCUIT_GATE_HH
+
+#include <cstdint>
+
+namespace dtann {
+
+/** Supported gate kinds. */
+enum class GateKind : uint8_t {
+    Const0,     ///< constant 0 (no transistors, not a fault site)
+    Const1,     ///< constant 1
+    Not,        ///< inverter
+    Nand2,
+    Nand3,
+    Nor2,
+    Nor3,
+    Aoi21,      ///< !((a & b) | c)
+    Aoi22,      ///< !((a & b) | (c & d))
+    Oai21,      ///< !((a | b) & c)
+    Oai22,      ///< !((a | b) & (c | d))
+    CarryN,     ///< mirror-adder carry: !((a & b) | (c & (a | b)))
+    MirrorSumN, ///< mirror-adder sum: !((a&b&c) | (d & (a|b|c)))
+    NumKinds,
+};
+
+/** Number of inputs of a gate kind. */
+int gateArity(GateKind kind);
+
+/** Human-readable gate name. */
+const char *gateName(GateKind kind);
+
+/**
+ * Defect-free combinational evaluation.
+ *
+ * @param inputs input bits packed LSB-first (input 0 is bit 0)
+ * @return the gate output bit
+ */
+bool gateEval(GateKind kind, uint32_t inputs);
+
+/**
+ * Transistor count of the static CMOS implementation (2 per input
+ * for fully complementary gates; 0 for constants).
+ */
+int gateTransistorCount(GateKind kind);
+
+} // namespace dtann
+
+#endif // DTANN_CIRCUIT_GATE_HH

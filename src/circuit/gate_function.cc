@@ -1,0 +1,36 @@
+#include "circuit/gate_function.hh"
+
+#include "common/logging.hh"
+
+namespace dtann {
+
+GateFunction::GateFunction(int num_inputs, uint32_t value_mask,
+                           uint32_t mem_mask)
+    : nIn(num_inputs), valueMask(value_mask), memMask(mem_mask)
+{
+    dtann_assert(num_inputs >= 0 && num_inputs <= maxInputs,
+                 "GateFunction supports up to %d inputs", maxInputs);
+    uint32_t legal = (num_inputs == 32) ? ~0u
+        : ((1u << (1u << num_inputs)) - 1u);
+    dtann_assert((value_mask & ~legal) == 0 && (mem_mask & ~legal) == 0,
+                 "mask bits beyond truth table size");
+}
+
+GateFunction
+GateFunction::fromGateKind(GateKind kind)
+{
+    int arity = gateArity(kind);
+    uint32_t value = 0;
+    for (uint32_t in = 0; in < (1u << arity); ++in)
+        if (gateEval(kind, in))
+            value |= 1u << in;
+    return GateFunction(arity, value, 0);
+}
+
+bool
+GateFunction::matchesKind(GateKind kind) const
+{
+    return *this == fromGateKind(kind);
+}
+
+} // namespace dtann

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reconstructed gate behaviour under defects.
+ *
+ * A defective CMOS gate can stop being a pure boolean function: when
+ * both channel networks are simultaneously conducting the ground
+ * path dominates (output 0), and when neither conducts the output
+ * node floats and retains its previous value (memory effect). The
+ * B-block model of Jain & Agrawal captures this with a third logic
+ * value, MEM. A GateFunction is a truth table over {0, 1, MEM}.
+ */
+
+#ifndef DTANN_CIRCUIT_GATE_FUNCTION_HH
+#define DTANN_CIRCUIT_GATE_FUNCTION_HH
+
+#include <cstdint>
+
+#include "circuit/gate.hh"
+
+namespace dtann {
+
+/** Three-valued output of a possibly defective gate. */
+enum class LogicValue : uint8_t {
+    Zero = 0,
+    One = 1,
+    Mem = 2, ///< output floats; retain the previous value
+};
+
+/**
+ * Truth table of a (possibly defective) gate over up to 5 inputs.
+ *
+ * Encoded as two bit masks indexed by the packed input combination:
+ * a set memMask bit means MEM; otherwise the valueMask bit is the
+ * output.
+ */
+class GateFunction
+{
+  public:
+    /** Maximum supported inputs. */
+    static constexpr int maxInputs = 5;
+
+    GateFunction() : nIn(0), valueMask(0), memMask(0) {}
+
+    /**
+     * Direct construction from masks.
+     *
+     * @param num_inputs number of gate inputs (<= maxInputs)
+     * @param value_mask output bit per input combination
+     * @param mem_mask MEM flag per input combination
+     */
+    GateFunction(int num_inputs, uint32_t value_mask, uint32_t mem_mask);
+
+    /** The defect-free truth table of a gate kind. */
+    static GateFunction fromGateKind(GateKind kind);
+
+    /** Evaluate for a packed input combination. */
+    LogicValue
+    eval(uint32_t inputs) const
+    {
+        uint32_t bit = 1u << inputs;
+        if (memMask & bit)
+            return LogicValue::Mem;
+        return (valueMask & bit) ? LogicValue::One : LogicValue::Zero;
+    }
+
+    /** Number of inputs. */
+    int numInputs() const { return nIn; }
+
+    /** True when some input combination floats the output. */
+    bool hasMem() const { return memMask != 0; }
+
+    /** True when this equals the defect-free function of @p kind. */
+    bool matchesKind(GateKind kind) const;
+
+    bool operator==(const GateFunction &o) const = default;
+
+  private:
+    int nIn;
+    uint32_t valueMask;
+    uint32_t memMask;
+};
+
+} // namespace dtann
+
+#endif // DTANN_CIRCUIT_GATE_FUNCTION_HH

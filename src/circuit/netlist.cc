@@ -1,0 +1,113 @@
+#include "circuit/netlist.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dtann {
+
+NetId
+Netlist::addNet()
+{
+    return static_cast<NetId>(netCount++);
+}
+
+NetId
+Netlist::addGate(GateKind kind, const std::vector<NetId> &ins)
+{
+    NetId out = addNet();
+    addGateOnto(kind, ins, out);
+    return out;
+}
+
+void
+Netlist::addGateOnto(GateKind kind, const std::vector<NetId> &ins,
+                     NetId out)
+{
+    int arity = gateArity(kind);
+    dtann_assert(static_cast<int>(ins.size()) == arity,
+                 "%s expects %d inputs, got %zu",
+                 gateName(kind), arity, ins.size());
+    dtann_assert(out < netCount, "gate output uses unknown net");
+    Gate g;
+    g.kind = kind;
+    g.group = currentGroup;
+    maxGroup = std::max(maxGroup, currentGroup);
+    for (int i = 0; i < 4; ++i)
+        g.in[i] = i < arity ? ins[static_cast<size_t>(i)] : invalidNet;
+    for (int i = 0; i < arity; ++i)
+        dtann_assert(g.in[i] < netCount, "gate input uses unknown net");
+    g.out = out;
+    gateList.push_back(g);
+}
+
+NetId
+Netlist::constNet(bool value)
+{
+    NetId &cached = constNets[value ? 1 : 0];
+    if (cached == invalidNet)
+        cached = addGate(value ? GateKind::Const1 : GateKind::Const0, {});
+    return cached;
+}
+
+void
+Netlist::markInput(NetId net)
+{
+    dtann_assert(net < netCount, "unknown net");
+    inputList.push_back(net);
+}
+
+void
+Netlist::markOutput(NetId net)
+{
+    dtann_assert(net < netCount, "unknown net");
+    outputList.push_back(net);
+}
+
+size_t
+Netlist::transistorCount() const
+{
+    size_t total = 0;
+    for (const Gate &g : gateList)
+        total += static_cast<size_t>(gateTransistorCount(g.kind));
+    return total;
+}
+
+int
+Netlist::depth() const
+{
+    // Net depth: inputs are 0; a gate's output depth is
+    // 1 + max(input depths), where a not-yet-driven input net (a
+    // feedback edge) contributes 0.
+    std::vector<int> net_depth(netCount, 0);
+    int max_depth = 0;
+    for (const Gate &g : gateList) {
+        int d = 0;
+        for (int i = 0; i < g.arity(); ++i)
+            d = std::max(d, net_depth[g.in[i]]);
+        net_depth[g.out] = d + 1;
+        max_depth = std::max(max_depth, d + 1);
+    }
+    return max_depth;
+}
+
+bool
+Netlist::hasFeedback() const
+{
+    // A gate reads a net that is driven by a gate appearing later in
+    // construction order (builders emit gates topologically except
+    // for genuine feedback).
+    std::vector<bool> driven(netCount, false);
+    for (NetId in : inputList)
+        driven[in] = true;
+    // Constants and gate outputs become driven as we walk.
+    for (const Gate &g : gateList) {
+        for (int i = 0; i < g.arity(); ++i)
+            if (!driven[g.in[i]])
+                return true;
+        driven[g.out] = true;
+    }
+    return false;
+}
+
+} // namespace dtann

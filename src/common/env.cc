@@ -1,0 +1,30 @@
+#include "common/env.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace dtann {
+
+bool
+fullScale()
+{
+    const char *v = std::getenv("DTANN_FULL");
+    return v != nullptr && std::strcmp(v, "1") == 0;
+}
+
+int
+scaled(int full, int quick)
+{
+    return fullScale() ? full : quick;
+}
+
+unsigned long
+experimentSeed()
+{
+    const char *v = std::getenv("DTANN_SEED");
+    if (v != nullptr)
+        return std::strtoul(v, nullptr, 10);
+    return 20120609UL; // ISCA 2012 conference date.
+}
+
+} // namespace dtann

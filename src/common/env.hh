@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Experiment scaling knobs.
+ *
+ * Paper-scale campaigns (1000 repetitions, full hyper-parameter
+ * grids, 10-fold cross-validation on every point) take hours. The
+ * bench harness therefore defaults to scaled-down runs that keep the
+ * shape of every result, and switches to paper scale when the
+ * environment variable DTANN_FULL=1 is set.
+ */
+
+#ifndef DTANN_COMMON_ENV_HH
+#define DTANN_COMMON_ENV_HH
+
+namespace dtann {
+
+/** True when DTANN_FULL=1 requests paper-scale experiments. */
+bool fullScale();
+
+/** Pick @p full at paper scale, @p quick otherwise. */
+int scaled(int full, int quick);
+
+/** Global experiment seed; DTANN_SEED overrides the default. */
+unsigned long experimentSeed();
+
+} // namespace dtann
+
+#endif // DTANN_COMMON_ENV_HH

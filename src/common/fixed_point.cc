@@ -1,0 +1,51 @@
+#include "common/fixed_point.hh"
+
+#include <cmath>
+
+namespace dtann {
+
+Fix16
+Fix16::fromDouble(double x)
+{
+    double scaled = std::nearbyint(x * scale);
+    if (scaled > rawMax)
+        return Fix16(rawMax);
+    if (scaled < rawMin)
+        return Fix16(rawMin);
+    return Fix16(static_cast<int16_t>(scaled));
+}
+
+Fix16
+Fix16::satAdd(Fix16 a, Fix16 b)
+{
+    int32_t s = static_cast<int32_t>(a.value) + static_cast<int32_t>(b.value);
+    if (s > rawMax)
+        s = rawMax;
+    if (s < rawMin)
+        s = rawMin;
+    return Fix16(static_cast<int16_t>(s));
+}
+
+Fix16
+Fix16::satMul(Fix16 a, Fix16 b)
+{
+    int32_t p = static_cast<int32_t>(a.value) * static_cast<int32_t>(b.value);
+    int32_t s = p >> fracBits;
+    if (s > rawMax)
+        s = rawMax;
+    if (s < rawMin)
+        s = rawMin;
+    return Fix16(static_cast<int16_t>(s));
+}
+
+Fix16
+Acc24::toFix16Sat() const
+{
+    if (value > Fix16::rawMax)
+        return Fix16::fromRaw(Fix16::rawMax);
+    if (value < Fix16::rawMin)
+        return Fix16::fromRaw(Fix16::rawMin);
+    return Fix16::fromRaw(static_cast<int16_t>(value));
+}
+
+} // namespace dtann

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Status and error reporting helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant
+ * violations (aborts), fatal() for user/configuration errors (exits
+ * with an error code), warn()/inform() for non-fatal notices.
+ */
+
+#ifndef DTANN_COMMON_LOGGING_HH
+#define DTANN_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdlib>
+#include <string>
+
+namespace dtann {
+
+/** Print a formatted message to stderr and abort. Internal bug. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted message to stderr and exit(1). User error. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted warning to stderr. Execution continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert-like invariant check that is active in all build types.
+ * Calls panic() with the given message when the condition is false.
+ */
+#define dtann_assert(cond, fmt, ...)                                    \
+    do {                                                                \
+        if (!(cond))                                                    \
+            ::dtann::panic("assertion '%s' failed: " fmt, #cond,        \
+                           ##__VA_ARGS__);                              \
+    } while (0)
+
+} // namespace dtann
+
+#endif // DTANN_COMMON_LOGGING_HH

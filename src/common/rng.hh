@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * All experiment code takes an explicit Rng so campaigns are exactly
+ * reproducible from a single seed. Sub-streams can be split off for
+ * independent components (e.g., one stream per repetition).
+ */
+
+#ifndef DTANN_COMMON_RNG_HH
+#define DTANN_COMMON_RNG_HH
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dtann {
+
+/**
+ * Seeded pseudo-random generator with convenience draws.
+ *
+ * Thin wrapper around std::mt19937_64 providing the handful of
+ * distributions the library needs.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eedULL) : engine(seed) {}
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    uint64_t
+    nextUint(uint64_t bound)
+    {
+        dtann_assert(bound > 0, "nextUint bound must be positive");
+        return std::uniform_int_distribution<uint64_t>(0, bound - 1)(engine);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    nextInt(int64_t lo, int64_t hi)
+    {
+        dtann_assert(lo <= hi, "nextInt empty range");
+        return std::uniform_int_distribution<int64_t>(lo, hi)(engine);
+    }
+
+    /** Uniform double in [0, 1). */
+    double nextDouble() { return unit(engine); }
+
+    /** Uniform double in [lo, hi). */
+    double
+    nextDouble(double lo, double hi)
+    {
+        return lo + (hi - lo) * nextDouble();
+    }
+
+    /** Standard normal draw. */
+    double nextGauss() { return gauss(engine); }
+
+    /** Normal draw with given mean and standard deviation. */
+    double nextGauss(double mean, double sd) { return mean + sd * nextGauss(); }
+
+    /** Bernoulli draw with probability p of true. */
+    bool nextBool(double p = 0.5) { return nextDouble() < p; }
+
+    /** Split off an independent sub-stream. */
+    Rng
+    split()
+    {
+        uint64_t s = engine();
+        return Rng(s ^ 0x9e3779b97f4a7c15ULL);
+    }
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (size_t i = v.size(); i > 1; --i)
+            std::swap(v[i - 1], v[nextUint(i)]);
+    }
+
+    /** Draw k distinct indices from [0, n). @pre k <= n. */
+    std::vector<size_t>
+    sampleWithoutReplacement(size_t n, size_t k)
+    {
+        dtann_assert(k <= n, "sample larger than population");
+        std::vector<size_t> idx(n);
+        for (size_t i = 0; i < n; ++i)
+            idx[i] = i;
+        for (size_t i = 0; i < k; ++i)
+            std::swap(idx[i], idx[i + nextUint(n - i)]);
+        idx.resize(k);
+        return idx;
+    }
+
+    /** Access the raw engine (for std distributions). */
+    std::mt19937_64 &raw() { return engine; }
+
+  private:
+    std::mt19937_64 engine;
+    std::uniform_real_distribution<double> unit{0.0, 1.0};
+    std::normal_distribution<double> gauss{0.0, 1.0};
+};
+
+} // namespace dtann
+
+#endif // DTANN_COMMON_RNG_HH

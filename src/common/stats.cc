@@ -1,0 +1,133 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dtann {
+
+void
+RunningStat::add(double x)
+{
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    ++n;
+    double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+}
+
+double
+RunningStat::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+uint64_t
+IntHistogram::at(int64_t value) const
+{
+    auto it = counts.find(value);
+    return it == counts.end() ? 0 : it->second;
+}
+
+uint64_t
+IntHistogram::total() const
+{
+    uint64_t sum = 0;
+    for (const auto &[v, c] : counts)
+        sum += c;
+    return sum;
+}
+
+std::vector<std::pair<int64_t, uint64_t>>
+IntHistogram::items() const
+{
+    return {counts.begin(), counts.end()};
+}
+
+void
+IntHistogram::merge(const IntHistogram &other)
+{
+    for (const auto &[v, c] : other.counts)
+        counts[v] += c;
+}
+
+double
+IntHistogram::totalVariation(const IntHistogram &other) const
+{
+    uint64_t ta = total(), tb = other.total();
+    if (ta == 0 && tb == 0)
+        return 0.0;
+    if (ta == 0 || tb == 0)
+        return 1.0;
+    double tv = 0.0;
+    auto ia = counts.begin();
+    auto ib = other.counts.begin();
+    while (ia != counts.end() || ib != other.counts.end()) {
+        double pa = 0.0, pb = 0.0;
+        if (ib == other.counts.end() ||
+            (ia != counts.end() && ia->first < ib->first)) {
+            pa = static_cast<double>(ia->second) / ta;
+            ++ia;
+        } else if (ia == counts.end() || ib->first < ia->first) {
+            pb = static_cast<double>(ib->second) / tb;
+            ++ib;
+        } else {
+            pa = static_cast<double>(ia->second) / ta;
+            pb = static_cast<double>(ib->second) / tb;
+            ++ia;
+            ++ib;
+        }
+        tv += std::abs(pa - pb);
+    }
+    return 0.5 * tv;
+}
+
+LogBins::LogBins(int low_exp, int high_exp, int per_decade)
+    : lowExp(low_exp), perDecade(per_decade),
+      stats(static_cast<size_t>((high_exp - low_exp) * per_decade) + 2)
+{
+}
+
+size_t
+LogBins::binOf(double amplitude) const
+{
+    if (amplitude <= 0.0)
+        return 0; // Underflow bin.
+    double pos = (std::log10(amplitude) - lowExp) * perDecade;
+    if (pos < 0.0)
+        return 0;
+    size_t i = static_cast<size_t>(pos) + 1;
+    if (i >= stats.size())
+        return stats.size() - 1; // Overflow bin.
+    return i;
+}
+
+void
+LogBins::add(double amplitude, double value)
+{
+    stats[binOf(amplitude)].add(value);
+}
+
+double
+LogBins::binCenter(size_t i) const
+{
+    if (i == 0)
+        return std::pow(10.0, lowExp);
+    double lo = lowExp + static_cast<double>(i - 1) / perDecade;
+    double hi = lowExp + static_cast<double>(i) / perDecade;
+    return std::pow(10.0, 0.5 * (lo + hi));
+}
+
+} // namespace dtann

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Statistics accumulators used by the experiment campaigns.
+ */
+
+#ifndef DTANN_COMMON_STATS_HH
+#define DTANN_COMMON_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace dtann {
+
+/**
+ * Streaming mean/variance accumulator (Welford's algorithm).
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples so far. */
+    size_t count() const { return n; }
+    /** Sample mean (0 when empty). */
+    double mean() const { return n ? mu : 0.0; }
+    /** Unbiased sample variance (0 with fewer than 2 samples). */
+    double variance() const;
+    /** Sample standard deviation. */
+    double stddev() const;
+    /** Smallest sample seen. */
+    double min() const { return lo; }
+    /** Largest sample seen. */
+    double max() const { return hi; }
+
+  private:
+    size_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/**
+ * Integer-valued histogram: value -> occurrence count.
+ *
+ * Used for the Fig 5 operator output-value distributions.
+ */
+class IntHistogram
+{
+  public:
+    /** Count one occurrence of @p value. */
+    void add(int64_t value) { ++counts[value]; }
+    /** Count @p n occurrences of @p value. */
+    void add(int64_t value, uint64_t n) { counts[value] += n; }
+
+    /** Occurrences of @p value. */
+    uint64_t at(int64_t value) const;
+    /** Total number of occurrences. */
+    uint64_t total() const;
+    /** All (value, count) pairs in increasing value order. */
+    std::vector<std::pair<int64_t, uint64_t>> items() const;
+
+    /** Merge another histogram into this one. */
+    void merge(const IntHistogram &other);
+
+    /**
+     * Total-variation distance to another histogram, in [0, 1].
+     * Both histograms are normalized to probability distributions.
+     * Returns 1 when either histogram is empty and the other is not.
+     */
+    double totalVariation(const IntHistogram &other) const;
+
+  private:
+    std::map<int64_t, uint64_t> counts;
+};
+
+/**
+ * Logarithmically spaced bins over (0, +inf), used for the Fig 11
+ * error-amplitude axis (decades from 10^lowExp to 10^highExp).
+ */
+class LogBins
+{
+  public:
+    /**
+     * @param low_exp exponent of the smallest bin edge (e.g. -3)
+     * @param high_exp exponent of the largest bin edge (e.g. 3)
+     * @param per_decade number of bins per decade
+     */
+    LogBins(int low_exp, int high_exp, int per_decade = 1);
+
+    /** Number of bins (including under/overflow). */
+    size_t numBins() const { return stats.size(); }
+    /** Add a (amplitude, value) pair; value accumulates in the bin. */
+    void add(double amplitude, double value);
+    /** Geometric center of bin @p i. */
+    double binCenter(size_t i) const;
+    /** Accumulated statistics of bin @p i. */
+    const RunningStat &binStat(size_t i) const { return stats[i]; }
+
+  private:
+    size_t binOf(double amplitude) const;
+
+    int lowExp;
+    int perDecade;
+    std::vector<RunningStat> stats;
+};
+
+} // namespace dtann
+
+#endif // DTANN_COMMON_STATS_HH

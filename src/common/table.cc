@@ -1,0 +1,126 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace dtann {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : columns(header.size())
+{
+    rows.push_back(std::move(header));
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    dtann_assert(cells.size() == columns,
+                 "row has %zu cells, expected %zu", cells.size(), columns);
+    rows.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(columns, 0);
+    for (const auto &row : rows)
+        for (size_t c = 0; c < columns; ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    for (size_t r = 0; r < rows.size(); ++r) {
+        for (size_t c = 0; c < columns; ++c) {
+            os << rows[r][c];
+            if (c + 1 < columns)
+                os << std::string(widths[c] - rows[r][c].size() + 2, ' ');
+        }
+        os << '\n';
+        if (r == 0) {
+            size_t total = 0;
+            for (size_t c = 0; c < columns; ++c)
+                total += widths[c] + (c + 1 < columns ? 2 : 0);
+            os << std::string(total, '-') << '\n';
+        }
+    }
+}
+
+std::string
+fmtDouble(double x, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, x);
+    return buf;
+}
+
+std::string
+slugify(const std::string &title)
+{
+    std::string slug;
+    for (char c : title) {
+        if (std::isalnum(static_cast<unsigned char>(c))) {
+            slug.push_back(static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c))));
+        } else if (!slug.empty() && slug.back() != '_') {
+            slug.push_back('_');
+        }
+        if (slug.size() >= 60)
+            break;
+    }
+    while (!slug.empty() && slug.back() == '_')
+        slug.pop_back();
+    return slug.empty() ? "series" : slug;
+}
+
+namespace {
+
+/** Mirror a series to $DTANN_OUT/<slug>.csv when requested. */
+void
+maybeWriteCsv(const std::string &title,
+              const std::vector<std::string> &columns,
+              const std::vector<std::vector<double>> &points)
+{
+    const char *dir = std::getenv("DTANN_OUT");
+    if (dir == nullptr || *dir == '\0')
+        return;
+    std::string path =
+        std::string(dir) + "/" + slugify(title) + ".csv";
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write series to '%s'", path.c_str());
+        return;
+    }
+    for (size_t c = 0; c < columns.size(); ++c)
+        out << columns[c] << (c + 1 < columns.size() ? "," : "\n");
+    for (const auto &pt : points) {
+        for (size_t c = 0; c < pt.size(); ++c)
+            out << pt[c] << (c + 1 < pt.size() ? "," : "\n");
+    }
+}
+
+} // namespace
+
+void
+printSeries(std::ostream &os, const std::string &title,
+            const std::vector<std::string> &columns,
+            const std::vector<std::vector<double>> &points)
+{
+    os << "# " << title << '\n';
+    TextTable table(columns);
+    for (const auto &pt : points) {
+        std::vector<std::string> row;
+        row.reserve(pt.size());
+        for (double v : pt)
+            row.push_back(fmtDouble(v));
+        table.addRow(std::move(row));
+    }
+    table.print(os);
+    os << '\n';
+    maybeWriteCsv(title, columns, points);
+}
+
+} // namespace dtann

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Plain-text table and series printers for the benchmark harness.
+ *
+ * Benches print paper-style rows (tables) and (x, y) series
+ * (figures) so that EXPERIMENTS.md can record paper-vs-measured
+ * values directly from the output.
+ */
+
+#ifndef DTANN_COMMON_TABLE_HH
+#define DTANN_COMMON_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dtann {
+
+/** Column-aligned text table. */
+class TextTable
+{
+  public:
+    /** @param header column names, fixing the column count */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a row. @pre cells.size() == column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns to @p os. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::vector<std::string>> rows;
+    size_t columns;
+};
+
+/** Format a double with @p digits significant decimals. */
+std::string fmtDouble(double x, int digits = 4);
+
+/**
+ * Print a figure-style data series as aligned "x y1 y2 ..." lines,
+ * preceded by a "# <title>" header and a column-name line.
+ *
+ * When the environment variable DTANN_OUT names a directory, the
+ * series is additionally written there as a CSV file (named from a
+ * slug of the title) so plots can be regenerated offline.
+ */
+void printSeries(std::ostream &os, const std::string &title,
+                 const std::vector<std::string> &columns,
+                 const std::vector<std::vector<double>> &points);
+
+/** Turn a title into a safe file-name slug. */
+std::string slugify(const std::string &title);
+
+} // namespace dtann
+
+#endif // DTANN_COMMON_TABLE_HH

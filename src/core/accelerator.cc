@@ -1,0 +1,387 @@
+#include "core/accelerator.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <tuple>
+
+#include "ann/sigmoid.hh"
+#include "common/logging.hh"
+#include "rtl/adder.hh"
+#include "rtl/latch.hh"
+#include "rtl/multiplier.hh"
+#include "rtl/sigmoid_unit.hh"
+
+namespace dtann {
+
+bool
+UnitSite::operator<(const UnitSite &o) const
+{
+    return std::tie(kind, layer, neuron, index) <
+        std::tie(o.kind, o.layer, o.neuron, o.index);
+}
+
+std::string
+UnitSite::describe() const
+{
+    const char *k = "?";
+    switch (kind) {
+      case UnitKind::WeightLatch: k = "latch"; break;
+      case UnitKind::Multiplier: k = "mult"; break;
+      case UnitKind::AdderStage: k = "adder"; break;
+      case UnitKind::Activation: k = "act"; break;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s[%s n%d i%d]", k,
+                  layer == Layer::Hidden ? "hid" : "out", neuron, index);
+    return buf;
+}
+
+Accelerator::Accelerator(const AcceleratorConfig &config,
+                         MlpTopology logical_topo)
+    : cfg(config), logical(logical_topo),
+      multNl(std::make_shared<Netlist>(
+          buildMultiplierSigned(16, config.faStyle))),
+      addNl(std::make_shared<Netlist>(
+          buildRippleAdder(24, config.faStyle, false))),
+      latchNl(std::make_shared<Netlist>(buildLatchRegister(16))),
+      actNl(std::make_shared<Netlist>(
+          buildSigmoidUnit(logisticPwlTable(), config.faStyle))),
+      hidW(static_cast<size_t>(config.hidden) *
+           static_cast<size_t>(config.inputs + 1)),
+      outW(static_cast<size_t>(config.outputs) *
+           static_cast<size_t>(config.hidden + 1)),
+      hidWIn(hidW.size()), outWIn(outW.size()),
+      hiddenAct(static_cast<size_t>(config.hidden)),
+      hidSums(static_cast<size_t>(config.hidden))
+{
+    dtann_assert(logical.inputs <= cfg.inputs &&
+                     logical.hidden <= cfg.hidden &&
+                     logical.outputs <= cfg.outputs,
+                 "logical network %d-%d-%d does not fit the %d-%d-%d "
+                 "array (use the time-multiplexed wrapper)",
+                 logical.inputs, logical.hidden, logical.outputs,
+                 cfg.inputs, cfg.hidden, cfg.outputs);
+}
+
+Fix16 &
+Accelerator::hidWAt(int j, int i)
+{
+    return hidW[static_cast<size_t>(j) *
+                    static_cast<size_t>(cfg.inputs + 1) +
+                static_cast<size_t>(i)];
+}
+
+Fix16 &
+Accelerator::outWAt(int k, int j)
+{
+    return outW[static_cast<size_t>(k) *
+                    static_cast<size_t>(cfg.hidden + 1) +
+                static_cast<size_t>(j)];
+}
+
+int
+Accelerator::unitCount(UnitKind kind) const
+{
+    int hid_syn = cfg.hidden * (cfg.inputs + 1);
+    int out_syn = cfg.outputs * (cfg.hidden + 1);
+    switch (kind) {
+      case UnitKind::WeightLatch:
+      case UnitKind::Multiplier:
+        return hid_syn + out_syn;
+      case UnitKind::AdderStage:
+        // A chain of N additions per neuron for N+1 products.
+        return cfg.hidden * cfg.inputs + cfg.outputs * cfg.hidden;
+      case UnitKind::Activation:
+        return cfg.hidden + cfg.outputs;
+      default:
+        panic("bad unit kind");
+    }
+}
+
+OperatorSim *
+Accelerator::simFor(const UnitSite &site)
+{
+    auto it = faulty.find(site);
+    return it == faulty.end() ? nullptr : it->second.get();
+}
+
+std::vector<InjectionRecord>
+Accelerator::injectDefects(const UnitSite &site, int count, Rng &rng)
+{
+    std::shared_ptr<const Netlist> nl;
+    switch (site.kind) {
+      case UnitKind::WeightLatch: nl = latchNl; break;
+      case UnitKind::Multiplier: nl = multNl; break;
+      case UnitKind::AdderStage: nl = addNl; break;
+      case UnitKind::Activation: nl = actNl; break;
+    }
+    Injection inj = injectTransistorDefects(*nl, count, rng);
+    std::vector<InjectionRecord> records = inj.records;
+
+    // Merge with any defects already present at this site.
+    auto it = faulty.find(site);
+    if (it != faulty.end()) {
+        FaultSet merged = it->second->evaluator().faults();
+        merged.merge(inj.faults);
+        Injection combined;
+        combined.faults = std::move(merged);
+        combined.records = it->second->faultRecords();
+        combined.records.insert(combined.records.end(), records.begin(),
+                                records.end());
+        it->second =
+            std::make_unique<OperatorSim>(nl, std::move(combined));
+    } else {
+        Injection fresh;
+        fresh.faults = std::move(inj.faults);
+        fresh.records = records;
+        faulty[site] =
+            std::make_unique<OperatorSim>(nl, std::move(fresh));
+    }
+    probes[site]; // ensure a probe exists
+    return records;
+}
+
+void
+Accelerator::clearDefects()
+{
+    faulty.clear();
+    probes.clear();
+}
+
+std::vector<UnitSite>
+Accelerator::faultySites() const
+{
+    std::vector<UnitSite> sites;
+    for (const auto &[site, sim] : faulty)
+        sites.push_back(site);
+    return sites;
+}
+
+const DeviationProbe &
+Accelerator::probe(const UnitSite &site) const
+{
+    auto it = probes.find(site);
+    return it == probes.end() ? cleanProbe : it->second;
+}
+
+void
+Accelerator::clearProbes()
+{
+    for (auto &[site, p] : probes)
+        p = DeviationProbe();
+}
+
+Fix16
+Accelerator::unitLatchStore(Layer layer, int neuron, int synapse, Fix16 d)
+{
+    UnitSite site{UnitKind::WeightLatch, layer, neuron, synapse};
+    OperatorSim *sim = simFor(site);
+    if (!sim)
+        return d;
+    // Open the latch (EN=1) with D applied, then close it.
+    uint64_t bits = static_cast<uint64_t>(d.bits());
+    sim->apply(bits | (1ull << 16));
+    uint64_t q = sim->apply(bits); // EN=0
+    Fix16 stored = Fix16::fromRaw(static_cast<int16_t>(q & 0xffff));
+    probes[site].amplitude.add(
+        std::abs(stored.toDouble() - d.toDouble()));
+    return stored;
+}
+
+Fix16
+Accelerator::unitMul(Layer layer, int neuron, int synapse, Fix16 w,
+                     Fix16 x)
+{
+    UnitSite site{UnitKind::Multiplier, layer, neuron, synapse};
+    OperatorSim *sim = simFor(site);
+    Fix16 clean = Fix16::hwMul(w, x);
+    if (!sim)
+        return clean;
+    uint64_t in = static_cast<uint64_t>(w.bits()) |
+        (static_cast<uint64_t>(x.bits()) << 16);
+    uint64_t product = sim->apply(in);
+    Fix16 got = Fix16::fromRaw(static_cast<int16_t>(
+        (product >> Fix16::fracBits) & 0xffff));
+    probes[site].amplitude.add(
+        std::abs(got.toDouble() - clean.toDouble()));
+    return got;
+}
+
+Acc24
+Accelerator::unitAdd(Layer layer, int neuron, int stage, Acc24 a, Acc24 b)
+{
+    UnitSite site{UnitKind::AdderStage, layer, neuron, stage};
+    OperatorSim *sim = simFor(site);
+    Acc24 clean = Acc24::hwAdd(a, b);
+    if (!sim)
+        return clean;
+    uint64_t in = static_cast<uint64_t>(a.bits()) |
+        (static_cast<uint64_t>(b.bits()) << 24);
+    uint64_t sum = sim->apply(in) & 0xffffffull;
+    uint32_t u = static_cast<uint32_t>(sum);
+    int32_t raw = (u & 0x800000u)
+        ? static_cast<int32_t>(u | 0xff000000u)
+        : static_cast<int32_t>(u);
+    Acc24 got = Acc24::fromRaw(raw);
+    probes[site].amplitude.add(
+        std::abs(got.toDouble() - clean.toDouble()));
+    return got;
+}
+
+Fix16
+Accelerator::unitAct(Layer layer, int neuron, Fix16 x)
+{
+    UnitSite site{UnitKind::Activation, layer, neuron, 0};
+    OperatorSim *sim = simFor(site);
+    Fix16 clean = logisticPwlFix(x);
+    if (!sim)
+        return clean;
+    uint64_t y = sim->apply(static_cast<uint64_t>(x.bits()));
+    Fix16 got = Fix16::fromRaw(static_cast<int16_t>(y & 0xffff));
+    probes[site].amplitude.add(
+        std::abs(got.toDouble() - clean.toDouble()));
+    return got;
+}
+
+void
+Accelerator::setWeights(const MlpWeights &w)
+{
+    dtann_assert(w.topology() == logical, "weight topology mismatch");
+    // Hidden layer: logical weights into the top-left corner; the
+    // rest stays 0. All writes go through the latch path.
+    for (int j = 0; j < cfg.hidden; ++j) {
+        for (int i = 0; i <= cfg.inputs; ++i) {
+            double v = 0.0;
+            if (j < logical.hidden) {
+                if (i < logical.inputs)
+                    v = w.hid(j, i);
+                else if (i == cfg.inputs)
+                    v = w.hid(j, logical.inputs); // bias synapse
+            }
+            Fix16 q = Fix16::fromDouble(v);
+            hidWIn[static_cast<size_t>(j) *
+                       static_cast<size_t>(cfg.inputs + 1) +
+                   static_cast<size_t>(i)] = q;
+            hidWAt(j, i) = unitLatchStore(Layer::Hidden, j, i, q);
+        }
+    }
+    for (int k = 0; k < cfg.outputs; ++k) {
+        for (int j = 0; j <= cfg.hidden; ++j) {
+            double v = 0.0;
+            if (k < logical.outputs) {
+                if (j < logical.hidden)
+                    v = w.out(k, j);
+                else if (j == cfg.hidden)
+                    v = w.out(k, logical.hidden); // bias synapse
+            }
+            Fix16 q = Fix16::fromDouble(v);
+            outWIn[static_cast<size_t>(k) *
+                       static_cast<size_t>(cfg.hidden + 1) +
+                   static_cast<size_t>(j)] = q;
+            outWAt(k, j) = unitLatchStore(Layer::Output, k, j, q);
+        }
+    }
+}
+
+void
+Accelerator::forwardLayer(Layer layer, std::span<const Fix16> in,
+                          std::span<Fix16> out)
+{
+    const Fix16 one = Fix16::fromDouble(1.0);
+    int fanin = layer == Layer::Hidden ? cfg.inputs : cfg.hidden;
+    int neurons = layer == Layer::Hidden ? cfg.hidden : cfg.outputs;
+    for (int n = 0; n < neurons; ++n) {
+        Fix16 *weights = layer == Layer::Hidden
+            ? &hidWAt(n, 0) : &outWAt(n, 0);
+        // Products: one multiplier per synapse, bias last.
+        Acc24 acc = Acc24::fromFix16(
+            unitMul(layer, n, 0, weights[0], in[0]));
+        for (int i = 1; i <= fanin; ++i) {
+            Fix16 x = i < fanin ? in[static_cast<size_t>(i)] : one;
+            Fix16 p = unitMul(layer, n, i, weights[i], x);
+            acc = unitAdd(layer, n, i - 1, acc, Acc24::fromFix16(p));
+        }
+        if (layer == Layer::Hidden)
+            hidSums[static_cast<size_t>(n)] = acc;
+        out[static_cast<size_t>(n)] =
+            unitAct(layer, n, acc.toFix16Sat());
+    }
+}
+
+void
+Accelerator::loadPhysicalHiddenRow(int phys_neuron,
+                                   std::span<const Fix16> weights)
+{
+    dtann_assert(phys_neuron >= 0 && phys_neuron < cfg.hidden,
+                 "physical neuron index out of range");
+    dtann_assert(static_cast<int>(weights.size()) == cfg.inputs + 1,
+                 "weight row arity mismatch");
+    for (int i = 0; i <= cfg.inputs; ++i) {
+        hidWIn[static_cast<size_t>(phys_neuron) *
+                   static_cast<size_t>(cfg.inputs + 1) +
+               static_cast<size_t>(i)] = weights[static_cast<size_t>(i)];
+        hidWAt(phys_neuron, i) = unitLatchStore(
+            Layer::Hidden, phys_neuron, i, weights[static_cast<size_t>(i)]);
+    }
+}
+
+void
+Accelerator::loadPhysicalOutputRow(int phys_neuron,
+                                   std::span<const Fix16> weights)
+{
+    dtann_assert(phys_neuron >= 0 && phys_neuron < cfg.outputs,
+                 "physical neuron index out of range");
+    dtann_assert(static_cast<int>(weights.size()) == cfg.hidden + 1,
+                 "weight row arity mismatch");
+    for (int j = 0; j <= cfg.hidden; ++j) {
+        outWIn[static_cast<size_t>(phys_neuron) *
+                   static_cast<size_t>(cfg.hidden + 1) +
+               static_cast<size_t>(j)] = weights[static_cast<size_t>(j)];
+        outWAt(phys_neuron, j) = unitLatchStore(
+            Layer::Output, phys_neuron, j, weights[static_cast<size_t>(j)]);
+    }
+}
+
+std::vector<Fix16>
+Accelerator::runHiddenLayer(std::span<const Fix16> physical_input)
+{
+    dtann_assert(static_cast<int>(physical_input.size()) == cfg.inputs,
+                 "physical input arity mismatch");
+    forwardLayer(Layer::Hidden, physical_input, hiddenAct);
+    return {hiddenAct.begin(), hiddenAct.end()};
+}
+
+std::vector<Fix16>
+Accelerator::forwardFix(std::span<const Fix16> physical_input)
+{
+    dtann_assert(static_cast<int>(physical_input.size()) == cfg.inputs,
+                 "physical input arity mismatch");
+    forwardLayer(Layer::Hidden, physical_input, hiddenAct);
+    std::vector<Fix16> out(static_cast<size_t>(cfg.outputs));
+    forwardLayer(Layer::Output, hiddenAct, out);
+    return out;
+}
+
+Activations
+Accelerator::forward(std::span<const double> input)
+{
+    dtann_assert(static_cast<int>(input.size()) == logical.inputs,
+                 "logical input arity mismatch");
+    std::vector<Fix16> phys(static_cast<size_t>(cfg.inputs));
+    for (size_t i = 0; i < input.size(); ++i)
+        phys[i] = Fix16::fromDouble(input[i]);
+    std::vector<Fix16> out = forwardFix(phys);
+
+    Activations act;
+    act.hidden.resize(static_cast<size_t>(logical.hidden));
+    for (int j = 0; j < logical.hidden; ++j)
+        act.hidden[static_cast<size_t>(j)] =
+            hiddenAct[static_cast<size_t>(j)].toDouble();
+    act.output.resize(static_cast<size_t>(logical.outputs));
+    for (int k = 0; k < logical.outputs; ++k)
+        act.output[static_cast<size_t>(k)] =
+            out[static_cast<size_t>(k)].toDouble();
+    return act;
+}
+
+} // namespace dtann

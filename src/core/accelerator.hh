@@ -1,0 +1,224 @@
+/**
+ * @file
+ * The spatially expanded hardware ANN accelerator (paper Fig 3).
+ *
+ * Physical structure: a fully connected 90-10-10 array (config-
+ * urable). Every synapse has its own 16-bit weight latch and its
+ * own Q6.10 multiplier; every neuron has a 24-bit ripple adder
+ * chain and a PWL activation unit. There is no central weight
+ * memory and no read decoding logic — the paper's key design point.
+ *
+ * Defects are injected per unit instance: the faulty unit is
+ * replaced by a gate-level simulation of its netlist with
+ * reconstructed transistor-level fault behaviour, while all clean
+ * units execute native fixed-point arithmetic (bit-identical to the
+ * netlists). This mirrors the paper's software methodology
+ * ("a software function is called to perform that operator in
+ * place of the native operator").
+ *
+ * A logical task network (e.g. 30-10-2 for breast) is mapped onto
+ * the top-left corner of the physical array; unused physical
+ * synapses hold weight 0. Defects are sampled over the *physical*
+ * structure, so they may land in unused regions — as on real
+ * silicon.
+ */
+
+#ifndef DTANN_CORE_ACCELERATOR_HH
+#define DTANN_CORE_ACCELERATOR_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "ann/mlp.hh"
+#include "common/fixed_point.hh"
+#include "common/stats.hh"
+#include "rtl/builder.hh"
+#include "rtl/operator_sim.hh"
+
+namespace dtann {
+
+/** Physical dimensions and implementation style of the array. */
+struct AcceleratorConfig
+{
+    int inputs = 90;
+    int hidden = 10;
+    int outputs = 10;
+    FaStyle faStyle = FaStyle::Nand9;
+};
+
+/** Unit kinds that can host defects (paper Section VI-C). */
+enum class UnitKind : uint8_t {
+    WeightLatch, ///< 16-bit distributed weight storage
+    Multiplier,  ///< per-synapse 16x16 Q6.10 multiplier
+    AdderStage,  ///< one 24-bit stage of a neuron's adder chain
+    Activation,  ///< per-neuron PWL sigmoid unit
+};
+
+/** Layers of the physical array. */
+enum class Layer : uint8_t { Hidden, Output };
+
+/** Address of one hardware unit instance. */
+struct UnitSite
+{
+    UnitKind kind;
+    Layer layer;
+    int neuron;  ///< neuron index within the layer
+    int index;   ///< synapse index (latch/mult) or stage index
+
+    bool operator<(const UnitSite &o) const;
+    bool operator==(const UnitSite &o) const = default;
+
+    /** Human-readable site description. */
+    std::string describe() const;
+};
+
+/** Observed |faulty - clean| deviations at one faulty unit. */
+struct DeviationProbe
+{
+    RunningStat amplitude; ///< absolute deviation, in value units
+};
+
+/**
+ * Functional + defect model of the accelerator array.
+ *
+ * Implements ForwardModel for the mapped logical task so the
+ * companion-core Trainer can retrain through the faulty hardware.
+ */
+class Accelerator : public ForwardModel
+{
+  public:
+    /**
+     * @param config physical array dimensions
+     * @param logical task network mapped onto the array (must fit)
+     */
+    Accelerator(const AcceleratorConfig &config, MlpTopology logical);
+
+    /** The mapped logical topology. */
+    MlpTopology topology() const override { return logical; }
+
+    /** Physical configuration. */
+    const AcceleratorConfig &config() const { return cfg; }
+
+    /**
+     * Quantize logical weights and store them through the (possibly
+     * faulty) weight latches — the DMA write path.
+     */
+    void setWeights(const MlpWeights &w) override;
+
+    /** Forward one logical input row through the array. */
+    Activations forward(std::span<const double> input) override;
+
+    /** Fixed-point forward on the physical array (padded input). */
+    std::vector<Fix16> forwardFix(std::span<const Fix16> physical_input);
+
+    /** @name Raw physical access (partial time-multiplexing) @{ */
+
+    /**
+     * Write a full weight row of physical hidden neuron
+     * @p phys_neuron through the latch path (inputs + 1 values,
+     * bias last).
+     */
+    void loadPhysicalHiddenRow(int phys_neuron,
+                               std::span<const Fix16> weights);
+
+    /**
+     * Write a full weight row of physical output neuron
+     * @p phys_neuron through the latch path (hidden + 1 values,
+     * bias last).
+     */
+    void loadPhysicalOutputRow(int phys_neuron,
+                               std::span<const Fix16> weights);
+
+    /**
+     * Run only the physical hidden layer; activations are
+     * returned, pre-activation adder-tree sums are kept readable
+     * via hiddenSums() (the time-multiplexing output latches).
+     */
+    std::vector<Fix16> runHiddenLayer(std::span<const Fix16>
+                                          physical_input);
+
+    /** Pre-activation sums of the last hidden-layer run. */
+    const std::vector<Acc24> &hiddenSums() const { return hidSums; }
+
+    /** @} */
+
+    /**
+     * Inject @p count transistor-level defects into one unit
+     * instance chosen by the campaign (the unit becomes gate-level
+     * simulated).
+     *
+     * @return descriptions of the injected faults
+     */
+    std::vector<InjectionRecord> injectDefects(const UnitSite &site,
+                                               int count, Rng &rng);
+
+    /** Remove all injected defects and probes. */
+    void clearDefects();
+
+    /** Sites that currently host defects. */
+    std::vector<UnitSite> faultySites() const;
+
+    /** Deviation probe of a faulty unit (empty stats when clean). */
+    const DeviationProbe &probe(const UnitSite &site) const;
+
+    /** Reset all deviation probes. */
+    void clearProbes();
+
+    /** Number of hardware units of @p kind (for site sampling). */
+    int unitCount(UnitKind kind) const;
+
+    /** Shared netlists (also used by the cost model). @{ */
+    const Netlist &multiplierNetlist() const { return *multNl; }
+    const Netlist &adderNetlist() const { return *addNl; }
+    const Netlist &latchNetlist() const { return *latchNl; }
+    const Netlist &activationNetlist() const { return *actNl; }
+    /** @} */
+
+  private:
+    AcceleratorConfig cfg;
+    MlpTopology logical;
+
+    /** Shared unit netlists. */
+    std::shared_ptr<const Netlist> multNl;
+    std::shared_ptr<const Netlist> addNl;
+    std::shared_ptr<const Netlist> latchNl;
+    std::shared_ptr<const Netlist> actNl;
+
+    /** Stored physical weights (post-latch values). */
+    std::vector<Fix16> hidW; // [hidden][inputs+1]
+    std::vector<Fix16> outW; // [outputs][hidden+1]
+    /** Values presented on the latch D inputs (pre-latch). */
+    std::vector<Fix16> hidWIn;
+    std::vector<Fix16> outWIn;
+
+    /** Gate-level sims of faulty units. */
+    std::map<UnitSite, std::unique_ptr<OperatorSim>> faulty;
+    /** Deviation probes per faulty unit. */
+    std::map<UnitSite, DeviationProbe> probes;
+    DeviationProbe cleanProbe; // returned for clean sites
+
+    std::vector<Fix16> hiddenAct;
+    std::vector<Acc24> hidSums;
+
+    Fix16 &hidWAt(int j, int i);
+    Fix16 &outWAt(int k, int j);
+
+    /** Faulty-unit lookup; null when the site is clean. */
+    OperatorSim *simFor(const UnitSite &site);
+
+    /** Per-unit operations (route through sim when faulty). @{ */
+    Fix16 unitMul(Layer layer, int neuron, int synapse, Fix16 w, Fix16 x);
+    Acc24 unitAdd(Layer layer, int neuron, int stage, Acc24 a, Acc24 b);
+    Fix16 unitAct(Layer layer, int neuron, Fix16 x);
+    Fix16 unitLatchStore(Layer layer, int neuron, int synapse, Fix16 d);
+    /** @} */
+
+    /** Run one physical layer. */
+    void forwardLayer(Layer layer, std::span<const Fix16> in,
+                      std::span<Fix16> out);
+};
+
+} // namespace dtann
+
+#endif // DTANN_CORE_ACCELERATOR_HH

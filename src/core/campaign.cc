@@ -1,0 +1,240 @@
+#include "core/campaign.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "ann/crossval.hh"
+#include "common/logging.hh"
+#include "core/injector.hh"
+#include "rtl/adder.hh"
+#include "rtl/multiplier.hh"
+#include "rtl/operator_sim.hh"
+
+namespace dtann {
+
+// ---------------------------------------------------------------
+// Fig 5
+
+Fig5Result
+runFig5(Fig5Operator op, int defects, int repetitions, Rng &rng,
+        FaStyle style)
+{
+    auto nl = std::make_shared<Netlist>(
+        op == Fig5Operator::Adder4
+            ? buildRippleAdder(4, style, true)
+            : buildMultiplierUnsigned(4, style));
+    size_t out_bits = nl->outputs().size();
+
+    Fig5Result result;
+    result.op = op;
+    result.defects = defects;
+    result.repetitions = repetitions;
+
+    // All 256 input pairs, presented in random order each time to
+    // avoid special behaviour from defect-induced memory (paper
+    // Section III-A).
+    std::vector<uint64_t> pairs(256);
+    for (uint64_t i = 0; i < 256; ++i)
+        pairs[i] = i;
+
+    for (int rep = 0; rep < repetitions; ++rep) {
+        Injection trans_inj = injectTransistorDefects(*nl, defects, rng);
+        Injection gate_inj = injectGateLevelFaults(*nl, defects, rng);
+        OperatorSim trans_sim(nl, std::move(trans_inj));
+        OperatorSim gate_sim(nl, std::move(gate_inj));
+
+        rng.shuffle(pairs);
+        for (uint64_t in : pairs) {
+            uint64_t a = in & 0xf, b = in >> 4;
+            int64_t clean = op == Fig5Operator::Adder4
+                ? static_cast<int64_t>(a + b)
+                : static_cast<int64_t>(a * b);
+            result.none.add(clean);
+            result.trans.add(static_cast<int64_t>(
+                trans_sim.apply(in) & ((1ull << out_bits) - 1)));
+            result.gate.add(static_cast<int64_t>(
+                gate_sim.apply(in) & ((1ull << out_bits) - 1)));
+        }
+    }
+    return result;
+}
+
+// ---------------------------------------------------------------
+// Shared helpers
+
+Hyper
+hardwareHyper(const UciTaskSpec &spec, const AcceleratorConfig &a,
+              double epoch_scale)
+{
+    Hyper h;
+    // The physical array caps the hidden-layer size (the paper's
+    // hardware uses 10 hidden neurons even when the software
+    // optimum is larger).
+    h.hidden = std::min(spec.hidden, a.hidden);
+    h.epochs = std::max(
+        1, static_cast<int>(spec.epochs * epoch_scale + 0.5));
+    h.learningRate = spec.learningRate;
+    h.momentum = 0.1;
+    return h;
+}
+
+namespace {
+
+/** Tasks selected by a config (empty = all). */
+std::vector<UciTaskSpec>
+selectTasks(const std::vector<std::string> &names)
+{
+    if (names.empty())
+        return uciTasks();
+    std::vector<UciTaskSpec> out;
+    for (const auto &n : names)
+        out.push_back(uciTask(n));
+    return out;
+}
+
+/** Retraining variant of @p hyper with scaled-down epochs. */
+Hyper
+retrainHyper(const Hyper &hyper, double retrain_scale)
+{
+    Hyper h = hyper;
+    h.epochs =
+        std::max(1, static_cast<int>(hyper.epochs * retrain_scale + 0.5));
+    return h;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Fig 10
+
+std::vector<Fig10Curve>
+runFig10(const Fig10Config &config)
+{
+    std::vector<Fig10Curve> curves;
+    Rng master(config.seed);
+
+    for (const UciTaskSpec &spec : selectTasks(config.tasks)) {
+        Rng task_rng = master.split();
+        Dataset ds = makeSyntheticTask(spec, task_rng, config.rows);
+        Hyper hyper = hardwareHyper(spec, config.array, config.epochScale);
+        MlpTopology logical{spec.attributes, hyper.hidden, spec.classes};
+
+        Fig10Curve curve;
+        curve.task = spec.name;
+
+        // Baseline: train the clean accelerator once; its weights
+        // warm-start every retraining run.
+        Accelerator accel(config.array, logical);
+        Rng train_rng = task_rng.split();
+        MlpWeights baseline =
+            Trainer(hyper).train(accel, ds, train_rng);
+
+        Trainer retrainer(retrainHyper(hyper, config.retrainScale));
+        auto evaluate = [&](Rng &cv_rng) {
+            if (config.retrain) {
+                CrossValResult cv =
+                    crossValidate(accel, ds, config.folds, retrainer,
+                                  cv_rng, &baseline);
+                return cv.meanAccuracy;
+            }
+            // Ablation: no retraining, test the baseline weights
+            // through the faulty hardware.
+            accel.setWeights(baseline);
+            return Trainer::accuracy(accel, ds);
+        };
+        for (int defects : config.defectCounts) {
+            RunningStat stat;
+            if (defects == 0) {
+                accel.clearDefects();
+                Rng cv_rng = task_rng.split();
+                stat.add(evaluate(cv_rng));
+            } else {
+                for (int rep = 0; rep < config.repetitions; ++rep) {
+                    accel.clearDefects();
+                    DefectInjector injector(accel,
+                                            SitePool::inputAndHidden(),
+                                            config.weighting);
+                    Rng inj_rng = task_rng.split();
+                    injector.inject(defects, inj_rng);
+                    Rng cv_rng = task_rng.split();
+                    stat.add(evaluate(cv_rng));
+                }
+            }
+            curve.points.push_back(
+                {defects, stat.mean(), stat.stddev()});
+        }
+        curves.push_back(std::move(curve));
+    }
+    return curves;
+}
+
+// ---------------------------------------------------------------
+// Fig 11
+
+std::vector<Fig11Curve>
+runFig11(const Fig11Config &config)
+{
+    std::vector<Fig11Curve> curves;
+    Rng master(config.seed);
+
+    for (const UciTaskSpec &spec : selectTasks(config.tasks)) {
+        Rng task_rng = master.split();
+        Dataset ds = makeSyntheticTask(spec, task_rng, config.rows);
+        Hyper hyper = hardwareHyper(spec, config.array, config.epochScale);
+        MlpTopology logical{spec.attributes, hyper.hidden, spec.classes};
+
+        Accelerator accel(config.array, logical);
+        Rng train_rng = task_rng.split();
+        MlpWeights baseline =
+            Trainer(hyper).train(accel, ds, train_rng);
+        Trainer retrainer(retrainHyper(hyper, config.retrainScale));
+
+        Fig11Curve curve;
+        curve.task = spec.name;
+        LogBins bins(-3, 3, 1);
+
+        for (int rep = 0; rep < config.repetitions; ++rep) {
+            accel.clearDefects();
+            DefectInjector injector(accel, SitePool::outputCritical(),
+                                    config.weighting);
+            Rng inj_rng = task_rng.split();
+            auto records = injector.inject(1, inj_rng);
+            UnitSite site = accel.faultySites().front();
+
+            // Retrain with the faulty output stage, then measure
+            // accuracy and the error amplitude at the faulty unit
+            // during the test phase only.
+            Rng cv_rng = task_rng.split();
+            auto folds = kFoldIndices(ds.size(), config.folds);
+            RunningStat acc_stat;
+            RunningStat amp_stat;
+            for (size_t f = 0; f < folds.size(); ++f) {
+                Dataset train_set = complementSubset(ds, folds, f);
+                Dataset test_set = subset(ds, folds[f]);
+                retrainer.train(accel, train_set, cv_rng, &baseline);
+                accel.clearProbes();
+                acc_stat.add(Trainer::accuracy(accel, test_set));
+                const DeviationProbe &p = accel.probe(site);
+                if (p.amplitude.count() > 0)
+                    amp_stat.add(p.amplitude.mean());
+            }
+            Fig11Sample sample;
+            sample.task = spec.name;
+            sample.accuracy = acc_stat.mean();
+            sample.amplitude = amp_stat.mean();
+            sample.site = records.empty() ? site.describe()
+                                          : records.front().what;
+            bins.add(sample.amplitude, sample.accuracy);
+            curve.samples.push_back(std::move(sample));
+        }
+
+        for (size_t b = 0; b < bins.numBins(); ++b)
+            if (bins.binStat(b).count() > 0)
+                curve.binAccuracy.push_back(
+                    {bins.binCenter(b), bins.binStat(b).mean()});
+        curves.push_back(std::move(curve));
+    }
+    return curves;
+}
+
+} // namespace dtann

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Experiment campaigns reproducing the paper's figures.
+ *
+ * Fig 5: output-value distributions of small operators under
+ * transistor-level vs gate-level defects.
+ * Fig 10: classification accuracy vs number of defects in the
+ * input and hidden layers, after retraining.
+ * Fig 11: accuracy vs error amplitude for single defects in the
+ * output layer's adders/activation functions.
+ */
+
+#ifndef DTANN_CORE_CAMPAIGN_HH
+#define DTANN_CORE_CAMPAIGN_HH
+
+#include <string>
+#include <vector>
+
+#include "ann/trainer.hh"
+#include "common/stats.hh"
+#include "core/accelerator.hh"
+#include "core/injector.hh"
+#include "data/synth_uci.hh"
+#include "rtl/builder.hh"
+
+namespace dtann {
+
+// ---------------------------------------------------------------
+// Fig 5
+
+/** Operator targeted by the Fig 5 experiment. */
+enum class Fig5Operator : uint8_t { Adder4, Multiplier4 };
+
+/** Result histograms of one Fig 5 configuration. */
+struct Fig5Result
+{
+    Fig5Operator op;
+    int defects;
+    int repetitions;
+    IntHistogram none;  ///< defect-free output distribution
+    IntHistogram gate;  ///< gate-level stuck-at injections
+    IntHistogram trans; ///< transistor-level injections
+};
+
+/**
+ * Run one Fig 5 configuration: @p repetitions random injections,
+ * each evaluated on all 256 input pairs in random order.
+ */
+Fig5Result runFig5(Fig5Operator op, int defects, int repetitions,
+                   Rng &rng, FaStyle style = FaStyle::Nand9);
+
+// ---------------------------------------------------------------
+// Fig 10
+
+/** Scaling knobs of the defect-tolerance campaign. */
+struct Fig10Config
+{
+    std::vector<std::string> tasks;  ///< empty = all 10
+    std::vector<int> defectCounts = {0, 3, 6, 9, 12, 15, 18, 21, 24, 27};
+    int repetitions = 100; ///< faulty networks per defect count
+    int folds = 10;        ///< cross-validation folds
+    size_t rows = 0;       ///< dataset size (0 = original)
+    double epochScale = 1.0;   ///< scales baseline training epochs
+    double retrainScale = 0.25; ///< retraining epochs vs baseline
+    uint64_t seed = 1;
+    AcceleratorConfig array;
+    /** Unit-instance draw: the paper picks operators/latches
+     *  uniformly ("randomly pick one of the logic operators or
+     *  latches"). */
+    SiteWeighting weighting = SiteWeighting::Uniform;
+    /**
+     * When false, the faulty network is tested with the clean
+     * baseline weights instead of being retrained — the ablation
+     * that isolates the contribution of retraining ("the network
+     * capacity to silence out defects").
+     */
+    bool retrain = true;
+};
+
+/** One (defect count, accuracy) point. */
+struct Fig10Point
+{
+    int defects;
+    double accuracy;
+    double stddev;
+};
+
+/** Accuracy curve of one task. */
+struct Fig10Curve
+{
+    std::string task;
+    std::vector<Fig10Point> points;
+};
+
+/** Run the Fig 10 campaign. */
+std::vector<Fig10Curve> runFig10(const Fig10Config &config);
+
+// ---------------------------------------------------------------
+// Fig 11
+
+/** Scaling knobs of the output-layer amplitude campaign. */
+struct Fig11Config
+{
+    std::vector<std::string> tasks; ///< empty = all 10
+    int repetitions = 100;          ///< faulty networks per task
+    int folds = 10;
+    size_t rows = 0;
+    double epochScale = 1.0;
+    double retrainScale = 0.25;
+    uint64_t seed = 1;
+    AcceleratorConfig array;
+    SiteWeighting weighting = SiteWeighting::Uniform;
+};
+
+/** One faulty network's (amplitude, accuracy) observation. */
+struct Fig11Sample
+{
+    std::string task;
+    double amplitude; ///< mean |faulty - clean| at the faulty unit
+    double accuracy;
+    std::string site;
+};
+
+/** Accuracy-vs-amplitude series of one task (log-binned). */
+struct Fig11Curve
+{
+    std::string task;
+    std::vector<std::pair<double, double>> binAccuracy; ///< (amp, acc)
+    std::vector<Fig11Sample> samples;
+};
+
+/** Run the Fig 11 campaign. */
+std::vector<Fig11Curve> runFig11(const Fig11Config &config);
+
+// ---------------------------------------------------------------
+// Shared helpers
+
+/** Hyper-parameters used on the hardware for @p spec. */
+Hyper hardwareHyper(const UciTaskSpec &spec, const AcceleratorConfig &a,
+                    double epoch_scale);
+
+} // namespace dtann
+
+#endif // DTANN_CORE_CAMPAIGN_HH

@@ -1,0 +1,68 @@
+#include "core/deep_mux.hh"
+
+#include "common/logging.hh"
+
+namespace dtann {
+
+DeepMuxedNetwork::DeepMuxedNetwork(Accelerator &a, DeepTopology t)
+    : accel(a), topo(std::move(t))
+{
+    dtann_assert(topo.layers.size() >= 3,
+                 "deep topology needs input, >=1 hidden, output");
+}
+
+void
+DeepMuxedNetwork::setWeights(const DeepWeights &w)
+{
+    dtann_assert(w.topology() == topo, "weight topology mismatch");
+    stageRows.assign(topo.stages(), {});
+    for (size_t s = 0; s < topo.stages(); ++s) {
+        int fanin = topo.layers[s];
+        int width = topo.layers[s + 1];
+        auto &rows = stageRows[s];
+        rows.assign(static_cast<size_t>(width), {});
+        for (int j = 0; j < width; ++j) {
+            auto &row = rows[static_cast<size_t>(j)];
+            row.resize(static_cast<size_t>(fanin + 1));
+            for (int i = 0; i <= fanin; ++i)
+                row[static_cast<size_t>(i)] =
+                    Fix16::fromDouble(w.at(s, j, i));
+        }
+    }
+}
+
+std::vector<std::vector<double>>
+DeepMuxedNetwork::forwardAll(std::span<const double> input)
+{
+    dtann_assert(static_cast<int>(input.size()) == topo.inputs(),
+                 "input arity mismatch");
+    dtann_assert(!stageRows.empty(), "setWeights() before forward()");
+
+    std::vector<Fix16> current(input.size());
+    for (size_t i = 0; i < input.size(); ++i)
+        current[i] = Fix16::fromDouble(input[i]);
+
+    std::vector<std::vector<double>> acts;
+    for (size_t s = 0; s < topo.stages(); ++s) {
+        std::vector<Fix16> next =
+            muxRunLayer(accel, stageRows[s], current);
+        std::vector<double> as_double(next.size());
+        for (size_t j = 0; j < next.size(); ++j)
+            as_double[j] = next[j].toDouble();
+        acts.push_back(std::move(as_double));
+        current = std::move(next);
+    }
+    return acts;
+}
+
+size_t
+DeepMuxedNetwork::passesPerRow() const
+{
+    size_t passes = 0;
+    for (size_t s = 0; s < topo.stages(); ++s)
+        passes += muxLayerPasses(accel.config(), topo.layers[s + 1],
+                                 topo.layers[s]);
+    return passes;
+}
+
+} // namespace dtann

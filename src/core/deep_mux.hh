@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Deep networks on the physical array (paper future work: "we want
+ * to increase the size of the neural networks that can be mapped
+ * ... in order to efficiently tackle very large networks, such as
+ * Deep Networks").
+ *
+ * Every layer of the stack is executed by the shared
+ * muxRunLayer engine: neurons batched over the physical hidden
+ * row, oversized fan-ins chunked through the key-logic
+ * accumulator. Defects injected into the physical array therefore
+ * touch every logical layer mapped across it.
+ */
+
+#ifndef DTANN_CORE_DEEP_MUX_HH
+#define DTANN_CORE_DEEP_MUX_HH
+
+#include "ann/deep.hh"
+#include "core/timemux.hh"
+
+namespace dtann {
+
+/** Accelerator-backed DeepForwardModel. */
+class DeepMuxedNetwork : public DeepForwardModel
+{
+  public:
+    /**
+     * @param accel physical array (any logical mapping)
+     * @param topo layer stack to execute
+     */
+    DeepMuxedNetwork(Accelerator &accel, DeepTopology topo);
+
+    DeepTopology topology() const override { return topo; }
+
+    /** Quantize all stages; rows reload per pass. */
+    void setWeights(const DeepWeights &w) override;
+
+    std::vector<std::vector<double>> forwardAll(
+        std::span<const double> input) override;
+
+    /** Array passes per input row over the whole stack. */
+    size_t passesPerRow() const;
+
+  private:
+    Accelerator &accel;
+    DeepTopology topo;
+    /** Quantized rows per stage: [stage][neuron][fanin + 1]. */
+    std::vector<std::vector<std::vector<Fix16>>> stageRows;
+};
+
+} // namespace dtann
+
+#endif // DTANN_CORE_DEEP_MUX_HH

@@ -1,0 +1,51 @@
+#include "core/dma.hh"
+
+#include <cmath>
+
+namespace dtann {
+
+double
+DmaModel::peakBandwidthGBs() const
+{
+    double bytes_per_cycle =
+        static_cast<double>(cfg.links * cfg.bitsPerLink) / 8.0;
+    // MHz * bytes = 1e6 bytes/s; express in GB/s (1e9).
+    return bytes_per_cycle * cfg.clockMhz * 1e6 / 1e9;
+}
+
+int
+DmaModel::cyclesForBits(int bits) const
+{
+    int per_cycle = cfg.links * cfg.bitsPerLink;
+    return (bits + per_cycle - 1) / per_cycle;
+}
+
+double
+DmaModel::transferNs(int bits) const
+{
+    return static_cast<double>(cyclesForBits(bits)) * 1e3 /
+        cfg.clockMhz;
+}
+
+double
+DmaModel::demandGBs(int bits_per_row, double row_latency_ns)
+{
+    // The paper expresses the demand in binary gigabytes:
+    // 1440 bits / 14.92 ns = 11.23 GiB/s.
+    double bytes_per_s =
+        static_cast<double>(bits_per_row) / 8.0 / row_latency_ns * 1e9;
+    return bytes_per_s / (1024.0 * 1024.0 * 1024.0);
+}
+
+double
+DmaModel::requiredClockMhz(int bits_per_row,
+                           double row_latency_ns) const
+{
+    // Fractional link cycles per row, amortized over streaming rows
+    // (the paper's 1440 / 128 = 11.25 cycles -> 754 MHz).
+    double cycles = static_cast<double>(bits_per_row) /
+        static_cast<double>(cfg.links * cfg.bitsPerLink);
+    return cycles / row_latency_ns * 1e3;
+}
+
+} // namespace dtann

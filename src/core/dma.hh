@@ -1,0 +1,123 @@
+/**
+ * @file
+ * DMA memory interface (paper Section IV, "Input/Output").
+ *
+ * The accelerator and the DMA communicate through a 2-signal
+ * ready/accept handshake; each input and output uses a 2-latch
+ * buffer so the array processes one row while the next is fetched.
+ * The same interface writes synaptic weights during training,
+ * reloading each neuron's weights one by one under a per-neuron
+ * write signal.
+ *
+ * The bandwidth model reproduces the paper's sizing: 90 inputs x
+ * 16 bits = 1440 bits per row every 14.92 ns = 11.23 GB/s, carried
+ * by two 64-bit links clocked at 800 MHz.
+ */
+
+#ifndef DTANN_CORE_DMA_HH
+#define DTANN_CORE_DMA_HH
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/fixed_point.hh"
+
+namespace dtann {
+
+/** Interface sizing parameters. */
+struct DmaConfig
+{
+    int links = 2;         ///< parallel memory links
+    int bitsPerLink = 64;  ///< payload bits per link per cycle
+    double clockMhz = 800; ///< interface clock
+};
+
+/**
+ * Double-buffered channel with ready/accept handshaking.
+ *
+ * The producer calls offer() (ready); the consumer calls accept().
+ * A 2-entry buffer decouples them, as in the paper's design.
+ */
+template <typename Row>
+class HandshakeChannel
+{
+  public:
+    /** Producer: is a buffer slot free? */
+    bool ready() const { return buffer.size() < 2; }
+
+    /**
+     * Producer: present a row. @return false when both latches are
+     * full (the producer must retry).
+     */
+    bool
+    offer(Row row)
+    {
+        if (!ready())
+            return false;
+        buffer.push_back(std::move(row));
+        return true;
+    }
+
+    /** Consumer: is a row available? */
+    bool available() const { return !buffer.empty(); }
+
+    /** Consumer: accept the oldest row. @pre available(). */
+    Row
+    accept()
+    {
+        Row row = std::move(buffer.front());
+        buffer.pop_front();
+        return row;
+    }
+
+    /** Rows currently buffered (0..2). */
+    size_t occupancy() const { return buffer.size(); }
+
+  private:
+    std::deque<Row> buffer;
+};
+
+/** One input row as transferred by the DMA. */
+using DmaRow = std::vector<Fix16>;
+
+/** Bandwidth/latency accounting for the memory interface. */
+class DmaModel
+{
+  public:
+    explicit DmaModel(const DmaConfig &config = DmaConfig())
+        : cfg(config)
+    {
+    }
+
+    const DmaConfig &config() const { return cfg; }
+
+    /** Peak interface bandwidth in GB/s. */
+    double peakBandwidthGBs() const;
+
+    /** Interface cycles to transfer @p bits. */
+    int cyclesForBits(int bits) const;
+
+    /** Time to transfer @p bits, in ns. */
+    double transferNs(int bits) const;
+
+    /**
+     * Bandwidth demanded by the accelerator: @p bits_per_row every
+     * @p row_latency_ns, in GB/s (the paper's 11.23 GB/s check).
+     */
+    static double demandGBs(int bits_per_row, double row_latency_ns);
+
+    /**
+     * Minimum interface clock (MHz) able to sustain the demand
+     * (the paper's 754 MHz result, rounded up to 800).
+     */
+    double requiredClockMhz(int bits_per_row,
+                            double row_latency_ns) const;
+
+  private:
+    DmaConfig cfg;
+};
+
+} // namespace dtann
+
+#endif // DTANN_CORE_DMA_HH

@@ -1,0 +1,124 @@
+#include "core/injector.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dtann {
+
+SitePool
+SitePool::inputAndHidden()
+{
+    SitePool p;
+    p.hiddenLayer = true;
+    p.outputLayer = false;
+    return p;
+}
+
+SitePool
+SitePool::outputCritical()
+{
+    SitePool p;
+    p.hiddenLayer = false;
+    p.outputLayer = true;
+    p.latches = false;
+    p.multipliers = false;
+    p.adders = true;
+    p.activations = true;
+    return p;
+}
+
+SitePool
+SitePool::all()
+{
+    SitePool p;
+    p.hiddenLayer = p.outputLayer = true;
+    return p;
+}
+
+DefectInjector::DefectInjector(Accelerator &a, const SitePool &pool,
+                               SiteWeighting weighting)
+    : accel(a)
+{
+    const AcceleratorConfig &cfg = accel.config();
+    auto add_layer = [&](Layer layer, int neurons, int fanin) {
+        for (int n = 0; n < neurons; ++n) {
+            if (pool.latches || pool.multipliers) {
+                for (int i = 0; i <= fanin; ++i) {
+                    if (pool.latches)
+                        sites.push_back(
+                            {UnitKind::WeightLatch, layer, n, i});
+                    if (pool.multipliers)
+                        sites.push_back(
+                            {UnitKind::Multiplier, layer, n, i});
+                }
+            }
+            if (pool.adders)
+                for (int s = 0; s < fanin; ++s)
+                    sites.push_back({UnitKind::AdderStage, layer, n, s});
+            if (pool.activations)
+                sites.push_back({UnitKind::Activation, layer, n, 0});
+        }
+    };
+    if (pool.hiddenLayer)
+        add_layer(Layer::Hidden, cfg.hidden, cfg.inputs);
+    if (pool.outputLayer)
+        add_layer(Layer::Output, cfg.outputs, cfg.hidden);
+    dtann_assert(!sites.empty(), "empty site pool");
+
+    cumulativeWeight.reserve(sites.size());
+    double total = 0.0;
+    for (const UnitSite &s : sites) {
+        double w = 1.0;
+        if (weighting == SiteWeighting::Transistor) {
+            switch (s.kind) {
+              case UnitKind::WeightLatch:
+                w = static_cast<double>(
+                    accel.latchNetlist().transistorCount());
+                break;
+              case UnitKind::Multiplier:
+                w = static_cast<double>(
+                    accel.multiplierNetlist().transistorCount());
+                break;
+              case UnitKind::AdderStage:
+                w = static_cast<double>(
+                    accel.adderNetlist().transistorCount());
+                break;
+              case UnitKind::Activation:
+                w = static_cast<double>(
+                    accel.activationNetlist().transistorCount());
+                break;
+            }
+        }
+        total += w;
+        cumulativeWeight.push_back(total);
+    }
+}
+
+UnitSite
+DefectInjector::randomSite(Rng &rng) const
+{
+    double draw = rng.nextDouble() * cumulativeWeight.back();
+    auto it = std::lower_bound(cumulativeWeight.begin(),
+                               cumulativeWeight.end(), draw);
+    size_t idx = static_cast<size_t>(it - cumulativeWeight.begin());
+    if (idx >= sites.size())
+        idx = sites.size() - 1;
+    return sites[idx];
+}
+
+std::vector<InjectionRecord>
+DefectInjector::inject(int count, Rng &rng)
+{
+    std::vector<InjectionRecord> records;
+    for (int k = 0; k < count; ++k) {
+        UnitSite site = randomSite(rng);
+        auto recs = accel.injectDefects(site, 1, rng);
+        for (auto &r : recs)
+            r.what = site.describe() + " " + r.what;
+        records.insert(records.end(), recs.begin(), recs.end());
+    }
+    return records;
+}
+
+} // namespace dtann

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Accelerator-level defect injection (paper Section VI-C).
+ *
+ * "We randomly pick one of the logic operators or latches within
+ * the input and hidden layers, and one 1-bit operator or wire
+ * within the target operator or latch." A site pool selects which
+ * layers/unit kinds are eligible (Fig 10 uses the input+hidden
+ * layers; Fig 11 targets the output-layer adders and activation
+ * functions). Unit instances can be drawn uniformly or weighted by
+ * their transistor count (area-proportional, the physical default).
+ */
+
+#ifndef DTANN_CORE_INJECTOR_HH
+#define DTANN_CORE_INJECTOR_HH
+
+#include "core/accelerator.hh"
+
+namespace dtann {
+
+/** Which unit instances are eligible for defects. */
+struct SitePool
+{
+    bool hiddenLayer = true;   ///< synapses into + neurons of hidden
+    bool outputLayer = false;
+    bool latches = true;
+    bool multipliers = true;
+    bool adders = true;
+    bool activations = true;
+
+    /** Fig 10 pool: everything in the input and hidden layers. */
+    static SitePool inputAndHidden();
+    /** Fig 11 pool: output-layer adders and activation functions. */
+    static SitePool outputCritical();
+    /** Every unit in the array. */
+    static SitePool all();
+};
+
+/** How unit instances are drawn. */
+enum class SiteWeighting : uint8_t {
+    Uniform,    ///< each eligible instance equally likely
+    Transistor, ///< probability proportional to transistor count
+};
+
+/** Draws defect sites and injects transistor-level defects. */
+class DefectInjector
+{
+  public:
+    /**
+     * @param accel target array (defects are installed into it)
+     * @param pool eligible sites
+     * @param weighting instance-draw weighting
+     */
+    DefectInjector(Accelerator &accel, const SitePool &pool,
+                   SiteWeighting weighting = SiteWeighting::Transistor);
+
+    /** Draw one random eligible site. */
+    UnitSite randomSite(Rng &rng) const;
+
+    /**
+     * Inject @p count defects, each at an independently drawn site
+     * (several defects may share a unit).
+     *
+     * @return one record per defect
+     */
+    std::vector<InjectionRecord> inject(int count, Rng &rng);
+
+    /** Number of eligible unit instances. */
+    size_t eligibleUnits() const { return sites.size(); }
+
+  private:
+    Accelerator &accel;
+    std::vector<UnitSite> sites;
+    std::vector<double> cumulativeWeight;
+};
+
+} // namespace dtann
+
+#endif // DTANN_CORE_INJECTOR_HH

@@ -1,0 +1,74 @@
+#include "core/spare.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dtann {
+
+MlpTopology
+sparedTopology(MlpTopology logical, int copies)
+{
+    dtann_assert(copies >= 2 && copies <= 4, "2 to 4 copies supported");
+    return {logical.inputs, logical.hidden, copies * logical.outputs};
+}
+
+SparedOutputMlp::SparedOutputMlp(Accelerator &a, MlpTopology logical_topo,
+                                 int copy_count)
+    : accel(a), logical(logical_topo),
+      replicated(sparedTopology(logical_topo, copy_count)),
+      copies(copy_count)
+{
+    dtann_assert(accel.topology() == replicated,
+                 "accelerator must be mapped with the replicated "
+                 "topology (use sparedTopology())");
+    dtann_assert(replicated.outputs <= accel.config().outputs,
+                 "not enough physical output neurons for spares");
+}
+
+void
+SparedOutputMlp::setWeights(const MlpWeights &w)
+{
+    dtann_assert(w.topology() == logical, "weight topology mismatch");
+    MlpWeights dup(replicated);
+    for (int j = 0; j < logical.hidden; ++j)
+        for (int i = 0; i <= logical.inputs; ++i)
+            dup.hid(j, i) = w.hid(j, i);
+    for (int k = 0; k < logical.outputs; ++k)
+        for (int j = 0; j <= logical.hidden; ++j)
+            for (int c = 0; c < copies; ++c)
+                dup.out(k + c * logical.outputs, j) = w.out(k, j);
+    accel.setWeights(dup);
+}
+
+Activations
+SparedOutputMlp::forward(std::span<const double> input)
+{
+    Activations phys = accel.forward(input);
+    Activations act;
+    act.hidden = phys.hidden;
+    act.output.resize(static_cast<size_t>(logical.outputs));
+    std::vector<double> copy_vals(static_cast<size_t>(copies));
+    for (int k = 0; k < logical.outputs; ++k) {
+        for (int c = 0; c < copies; ++c)
+            copy_vals[static_cast<size_t>(c)] =
+                phys.output[static_cast<size_t>(k +
+                                                c * logical.outputs)];
+        std::sort(copy_vals.begin(), copy_vals.end());
+        double combined;
+        if (copies % 2 == 1) {
+            // Odd copy count: exact median rejects any single
+            // outlier copy.
+            combined = copy_vals[static_cast<size_t>(copies / 2)];
+        } else {
+            // Even: mean of the middle pair (average for 2 copies).
+            combined = 0.5 *
+                (copy_vals[static_cast<size_t>(copies / 2 - 1)] +
+                 copy_vals[static_cast<size_t>(copies / 2)]);
+        }
+        act.output[static_cast<size_t>(k)] = combined;
+    }
+    return act;
+}
+
+} // namespace dtann

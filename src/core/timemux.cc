@@ -1,0 +1,183 @@
+#include "core/timemux.hh"
+
+#include "common/logging.hh"
+
+namespace dtann {
+
+TimeMuxedMlp::TimeMuxedMlp(Accelerator &a, MlpTopology logical_topo)
+    : accel(a), logical(logical_topo)
+{
+    dtann_assert(logical.inputs >= 1 && logical.hidden >= 1 &&
+                     logical.outputs >= 1,
+                 "degenerate topology");
+}
+
+void
+TimeMuxedMlp::setWeights(const MlpWeights &w)
+{
+    dtann_assert(w.topology() == logical, "weight topology mismatch");
+    hidRows.assign(static_cast<size_t>(logical.hidden), {});
+    for (int j = 0; j < logical.hidden; ++j) {
+        auto &row = hidRows[static_cast<size_t>(j)];
+        row.resize(static_cast<size_t>(logical.inputs + 1));
+        for (int i = 0; i <= logical.inputs; ++i)
+            row[static_cast<size_t>(i)] = Fix16::fromDouble(w.hid(j, i));
+    }
+    outRows.assign(static_cast<size_t>(logical.outputs), {});
+    for (int k = 0; k < logical.outputs; ++k) {
+        auto &row = outRows[static_cast<size_t>(k)];
+        row.resize(static_cast<size_t>(logical.hidden + 1));
+        for (int j = 0; j <= logical.hidden; ++j)
+            row[static_cast<size_t>(j)] = Fix16::fromDouble(w.out(k, j));
+    }
+}
+
+std::vector<Fix16>
+muxRunLayer(Accelerator &accel,
+            const std::vector<std::vector<Fix16>> &rows,
+            std::span<const Fix16> input)
+{
+    const AcceleratorConfig &cfg = accel.config();
+    int P = cfg.inputs;          // physical fan-in per pass
+    int B = cfg.hidden;          // physical neurons per pass
+    int fanin = static_cast<int>(input.size());
+    int chunks = (fanin + P - 1) / P;
+
+    std::vector<Fix16> result(rows.size());
+    std::vector<Fix16> phys_in(static_cast<size_t>(P));
+    std::vector<Fix16> phys_row(static_cast<size_t>(P + 1));
+
+    for (size_t batch = 0; batch < rows.size();
+         batch += static_cast<size_t>(B)) {
+        size_t in_batch =
+            std::min<size_t>(static_cast<size_t>(B),
+                             rows.size() - batch);
+        if (chunks == 1) {
+            // Fits in one pass: whole row (weights + bias) loaded,
+            // activation applied directly.
+            for (size_t p = 0; p < in_batch; ++p) {
+                const auto &row = rows[batch + p];
+                std::fill(phys_row.begin(), phys_row.end(), Fix16());
+                for (int i = 0; i < fanin; ++i)
+                    phys_row[static_cast<size_t>(i)] =
+                        row[static_cast<size_t>(i)];
+                phys_row[static_cast<size_t>(P)] = row.back(); // bias
+                accel.loadPhysicalHiddenRow(static_cast<int>(p),
+                                            phys_row);
+            }
+            std::fill(phys_in.begin(), phys_in.end(), Fix16());
+            for (int i = 0; i < fanin; ++i)
+                phys_in[static_cast<size_t>(i)] =
+                    input[static_cast<size_t>(i)];
+            std::vector<Fix16> acts = accel.runHiddenLayer(phys_in);
+            for (size_t p = 0; p < in_batch; ++p)
+                result[batch + p] = acts[p];
+            continue;
+        }
+
+        // Oversized fan-in: accumulate chunk sums in key logic.
+        std::vector<Acc24> totals(in_batch);
+        for (int c = 0; c < chunks; ++c) {
+            int base = c * P;
+            int width = std::min(P, fanin - base);
+            bool last = c == chunks - 1;
+            for (size_t p = 0; p < in_batch; ++p) {
+                const auto &row = rows[batch + p];
+                std::fill(phys_row.begin(), phys_row.end(), Fix16());
+                for (int i = 0; i < width; ++i)
+                    phys_row[static_cast<size_t>(i)] =
+                        row[static_cast<size_t>(base + i)];
+                if (last)
+                    phys_row[static_cast<size_t>(P)] = row.back();
+                accel.loadPhysicalHiddenRow(static_cast<int>(p),
+                                            phys_row);
+            }
+            std::fill(phys_in.begin(), phys_in.end(), Fix16());
+            for (int i = 0; i < width; ++i)
+                phys_in[static_cast<size_t>(i)] =
+                    input[static_cast<size_t>(base + i)];
+            accel.runHiddenLayer(phys_in);
+            for (size_t p = 0; p < in_batch; ++p)
+                totals[p] =
+                    Acc24::hwAdd(totals[p], accel.hiddenSums()[p]);
+        }
+        // Final activation pass: feed each neuron's saturated sum
+        // back on its own input line with an exact weight of 1.0 so
+        // the physical activation unit produces the neuron output.
+        std::fill(phys_in.begin(), phys_in.end(), Fix16());
+        for (size_t p = 0; p < in_batch; ++p) {
+            std::fill(phys_row.begin(), phys_row.end(), Fix16());
+            phys_row[p] = Fix16::fromDouble(1.0);
+            accel.loadPhysicalHiddenRow(static_cast<int>(p), phys_row);
+            phys_in[p] = totals[p].toFix16Sat();
+        }
+        std::vector<Fix16> acts = accel.runHiddenLayer(phys_in);
+        for (size_t p = 0; p < in_batch; ++p)
+            result[batch + p] = acts[p];
+    }
+    return result;
+}
+
+Activations
+TimeMuxedMlp::forward(std::span<const double> input)
+{
+    dtann_assert(static_cast<int>(input.size()) == logical.inputs,
+                 "logical input arity mismatch");
+    dtann_assert(!hidRows.empty(), "setWeights() before forward()");
+
+    std::vector<Fix16> fix_in(input.size());
+    for (size_t i = 0; i < input.size(); ++i)
+        fix_in[i] = Fix16::fromDouble(input[i]);
+
+    std::vector<Fix16> hidden = muxRunLayer(accel, hidRows, fix_in);
+    std::vector<Fix16> output = muxRunLayer(accel, outRows, hidden);
+
+    Activations act;
+    act.hidden.reserve(hidden.size());
+    for (Fix16 h : hidden)
+        act.hidden.push_back(h.toDouble());
+    act.output.reserve(output.size());
+    for (Fix16 o : output)
+        act.output.push_back(o.toDouble());
+    return act;
+}
+
+size_t
+muxLayerPasses(const AcceleratorConfig &cfg, int neurons, int fanin)
+{
+    size_t batches = static_cast<size_t>(
+        (neurons + cfg.hidden - 1) / cfg.hidden);
+    size_t chunks = static_cast<size_t>(
+        (fanin + cfg.inputs - 1) / cfg.inputs);
+    size_t per_batch = chunks == 1 ? 1 : chunks + 1; // + activation pass
+    return batches * per_batch;
+}
+
+size_t
+TimeMuxedMlp::passesPerRow() const
+{
+    const AcceleratorConfig &cfg = accel.config();
+    return muxLayerPasses(cfg, logical.hidden, logical.inputs) +
+        muxLayerPasses(cfg, logical.outputs, logical.hidden);
+}
+
+size_t
+TimeMuxedMlp::weightWordsPerRow() const
+{
+    // Every pass reloads a full physical weight row per busy
+    // neuron.
+    const AcceleratorConfig &cfg = accel.config();
+    return passesPerRow() * static_cast<size_t>(cfg.hidden) *
+        static_cast<size_t>(cfg.inputs + 1);
+}
+
+int
+TimeMuxedMlp::muxFactor() const
+{
+    const AcceleratorConfig &cfg = accel.config();
+    int total = logical.hidden + logical.outputs;
+    int phys = cfg.hidden;
+    return (total + phys - 1) / phys;
+}
+
+} // namespace dtann

@@ -1,0 +1,68 @@
+#include "core/yield.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dtann {
+
+double
+poissonPmf(int k, double lambda)
+{
+    if (lambda <= 0.0)
+        return k == 0 ? 1.0 : 0.0;
+    // exp(k ln lambda - lambda - ln k!)
+    double log_p = k * std::log(lambda) - lambda - std::lgamma(k + 1.0);
+    return std::exp(log_p);
+}
+
+double
+interpolateAccuracy(const Fig10Curve &curve, double defects)
+{
+    dtann_assert(!curve.points.empty(), "empty accuracy curve");
+    const auto &pts = curve.points;
+    if (defects <= pts.front().defects)
+        return pts.front().accuracy;
+    for (size_t i = 1; i < pts.size(); ++i) {
+        if (defects <= pts[i].defects) {
+            double x0 = pts[i - 1].defects, x1 = pts[i].defects;
+            double y0 = pts[i - 1].accuracy, y1 = pts[i].accuracy;
+            double t = (defects - x0) / (x1 - x0);
+            return y0 + t * (y1 - y0);
+        }
+    }
+    return pts.back().accuracy; // clamp beyond measurements
+}
+
+YieldPoint
+effectiveYield(const Fig10Curve &curve, double area_mm2,
+               double defects_per_cm2, double accuracy_threshold)
+{
+    YieldPoint y;
+    y.defectsPerCm2 = defects_per_cm2;
+    y.meanDefects = defects_per_cm2 * area_mm2 / 100.0; // mm^2 -> cm^2
+    y.classicYield = poissonPmf(0, y.meanDefects);
+
+    // Sum the Poisson mass until it is numerically exhausted.
+    double functional = 0.0, expected = 0.0, mass = 0.0;
+    int k_max = static_cast<int>(y.meanDefects + 12 *
+                                 std::sqrt(y.meanDefects + 1.0)) + 8;
+    for (int k = 0; k <= k_max; ++k) {
+        double p = poissonPmf(k, y.meanDefects);
+        double acc = interpolateAccuracy(curve, k);
+        mass += p;
+        expected += p * acc;
+        if (acc >= accuracy_threshold)
+            functional += p;
+    }
+    // Normalize the tiny truncated tail.
+    if (mass > 0.0) {
+        functional /= mass;
+        expected /= mass;
+    }
+    y.effectiveYield = functional;
+    y.expectedAccuracy = expected;
+    return y;
+}
+
+} // namespace dtann

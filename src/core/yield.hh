@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Effective-yield analysis.
+ *
+ * The paper motivates defect-tolerant accelerators with the growing
+ * defect counts of scaled technologies (Borkar; Alam et al.). This
+ * module turns a Fig 10 accuracy-vs-defects curve into the metric a
+ * manufacturer cares about: the fraction of dies that still deliver
+ * acceptable accuracy at a given defect density, assuming
+ * Poisson-distributed random defects over the accelerator area.
+ *
+ * A conventional (defect-intolerant) circuit of the same area is
+ * functional only when it has zero defects — the classic Poisson
+ * yield model — giving the comparison baseline.
+ */
+
+#ifndef DTANN_CORE_YIELD_HH
+#define DTANN_CORE_YIELD_HH
+
+#include "core/campaign.hh"
+
+namespace dtann {
+
+/** Yield figures at one defect density. */
+struct YieldPoint
+{
+    double defectsPerCm2;   ///< defect density
+    double meanDefects;     ///< lambda = density x area
+    double classicYield;    ///< P(0 defects): intolerant circuit
+    double effectiveYield;  ///< P(accuracy >= threshold)
+    double expectedAccuracy;///< E[accuracy] over the defect count
+};
+
+/**
+ * Evaluate yield from an accuracy curve.
+ *
+ * @param curve accuracy vs defect count (piecewise-linear
+ *        interpolation between measured points, clamped beyond the
+ *        last point)
+ * @param area_mm2 die area of the accelerator
+ * @param defects_per_cm2 defect density
+ * @param accuracy_threshold minimum acceptable accuracy (absolute)
+ */
+YieldPoint effectiveYield(const Fig10Curve &curve, double area_mm2,
+                          double defects_per_cm2,
+                          double accuracy_threshold);
+
+/** Accuracy at a (possibly fractional) defect count, interpolated. */
+double interpolateAccuracy(const Fig10Curve &curve, double defects);
+
+/** Poisson probability mass P(N = k) for mean @p lambda. */
+double poissonPmf(int k, double lambda);
+
+} // namespace dtann
+
+#endif // DTANN_CORE_YIELD_HH

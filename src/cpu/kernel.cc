@@ -1,0 +1,86 @@
+#include "cpu/kernel.hh"
+
+#include "ann/sigmoid.hh"
+#include "common/logging.hh"
+
+namespace dtann {
+
+KernelShape
+KernelShape::of(MlpTopology topo)
+{
+    KernelShape s;
+    s.synapses = static_cast<size_t>(topo.hidden) *
+            static_cast<size_t>(topo.inputs + 1) +
+        static_cast<size_t>(topo.outputs) *
+            static_cast<size_t>(topo.hidden + 1);
+    s.neurons =
+        static_cast<size_t>(topo.hidden) + static_cast<size_t>(topo.outputs);
+    return s;
+}
+
+KernelOpCounts
+kernelOpsPerRow(MlpTopology topo)
+{
+    KernelShape shape = KernelShape::of(topo);
+    KernelOpCounts ops;
+    // Per synapse: load weight, load input, multiply, accumulate,
+    // loop branch.
+    ops.loads += 2 * shape.synapses;
+    ops.multiplies += shape.synapses;
+    ops.adds += shape.synapses;
+    ops.branches += shape.synapses;
+    // Per neuron: PWL sigmoid = index extraction (2 adds), LUT read
+    // of (a, b), multiply, add, store activation, loop branch.
+    ops.adds += 3 * shape.neurons;
+    ops.lutReads += 2 * shape.neurons;
+    ops.multiplies += shape.neurons;
+    ops.stores += shape.neurons;
+    ops.branches += shape.neurons;
+    return ops;
+}
+
+std::vector<Fix16>
+runSoftwareKernel(MlpTopology topo, const std::vector<Fix16> &hid_w,
+                  const std::vector<Fix16> &out_w,
+                  const std::vector<Fix16> &input)
+{
+    dtann_assert(hid_w.size() == static_cast<size_t>(topo.hidden) *
+                     static_cast<size_t>(topo.inputs + 1),
+                 "hidden weight size mismatch");
+    dtann_assert(out_w.size() == static_cast<size_t>(topo.outputs) *
+                     static_cast<size_t>(topo.hidden + 1),
+                 "output weight size mismatch");
+    dtann_assert(input.size() == static_cast<size_t>(topo.inputs),
+                 "input arity mismatch");
+
+    const Fix16 one = Fix16::fromDouble(1.0);
+    std::vector<Fix16> hidden(static_cast<size_t>(topo.hidden));
+    for (int j = 0; j < topo.hidden; ++j) {
+        Acc24 acc;
+        const Fix16 *w =
+            &hid_w[static_cast<size_t>(j) *
+                   static_cast<size_t>(topo.inputs + 1)];
+        for (int i = 0; i < topo.inputs; ++i)
+            acc = Acc24::hwAdd(acc, Acc24::fromFix16(Fix16::hwMul(
+                                        w[i], input[static_cast<size_t>(i)])));
+        acc = Acc24::hwAdd(
+            acc, Acc24::fromFix16(Fix16::hwMul(w[topo.inputs], one)));
+        hidden[static_cast<size_t>(j)] = logisticPwlFix(acc.toFix16Sat());
+    }
+    std::vector<Fix16> out(static_cast<size_t>(topo.outputs));
+    for (int k = 0; k < topo.outputs; ++k) {
+        Acc24 acc;
+        const Fix16 *w =
+            &out_w[static_cast<size_t>(k) *
+                   static_cast<size_t>(topo.hidden + 1)];
+        for (int j = 0; j < topo.hidden; ++j)
+            acc = Acc24::hwAdd(acc, Acc24::fromFix16(Fix16::hwMul(
+                                        w[j], hidden[static_cast<size_t>(j)])));
+        acc = Acc24::hwAdd(
+            acc, Acc24::fromFix16(Fix16::hwMul(w[topo.hidden], one)));
+        out[static_cast<size_t>(k)] = logisticPwlFix(acc.toFix16Sat());
+    }
+    return out;
+}
+
+} // namespace dtann

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The trimmed-down software ANN kernel (paper Section V).
+ *
+ * The paper compares the accelerator against the same computation
+ * run as software on a low-power in-order core: a C loop nest
+ * performing exactly the operations of the hardware version
+ * (fixed-point MACs and the PWL sigmoid). This header provides
+ * both the runnable kernel (used to validate functional
+ * equivalence) and its operation/instruction counts (used by the
+ * cycle model).
+ */
+
+#ifndef DTANN_CPU_KERNEL_HH
+#define DTANN_CPU_KERNEL_HH
+
+#include <vector>
+
+#include "ann/mlp.hh"
+#include "common/fixed_point.hh"
+
+namespace dtann {
+
+/** Dynamic operation counts of one input row. */
+struct KernelOpCounts
+{
+    size_t multiplies = 0;
+    size_t adds = 0;
+    size_t loads = 0;
+    size_t stores = 0;
+    size_t branches = 0;
+    size_t lutReads = 0;
+
+    size_t
+    total() const
+    {
+        return multiplies + adds + loads + stores + branches + lutReads;
+    }
+};
+
+/** Synapse and neuron counts of a topology (bias included). */
+struct KernelShape
+{
+    size_t synapses; ///< MAC iterations per row
+    size_t neurons;  ///< sigmoid evaluations per row
+
+    static KernelShape of(MlpTopology topo);
+};
+
+/** Operation counts of one forward row for @p topo. */
+KernelOpCounts kernelOpsPerRow(MlpTopology topo);
+
+/**
+ * The runnable trimmed-down kernel: identical arithmetic to the
+ * clean accelerator (used by tests to prove the software model
+ * computes the same row outputs).
+ */
+std::vector<Fix16> runSoftwareKernel(MlpTopology topo,
+                                     const std::vector<Fix16> &hid_w,
+                                     const std::vector<Fix16> &out_w,
+                                     const std::vector<Fix16> &input);
+
+} // namespace dtann
+
+#endif // DTANN_CPU_KERNEL_HH

@@ -1,0 +1,32 @@
+#include "cpu/simple_cpu.hh"
+
+namespace dtann {
+
+double
+SimpleCpuModel::cyclesPerRow(MlpTopology topo) const
+{
+    KernelShape shape = KernelShape::of(topo);
+    return static_cast<double>(shape.synapses) * cfg.cyclesPerSynapse +
+        static_cast<double>(shape.neurons) * cfg.cyclesPerNeuron +
+        cfg.cyclesPerRow;
+}
+
+CpuExecution
+SimpleCpuModel::execute(MlpTopology topo) const
+{
+    CpuExecution e;
+    e.cyclesPerRow = cyclesPerRow(topo);
+    e.timePerRowNs = e.cyclesPerRow * 1e3 / cfg.clockMhz;
+    e.avgPowerW = cfg.avgPowerW;
+    e.energyPerRowNj = e.timePerRowNs * cfg.avgPowerW;
+    return e;
+}
+
+double
+SimpleCpuModel::energyRatioVs(double accel_energy_per_row_nj,
+                              MlpTopology topo) const
+{
+    return execute(topo).energyPerRowNj / accel_energy_per_row_nj;
+}
+
+} // namespace dtann

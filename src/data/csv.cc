@@ -1,0 +1,87 @@
+#include "data/csv.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dtann {
+
+Dataset
+loadCsv(std::istream &in, const std::string &name)
+{
+    Dataset ds;
+    ds.name = name;
+    std::string line;
+    size_t lineno = 0;
+    int max_label = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        // Trim trailing CR and surrounding whitespace.
+        while (!line.empty() &&
+               (line.back() == '\r' || line.back() == ' '))
+            line.pop_back();
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::vector<double> fields;
+        std::stringstream ss(line);
+        std::string cell;
+        while (std::getline(ss, cell, ',')) {
+            try {
+                fields.push_back(std::stod(cell));
+            } catch (const std::exception &) {
+                fatal("%s:%zu: non-numeric cell '%s'", name.c_str(),
+                      lineno, cell.c_str());
+            }
+        }
+        if (fields.size() < 2)
+            fatal("%s:%zu: need at least 1 attribute and a label",
+                  name.c_str(), lineno);
+        int label = static_cast<int>(fields.back());
+        if (label < 0 ||
+            static_cast<double>(label) != fields.back())
+            fatal("%s:%zu: label must be a non-negative integer",
+                  name.c_str(), lineno);
+        fields.pop_back();
+        if (ds.rows.empty()) {
+            ds.numAttributes = static_cast<int>(fields.size());
+        } else if (static_cast<int>(fields.size()) != ds.numAttributes) {
+            fatal("%s:%zu: inconsistent attribute count", name.c_str(),
+                  lineno);
+        }
+        max_label = std::max(max_label, label);
+        ds.rows.push_back(std::move(fields));
+        ds.labels.push_back(label);
+    }
+    if (ds.rows.empty())
+        fatal("%s: empty dataset", name.c_str());
+    ds.numClasses = max_label + 1;
+    if (ds.numClasses < 2)
+        fatal("%s: need at least 2 classes", name.c_str());
+    ds.validate();
+    return ds;
+}
+
+Dataset
+loadCsvFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '%s'", path.c_str());
+    return loadCsv(in, path);
+}
+
+void
+saveCsv(std::ostream &out, const Dataset &ds)
+{
+    out << "# " << ds.name << ": " << ds.numAttributes
+        << " attributes, " << ds.numClasses << " classes\n";
+    for (size_t i = 0; i < ds.size(); ++i) {
+        for (double v : ds.rows[i])
+            out << v << ',';
+        out << ds.labels[i] << '\n';
+    }
+}
+
+} // namespace dtann

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Minimal CSV I/O so real UCI files can replace the synthetic
+ * generators.
+ *
+ * Format: one example per line, comma-separated numeric attributes,
+ * last column is an integer class label. Lines starting with '#'
+ * are comments.
+ */
+
+#ifndef DTANN_DATA_CSV_HH
+#define DTANN_DATA_CSV_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.hh"
+
+namespace dtann {
+
+/** Parse a dataset from a stream. Fatal on malformed content. */
+Dataset loadCsv(std::istream &in, const std::string &name);
+
+/** Load a dataset from a file path. Fatal when unreadable. */
+Dataset loadCsvFile(const std::string &path);
+
+/** Write a dataset in the same format. */
+void saveCsv(std::ostream &out, const Dataset &ds);
+
+} // namespace dtann
+
+#endif // DTANN_DATA_CSV_HH

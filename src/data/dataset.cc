@@ -1,0 +1,95 @@
+#include "data/dataset.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dtann {
+
+void
+Dataset::validate() const
+{
+    dtann_assert(rows.size() == labels.size(),
+                 "rows/labels size mismatch in %s", name.c_str());
+    dtann_assert(numClasses >= 2, "%s needs at least 2 classes",
+                 name.c_str());
+    for (size_t i = 0; i < rows.size(); ++i) {
+        dtann_assert(static_cast<int>(rows[i].size()) == numAttributes,
+                     "%s row %zu has wrong arity", name.c_str(), i);
+        dtann_assert(labels[i] >= 0 && labels[i] < numClasses,
+                     "%s row %zu label out of range", name.c_str(), i);
+    }
+}
+
+void
+normalizeMinMax(Dataset &ds)
+{
+    if (ds.rows.empty())
+        return;
+    size_t d = static_cast<size_t>(ds.numAttributes);
+    std::vector<double> lo(d, 0.0), hi(d, 0.0);
+    for (size_t j = 0; j < d; ++j) {
+        lo[j] = hi[j] = ds.rows[0][j];
+        for (const auto &row : ds.rows) {
+            lo[j] = std::min(lo[j], row[j]);
+            hi[j] = std::max(hi[j], row[j]);
+        }
+    }
+    for (auto &row : ds.rows) {
+        for (size_t j = 0; j < d; ++j) {
+            double span = hi[j] - lo[j];
+            row[j] = span > 0.0 ? (row[j] - lo[j]) / span : 0.0;
+        }
+    }
+}
+
+void
+shuffleDataset(Dataset &ds, Rng &rng)
+{
+    for (size_t i = ds.size(); i > 1; --i) {
+        size_t j = rng.nextUint(i);
+        std::swap(ds.rows[i - 1], ds.rows[j]);
+        std::swap(ds.labels[i - 1], ds.labels[j]);
+    }
+}
+
+std::vector<std::vector<size_t>>
+kFoldIndices(size_t n, int k)
+{
+    dtann_assert(k >= 2, "need at least 2 folds");
+    std::vector<std::vector<size_t>> folds(static_cast<size_t>(k));
+    for (size_t i = 0; i < n; ++i)
+        folds[i % static_cast<size_t>(k)].push_back(i);
+    return folds;
+}
+
+Dataset
+subset(const Dataset &ds, const std::vector<size_t> &indices)
+{
+    Dataset out;
+    out.name = ds.name;
+    out.numAttributes = ds.numAttributes;
+    out.numClasses = ds.numClasses;
+    out.rows.reserve(indices.size());
+    out.labels.reserve(indices.size());
+    for (size_t i : indices) {
+        dtann_assert(i < ds.size(), "subset index out of range");
+        out.rows.push_back(ds.rows[i]);
+        out.labels.push_back(ds.labels[i]);
+    }
+    return out;
+}
+
+Dataset
+complementSubset(const Dataset &ds,
+                 const std::vector<std::vector<size_t>> &folds, size_t f)
+{
+    std::vector<size_t> keep;
+    for (size_t g = 0; g < folds.size(); ++g)
+        if (g != f)
+            keep.insert(keep.end(), folds[g].begin(), folds[g].end());
+    std::sort(keep.begin(), keep.end());
+    return subset(ds, keep);
+}
+
+} // namespace dtann

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Classification dataset container and utilities.
+ */
+
+#ifndef DTANN_DATA_DATASET_HH
+#define DTANN_DATA_DATASET_HH
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace dtann {
+
+/** An in-memory classification dataset. */
+struct Dataset
+{
+    std::string name;
+    int numAttributes = 0;
+    int numClasses = 0;
+    /** One row of attribute values per example. */
+    std::vector<std::vector<double>> rows;
+    /** Class label per example, in [0, numClasses). */
+    std::vector<int> labels;
+
+    /** Number of examples. */
+    size_t size() const { return rows.size(); }
+
+    /** Check structural invariants; panics on violation. */
+    void validate() const;
+};
+
+/**
+ * Min-max normalize every attribute to [0, 1] in place (constant
+ * attributes map to 0). The accelerator feeds inputs as Q6.10
+ * values in [0, 1].
+ */
+void normalizeMinMax(Dataset &ds);
+
+/** Shuffle examples (rows and labels together). */
+void shuffleDataset(Dataset &ds, Rng &rng);
+
+/**
+ * Split indices into @p k cross-validation folds of near-equal
+ * size, preserving example order (shuffle first for random folds).
+ */
+std::vector<std::vector<size_t>> kFoldIndices(size_t n, int k);
+
+/** Build the subset of @p ds given by @p indices. */
+Dataset subset(const Dataset &ds, const std::vector<size_t> &indices);
+
+/** Build the complement subset (all examples NOT in fold @p f). */
+Dataset complementSubset(const Dataset &ds,
+                         const std::vector<std::vector<size_t>> &folds,
+                         size_t f);
+
+} // namespace dtann
+
+#endif // DTANN_DATA_DATASET_HH

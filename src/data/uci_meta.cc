@@ -1,0 +1,83 @@
+#include "data/uci_meta.hh"
+
+namespace dtann {
+
+const std::vector<UciDatasetInfo> &
+uciCensus()
+{
+    // 135 data sets; attribute counts are the catalogued values of
+    // the corresponding UCI entries (2007-era repository).
+    static const std::vector<UciDatasetInfo> census = {
+        {"abalone", 8}, {"adult", 14}, {"annealing", 38},
+        {"arrhythmia", 279},
+        {"artificial-characters", 7}, {"audiology", 69},
+        {"auto-mpg", 8}, {"automobile", 25}, {"badges", 11},
+        {"balance-scale", 4}, {"balloons", 4}, {"breast-cancer", 9},
+        {"breast-cancer-wisconsin", 30}, {"bridges", 13},
+        {"car-evaluation", 6}, {"census-income", 41},
+        {"chess-kr-vs-k", 6}, {"chess-kr-vs-kp", 36}, {"cmc", 9},
+        {"connect-4", 42}, {"connectionist-vowel", 10},
+        {"covertype", 54}, {"credit-approval", 15},
+        {"credit-german", 20}, {"cylinder-bands", 39},
+        {"dermatology", 34}, {"diabetes-pima", 8}, {"dgp2", 7},
+        {"echocardiogram", 12}, {"ecoli", 7}, {"el-nino", 12},
+        {"flags", 30}, {"forest-fires", 12}, {"function-finding", 5},
+        {"glass", 9}, {"haberman", 3}, {"hayes-roth", 4},
+        {"heart-cleveland", 13}, {"heart-hungarian", 13},
+        {"heart-statlog", 13}, {"heart-switzerland", 13},
+        {"heart-va", 13}, {"hepatitis", 19}, {"horse-colic", 27},
+        {"housing", 13}, {"image-segmentation", 19},
+        {"internet-ads", 1558}, {"ionosphere", 34}, {"iris", 4},
+        {"isolet", 617}, {"kddcup99", 41},
+        {"kinship", 12}, {"labor-relations", 16},
+        {"landsat-statlog", 36}, {"lenses", 4},
+        {"letter-recognition", 16}, {"liver-bupa", 6},
+        {"lung-cancer", 56}, {"lymphography", 18},
+        {"magic-telescope", 10}, {"mammographic-mass", 5},
+        {"mechanical-analysis", 8}, {"meta-data", 21},
+        {"mfeat-fourier", 76},
+        {"mfeat-karhunen", 64}, {"mfeat-morphological", 6},
+        {"mfeat-pixel", 240}, {"mfeat-zernike", 47},
+        {"molecular-promoters", 57}, {"molecular-splice", 60},
+        {"monks-1", 6}, {"monks-2", 6}, {"monks-3", 6},
+        {"moral-reasoner", 23}, {"mushroom", 22}, {"musk-1", 166},
+        {"musk-2", 166}, {"nursery", 8}, {"optdigits", 64},
+        {"ozone", 72}, {"page-blocks", 10}, {"parkinsons", 22},
+        {"pendigits", 16}, {"phoneme", 5}, {"pittsburgh-bridges", 11},
+        {"poker-hand", 10}, {"post-operative", 8},
+        {"primary-tumor", 17}, {"quadruped-mammals", 72},
+        {"dexter", 20000}, {"robot-failures-lp1", 90},
+        {"robot-failures-lp2", 90}, {"robot-failures-lp3", 90},
+        {"robot-failures-lp4", 90}, {"robot-failures-lp5", 90},
+        {"secom", 591}, {"seeds", 7}, {"semeion", 256},
+        {"servo", 4}, {"shuttle-landing", 6}, {"shuttle-statlog", 9},
+        {"sick", 29}, {"solar-flare", 12}, {"sonar", 60},
+        {"soybean-large", 35}, {"soybean-small", 35},
+        {"spambase", 57}, {"spect", 22}, {"spectf", 44},
+        {"sponge", 45}, {"steel-plates", 27},
+        {"synthetic-control", 60}, {"teaching-assistant", 5},
+        {"thyroid-allbp", 26}, {"thyroid-ann", 21},
+        {"thyroid-new", 5}, {"tic-tac-toe", 9}, {"trains", 32},
+        {"transfusion", 4}, {"university", 17}, {"us-census-1990", 68},
+        {"vehicle-statlog", 18}, {"vertebral", 6},
+        {"volcanoes", 3}, {"voting-records", 16}, {"vowel", 10},
+        {"water-treatment", 38}, {"waveform", 21},
+        {"waveform-noise", 40}, {"wine", 13}, {"wine-quality-red", 11},
+        {"wine-quality-white", 11}, {"yeast", 8}, {"zoo", 16}, {"acute-inflammations", 6},
+    };
+    return census;
+}
+
+double
+censusCumulativeFraction(int attributes)
+{
+    const auto &census = uciCensus();
+    size_t below = 0;
+    for (const auto &e : census)
+        if (e.attributes <= attributes)
+            ++below;
+    return static_cast<double>(below) /
+        static_cast<double>(census.size());
+}
+
+} // namespace dtann

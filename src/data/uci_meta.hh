@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Attribute census of the UCI machine-learning repository.
+ *
+ * The paper's Fig 2 plots the cumulative fraction of the 135 UCI
+ * data sets (2007 snapshot) as a function of their number of
+ * attributes, motivating the 90-input design point (>92 % of data
+ * sets have fewer than 100 attributes). This table is an embedded
+ * approximation of that census built from the well-known data-set
+ * catalogue; see DESIGN.md for the substitution note.
+ */
+
+#ifndef DTANN_DATA_UCI_META_HH
+#define DTANN_DATA_UCI_META_HH
+
+#include <string>
+#include <vector>
+
+namespace dtann {
+
+/** One repository entry. */
+struct UciDatasetInfo
+{
+    std::string name;
+    int attributes;
+};
+
+/** The embedded 135-entry census. */
+const std::vector<UciDatasetInfo> &uciCensus();
+
+/**
+ * Fraction of census data sets with at most @p attributes inputs
+ * (the Fig 2 CDF).
+ */
+double censusCumulativeFraction(int attributes);
+
+} // namespace dtann
+
+#endif // DTANN_DATA_UCI_META_HH

@@ -1,0 +1,101 @@
+#include "rtl/adder.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dtann {
+
+Bus
+rippleAdd(NetlistBuilder &bld, const Bus &a, const Bus &b, NetId cin,
+          FaStyle style, NetId *cout_net)
+{
+    dtann_assert(a.size() == b.size(), "operand width mismatch");
+    Bus sum(a.size());
+    NetId carry = cin;
+    for (size_t i = 0; i < a.size(); ++i) {
+        bld.beginCell();
+        SumCarry sc = bld.fullAdder(a[i], b[i], carry, style);
+        sum[i] = sc.sum;
+        carry = sc.carry;
+    }
+    if (cout_net)
+        *cout_net = carry;
+    return sum;
+}
+
+Bus
+carrySelectAdd(NetlistBuilder &bld, const Bus &a, const Bus &b,
+               NetId cin, int block_width, FaStyle style,
+               NetId *cout_net)
+{
+    dtann_assert(a.size() == b.size(), "operand width mismatch");
+    dtann_assert(block_width >= 1, "block width must be positive");
+    size_t w = a.size();
+    Bus sum(w);
+    NetId carry = cin;
+    for (size_t base = 0; base < w;
+         base += static_cast<size_t>(block_width)) {
+        size_t len = std::min<size_t>(
+            static_cast<size_t>(block_width), w - base);
+        // Two speculative ripples per block: carry-in 0 and 1.
+        Bus sum0(len), sum1(len);
+        NetId c0 = bld.constant(false);
+        NetId c1 = bld.constant(true);
+        for (size_t i = 0; i < len; ++i) {
+            bld.beginCell();
+            SumCarry s0 = bld.fullAdder(a[base + i], b[base + i], c0,
+                                        style);
+            SumCarry s1 = bld.fullAdder(a[base + i], b[base + i], c1,
+                                        style);
+            sum0[i] = s0.sum;
+            sum1[i] = s1.sum;
+            c0 = s0.carry;
+            c1 = s1.carry;
+        }
+        // The incoming carry selects the speculated results.
+        for (size_t i = 0; i < len; ++i) {
+            bld.beginCell();
+            sum[base + i] = bld.mux2(carry, sum0[i], sum1[i]);
+        }
+        bld.beginCell();
+        carry = bld.mux2(carry, c0, c1);
+    }
+    if (cout_net)
+        *cout_net = carry;
+    return sum;
+}
+
+Netlist
+buildCarrySelectAdder(int width, int block_width, FaStyle style,
+                      bool carry_out)
+{
+    dtann_assert(width >= 1 && width <= 32, "unsupported adder width");
+    NetlistBuilder bld;
+    Bus a = bld.inputBus(width);
+    Bus b = bld.inputBus(width);
+    NetId cout = invalidNet;
+    Bus sum = carrySelectAdd(bld, a, b, bld.constant(false),
+                             block_width, style, &cout);
+    bld.outputBus(sum);
+    if (carry_out)
+        bld.netlist().markOutput(cout);
+    return bld.take();
+}
+
+Netlist
+buildRippleAdder(int width, FaStyle style, bool carry_out)
+{
+    dtann_assert(width >= 1 && width <= 32, "unsupported adder width");
+    NetlistBuilder bld;
+    Bus a = bld.inputBus(width);
+    Bus b = bld.inputBus(width);
+    NetId cout = invalidNet;
+    Bus sum = rippleAdd(bld, a, b, bld.constant(false), style, &cout);
+    bld.outputBus(sum);
+    if (carry_out)
+        bld.netlist().markOutput(cout);
+    return bld.take();
+}
+
+} // namespace dtann

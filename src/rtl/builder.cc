@@ -1,0 +1,110 @@
+#include "rtl/builder.hh"
+
+#include "common/logging.hh"
+
+namespace dtann {
+
+Bus
+NetlistBuilder::inputBus(int width)
+{
+    Bus bus(static_cast<size_t>(width));
+    for (NetId &net : bus) {
+        net = nl.addNet();
+        nl.markInput(net);
+    }
+    return bus;
+}
+
+void
+NetlistBuilder::outputBus(const Bus &bus)
+{
+    for (NetId net : bus)
+        nl.markOutput(net);
+}
+
+void
+NetlistBuilder::beginCell()
+{
+    nl.setGroup(nextGroup++);
+}
+
+NetId
+NetlistBuilder::xor2(NetId a, NetId b)
+{
+    // Classic 4-NAND XOR.
+    NetId n1 = nand2(a, b);
+    NetId n2 = nand2(a, n1);
+    NetId n3 = nand2(b, n1);
+    return nand2(n2, n3);
+}
+
+NetId
+NetlistBuilder::mux2(NetId sel, NetId a, NetId b)
+{
+    // sel ? b : a  ==  NAND(NAND(a, !sel), NAND(b, sel)).
+    NetId nsel = notG(sel);
+    return nand2(nand2(a, nsel), nand2(b, sel));
+}
+
+NetId
+NetlistBuilder::andTree(const Bus &nets)
+{
+    dtann_assert(!nets.empty(), "empty reduction");
+    Bus level = nets;
+    while (level.size() > 1) {
+        Bus next;
+        for (size_t i = 0; i + 1 < level.size(); i += 2)
+            next.push_back(and2(level[i], level[i + 1]));
+        if (level.size() % 2)
+            next.push_back(level.back());
+        level = std::move(next);
+    }
+    return level[0];
+}
+
+NetId
+NetlistBuilder::orTree(const Bus &nets)
+{
+    dtann_assert(!nets.empty(), "empty reduction");
+    Bus level = nets;
+    while (level.size() > 1) {
+        Bus next;
+        for (size_t i = 0; i + 1 < level.size(); i += 2)
+            next.push_back(or2(level[i], level[i + 1]));
+        if (level.size() % 2)
+            next.push_back(level.back());
+        level = std::move(next);
+    }
+    return level[0];
+}
+
+SumCarry
+NetlistBuilder::halfAdder(NetId a, NetId b)
+{
+    return {xor2(a, b), and2(a, b)};
+}
+
+SumCarry
+NetlistBuilder::fullAdder(NetId a, NetId b, NetId cin, FaStyle style)
+{
+    if (style == FaStyle::Mirror) {
+        // 28T mirror adder: complex carry and sum stages + inverters.
+        NetId coutN = nl.addGate(GateKind::CarryN, {a, b, cin});
+        NetId sumN = nl.addGate(GateKind::MirrorSumN, {a, b, cin, coutN});
+        return {notG(sumN), notG(coutN)};
+    }
+
+    // Classic 9-NAND2 full adder.
+    NetId n1 = nand2(a, b);
+    NetId n2 = nand2(a, n1);
+    NetId n3 = nand2(b, n1);
+    NetId axb = nand2(n2, n3); // a XOR b
+    NetId n5 = nand2(axb, cin);
+    NetId n6 = nand2(axb, n5);
+    NetId n7 = nand2(cin, n5);
+    NetId sum = nand2(n6, n7);
+    NetId cout = nand2(n1, n5);
+    return {sum, cout};
+}
+
+} // namespace dtann

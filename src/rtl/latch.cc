@@ -1,0 +1,38 @@
+#include "rtl/latch.hh"
+
+#include "common/logging.hh"
+
+namespace dtann {
+
+NetId
+dLatch(NetlistBuilder &bld, NetId d, NetId en)
+{
+    Netlist &nl = bld.netlist();
+    NetId dn = bld.notG(d);
+    NetId sN = bld.nand2(d, en);   // active-low set
+    NetId rN = bld.nand2(dn, en);  // active-low reset
+    // Cross-coupled NAND pair; Qb is created first so Q's gate can
+    // reference it, then the Qb gate is attached onto that net.
+    NetId qb = nl.addNet();
+    NetId q = nl.addGate(GateKind::Nand2, {sN, qb});
+    nl.addGateOnto(GateKind::Nand2, {rN, q}, qb);
+    return q;
+}
+
+Netlist
+buildLatchRegister(int width)
+{
+    dtann_assert(width >= 1 && width <= 32, "unsupported register width");
+    NetlistBuilder bld;
+    Bus d = bld.inputBus(width);
+    Bus en = bld.inputBus(1);
+    Bus q(static_cast<size_t>(width));
+    for (size_t i = 0; i < d.size(); ++i) {
+        bld.beginCell();
+        q[i] = dLatch(bld, d[i], en[0]);
+    }
+    bld.outputBus(q);
+    return bld.take();
+}
+
+} // namespace dtann

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Level-sensitive latch netlists.
+ *
+ * The accelerator stores synaptic weights in distributed latches at
+ * each neuron. A latch is built structurally from NAND gates (gated
+ * SR latch) so that transistor defects inside the storage element
+ * itself can be injected; the relaxation evaluator resolves the
+ * cross-coupled feedback.
+ */
+
+#ifndef DTANN_RTL_LATCH_HH
+#define DTANN_RTL_LATCH_HH
+
+#include "rtl/builder.hh"
+
+namespace dtann {
+
+/**
+ * Attach one gated D latch to the netlist.
+ *
+ * While EN is high the latch is transparent (Q follows D); when EN
+ * falls, Q holds. The caller should drive EN through an input.
+ *
+ * @return the Q output net
+ */
+NetId dLatch(NetlistBuilder &bld, NetId d, NetId en);
+
+/**
+ * Build a @p width bit latch register.
+ *
+ * Primary inputs: d[0..w-1], then en.
+ * Primary outputs: q[0..w-1].
+ * Each bit is one cell group.
+ */
+Netlist buildLatchRegister(int width);
+
+} // namespace dtann
+
+#endif // DTANN_RTL_LATCH_HH

@@ -1,0 +1,122 @@
+#include "rtl/multiplier.hh"
+
+#include <deque>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dtann {
+
+namespace {
+
+/**
+ * Reduce per-column partial-product tokens to one bit per column
+ * using full/half adder cells, dropping carries beyond the product
+ * width (modulo arithmetic).
+ */
+Bus
+reduceColumns(NetlistBuilder &bld,
+              std::vector<std::deque<NetId>> &cols, FaStyle style)
+{
+    size_t width = cols.size();
+    Bus product(width);
+    for (size_t col = 0; col < width; ++col) {
+        auto &tokens = cols[col];
+        dtann_assert(!tokens.empty(), "empty product column %zu", col);
+        while (tokens.size() >= 3) {
+            NetId a = tokens.front(); tokens.pop_front();
+            NetId b = tokens.front(); tokens.pop_front();
+            NetId c = tokens.front(); tokens.pop_front();
+            bld.beginCell();
+            SumCarry sc = bld.fullAdder(a, b, c, style);
+            tokens.push_back(sc.sum);
+            if (col + 1 < width)
+                cols[col + 1].push_back(sc.carry);
+        }
+        if (tokens.size() == 2) {
+            NetId a = tokens.front(); tokens.pop_front();
+            NetId b = tokens.front(); tokens.pop_front();
+            bld.beginCell();
+            SumCarry sc = bld.halfAdder(a, b);
+            tokens.push_back(sc.sum);
+            if (col + 1 < width)
+                cols[col + 1].push_back(sc.carry);
+        }
+        product[col] = tokens.front();
+    }
+    return product;
+}
+
+} // namespace
+
+Bus
+multiplyUnsigned(NetlistBuilder &bld, const Bus &a, const Bus &b,
+                 FaStyle style)
+{
+    dtann_assert(a.size() == b.size(), "operand width mismatch");
+    size_t w = a.size();
+    std::vector<std::deque<NetId>> cols(2 * w);
+    for (size_t i = 0; i < w; ++i) {
+        for (size_t j = 0; j < w; ++j) {
+            bld.beginCell();
+            cols[i + j].push_back(bld.and2(a[i], b[j]));
+        }
+    }
+    // The top column receives only carries; seed it so reduction
+    // always finds a token.
+    if (cols[2 * w - 1].empty())
+        cols[2 * w - 1].push_back(bld.constant(false));
+    return reduceColumns(bld, cols, style);
+}
+
+Bus
+multiplySigned(NetlistBuilder &bld, const Bus &a, const Bus &b,
+               FaStyle style)
+{
+    dtann_assert(a.size() == b.size(), "operand width mismatch");
+    size_t w = a.size();
+    size_t msb = w - 1;
+    std::vector<std::deque<NetId>> cols(2 * w);
+
+    // Baugh-Wooley: mixed MSB partial products are complemented
+    // (NAND instead of AND), and constant 1s enter at columns w and
+    // 2w-1.
+    for (size_t i = 0; i < w; ++i) {
+        for (size_t j = 0; j < w; ++j) {
+            bld.beginCell();
+            bool mixed = (i == msb) != (j == msb);
+            NetId pp = mixed ? bld.nand2(a[i], b[j])
+                             : bld.and2(a[i], b[j]);
+            cols[i + j].push_back(pp);
+        }
+    }
+    cols[w].push_back(bld.constant(true));
+    cols[2 * w - 1].push_back(bld.constant(true));
+    return reduceColumns(bld, cols, style);
+}
+
+Netlist
+buildMultiplierUnsigned(int width, FaStyle style)
+{
+    dtann_assert(width >= 2 && width <= 16, "unsupported multiplier width");
+    NetlistBuilder bld;
+    Bus a = bld.inputBus(width);
+    Bus b = bld.inputBus(width);
+    Bus p = multiplyUnsigned(bld, a, b, style);
+    bld.outputBus(p);
+    return bld.take();
+}
+
+Netlist
+buildMultiplierSigned(int width, FaStyle style)
+{
+    dtann_assert(width >= 2 && width <= 16, "unsupported multiplier width");
+    NetlistBuilder bld;
+    Bus a = bld.inputBus(width);
+    Bus b = bld.inputBus(width);
+    Bus p = multiplySigned(bld, a, b, style);
+    bld.outputBus(p);
+    return bld.take();
+}
+
+} // namespace dtann

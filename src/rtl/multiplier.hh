@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Array multiplier netlists.
+ *
+ * Two variants:
+ *  - unsigned AND-array multiplier (the paper's Fig 5 uses 4-bit
+ *    unsigned operators),
+ *  - Baugh-Wooley two's complement multiplier for the Q6.10
+ *    datapath (the accelerator's synaptic multipliers).
+ *
+ * Partial products are reduced column-wise with half/full adder
+ * cells; every partial-product generator and every adder cell is
+ * its own defect-sampling group.
+ */
+
+#ifndef DTANN_RTL_MULTIPLIER_HH
+#define DTANN_RTL_MULTIPLIER_HH
+
+#include "rtl/builder.hh"
+
+namespace dtann {
+
+/**
+ * Build an unsigned @p width x @p width array multiplier.
+ *
+ * Primary inputs: a[w], b[w]; primary outputs: p[2w].
+ */
+Netlist buildMultiplierUnsigned(int width,
+                                FaStyle style = FaStyle::Nand9);
+
+/**
+ * Build a Baugh-Wooley two's complement @p width x @p width
+ * multiplier. Primary inputs: a[w], b[w]; outputs: p[2w]
+ * (the full signed product modulo 2^(2w)).
+ */
+Netlist buildMultiplierSigned(int width,
+                              FaStyle style = FaStyle::Nand9);
+
+/**
+ * Attach a Baugh-Wooley signed multiplier to existing buses inside
+ * a larger netlist. @return the 2w-bit product bus.
+ */
+Bus multiplySigned(NetlistBuilder &bld, const Bus &a, const Bus &b,
+                   FaStyle style);
+
+/**
+ * Attach an unsigned array multiplier to existing buses inside a
+ * larger netlist. @return the 2w-bit product bus.
+ */
+Bus multiplyUnsigned(NetlistBuilder &bld, const Bus &a, const Bus &b,
+                     FaStyle style);
+
+} // namespace dtann
+
+#endif // DTANN_RTL_MULTIPLIER_HH

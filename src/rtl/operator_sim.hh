@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Faulty-operator simulation wrapper.
+ *
+ * The accelerator model routes only defective operators through
+ * gate-level simulation; clean ones use native fixed-point
+ * arithmetic (the paper's methodology). An OperatorSim owns the
+ * evaluation state of one such defective operator instance. The
+ * underlying netlist is shared (immutable) across instances of the
+ * same operator shape.
+ */
+
+#ifndef DTANN_RTL_OPERATOR_SIM_HH
+#define DTANN_RTL_OPERATOR_SIM_HH
+
+#include <memory>
+
+#include "circuit/evaluator.hh"
+#include "rtl/fault_inject.hh"
+
+namespace dtann {
+
+/** A gate-level simulated operator instance with injected faults. */
+class OperatorSim
+{
+  public:
+    /**
+     * @param netlist the shared operator netlist
+     * @param injection the faults to install
+     */
+    OperatorSim(std::shared_ptr<const Netlist> netlist,
+                Injection injection)
+        : nl(std::move(netlist)), records(std::move(injection.records)),
+          eval(*nl, std::move(injection.faults))
+    {
+    }
+
+    /**
+     * Evaluate the operator. Inputs are the netlist's primary
+     * inputs packed LSB-first; the return value packs the primary
+     * outputs. State (memory effects) persists across calls.
+     */
+    uint64_t apply(uint64_t input_bits) { return eval.evaluateBits(input_bits); }
+
+    /** Clear any internal (defect-induced or latch) state. */
+    void reset() { eval.reset(); }
+
+    /** Provenance of the injected faults. */
+    const std::vector<InjectionRecord> &faultRecords() const
+    {
+        return records;
+    }
+
+    /** The underlying netlist. */
+    const Netlist &netlist() const { return *nl; }
+
+    /** Direct evaluator access (tests, amplitude probes). */
+    Evaluator &evaluator() { return eval; }
+
+  private:
+    std::shared_ptr<const Netlist> nl;
+    std::vector<InjectionRecord> records;
+    Evaluator eval;
+};
+
+} // namespace dtann
+
+#endif // DTANN_RTL_OPERATOR_SIM_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Gate-level activation-function unit (paper Fig 4).
+ *
+ * The sigmoid is approximated by 16 linear segments over [-8, 8):
+ * f(x) = a_i * x + b_i, where i is the segment index derived from
+ * the integral bits of x. Inputs outside the range saturate to 0
+ * or 1. The unit comprises: range detection, segment decoder,
+ * coefficient look-up (hardwired constants selected through an
+ * AND-OR mux), a signed multiplier and a final adder — all built
+ * from CMOS primitives so transistor defects can land anywhere,
+ * including inside the LUT.
+ */
+
+#ifndef DTANN_RTL_SIGMOID_UNIT_HH
+#define DTANN_RTL_SIGMOID_UNIT_HH
+
+#include <array>
+
+#include "common/fixed_point.hh"
+#include "rtl/builder.hh"
+
+namespace dtann {
+
+/** One piecewise-linear segment: f(x) = a * x + b. */
+struct PwlSegment
+{
+    Fix16 a;
+    Fix16 b;
+};
+
+/** The 16-entry coefficient table. */
+using PwlTable = std::array<PwlSegment, 16>;
+
+/**
+ * Build the activation unit netlist.
+ *
+ * Primary inputs: x[16] (Q6.10); primary outputs: f[16] (Q6.10).
+ *
+ * @param table segment coefficients, index 0 covering [-8, -7)
+ * @param style full-adder implementation for the datapath
+ */
+Netlist buildSigmoidUnit(const PwlTable &table,
+                         FaStyle style = FaStyle::Nand9);
+
+/**
+ * Reference (native) evaluation with the same bit-exact semantics
+ * as the netlist: used for clean operators and for equivalence
+ * tests.
+ */
+Fix16 sigmoidUnitRef(const PwlTable &table, Fix16 x);
+
+} // namespace dtann
+
+#endif // DTANN_RTL_SIGMOID_UNIT_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Transistor-level defect descriptions.
+ *
+ * The two main physical defect classes are opens (excess material
+ * removed; a transistor path is cut) and shorts (insufficient
+ * material removed; source-drain permanently connected, or a bridge
+ * between two circuit nodes). Partial opens/shorts manifest as
+ * delays, modelled as the gate output turning into a state element
+ * that propagates its value one evaluation late.
+ */
+
+#ifndef DTANN_TRANSISTOR_DEFECT_HH
+#define DTANN_TRANSISTOR_DEFECT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dtann {
+
+/** Kinds of transistor-level defects. */
+enum class DefectKind : uint8_t {
+    Open,     ///< transistor path cut (stuck open)
+    ShortSD,  ///< source-drain short (stuck closed)
+    Bridge,   ///< two nodes of a channel network merged
+    Delay,    ///< partial defect; gate becomes a delay element
+};
+
+/** One defect within one gate's schematic. */
+struct Defect
+{
+    DefectKind kind;
+    bool pNetwork;       ///< affected channel network (not for Delay)
+    uint8_t switchIndex; ///< Open/ShortSD: transistor index
+    uint8_t nodeA;       ///< Bridge: first merged node
+    uint8_t nodeB;       ///< Bridge: second merged node
+
+    /** Human-readable description (for experiment logs). */
+    std::string describe() const;
+};
+
+/** Relative frequency of each defect kind during random injection. */
+struct DefectMix
+{
+    double open = 0.45;
+    double shortSd = 0.35;
+    double bridge = 0.15;
+    double delay = 0.05;
+};
+
+} // namespace dtann
+
+#endif // DTANN_TRANSISTOR_DEFECT_HH

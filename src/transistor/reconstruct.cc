@@ -1,0 +1,208 @@
+#include "transistor/reconstruct.hh"
+
+#include <array>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace dtann {
+
+std::string
+Defect::describe() const
+{
+    char buf[64];
+    switch (kind) {
+      case DefectKind::Open:
+        std::snprintf(buf, sizeof(buf), "open(%c,t%d)",
+                      pNetwork ? 'P' : 'N', switchIndex);
+        break;
+      case DefectKind::ShortSD:
+        std::snprintf(buf, sizeof(buf), "short(%c,t%d)",
+                      pNetwork ? 'P' : 'N', switchIndex);
+        break;
+      case DefectKind::Bridge:
+        std::snprintf(buf, sizeof(buf), "bridge(%c,n%d-n%d)",
+                      pNetwork ? 'P' : 'N', nodeA, nodeB);
+        break;
+      case DefectKind::Delay:
+        std::snprintf(buf, sizeof(buf), "delay");
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf), "?");
+    }
+    return buf;
+}
+
+namespace {
+
+/** Tiny union-find over channel-network nodes. */
+class NodeSets
+{
+  public:
+    explicit NodeSets(int n)
+    {
+        dtann_assert(n <= 8, "channel networks have few nodes");
+        for (int i = 0; i < n; ++i)
+            parent[static_cast<size_t>(i)] = static_cast<uint8_t>(i);
+    }
+
+    uint8_t
+    find(uint8_t x)
+    {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    }
+
+    void unite(uint8_t a, uint8_t b) { parent[find(a)] = find(b); }
+
+  private:
+    std::array<uint8_t, 8> parent{};
+};
+
+/** Per-switch defect status within one network. */
+struct SwitchStatus
+{
+    bool open = false;
+    bool shortSd = false;
+};
+
+/**
+ * Does the defective network conduct between rail (node 0) and
+ * output (node 1) for the given input combination?
+ */
+bool
+networkConducts(const ChannelNetwork &net,
+                const std::vector<SwitchStatus> &status,
+                std::span<const Defect> defects, bool p_network,
+                uint32_t inputs)
+{
+    NodeSets sets(net.numNodes);
+    // Bridges merge nodes unconditionally.
+    for (const Defect &d : defects)
+        if (d.kind == DefectKind::Bridge && d.pNetwork == p_network)
+            sets.unite(d.nodeA, d.nodeB);
+    // Conducting transistors merge their terminals.
+    for (size_t i = 0; i < net.switches.size(); ++i) {
+        const Switch &sw = net.switches[i];
+        bool on;
+        if (status[i].shortSd)
+            on = true;
+        else if (status[i].open)
+            on = false;
+        else
+            on = sw.conducts(inputs);
+        if (on)
+            sets.unite(sw.nodeA, sw.nodeB);
+    }
+    return sets.find(0) == sets.find(1);
+}
+
+} // namespace
+
+ReconstructedGate
+reconstruct(GateKind kind, std::span<const Defect> defects)
+{
+    const GateSchematic &sch = schematicFor(kind);
+    int arity = gateArity(kind);
+
+    std::vector<SwitchStatus> p_status(sch.p.switches.size());
+    std::vector<SwitchStatus> n_status(sch.n.switches.size());
+    bool delayed = false;
+    for (const Defect &d : defects) {
+        switch (d.kind) {
+          case DefectKind::Open:
+          case DefectKind::ShortSD: {
+            auto &status = d.pNetwork ? p_status : n_status;
+            dtann_assert(d.switchIndex < status.size(),
+                         "defect switch index out of range");
+            if (d.kind == DefectKind::Open)
+                status[d.switchIndex].open = true;
+            else
+                status[d.switchIndex].shortSd = true;
+            break;
+          }
+          case DefectKind::Bridge: {
+            const ChannelNetwork &net = d.pNetwork ? sch.p : sch.n;
+            dtann_assert(d.nodeA < net.numNodes && d.nodeB < net.numNodes,
+                         "bridge node out of range");
+            break; // Applied inside networkConducts().
+          }
+          case DefectKind::Delay:
+            delayed = true;
+            break;
+          default:
+            panic("unknown defect kind");
+        }
+    }
+
+    uint32_t value_mask = 0, mem_mask = 0;
+    for (uint32_t in = 0; in < (1u << arity); ++in) {
+        bool zp = networkConducts(sch.p, p_status, defects, true, in);
+        bool zn = networkConducts(sch.n, n_status, defects, false, in);
+        // B-block resolution: ground dominates; neither path floats.
+        if (zn) {
+            // Output 0.
+        } else if (zp) {
+            value_mask |= 1u << in;
+        } else {
+            mem_mask |= 1u << in;
+        }
+    }
+    return {GateFunction(arity, value_mask, mem_mask), delayed};
+}
+
+Defect
+randomDefect(GateKind kind, Rng &rng, const DefectMix &mix)
+{
+    const GateSchematic &sch = schematicFor(kind);
+    size_t np = sch.p.switches.size();
+    size_t nn = sch.n.switches.size();
+
+    double total = mix.open + mix.shortSd + mix.bridge + mix.delay;
+    double draw = rng.nextDouble() * total;
+
+    Defect d{};
+    if (draw < mix.open || draw < mix.open + mix.shortSd) {
+        d.kind = draw < mix.open ? DefectKind::Open : DefectKind::ShortSD;
+        size_t t = rng.nextUint(np + nn);
+        d.pNetwork = t < np;
+        d.switchIndex = static_cast<uint8_t>(d.pNetwork ? t : t - np);
+    } else if (draw < mix.open + mix.shortSd + mix.bridge) {
+        d.kind = DefectKind::Bridge;
+        // Weight the network by its transistor count.
+        d.pNetwork = rng.nextUint(np + nn) < np;
+        const ChannelNetwork &net = d.pNetwork ? sch.p : sch.n;
+        d.nodeA = static_cast<uint8_t>(rng.nextUint(net.numNodes));
+        do {
+            d.nodeB = static_cast<uint8_t>(rng.nextUint(net.numNodes));
+        } while (d.nodeB == d.nodeA);
+    } else {
+        d.kind = DefectKind::Delay;
+    }
+    return d;
+}
+
+std::vector<Defect>
+allSingleSwitchDefects(GateKind kind)
+{
+    const GateSchematic &sch = schematicFor(kind);
+    std::vector<Defect> out;
+    for (int pn = 0; pn < 2; ++pn) {
+        const ChannelNetwork &net = pn ? sch.p : sch.n;
+        for (size_t i = 0; i < net.switches.size(); ++i) {
+            for (DefectKind k : {DefectKind::Open, DefectKind::ShortSD}) {
+                Defect d{};
+                d.kind = k;
+                d.pNetwork = pn != 0;
+                d.switchIndex = static_cast<uint8_t>(i);
+                out.push_back(d);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace dtann

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reconstruction of faulty logic functions from defective schematics.
+ *
+ * Given a gate kind and a set of transistor-level defects, the
+ * reconstruction computes, for every input combination, whether the
+ * defective P network connects Vdd to the output (Z_P) and whether
+ * the defective N network connects the output to Vss (Z_N), then
+ * resolves the output with B-block semantics:
+ *
+ *   Z_N = 1            -> 0   (the ground path dominates)
+ *   Z_N = 0, Z_P = 1   -> 1
+ *   Z_N = 0, Z_P = 0   -> MEM (floating output keeps its value)
+ *
+ * The result replaces the gate's behaviour in the Evaluator. This
+ * is the paper's Section III-B pipeline (schematic -> defects ->
+ * reconstructed logic expression / state element).
+ */
+
+#ifndef DTANN_TRANSISTOR_RECONSTRUCT_HH
+#define DTANN_TRANSISTOR_RECONSTRUCT_HH
+
+#include <span>
+#include <vector>
+
+#include "circuit/gate_function.hh"
+#include "common/rng.hh"
+#include "transistor/defect.hh"
+#include "transistor/switch_network.hh"
+
+namespace dtann {
+
+/** Outcome of reconstructing a defective gate. */
+struct ReconstructedGate
+{
+    GateFunction function; ///< truth table over {0, 1, MEM}
+    bool delayed = false;  ///< a Delay defect is present
+};
+
+/**
+ * Reconstruct the behaviour of @p kind with @p defects injected.
+ */
+ReconstructedGate reconstruct(GateKind kind,
+                              std::span<const Defect> defects);
+
+/** Overload for brace-enclosed defect lists. */
+inline ReconstructedGate
+reconstruct(GateKind kind, std::initializer_list<Defect> defects)
+{
+    return reconstruct(kind,
+                       std::span<const Defect>(defects.begin(),
+                                               defects.size()));
+}
+
+/**
+ * Draw a random defect for a gate of kind @p kind.
+ *
+ * Open/ShortSD pick a transistor uniformly over both networks;
+ * Bridge picks a network proportionally to its transistor count and
+ * then a random distinct node pair within it.
+ */
+Defect randomDefect(GateKind kind, Rng &rng,
+                    const DefectMix &mix = DefectMix());
+
+/**
+ * Enumerate every single Open and ShortSD defect of @p kind (used
+ * by exhaustive tests and fault-site statistics).
+ */
+std::vector<Defect> allSingleSwitchDefects(GateKind kind);
+
+} // namespace dtann
+
+#endif // DTANN_TRANSISTOR_RECONSTRUCT_HH

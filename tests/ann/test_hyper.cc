@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Tests for the hyper-parameter grid search.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ann/hyper.hh"
+#include "data/synth_uci.hh"
+
+namespace dtann {
+namespace {
+
+TEST(HyperSpace, PaperTableIDimensions)
+{
+    HyperSpace s = HyperSpace::paperTableI();
+    EXPECT_EQ(s.hidden.size(), 8u);       // 2..16 step 2
+    EXPECT_EQ(s.epochs.size(), 6u);       // 100..3200 x2
+    EXPECT_EQ(s.learningRate.size(), 9u); // 0.1..0.9
+    EXPECT_EQ(s.momentum.size(), 9u);
+    EXPECT_EQ(s.size(), 8u * 6u * 9u * 9u);
+    EXPECT_EQ(s.hidden.front(), 2);
+    EXPECT_EQ(s.hidden.back(), 16);
+    EXPECT_EQ(s.epochs.back(), 3200);
+}
+
+TEST(HyperSpace, ReducedIsSmall)
+{
+    HyperSpace s = HyperSpace::reduced();
+    EXPECT_LT(s.size(), 50u);
+    EXPECT_GT(s.size(), 0u);
+}
+
+TEST(GridSearch, FindsWorkingPointOnIris)
+{
+    Rng gen(3);
+    Dataset ds = makeSyntheticTask(uciTask("iris"), gen, 120);
+    HyperSpace tiny;
+    tiny.hidden = {4, 8};
+    tiny.epochs = {50};
+    tiny.learningRate = {0.2, 0.5};
+    tiny.momentum = {0.1};
+    Rng rng(7);
+    HyperResult r = gridSearch(ds, tiny, 3, rng);
+    EXPECT_EQ(r.evaluated, tiny.size());
+    EXPECT_GT(r.accuracy, 0.7);
+    EXPECT_TRUE(r.best.hidden == 4 || r.best.hidden == 8);
+    EXPECT_EQ(r.best.epochs, 50);
+}
+
+} // namespace
+} // namespace dtann

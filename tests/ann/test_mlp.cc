@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for MLP weight storage and the float reference model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ann/mlp.hh"
+#include "ann/sigmoid.hh"
+
+namespace dtann {
+namespace {
+
+TEST(MlpWeights, CountIncludesBiases)
+{
+    MlpWeights w({4, 3, 2});
+    EXPECT_EQ(w.count(), 3u * 5u + 2u * 4u);
+}
+
+TEST(MlpWeights, IndependentCells)
+{
+    MlpWeights w({2, 2, 2});
+    w.hid(0, 0) = 1.0;
+    w.hid(1, 2) = 2.0; // bias of hidden neuron 1
+    w.out(1, 0) = 3.0;
+    EXPECT_DOUBLE_EQ(w.hid(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(w.hid(1, 2), 2.0);
+    EXPECT_DOUBLE_EQ(w.out(1, 0), 3.0);
+    EXPECT_DOUBLE_EQ(w.hid(0, 1), 0.0);
+}
+
+TEST(MlpWeights, InitRandomWithinRange)
+{
+    MlpWeights w({10, 5, 3});
+    Rng rng(1);
+    w.initRandom(rng, 0.5);
+    bool nonzero = false;
+    for (int j = 0; j < 5; ++j)
+        for (int i = 0; i <= 10; ++i) {
+            EXPECT_LE(std::abs(w.hid(j, i)), 0.5);
+            nonzero |= w.hid(j, i) != 0.0;
+        }
+    EXPECT_TRUE(nonzero);
+}
+
+TEST(FloatMlp, ForwardMatchesManualComputation)
+{
+    MlpTopology topo{2, 2, 1};
+    MlpWeights w(topo);
+    w.hid(0, 0) = 1.0;
+    w.hid(0, 1) = -1.0;
+    w.hid(0, 2) = 0.5;  // bias
+    w.hid(1, 0) = 2.0;
+    w.hid(1, 1) = 0.0;
+    w.hid(1, 2) = -1.0;
+    w.out(0, 0) = 1.5;
+    w.out(0, 1) = -0.5;
+    w.out(0, 2) = 0.25;
+
+    FloatMlp mlp(topo);
+    mlp.setWeights(w);
+    double x0 = 0.3, x1 = 0.7;
+    Activations act = mlp.forward(std::vector<double>{x0, x1});
+
+    double h0 = logistic(1.0 * x0 - 1.0 * x1 + 0.5);
+    double h1 = logistic(2.0 * x0 - 1.0);
+    double o = logistic(1.5 * h0 - 0.5 * h1 + 0.25);
+    ASSERT_EQ(act.hidden.size(), 2u);
+    EXPECT_NEAR(act.hidden[0], h0, 1e-12);
+    EXPECT_NEAR(act.hidden[1], h1, 1e-12);
+    ASSERT_EQ(act.output.size(), 1u);
+    EXPECT_NEAR(act.output[0], o, 1e-12);
+}
+
+TEST(FloatMlp, OutputsBoundedBySigmoid)
+{
+    MlpTopology topo{5, 4, 3};
+    FloatMlp mlp(topo);
+    MlpWeights w(topo);
+    Rng rng(2);
+    w.initRandom(rng, 5.0);
+    mlp.setWeights(w);
+    std::vector<double> in{0.1, 0.9, 0.5, 0.0, 1.0};
+    Activations act = mlp.forward(in);
+    for (double y : act.output) {
+        EXPECT_GT(y, 0.0);
+        EXPECT_LT(y, 1.0);
+    }
+}
+
+TEST(FloatMlp, ZeroWeightsGiveHalfOutputs)
+{
+    MlpTopology topo{3, 2, 2};
+    FloatMlp mlp(topo);
+    mlp.setWeights(MlpWeights(topo));
+    Activations act = mlp.forward(std::vector<double>{0.2, 0.4, 0.6});
+    for (double y : act.output)
+        EXPECT_DOUBLE_EQ(y, 0.5);
+}
+
+} // namespace
+} // namespace dtann

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Tests for logging severities and the experiment-scaling knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+
+namespace dtann {
+namespace {
+
+TEST(Logging, PanicAborts)
+{
+    EXPECT_DEATH(panic("internal invariant %d", 42), "panic.*42");
+}
+
+TEST(Logging, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(fatal("bad config '%s'", "x"),
+                ::testing::ExitedWithCode(1), "fatal.*bad config");
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    warn("just a warning %d", 1);
+    inform("status %s", "ok");
+    SUCCEED();
+}
+
+TEST(Logging, AssertMacroPassesThrough)
+{
+    dtann_assert(1 + 1 == 2, "math works");
+    SUCCEED();
+}
+
+TEST(Logging, AssertMacroFailsWithMessage)
+{
+    EXPECT_DEATH(
+        { dtann_assert(false, "value was %d", 7); },
+        "assertion 'false' failed: value was 7");
+}
+
+TEST(Env, FullScaleFollowsVariable)
+{
+    unsetenv("DTANN_FULL");
+    EXPECT_FALSE(fullScale());
+    EXPECT_EQ(scaled(1000, 10), 10);
+    setenv("DTANN_FULL", "1", 1);
+    EXPECT_TRUE(fullScale());
+    EXPECT_EQ(scaled(1000, 10), 1000);
+    setenv("DTANN_FULL", "0", 1);
+    EXPECT_FALSE(fullScale());
+    unsetenv("DTANN_FULL");
+}
+
+TEST(Env, SeedDefaultsAndOverrides)
+{
+    unsetenv("DTANN_SEED");
+    EXPECT_EQ(experimentSeed(), 20120609UL);
+    setenv("DTANN_SEED", "777", 1);
+    EXPECT_EQ(experimentSeed(), 777UL);
+    unsetenv("DTANN_SEED");
+}
+
+} // namespace
+} // namespace dtann

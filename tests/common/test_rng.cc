@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+
+namespace dtann {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextUint(1000), b.nextUint(1000));
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.nextUint(1000000) == b.nextUint(1000000))
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextUintInRange)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextUint(7), 7u);
+}
+
+TEST(Rng, NextIntInclusiveBounds)
+{
+    Rng rng(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = rng.nextInt(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, GaussRoughMoments)
+{
+    Rng rng(11);
+    double sum = 0, sq = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.nextGauss();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, SplitStreamsIndependent)
+{
+    Rng parent(42);
+    Rng a = parent.split();
+    Rng b = parent.split();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.nextUint(1000000) == b.nextUint(1000000))
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(3);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto orig = v;
+    rng.shuffle(v);
+    std::multiset<int> a(v.begin(), v.end());
+    std::multiset<int> b(orig.begin(), orig.end());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct)
+{
+    Rng rng(17);
+    auto s = rng.sampleWithoutReplacement(50, 20);
+    std::set<size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 20u);
+    for (size_t i : s)
+        EXPECT_LT(i, 50u);
+}
+
+TEST(Rng, SampleFullPopulation)
+{
+    Rng rng(17);
+    auto s = rng.sampleWithoutReplacement(5, 5);
+    std::set<size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 5u);
+}
+
+} // namespace
+} // namespace dtann

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the statistics accumulators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hh"
+
+namespace dtann {
+namespace {
+
+TEST(RunningStat, Empty)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MeanAndVariance)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance of this classic set is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStat, MinMax)
+{
+    RunningStat s;
+    s.add(-3.0);
+    s.add(10.0);
+    s.add(2.0);
+    EXPECT_DOUBLE_EQ(s.min(), -3.0);
+    EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(RunningStat, SingleSampleVarianceIsZero)
+{
+    RunningStat s;
+    s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+}
+
+TEST(IntHistogram, CountsAndTotal)
+{
+    IntHistogram h;
+    h.add(3);
+    h.add(3);
+    h.add(-1);
+    h.add(7, 5);
+    EXPECT_EQ(h.at(3), 2u);
+    EXPECT_EQ(h.at(-1), 1u);
+    EXPECT_EQ(h.at(7), 5u);
+    EXPECT_EQ(h.at(100), 0u);
+    EXPECT_EQ(h.total(), 8u);
+}
+
+TEST(IntHistogram, ItemsSorted)
+{
+    IntHistogram h;
+    h.add(5);
+    h.add(-2);
+    h.add(3);
+    auto items = h.items();
+    ASSERT_EQ(items.size(), 3u);
+    EXPECT_EQ(items[0].first, -2);
+    EXPECT_EQ(items[1].first, 3);
+    EXPECT_EQ(items[2].first, 5);
+}
+
+TEST(IntHistogram, Merge)
+{
+    IntHistogram a, b;
+    a.add(1);
+    b.add(1);
+    b.add(2);
+    a.merge(b);
+    EXPECT_EQ(a.at(1), 2u);
+    EXPECT_EQ(a.at(2), 1u);
+}
+
+TEST(IntHistogram, TotalVariationIdentical)
+{
+    IntHistogram a, b;
+    for (int i = 0; i < 10; ++i) {
+        a.add(i);
+        b.add(i);
+    }
+    EXPECT_DOUBLE_EQ(a.totalVariation(b), 0.0);
+}
+
+TEST(IntHistogram, TotalVariationDisjoint)
+{
+    IntHistogram a, b;
+    a.add(0);
+    b.add(1);
+    EXPECT_DOUBLE_EQ(a.totalVariation(b), 1.0);
+}
+
+TEST(IntHistogram, TotalVariationScaleInvariant)
+{
+    IntHistogram a, b;
+    a.add(0, 1);
+    a.add(1, 1);
+    b.add(0, 50);
+    b.add(1, 50);
+    EXPECT_DOUBLE_EQ(a.totalVariation(b), 0.0);
+}
+
+TEST(IntHistogram, TotalVariationHalfOverlap)
+{
+    IntHistogram a, b;
+    a.add(0, 2);
+    b.add(0, 1);
+    b.add(1, 1);
+    EXPECT_DOUBLE_EQ(a.totalVariation(b), 0.5);
+}
+
+TEST(LogBins, BinPlacement)
+{
+    LogBins bins(-3, 3, 1);
+    bins.add(0.005, 1.0);  // decade [1e-3, 1e-2) -> bin 1
+    bins.add(500.0, 2.0);  // decade [1e2, 1e3) -> bin 6
+    EXPECT_EQ(bins.binStat(1).count(), 1u);
+    EXPECT_DOUBLE_EQ(bins.binStat(1).mean(), 1.0);
+    EXPECT_EQ(bins.binStat(6).count(), 1u);
+    EXPECT_DOUBLE_EQ(bins.binStat(6).mean(), 2.0);
+}
+
+TEST(LogBins, UnderAndOverflow)
+{
+    LogBins bins(-3, 3, 1);
+    bins.add(1e-9, 1.0);
+    bins.add(0.0, 1.0);
+    bins.add(1e9, 1.0);
+    EXPECT_EQ(bins.binStat(0).count(), 2u);
+    EXPECT_EQ(bins.binStat(bins.numBins() - 1).count(), 1u);
+}
+
+TEST(LogBins, CenterIsGeometric)
+{
+    LogBins bins(-3, 3, 1);
+    // Bin 1 spans [1e-3, 1e-2); its center is 10^-2.5.
+    EXPECT_NEAR(bins.binCenter(1), std::pow(10.0, -2.5), 1e-12);
+}
+
+} // namespace
+} // namespace dtann

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for the table/series printers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace dtann {
+namespace {
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Header separator line present.
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, RowsAppearInOrder)
+{
+    TextTable t({"c"});
+    t.addRow({"first"});
+    t.addRow({"second"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_LT(out.find("first"), out.find("second"));
+}
+
+TEST(FmtDouble, Digits)
+{
+    EXPECT_EQ(fmtDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(fmtDouble(-0.5, 1), "-0.5");
+}
+
+TEST(Slugify, ProducesSafeNames)
+{
+    EXPECT_EQ(slugify("Fig 10: accuracy vs # defects"),
+              "fig_10_accuracy_vs_defects");
+    EXPECT_EQ(slugify("***"), "series");
+    EXPECT_EQ(slugify("plain"), "plain");
+}
+
+TEST(PrintSeries, WritesCsvWhenRequested)
+{
+    std::string dir = ::testing::TempDir();
+    setenv("DTANN_OUT", dir.c_str(), 1);
+    std::ostringstream os;
+    printSeries(os, "csv test series", {"x", "y"}, {{1.0, 2.5}});
+    unsetenv("DTANN_OUT");
+    std::ifstream in(dir + "/csv_test_series.csv");
+    ASSERT_TRUE(in.good());
+    std::string header, row;
+    std::getline(in, header);
+    std::getline(in, row);
+    EXPECT_EQ(header, "x,y");
+    EXPECT_EQ(row, "1,2.5");
+    std::remove((dir + "/csv_test_series.csv").c_str());
+}
+
+TEST(PrintSeries, ContainsTitleAndPoints)
+{
+    std::ostringstream os;
+    printSeries(os, "fig-x", {"x", "y"}, {{1.0, 2.0}, {3.0, 4.0}});
+    std::string out = os.str();
+    EXPECT_NE(out.find("# fig-x"), std::string::npos);
+    EXPECT_NE(out.find("1.0000"), std::string::npos);
+    EXPECT_NE(out.find("4.0000"), std::string::npos);
+}
+
+} // namespace
+} // namespace dtann

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the spatially expanded accelerator model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+
+#include "ann/fixed_mlp.hh"
+#include "ann/trainer.hh"
+#include "core/accelerator.hh"
+#include "core/injector.hh"
+#include "data/synth_uci.hh"
+
+namespace dtann {
+namespace {
+
+AcceleratorConfig
+smallArray()
+{
+    AcceleratorConfig cfg;
+    cfg.inputs = 12;
+    cfg.hidden = 4;
+    cfg.outputs = 3;
+    return cfg;
+}
+
+TEST(Accelerator, CleanForwardMatchesFixedMlpBitExact)
+{
+    // The defect-free accelerator must be bit-identical to the
+    // fixed-point reference when the logical network fills the
+    // array exactly.
+    MlpTopology topo{12, 4, 3};
+    Accelerator accel(smallArray(), topo);
+    FixedMlp ref(topo);
+    MlpWeights w(topo);
+    Rng rng(2);
+    w.initRandom(rng, 2.0);
+    accel.setWeights(w);
+    ref.setWeights(w);
+    for (int t = 0; t < 50; ++t) {
+        std::vector<double> in(12);
+        for (double &v : in)
+            v = rng.nextDouble();
+        Activations a = accel.forward(in);
+        Activations b = ref.forward(in);
+        EXPECT_EQ(a.output, b.output);
+        EXPECT_EQ(a.hidden, b.hidden);
+    }
+}
+
+TEST(Accelerator, LogicalSubsetMatchesFixedMlp)
+{
+    // A smaller logical task mapped onto a larger array behaves
+    // exactly like the task-sized reference.
+    MlpTopology topo{5, 3, 2};
+    Accelerator accel(smallArray(), topo);
+    FixedMlp ref(topo);
+    MlpWeights w(topo);
+    Rng rng(3);
+    w.initRandom(rng, 2.0);
+    accel.setWeights(w);
+    ref.setWeights(w);
+    for (int t = 0; t < 50; ++t) {
+        std::vector<double> in(5);
+        for (double &v : in)
+            v = rng.nextDouble();
+        EXPECT_EQ(accel.forward(in).output, ref.forward(in).output);
+    }
+}
+
+TEST(Accelerator, PaperConfigurationDefaults)
+{
+    AcceleratorConfig cfg;
+    EXPECT_EQ(cfg.inputs, 90);
+    EXPECT_EQ(cfg.hidden, 10);
+    EXPECT_EQ(cfg.outputs, 10);
+}
+
+TEST(Accelerator, UnitCounts)
+{
+    Accelerator accel(smallArray(), {12, 4, 3});
+    // Synapses: 4*13 + 3*5 = 67 latches and multipliers each.
+    EXPECT_EQ(accel.unitCount(UnitKind::WeightLatch), 67);
+    EXPECT_EQ(accel.unitCount(UnitKind::Multiplier), 67);
+    // Adder stages: 4*12 + 3*4 = 60.
+    EXPECT_EQ(accel.unitCount(UnitKind::AdderStage), 60);
+    EXPECT_EQ(accel.unitCount(UnitKind::Activation), 7);
+}
+
+TEST(Accelerator, RejectsOversizedLogicalNetwork)
+{
+    EXPECT_EXIT(
+        {
+            Accelerator accel(smallArray(), {13, 4, 3});
+        },
+        ::testing::KilledBySignal(SIGABRT), "does not fit");
+}
+
+TEST(Accelerator, InjectAndClearDefects)
+{
+    Accelerator accel(smallArray(), {12, 4, 3});
+    Rng rng(5);
+    UnitSite site{UnitKind::Multiplier, Layer::Hidden, 1, 3};
+    auto recs = accel.injectDefects(site, 3, rng);
+    EXPECT_EQ(recs.size(), 3u);
+    ASSERT_EQ(accel.faultySites().size(), 1u);
+    EXPECT_EQ(accel.faultySites()[0], site);
+    accel.clearDefects();
+    EXPECT_TRUE(accel.faultySites().empty());
+}
+
+TEST(Accelerator, DefectsAccumulateAtSameSite)
+{
+    Accelerator accel(smallArray(), {12, 4, 3});
+    Rng rng(5);
+    UnitSite site{UnitKind::Multiplier, Layer::Hidden, 0, 0};
+    accel.injectDefects(site, 1, rng);
+    accel.injectDefects(site, 2, rng);
+    EXPECT_EQ(accel.faultySites().size(), 1u);
+}
+
+TEST(Accelerator, ManyMultiplierDefectsChangeOutputs)
+{
+    MlpTopology topo{12, 4, 3};
+    Accelerator accel(smallArray(), topo);
+    FixedMlp ref(topo);
+    MlpWeights w(topo);
+    Rng rng(7);
+    w.initRandom(rng, 2.0);
+    accel.setWeights(w);
+    ref.setWeights(w);
+
+    // Saturate one hidden multiplier with defects: some input must
+    // now deviate from the clean reference.
+    UnitSite site{UnitKind::Multiplier, Layer::Hidden, 0, 2};
+    accel.injectDefects(site, 25, rng);
+    bool deviated = false;
+    for (int t = 0; t < 100 && !deviated; ++t) {
+        std::vector<double> in(12);
+        for (double &v : in)
+            v = rng.nextDouble();
+        deviated = accel.forward(in).hidden != ref.forward(in).hidden;
+    }
+    EXPECT_TRUE(deviated);
+}
+
+TEST(Accelerator, FaultyWeightLatchCorruptsStorage)
+{
+    MlpTopology topo{12, 4, 3};
+    Accelerator accel(smallArray(), topo);
+    Rng rng(11);
+    UnitSite site{UnitKind::WeightLatch, Layer::Hidden, 2, 5};
+    accel.injectDefects(site, 20, rng);
+
+    MlpWeights w(topo);
+    w.initRandom(rng, 2.0);
+    accel.setWeights(w);
+    // The probe recorded the |stored - intended| deviation.
+    const DeviationProbe &p = accel.probe(site);
+    EXPECT_GT(p.amplitude.count(), 0u);
+}
+
+TEST(Accelerator, ProbeRecordsMultiplierDeviation)
+{
+    MlpTopology topo{12, 4, 3};
+    Accelerator accel(smallArray(), topo);
+    MlpWeights w(topo);
+    Rng rng(13);
+    w.initRandom(rng, 2.0);
+    accel.setWeights(w);
+    UnitSite site{UnitKind::Multiplier, Layer::Output, 1, 2};
+    accel.injectDefects(site, 10, rng);
+    std::vector<double> in(12, 0.5);
+    accel.forward(in);
+    EXPECT_EQ(accel.probe(site).amplitude.count(), 1u);
+    accel.clearProbes();
+    EXPECT_EQ(accel.probe(site).amplitude.count(), 0u);
+}
+
+TEST(Accelerator, CleanSiteProbeIsEmpty)
+{
+    Accelerator accel(smallArray(), {12, 4, 3});
+    UnitSite site{UnitKind::Activation, Layer::Hidden, 0, 0};
+    EXPECT_EQ(accel.probe(site).amplitude.count(), 0u);
+}
+
+TEST(Accelerator, TrainableThroughFaultyForward)
+{
+    // End-to-end: inject defects, retrain through the faulty
+    // hardware, accuracy recovers above chance.
+    Rng gen(17);
+    Dataset ds = makeSyntheticTask(uciTask("iris"), gen, 120);
+    AcceleratorConfig cfg;
+    cfg.inputs = 16;
+    cfg.hidden = 6;
+    cfg.outputs = 3;
+    MlpTopology topo{4, 6, 3};
+    Accelerator accel(cfg, topo);
+
+    Trainer trainer({6, 60, 0.2, 0.1});
+    Rng rng(5);
+    MlpWeights clean = trainer.train(accel, ds, rng);
+    double clean_acc = Trainer::accuracy(accel, ds);
+    EXPECT_GT(clean_acc, 0.8);
+
+    DefectInjector injector(accel, SitePool::inputAndHidden());
+    injector.inject(4, rng);
+    Trainer retrainer({6, 30, 0.2, 0.1});
+    retrainer.train(accel, ds, rng, &clean);
+    double faulty_acc = Trainer::accuracy(accel, ds);
+    EXPECT_GT(faulty_acc, 0.6) << "retraining failed to recover";
+}
+
+TEST(UnitSite, OrderingAndDescription)
+{
+    UnitSite a{UnitKind::Multiplier, Layer::Hidden, 0, 1};
+    UnitSite b{UnitKind::Multiplier, Layer::Hidden, 0, 2};
+    EXPECT_LT(a, b);
+    EXPECT_FALSE(b < a);
+    EXPECT_EQ(a.describe(), "mult[hid n0 i1]");
+    UnitSite c{UnitKind::Activation, Layer::Output, 3, 0};
+    EXPECT_EQ(c.describe(), "act[out n3 i0]");
+}
+
+} // namespace
+} // namespace dtann

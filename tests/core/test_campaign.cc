@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Smoke tests of the figure campaigns at tiny scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hh"
+
+namespace dtann {
+namespace {
+
+TEST(Fig5, CleanDistributionIsExactConvolution)
+{
+    Rng rng(1);
+    Fig5Result r = runFig5(Fig5Operator::Adder4, 1, 2, rng);
+    // Each repetition covers all 256 pairs: value v occurs
+    // #\{(a,b): a+b=v\} times per repetition.
+    EXPECT_EQ(r.none.total(), 512u);
+    EXPECT_EQ(r.none.at(0), 2u);   // only 0+0
+    EXPECT_EQ(r.none.at(15), 32u); // 16 pairs x 2 reps
+    EXPECT_EQ(r.none.at(30), 2u);  // only 15+15
+}
+
+TEST(Fig5, OneDefectBarelyMovesTransistorDistribution)
+{
+    // Paper: "For 1 defect, the behavior of the 4-bit adder is
+    // barely affected."
+    Rng rng(2);
+    Fig5Result r = runFig5(Fig5Operator::Adder4, 1, 40, rng);
+    EXPECT_LT(r.trans.totalVariation(r.none), 0.10);
+}
+
+TEST(Fig5, TwentyDefectsDivergeAndGateModelIsWorse)
+{
+    // Paper: at 20 defects both models diverge from the clean
+    // distribution, and the transistor-level profile stays closer
+    // to the error-free profile than the gate-level one.
+    Rng rng(3);
+    Fig5Result r = runFig5(Fig5Operator::Adder4, 20, 60, rng);
+    double tv_trans = r.trans.totalVariation(r.none);
+    double tv_gate = r.gate.totalVariation(r.none);
+    EXPECT_GT(tv_trans, 0.05);
+    EXPECT_GT(tv_gate, tv_trans)
+        << "gate-level faults should distort more";
+}
+
+TEST(Fig5, MultiplierConfigurationRuns)
+{
+    Rng rng(4);
+    Fig5Result r = runFig5(Fig5Operator::Multiplier4, 20, 10, rng);
+    EXPECT_EQ(r.none.total(), 2560u);
+    EXPECT_EQ(r.none.at(225), 10u); // 15*15 only
+    EXPECT_GT(r.trans.total(), 0u);
+    EXPECT_GT(r.gate.total(), 0u);
+}
+
+TEST(Fig10, TinyCampaignShowsToleranceShape)
+{
+    Fig10Config cfg;
+    cfg.tasks = {"iris"};
+    cfg.defectCounts = {0, 4};
+    cfg.repetitions = 2;
+    cfg.folds = 2;
+    cfg.rows = 90;
+    cfg.epochScale = 0.4;
+    cfg.retrainScale = 0.3;
+    cfg.seed = 7;
+    cfg.array.inputs = 16;
+    cfg.array.hidden = 8;
+    cfg.array.outputs = 3;
+
+    auto curves = runFig10(cfg);
+    ASSERT_EQ(curves.size(), 1u);
+    const Fig10Curve &c = curves[0];
+    EXPECT_EQ(c.task, "iris");
+    ASSERT_EQ(c.points.size(), 2u);
+    EXPECT_EQ(c.points[0].defects, 0);
+    // Clean baseline learns the task.
+    EXPECT_GT(c.points[0].accuracy, 0.7);
+    // A handful of defects after retraining must not collapse the
+    // network (the paper's central claim).
+    EXPECT_GT(c.points[1].accuracy, 0.5);
+}
+
+TEST(Fig11, TinyCampaignProducesAmplitudes)
+{
+    Fig11Config cfg;
+    cfg.tasks = {"iris"};
+    cfg.repetitions = 3;
+    cfg.folds = 2;
+    cfg.rows = 90;
+    cfg.epochScale = 0.4;
+    cfg.retrainScale = 0.3;
+    cfg.seed = 9;
+    cfg.array.inputs = 16;
+    cfg.array.hidden = 8;
+    cfg.array.outputs = 3;
+
+    auto curves = runFig11(cfg);
+    ASSERT_EQ(curves.size(), 1u);
+    const Fig11Curve &c = curves[0];
+    EXPECT_EQ(c.samples.size(), 3u);
+    for (const auto &s : c.samples) {
+        EXPECT_GE(s.accuracy, 0.0);
+        EXPECT_LE(s.accuracy, 1.0);
+        EXPECT_FALSE(s.site.empty());
+    }
+    EXPECT_FALSE(c.binAccuracy.empty());
+}
+
+TEST(HardwareHyper, CapsHiddenAtPhysical)
+{
+    AcceleratorConfig a; // 10 hidden
+    Hyper h = hardwareHyper(uciTask("breast"), a, 1.0); // paper: 14
+    EXPECT_EQ(h.hidden, 10);
+    Hyper h2 = hardwareHyper(uciTask("wine"), a, 1.0); // paper: 4
+    EXPECT_EQ(h2.hidden, 4);
+}
+
+TEST(HardwareHyper, ScalesEpochs)
+{
+    AcceleratorConfig a;
+    Hyper h = hardwareHyper(uciTask("robot"), a, 0.1); // 1600 -> 160
+    EXPECT_EQ(h.epochs, 160);
+    Hyper h1 = hardwareHyper(uciTask("iris"), a, 0.001);
+    EXPECT_GE(h1.epochs, 1);
+}
+
+} // namespace
+} // namespace dtann

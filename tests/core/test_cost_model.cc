@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the Table III cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hh"
+
+namespace dtann {
+namespace {
+
+TEST(CostModel, CalibratedTotalsMatchTableIII)
+{
+    CostModel cm(AcceleratorConfig{});
+    BlockCost acc = cm.accelerator();
+    EXPECT_NEAR(acc.areaMm2, 9.02, 1e-9);
+    EXPECT_NEAR(acc.energyPerRowNj, 70.16, 1e-9);
+    EXPECT_NEAR(acc.latencyNs, 14.92, 1e-9);
+    // Power follows: 70.16 nJ / 14.92 ns = 4.70 W.
+    EXPECT_NEAR(acc.powerW, 4.70, 0.01);
+}
+
+TEST(CostModel, ActivationUnitIsTinyShare)
+{
+    CostModel cm(AcceleratorConfig{});
+    BlockCost act = cm.activation();
+    BlockCost acc = cm.accelerator();
+    // Table III: 0.017 mm^2 of 9.02 (~0.2%); ours must be well
+    // under 1% and nonzero.
+    EXPECT_GT(act.areaMm2, 0.0005);
+    EXPECT_LT(act.areaMm2 / acc.areaMm2, 0.01);
+    EXPECT_GT(act.latencyNs, 0.5);
+    EXPECT_LT(act.latencyNs, 6.0); // paper: 2.84 ns
+    EXPECT_LT(act.powerW, 0.05);
+}
+
+TEST(CostModel, InterfaceIsSmallShare)
+{
+    CostModel cm(AcceleratorConfig{});
+    BlockCost itf = cm.interface();
+    BlockCost acc = cm.accelerator();
+    // Table III: 0.047 mm^2 (~0.5% of area), 0.0054 W.
+    EXPECT_GT(itf.areaMm2, 0.01);
+    EXPECT_LT(itf.areaMm2, 0.15);
+    EXPECT_LT(itf.areaMm2 / acc.areaMm2, 0.02);
+    EXPECT_LT(itf.powerW, 0.05);
+}
+
+TEST(CostModel, KeyLogicFractionScaling)
+{
+    // Paper Section VI-A: under 10% after 4 generations (22 nm),
+    // about 25% after 6 (11 nm).
+    CostModel cm(AcceleratorConfig{});
+    EXPECT_LT(cm.keyLogicFraction(0), 0.02);
+    EXPECT_LT(cm.keyLogicFraction(4), 0.10);
+    double f6 = cm.keyLogicFraction(6);
+    EXPECT_GT(f6, 0.10);
+    EXPECT_LT(f6, 0.40);
+    // Monotone in generations.
+    for (int g = 0; g < 7; ++g)
+        EXPECT_LT(cm.keyLogicFraction(g), cm.keyLogicFraction(g + 1));
+}
+
+TEST(CostModel, OutputCriticalShares)
+{
+    // Paper: output adders + activations are 25.9% of the output
+    // layer and 2.3% of total area. Structural shares depend on
+    // our netlists; assert the same order of magnitude.
+    CostModel cm(AcceleratorConfig{});
+    double of_layer = cm.outputCriticalShareOfOutputLayer();
+    double of_total = cm.outputCriticalAreaFraction();
+    EXPECT_GT(of_layer, 0.05);
+    EXPECT_LT(of_layer, 0.5);
+    EXPECT_GT(of_total, 0.005);
+    EXPECT_LT(of_total, 0.05);
+    EXPECT_LT(of_total, of_layer);
+}
+
+TEST(CostModel, HardenedKeyLogicOverheadIsSmallTodayGrowsWithScaling)
+{
+    CostModel cm(AcceleratorConfig{});
+    double now = cm.hardenedKeyLogicOverhead(2.0, 0);
+    double later = cm.hardenedKeyLogicOverhead(2.0, 6);
+    EXPECT_GT(now, 0.0);
+    EXPECT_LT(now, 0.02); // well under 2% today
+    EXPECT_GT(later, now);
+    EXPECT_DOUBLE_EQ(cm.hardenedKeyLogicOverhead(1.0, 0), 0.0);
+}
+
+TEST(CostModel, NonReferenceConfigsScaleFromReferenceCalibration)
+{
+    // A half-size array must cost roughly half the area, not be
+    // re-normalized to 9.02 mm^2.
+    AcceleratorConfig half;
+    half.inputs = 45;
+    half.hidden = 5;
+    CostModel ref((AcceleratorConfig()));
+    CostModel small(half);
+    EXPECT_LT(small.accelerator().areaMm2,
+              0.5 * ref.accelerator().areaMm2);
+    EXPECT_GT(small.accelerator().areaMm2,
+              0.05 * ref.accelerator().areaMm2);
+
+    // The mirror-style full array is smaller and faster than the
+    // NAND9 reference under the same calibration constants.
+    AcceleratorConfig mirror;
+    mirror.faStyle = FaStyle::Mirror;
+    CostModel m(mirror);
+    EXPECT_LT(m.accelerator().areaMm2, ref.accelerator().areaMm2);
+    EXPECT_LT(m.accelerator().latencyNs, ref.accelerator().latencyNs);
+}
+
+TEST(CostModel, MirrorStyleReducesArea)
+{
+    AcceleratorConfig nand9;
+    AcceleratorConfig mirror;
+    mirror.faStyle = FaStyle::Mirror;
+    CostModel a(nand9), b(mirror);
+    // 28T vs 36T full adders: the mirror array has fewer
+    // transistors, so at equal calibration constants it is smaller.
+    EXPECT_LT(b.arrayTransistors(), a.arrayTransistors());
+}
+
+TEST(CostModel, BiggerArrayCostsMore)
+{
+    AcceleratorConfig small;
+    small.inputs = 30;
+    CostModel a(small), b(AcceleratorConfig{});
+    EXPECT_LT(a.arrayTransistors(), b.arrayTransistors());
+    // Interface scales with I/O count too.
+    EXPECT_LT(a.interfaceTransistors(), b.interfaceTransistors());
+}
+
+TEST(CostModel, CriticalPathDominatedByAdderTreeDepth)
+{
+    AcceleratorConfig wide;
+    wide.inputs = 90;
+    AcceleratorConfig narrow;
+    narrow.inputs = 10;
+    EXPECT_GT(CostModel(wide).criticalPathDepth(),
+              CostModel(narrow).criticalPathDepth());
+}
+
+} // namespace
+} // namespace dtann

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the DMA interface model (paper Section IV sizing).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dma.hh"
+
+namespace dtann {
+namespace {
+
+TEST(HandshakeChannel, TwoDeepBuffering)
+{
+    HandshakeChannel<int> ch;
+    EXPECT_TRUE(ch.ready());
+    EXPECT_FALSE(ch.available());
+    EXPECT_TRUE(ch.offer(1));
+    EXPECT_TRUE(ch.offer(2));
+    EXPECT_FALSE(ch.ready());
+    EXPECT_FALSE(ch.offer(3)) << "third offer must be refused";
+    EXPECT_EQ(ch.occupancy(), 2u);
+    EXPECT_EQ(ch.accept(), 1);
+    EXPECT_TRUE(ch.ready());
+    EXPECT_EQ(ch.accept(), 2);
+    EXPECT_FALSE(ch.available());
+}
+
+TEST(HandshakeChannel, FifoOrderUnderInterleaving)
+{
+    HandshakeChannel<int> ch;
+    int next_in = 0, next_out = 0;
+    for (int step = 0; step < 100; ++step) {
+        if (step % 3 != 2) {
+            if (ch.offer(next_in))
+                ++next_in;
+        } else if (ch.available()) {
+            EXPECT_EQ(ch.accept(), next_out++);
+        }
+    }
+    while (ch.available())
+        EXPECT_EQ(ch.accept(), next_out++);
+    EXPECT_EQ(next_in, next_out);
+}
+
+TEST(DmaModel, PaperBandwidthNumbers)
+{
+    DmaModel dma;
+    // Two 64-bit links at 800 MHz: 12.8 GB/s peak (QPI-class).
+    EXPECT_NEAR(dma.peakBandwidthGBs(), 12.8, 0.01);
+    // 90 inputs x 16 bits per 14.92 ns row: the paper's 11.23 GB/s.
+    EXPECT_NEAR(DmaModel::demandGBs(90 * 16, 14.92), 11.23, 0.02);
+    // Required clock: the paper's 754 MHz.
+    EXPECT_NEAR(dma.requiredClockMhz(90 * 16, 14.92), 754.0, 1.0);
+}
+
+TEST(DmaModel, TransferCycles)
+{
+    DmaModel dma;
+    EXPECT_EQ(dma.cyclesForBits(128), 1);
+    EXPECT_EQ(dma.cyclesForBits(129), 2);
+    EXPECT_EQ(dma.cyclesForBits(1440), 12);
+    EXPECT_NEAR(dma.transferNs(1440), 12 * 1.25, 1e-9);
+}
+
+TEST(DmaModel, ScalesWithLinks)
+{
+    DmaConfig cfg;
+    cfg.links = 4;
+    DmaModel dma(cfg);
+    EXPECT_NEAR(dma.peakBandwidthGBs(), 25.6, 0.01);
+    EXPECT_LT(dma.requiredClockMhz(1440, 14.92), 400.0);
+}
+
+TEST(DmaModel, RowStreamingThroughChannels)
+{
+    // Functional end-to-end: producer fills, consumer drains, no
+    // row lost or reordered.
+    HandshakeChannel<DmaRow> in_ch;
+    std::vector<DmaRow> produced;
+    for (int r = 0; r < 10; ++r) {
+        DmaRow row(90);
+        for (size_t i = 0; i < row.size(); ++i)
+            row[i] = Fix16::fromDouble(r * 0.01 + i * 0.001);
+        produced.push_back(row);
+    }
+    size_t sent = 0, received = 0;
+    std::vector<DmaRow> consumed;
+    while (received < produced.size()) {
+        while (sent < produced.size() && in_ch.offer(produced[sent]))
+            ++sent;
+        if (in_ch.available()) {
+            consumed.push_back(in_ch.accept());
+            ++received;
+        }
+    }
+    ASSERT_EQ(consumed.size(), produced.size());
+    for (size_t r = 0; r < produced.size(); ++r)
+        EXPECT_EQ(consumed[r], produced[r]);
+}
+
+} // namespace
+} // namespace dtann

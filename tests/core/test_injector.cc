@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for accelerator-level defect-site sampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/injector.hh"
+
+namespace dtann {
+namespace {
+
+AcceleratorConfig
+smallArray()
+{
+    AcceleratorConfig cfg;
+    cfg.inputs = 12;
+    cfg.hidden = 4;
+    cfg.outputs = 3;
+    return cfg;
+}
+
+TEST(SitePool, InputAndHiddenExcludesOutputLayer)
+{
+    Accelerator accel(smallArray(), {12, 4, 3});
+    DefectInjector inj(accel, SitePool::inputAndHidden());
+    Rng rng(1);
+    for (int i = 0; i < 300; ++i)
+        EXPECT_EQ(inj.randomSite(rng).layer, Layer::Hidden);
+}
+
+TEST(SitePool, OutputCriticalOnlyAddersAndActivations)
+{
+    Accelerator accel(smallArray(), {12, 4, 3});
+    DefectInjector inj(accel, SitePool::outputCritical());
+    Rng rng(2);
+    for (int i = 0; i < 300; ++i) {
+        UnitSite s = inj.randomSite(rng);
+        EXPECT_EQ(s.layer, Layer::Output);
+        EXPECT_TRUE(s.kind == UnitKind::AdderStage ||
+                    s.kind == UnitKind::Activation);
+    }
+}
+
+TEST(SitePool, EligibleUnitCounts)
+{
+    Accelerator accel(smallArray(), {12, 4, 3});
+    // Hidden layer: 4*13 latches + 4*13 mults + 4*12 adders + 4 act.
+    DefectInjector hid(accel, SitePool::inputAndHidden());
+    EXPECT_EQ(hid.eligibleUnits(), 52u + 52u + 48u + 4u);
+    // Output critical: 3*4 adders + 3 activations.
+    DefectInjector out(accel, SitePool::outputCritical());
+    EXPECT_EQ(out.eligibleUnits(), 12u + 3u);
+    DefectInjector all(accel, SitePool::all());
+    EXPECT_EQ(all.eligibleUnits(),
+              2u * 67u + 60u + 7u);
+}
+
+TEST(SiteWeighting, TransistorWeightingFavorsMultipliers)
+{
+    // Multipliers are ~30x larger than 16-bit latch registers, so
+    // transistor weighting must pick them far more often.
+    Accelerator accel(smallArray(), {12, 4, 3});
+    DefectInjector inj(accel, SitePool::inputAndHidden(),
+                       SiteWeighting::Transistor);
+    Rng rng(3);
+    int mult = 0, latch = 0;
+    for (int i = 0; i < 2000; ++i) {
+        UnitSite s = inj.randomSite(rng);
+        mult += s.kind == UnitKind::Multiplier;
+        latch += s.kind == UnitKind::WeightLatch;
+    }
+    EXPECT_GT(mult, 10 * latch);
+}
+
+TEST(SiteWeighting, UniformWeightingBalancesKinds)
+{
+    Accelerator accel(smallArray(), {12, 4, 3});
+    DefectInjector inj(accel, SitePool::inputAndHidden(),
+                       SiteWeighting::Uniform);
+    Rng rng(4);
+    int mult = 0, latch = 0;
+    for (int i = 0; i < 2000; ++i) {
+        UnitSite s = inj.randomSite(rng);
+        mult += s.kind == UnitKind::Multiplier;
+        latch += s.kind == UnitKind::WeightLatch;
+    }
+    // Same instance counts: ratio near 1.
+    EXPECT_LT(std::abs(mult - latch), 300);
+}
+
+TEST(DefectInjector, InjectInstallsFaults)
+{
+    Accelerator accel(smallArray(), {12, 4, 3});
+    DefectInjector inj(accel, SitePool::inputAndHidden());
+    Rng rng(5);
+    auto records = inj.inject(6, rng);
+    EXPECT_EQ(records.size(), 6u);
+    EXPECT_FALSE(accel.faultySites().empty());
+    EXPECT_LE(accel.faultySites().size(), 6u);
+    for (const auto &r : records)
+        EXPECT_NE(r.what.find("["), std::string::npos)
+            << "record should name the site: " << r.what;
+}
+
+TEST(DefectInjector, DeterministicWithSeed)
+{
+    Accelerator a1(smallArray(), {12, 4, 3});
+    Accelerator a2(smallArray(), {12, 4, 3});
+    DefectInjector i1(a1, SitePool::inputAndHidden());
+    DefectInjector i2(a2, SitePool::inputAndHidden());
+    Rng r1(9), r2(9);
+    auto rec1 = i1.inject(5, r1);
+    auto rec2 = i2.inject(5, r2);
+    ASSERT_EQ(rec1.size(), rec2.size());
+    for (size_t i = 0; i < rec1.size(); ++i)
+        EXPECT_EQ(rec1[i].what, rec2[i].what);
+}
+
+} // namespace
+} // namespace dtann

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the effective-yield analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/yield.hh"
+
+namespace dtann {
+namespace {
+
+Fig10Curve
+flatCurve(double accuracy)
+{
+    Fig10Curve c;
+    c.task = "flat";
+    for (int d : {0, 9, 27})
+        c.points.push_back({d, accuracy, 0.0});
+    return c;
+}
+
+Fig10Curve
+cliffCurve()
+{
+    // 0.95 until 12 defects, then a linear fall to 0.2 at 24.
+    Fig10Curve c;
+    c.task = "cliff";
+    c.points.push_back({0, 0.95, 0.0});
+    c.points.push_back({12, 0.95, 0.0});
+    c.points.push_back({24, 0.20, 0.0});
+    return c;
+}
+
+TEST(Poisson, PmfBasics)
+{
+    EXPECT_DOUBLE_EQ(poissonPmf(0, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(poissonPmf(3, 0.0), 0.0);
+    EXPECT_NEAR(poissonPmf(0, 2.0), std::exp(-2.0), 1e-12);
+    EXPECT_NEAR(poissonPmf(1, 2.0), 2.0 * std::exp(-2.0), 1e-12);
+    double sum = 0.0;
+    for (int k = 0; k < 60; ++k)
+        sum += poissonPmf(k, 5.0);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Interpolate, EndpointsAndMidpoints)
+{
+    Fig10Curve c = cliffCurve();
+    EXPECT_DOUBLE_EQ(interpolateAccuracy(c, 0), 0.95);
+    EXPECT_DOUBLE_EQ(interpolateAccuracy(c, 6), 0.95);
+    EXPECT_NEAR(interpolateAccuracy(c, 18), (0.95 + 0.20) / 2, 1e-12);
+    // Clamped beyond measurements.
+    EXPECT_DOUBLE_EQ(interpolateAccuracy(c, 100), 0.20);
+}
+
+TEST(Yield, ZeroDensityIsPerfect)
+{
+    YieldPoint y = effectiveYield(cliffCurve(), 9.02, 0.0, 0.9);
+    EXPECT_DOUBLE_EQ(y.classicYield, 1.0);
+    EXPECT_DOUBLE_EQ(y.effectiveYield, 1.0);
+    EXPECT_NEAR(y.expectedAccuracy, 0.95, 1e-12);
+}
+
+TEST(Yield, ClassicYieldIsPoissonZero)
+{
+    // 50 defects/cm^2 on 9.02 mm^2: lambda = 4.51.
+    YieldPoint y = effectiveYield(flatCurve(0.9), 9.02, 50.0, 0.5);
+    EXPECT_NEAR(y.meanDefects, 4.51, 1e-9);
+    EXPECT_NEAR(y.classicYield, std::exp(-4.51), 1e-9);
+}
+
+TEST(Yield, TolerantCurveBeatsClassicYield)
+{
+    // The paper's motivation in one assert: at realistic defect
+    // densities a defect-tolerant array yields far more working
+    // parts than a defect-intolerant circuit of the same area.
+    YieldPoint y = effectiveYield(cliffCurve(), 9.02, 50.0, 0.9);
+    EXPECT_GT(y.effectiveYield, 5 * y.classicYield);
+    EXPECT_GT(y.effectiveYield, 0.95); // cliff is at 12 >> lambda
+}
+
+TEST(Yield, HighDensityDegrades)
+{
+    YieldPoint lo = effectiveYield(cliffCurve(), 9.02, 20.0, 0.9);
+    YieldPoint hi = effectiveYield(cliffCurve(), 9.02, 300.0, 0.9);
+    EXPECT_GT(lo.effectiveYield, hi.effectiveYield);
+    EXPECT_GT(lo.expectedAccuracy, hi.expectedAccuracy);
+}
+
+TEST(Yield, FlatIntolerantCurveMatchesClassic)
+{
+    // A curve that fails at the first defect reduces to classic
+    // yield.
+    Fig10Curve c;
+    c.task = "fragile";
+    c.points.push_back({0, 0.95, 0.0});
+    c.points.push_back({1, 0.10, 0.0});
+    YieldPoint y = effectiveYield(c, 9.02, 80.0, 0.9);
+    EXPECT_NEAR(y.effectiveYield, y.classicYield, 1e-9);
+}
+
+} // namespace
+} // namespace dtann

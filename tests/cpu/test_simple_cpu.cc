@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for the in-order CPU cost model (Table IV).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hh"
+#include "cpu/simple_cpu.hh"
+
+namespace dtann {
+namespace {
+
+TEST(SimpleCpu, PaperCyclesPerRow)
+{
+    SimpleCpuModel cpu;
+    // Table IV: 19680 cycles per 90-10-10 row.
+    EXPECT_NEAR(cpu.cyclesPerRow({90, 10, 10}), 19680.0, 1.0);
+}
+
+TEST(SimpleCpu, PaperEnergyPerRow)
+{
+    SimpleCpuModel cpu;
+    CpuExecution e = cpu.execute({90, 10, 10});
+    // 19680 cycles at 800 MHz = 24600 ns; x 2.78 W = 68388 nJ.
+    EXPECT_NEAR(e.timePerRowNs, 24600.0, 2.0);
+    EXPECT_NEAR(e.energyPerRowNj, 68388.0, 10.0);
+    EXPECT_DOUBLE_EQ(e.avgPowerW, 2.78);
+}
+
+TEST(SimpleCpu, EnergyRatioIsAboutThreeOrdersOfMagnitude)
+{
+    SimpleCpuModel cpu;
+    CostModel cm(AcceleratorConfig{});
+    double ratio = cpu.energyRatioVs(cm.accelerator().energyPerRowNj,
+                                     {90, 10, 10});
+    // Paper: 68388 / 70.16 = ~975x.
+    EXPECT_NEAR(ratio, 974.7, 2.0);
+    EXPECT_GT(ratio, 100.0) << "accelerator must win by >2 orders";
+}
+
+TEST(SimpleCpu, AcceleratorPowerHigherButEnergyLower)
+{
+    // The paper's observation: the accelerator draws MORE power
+    // (4.70 W vs 2.78 W) yet three orders of magnitude less energy
+    // per row, thanks to the 14.92 ns row latency.
+    SimpleCpuModel cpu;
+    CostModel cm(AcceleratorConfig{});
+    BlockCost acc = cm.accelerator();
+    CpuExecution e = cpu.execute({90, 10, 10});
+    EXPECT_GT(acc.powerW, e.avgPowerW);
+    EXPECT_LT(acc.energyPerRowNj, e.energyPerRowNj);
+    EXPECT_LT(acc.latencyNs, e.timePerRowNs);
+}
+
+TEST(SimpleCpu, CyclesScaleWithNetwork)
+{
+    SimpleCpuModel cpu;
+    EXPECT_LT(cpu.cyclesPerRow({4, 2, 2}), cpu.cyclesPerRow({90, 10, 10}));
+    EXPECT_GT(cpu.cyclesPerRow({200, 20, 10}),
+              cpu.cyclesPerRow({90, 10, 10}));
+}
+
+TEST(SimpleCpu, ConfigurableClock)
+{
+    CpuConfig cfg;
+    cfg.clockMhz = 1600.0;
+    SimpleCpuModel fast(cfg);
+    CpuExecution e = fast.execute({90, 10, 10});
+    EXPECT_NEAR(e.timePerRowNs, 12300.0, 2.0);
+}
+
+} // namespace
+} // namespace dtann

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for CSV dataset I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "data/csv.hh"
+
+namespace dtann {
+namespace {
+
+TEST(Csv, LoadBasic)
+{
+    std::istringstream in("# comment\n"
+                          "0.5,1.0,0\n"
+                          "0.25,2.0,1\n"
+                          "\n"
+                          "0.75,3.0,1\n");
+    Dataset ds = loadCsv(in, "test");
+    EXPECT_EQ(ds.size(), 3u);
+    EXPECT_EQ(ds.numAttributes, 2);
+    EXPECT_EQ(ds.numClasses, 2);
+    EXPECT_DOUBLE_EQ(ds.rows[1][1], 2.0);
+    EXPECT_EQ(ds.labels[2], 1);
+}
+
+TEST(Csv, HandlesWindowsLineEndings)
+{
+    std::istringstream in("1.0,0\r\n2.0,1\r\n");
+    Dataset ds = loadCsv(in, "crlf");
+    EXPECT_EQ(ds.size(), 2u);
+    EXPECT_EQ(ds.numAttributes, 1);
+}
+
+TEST(Csv, RoundTrip)
+{
+    Dataset ds;
+    ds.name = "rt";
+    ds.numAttributes = 3;
+    ds.numClasses = 2;
+    ds.rows = {{0.1, 0.2, 0.3}, {0.4, 0.5, 0.6}};
+    ds.labels = {0, 1};
+
+    std::ostringstream out;
+    saveCsv(out, ds);
+    std::istringstream in(out.str());
+    Dataset back = loadCsv(in, "rt");
+    EXPECT_EQ(back.size(), ds.size());
+    EXPECT_EQ(back.numAttributes, ds.numAttributes);
+    EXPECT_EQ(back.labels, ds.labels);
+    for (size_t i = 0; i < ds.size(); ++i)
+        for (size_t j = 0; j < 3; ++j)
+            EXPECT_NEAR(back.rows[i][j], ds.rows[i][j], 1e-9);
+}
+
+TEST(Csv, LoadCsvFileFromDisk)
+{
+    std::string path = ::testing::TempDir() + "dtann_csv_test.csv";
+    {
+        std::ofstream out(path);
+        out << "0.1,0.2,0\n0.3,0.4,1\n";
+    }
+    Dataset ds = loadCsvFile(path);
+    EXPECT_EQ(ds.size(), 2u);
+    EXPECT_EQ(ds.numAttributes, 2);
+    std::remove(path.c_str());
+}
+
+TEST(CsvDeath, LoadCsvFileMissingPathIsFatal)
+{
+    EXPECT_EXIT(loadCsvFile("/nonexistent/definitely_missing.csv"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+using CsvDeath = ::testing::Test;
+
+TEST(CsvDeath, RejectsNonNumericCell)
+{
+    std::istringstream in("1.0,abc,0\n");
+    EXPECT_EXIT(loadCsv(in, "bad"), ::testing::ExitedWithCode(1),
+                "non-numeric");
+}
+
+TEST(CsvDeath, RejectsInconsistentArity)
+{
+    std::istringstream in("1.0,2.0,0\n1.0,1\n");
+    EXPECT_EXIT(loadCsv(in, "bad"), ::testing::ExitedWithCode(1),
+                "inconsistent");
+}
+
+TEST(CsvDeath, RejectsEmptyInput)
+{
+    std::istringstream in("# nothing\n");
+    EXPECT_EXIT(loadCsv(in, "bad"), ::testing::ExitedWithCode(1), "empty");
+}
+
+TEST(CsvDeath, RejectsSingleClass)
+{
+    std::istringstream in("1.0,0\n2.0,0\n");
+    EXPECT_EXIT(loadCsv(in, "bad"), ::testing::ExitedWithCode(1),
+                "2 classes");
+}
+
+} // namespace
+} // namespace dtann

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for dataset utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.hh"
+
+namespace dtann {
+namespace {
+
+Dataset
+tinyDataset()
+{
+    Dataset ds;
+    ds.name = "tiny";
+    ds.numAttributes = 2;
+    ds.numClasses = 2;
+    ds.rows = {{0.0, 10.0}, {5.0, 20.0}, {10.0, 30.0}, {2.5, 15.0}};
+    ds.labels = {0, 1, 1, 0};
+    return ds;
+}
+
+TEST(Dataset, ValidatePasses)
+{
+    tinyDataset().validate();
+}
+
+TEST(Dataset, NormalizeMinMaxMapsToUnitRange)
+{
+    Dataset ds = tinyDataset();
+    normalizeMinMax(ds);
+    for (const auto &row : ds.rows)
+        for (double v : row) {
+            EXPECT_GE(v, 0.0);
+            EXPECT_LE(v, 1.0);
+        }
+    EXPECT_DOUBLE_EQ(ds.rows[0][0], 0.0);
+    EXPECT_DOUBLE_EQ(ds.rows[2][0], 1.0);
+    EXPECT_DOUBLE_EQ(ds.rows[1][1], 0.5);
+}
+
+TEST(Dataset, NormalizeConstantAttributeToZero)
+{
+    Dataset ds = tinyDataset();
+    for (auto &row : ds.rows)
+        row[0] = 7.0;
+    normalizeMinMax(ds);
+    for (const auto &row : ds.rows)
+        EXPECT_DOUBLE_EQ(row[0], 0.0);
+}
+
+TEST(Dataset, ShuffleKeepsPairs)
+{
+    Dataset ds = tinyDataset();
+    // Tag rows by their label parity so pairing is checkable.
+    Rng rng(4);
+    shuffleDataset(ds, rng);
+    for (size_t i = 0; i < ds.size(); ++i) {
+        // Label 0 rows have first attribute in {0.0, 2.5}.
+        bool low = ds.rows[i][0] == 0.0 || ds.rows[i][0] == 2.5;
+        EXPECT_EQ(ds.labels[i] == 0, low);
+    }
+}
+
+TEST(Dataset, KFoldCoversAllIndicesOnce)
+{
+    auto folds = kFoldIndices(10, 3);
+    ASSERT_EQ(folds.size(), 3u);
+    std::vector<int> seen(10, 0);
+    for (const auto &f : folds)
+        for (size_t i : f)
+            ++seen[i];
+    for (int c : seen)
+        EXPECT_EQ(c, 1);
+}
+
+TEST(Dataset, KFoldBalancedSizes)
+{
+    auto folds = kFoldIndices(10, 3);
+    for (const auto &f : folds) {
+        EXPECT_GE(f.size(), 3u);
+        EXPECT_LE(f.size(), 4u);
+    }
+}
+
+TEST(Dataset, SubsetSelectsRows)
+{
+    Dataset ds = tinyDataset();
+    Dataset s = subset(ds, {1, 3});
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_EQ(s.labels[0], 1);
+    EXPECT_EQ(s.labels[1], 0);
+    EXPECT_DOUBLE_EQ(s.rows[0][0], 5.0);
+}
+
+TEST(Dataset, ComplementSubsetExcludesFold)
+{
+    Dataset ds = tinyDataset();
+    auto folds = kFoldIndices(ds.size(), 2);
+    Dataset train = complementSubset(ds, folds, 0);
+    EXPECT_EQ(train.size(), ds.size() - folds[0].size());
+}
+
+} // namespace
+} // namespace dtann

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the synthetic UCI task generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "data/synth_uci.hh"
+
+namespace dtann {
+namespace {
+
+TEST(UciTasks, TenTasksWithPaperDimensions)
+{
+    const auto &tasks = uciTasks();
+    ASSERT_EQ(tasks.size(), 10u);
+    // Spot-check paper Table II dimensions.
+    EXPECT_EQ(uciTask("breast").attributes, 30);
+    EXPECT_EQ(uciTask("breast").classes, 2);
+    EXPECT_EQ(uciTask("glass").attributes, 9);
+    EXPECT_EQ(uciTask("glass").classes, 6);
+    EXPECT_EQ(uciTask("iris").attributes, 4);
+    EXPECT_EQ(uciTask("iris").classes, 3);
+    EXPECT_EQ(uciTask("optdigits").attributes, 64);
+    EXPECT_EQ(uciTask("optdigits").classes, 10);
+    EXPECT_EQ(uciTask("robot").attributes, 90);
+    EXPECT_EQ(uciTask("robot").classes, 5);
+    EXPECT_EQ(uciTask("sonar").attributes, 60);
+    EXPECT_EQ(uciTask("spam").attributes, 57);
+    EXPECT_EQ(uciTask("vehicle").classes, 4);
+    EXPECT_EQ(uciTask("wine").attributes, 13);
+}
+
+TEST(UciTasks, AllFitTheAccelerator)
+{
+    // The accelerator is 90-10-10: every benchmark task must fit.
+    for (const auto &t : uciTasks()) {
+        EXPECT_LE(t.attributes, 90) << t.name;
+        EXPECT_LE(t.classes, 10) << t.name;
+    }
+}
+
+TEST(UciTasks, PaperHyperParametersRecorded)
+{
+    EXPECT_DOUBLE_EQ(uciTask("ionosphere").learningRate, 0.3);
+    EXPECT_EQ(uciTask("robot").epochs, 1600);
+    EXPECT_EQ(uciTask("breast").hidden, 14);
+}
+
+TEST(SyntheticTask, HasRequestedShape)
+{
+    Rng rng(1);
+    Dataset ds = makeSyntheticTask(uciTask("iris"), rng, 120);
+    EXPECT_EQ(ds.size(), 120u);
+    EXPECT_EQ(ds.numAttributes, 4);
+    EXPECT_EQ(ds.numClasses, 3);
+    ds.validate();
+}
+
+TEST(SyntheticTask, DefaultSizeMatchesOriginal)
+{
+    Rng rng(1);
+    Dataset ds = makeSyntheticTask(uciTask("wine"), rng);
+    EXPECT_EQ(ds.size(), 178u);
+}
+
+TEST(SyntheticTask, ValuesInUnitRange)
+{
+    Rng rng(2);
+    Dataset ds = makeSyntheticTask(uciTask("sonar"), rng, 100);
+    for (const auto &row : ds.rows)
+        for (double v : row) {
+            EXPECT_GE(v, 0.0);
+            EXPECT_LE(v, 1.0);
+        }
+}
+
+TEST(SyntheticTask, RoughlyBalancedClasses)
+{
+    Rng rng(3);
+    Dataset ds = makeSyntheticTask(uciTask("glass"), rng, 300);
+    std::vector<int> counts(6, 0);
+    for (int l : ds.labels)
+        ++counts[static_cast<size_t>(l)];
+    for (int c : counts)
+        EXPECT_EQ(c, 50);
+}
+
+TEST(SyntheticTask, DeterministicPerSeed)
+{
+    Rng a(9), b(9);
+    Dataset da = makeSyntheticTask(uciTask("iris"), a, 50);
+    Dataset db = makeSyntheticTask(uciTask("iris"), b, 50);
+    EXPECT_EQ(da.labels, db.labels);
+    EXPECT_EQ(da.rows, db.rows);
+}
+
+TEST(SyntheticTask, DifferentSeedsDiffer)
+{
+    Rng a(9), b(10);
+    Dataset da = makeSyntheticTask(uciTask("iris"), a, 50);
+    Dataset db = makeSyntheticTask(uciTask("iris"), b, 50);
+    EXPECT_NE(da.rows, db.rows);
+}
+
+} // namespace
+} // namespace dtann

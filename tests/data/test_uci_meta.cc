@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tests for the UCI attribute census (Fig 2 input data).
+ */
+
+#include <gtest/gtest.h>
+
+#include "data/uci_meta.hh"
+
+namespace dtann {
+namespace {
+
+TEST(UciCensus, Has135Entries)
+{
+    EXPECT_EQ(uciCensus().size(), 135u);
+}
+
+TEST(UciCensus, AttributesPositive)
+{
+    for (const auto &e : uciCensus()) {
+        EXPECT_GT(e.attributes, 0) << e.name;
+        EXPECT_FALSE(e.name.empty());
+    }
+}
+
+TEST(UciCensus, PaperHeadlineClaimHolds)
+{
+    // "more than 92% of UCI data have less than 100 attributes"
+    EXPECT_GT(censusCumulativeFraction(99), 0.92);
+}
+
+TEST(UciCensus, NinetyInputsCoverMostDatasets)
+{
+    // The design point: a 90-input network captures ~90% of cases.
+    EXPECT_GT(censusCumulativeFraction(90), 0.88);
+}
+
+TEST(UciCensus, CdfIsMonotone)
+{
+    double prev = 0.0;
+    for (int a : {10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 1000, 10000}) {
+        double f = censusCumulativeFraction(a);
+        EXPECT_GE(f, prev);
+        prev = f;
+    }
+}
+
+TEST(UciCensus, SomeDatasetsExceedTenThousand)
+{
+    // The paper's Fig 2 has a ">10000" bucket.
+    EXPECT_LT(censusCumulativeFraction(10000), 1.0);
+}
+
+TEST(UciCensus, CdfEndpoints)
+{
+    EXPECT_GT(censusCumulativeFraction(3), 0.0);
+    EXPECT_DOUBLE_EQ(censusCumulativeFraction(1000000), 1.0);
+}
+
+} // namespace
+} // namespace dtann

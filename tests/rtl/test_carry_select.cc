@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the carry-select adder architecture.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/evaluator.hh"
+#include "common/rng.hh"
+#include "rtl/adder.hh"
+#include "rtl/fault_inject.hh"
+
+namespace dtann {
+namespace {
+
+struct CsCase
+{
+    int width;
+    int block;
+    FaStyle style;
+};
+
+class CarrySelectTest : public ::testing::TestWithParam<CsCase>
+{
+};
+
+TEST_P(CarrySelectTest, MatchesArithmetic)
+{
+    auto [width, block, style] = GetParam();
+    Netlist nl = buildCarrySelectAdder(width, block, style, true);
+    Evaluator ev(nl);
+    uint64_t mask = (1ull << width) - 1;
+
+    auto check = [&](uint64_t a, uint64_t b) {
+        ev.setInputRange(0, static_cast<size_t>(width), a);
+        ev.setInputRange(static_cast<size_t>(width),
+                         static_cast<size_t>(width), b);
+        ev.evaluate();
+        EXPECT_EQ(ev.outputRange(0, static_cast<size_t>(width)),
+                  (a + b) & mask)
+            << "a=" << a << " b=" << b;
+        EXPECT_EQ(ev.outputRange(static_cast<size_t>(width), 1),
+                  ((a + b) >> width) & 1);
+    };
+
+    if (width <= 5) {
+        for (uint64_t a = 0; a <= mask; ++a)
+            for (uint64_t b = 0; b <= mask; ++b)
+                check(a, b);
+    } else {
+        Rng rng(9);
+        for (int i = 0; i < 1500; ++i)
+            check(rng.nextUint(mask + 1), rng.nextUint(mask + 1));
+        check(mask, mask);
+        check(mask, 1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, CarrySelectTest,
+    ::testing::Values(CsCase{4, 2, FaStyle::Nand9},
+                      CsCase{5, 2, FaStyle::Nand9},
+                      CsCase{5, 3, FaStyle::Mirror},
+                      CsCase{16, 4, FaStyle::Nand9},
+                      CsCase{16, 5, FaStyle::Mirror},
+                      CsCase{24, 4, FaStyle::Nand9},
+                      CsCase{24, 6, FaStyle::Nand9}),
+    [](const auto &info) {
+        return "W" + std::to_string(info.param.width) + "B" +
+            std::to_string(info.param.block) +
+            (info.param.style == FaStyle::Nand9 ? "Nand9" : "Mirror");
+    });
+
+TEST(CarrySelect, ShorterCriticalPathThanRipple)
+{
+    Netlist ripple = buildRippleAdder(24, FaStyle::Nand9, true);
+    Netlist select = buildCarrySelectAdder(24, 4, FaStyle::Nand9, true);
+    EXPECT_LT(select.depth(), ripple.depth());
+}
+
+TEST(CarrySelect, CostsMoreTransistors)
+{
+    Netlist ripple = buildRippleAdder(24, FaStyle::Nand9, true);
+    Netlist select = buildCarrySelectAdder(24, 4, FaStyle::Nand9, true);
+    EXPECT_GT(select.transistorCount(), ripple.transistorCount());
+    // Speculation roughly doubles the adder cells.
+    EXPECT_LT(select.transistorCount(), 3 * ripple.transistorCount());
+}
+
+TEST(CarrySelect, SurvivesDefectInjection)
+{
+    // The defect machinery works on any operator netlist.
+    Netlist nl = buildCarrySelectAdder(8, 4, FaStyle::Nand9, true);
+    Rng rng(5);
+    int deviating = 0;
+    for (int t = 0; t < 20; ++t) {
+        Injection inj = injectTransistorDefects(nl, 10, rng);
+        Evaluator ev(nl, std::move(inj.faults));
+        for (uint64_t a = 0; a < 256 && !deviating; a += 37)
+            for (uint64_t b = 0; b < 256; b += 41)
+                if (ev.evaluateBits(a | (b << 8)) !=
+                    (((a + b) & 0xff) | (((a + b) >> 8) << 8))) {
+                    ++deviating;
+                    break;
+                }
+    }
+    EXPECT_GT(deviating, 0);
+}
+
+} // namespace
+} // namespace dtann

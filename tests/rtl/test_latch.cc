@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for gate-level latch registers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/evaluator.hh"
+#include "common/rng.hh"
+#include "rtl/fault_inject.hh"
+#include "rtl/latch.hh"
+
+namespace dtann {
+namespace {
+
+/** Drive the register: write with EN high, then close EN. */
+uint64_t
+writeAndRead(Evaluator &ev, int width, uint64_t value)
+{
+    ev.setInputRange(0, static_cast<size_t>(width), value);
+    ev.setInput(static_cast<size_t>(width), true);
+    ev.evaluate();
+    ev.setInput(static_cast<size_t>(width), false);
+    ev.evaluate();
+    return ev.outputRange(0, static_cast<size_t>(width));
+}
+
+TEST(LatchRegister, StoresPatterns)
+{
+    Netlist nl = buildLatchRegister(16);
+    Evaluator ev(nl);
+    for (uint64_t pattern : {0x0000ull, 0xffffull, 0xa5a5ull, 0x1234ull})
+        EXPECT_EQ(writeAndRead(ev, 16, pattern), pattern);
+}
+
+TEST(LatchRegister, HoldsWhileDataChanges)
+{
+    Netlist nl = buildLatchRegister(8);
+    Evaluator ev(nl);
+    EXPECT_EQ(writeAndRead(ev, 8, 0x5a), 0x5au);
+    // Change D with EN low: Q must not move.
+    ev.setInputRange(0, 8, 0xff);
+    ev.evaluate();
+    EXPECT_EQ(ev.outputRange(0, 8), 0x5au);
+    ev.setInputRange(0, 8, 0x00);
+    ev.evaluate();
+    EXPECT_EQ(ev.outputRange(0, 8), 0x5au);
+}
+
+TEST(LatchRegister, TransparentWhileEnabled)
+{
+    Netlist nl = buildLatchRegister(4);
+    Evaluator ev(nl);
+    ev.setInput(4, true);
+    ev.setInputRange(0, 4, 0x3);
+    ev.evaluate();
+    EXPECT_EQ(ev.outputRange(0, 4), 0x3u);
+    ev.setInputRange(0, 4, 0xc);
+    ev.evaluate();
+    EXPECT_EQ(ev.outputRange(0, 4), 0xcu);
+}
+
+TEST(LatchRegister, RewriteOverwrites)
+{
+    Netlist nl = buildLatchRegister(16);
+    Evaluator ev(nl);
+    EXPECT_EQ(writeAndRead(ev, 16, 0xffff), 0xffffu);
+    EXPECT_EQ(writeAndRead(ev, 16, 0x0001), 0x0001u);
+}
+
+TEST(LatchRegister, HasFeedbackStructure)
+{
+    Netlist nl = buildLatchRegister(2);
+    EXPECT_TRUE(nl.hasFeedback());
+    EXPECT_EQ(nl.numGroups(), 2);
+}
+
+TEST(LatchRegister, StuckCellUnderDefect)
+{
+    // Inject transistor defects into a 16-bit register until the
+    // stored value is corrupted for some pattern, demonstrating
+    // that storage itself is a fault site. (Statistical: with 8
+    // defects, corruption of some pattern is near-certain.)
+    Rng rng(3);
+    Netlist nl = buildLatchRegister(16);
+    int corrupted = 0;
+    for (int trial = 0; trial < 20; ++trial) {
+        Injection inj = injectTransistorDefects(nl, 8, rng);
+        Evaluator ev(nl, std::move(inj.faults));
+        bool bad = false;
+        for (uint64_t pattern : {0x0000ull, 0xffffull, 0xa5a5ull}) {
+            ev.setInputRange(0, 16, pattern);
+            ev.setInput(16, true);
+            ev.evaluate();
+            ev.setInput(16, false);
+            ev.evaluate();
+            if (ev.outputRange(0, 16) != pattern)
+                bad = true;
+        }
+        corrupted += bad ? 1 : 0;
+    }
+    EXPECT_GT(corrupted, 5);
+}
+
+} // namespace
+} // namespace dtann

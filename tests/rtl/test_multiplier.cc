@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for array multiplier netlists (unsigned and Baugh-Wooley).
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/evaluator.hh"
+#include "common/fixed_point.hh"
+#include "common/rng.hh"
+#include "rtl/multiplier.hh"
+
+namespace dtann {
+namespace {
+
+struct MulCase
+{
+    int width;
+    FaStyle style;
+    bool isSigned;
+};
+
+class MultiplierTest : public ::testing::TestWithParam<MulCase>
+{
+};
+
+TEST_P(MultiplierTest, ExhaustiveOrRandomizedCorrectness)
+{
+    auto [width, style, is_signed] = GetParam();
+    Netlist nl = is_signed ? buildMultiplierSigned(width, style)
+                           : buildMultiplierUnsigned(width, style);
+    ASSERT_EQ(nl.outputs().size(), static_cast<size_t>(2 * width));
+    Evaluator ev(nl);
+    uint64_t in_mask = (1ull << width) - 1;
+    uint64_t out_mask = (1ull << (2 * width)) - 1;
+
+    auto check = [&](uint64_t a, uint64_t b) {
+        ev.setInputRange(0, static_cast<size_t>(width), a);
+        ev.setInputRange(static_cast<size_t>(width),
+                         static_cast<size_t>(width), b);
+        ev.evaluate();
+        uint64_t got = ev.outputRange(0, static_cast<size_t>(2 * width));
+        uint64_t expect;
+        if (is_signed) {
+            // Sign-extend operands, multiply, take 2w bits.
+            int64_t sa = static_cast<int64_t>(a << (64 - width)) >>
+                (64 - width);
+            int64_t sb = static_cast<int64_t>(b << (64 - width)) >>
+                (64 - width);
+            expect = static_cast<uint64_t>(sa * sb) & out_mask;
+        } else {
+            expect = (a * b) & out_mask;
+        }
+        EXPECT_EQ(got, expect) << "a=" << a << " b=" << b;
+    };
+
+    if (width <= 5) {
+        for (uint64_t a = 0; a <= in_mask; ++a)
+            for (uint64_t b = 0; b <= in_mask; ++b)
+                check(a, b);
+    } else {
+        Rng rng(13);
+        for (int i = 0; i < 1000; ++i)
+            check(rng.nextUint(in_mask + 1), rng.nextUint(in_mask + 1));
+        check(in_mask, in_mask);
+        check(0, in_mask);
+        check(1ull << (width - 1), 1ull << (width - 1));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, MultiplierTest,
+    ::testing::Values(MulCase{2, FaStyle::Nand9, false},
+                      MulCase{4, FaStyle::Nand9, false},
+                      MulCase{4, FaStyle::Mirror, false},
+                      MulCase{2, FaStyle::Nand9, true},
+                      MulCase{3, FaStyle::Nand9, true},
+                      MulCase{4, FaStyle::Nand9, true},
+                      MulCase{4, FaStyle::Mirror, true},
+                      MulCase{5, FaStyle::Mirror, true},
+                      MulCase{8, FaStyle::Nand9, false},
+                      MulCase{16, FaStyle::Nand9, true},
+                      MulCase{16, FaStyle::Mirror, true}),
+    [](const auto &info) {
+        return std::string(info.param.isSigned ? "S" : "U") +
+            std::to_string(info.param.width) +
+            (info.param.style == FaStyle::Nand9 ? "Nand9" : "Mirror");
+    });
+
+TEST(Multiplier, SignedSixteenBitMatchesHwMul)
+{
+    // The datapath contract: Q6.10 hwMul == product bits [25:10].
+    Netlist nl = buildMultiplierSigned(16, FaStyle::Nand9);
+    Evaluator ev(nl);
+    Rng rng(21);
+    for (int i = 0; i < 500; ++i) {
+        int16_t a = static_cast<int16_t>(rng.nextInt(-32768, 32767));
+        int16_t b = static_cast<int16_t>(rng.nextInt(-32768, 32767));
+        ev.setInputRange(0, 16, static_cast<uint16_t>(a));
+        ev.setInputRange(16, 16, static_cast<uint16_t>(b));
+        ev.evaluate();
+        uint64_t mid = ev.outputRange(Fix16::fracBits, 16);
+        Fix16 expect = Fix16::hwMul(Fix16::fromRaw(a), Fix16::fromRaw(b));
+        EXPECT_EQ(mid, static_cast<uint64_t>(expect.bits()))
+            << "a=" << a << " b=" << b;
+    }
+}
+
+TEST(Multiplier, EveryPartialProductAndAdderIsACell)
+{
+    // 4x4 unsigned: 16 pp cells + reduction cells; groups must be
+    // numerous enough for two-level defect sampling.
+    Netlist nl = buildMultiplierUnsigned(4, FaStyle::Nand9);
+    EXPECT_GE(nl.numGroups(), 16);
+}
+
+TEST(Multiplier, SixteenBitSizeIsRealistic)
+{
+    Netlist nl = buildMultiplierSigned(16, FaStyle::Nand9);
+    // A 16x16 array multiplier has a few thousand transistors.
+    EXPECT_GT(nl.transistorCount(), 5000u);
+    EXPECT_LT(nl.transistorCount(), 20000u);
+}
+
+} // namespace
+} // namespace dtann

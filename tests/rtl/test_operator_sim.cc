@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for OperatorSim and fault phenomenology on real operators,
+ * including the input-order sensitivity that motivates the paper's
+ * randomized presentation ("in order to avoid any special behavior
+ * related to the memory property induced by some faults").
+ */
+
+#include <gtest/gtest.h>
+
+#include "ann/sigmoid.hh"
+#include "common/stats.hh"
+#include "rtl/adder.hh"
+#include "rtl/multiplier.hh"
+#include "rtl/operator_sim.hh"
+#include "rtl/sigmoid_unit.hh"
+
+namespace dtann {
+namespace {
+
+TEST(OperatorSim, MemoryFaultsMakeResultsOrderDependent)
+{
+    // Find an injection with MEM behaviour, then show that the
+    // same set of inputs produces different output histograms in
+    // ascending vs descending order — the effect the paper's
+    // random-order protocol controls for.
+    auto nl = std::make_shared<Netlist>(
+        buildRippleAdder(4, FaStyle::Nand9, true));
+    for (uint64_t seed = 0; seed < 80; ++seed) {
+        Rng rng(seed);
+        Injection inj = injectTransistorDefects(*nl, 5, rng);
+        bool has_mem = false;
+        for (const auto &[g, fn] : inj.faults.overrides)
+            has_mem |= fn.hasMem();
+        if (!has_mem)
+            continue;
+
+        Injection inj2;
+        inj2.faults = inj.faults;
+        OperatorSim up(nl, std::move(inj));
+        OperatorSim down(nl, std::move(inj2));
+        IntHistogram up_hist, down_hist;
+        for (uint64_t v = 0; v < 256; ++v)
+            up_hist.add(static_cast<int64_t>(up.apply(v) & 0x1f));
+        for (uint64_t v = 256; v-- > 0;)
+            down_hist.add(static_cast<int64_t>(down.apply(v) & 0x1f));
+        if (up_hist.totalVariation(down_hist) > 0.0)
+            return; // order dependence demonstrated
+    }
+    FAIL() << "no order-dependent MEM injection found in 80 seeds";
+}
+
+TEST(OperatorSim, SharedNetlistIndependentState)
+{
+    // Two sims over the same netlist must not share evaluation
+    // state.
+    auto nl = std::make_shared<Netlist>(
+        buildRippleAdder(8, FaStyle::Nand9, false));
+    OperatorSim a(nl, Injection{});
+    OperatorSim b(nl, Injection{});
+    EXPECT_EQ(a.apply(0x00ff), 0xffu);
+    EXPECT_EQ(b.apply(0x0101), 0x02u);
+    EXPECT_EQ(a.apply(0x00ff), 0xffu);
+}
+
+TEST(OperatorSim, SigmoidUnitSingleDefectAmplitudesAreBitWeighted)
+{
+    // Single defects in the activation unit produce output errors
+    // whose magnitudes cluster at powers of two of the affected
+    // bit — the effect behind the paper's Fig 11 amplitude axis.
+    auto nl = std::make_shared<Netlist>(
+        buildSigmoidUnit(logisticPwlTable(), FaStyle::Nand9));
+    Rng rng(13);
+    int observed = 0;
+    for (int trial = 0; trial < 25; ++trial) {
+        Injection inj = injectTransistorDefects(*nl, 1, rng);
+        OperatorSim sim(nl, std::move(inj));
+        double max_err = 0.0;
+        for (int raw = -8192; raw < 8192; raw += 256) {
+            Fix16 x = Fix16::fromRaw(static_cast<int16_t>(raw));
+            Fix16 clean = logisticPwlFix(x);
+            uint64_t out = sim.apply(static_cast<uint64_t>(x.bits()));
+            Fix16 got =
+                Fix16::fromRaw(static_cast<int16_t>(out & 0xffff));
+            max_err = std::max(
+                max_err, std::abs(got.toDouble() - clean.toDouble()));
+        }
+        if (max_err > 0.0)
+            ++observed;
+        // Errors are bounded by the representable range.
+        EXPECT_LE(max_err, 64.0);
+    }
+    // Some single defects must be visible, but many are masked.
+    EXPECT_GT(observed, 0);
+    EXPECT_LT(observed, 25);
+}
+
+TEST(OperatorSim, MultiplierDefectsRespectOperandSensitivity)
+{
+    // A defective multiplier can only deviate when excited: for
+    // operand pairs that never touch the faulty cell's inputs, the
+    // result stays exact. Weight 0 x input 0 is the canonical
+    // unused-synapse case (probed by the accelerator tests).
+    auto nl = std::make_shared<Netlist>(
+        buildMultiplierSigned(16, FaStyle::Nand9));
+    Rng rng(29);
+    int zero_safe = 0;
+    const int trials = 20;
+    for (int trial = 0; trial < trials; ++trial) {
+        Injection inj = injectTransistorDefects(*nl, 1, rng);
+        OperatorSim sim(nl, std::move(inj));
+        if ((sim.apply(0) & 0xffffffffull) == 0)
+            ++zero_safe;
+    }
+    // The zero product has no active partial products; nearly all
+    // single defects leave it intact.
+    EXPECT_GE(zero_safe, trials - 2);
+}
+
+TEST(OperatorSim, FaultRecordsSurviveConstruction)
+{
+    auto nl = std::make_shared<Netlist>(
+        buildRippleAdder(4, FaStyle::Nand9, true));
+    Rng rng(3);
+    Injection inj = injectTransistorDefects(*nl, 4, rng);
+    auto records = inj.records;
+    OperatorSim sim(nl, std::move(inj));
+    ASSERT_EQ(sim.faultRecords().size(), records.size());
+    for (size_t i = 0; i < records.size(); ++i)
+        EXPECT_EQ(sim.faultRecords()[i].what, records[i].what);
+    EXPECT_EQ(&sim.netlist(), nl.get());
+}
+
+} // namespace
+} // namespace dtann

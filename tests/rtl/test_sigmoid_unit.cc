@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the gate-level activation unit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/evaluator.hh"
+#include "common/rng.hh"
+#include "rtl/sigmoid_unit.hh"
+
+namespace dtann {
+namespace {
+
+/** A simple 16-segment fit of the logistic function over [-8, 8). */
+PwlTable
+logisticTable()
+{
+    PwlTable t;
+    for (int i = 0; i < 16; ++i) {
+        double x0 = -8.0 + i;
+        double x1 = x0 + 1.0;
+        double y0 = 1.0 / (1.0 + std::exp(-x0));
+        double y1 = 1.0 / (1.0 + std::exp(-x1));
+        double a = y1 - y0;
+        double b = y0 - a * x0;
+        t[static_cast<size_t>(i)] = {Fix16::fromDouble(a),
+                                     Fix16::fromDouble(b)};
+    }
+    return t;
+}
+
+TEST(SigmoidUnitRef, SaturatesOutsideRange)
+{
+    PwlTable t = logisticTable();
+    EXPECT_DOUBLE_EQ(sigmoidUnitRef(t, Fix16::fromDouble(20.0)).toDouble(),
+                     1.0);
+    EXPECT_DOUBLE_EQ(sigmoidUnitRef(t, Fix16::fromDouble(-20.0)).toDouble(),
+                     0.0);
+    EXPECT_DOUBLE_EQ(sigmoidUnitRef(t, Fix16::fromDouble(8.0)).toDouble(),
+                     1.0);
+}
+
+TEST(SigmoidUnitRef, ApproximatesLogistic)
+{
+    PwlTable t = logisticTable();
+    for (double x = -7.9; x < 7.9; x += 0.37) {
+        double ref = 1.0 / (1.0 + std::exp(-x));
+        double got = sigmoidUnitRef(t, Fix16::fromDouble(x)).toDouble();
+        EXPECT_NEAR(got, ref, 0.02) << "x=" << x;
+    }
+}
+
+TEST(SigmoidUnitRef, MonotoneOverSampledInputs)
+{
+    PwlTable t = logisticTable();
+    double prev = -1.0;
+    for (int raw = -9000; raw <= 9000; raw += 64) {
+        double y =
+            sigmoidUnitRef(t, Fix16::fromRaw(static_cast<int16_t>(raw)))
+                .toDouble();
+        // Q6.10 coefficient quantization allows small local dips
+        // (about 4 LSB) near the flat tails.
+        EXPECT_GE(y, prev - 0.005) << "raw=" << raw;
+        prev = y;
+    }
+}
+
+TEST(SigmoidUnit, NetlistMatchesReferenceExactly)
+{
+    PwlTable t = logisticTable();
+    Netlist nl = buildSigmoidUnit(t, FaStyle::Nand9);
+    Evaluator ev(nl);
+    // Sweep raw input space coarsely plus edges.
+    std::vector<int32_t> raws;
+    for (int32_t r = -32768; r <= 32767; r += 97)
+        raws.push_back(r);
+    for (int32_t r : {-32768, 32767, -8193, -8192, -8191, 8191, 8192,
+                      0, -1, 1, 1023, 1024})
+        raws.push_back(r);
+    for (int32_t r : raws) {
+        Fix16 x = Fix16::fromRaw(static_cast<int16_t>(r));
+        uint64_t got = ev.evaluateBits(
+            static_cast<uint64_t>(x.bits()));
+        Fix16 expect = sigmoidUnitRef(t, x);
+        EXPECT_EQ(got, static_cast<uint64_t>(expect.bits()))
+            << "raw=" << r;
+    }
+}
+
+TEST(SigmoidUnit, MirrorStyleAlsoMatches)
+{
+    PwlTable t = logisticTable();
+    Netlist nl = buildSigmoidUnit(t, FaStyle::Mirror);
+    Evaluator ev(nl);
+    Rng rng(77);
+    for (int i = 0; i < 300; ++i) {
+        int16_t raw = static_cast<int16_t>(rng.nextInt(-32768, 32767));
+        Fix16 x = Fix16::fromRaw(raw);
+        uint64_t got = ev.evaluateBits(static_cast<uint64_t>(x.bits()));
+        EXPECT_EQ(got,
+                  static_cast<uint64_t>(sigmoidUnitRef(t, x).bits()))
+            << "raw=" << raw;
+    }
+}
+
+TEST(SigmoidUnit, SizeIsSubstantial)
+{
+    // The paper reports the activation unit as a distinct block
+    // (Table III); ours is a real datapath, not a toy.
+    PwlTable t = logisticTable();
+    Netlist nl = buildSigmoidUnit(t, FaStyle::Nand9);
+    EXPECT_GT(nl.transistorCount(), 8000u);
+    EXPECT_EQ(nl.inputs().size(), 16u);
+    EXPECT_EQ(nl.outputs().size(), 16u);
+}
+
+} // namespace
+} // namespace dtann

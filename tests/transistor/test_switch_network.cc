@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Structural validation of the per-gate transistor schematics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "transistor/switch_network.hh"
+
+namespace dtann {
+namespace {
+
+class SchematicTest : public ::testing::TestWithParam<GateKind>
+{
+};
+
+TEST_P(SchematicTest, TransistorCountMatchesGateModel)
+{
+    const GateSchematic &s = schematicFor(GetParam());
+    EXPECT_EQ(s.transistorCount(),
+              static_cast<size_t>(gateTransistorCount(GetParam())));
+}
+
+TEST_P(SchematicTest, NodesAndInputsInRange)
+{
+    const GateSchematic &s = schematicFor(GetParam());
+    int arity = gateArity(GetParam());
+    for (const ChannelNetwork *net : {&s.p, &s.n}) {
+        EXPECT_GE(net->numNodes, 2);
+        for (const Switch &sw : net->switches) {
+            EXPECT_LT(sw.nodeA, net->numNodes);
+            EXPECT_LT(sw.nodeB, net->numNodes);
+            EXPECT_NE(sw.nodeA, sw.nodeB);
+            EXPECT_LT(sw.input, arity);
+        }
+    }
+}
+
+TEST_P(SchematicTest, PolarityByNetwork)
+{
+    const GateSchematic &s = schematicFor(GetParam());
+    for (const Switch &sw : s.p.switches)
+        EXPECT_TRUE(sw.pmos);
+    for (const Switch &sw : s.n.switches)
+        EXPECT_FALSE(sw.pmos);
+}
+
+TEST_P(SchematicTest, EveryInputControlsBothNetworks)
+{
+    // Fully complementary CMOS: each input drives at least one PMOS
+    // and one NMOS.
+    const GateSchematic &s = schematicFor(GetParam());
+    int arity = gateArity(GetParam());
+    for (int in = 0; in < arity; ++in) {
+        bool in_p = false, in_n = false;
+        for (const Switch &sw : s.p.switches)
+            in_p |= sw.input == in;
+        for (const Switch &sw : s.n.switches)
+            in_n |= sw.input == in;
+        EXPECT_TRUE(in_p) << "input " << in << " missing from P";
+        EXPECT_TRUE(in_n) << "input " << in << " missing from N";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGateKinds, SchematicTest,
+    ::testing::Values(GateKind::Not, GateKind::Nand2, GateKind::Nand3,
+                      GateKind::Nor2, GateKind::Nor3, GateKind::Aoi21,
+                      GateKind::Aoi22, GateKind::Oai21, GateKind::Oai22,
+                      GateKind::CarryN, GateKind::MirrorSumN),
+    [](const auto &info) { return gateName(info.param); });
+
+TEST(Schematic, ConstantsHaveNoSchematic)
+{
+    EXPECT_FALSE(hasSchematic(GateKind::Const0));
+    EXPECT_FALSE(hasSchematic(GateKind::Const1));
+    EXPECT_TRUE(hasSchematic(GateKind::Nand2));
+}
+
+TEST(Switch, ConductionPolarity)
+{
+    Switch n{0, 1, 0, false};
+    EXPECT_TRUE(n.conducts(1));
+    EXPECT_FALSE(n.conducts(0));
+    Switch p{0, 1, 1, true};
+    EXPECT_TRUE(p.conducts(0b01)); // input 1 low
+    EXPECT_FALSE(p.conducts(0b10));
+}
+
+} // namespace
+} // namespace dtann
