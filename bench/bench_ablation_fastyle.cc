@@ -72,8 +72,13 @@ main()
         cfg.faStyle = style;
         CostModel cm(cfg);
         double masked = maskedDefectFraction(style, trials, rng);
-        Fig5Result f5 =
-            runFig5(Fig5Operator::Adder4, 20, reps, rng, style);
+        Fig5Config f5cfg;
+        f5cfg.op = Fig5Operator::Adder4;
+        f5cfg.defects = 20;
+        f5cfg.repetitions = reps;
+        f5cfg.seed = experimentSeed() + static_cast<uint64_t>(style);
+        f5cfg.style = style;
+        Fig5Result f5 = runFig5(f5cfg);
         t.addRow({styleName(style),
                   std::to_string(bit.transistorCount()),
                   std::to_string(cm.arrayTransistors()),

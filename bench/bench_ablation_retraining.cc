@@ -36,6 +36,8 @@ main()
     Fig10Config no_retrain = base;
     no_retrain.retrain = false;
 
+    // Both sweeps run on the parallel campaign engine; identical
+    // seeds mean identical injected defects in the two columns.
     auto with = runFig10(base);
     auto without = runFig10(no_retrain);
 
@@ -60,5 +62,9 @@ main()
                 "small negative 'recovered' values at low defect "
                 "counts are evaluation bias, not harm from "
                 "retraining)\n");
+
+    maybeWriteJson("ablation_retraining",
+                   "{\"retrained\":" + toJson(with) +
+                       ",\"no_retrain\":" + toJson(without) + "}");
     return 0;
 }

@@ -8,6 +8,8 @@
  * accuracy up to ~12 defects, gradual degradation beyond.
  */
 
+#include <chrono>
+
 #include "bench_util.hh"
 #include "core/campaign.hh"
 
@@ -36,7 +38,24 @@ main()
         cfg.retrainScale = 0.3;
     }
 
+    // Progress heartbeat on stderr so paper-scale runs (hours) are
+    // observably alive; cheap enough to leave on at quick scale.
+    cfg.onCellDone = [](const CellReport &r) {
+        if (r.cellsDone % 50 == 0 || r.cellsDone == r.cellsTotal)
+            std::fprintf(stderr, "  [%zu/%zu] %s defects=%d rep=%d\n",
+                         r.cellsDone, r.cellsTotal, r.task.c_str(),
+                         r.defects, r.rep);
+    };
+
+    auto start = std::chrono::steady_clock::now();
     auto curves = runFig10(cfg);
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    std::printf("campaign wall clock: %.2f s (%d worker threads; "
+                "set DTANN_THREADS to change — results are "
+                "bit-identical for any count)\n",
+                secs, ThreadPool::resolveThreads(cfg.threads));
 
     // Print one combined series: rows = defect counts, one column
     // per task (the paper's figure layout).
@@ -69,5 +88,7 @@ main()
                 "%d/%zu (paper: all applications tolerate up to 12 "
                 "defects)\n",
                 tolerant_at_12, curves.size());
+
+    maybeWriteJson("fig10", toJson(curves));
     return 0;
 }

@@ -65,5 +65,7 @@ main()
     std::printf("(paper: accuracy remains high while the amplitude "
                 "cannot sway the class; some tasks are sensitive "
                 "even to tiny errors)\n");
+
+    maybeWriteJson("fig11", toJson(curves));
     return 0;
 }

@@ -7,16 +7,20 @@
  */
 
 #include "bench_util.hh"
-#include "common/rng.hh"
 #include "core/campaign.hh"
 
 using namespace dtann;
 
 namespace {
 
+std::string all_json; ///< accumulates every configuration's export
+
 void
 printResult(const Fig5Result &r, const char *name, int max_value)
 {
+    if (!all_json.empty())
+        all_json += ",";
+    all_json += r.toJson();
     std::printf("\n-- %s, %d defect(s), %d repetitions --\n", name,
                 r.defects, r.repetitions);
     std::vector<std::vector<double>> points;
@@ -42,15 +46,22 @@ main()
 {
     benchBanner("Fig 5: 4-bit operator behaviour under defects",
                 "Temam, ISCA 2012, Figure 5");
-    int reps = scaled(1000, 200);
-    Rng rng(experimentSeed());
+    Fig5Config cfg;
+    cfg.repetitions = scaled(1000, 200);
 
     for (int defects : {1, 5, 20}) {
-        Fig5Result r =
-            runFig5(Fig5Operator::Adder4, defects, reps, rng);
-        printResult(r, "4-bit adder", 30);
+        cfg.op = Fig5Operator::Adder4;
+        cfg.defects = defects;
+        // Each configuration gets its own counter-derived seed so
+        // results stay independent of run order and thread count.
+        cfg.seed = experimentSeed() + static_cast<uint64_t>(defects);
+        printResult(runFig5(cfg), "4-bit adder", 30);
     }
-    Fig5Result m = runFig5(Fig5Operator::Multiplier4, 20, reps, rng);
-    printResult(m, "4-bit multiplier", 225);
+    cfg.op = Fig5Operator::Multiplier4;
+    cfg.defects = 20;
+    cfg.seed = experimentSeed() + 1000;
+    printResult(runFig5(cfg), "4-bit multiplier", 225);
+
+    maybeWriteJson("fig5", "[" + all_json + "]");
     return 0;
 }

@@ -7,18 +7,17 @@
  *   max_defects sweep upper bound (default: 24)
  *   reps        faulty networks per point (default: 3)
  *
- * Demonstrates the library's experiment API: dataset generation,
- * baseline training, random transistor-defect injection, retraining
- * through the faulty forward path, and per-site deviation probes.
+ * Demonstrates the unified campaign API: a Fig10Config drives the
+ * parallel CampaignEngine (every (defect count, repetition) cell is
+ * an independent work unit with its own counter-derived RNG
+ * stream), and the onCellDone callback streams per-cell progress.
+ * Results are bit-identical for any DTANN_THREADS value.
  */
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "ann/crossval.hh"
-#include "core/accelerator.hh"
-#include "core/injector.hh"
-#include "data/synth_uci.hh"
+#include "core/campaign.hh"
 
 using namespace dtann;
 
@@ -29,55 +28,38 @@ main(int argc, char **argv)
     int max_defects = argc > 2 ? std::atoi(argv[2]) : 24;
     int reps = argc > 3 ? std::atoi(argv[3]) : 3;
 
-    const UciTaskSpec &spec = uciTask(task);
-    Rng rng(7);
-    Dataset ds = makeSyntheticTask(spec, rng, 240);
+    Fig10Config cfg;
+    cfg.tasks = {task};
+    cfg.defectCounts.clear();
+    for (int d = 0; d <= max_defects; d += 6)
+        cfg.defectCounts.push_back(d);
+    cfg.repetitions = reps;
+    cfg.folds = 3;
+    cfg.rows = 240;
+    cfg.epochScale = 0.25;
+    cfg.retrainScale = 0.35;
+    cfg.seed = 7;
 
-    AcceleratorConfig cfg;
-    MlpTopology logical{spec.attributes,
-                        std::min(spec.hidden, cfg.hidden),
-                        spec.classes};
-    Accelerator accel(cfg, logical);
+    // Per-cell progress: the engine serializes callbacks, so plain
+    // stdio is safe even with many worker threads.
+    cfg.onCellDone = [](const CellReport &r) {
+        std::printf("  cell %zu/%zu: %s, %d defect(s), rep %d -> "
+                    "accuracy %.3f\n",
+                    r.cellsDone, r.cellsTotal, r.task.c_str(),
+                    r.defects, r.rep, r.accuracy);
+    };
 
-    Hyper hyper{logical.hidden,
-                std::max(20, spec.epochs / 4),
-                spec.learningRate, 0.1};
-    Trainer trainer(hyper);
-    MlpWeights baseline = trainer.train(accel, ds, rng);
+    std::printf("task %s on 90-10-10 array, %d worker thread(s)\n",
+                task, ThreadPool::resolveThreads(cfg.threads));
 
-    Hyper retrain_hyper = hyper;
-    retrain_hyper.epochs = std::max(10, hyper.epochs / 3);
-    Trainer retrainer(retrain_hyper);
+    auto curves = runFig10(cfg);
 
-    std::printf("task %s on 90-10-10 array, logical %d-%d-%d\n",
-                spec.name.c_str(), logical.inputs, logical.hidden,
-                logical.outputs);
-    std::printf("%8s  %8s  %8s\n", "defects", "accuracy", "stddev");
-    for (int defects = 0; defects <= max_defects; defects += 6) {
-        RunningStat stat;
-        for (int rep = 0; rep < (defects == 0 ? 1 : reps); ++rep) {
-            accel.clearDefects();
-            if (defects > 0) {
-                DefectInjector injector(accel,
-                                        SitePool::inputAndHidden());
-                injector.inject(defects, rng);
-            }
-            CrossValResult cv = crossValidate(
-                accel, ds, 3, retrainer, rng, &baseline);
-            stat.add(cv.meanAccuracy);
-        }
-        std::printf("%8d  %8.3f  %8.3f\n", defects, stat.mean(),
-                    stat.stddev());
-    }
+    std::printf("\n%8s  %8s  %8s\n", "defects", "accuracy", "stddev");
+    for (const Fig10Point &p : curves[0].points)
+        std::printf("%8d  %8.3f  %8.3f\n", p.defects, p.accuracy,
+                    p.stddev);
 
-    // Show where the last injection's faults sat and how much each
-    // deviated during the final test phase.
-    std::printf("\nfaulty sites of the last network:\n");
-    for (const UnitSite &site : accel.faultySites()) {
-        const DeviationProbe &p = accel.probe(site);
-        std::printf("  %-20s observed %zu ops, mean |dev| %.4f\n",
-                    site.describe().c_str(), p.amplitude.count(),
-                    p.amplitude.mean());
-    }
+    // Machine-readable export of the same sweep.
+    std::printf("\nJSON: %s\n", curves[0].toJson().c_str());
     return 0;
 }

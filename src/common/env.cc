@@ -27,4 +27,21 @@ experimentSeed()
     return 20120609UL; // ISCA 2012 conference date.
 }
 
+int
+threadCount()
+{
+    const char *v = std::getenv("DTANN_THREADS");
+    if (v == nullptr || *v == '\0')
+        return 0;
+    long n = std::strtol(v, nullptr, 10);
+    return n > 0 ? static_cast<int>(n) : 0;
+}
+
+std::string
+jsonOutDir()
+{
+    const char *v = std::getenv("DTANN_JSON_OUT");
+    return v != nullptr ? std::string(v) : std::string();
+}
+
 } // namespace dtann

@@ -12,6 +12,8 @@
 #ifndef DTANN_COMMON_ENV_HH
 #define DTANN_COMMON_ENV_HH
 
+#include <string>
+
 namespace dtann {
 
 /** True when DTANN_FULL=1 requests paper-scale experiments. */
@@ -22,6 +24,19 @@ int scaled(int full, int quick);
 
 /** Global experiment seed; DTANN_SEED overrides the default. */
 unsigned long experimentSeed();
+
+/**
+ * Campaign worker threads requested via DTANN_THREADS, or 0 when
+ * unset (auto: use the hardware concurrency). Campaign results are
+ * bit-identical for every thread count.
+ */
+int threadCount();
+
+/**
+ * Directory for machine-readable JSON result exports (DTANN_JSON_OUT),
+ * or empty when JSON export is disabled.
+ */
+std::string jsonOutDir();
 
 } // namespace dtann
 

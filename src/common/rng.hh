@@ -3,14 +3,26 @@
  * Deterministic random number generation.
  *
  * All experiment code takes an explicit Rng so campaigns are exactly
- * reproducible from a single seed. Sub-streams can be split off for
- * independent components (e.g., one stream per repetition).
+ * reproducible from a single seed. Two sub-stream mechanisms exist:
+ *
+ * - split(): draws the child seed from the parent engine, so the
+ *   child stream depends on *how many* splits happened before it.
+ *   Fine for serial code; unusable for parallel work distribution,
+ *   because any change in scheduling order changes every stream.
+ *
+ * - substream(seed, path): counter-based derivation. The child
+ *   stream is a pure function of the master seed and a caller-chosen
+ *   path of integers (e.g. {task, defect index, repetition}), so it
+ *   is independent of evaluation order and thread count. This is
+ *   what the parallel campaign engine uses to stay bit-identical
+ *   for any number of worker threads.
  */
 
 #ifndef DTANN_COMMON_RNG_HH
 #define DTANN_COMMON_RNG_HH
 
 #include <cstdint>
+#include <initializer_list>
 #include <random>
 #include <vector>
 
@@ -64,12 +76,50 @@ class Rng
     /** Bernoulli draw with probability p of true. */
     bool nextBool(double p = 0.5) { return nextDouble() < p; }
 
-    /** Split off an independent sub-stream. */
+    /**
+     * Split off an independent sub-stream.
+     *
+     * @warning The child seed is drawn from this engine, so the
+     * result depends on the number of draws/splits performed before
+     * the call. Serial code that always splits in the same order is
+     * deterministic; work scheduled across threads is not. Parallel
+     * code must use substream() instead.
+     */
     Rng
     split()
     {
         uint64_t s = engine();
         return Rng(s ^ 0x9e3779b97f4a7c15ULL);
+    }
+
+    /** SplitMix64 finalizer (avalanching 64-bit hash). */
+    static constexpr uint64_t
+    mix64(uint64_t x)
+    {
+        x += 0x9e3779b97f4a7c15ULL;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+        return x ^ (x >> 31);
+    }
+
+    /**
+     * Derive an independent sub-stream by counter-based splitting.
+     *
+     * The child seed is a hash chain over the master @p seed and the
+     * @p path of caller-chosen counters (position-sensitive: path
+     * {1, 2} and {2, 1} give different streams). Unlike split(),
+     * the result is a pure function of its arguments — no hidden
+     * state — so any (task, variant, repetition) cell of a campaign
+     * can derive its stream regardless of which thread runs it, or
+     * in what order.
+     */
+    static Rng
+    substream(uint64_t seed, std::initializer_list<uint64_t> path)
+    {
+        uint64_t h = mix64(seed);
+        for (uint64_t p : path)
+            h = mix64(h ^ mix64(p));
+        return Rng(h);
     }
 
     /** Fisher-Yates shuffle of a vector. */

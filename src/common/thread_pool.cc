@@ -1,0 +1,119 @@
+#include "common/thread_pool.hh"
+
+#include "common/env.hh"
+#include "common/logging.hh"
+
+namespace dtann {
+
+int
+ThreadPool::resolveThreads(int requested)
+{
+    if (requested > 0)
+        return requested;
+    int env = threadCount();
+    if (env > 0)
+        return env;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    int width = resolveThreads(threads);
+    workers.reserve(static_cast<size_t>(width - 1));
+    for (int i = 0; i < width - 1; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        stopping = true;
+    }
+    wake.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::drainBatch()
+{
+    for (;;) {
+        size_t i = nextIndex.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batchSize)
+            return;
+        try {
+            (*batchFn)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(mu);
+            if (!firstError)
+                firstError = std::current_exception();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen = 0;
+    for (;;) {
+        std::unique_lock<std::mutex> lk(mu);
+        wake.wait(lk, [&] { return stopping || generation != seen; });
+        if (stopping)
+            return;
+        seen = generation;
+        lk.unlock();
+
+        drainBatch();
+
+        lk.lock();
+        if (--running == 0) {
+            lk.unlock();
+            done.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers.empty()) {
+        // Same drain-then-rethrow semantics as the threaded path:
+        // one throwing index never starves the rest of the batch.
+        batchSize = n;
+        batchFn = &fn;
+        nextIndex.store(0, std::memory_order_relaxed);
+        firstError = nullptr;
+        drainBatch();
+        batchFn = nullptr;
+        if (firstError)
+            std::rethrow_exception(firstError);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        dtann_assert(batchFn == nullptr,
+                     "nested/concurrent parallelFor on one pool");
+        batchSize = n;
+        batchFn = &fn;
+        nextIndex.store(0, std::memory_order_relaxed);
+        running = workers.size();
+        firstError = nullptr;
+        ++generation;
+    }
+    wake.notify_all();
+
+    drainBatch(); // the calling thread participates
+
+    std::unique_lock<std::mutex> lk(mu);
+    done.wait(lk, [&] { return running == 0; });
+    batchFn = nullptr;
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+} // namespace dtann

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fixed-size worker pool for embarrassingly parallel campaign work.
+ *
+ * The pool runs index-based batches (parallelFor): workers pull the
+ * next index from a shared atomic counter until the batch is
+ * exhausted. The calling thread participates, so a pool of size 1
+ * executes entirely on the caller with no handoff, and results are
+ * bit-identical for any pool size as long as the per-index work
+ * derives all of its randomness from the index (see
+ * Rng::substream).
+ */
+
+#ifndef DTANN_COMMON_THREAD_POOL_HH
+#define DTANN_COMMON_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dtann {
+
+/** Fixed-size pool executing index batches across worker threads. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads total execution width including the calling
+     *        thread; <= 0 resolves via resolveThreads(0)
+     */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total execution width (workers + calling thread). */
+    int size() const { return static_cast<int>(workers.size()) + 1; }
+
+    /**
+     * Run fn(0) .. fn(n-1), distributing indices over the pool.
+     * Blocks until every index has completed. Indices are claimed
+     * dynamically, so long and short items mix freely; @p fn must
+     * not assume any execution order. The first exception thrown by
+     * @p fn is rethrown here after the batch drains.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+    /**
+     * Resolve a requested thread count: a positive request wins,
+     * otherwise DTANN_THREADS, otherwise the hardware concurrency.
+     */
+    static int resolveThreads(int requested);
+
+  private:
+    void workerLoop();
+    /** Claim and run indices until the current batch is exhausted. */
+    void drainBatch();
+
+    std::vector<std::thread> workers;
+
+    std::mutex mu;
+    std::condition_variable wake; ///< workers wait for a new batch
+    std::condition_variable done; ///< caller waits for batch drain
+    uint64_t generation = 0;      ///< bumped per batch
+    bool stopping = false;
+
+    // Current batch (valid while running > 0 or inside parallelFor).
+    size_t batchSize = 0;
+    const std::function<void(size_t)> *batchFn = nullptr;
+    std::atomic<size_t> nextIndex{0};
+    size_t running = 0; ///< workers still draining the batch
+    std::exception_ptr firstError;
+};
+
+} // namespace dtann
+
+#endif // DTANN_COMMON_THREAD_POOL_HH

@@ -1,60 +1,148 @@
 #include "core/campaign.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 
 #include "ann/crossval.hh"
+#include "common/env.hh"
 #include "common/logging.hh"
-#include "core/injector.hh"
 #include "rtl/adder.hh"
 #include "rtl/multiplier.hh"
 #include "rtl/operator_sim.hh"
 
 namespace dtann {
 
+namespace {
+
+/**
+ * Roots of the counter-based RNG streams (Rng::substream paths).
+ * Every stream a campaign uses is substream(seed, {root, ...cell
+ * coordinates...}), so streams never depend on scheduling order.
+ */
+enum StreamRoot : uint64_t {
+    kStreamData = 1,  ///< {kStreamData, task}: dataset generation
+    kStreamTrain = 2, ///< {kStreamTrain, task}: baseline training
+    kStreamCell = 3,  ///< {kStreamCell, task, variant, rep}: one cell
+};
+
+/** Minimal JSON string escaping (quotes, backslashes, control). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Shortest round-tripping representation of a double. */
+std::string
+jsonNumber(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+jsonHistogram(const IntHistogram &h)
+{
+    std::string out = "[";
+    bool first = true;
+    for (const auto &[value, count] : h.items()) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "[" + std::to_string(value) + "," +
+            std::to_string(count) + "]";
+    }
+    return out + "]";
+}
+
+} // namespace
+
 // ---------------------------------------------------------------
 // Fig 5
 
 Fig5Result
-runFig5(Fig5Operator op, int defects, int repetitions, Rng &rng,
-        FaStyle style)
+runFig5(const Fig5Config &config)
 {
     auto nl = std::make_shared<Netlist>(
-        op == Fig5Operator::Adder4
-            ? buildRippleAdder(4, style, true)
-            : buildMultiplierUnsigned(4, style));
+        config.op == Fig5Operator::Adder4
+            ? buildRippleAdder(4, config.style, true)
+            : buildMultiplierUnsigned(4, config.style));
     size_t out_bits = nl->outputs().size();
+    const char *op_name =
+        config.op == Fig5Operator::Adder4 ? "adder4" : "multiplier4";
 
     Fig5Result result;
-    result.op = op;
-    result.defects = defects;
-    result.repetitions = repetitions;
+    result.op = config.op;
+    result.defects = config.defects;
+    result.repetitions = config.repetitions;
 
-    // All 256 input pairs, presented in random order each time to
-    // avoid special behaviour from defect-induced memory (paper
-    // Section III-A).
-    std::vector<uint64_t> pairs(256);
-    for (uint64_t i = 0; i < 256; ++i)
-        pairs[i] = i;
+    // One independent injection per repetition; each evaluates all
+    // 256 input pairs in random order to avoid special behaviour
+    // from defect-induced memory (paper Section III-A).
+    struct RepHists
+    {
+        IntHistogram none, gate, trans;
+    };
+    size_t reps = static_cast<size_t>(std::max(0, config.repetitions));
+    std::vector<RepHists> hists(reps);
 
-    for (int rep = 0; rep < repetitions; ++rep) {
-        Injection trans_inj = injectTransistorDefects(*nl, defects, rng);
-        Injection gate_inj = injectGateLevelFaults(*nl, defects, rng);
+    CampaignEngine engine(config.threads, config.onCellDone);
+    engine.beginCampaign(reps);
+    engine.parallelFor(reps, [&](size_t rep) {
+        Rng rng = Rng::substream(config.seed, {kStreamCell, rep});
+        Injection trans_inj =
+            injectTransistorDefects(*nl, config.defects, rng);
+        Injection gate_inj =
+            injectGateLevelFaults(*nl, config.defects, rng);
         OperatorSim trans_sim(nl, std::move(trans_inj));
         OperatorSim gate_sim(nl, std::move(gate_inj));
 
+        std::vector<uint64_t> pairs(256);
+        for (uint64_t i = 0; i < 256; ++i)
+            pairs[i] = i;
         rng.shuffle(pairs);
+
+        RepHists &h = hists[rep];
         for (uint64_t in : pairs) {
             uint64_t a = in & 0xf, b = in >> 4;
-            int64_t clean = op == Fig5Operator::Adder4
+            int64_t clean = config.op == Fig5Operator::Adder4
                 ? static_cast<int64_t>(a + b)
                 : static_cast<int64_t>(a * b);
-            result.none.add(clean);
-            result.trans.add(static_cast<int64_t>(
+            h.none.add(clean);
+            h.trans.add(static_cast<int64_t>(
                 trans_sim.apply(in) & ((1ull << out_bits) - 1)));
-            result.gate.add(static_cast<int64_t>(
+            h.gate.add(static_cast<int64_t>(
                 gate_sim.apply(in) & ((1ull << out_bits) - 1)));
         }
+        engine.reportCell(op_name, config.defects,
+                          static_cast<int>(rep), 0.0);
+    });
+
+    for (const RepHists &h : hists) {
+        result.none.merge(h.none);
+        result.gate.merge(h.gate);
+        result.trans.merge(h.trans);
     }
     return result;
 }
@@ -78,9 +166,6 @@ hardwareHyper(const UciTaskSpec &spec, const AcceleratorConfig &a,
     return h;
 }
 
-namespace {
-
-/** Tasks selected by a config (empty = all). */
 std::vector<UciTaskSpec>
 selectTasks(const std::vector<std::string> &names)
 {
@@ -92,7 +177,6 @@ selectTasks(const std::vector<std::string> &names)
     return out;
 }
 
-/** Retraining variant of @p hyper with scaled-down epochs. */
 Hyper
 retrainHyper(const Hyper &hyper, double retrain_scale)
 {
@@ -100,6 +184,71 @@ retrainHyper(const Hyper &hyper, double retrain_scale)
     h.epochs =
         std::max(1, static_cast<int>(hyper.epochs * retrain_scale + 0.5));
     return h;
+}
+
+bool
+maybeWriteJson(const std::string &name, const std::string &json)
+{
+    std::string dir = jsonOutDir();
+    if (dir.empty())
+        return false;
+    std::string path = dir + "/" + name + ".json";
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write JSON results to '%s'", path.c_str());
+        return false;
+    }
+    out << json << "\n";
+    return true;
+}
+
+namespace {
+
+/**
+ * Per-task state shared (read-only) by every cell of that task:
+ * the dataset, the topology, and the clean baseline weights that
+ * warm-start each retraining run.
+ */
+struct TaskContext
+{
+    UciTaskSpec spec;
+    Dataset ds;
+    Hyper hyper;
+    MlpTopology logical;
+    MlpWeights baseline;
+};
+
+TaskContext
+prepareTask(const CampaignConfig &config, const UciTaskSpec &spec,
+            size_t task_index)
+{
+    TaskContext t;
+    t.spec = spec;
+    Rng data_rng =
+        Rng::substream(config.seed, {kStreamData, task_index});
+    t.ds = makeSyntheticTask(spec, data_rng, config.rows);
+    t.hyper = hardwareHyper(spec, config.array, config.epochScale);
+    t.logical = {spec.attributes, t.hyper.hidden, spec.classes};
+
+    // Baseline: train the clean accelerator once; its weights
+    // warm-start every retraining cell of this task.
+    Accelerator accel(config.array, t.logical);
+    Rng train_rng =
+        Rng::substream(config.seed, {kStreamTrain, task_index});
+    t.baseline = Trainer(t.hyper).train(accel, t.ds, train_rng);
+    return t;
+}
+
+/** Prepare every selected task in parallel. */
+std::vector<TaskContext>
+prepareTasks(CampaignEngine &engine, const CampaignConfig &config,
+             const std::vector<UciTaskSpec> &specs)
+{
+    std::vector<TaskContext> ctx(specs.size());
+    engine.parallelFor(specs.size(), [&](size_t t) {
+        ctx[t] = prepareTask(config, specs[t], t);
+    });
+    return ctx;
 }
 
 } // namespace
@@ -110,60 +259,82 @@ retrainHyper(const Hyper &hyper, double retrain_scale)
 std::vector<Fig10Curve>
 runFig10(const Fig10Config &config)
 {
-    std::vector<Fig10Curve> curves;
-    Rng master(config.seed);
+    std::vector<UciTaskSpec> specs = selectTasks(config.tasks);
+    CampaignEngine engine(config);
+    std::vector<TaskContext> ctx = prepareTasks(engine, config, specs);
 
-    for (const UciTaskSpec &spec : selectTasks(config.tasks)) {
-        Rng task_rng = master.split();
-        Dataset ds = makeSyntheticTask(spec, task_rng, config.rows);
-        Hyper hyper = hardwareHyper(spec, config.array, config.epochScale);
-        MlpTopology logical{spec.attributes, hyper.hidden, spec.classes};
+    // Flatten the campaign into independent cells. The defect-free
+    // point is a single evaluation (no injection randomness).
+    struct Cell
+    {
+        size_t task;
+        size_t variant; ///< index into defectCounts
+        int rep;
+    };
+    std::vector<Cell> cells;
+    for (size_t t = 0; t < specs.size(); ++t)
+        for (size_t d = 0; d < config.defectCounts.size(); ++d) {
+            int reps =
+                config.defectCounts[d] == 0 ? 1 : config.repetitions;
+            for (int rep = 0; rep < reps; ++rep)
+                cells.push_back({t, d, rep});
+        }
 
-        Fig10Curve curve;
-        curve.task = spec.name;
+    std::vector<double> accuracy(cells.size());
+    engine.beginCampaign(cells.size());
+    engine.parallelFor(cells.size(), [&](size_t i) {
+        const Cell &c = cells[i];
+        const TaskContext &t = ctx[c.task];
+        int defects = config.defectCounts[c.variant];
 
-        // Baseline: train the clean accelerator once; its weights
-        // warm-start every retraining run.
-        Accelerator accel(config.array, logical);
-        Rng train_rng = task_rng.split();
-        MlpWeights baseline =
-            Trainer(hyper).train(accel, ds, train_rng);
+        // The cell's whole randomness budget comes from one
+        // counter-derived stream: injection first, then fold
+        // shuffling and retraining.
+        Rng rng = Rng::substream(
+            config.seed, {kStreamCell, c.task, c.variant,
+                          static_cast<uint64_t>(c.rep)});
 
-        Trainer retrainer(retrainHyper(hyper, config.retrainScale));
-        auto evaluate = [&](Rng &cv_rng) {
-            if (config.retrain) {
-                CrossValResult cv =
-                    crossValidate(accel, ds, config.folds, retrainer,
-                                  cv_rng, &baseline);
-                return cv.meanAccuracy;
-            }
+        Accelerator accel(config.array, t.logical);
+        if (defects > 0) {
+            DefectInjector injector(accel, SitePool::inputAndHidden(),
+                                    config.weighting);
+            injector.inject(defects, rng);
+        }
+
+        double acc;
+        if (config.retrain) {
+            Trainer retrainer(
+                retrainHyper(t.hyper, config.retrainScale));
+            acc = crossValidate(accel, t.ds, config.folds, retrainer,
+                                rng, &t.baseline)
+                      .meanAccuracy;
+        } else {
             // Ablation: no retraining, test the baseline weights
             // through the faulty hardware.
-            accel.setWeights(baseline);
-            return Trainer::accuracy(accel, ds);
-        };
-        for (int defects : config.defectCounts) {
-            RunningStat stat;
-            if (defects == 0) {
-                accel.clearDefects();
-                Rng cv_rng = task_rng.split();
-                stat.add(evaluate(cv_rng));
-            } else {
-                for (int rep = 0; rep < config.repetitions; ++rep) {
-                    accel.clearDefects();
-                    DefectInjector injector(accel,
-                                            SitePool::inputAndHidden(),
-                                            config.weighting);
-                    Rng inj_rng = task_rng.split();
-                    injector.inject(defects, inj_rng);
-                    Rng cv_rng = task_rng.split();
-                    stat.add(evaluate(cv_rng));
-                }
-            }
-            curve.points.push_back(
-                {defects, stat.mean(), stat.stddev()});
+            accel.setWeights(t.baseline);
+            acc = Trainer::accuracy(accel, t.ds);
         }
-        curves.push_back(std::move(curve));
+        accuracy[i] = acc;
+        engine.reportCell(t.spec.name, defects, c.rep, acc);
+    });
+
+    // Deterministic accumulation: cells are folded into the curves
+    // in cell-index order, never in completion order.
+    std::vector<Fig10Curve> curves(specs.size());
+    std::vector<RunningStat> stats(specs.size() *
+                                   config.defectCounts.size());
+    for (size_t i = 0; i < cells.size(); ++i)
+        stats[cells[i].task * config.defectCounts.size() +
+              cells[i].variant]
+            .add(accuracy[i]);
+    for (size_t t = 0; t < specs.size(); ++t) {
+        curves[t].task = specs[t].name;
+        for (size_t d = 0; d < config.defectCounts.size(); ++d) {
+            const RunningStat &s =
+                stats[t * config.defectCounts.size() + d];
+            curves[t].points.push_back(
+                {config.defectCounts[d], s.mean(), s.stddev()});
+        }
     }
     return curves;
 }
@@ -174,67 +345,131 @@ runFig10(const Fig10Config &config)
 std::vector<Fig11Curve>
 runFig11(const Fig11Config &config)
 {
-    std::vector<Fig11Curve> curves;
-    Rng master(config.seed);
+    std::vector<UciTaskSpec> specs = selectTasks(config.tasks);
+    CampaignEngine engine(config);
+    std::vector<TaskContext> ctx = prepareTasks(engine, config, specs);
 
-    for (const UciTaskSpec &spec : selectTasks(config.tasks)) {
-        Rng task_rng = master.split();
-        Dataset ds = makeSyntheticTask(spec, task_rng, config.rows);
-        Hyper hyper = hardwareHyper(spec, config.array, config.epochScale);
-        MlpTopology logical{spec.attributes, hyper.hidden, spec.classes};
+    size_t reps = static_cast<size_t>(std::max(0, config.repetitions));
+    std::vector<Fig11Sample> samples(specs.size() * reps);
 
-        Accelerator accel(config.array, logical);
-        Rng train_rng = task_rng.split();
-        MlpWeights baseline =
-            Trainer(hyper).train(accel, ds, train_rng);
-        Trainer retrainer(retrainHyper(hyper, config.retrainScale));
+    engine.beginCampaign(samples.size());
+    engine.parallelFor(samples.size(), [&](size_t i) {
+        size_t task = i / reps;
+        size_t rep = i % reps;
+        const TaskContext &t = ctx[task];
 
-        Fig11Curve curve;
-        curve.task = spec.name;
-        LogBins bins(-3, 3, 1);
+        Rng rng = Rng::substream(config.seed,
+                                 {kStreamCell, task, 0, rep});
 
-        for (int rep = 0; rep < config.repetitions; ++rep) {
-            accel.clearDefects();
-            DefectInjector injector(accel, SitePool::outputCritical(),
-                                    config.weighting);
-            Rng inj_rng = task_rng.split();
-            auto records = injector.inject(1, inj_rng);
-            UnitSite site = accel.faultySites().front();
+        Accelerator accel(config.array, t.logical);
+        DefectInjector injector(accel, SitePool::outputCritical(),
+                                config.weighting);
+        auto records = injector.inject(1, rng);
+        UnitSite site = accel.faultySites().front();
 
-            // Retrain with the faulty output stage, then measure
-            // accuracy and the error amplitude at the faulty unit
-            // during the test phase only.
-            Rng cv_rng = task_rng.split();
-            auto folds = kFoldIndices(ds.size(), config.folds);
-            RunningStat acc_stat;
-            RunningStat amp_stat;
-            for (size_t f = 0; f < folds.size(); ++f) {
-                Dataset train_set = complementSubset(ds, folds, f);
-                Dataset test_set = subset(ds, folds[f]);
-                retrainer.train(accel, train_set, cv_rng, &baseline);
-                accel.clearProbes();
-                acc_stat.add(Trainer::accuracy(accel, test_set));
-                const DeviationProbe &p = accel.probe(site);
-                if (p.amplitude.count() > 0)
-                    amp_stat.add(p.amplitude.mean());
-            }
-            Fig11Sample sample;
-            sample.task = spec.name;
-            sample.accuracy = acc_stat.mean();
-            sample.amplitude = amp_stat.mean();
-            sample.site = records.empty() ? site.describe()
-                                          : records.front().what;
-            bins.add(sample.amplitude, sample.accuracy);
-            curve.samples.push_back(std::move(sample));
+        // Retrain with the faulty output stage, then measure
+        // accuracy and the error amplitude at the faulty unit
+        // during the test phase only.
+        Trainer retrainer(retrainHyper(t.hyper, config.retrainScale));
+        auto folds = kFoldIndices(t.ds.size(), config.folds);
+        RunningStat acc_stat;
+        RunningStat amp_stat;
+        for (size_t f = 0; f < folds.size(); ++f) {
+            Dataset train_set = complementSubset(t.ds, folds, f);
+            Dataset test_set = subset(t.ds, folds[f]);
+            retrainer.train(accel, train_set, rng, &t.baseline);
+            accel.clearProbes();
+            acc_stat.add(Trainer::accuracy(accel, test_set));
+            const DeviationProbe &p = accel.probe(site);
+            if (p.amplitude.count() > 0)
+                amp_stat.add(p.amplitude.mean());
         }
+        Fig11Sample &sample = samples[i];
+        sample.task = t.spec.name;
+        sample.accuracy = acc_stat.mean();
+        sample.amplitude = amp_stat.mean();
+        sample.site = records.empty() ? site.describe()
+                                      : records.front().what;
+        engine.reportCell(t.spec.name, 1, static_cast<int>(rep),
+                          sample.accuracy);
+    });
 
+    // Bin in cell-index order for deterministic curves.
+    std::vector<Fig11Curve> curves(specs.size());
+    for (size_t task = 0; task < specs.size(); ++task) {
+        Fig11Curve &curve = curves[task];
+        curve.task = specs[task].name;
+        LogBins bins(-3, 3, 1);
+        for (size_t rep = 0; rep < reps; ++rep) {
+            Fig11Sample &s = samples[task * reps + rep];
+            bins.add(s.amplitude, s.accuracy);
+            curve.samples.push_back(std::move(s));
+        }
         for (size_t b = 0; b < bins.numBins(); ++b)
             if (bins.binStat(b).count() > 0)
                 curve.binAccuracy.push_back(
                     {bins.binCenter(b), bins.binStat(b).mean()});
-        curves.push_back(std::move(curve));
     }
     return curves;
+}
+
+// ---------------------------------------------------------------
+// JSON export
+
+std::string
+Fig5Result::toJson() const
+{
+    std::string out = "{\"figure\":\"fig5\",\"operator\":\"";
+    out += op == Fig5Operator::Adder4 ? "adder4" : "multiplier4";
+    out += "\",\"defects\":" + std::to_string(defects);
+    out += ",\"repetitions\":" + std::to_string(repetitions);
+    out += ",\"histograms\":{\"none\":" + jsonHistogram(none);
+    out += ",\"gate\":" + jsonHistogram(gate);
+    out += ",\"trans\":" + jsonHistogram(trans);
+    out += "}}";
+    return out;
+}
+
+std::string
+Fig10Curve::toJson() const
+{
+    std::string out =
+        "{\"figure\":\"fig10\",\"task\":\"" + jsonEscape(task) +
+        "\",\"points\":[";
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += "{\"defects\":" + std::to_string(points[i].defects);
+        out += ",\"accuracy\":" + jsonNumber(points[i].accuracy);
+        out += ",\"stddev\":" + jsonNumber(points[i].stddev) + "}";
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+Fig11Curve::toJson() const
+{
+    std::string out =
+        "{\"figure\":\"fig11\",\"task\":\"" + jsonEscape(task) +
+        "\",\"bins\":[";
+    for (size_t i = 0; i < binAccuracy.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += "{\"amplitude\":" + jsonNumber(binAccuracy[i].first);
+        out += ",\"accuracy\":" + jsonNumber(binAccuracy[i].second) +
+            "}";
+    }
+    out += "],\"samples\":[";
+    for (size_t i = 0; i < samples.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += "{\"amplitude\":" + jsonNumber(samples[i].amplitude);
+        out += ",\"accuracy\":" + jsonNumber(samples[i].accuracy);
+        out += ",\"site\":\"" + jsonEscape(samples[i].site) + "\"}";
+    }
+    out += "]}";
+    return out;
 }
 
 } // namespace dtann

@@ -8,6 +8,12 @@
  * input and hidden layers, after retraining.
  * Fig 11: accuracy vs error amplitude for single defects in the
  * output layer's adders/activation functions.
+ *
+ * All campaigns run on the CampaignEngine (core/engine.hh): every
+ * (task, defect count, repetition) cell is an independent work unit
+ * with a counter-derived RNG stream, so results are bit-identical
+ * for any thread count. Curves carry toJson() exporters; benches
+ * mirror them to $DTANN_JSON_OUT for the perf-trajectory tooling.
  */
 
 #ifndef DTANN_CORE_CAMPAIGN_HH
@@ -18,8 +24,7 @@
 
 #include "ann/trainer.hh"
 #include "common/stats.hh"
-#include "core/accelerator.hh"
-#include "core/injector.hh"
+#include "core/engine.hh"
 #include "data/synth_uci.hh"
 #include "rtl/builder.hh"
 
@@ -31,6 +36,20 @@ namespace dtann {
 /** Operator targeted by the Fig 5 experiment. */
 enum class Fig5Operator : uint8_t { Adder4, Multiplier4 };
 
+/** Scaling knobs of the small-operator defect campaign. */
+struct Fig5Config
+{
+    Fig5Operator op = Fig5Operator::Adder4;
+    int defects = 1;
+    int repetitions = 1000; ///< faulty operators per histogram
+    uint64_t seed = 1;
+    FaStyle style = FaStyle::Nand9;
+    /** Worker threads; 0 = auto (DTANN_THREADS, else hardware). */
+    int threads = 0;
+    /** Optional per-repetition progress callback. */
+    ProgressCallback onCellDone;
+};
+
 /** Result histograms of one Fig 5 configuration. */
 struct Fig5Result
 {
@@ -40,34 +59,24 @@ struct Fig5Result
     IntHistogram none;  ///< defect-free output distribution
     IntHistogram gate;  ///< gate-level stuck-at injections
     IntHistogram trans; ///< transistor-level injections
+
+    /** Machine-readable export (single JSON object). */
+    std::string toJson() const;
 };
 
 /**
- * Run one Fig 5 configuration: @p repetitions random injections,
- * each evaluated on all 256 input pairs in random order.
+ * Run one Fig 5 configuration: @p config.repetitions random
+ * injections, each evaluated on all 256 input pairs in random order.
  */
-Fig5Result runFig5(Fig5Operator op, int defects, int repetitions,
-                   Rng &rng, FaStyle style = FaStyle::Nand9);
+Fig5Result runFig5(const Fig5Config &config);
 
 // ---------------------------------------------------------------
 // Fig 10
 
 /** Scaling knobs of the defect-tolerance campaign. */
-struct Fig10Config
+struct Fig10Config : CampaignConfig
 {
-    std::vector<std::string> tasks;  ///< empty = all 10
     std::vector<int> defectCounts = {0, 3, 6, 9, 12, 15, 18, 21, 24, 27};
-    int repetitions = 100; ///< faulty networks per defect count
-    int folds = 10;        ///< cross-validation folds
-    size_t rows = 0;       ///< dataset size (0 = original)
-    double epochScale = 1.0;   ///< scales baseline training epochs
-    double retrainScale = 0.25; ///< retraining epochs vs baseline
-    uint64_t seed = 1;
-    AcceleratorConfig array;
-    /** Unit-instance draw: the paper picks operators/latches
-     *  uniformly ("randomly pick one of the logic operators or
-     *  latches"). */
-    SiteWeighting weighting = SiteWeighting::Uniform;
     /**
      * When false, the faulty network is tested with the clean
      * baseline weights instead of being retrained — the ablation
@@ -90,6 +99,9 @@ struct Fig10Curve
 {
     std::string task;
     std::vector<Fig10Point> points;
+
+    /** Machine-readable export (single JSON object). */
+    std::string toJson() const;
 };
 
 /** Run the Fig 10 campaign. */
@@ -99,17 +111,8 @@ std::vector<Fig10Curve> runFig10(const Fig10Config &config);
 // Fig 11
 
 /** Scaling knobs of the output-layer amplitude campaign. */
-struct Fig11Config
+struct Fig11Config : CampaignConfig
 {
-    std::vector<std::string> tasks; ///< empty = all 10
-    int repetitions = 100;          ///< faulty networks per task
-    int folds = 10;
-    size_t rows = 0;
-    double epochScale = 1.0;
-    double retrainScale = 0.25;
-    uint64_t seed = 1;
-    AcceleratorConfig array;
-    SiteWeighting weighting = SiteWeighting::Uniform;
 };
 
 /** One faulty network's (amplitude, accuracy) observation. */
@@ -127,17 +130,49 @@ struct Fig11Curve
     std::string task;
     std::vector<std::pair<double, double>> binAccuracy; ///< (amp, acc)
     std::vector<Fig11Sample> samples;
+
+    /** Machine-readable export (single JSON object). */
+    std::string toJson() const;
 };
 
 /** Run the Fig 11 campaign. */
 std::vector<Fig11Curve> runFig11(const Fig11Config &config);
 
 // ---------------------------------------------------------------
-// Shared helpers
+// Shared helpers (public so benches/tests don't re-implement them)
+
+/** Task specs selected by a campaign config (empty = all 10). */
+std::vector<UciTaskSpec> selectTasks(const std::vector<std::string> &names);
 
 /** Hyper-parameters used on the hardware for @p spec. */
 Hyper hardwareHyper(const UciTaskSpec &spec, const AcceleratorConfig &a,
                     double epoch_scale);
+
+/** Retraining variant of @p hyper with scaled-down epochs. */
+Hyper retrainHyper(const Hyper &hyper, double retrain_scale);
+
+/** JSON array over per-curve toJson(). */
+template <typename Curve>
+std::string
+toJson(const std::vector<Curve> &curves)
+{
+    std::string out = "[";
+    for (size_t i = 0; i < curves.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += curves[i].toJson();
+    }
+    out += "]";
+    return out;
+}
+
+/**
+ * Mirror a JSON payload to $DTANN_JSON_OUT/<name>.json when that
+ * environment variable names a directory.
+ *
+ * @return true when a file was written
+ */
+bool maybeWriteJson(const std::string &name, const std::string &json);
 
 } // namespace dtann
 

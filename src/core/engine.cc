@@ -1,0 +1,33 @@
+#include "core/engine.hh"
+
+namespace dtann {
+
+CampaignEngine::CampaignEngine(const CampaignConfig &config)
+    : pool(config.threads), onCellDone(config.onCellDone)
+{
+}
+
+CampaignEngine::CampaignEngine(int threads, ProgressCallback on_cell_done)
+    : pool(threads), onCellDone(std::move(on_cell_done))
+{
+}
+
+void
+CampaignEngine::beginCampaign(size_t total_cells)
+{
+    std::lock_guard<std::mutex> lk(mu);
+    done = 0;
+    total = total_cells;
+}
+
+void
+CampaignEngine::reportCell(const std::string &task, int defects, int rep,
+                           double accuracy)
+{
+    std::lock_guard<std::mutex> lk(mu);
+    ++done;
+    if (onCellDone)
+        onCellDone({task, defects, rep, accuracy, done, total});
+}
+
+} // namespace dtann

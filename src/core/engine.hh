@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Parallel campaign engine.
+ *
+ * The paper's defect-injection campaigns (Figs 10/11 and the
+ * ablations) are embarrassingly parallel: tasks x defect counts x
+ * ~100 faulty-network repetitions, each an independent
+ * inject -> retrain -> cross-validate run. The engine schedules each
+ * such (task, variant, repetition) cell as one work unit on a
+ * fixed-size worker pool.
+ *
+ * Determinism: every cell derives all of its randomness with
+ * Rng::substream(seed, {stream, task, variant, rep}) — counter-based
+ * splitting, a pure function of the cell coordinates — and results
+ * are accumulated in cell-index order after the parallel phase.
+ * Campaign output is therefore bit-identical for any thread count,
+ * including 1 (covered by EngineDeterminism tests).
+ */
+
+#ifndef DTANN_CORE_ENGINE_HH
+#define DTANN_CORE_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "core/accelerator.hh"
+#include "core/injector.hh"
+
+namespace dtann {
+
+/** Progress report for one finished campaign cell. */
+struct CellReport
+{
+    std::string task;  ///< task name
+    int defects;       ///< defect count of the cell
+    int rep;           ///< repetition index within (task, defects)
+    double accuracy;   ///< cell outcome
+    size_t cellsDone;  ///< cells finished so far (including this one)
+    size_t cellsTotal; ///< total cells in the campaign
+};
+
+/**
+ * Per-cell progress callback. Invoked from worker threads but
+ * serialized by the engine, so implementations need no locking.
+ * Completion *order* is scheduling-dependent; the campaign results
+ * themselves are not.
+ */
+using ProgressCallback = std::function<void(const CellReport &)>;
+
+/**
+ * Knobs shared by every campaign (hoisted from the former
+ * Fig10Config/Fig11Config duplication). Figure-specific configs
+ * derive from this.
+ */
+struct CampaignConfig
+{
+    std::vector<std::string> tasks; ///< empty = all 10
+    int repetitions = 100; ///< faulty networks per campaign point
+    int folds = 10;        ///< cross-validation folds
+    size_t rows = 0;       ///< dataset size (0 = original)
+    double epochScale = 1.0;    ///< scales baseline training epochs
+    double retrainScale = 0.25; ///< retraining epochs vs baseline
+    uint64_t seed = 1;
+    AcceleratorConfig array;
+    /** Unit-instance draw: the paper picks operators/latches
+     *  uniformly ("randomly pick one of the logic operators or
+     *  latches"). */
+    SiteWeighting weighting = SiteWeighting::Uniform;
+    /** Worker threads; 0 = auto (DTANN_THREADS, else hardware). */
+    int threads = 0;
+    /** Optional per-cell progress callback. */
+    ProgressCallback onCellDone;
+};
+
+/**
+ * Fixed-size worker pool plus campaign progress accounting.
+ *
+ * Campaign code uses it in two phases: parallelFor over tasks to
+ * prepare shared per-task state (dataset, baseline weights), then
+ * parallelFor over the flattened cell list. Cells report through
+ * reportCell() so long campaigns surface progress.
+ */
+class CampaignEngine
+{
+  public:
+    /** Engine for @p config (thread count and progress callback). */
+    explicit CampaignEngine(const CampaignConfig &config);
+
+    /** Standalone engine (benches, non-figure campaigns). */
+    explicit CampaignEngine(int threads,
+                            ProgressCallback on_cell_done = {});
+
+    /** Resolved execution width (>= 1). */
+    int threads() const { return pool.size(); }
+
+    /**
+     * Run fn(0) .. fn(n-1) on the pool; blocks until done. @p fn
+     * must derive randomness only from its index (Rng::substream)
+     * and write only to its own result slot.
+     */
+    void
+    parallelFor(size_t n, const std::function<void(size_t)> &fn)
+    {
+        pool.parallelFor(n, fn);
+    }
+
+    /** Arm progress accounting for a campaign of @p total cells. */
+    void beginCampaign(size_t total);
+
+    /**
+     * Record one finished cell: bumps the done counter and invokes
+     * the progress callback (if any). Thread-safe.
+     */
+    void reportCell(const std::string &task, int defects, int rep,
+                    double accuracy);
+
+  private:
+    ThreadPool pool;
+    ProgressCallback onCellDone;
+    std::mutex mu;
+    size_t done = 0;
+    size_t total = 0;
+};
+
+} // namespace dtann
+
+#endif // DTANN_CORE_ENGINE_HH

@@ -87,6 +87,64 @@ TEST(Rng, SplitStreamsIndependent)
     EXPECT_LT(same, 3);
 }
 
+TEST(Rng, SplitIsOrderDependent)
+{
+    // Documented contract: split() draws from the parent engine, so
+    // the n-th split depends on how many draws preceded it. This is
+    // exactly why parallel code must use substream() instead.
+    Rng p1(42), p2(42);
+    (void)p2.nextUint(10); // one extra draw shifts every later split
+    Rng a = p1.split();
+    Rng b = p2.split();
+    EXPECT_NE(a.nextUint(1u << 30), b.nextUint(1u << 30));
+}
+
+TEST(Rng, SubstreamIsPureFunctionOfSeedAndPath)
+{
+    // Same (seed, path) always yields the same stream, regardless
+    // of any other RNG activity.
+    Rng noise(1);
+    Rng a = Rng::substream(99, {3, 1, 4});
+    for (int i = 0; i < 57; ++i)
+        (void)noise.nextDouble();
+    Rng b = Rng::substream(99, {3, 1, 4});
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextUint(1u << 30), b.nextUint(1u << 30));
+}
+
+TEST(Rng, SubstreamDistinctPathsDiffer)
+{
+    // Differing in any coordinate — or in coordinate order — gives
+    // an independent stream.
+    Rng a = Rng::substream(7, {1, 2});
+    Rng b = Rng::substream(7, {2, 1});
+    Rng c = Rng::substream(7, {1, 3});
+    Rng d = Rng::substream(8, {1, 2});
+    int ab = 0, ac = 0, ad = 0;
+    for (int i = 0; i < 100; ++i) {
+        uint64_t va = a.nextUint(1000000);
+        ab += va == b.nextUint(1000000);
+        ac += va == c.nextUint(1000000);
+        ad += va == d.nextUint(1000000);
+    }
+    EXPECT_LT(ab, 3);
+    EXPECT_LT(ac, 3);
+    EXPECT_LT(ad, 3);
+}
+
+TEST(Rng, SubstreamAdjacentCountersDecorrelated)
+{
+    // Counter-based splitting must avalanche: neighbouring cell
+    // coordinates (rep k vs rep k+1) share no structure.
+    Rng a = Rng::substream(1, {5, 0, 0});
+    Rng b = Rng::substream(1, {5, 0, 1});
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.nextUint(1000000) == b.nextUint(1000000))
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
 TEST(Rng, ShufflePreservesElements)
 {
     Rng rng(3);

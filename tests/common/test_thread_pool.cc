@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the fixed-size worker pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/thread_pool.hh"
+
+namespace dtann {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    for (int threads : {1, 2, 4, 8}) {
+        ThreadPool pool(threads);
+        EXPECT_EQ(pool.size(), threads);
+        std::vector<std::atomic<int>> hits(257);
+        pool.parallelFor(hits.size(), [&](size_t i) { ++hits[i]; });
+        for (size_t i = 0; i < hits.size(); ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, EmptyBatchIsANoop)
+{
+    ThreadPool pool(4);
+    bool ran = false;
+    pool.parallelFor(0, [&](size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches)
+{
+    ThreadPool pool(3);
+    std::vector<int> sums;
+    for (int batch = 0; batch < 5; ++batch) {
+        std::atomic<int> sum{0};
+        pool.parallelFor(100, [&](size_t i) {
+            sum += static_cast<int>(i);
+        });
+        sums.push_back(sum.load());
+    }
+    for (int s : sums)
+        EXPECT_EQ(s, 4950);
+}
+
+TEST(ThreadPool, PropagatesFirstException)
+{
+    for (int threads : {1, 4}) {
+        ThreadPool pool(threads);
+        std::atomic<int> completed{0};
+        EXPECT_THROW(
+            pool.parallelFor(64,
+                             [&](size_t i) {
+                                 if (i == 13)
+                                     throw std::runtime_error("boom");
+                                 ++completed;
+                             }),
+            std::runtime_error);
+        // The batch still drains: every non-throwing index ran.
+        EXPECT_EQ(completed.load(), 63);
+        // And the pool survives for the next batch.
+        std::atomic<int> again{0};
+        pool.parallelFor(8, [&](size_t) { ++again; });
+        EXPECT_EQ(again.load(), 8);
+    }
+}
+
+TEST(ThreadPool, ResolveThreadsPrefersExplicitRequest)
+{
+    EXPECT_EQ(ThreadPool::resolveThreads(3), 3);
+    EXPECT_GE(ThreadPool::resolveThreads(0), 1);
+}
+
+TEST(ThreadPool, ResolveThreadsReadsEnvironment)
+{
+    setenv("DTANN_THREADS", "5", 1);
+    EXPECT_EQ(ThreadPool::resolveThreads(0), 5);
+    EXPECT_EQ(ThreadPool::resolveThreads(2), 2); // explicit wins
+    unsetenv("DTANN_THREADS");
+    EXPECT_GE(ThreadPool::resolveThreads(0), 1);
+}
+
+} // namespace
+} // namespace dtann

@@ -10,10 +10,21 @@
 namespace dtann {
 namespace {
 
+Fig5Config
+fig5Config(Fig5Operator op, int defects, int repetitions, uint64_t seed)
+{
+    Fig5Config cfg;
+    cfg.op = op;
+    cfg.defects = defects;
+    cfg.repetitions = repetitions;
+    cfg.seed = seed;
+    return cfg;
+}
+
 TEST(Fig5, CleanDistributionIsExactConvolution)
 {
-    Rng rng(1);
-    Fig5Result r = runFig5(Fig5Operator::Adder4, 1, 2, rng);
+    Fig5Result r =
+        runFig5(fig5Config(Fig5Operator::Adder4, 1, 2, 1));
     // Each repetition covers all 256 pairs: value v occurs
     // #\{(a,b): a+b=v\} times per repetition.
     EXPECT_EQ(r.none.total(), 512u);
@@ -26,8 +37,8 @@ TEST(Fig5, OneDefectBarelyMovesTransistorDistribution)
 {
     // Paper: "For 1 defect, the behavior of the 4-bit adder is
     // barely affected."
-    Rng rng(2);
-    Fig5Result r = runFig5(Fig5Operator::Adder4, 1, 40, rng);
+    Fig5Result r =
+        runFig5(fig5Config(Fig5Operator::Adder4, 1, 40, 2));
     EXPECT_LT(r.trans.totalVariation(r.none), 0.10);
 }
 
@@ -36,8 +47,8 @@ TEST(Fig5, TwentyDefectsDivergeAndGateModelIsWorse)
     // Paper: at 20 defects both models diverge from the clean
     // distribution, and the transistor-level profile stays closer
     // to the error-free profile than the gate-level one.
-    Rng rng(3);
-    Fig5Result r = runFig5(Fig5Operator::Adder4, 20, 60, rng);
+    Fig5Result r =
+        runFig5(fig5Config(Fig5Operator::Adder4, 20, 60, 3));
     double tv_trans = r.trans.totalVariation(r.none);
     double tv_gate = r.gate.totalVariation(r.none);
     EXPECT_GT(tv_trans, 0.05);
@@ -47,8 +58,8 @@ TEST(Fig5, TwentyDefectsDivergeAndGateModelIsWorse)
 
 TEST(Fig5, MultiplierConfigurationRuns)
 {
-    Rng rng(4);
-    Fig5Result r = runFig5(Fig5Operator::Multiplier4, 20, 10, rng);
+    Fig5Result r =
+        runFig5(fig5Config(Fig5Operator::Multiplier4, 20, 10, 4));
     EXPECT_EQ(r.none.total(), 2560u);
     EXPECT_EQ(r.none.at(225), 10u); // 15*15 only
     EXPECT_GT(r.trans.total(), 0u);
@@ -116,6 +127,26 @@ TEST(HardwareHyper, CapsHiddenAtPhysical)
     EXPECT_EQ(h.hidden, 10);
     Hyper h2 = hardwareHyper(uciTask("wine"), a, 1.0); // paper: 4
     EXPECT_EQ(h2.hidden, 4);
+}
+
+TEST(SelectTasks, EmptyMeansAllTen)
+{
+    EXPECT_EQ(selectTasks({}).size(), 10u);
+    auto some = selectTasks({"iris", "wine"});
+    ASSERT_EQ(some.size(), 2u);
+    EXPECT_EQ(some[0].name, "iris");
+    EXPECT_EQ(some[1].name, "wine");
+}
+
+TEST(RetrainHyper, ScalesEpochsWithFloorOfOne)
+{
+    Hyper h;
+    h.epochs = 100;
+    EXPECT_EQ(retrainHyper(h, 0.25).epochs, 25);
+    EXPECT_EQ(retrainHyper(h, 0.0001).epochs, 1);
+    // Only the epoch budget changes.
+    EXPECT_EQ(retrainHyper(h, 0.25).learningRate, h.learningRate);
+    EXPECT_EQ(retrainHyper(h, 0.25).hidden, h.hidden);
 }
 
 TEST(HardwareHyper, ScalesEpochs)

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/injector.hh"
 
 namespace dtann {
@@ -87,6 +89,73 @@ TEST(SiteWeighting, UniformWeightingBalancesKinds)
     }
     // Same instance counts: ratio near 1.
     EXPECT_LT(std::abs(mult - latch), 300);
+}
+
+TEST(SiteWeighting, TransistorDrawsMatchTransistorCounts)
+{
+    // The cumulative-weight table must reproduce the per-unit
+    // transistor counts: with N draws, each unit kind's frequency
+    // should match its share of the pool's total transistor count
+    // within statistical tolerance.
+    Accelerator accel(smallArray(), {12, 4, 3});
+    DefectInjector inj(accel, SitePool::inputAndHidden(),
+                       SiteWeighting::Transistor);
+
+    // Instance counts in the hidden layer of the 12-4-3 array.
+    const double n_latch = 4 * 13, n_mult = 4 * 13;
+    const double n_add = 4 * 12, n_act = 4;
+    const double w_latch =
+        n_latch * accel.latchNetlist().transistorCount();
+    const double w_mult =
+        n_mult * accel.multiplierNetlist().transistorCount();
+    const double w_add = n_add * accel.adderNetlist().transistorCount();
+    const double w_act =
+        n_act * accel.activationNetlist().transistorCount();
+    const double total = w_latch + w_mult + w_add + w_act;
+
+    const int draws = 20000;
+    Rng rng(11);
+    int got[4] = {0, 0, 0, 0};
+    for (int i = 0; i < draws; ++i)
+        ++got[static_cast<int>(inj.randomSite(rng).kind)];
+
+    const double expect[4] = {w_latch / total, w_mult / total,
+                              w_add / total, w_act / total};
+    for (int k = 0; k < 4; ++k) {
+        double freq = static_cast<double>(got[k]) / draws;
+        // ~5 sigma of a binomial with p = expect[k].
+        double sigma =
+            std::sqrt(expect[k] * (1 - expect[k]) / draws);
+        EXPECT_NEAR(freq, expect[k], 5 * sigma + 1e-9)
+            << "unit kind " << k;
+    }
+}
+
+TEST(SiteWeighting, UniformAndTransistorDrawDifferentDistributions)
+{
+    // Under uniform weighting every instance is equally likely, so
+    // the adder-stage share equals its instance share; transistor
+    // weighting must shift mass decisively towards multipliers.
+    Accelerator accel(smallArray(), {12, 4, 3});
+    DefectInjector uni(accel, SitePool::inputAndHidden(),
+                       SiteWeighting::Uniform);
+    DefectInjector wt(accel, SitePool::inputAndHidden(),
+                      SiteWeighting::Transistor);
+
+    const int draws = 20000;
+    Rng r1(12), r2(12);
+    int uni_mult = 0, wt_mult = 0;
+    for (int i = 0; i < draws; ++i) {
+        uni_mult += uni.randomSite(r1).kind == UnitKind::Multiplier;
+        wt_mult += wt.randomSite(r2).kind == UnitKind::Multiplier;
+    }
+    // Instance share of multipliers: 52 of 156 eligible units.
+    double uni_freq = static_cast<double>(uni_mult) / draws;
+    EXPECT_NEAR(uni_freq, 52.0 / 156.0, 0.02);
+    // Transistor share dominates (16x16 multiplier >> latch/adder).
+    double wt_freq = static_cast<double>(wt_mult) / draws;
+    EXPECT_GT(wt_freq, 0.80);
+    EXPECT_GT(wt_freq, uni_freq + 0.3);
 }
 
 TEST(DefectInjector, InjectInstallsFaults)

@@ -43,9 +43,13 @@ TEST(EdgeCases, Fig5MirrorStyleKeepsOrdering)
 {
     // The transistor-vs-gate ordering holds for the complex-gate
     // implementation too.
-    Rng rng(9);
-    Fig5Result r = runFig5(Fig5Operator::Adder4, 20, 40, rng,
-                           FaStyle::Mirror);
+    Fig5Config cfg;
+    cfg.op = Fig5Operator::Adder4;
+    cfg.defects = 20;
+    cfg.repetitions = 40;
+    cfg.seed = 9;
+    cfg.style = FaStyle::Mirror;
+    Fig5Result r = runFig5(cfg);
     EXPECT_GT(r.gate.totalVariation(r.none),
               r.trans.totalVariation(r.none));
 }

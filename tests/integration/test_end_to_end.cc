@@ -133,10 +133,15 @@ TEST(EndToEnd, CampaignsAreDeterministicPerSeed)
 
 TEST(EndToEnd, Fig5DeterministicAndSeedSensitive)
 {
-    Rng r1(5), r2(5), r3(6);
-    Fig5Result a = runFig5(Fig5Operator::Adder4, 5, 10, r1);
-    Fig5Result b = runFig5(Fig5Operator::Adder4, 5, 10, r2);
-    Fig5Result c = runFig5(Fig5Operator::Adder4, 5, 10, r3);
+    Fig5Config cfg;
+    cfg.op = Fig5Operator::Adder4;
+    cfg.defects = 5;
+    cfg.repetitions = 10;
+    cfg.seed = 5;
+    Fig5Result a = runFig5(cfg);
+    Fig5Result b = runFig5(cfg);
+    cfg.seed = 6;
+    Fig5Result c = runFig5(cfg);
     EXPECT_EQ(a.trans.items(), b.trans.items());
     EXPECT_EQ(a.gate.items(), b.gate.items());
     EXPECT_NE(a.trans.items(), c.trans.items());
