@@ -10,7 +10,9 @@
 
 #include "bench_util.hh"
 #include "circuit/evaluator.hh"
+#include "common/json.hh"
 #include "common/rng.hh"
+#include "core/campaign.hh"
 #include "rtl/adder.hh"
 #include "rtl/fault_inject.hh"
 
@@ -65,20 +67,36 @@ main()
     Netlist select = buildCarrySelectAdder(width, 4, FaStyle::Nand9,
                                            true);
 
+    double ripple_frac =
+        observableDefectFraction(ripple, trials, rng, width);
+    double select_frac =
+        observableDefectFraction(select, trials, rng, width);
+
     TextTable t({"architecture", "transistors", "depth (gates)",
                  "observable 1-defect frac"});
     t.addRow({"ripple-carry", std::to_string(ripple.transistorCount()),
               std::to_string(ripple.depth()),
-              fmtDouble(observableDefectFraction(ripple, trials, rng,
-                                                 width),
-                        3)});
+              fmtDouble(ripple_frac, 3)});
     t.addRow({"carry-select/4",
               std::to_string(select.transistorCount()),
               std::to_string(select.depth()),
-              fmtDouble(observableDefectFraction(select, trials, rng,
-                                                 width),
-                        3)});
+              fmtDouble(select_frac, 3)});
     t.print(std::cout);
+
+    auto arch_json = [](const char *name, const Netlist &nl,
+                        double frac) {
+        return std::string("{\"architecture\":") + jsonString(name) +
+            ",\"transistors\":" + std::to_string(nl.transistorCount()) +
+            ",\"depth\":" + std::to_string(nl.depth()) +
+            ",\"observable_defect_fraction\":" + jsonNumber(frac) + "}";
+    };
+    maybeWriteJson("ablation_adder_arch",
+                   "{\"figure\":\"ablation_adder_arch\",\"trials\":" +
+                       std::to_string(trials) + ",\"architectures\":[" +
+                       arch_json("ripple-carry", ripple, ripple_frac) +
+                       "," +
+                       arch_json("carry-select/4", select, select_frac) +
+                       "]}");
     std::printf("\n(carry-select shortens the accumulator critical "
                 "path at ~2x transistor cost; its speculative "
                 "duplication also masks more single defects — the "

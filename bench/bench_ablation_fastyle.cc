@@ -11,6 +11,7 @@
 
 #include "bench_util.hh"
 #include "circuit/evaluator.hh"
+#include "common/json.hh"
 #include "core/campaign.hh"
 #include "core/cost_model.hh"
 #include "rtl/adder.hh"
@@ -66,6 +67,7 @@ main()
     TextTable t({"style", "adder T/bit", "array transistors",
                  "array area mm^2", "masked 1-defect frac",
                  "fig5 TV @20 defects"});
+    std::string styles_json;
     for (FaStyle style : {FaStyle::Nand9, FaStyle::Mirror}) {
         Netlist bit = buildRippleAdder(1, style, true);
         AcceleratorConfig cfg;
@@ -79,14 +81,29 @@ main()
         f5cfg.seed = experimentSeed() + static_cast<uint64_t>(style);
         f5cfg.style = style;
         Fig5Result f5 = runFig5(f5cfg);
+        double tv = f5.trans.totalVariation(f5.none);
         t.addRow({styleName(style),
                   std::to_string(bit.transistorCount()),
                   std::to_string(cm.arrayTransistors()),
                   fmtDouble(cm.accelerator().areaMm2, 2),
-                  fmtDouble(masked, 3),
-                  fmtDouble(f5.trans.totalVariation(f5.none), 4)});
+                  fmtDouble(masked, 3), fmtDouble(tv, 4)});
+        if (!styles_json.empty())
+            styles_json += ",";
+        styles_json += std::string("{\"style\":") +
+            jsonString(styleName(style)) + ",\"adder_t_per_bit\":" +
+            std::to_string(bit.transistorCount()) +
+            ",\"array_transistors\":" +
+            std::to_string(cm.arrayTransistors()) + ",\"area_mm2\":" +
+            jsonNumber(cm.accelerator().areaMm2) +
+            ",\"masked_defect_fraction\":" + jsonNumber(masked) +
+            ",\"fig5_tv_at_20_defects\":" + jsonNumber(tv) + "}";
     }
     t.print(std::cout);
+    maybeWriteJson("ablation_fastyle",
+                   "{\"figure\":\"ablation_fastyle\",\"trials\":" +
+                       std::to_string(trials) + ",\"repetitions\":" +
+                       std::to_string(reps) + ",\"styles\":[" +
+                       styles_json + "]}");
     std::printf("\n(the cost model is calibrated at the NAND9 "
                 "point; the mirror adder trades ~22%% fewer adder "
                 "transistors for complex-gate fault behaviour)\n");

@@ -11,6 +11,8 @@
 
 #include "ann/crossval.hh"
 #include "bench_util.hh"
+#include "common/json.hh"
+#include "core/campaign.hh"
 #include "core/cost_model.hh"
 #include "core/injector.hh"
 #include "core/spare.hh"
@@ -92,10 +94,22 @@ main()
     t.print(std::cout);
 
     CostModel cm(cfg);
+    double area_cost =
+        100.0 * (copies - 1) * cm.outputCriticalAreaFraction();
+    maybeWriteJson(
+        "ablation_spare",
+        "{\"figure\":\"ablation_spare\",\"repetitions\":" +
+            std::to_string(reps) + ",\"copies\":" +
+            std::to_string(copies) + ",\"plain\":{\"mean_accuracy\":" +
+            jsonNumber(plain_acc.mean()) + ",\"worst_accuracy\":" +
+            jsonNumber(plain_worst.min()) +
+            "},\"spared\":{\"mean_accuracy\":" +
+            jsonNumber(spared_acc.mean()) + ",\"worst_accuracy\":" +
+            jsonNumber(spared_worst.min()) +
+            "},\"area_cost_percent\":" + jsonNumber(area_cost) + "}");
     std::printf("\narea cost of sparing: output layer replicated "
                 "x%d, i.e. about +%.2f%% of total array area\n",
-                copies,
-                100.0 * (copies - 1) * cm.outputCriticalAreaFraction());
+                copies, area_cost);
     std::printf("(paper: key-logic hardening is preferable while the "
                 "critical fraction is small; sparing wins as "
                 "technology scales)\n");

@@ -11,6 +11,8 @@
 
 #include "ann/fixed_mlp.hh"
 #include "bench_util.hh"
+#include "common/json.hh"
+#include "core/campaign.hh"
 #include "core/cost_model.hh"
 #include "core/injector.hh"
 #include "core/timemux.hh"
@@ -43,6 +45,8 @@ main()
     benchBanner("Ablation: spatial expansion vs time-multiplexing",
                 "Temam, ISCA 2012, Section II");
 
+    std::string mappings_json;
+
     // Latency/traffic penalty of time-multiplexing (MNIST-class
     // 784-input network on the 90-input array).
     {
@@ -60,6 +64,15 @@ main()
             t.addRow({name, std::to_string(mux.passesPerRow()),
                       std::to_string(mux.weightWordsPerRow()),
                       std::to_string(mux.muxFactor())});
+            if (!mappings_json.empty())
+                mappings_json += ",";
+            mappings_json += std::string("{\"network\":") +
+                jsonString(name) + ",\"passes_per_row\":" +
+                std::to_string(mux.passesPerRow()) +
+                ",\"weight_words_per_row\":" +
+                std::to_string(mux.weightWordsPerRow()) +
+                ",\"mux_factor\":" + std::to_string(mux.muxFactor()) +
+                "}";
         }
         t.print(std::cout);
         std::printf("(spatially expanded fit = 2 passes; paper: a "
@@ -119,6 +132,13 @@ main()
         std::printf("(paper: a defect at a hardware neuron affects "
                     "all application neurons mapped to it, "
                     "multiplying the effective defect count)\n");
+        maybeWriteJson(
+            "ablation_timemux",
+            "{\"figure\":\"ablation_timemux\",\"mappings\":[" +
+                mappings_json + "],\"deviation\":{\"repetitions\":" +
+                std::to_string(reps) + ",\"defects\":3,\"spatial\":" +
+                jsonNumber(spatial_rate.mean()) + ",\"time_muxed\":" +
+                jsonNumber(mux_rate.mean()) + "}}");
     }
     return 0;
 }

@@ -21,7 +21,8 @@
 
 namespace dtann {
 
-/** Print the standard bench banner. */
+/** Print the standard bench banner and log the active DTANN_* knobs
+ *  (so JSON exports are reproducible from the log alone). */
 inline void
 benchBanner(const std::string &what, const std::string &paper_ref)
 {
@@ -32,6 +33,7 @@ benchBanner(const std::string &what, const std::string &paper_ref)
               << " (set DTANN_FULL=1 for paper scale), seed "
               << experimentSeed() << "\n"
               << "==========================================================\n";
+    env::dump();
 }
 
 } // namespace dtann

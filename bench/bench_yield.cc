@@ -10,6 +10,7 @@
  */
 
 #include "bench_util.hh"
+#include "common/json.hh"
 #include "core/cost_model.hh"
 #include "core/yield.hh"
 
@@ -48,14 +49,29 @@ main()
 
     TextTable t({"defects/cm^2", "mean defects/die", "classic yield",
                  "effective yield", "E[accuracy]"});
+    std::string points_json;
     for (double density : {10.0, 50.0, 100.0, 300.0, 600.0, 1200.0}) {
         YieldPoint y = effectiveYield(curve, area, density, threshold);
         t.addRow({fmtDouble(density, 0), fmtDouble(y.meanDefects, 2),
                   fmtDouble(y.classicYield, 4),
                   fmtDouble(y.effectiveYield, 4),
                   fmtDouble(y.expectedAccuracy, 3)});
+        if (!points_json.empty())
+            points_json += ",";
+        points_json += "{\"density\":" + jsonNumber(density) +
+            ",\"mean_defects\":" + jsonNumber(y.meanDefects) +
+            ",\"classic_yield\":" + jsonNumber(y.classicYield) +
+            ",\"effective_yield\":" + jsonNumber(y.effectiveYield) +
+            ",\"expected_accuracy\":" + jsonNumber(y.expectedAccuracy) +
+            "}";
     }
     t.print(std::cout);
+    maybeWriteJson("yield",
+                   "{\"figure\":\"yield\",\"area_mm2\":" +
+                       jsonNumber(area) + ",\"threshold\":" +
+                       jsonNumber(threshold) + ",\"accuracy_curve\":" +
+                       curve.toJson() + ",\"points\":[" + points_json +
+                       "]}");
     std::printf("\n(classic yield = P(zero defects): what a "
                 "defect-intolerant custom circuit of equal area "
                 "would yield; the gap is the paper's argument for "

@@ -22,13 +22,18 @@ bool fullScale();
 /** Pick @p full at paper scale, @p quick otherwise. */
 int scaled(int full, int quick);
 
-/** Global experiment seed; DTANN_SEED overrides the default. */
+/**
+ * Global experiment seed; DTANN_SEED overrides the default.
+ * Negative or non-numeric values are rejected with a warning and
+ * the default seed is used.
+ */
 unsigned long experimentSeed();
 
 /**
  * Campaign worker threads requested via DTANN_THREADS, or 0 when
- * unset (auto: use the hardware concurrency). Campaign results are
- * bit-identical for every thread count.
+ * unset (auto: use the hardware concurrency). Negative, non-numeric
+ * or absurd values are rejected with a warning and fall back to
+ * auto. Campaign results are bit-identical for every thread count.
  */
 int threadCount();
 
@@ -37,6 +42,17 @@ int threadCount();
  * or empty when JSON export is disabled.
  */
 std::string jsonOutDir();
+
+namespace env {
+
+/**
+ * Log every active DTANN_* knob (raw value and resolved meaning) at
+ * inform() level, so a JSON export is reproducible from the log
+ * alone. Benches call this from the banner.
+ */
+void dump();
+
+} // namespace env
 
 } // namespace dtann
 

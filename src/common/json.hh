@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Minimal JSON emission helpers.
+ *
+ * The repo exports machine-readable results (DTANN_JSON_OUT) from
+ * campaigns and benches by string concatenation — no external JSON
+ * dependency. These helpers keep escaping and number formatting
+ * consistent across all exporters.
+ */
+
+#ifndef DTANN_COMMON_JSON_HH
+#define DTANN_COMMON_JSON_HH
+
+#include <string>
+
+namespace dtann {
+
+/** Minimal JSON string escaping (quotes, backslashes, control). */
+std::string jsonEscape(const std::string &s);
+
+/** JSON-ready representation of a double (round-trips exactly). */
+std::string jsonNumber(double v);
+
+/** Quoted, escaped JSON string literal. */
+std::string jsonString(const std::string &s);
+
+} // namespace dtann
+
+#endif // DTANN_COMMON_JSON_HH

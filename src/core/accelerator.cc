@@ -157,6 +157,61 @@ Accelerator::faultySites() const
     return sites;
 }
 
+bool
+Accelerator::isFaulty(const UnitSite &site) const
+{
+    return faulty.find(site) != faulty.end();
+}
+
+Fix16
+Accelerator::bistMul(Layer layer, int neuron, int synapse, Fix16 w,
+                     Fix16 x)
+{
+    return unitMul(layer, neuron, synapse, w, x);
+}
+
+Acc24
+Accelerator::bistAdd(Layer layer, int neuron, int stage, Acc24 a, Acc24 b)
+{
+    return unitAdd(layer, neuron, stage, a, b);
+}
+
+Fix16
+Accelerator::bistAct(Layer layer, int neuron, Fix16 x)
+{
+    return unitAct(layer, neuron, x);
+}
+
+Fix16
+Accelerator::bistLatchStore(Layer layer, int neuron, int synapse, Fix16 d)
+{
+    return unitLatchStore(layer, neuron, synapse, d);
+}
+
+void
+Accelerator::bypassUnit(const UnitSite &site)
+{
+    bypassed.insert(site);
+}
+
+void
+Accelerator::clearBypasses()
+{
+    bypassed.clear();
+}
+
+bool
+Accelerator::isBypassed(const UnitSite &site) const
+{
+    return bypassed.find(site) != bypassed.end();
+}
+
+std::vector<UnitSite>
+Accelerator::bypassedSites() const
+{
+    return {bypassed.begin(), bypassed.end()};
+}
+
 const DeviationProbe &
 Accelerator::probe(const UnitSite &site) const
 {
@@ -175,6 +230,8 @@ Fix16
 Accelerator::unitLatchStore(Layer layer, int neuron, int synapse, Fix16 d)
 {
     UnitSite site{UnitKind::WeightLatch, layer, neuron, synapse};
+    if (isBypassed(site))
+        return Fix16(); // latch disconnected: weight reads as zero
     OperatorSim *sim = simFor(site);
     if (!sim)
         return d;
@@ -193,6 +250,8 @@ Accelerator::unitMul(Layer layer, int neuron, int synapse, Fix16 w,
                      Fix16 x)
 {
     UnitSite site{UnitKind::Multiplier, layer, neuron, synapse};
+    if (isBypassed(site))
+        return Fix16(); // product gated to zero
     OperatorSim *sim = simFor(site);
     Fix16 clean = Fix16::hwMul(w, x);
     if (!sim)
@@ -211,6 +270,8 @@ Acc24
 Accelerator::unitAdd(Layer layer, int neuron, int stage, Acc24 a, Acc24 b)
 {
     UnitSite site{UnitKind::AdderStage, layer, neuron, stage};
+    if (isBypassed(site))
+        return a; // stage skipped: accumulator passes through
     OperatorSim *sim = simFor(site);
     Acc24 clean = Acc24::hwAdd(a, b);
     if (!sim)
@@ -232,6 +293,8 @@ Fix16
 Accelerator::unitAct(Layer layer, int neuron, Fix16 x)
 {
     UnitSite site{UnitKind::Activation, layer, neuron, 0};
+    if (isBypassed(site))
+        return Fix16(); // neuron silenced
     OperatorSim *sim = simFor(site);
     Fix16 clean = logisticPwlFix(x);
     if (!sim)

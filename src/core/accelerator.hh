@@ -28,6 +28,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "ann/mlp.hh"
@@ -159,6 +160,45 @@ class Accelerator : public ForwardModel
     /** Sites that currently host defects. */
     std::vector<UnitSite> faultySites() const;
 
+    /**
+     * Ground-truth query: does @p site currently host injected
+     * defects? Diagnosis code (src/mitigate) scores its inferred
+     * defect maps against this.
+     */
+    bool isFaulty(const UnitSite &site) const;
+
+    /** @name BIST scan access (src/mitigate diagnosis harness)
+     *
+     * Drive a test vector through one unit instance and observe its
+     * raw response, modelling a scan-path that isolates the unit
+     * from the array datapath. Faulty units respond through their
+     * gate-level simulation (including defect-induced memory), clean
+     * units respond with native fixed-point arithmetic. Probing
+     * updates the unit's deviation probe like any other use.
+     * @{ */
+    Fix16 bistMul(Layer layer, int neuron, int synapse, Fix16 w,
+                  Fix16 x);
+    Acc24 bistAdd(Layer layer, int neuron, int stage, Acc24 a, Acc24 b);
+    Fix16 bistAct(Layer layer, int neuron, Fix16 x);
+    Fix16 bistLatchStore(Layer layer, int neuron, int synapse, Fix16 d);
+    /** @} */
+
+    /** @name Defect bypass (src/mitigate mitigation strategies)
+     *
+     * A bypassed unit is disconnected from the datapath by a small
+     * output mux (fault-aware pruning): a bypassed multiplier or
+     * weight latch contributes a zero product, a bypassed adder
+     * stage passes its accumulator input through unchanged (dropping
+     * that stage's product), and a bypassed activation unit emits a
+     * constant zero (silencing the neuron). The bypass takes
+     * precedence over any injected defect at the unit.
+     * @{ */
+    void bypassUnit(const UnitSite &site);
+    void clearBypasses();
+    bool isBypassed(const UnitSite &site) const;
+    std::vector<UnitSite> bypassedSites() const;
+    /** @} */
+
     /** Deviation probe of a faulty unit (empty stats when clean). */
     const DeviationProbe &probe(const UnitSite &site) const;
 
@@ -194,6 +234,8 @@ class Accelerator : public ForwardModel
 
     /** Gate-level sims of faulty units. */
     std::map<UnitSite, std::unique_ptr<OperatorSim>> faulty;
+    /** Units disconnected by the mitigation bypass muxes. */
+    std::set<UnitSite> bypassed;
     /** Deviation probes per faulty unit. */
     std::map<UnitSite, DeviationProbe> probes;
     DeviationProbe cleanProbe; // returned for clean sites

@@ -7,6 +7,7 @@
 
 #include "ann/crossval.hh"
 #include "common/env.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "rtl/adder.hh"
 #include "rtl/multiplier.hh"
@@ -26,40 +27,6 @@ enum StreamRoot : uint64_t {
     kStreamTrain = 2, ///< {kStreamTrain, task}: baseline training
     kStreamCell = 3,  ///< {kStreamCell, task, variant, rep}: one cell
 };
-
-/** Minimal JSON string escaping (quotes, backslashes, control). */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-/** Shortest round-tripping representation of a double. */
-std::string
-jsonNumber(double v)
-{
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
-}
 
 std::string
 jsonHistogram(const IntHistogram &h)

@@ -36,11 +36,10 @@ SitePool::all()
     return p;
 }
 
-DefectInjector::DefectInjector(Accelerator &a, const SitePool &pool,
-                               SiteWeighting weighting)
-    : accel(a)
+std::vector<UnitSite>
+enumerateSites(const AcceleratorConfig &cfg, const SitePool &pool)
 {
-    const AcceleratorConfig &cfg = accel.config();
+    std::vector<UnitSite> sites;
     auto add_layer = [&](Layer layer, int neurons, int fanin) {
         for (int n = 0; n < neurons; ++n) {
             if (pool.latches || pool.multipliers) {
@@ -64,6 +63,13 @@ DefectInjector::DefectInjector(Accelerator &a, const SitePool &pool,
         add_layer(Layer::Hidden, cfg.hidden, cfg.inputs);
     if (pool.outputLayer)
         add_layer(Layer::Output, cfg.outputs, cfg.hidden);
+    return sites;
+}
+
+DefectInjector::DefectInjector(Accelerator &a, const SitePool &pool,
+                               SiteWeighting weighting)
+    : accel(a), sites(enumerateSites(a.config(), pool))
+{
     dtann_assert(!sites.empty(), "empty site pool");
 
     cumulativeWeight.reserve(sites.size());

@@ -42,6 +42,15 @@ enum class SiteWeighting : uint8_t {
     Transistor, ///< probability proportional to transistor count
 };
 
+/**
+ * Enumerate every unit instance of @p cfg that @p pool makes
+ * eligible, in a fixed (layer, neuron, unit) order. Shared by the
+ * defect injector (sampling) and the BIST diagnosis harness
+ * (exhaustive per-unit probing, src/mitigate).
+ */
+std::vector<UnitSite> enumerateSites(const AcceleratorConfig &cfg,
+                                     const SitePool &pool);
+
 /** Draws defect sites and injects transistor-level defects. */
 class DefectInjector
 {
@@ -67,6 +76,9 @@ class DefectInjector
 
     /** Number of eligible unit instances. */
     size_t eligibleUnits() const { return sites.size(); }
+
+    /** Every eligible unit instance (the sampling population). */
+    const std::vector<UnitSite> &eligibleSites() const { return sites; }
 
   private:
     Accelerator &accel;

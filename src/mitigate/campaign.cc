@@ -1,0 +1,184 @@
+#include "mitigate/campaign.hh"
+
+#include <algorithm>
+
+#include "common/json.hh"
+
+namespace dtann {
+
+namespace {
+
+/**
+ * Stream roots of the mitigation campaign (Rng::substream paths).
+ * Data/train roots deliberately match the core campaigns so the
+ * same seed yields the same datasets and baselines as Fig 10. The
+ * injection root omits the strategy coordinate: all strategies of a
+ * (task, defect count, repetition) cell see identical defects.
+ */
+enum StreamRoot : uint64_t {
+    kStreamData = 1,   ///< {kStreamData, task}: dataset generation
+    kStreamTrain = 2,  ///< {kStreamTrain, task}: baseline training
+    kStreamCell = 3,   ///< {kStreamCell, task, variant, strat, rep}
+    kStreamInject = 4, ///< {kStreamInject, task, variant, rep}
+};
+
+/** Per-task state shared read-only by that task's cells. */
+struct TaskContext
+{
+    UciTaskSpec spec;
+    Dataset ds;
+    Hyper hyper;
+    MlpTopology logical;
+    MlpWeights baseline;
+};
+
+TaskContext
+prepareTask(const MitigationConfig &config, const UciTaskSpec &spec,
+            size_t task_index)
+{
+    TaskContext t;
+    t.spec = spec;
+    Rng data_rng =
+        Rng::substream(config.seed, {kStreamData, task_index});
+    t.ds = makeSyntheticTask(spec, data_rng, config.rows);
+    t.hyper = hardwareHyper(spec, config.array, config.epochScale);
+    t.logical = {spec.attributes, t.hyper.hidden, spec.classes};
+
+    Accelerator accel(config.array, t.logical);
+    Rng train_rng =
+        Rng::substream(config.seed, {kStreamTrain, task_index});
+    t.baseline = Trainer(t.hyper).train(accel, t.ds, train_rng);
+    return t;
+}
+
+} // namespace
+
+std::vector<MitigationCurve>
+runMitigationCampaign(const MitigationConfig &config)
+{
+    std::vector<UciTaskSpec> specs = selectTasks(config.tasks);
+    CampaignEngine engine(config);
+
+    std::vector<TaskContext> ctx(specs.size());
+    engine.parallelFor(specs.size(), [&](size_t t) {
+        ctx[t] = prepareTask(config, specs[t], t);
+    });
+
+    // Flatten into independent cells. The defect-free point runs a
+    // single repetition per strategy (no injection randomness).
+    struct Cell
+    {
+        size_t task;
+        size_t variant; ///< index into defectCounts
+        size_t strat;   ///< index into strategies
+        int rep;
+    };
+    std::vector<Cell> cells;
+    for (size_t t = 0; t < specs.size(); ++t)
+        for (size_t d = 0; d < config.defectCounts.size(); ++d) {
+            int reps =
+                config.defectCounts[d] == 0 ? 1 : config.repetitions;
+            for (size_t s = 0; s < config.strategies.size(); ++s)
+                for (int rep = 0; rep < reps; ++rep)
+                    cells.push_back({t, d, s, rep});
+        }
+
+    std::vector<MitigationOutcome> outcomes(cells.size());
+    engine.beginCampaign(cells.size());
+    engine.parallelFor(cells.size(), [&](size_t i) {
+        const Cell &c = cells[i];
+        const TaskContext &t = ctx[c.task];
+        int defects = config.defectCounts[c.variant];
+        Strategy strategy = config.strategies[c.strat];
+
+        MitigationSetup setup{
+            config.array,
+            t.logical,
+            t.ds,
+            retrainHyper(t.hyper, config.retrainScale),
+            t.baseline,
+            config.folds,
+            config.bist,
+        };
+
+        // Identical physical defects for every strategy of this
+        // (task, variant, rep): the inject stream has no strategy
+        // coordinate.
+        auto inject = [&](Accelerator &accel) {
+            if (defects <= 0)
+                return;
+            Rng inject_rng = Rng::substream(
+                config.seed, {kStreamInject, c.task, c.variant,
+                              static_cast<uint64_t>(c.rep)});
+            DefectInjector injector(accel, config.injectPool,
+                                    config.weighting);
+            injector.inject(defects, inject_rng);
+        };
+
+        Rng rng = Rng::substream(
+            config.seed, {kStreamCell, c.task, c.variant, c.strat,
+                          static_cast<uint64_t>(c.rep)});
+        outcomes[i] = makeMitigator(strategy)->run(setup, inject, rng);
+        engine.reportCell(t.spec.name + std::string(":") +
+                              strategyName(strategy),
+                          defects, c.rep, outcomes[i].accuracy);
+    });
+
+    // Deterministic accumulation in cell-index order.
+    size_t n_var = config.defectCounts.size();
+    size_t n_strat = config.strategies.size();
+    struct PointStat
+    {
+        RunningStat accuracy, coverage, mitigated;
+    };
+    std::vector<PointStat> stats(specs.size() * n_strat * n_var);
+    for (size_t i = 0; i < cells.size(); ++i) {
+        const Cell &c = cells[i];
+        PointStat &p = stats[(c.task * n_strat + c.strat) * n_var +
+                             c.variant];
+        p.accuracy.add(outcomes[i].accuracy);
+        p.coverage.add(outcomes[i].coverage);
+        p.mitigated.add(outcomes[i].mitigatedUnits);
+    }
+
+    std::vector<MitigationCurve> curves;
+    curves.reserve(specs.size() * n_strat);
+    for (size_t t = 0; t < specs.size(); ++t)
+        for (size_t s = 0; s < n_strat; ++s) {
+            MitigationCurve curve;
+            curve.task = specs[t].name;
+            curve.strategy = config.strategies[s];
+            for (size_t d = 0; d < n_var; ++d) {
+                const PointStat &p = stats[(t * n_strat + s) * n_var + d];
+                curve.points.push_back({config.defectCounts[d],
+                                        p.accuracy.mean(),
+                                        p.accuracy.stddev(),
+                                        p.coverage.mean(),
+                                        p.mitigated.mean()});
+            }
+            curves.push_back(std::move(curve));
+        }
+    return curves;
+}
+
+std::string
+MitigationCurve::toJson() const
+{
+    std::string out = "{\"figure\":\"mitigation\",\"task\":" +
+        jsonString(task);
+    out += ",\"strategy\":" + jsonString(strategyName(strategy));
+    out += ",\"points\":[";
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += "{\"defects\":" + std::to_string(points[i].defects);
+        out += ",\"accuracy\":" + jsonNumber(points[i].accuracy);
+        out += ",\"stddev\":" + jsonNumber(points[i].stddev);
+        out += ",\"coverage\":" + jsonNumber(points[i].coverage);
+        out += ",\"mitigated\":" + jsonNumber(points[i].mitigated) + "}";
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace dtann

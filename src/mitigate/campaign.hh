@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Head-to-head mitigation campaign.
+ *
+ * Sweeps defect counts x mitigation strategies over the benchmark
+ * tasks on the parallel CampaignEngine, producing one
+ * accuracy-vs-defects curve per (task, strategy) — directly
+ * comparable to Fig 10 — annotated with the measured diagnosis
+ * coverage. Every strategy of a given (task, defect count,
+ * repetition) cell faces *identical* physical defects: the
+ * injection stream is derived without the strategy coordinate.
+ */
+
+#ifndef DTANN_MITIGATE_CAMPAIGN_HH
+#define DTANN_MITIGATE_CAMPAIGN_HH
+
+#include "core/campaign.hh"
+#include "mitigate/mitigator.hh"
+
+namespace dtann {
+
+/** Scaling knobs of the mitigation campaign. */
+struct MitigationConfig : CampaignConfig
+{
+    std::vector<int> defectCounts = {0, 2, 4, 8, 14, 20};
+    std::vector<Strategy> strategies = {
+        Strategy::NoOp, Strategy::RetrainOnly, Strategy::BypassFaulty,
+        Strategy::RemapToSpares};
+    /** Diagnosis budget used by the map-driven strategies. */
+    BistConfig bist;
+    /**
+     * Defects land anywhere in the array by default (unlike Fig 10's
+     * input+hidden pool) so the output-layer weak spot that
+     * RemapToSpares addresses is part of the comparison.
+     */
+    SitePool injectPool = SitePool::all();
+};
+
+/** One (defect count, accuracy) point of a strategy's curve. */
+struct MitigationPoint
+{
+    int defects;
+    double accuracy;
+    double stddev;
+    double coverage;  ///< mean diagnosis coverage vs ground truth
+    double mitigated; ///< mean units bypassed / outputs remapped
+};
+
+/** Accuracy-vs-defects curve of one (task, strategy) pair. */
+struct MitigationCurve
+{
+    std::string task;
+    Strategy strategy;
+    std::vector<MitigationPoint> points;
+
+    /** Machine-readable export (single JSON object). */
+    std::string toJson() const;
+};
+
+/**
+ * Run the mitigation campaign; curves are ordered task-major, then
+ * by the config's strategy order. Bit-identical for any thread
+ * count.
+ */
+std::vector<MitigationCurve>
+runMitigationCampaign(const MitigationConfig &config);
+
+} // namespace dtann
+
+#endif // DTANN_MITIGATE_CAMPAIGN_HH

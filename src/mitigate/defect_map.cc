@@ -1,0 +1,113 @@
+#include "mitigate/defect_map.hh"
+
+#include <algorithm>
+
+#include "common/json.hh"
+
+namespace dtann {
+
+DefectMap
+DefectMap::fromGroundTruth(const Accelerator &accel)
+{
+    DefectMap map;
+    for (const UnitSite &s : accel.faultySites())
+        map.markSuspect(s);
+    return map;
+}
+
+void
+DefectMap::markSuspect(const UnitSite &site)
+{
+    sites.insert(site);
+}
+
+bool
+DefectMap::suspect(const UnitSite &site) const
+{
+    return sites.find(site) != sites.end();
+}
+
+std::vector<UnitSite>
+DefectMap::suspects() const
+{
+    return {sites.begin(), sites.end()};
+}
+
+std::vector<UnitSite>
+DefectMap::suspectsIn(Layer layer) const
+{
+    std::vector<UnitSite> out;
+    for (const UnitSite &s : sites)
+        if (s.layer == layer)
+            out.push_back(s);
+    return out;
+}
+
+std::vector<int>
+DefectMap::suspectNeurons(Layer layer) const
+{
+    std::vector<int> neurons;
+    for (const UnitSite &s : sites)
+        if (s.layer == layer)
+            neurons.push_back(s.neuron);
+    std::sort(neurons.begin(), neurons.end());
+    neurons.erase(std::unique(neurons.begin(), neurons.end()),
+                  neurons.end());
+    return neurons;
+}
+
+std::string
+DefectMap::toJson() const
+{
+    std::string out = "[";
+    bool first = true;
+    for (const UnitSite &s : sites) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += jsonString(s.describe());
+    }
+    return out + "]";
+}
+
+double
+DiagnosisReport::coverage() const
+{
+    int faults = truePositives + falseNegatives;
+    if (faults == 0)
+        return 1.0;
+    return static_cast<double>(truePositives) / faults;
+}
+
+std::string
+DiagnosisReport::toJson() const
+{
+    std::string out = "{\"units_tested\":" +
+        std::to_string(unitsTested);
+    out += ",\"vectors_applied\":" + std::to_string(vectorsApplied);
+    out += ",\"true_positives\":" + std::to_string(truePositives);
+    out += ",\"false_positives\":" + std::to_string(falsePositives);
+    out += ",\"false_negatives\":" + std::to_string(falseNegatives);
+    out += ",\"coverage\":" + jsonNumber(coverage()) + "}";
+    return out;
+}
+
+DiagnosisReport
+scoreDiagnosis(const DefectMap &map,
+               const std::vector<UnitSite> &ground_truth)
+{
+    DiagnosisReport r;
+    std::set<UnitSite> truth(ground_truth.begin(), ground_truth.end());
+    for (const UnitSite &s : truth) {
+        if (map.suspect(s))
+            ++r.truePositives;
+        else
+            ++r.falseNegatives;
+    }
+    for (const UnitSite &s : map.suspects())
+        if (truth.find(s) == truth.end())
+            ++r.falsePositives;
+    return r;
+}
+
+} // namespace dtann

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Defect map: the output of diagnosis, the input of mitigation.
+ *
+ * The paper tolerates defects blindly (retraining plus spare output
+ * neurons); knowing *where* the defects are enables cheaper and
+ * stronger mitigations (fault-aware pruning/bypass, map-driven
+ * remapping to spares). A DefectMap records the unit instances a
+ * diagnosis pass flagged as suspect, and a DiagnosisReport scores
+ * the map against the injector's ground truth — diagnosis can miss
+ * faults (limited vector budgets, faults that never reach an
+ * output), so mitigation code must cope with imperfect maps.
+ */
+
+#ifndef DTANN_MITIGATE_DEFECT_MAP_HH
+#define DTANN_MITIGATE_DEFECT_MAP_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/accelerator.hh"
+
+namespace dtann {
+
+/** Set of unit instances diagnosed as (possibly) defective. */
+class DefectMap
+{
+  public:
+    DefectMap() = default;
+
+    /** Oracle map: take the injector's ground truth verbatim. */
+    static DefectMap fromGroundTruth(const Accelerator &accel);
+
+    /** Flag @p site as suspect (idempotent). */
+    void markSuspect(const UnitSite &site);
+
+    /** Is @p site flagged? */
+    bool suspect(const UnitSite &site) const;
+
+    /** All flagged sites in deterministic (UnitSite) order. */
+    std::vector<UnitSite> suspects() const;
+
+    /** Flagged sites restricted to one layer. */
+    std::vector<UnitSite> suspectsIn(Layer layer) const;
+
+    /** Physical neurons of @p layer hosting at least one suspect. */
+    std::vector<int> suspectNeurons(Layer layer) const;
+
+    size_t size() const { return sites.size(); }
+    bool empty() const { return sites.empty(); }
+
+    /** Machine-readable export (JSON array of site descriptions). */
+    std::string toJson() const;
+
+  private:
+    std::set<UnitSite> sites;
+};
+
+/** Score of one diagnosis pass against injector ground truth. */
+struct DiagnosisReport
+{
+    size_t unitsTested = 0;    ///< unit instances probed
+    size_t vectorsApplied = 0; ///< total test vectors driven
+    int truePositives = 0;     ///< faulty units flagged
+    int falsePositives = 0;    ///< clean units flagged
+    int falseNegatives = 0;    ///< faulty units missed
+
+    /** Fraction of truly faulty units flagged (1.0 when none). */
+    double coverage() const;
+
+    /** Fraction of truly faulty units missed (0.0 when none). */
+    double falseNegativeRate() const { return 1.0 - coverage(); }
+
+    /** Machine-readable export (single JSON object). */
+    std::string toJson() const;
+};
+
+/**
+ * Score @p map against @p ground_truth (the accelerator's actually
+ * faulty sites). Unit counts carried over from the BIST run can be
+ * filled in by the caller.
+ */
+DiagnosisReport scoreDiagnosis(const DefectMap &map,
+                               const std::vector<UnitSite> &ground_truth);
+
+} // namespace dtann
+
+#endif // DTANN_MITIGATE_DEFECT_MAP_HH

@@ -1,0 +1,157 @@
+#include "mitigate/mitigator.hh"
+
+#include "ann/crossval.hh"
+#include "common/logging.hh"
+#include "mitigate/remap.hh"
+
+namespace dtann {
+
+const char *
+strategyName(Strategy s)
+{
+    switch (s) {
+      case Strategy::NoOp: return "noop";
+      case Strategy::RetrainOnly: return "retrain";
+      case Strategy::BypassFaulty: return "bypass";
+      case Strategy::RemapToSpares: return "remap";
+    }
+    panic("bad strategy");
+}
+
+namespace {
+
+/** Retrain through @p model and cross-validate (shared tail). */
+double
+retrainedAccuracy(ForwardModel &model, const MitigationSetup &setup,
+                  Rng &rng)
+{
+    Trainer retrainer(setup.retrain);
+    return crossValidate(model, setup.ds, setup.folds, retrainer, rng,
+                         &setup.baseline)
+        .meanAccuracy;
+}
+
+class NoOpMitigator : public Mitigator
+{
+  public:
+    Strategy kind() const override { return Strategy::NoOp; }
+
+    MitigationOutcome
+    run(const MitigationSetup &setup,
+        const std::function<void(Accelerator &)> &inject,
+        Rng &) override
+    {
+        Accelerator accel(setup.array, setup.logical);
+        inject(accel);
+        accel.setWeights(setup.baseline);
+        MitigationOutcome out;
+        out.accuracy = Trainer::accuracy(accel, setup.ds);
+        return out;
+    }
+};
+
+class RetrainOnlyMitigator : public Mitigator
+{
+  public:
+    Strategy kind() const override { return Strategy::RetrainOnly; }
+
+    MitigationOutcome
+    run(const MitigationSetup &setup,
+        const std::function<void(Accelerator &)> &inject,
+        Rng &rng) override
+    {
+        Accelerator accel(setup.array, setup.logical);
+        inject(accel);
+        MitigationOutcome out;
+        out.accuracy = retrainedAccuracy(accel, setup, rng);
+        return out;
+    }
+};
+
+class BypassFaultyMitigator : public Mitigator
+{
+  public:
+    Strategy kind() const override { return Strategy::BypassFaulty; }
+
+    MitigationOutcome
+    run(const MitigationSetup &setup,
+        const std::function<void(Accelerator &)> &inject,
+        Rng &rng) override
+    {
+        Accelerator accel(setup.array, setup.logical);
+        inject(accel);
+
+        DefectMap map;
+        DiagnosisReport report = diagnose(accel, setup.bist, rng, &map);
+        for (const UnitSite &s : map.suspects()) {
+            // An output-layer activation cannot be disconnected —
+            // its class would never be predicted — so retraining
+            // has to cope with those (the Fig 11 weak spot that
+            // RemapToSpares addresses instead).
+            if (s.layer == Layer::Output &&
+                s.kind == UnitKind::Activation)
+                continue;
+            accel.bypassUnit(s);
+        }
+
+        MitigationOutcome out;
+        out.coverage = report.coverage();
+        out.diagnosed = static_cast<int>(map.size());
+        out.mitigatedUnits =
+            static_cast<int>(accel.bypassedSites().size());
+        out.accuracy = retrainedAccuracy(accel, setup, rng);
+        return out;
+    }
+};
+
+class RemapToSparesMitigator : public Mitigator
+{
+  public:
+    Strategy kind() const override { return Strategy::RemapToSpares; }
+
+    MitigationOutcome
+    run(const MitigationSetup &setup,
+        const std::function<void(Accelerator &)> &inject,
+        Rng &rng) override
+    {
+        // Map the array with every physical output row addressable
+        // so spare rows can take over diagnosed-faulty ones.
+        Accelerator accel(setup.array,
+                          RemappedOutputMlp::extendedTopology(
+                              setup.logical, setup.array));
+        inject(accel);
+
+        DefectMap map;
+        DiagnosisReport report = diagnose(accel, setup.bist, rng, &map);
+        RemappedOutputMlp remapped(
+            accel, setup.logical,
+            planOutputRemap(map, setup.logical, setup.array));
+
+        MitigationOutcome out;
+        out.coverage = report.coverage();
+        out.diagnosed = static_cast<int>(map.size());
+        out.mitigatedUnits = remapped.remappedCount();
+        out.accuracy = retrainedAccuracy(remapped, setup, rng);
+        return out;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Mitigator>
+makeMitigator(Strategy s)
+{
+    switch (s) {
+      case Strategy::NoOp:
+        return std::make_unique<NoOpMitigator>();
+      case Strategy::RetrainOnly:
+        return std::make_unique<RetrainOnlyMitigator>();
+      case Strategy::BypassFaulty:
+        return std::make_unique<BypassFaultyMitigator>();
+      case Strategy::RemapToSpares:
+        return std::make_unique<RemapToSparesMitigator>();
+    }
+    panic("bad strategy");
+}
+
+} // namespace dtann

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Mitigation strategies behind a common interface.
+ *
+ * Every strategy answers the same question — given a (possibly
+ * faulty) array and a training set, what accuracy can the mapped
+ * task reach? — but spends different hardware/diagnosis budgets:
+ *
+ *  - NoOp:          baseline weights on the faulty array, no
+ *                   retraining, no diagnosis (lower bound).
+ *  - RetrainOnly:   the paper's blind mitigation — retrain through
+ *                   the faulty array (Section VI-C).
+ *  - BypassFaulty:  BIST diagnosis, then disconnect diagnosed units
+ *                   (zero product / skipped stage / silenced
+ *                   neuron) and retrain around the bypasses —
+ *                   fault-aware pruning in the style of Zhang et
+ *                   al. (arXiv:1802.04657).
+ *  - RemapToSpares: BIST diagnosis, then steer logical outputs off
+ *                   diagnosed-faulty physical output rows onto
+ *                   clean spare rows (map-driven use of the spare
+ *                   output neurons the paper adds blindly), plus
+ *                   retraining for the hidden layer.
+ */
+
+#ifndef DTANN_MITIGATE_MITIGATOR_HH
+#define DTANN_MITIGATE_MITIGATOR_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "ann/trainer.hh"
+#include "mitigate/bist.hh"
+
+namespace dtann {
+
+/** The implemented mitigation strategies. */
+enum class Strategy : uint8_t {
+    NoOp,
+    RetrainOnly,
+    BypassFaulty,
+    RemapToSpares,
+};
+
+/** Stable short name (used in reports and JSON exports). */
+const char *strategyName(Strategy s);
+
+/** Per-cell inputs shared by every strategy. */
+struct MitigationSetup
+{
+    AcceleratorConfig array;     ///< physical array dimensions
+    MlpTopology logical;         ///< task network
+    const Dataset &ds;           ///< task dataset
+    Hyper retrain;               ///< retraining hyper-parameters
+    const MlpWeights &baseline;  ///< clean-trained warm-start weights
+    int folds = 10;              ///< cross-validation folds
+    BistConfig bist;             ///< diagnosis budget
+};
+
+/** What one strategy achieved on one faulty array. */
+struct MitigationOutcome
+{
+    double accuracy = 0.0;
+    /** Diagnosis coverage vs ground truth (1.0 for blind
+     *  strategies, which diagnose nothing and miss nothing by
+     *  their own contract). */
+    double coverage = 1.0;
+    int diagnosed = 0;      ///< suspect units flagged by BIST
+    int mitigatedUnits = 0; ///< units bypassed / outputs remapped
+};
+
+/**
+ * One mitigation strategy. run() owns the whole cell: it builds the
+ * hardware model (strategies choose their own array mapping), has
+ * @p inject install the cell's defects, diagnoses when the strategy
+ * uses a map, mitigates, and measures accuracy.
+ */
+class Mitigator
+{
+  public:
+    virtual ~Mitigator() = default;
+
+    virtual Strategy kind() const = 0;
+
+    std::string name() const { return strategyName(kind()); }
+
+    /**
+     * @param setup shared cell inputs
+     * @param inject installs the cell's defects into the freshly
+     *        built accelerator (the campaign drives this from a
+     *        strategy-independent RNG stream so every strategy
+     *        faces identical physical defects)
+     * @param rng the strategy's own randomness (diagnosis vectors,
+     *        fold shuffling, retraining)
+     */
+    virtual MitigationOutcome
+    run(const MitigationSetup &setup,
+        const std::function<void(Accelerator &)> &inject, Rng &rng) = 0;
+};
+
+/** Build the requested strategy. */
+std::unique_ptr<Mitigator> makeMitigator(Strategy s);
+
+} // namespace dtann
+
+#endif // DTANN_MITIGATE_MITIGATOR_HH

@@ -66,5 +66,44 @@ TEST(Env, SeedDefaultsAndOverrides)
     unsetenv("DTANN_SEED");
 }
 
+TEST(Env, SeedRejectsInvalidValues)
+{
+    // Negative, non-numeric, trailing garbage, and empty values all
+    // fall back to the default seed instead of silently misparsing
+    // (strtoul would wrap "-1" to 2^64-1).
+    for (const char *bad : {"-1", "abc", "12x", "", " ", "+3", "1e6"}) {
+        setenv("DTANN_SEED", bad, 1);
+        EXPECT_EQ(experimentSeed(), 20120609UL)
+            << "DTANN_SEED='" << bad << "'";
+    }
+    unsetenv("DTANN_SEED");
+}
+
+TEST(Env, ThreadCountParsesAndValidates)
+{
+    unsetenv("DTANN_THREADS");
+    EXPECT_EQ(threadCount(), 0);
+    setenv("DTANN_THREADS", "4", 1);
+    EXPECT_EQ(threadCount(), 4);
+    for (const char *bad : {"-2", "none", "3threads", "1000000"}) {
+        setenv("DTANN_THREADS", bad, 1);
+        EXPECT_EQ(threadCount(), 0) << "DTANN_THREADS='" << bad << "'";
+    }
+    unsetenv("DTANN_THREADS");
+}
+
+TEST(Env, DumpRunsWithAndWithoutKnobsSet)
+{
+    unsetenv("DTANN_SEED");
+    unsetenv("DTANN_THREADS");
+    env::dump();
+    setenv("DTANN_SEED", "42", 1);
+    setenv("DTANN_THREADS", "2", 1);
+    env::dump();
+    unsetenv("DTANN_SEED");
+    unsetenv("DTANN_THREADS");
+    SUCCEED();
+}
+
 } // namespace
 } // namespace dtann

@@ -44,6 +44,41 @@ TEST(SitePool, OutputCriticalOnlyAddersAndActivations)
     }
 }
 
+TEST(SitePool, OutputCriticalPropertyUnderBothWeightings)
+{
+    // Property: no matter how sites are weighted, the Fig 11 pool
+    // must only ever draw output-layer adder stages and activation
+    // functions — checked exhaustively over the enumerated
+    // population and statistically over random draws.
+    Accelerator accel(smallArray(), {12, 4, 3});
+    for (SiteWeighting w :
+         {SiteWeighting::Uniform, SiteWeighting::Transistor}) {
+        DefectInjector inj(accel, SitePool::outputCritical(), w);
+        for (const UnitSite &s : inj.eligibleSites()) {
+            EXPECT_EQ(s.layer, Layer::Output) << s.describe();
+            EXPECT_TRUE(s.kind == UnitKind::AdderStage ||
+                        s.kind == UnitKind::Activation)
+                << s.describe();
+        }
+        Rng rng(static_cast<uint64_t>(w) + 17);
+        for (int i = 0; i < 500; ++i) {
+            UnitSite s = inj.randomSite(rng);
+            EXPECT_EQ(s.layer, Layer::Output);
+            EXPECT_TRUE(s.kind == UnitKind::AdderStage ||
+                        s.kind == UnitKind::Activation)
+                << s.describe();
+        }
+    }
+}
+
+TEST(SitePool, EnumerateSitesMatchesInjectorPopulation)
+{
+    Accelerator accel(smallArray(), {12, 4, 3});
+    DefectInjector inj(accel, SitePool::all());
+    EXPECT_EQ(enumerateSites(smallArray(), SitePool::all()),
+              inj.eligibleSites());
+}
+
 TEST(SitePool, EligibleUnitCounts)
 {
     Accelerator accel(smallArray(), {12, 4, 3});

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * BIST diagnosis: budgets, determinism, and scoring against the
+ * injector's ground truth.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mitigate/bist.hh"
+
+namespace dtann {
+namespace {
+
+AcceleratorConfig
+smallConfig()
+{
+    AcceleratorConfig cfg;
+    cfg.inputs = 12;
+    cfg.hidden = 4;
+    cfg.outputs = 3;
+    return cfg;
+}
+
+TEST(Bist, CleanArrayHasNoFalsePositives)
+{
+    AcceleratorConfig cfg = smallConfig();
+    Accelerator accel(cfg, {12, 4, 3});
+    BistConfig bist;
+    bist.vectorsPerUnit = 4;
+    Rng rng(3);
+    BistResult r = runBist(accel, bist, rng);
+    // Clean units answer with the native reference: a mismatch is
+    // structurally impossible, whatever the vector budget.
+    EXPECT_TRUE(r.map.empty());
+    EXPECT_EQ(r.unitsTested,
+              enumerateSites(cfg, SitePool::all()).size());
+    EXPECT_EQ(r.vectorsApplied, r.unitsTested * 4u);
+}
+
+TEST(Bist, FalsePositivesAreStructurallyZeroWithDefects)
+{
+    Accelerator accel(smallConfig(), {12, 4, 3});
+    Rng irng(17);
+    DefectInjector inj(accel, SitePool::all());
+    inj.inject(6, irng);
+
+    BistConfig bist;
+    bist.vectorsPerUnit = 8;
+    Rng rng(5);
+    DiagnosisReport report = diagnose(accel, bist, rng);
+    EXPECT_EQ(report.falsePositives, 0);
+    EXPECT_EQ(report.truePositives + report.falseNegatives, 6);
+    EXPECT_GE(report.coverage(), 0.0);
+    EXPECT_LE(report.coverage(), 1.0);
+}
+
+TEST(Bist, HeavilyDamagedUnitsAreDiagnosed)
+{
+    // 15 transistor defects in one unit all but guarantee a broken
+    // function; a modest vector budget must find most of them.
+    Accelerator accel(smallConfig(), {12, 4, 3});
+    Rng irng(23);
+    DefectInjector inj(accel, SitePool::all());
+    inj.inject(4, irng);
+    for (const UnitSite &s : accel.faultySites())
+        accel.injectDefects(s, 14, irng);
+
+    BistConfig bist;
+    bist.vectorsPerUnit = 16;
+    Rng rng(7);
+    DefectMap map;
+    DiagnosisReport report = diagnose(accel, bist, rng, &map);
+    EXPECT_GT(report.truePositives, 0);
+    EXPECT_GT(report.coverage(), 0.5);
+    EXPECT_EQ(map.size(),
+              static_cast<size_t>(report.truePositives));
+}
+
+TEST(Bist, OracleMapScoresPerfectCoverage)
+{
+    Accelerator accel(smallConfig(), {12, 4, 3});
+    Rng irng(31);
+    DefectInjector inj(accel, SitePool::all());
+    inj.inject(5, irng);
+
+    DefectMap oracle = DefectMap::fromGroundTruth(accel);
+    DiagnosisReport r = scoreDiagnosis(oracle, accel.faultySites());
+    EXPECT_DOUBLE_EQ(r.coverage(), 1.0);
+    EXPECT_EQ(r.falsePositives, 0);
+    EXPECT_EQ(r.falseNegatives, 0);
+}
+
+TEST(Bist, DeterministicForEqualSeeds)
+{
+    auto run = [](uint64_t bist_seed) {
+        Accelerator accel(smallConfig(), {12, 4, 3});
+        Rng irng(47);
+        DefectInjector inj(accel, SitePool::all());
+        inj.inject(5, irng);
+        BistConfig bist;
+        bist.vectorsPerUnit = 6;
+        Rng rng(bist_seed);
+        return runBist(accel, bist, rng).map.suspects();
+    };
+    EXPECT_EQ(run(9), run(9));
+}
+
+TEST(Bist, ProbesAreResetAfterDiagnosis)
+{
+    Accelerator accel(smallConfig(), {12, 4, 3});
+    Rng irng(53);
+    DefectInjector inj(accel, SitePool::all());
+    inj.inject(3, irng);
+
+    BistConfig bist;
+    bist.vectorsPerUnit = 8;
+    Rng rng(2);
+    runBist(accel, bist, rng);
+    for (const UnitSite &s : accel.faultySites())
+        EXPECT_EQ(accel.probe(s).amplitude.count(), 0u)
+            << "BIST probing must not leak into " << s.describe();
+}
+
+TEST(Bist, PoolRestrictsTestedUnits)
+{
+    AcceleratorConfig cfg = smallConfig();
+    Accelerator accel(cfg, {12, 4, 3});
+    BistConfig bist;
+    bist.pool = SitePool::outputCritical();
+    bist.vectorsPerUnit = 2;
+    Rng rng(1);
+    BistResult r = runBist(accel, bist, rng);
+    EXPECT_EQ(r.unitsTested,
+              enumerateSites(cfg, SitePool::outputCritical()).size());
+    EXPECT_LT(r.unitsTested,
+              enumerateSites(cfg, SitePool::all()).size());
+}
+
+} // namespace
+} // namespace dtann

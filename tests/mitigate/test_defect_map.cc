@@ -1,0 +1,122 @@
+/**
+ * @file
+ * DefectMap bookkeeping and diagnosis scoring.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/injector.hh"
+#include "mitigate/defect_map.hh"
+
+namespace dtann {
+namespace {
+
+UnitSite
+site(UnitKind k, Layer l, int neuron, int index)
+{
+    return UnitSite{k, l, neuron, index};
+}
+
+TEST(DefectMap, MarkSuspectIsIdempotentAndOrdered)
+{
+    DefectMap map;
+    EXPECT_TRUE(map.empty());
+
+    UnitSite a = site(UnitKind::Multiplier, Layer::Hidden, 2, 5);
+    UnitSite b = site(UnitKind::AdderStage, Layer::Output, 0, 1);
+    map.markSuspect(b);
+    map.markSuspect(a);
+    map.markSuspect(a); // idempotent
+    EXPECT_EQ(map.size(), 2u);
+    EXPECT_TRUE(map.suspect(a));
+    EXPECT_TRUE(map.suspect(b));
+    EXPECT_FALSE(
+        map.suspect(site(UnitKind::Multiplier, Layer::Hidden, 2, 6)));
+
+    std::vector<UnitSite> all = map.suspects();
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_TRUE(all[0] < all[1]) << "suspects() must be sorted";
+}
+
+TEST(DefectMap, LayerFiltersAndNeuronProjection)
+{
+    DefectMap map;
+    map.markSuspect(site(UnitKind::Multiplier, Layer::Hidden, 1, 0));
+    map.markSuspect(site(UnitKind::AdderStage, Layer::Output, 3, 2));
+    map.markSuspect(site(UnitKind::Activation, Layer::Output, 3, 0));
+    map.markSuspect(site(UnitKind::WeightLatch, Layer::Output, 0, 7));
+
+    EXPECT_EQ(map.suspectsIn(Layer::Hidden).size(), 1u);
+    EXPECT_EQ(map.suspectsIn(Layer::Output).size(), 3u);
+    for (const UnitSite &s : map.suspectsIn(Layer::Output))
+        EXPECT_EQ(s.layer, Layer::Output);
+
+    // Neuron 3 hosts two suspects but appears once; sorted order.
+    std::vector<int> neurons = map.suspectNeurons(Layer::Output);
+    EXPECT_EQ(neurons, (std::vector<int>{0, 3}));
+    EXPECT_EQ(map.suspectNeurons(Layer::Hidden),
+              (std::vector<int>{1}));
+}
+
+TEST(DefectMap, FromGroundTruthMatchesInjectedSites)
+{
+    AcceleratorConfig cfg;
+    cfg.inputs = 12;
+    cfg.hidden = 4;
+    cfg.outputs = 3;
+    Accelerator accel(cfg, {12, 4, 3});
+    Rng rng(11);
+    DefectInjector inj(accel, SitePool::all());
+    inj.inject(5, rng);
+
+    DefectMap map = DefectMap::fromGroundTruth(accel);
+    std::vector<UnitSite> truth = accel.faultySites();
+    EXPECT_EQ(map.size(), truth.size());
+    for (const UnitSite &s : truth)
+        EXPECT_TRUE(map.suspect(s));
+}
+
+TEST(DiagnosisReport, CoverageCountsAndEdgeCases)
+{
+    UnitSite a = site(UnitKind::Multiplier, Layer::Hidden, 0, 0);
+    UnitSite b = site(UnitKind::AdderStage, Layer::Hidden, 1, 3);
+    UnitSite c = site(UnitKind::Activation, Layer::Output, 2, 0);
+
+    DefectMap map;
+    map.markSuspect(a);
+    map.markSuspect(c); // false positive (not in truth)
+
+    DiagnosisReport r = scoreDiagnosis(map, {a, b});
+    EXPECT_EQ(r.truePositives, 1);
+    EXPECT_EQ(r.falsePositives, 1);
+    EXPECT_EQ(r.falseNegatives, 1);
+    EXPECT_DOUBLE_EQ(r.coverage(), 0.5);
+    EXPECT_DOUBLE_EQ(r.falseNegativeRate(), 0.5);
+
+    // No true faults: coverage is 1.0 by convention.
+    DiagnosisReport clean = scoreDiagnosis(DefectMap(), {});
+    EXPECT_DOUBLE_EQ(clean.coverage(), 1.0);
+    EXPECT_DOUBLE_EQ(clean.falseNegativeRate(), 0.0);
+}
+
+TEST(DefectMap, JsonExportsSitesAndScores)
+{
+    DefectMap map;
+    map.markSuspect(site(UnitKind::Multiplier, Layer::Hidden, 2, 5));
+    std::string j = map.toJson();
+    EXPECT_EQ(j.front(), '[');
+    EXPECT_EQ(j.back(), ']');
+    EXPECT_NE(j.find("mult[hid n2 i5]"), std::string::npos);
+
+    DiagnosisReport r;
+    r.unitsTested = 10;
+    r.truePositives = 3;
+    r.falseNegatives = 1;
+    std::string rj = r.toJson();
+    EXPECT_EQ(rj.front(), '{');
+    EXPECT_NE(rj.find("\"coverage\":"), std::string::npos);
+    EXPECT_NE(rj.find("\"units_tested\":10"), std::string::npos);
+}
+
+} // namespace
+} // namespace dtann

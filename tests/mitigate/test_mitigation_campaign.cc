@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Mitigation campaign: shape, cross-strategy fairness, and
+ * bit-identical results for any worker count.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mitigate/campaign.hh"
+
+namespace dtann {
+namespace {
+
+MitigationConfig
+tinyConfig()
+{
+    MitigationConfig cfg;
+    cfg.tasks = {"iris"};
+    cfg.defectCounts = {0, 3};
+    cfg.repetitions = 2;
+    cfg.folds = 2;
+    cfg.rows = 90;
+    cfg.epochScale = 0.4;
+    cfg.retrainScale = 0.3;
+    cfg.seed = 7;
+    cfg.array.inputs = 16;
+    cfg.array.hidden = 8;
+    cfg.array.outputs = 6; // 3 spare rows for the remap strategy
+    cfg.bist.vectorsPerUnit = 6;
+    return cfg;
+}
+
+TEST(MitigationCampaign, CurveShapeAndOrdering)
+{
+    MitigationConfig cfg = tinyConfig();
+    auto curves = runMitigationCampaign(cfg);
+
+    // Task-major, then config strategy order.
+    ASSERT_EQ(curves.size(), cfg.strategies.size());
+    for (size_t s = 0; s < curves.size(); ++s) {
+        EXPECT_EQ(curves[s].task, "iris");
+        EXPECT_EQ(curves[s].strategy, cfg.strategies[s]);
+        ASSERT_EQ(curves[s].points.size(), cfg.defectCounts.size());
+        for (size_t d = 0; d < cfg.defectCounts.size(); ++d) {
+            const MitigationPoint &p = curves[s].points[d];
+            EXPECT_EQ(p.defects, cfg.defectCounts[d]);
+            EXPECT_GE(p.accuracy, 0.0);
+            EXPECT_LE(p.accuracy, 1.0);
+            EXPECT_GE(p.coverage, 0.0);
+            EXPECT_LE(p.coverage, 1.0);
+            EXPECT_GE(p.mitigated, 0.0);
+        }
+    }
+
+    // The clean point of every strategy learns the task, and blind
+    // strategies report full coverage by convention.
+    for (const MitigationCurve &c : curves) {
+        EXPECT_GT(c.points[0].accuracy, 0.6)
+            << strategyName(c.strategy);
+        if (c.strategy == Strategy::NoOp ||
+            c.strategy == Strategy::RetrainOnly) {
+            EXPECT_DOUBLE_EQ(c.points[0].coverage, 1.0);
+        }
+    }
+}
+
+TEST(MitigationCampaign, BitIdenticalAcrossThreadCounts)
+{
+    MitigationConfig cfg = tinyConfig();
+    cfg.threads = 1;
+    auto serial = runMitigationCampaign(cfg);
+    cfg.threads = 4;
+    auto parallel = runMitigationCampaign(cfg);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].task, parallel[i].task);
+        EXPECT_EQ(serial[i].strategy, parallel[i].strategy);
+        ASSERT_EQ(serial[i].points.size(), parallel[i].points.size());
+        for (size_t d = 0; d < serial[i].points.size(); ++d) {
+            const MitigationPoint &a = serial[i].points[d];
+            const MitigationPoint &b = parallel[i].points[d];
+            EXPECT_EQ(a.accuracy, b.accuracy);
+            EXPECT_EQ(a.stddev, b.stddev);
+            EXPECT_EQ(a.coverage, b.coverage);
+            EXPECT_EQ(a.mitigated, b.mitigated);
+        }
+    }
+}
+
+TEST(MitigationCampaign, NoOpDegradesAtLeastAsMuchAsMitigations)
+{
+    // Not a strict theorem per-seed, but at the aggregate level the
+    // blind no-mitigation lower bound must not beat retraining on
+    // the clean point (identical weights, identical array).
+    MitigationConfig cfg = tinyConfig();
+    auto curves = runMitigationCampaign(cfg);
+    const MitigationCurve *noop = nullptr, *retrain = nullptr;
+    for (const MitigationCurve &c : curves) {
+        if (c.strategy == Strategy::NoOp)
+            noop = &c;
+        if (c.strategy == Strategy::RetrainOnly)
+            retrain = &c;
+    }
+    ASSERT_NE(noop, nullptr);
+    ASSERT_NE(retrain, nullptr);
+    // Retraining warm-starts from the baseline weights, so on the
+    // defect-free array it cannot fall far below the no-op bound.
+    EXPECT_GT(retrain->points[0].accuracy,
+              noop->points[0].accuracy - 0.15);
+}
+
+TEST(MitigationCampaign, MapStrategiesReportMeasuredCoverage)
+{
+    MitigationConfig cfg = tinyConfig();
+    auto curves = runMitigationCampaign(cfg);
+    for (const MitigationCurve &c : curves) {
+        if (c.strategy != Strategy::BypassFaulty &&
+            c.strategy != Strategy::RemapToSpares)
+            continue;
+        // With defects present the diagnosis coverage is a measured
+        // quantity in [0, 1]; with none it is 1.0 by convention.
+        EXPECT_DOUBLE_EQ(c.points[0].coverage, 1.0);
+        EXPECT_GE(c.points[1].coverage, 0.0);
+        EXPECT_LE(c.points[1].coverage, 1.0);
+    }
+}
+
+TEST(MitigationCurve, JsonCarriesStrategyAndPoints)
+{
+    MitigationCurve c;
+    c.task = "iris";
+    c.strategy = Strategy::BypassFaulty;
+    c.points.push_back({3, 0.9, 0.01, 0.75, 2.0});
+    std::string j = c.toJson();
+    EXPECT_NE(j.find("\"task\":\"iris\""), std::string::npos);
+    EXPECT_NE(j.find("\"strategy\":\"bypass\""), std::string::npos);
+    EXPECT_NE(j.find("\"defects\":3"), std::string::npos);
+    EXPECT_NE(j.find("\"coverage\":"), std::string::npos);
+
+    std::string arr = toJson(std::vector<MitigationCurve>{c, c});
+    EXPECT_EQ(arr.front(), '[');
+    EXPECT_EQ(arr.back(), ']');
+}
+
+} // namespace
+} // namespace dtann

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Mitigation strategies: remap planning, bypass bookkeeping, and
+ * the Mitigator interface contracts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ann/trainer.hh"
+#include "core/campaign.hh"
+#include "data/synth_uci.hh"
+#include "mitigate/mitigator.hh"
+#include "mitigate/remap.hh"
+
+namespace dtann {
+namespace {
+
+/** Shared tiny task: iris on a 16x8x6 array (3 spare output rows). */
+struct Fixture
+{
+    AcceleratorConfig array;
+    MlpTopology logical;
+    Dataset ds;
+    Hyper hyper{6, 40, 0.2, 0.1};
+    MlpWeights baseline;
+
+    Fixture() : logical{4, 6, 3}, baseline(logical)
+    {
+        array.inputs = 16;
+        array.hidden = 8;
+        array.outputs = 6;
+        Rng rng(101);
+        ds = makeSyntheticTask(uciTask("iris"), rng, 90);
+        Accelerator accel(array, logical);
+        Rng trng(102);
+        baseline = Trainer(hyper).train(accel, ds, trng);
+    }
+
+    MitigationSetup setup()
+    {
+        BistConfig bist;
+        bist.vectorsPerUnit = 16;
+        return MitigationSetup{array, logical, ds,
+                               retrainHyper(hyper, 0.3),
+                               baseline,  2,      bist};
+    }
+};
+
+Fixture &
+fixture()
+{
+    static Fixture f;
+    return f;
+}
+
+void
+injectNothing(Accelerator &)
+{
+}
+
+/** Heavy defects: every drawn unit gets 14 extra transistor faults. */
+std::function<void(Accelerator &)>
+heavyInjector(int count, uint64_t seed,
+              SitePool pool = SitePool::all())
+{
+    return [count, seed, pool](Accelerator &accel) {
+        Rng rng(seed);
+        DefectInjector inj(accel, pool);
+        inj.inject(count, rng);
+        for (const UnitSite &s : accel.faultySites())
+            accel.injectDefects(s, 14, rng);
+    };
+}
+
+TEST(Strategy, NamesAreStable)
+{
+    EXPECT_STREQ(strategyName(Strategy::NoOp), "noop");
+    EXPECT_STREQ(strategyName(Strategy::RetrainOnly), "retrain");
+    EXPECT_STREQ(strategyName(Strategy::BypassFaulty), "bypass");
+    EXPECT_STREQ(strategyName(Strategy::RemapToSpares), "remap");
+}
+
+TEST(Strategy, FactoryRoundTrips)
+{
+    for (Strategy s :
+         {Strategy::NoOp, Strategy::RetrainOnly, Strategy::BypassFaulty,
+          Strategy::RemapToSpares}) {
+        auto m = makeMitigator(s);
+        ASSERT_NE(m, nullptr);
+        EXPECT_EQ(m->kind(), s);
+        EXPECT_EQ(m->name(), strategyName(s));
+    }
+}
+
+TEST(PlanOutputRemap, CleanMapIsIdentity)
+{
+    Fixture &f = fixture();
+    std::vector<int> plan =
+        planOutputRemap(DefectMap(), f.logical, f.array);
+    EXPECT_EQ(plan, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(PlanOutputRemap, FaultyRowMovesToLowestCleanSpare)
+{
+    Fixture &f = fixture();
+    DefectMap map;
+    map.markSuspect({UnitKind::AdderStage, Layer::Output, 1, 0});
+    EXPECT_EQ(planOutputRemap(map, f.logical, f.array),
+              (std::vector<int>{0, 3, 2}));
+
+    // A faulty spare is skipped in favour of the next clean one.
+    map.markSuspect({UnitKind::Activation, Layer::Output, 3, 0});
+    EXPECT_EQ(planOutputRemap(map, f.logical, f.array),
+              (std::vector<int>{0, 4, 2}));
+
+    // Hidden-layer suspects do not trigger output remapping.
+    DefectMap hidden_only;
+    hidden_only.markSuspect({UnitKind::Multiplier, Layer::Hidden, 1, 2});
+    EXPECT_EQ(planOutputRemap(hidden_only, f.logical, f.array),
+              (std::vector<int>{0, 1, 2}));
+}
+
+TEST(PlanOutputRemap, DegradesGracefullyWhenSparesExhausted)
+{
+    Fixture &f = fixture();
+    DefectMap map; // every physical output row faulty
+    for (int n = 0; n < f.array.outputs; ++n)
+        map.markSuspect({UnitKind::Activation, Layer::Output, n, 0});
+    // No clean spare exists: faulty rows keep their position.
+    EXPECT_EQ(planOutputRemap(map, f.logical, f.array),
+              (std::vector<int>{0, 1, 2}));
+}
+
+TEST(RemappedOutputMlp, CleanForwardIsInvariantToRowChoice)
+{
+    Fixture &f = fixture();
+    MlpTopology ext =
+        RemappedOutputMlp::extendedTopology(f.logical, f.array);
+    EXPECT_EQ(ext.outputs, f.array.outputs);
+
+    Accelerator accel(f.array, ext);
+    RemappedOutputMlp identity(accel, f.logical, {0, 1, 2});
+    RemappedOutputMlp steered(accel, f.logical, {3, 1, 5});
+    EXPECT_EQ(identity.remappedCount(), 0);
+    EXPECT_EQ(steered.remappedCount(), 2);
+
+    Rng rng(7);
+    std::vector<double> in(4);
+    for (int trial = 0; trial < 10; ++trial) {
+        for (double &v : in)
+            v = rng.nextDouble();
+        identity.setWeights(f.baseline);
+        Activations a = identity.forward(in);
+        steered.setWeights(f.baseline);
+        Activations b = steered.forward(in);
+        // On a defect-free array a spare row computes exactly what
+        // the original row would have.
+        EXPECT_EQ(a.output, b.output);
+    }
+}
+
+TEST(Mitigator, NoOpOnCleanArrayMatchesBaseline)
+{
+    Fixture &f = fixture();
+    MitigationSetup setup = f.setup();
+    Rng rng(11);
+    MitigationOutcome out =
+        makeMitigator(Strategy::NoOp)->run(setup, injectNothing, rng);
+
+    Accelerator accel(f.array, f.logical);
+    accel.setWeights(f.baseline);
+    EXPECT_DOUBLE_EQ(out.accuracy, Trainer::accuracy(accel, f.ds));
+    EXPECT_DOUBLE_EQ(out.coverage, 1.0);
+    EXPECT_EQ(out.diagnosed, 0);
+    EXPECT_EQ(out.mitigatedUnits, 0);
+    EXPECT_GT(out.accuracy, 0.6) << "baseline should learn iris";
+}
+
+TEST(Mitigator, RetrainOnlyHandlesCleanAndFaultyArrays)
+{
+    Fixture &f = fixture();
+    MitigationSetup setup = f.setup();
+    Rng rng(13);
+    MitigationOutcome clean = makeMitigator(Strategy::RetrainOnly)
+                                  ->run(setup, injectNothing, rng);
+    EXPECT_GT(clean.accuracy, 0.6);
+
+    Rng rng2(13);
+    MitigationOutcome faulty =
+        makeMitigator(Strategy::RetrainOnly)
+            ->run(setup, heavyInjector(3, 77), rng2);
+    EXPECT_GE(faulty.accuracy, 0.0);
+    EXPECT_LE(faulty.accuracy, 1.0);
+}
+
+TEST(Mitigator, BypassReportsDiagnosisAndBypassCounts)
+{
+    Fixture &f = fixture();
+    MitigationSetup setup = f.setup();
+    Rng rng(17);
+    MitigationOutcome out =
+        makeMitigator(Strategy::BypassFaulty)
+            ->run(setup, heavyInjector(4, 78), rng);
+    EXPECT_GT(out.diagnosed, 0)
+        << "heavy defects must show up in the map";
+    EXPECT_GE(out.coverage, 0.0);
+    EXPECT_LE(out.coverage, 1.0);
+    // Output-layer activations are never bypassed, so the bypass
+    // count can undershoot the diagnosis count but never exceed it.
+    EXPECT_LE(out.mitigatedUnits, out.diagnosed);
+    EXPECT_GE(out.accuracy, 0.0);
+    EXPECT_LE(out.accuracy, 1.0);
+}
+
+TEST(Mitigator, RemapSteersDiagnosedOutputRows)
+{
+    Fixture &f = fixture();
+    MitigationSetup setup = f.setup();
+    Rng rng(19);
+    // Deterministically destroy logical output row 1's activation.
+    auto inject = [](Accelerator &accel) {
+        Rng ir(79);
+        accel.injectDefects({UnitKind::Activation, Layer::Output, 1, 0},
+                            15, ir);
+    };
+    MitigationOutcome out =
+        makeMitigator(Strategy::RemapToSpares)->run(setup, inject, rng);
+    EXPECT_GT(out.diagnosed, 0);
+    EXPECT_GE(out.mitigatedUnits, 1)
+        << "a diagnosed output row should be remapped to a spare";
+    EXPECT_GE(out.accuracy, 0.0);
+    EXPECT_LE(out.accuracy, 1.0);
+}
+
+} // namespace
+} // namespace dtann
