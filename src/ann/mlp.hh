@@ -93,6 +93,24 @@ class ForwardModel
 
     /** Run one input row through the network. */
     virtual Activations forward(std::span<const double> input) = 0;
+
+    /**
+     * Run a batch of input rows. Semantically identical to calling
+     * forward() on each row in order — the default does exactly
+     * that, which is already optimal for native models. Hardware
+     * models override it to push rows through their faulty
+     * operators 64 lanes per gate-level sweep; results stay
+     * bit-identical to the per-row path.
+     */
+    virtual std::vector<Activations>
+    forwardBatch(std::span<const std::vector<double>> inputs)
+    {
+        std::vector<Activations> out;
+        out.reserve(inputs.size());
+        for (const auto &row : inputs)
+            out.push_back(forward(row));
+        return out;
+    }
 };
 
 /** Double-precision reference MLP (exact sigmoid). */

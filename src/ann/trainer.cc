@@ -112,12 +112,17 @@ Trainer::accuracy(ForwardModel &model, const Dataset &test_set)
     if (test_set.size() == 0)
         return 0.0;
     size_t correct = 0;
-    for (size_t n = 0; n < test_set.size(); ++n) {
-        Activations act = model.forward(test_set.rows[n]);
+    // Test sweeps have no feedback into the weights, so rows go
+    // through the batched forward path (64 rows per gate-level
+    // sweep on faulty hardware); training cannot do this, as it
+    // updates weights after every sample.
+    std::span<const std::vector<double>> rows(test_set.rows);
+    std::vector<Activations> acts = model.forwardBatch(rows);
+    for (size_t n = 0; n < acts.size(); ++n) {
         // Restrict the prediction to the classes the task uses (the
         // physical network may have spare outputs).
         std::span<const double> outs(
-            act.output.data(),
+            acts[n].output.data(),
             static_cast<size_t>(test_set.numClasses));
         if (argmax(outs) == test_set.labels[n])
             ++correct;
@@ -133,12 +138,13 @@ Trainer::mse(ForwardModel &model, const Dataset &test_set)
         return 0.0;
     double total = 0.0;
     int outputs = model.topology().outputs;
-    for (size_t n = 0; n < test_set.size(); ++n) {
-        Activations act = model.forward(test_set.rows[n]);
+    std::span<const std::vector<double>> rows(test_set.rows);
+    std::vector<Activations> acts = model.forwardBatch(rows);
+    for (size_t n = 0; n < acts.size(); ++n) {
         for (int k = 0; k < outputs; ++k) {
             double t =
                 k == test_set.labels[n] ? 1.0 : 0.0;
-            double e = t - act.output[static_cast<size_t>(k)];
+            double e = t - acts[n].output[static_cast<size_t>(k)];
             total += e * e;
         }
     }

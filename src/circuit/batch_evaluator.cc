@@ -4,11 +4,79 @@
 
 namespace dtann {
 
-BatchEvaluator::BatchEvaluator(const Netlist &netlist)
-    : nl(netlist), netLanes(netlist.numNets(), 0)
+bool
+BatchEvaluator::supports(const Netlist &netlist, const FaultSet &faults,
+                         const char **why)
 {
-    if (nl.hasFeedback())
-        fatal("BatchEvaluator requires a feedback-free netlist");
+    if (netlist.hasFeedback()) {
+        if (why)
+            *why = "netlist has feedback (needs relaxation)";
+        return false;
+    }
+    if (!faults.isStateless()) {
+        if (why)
+            *why = "fault set is stateful (MEM or delay faults)";
+        return false;
+    }
+    if (why)
+        *why = nullptr;
+    return true;
+}
+
+std::optional<BatchEvaluator>
+BatchEvaluator::tryCreate(const Netlist &netlist, FaultSet faults,
+                          CleanFn clean)
+{
+    if (!supports(netlist, faults))
+        return std::nullopt;
+    return std::optional<BatchEvaluator>(
+        BatchEvaluator(netlist, std::move(faults), std::move(clean)));
+}
+
+BatchEvaluator::BatchEvaluator(const Netlist &netlist, FaultSet faults,
+                               CleanFn clean)
+    : nl(netlist), faultSet(std::move(faults)),
+      cleanFn(std::move(clean)),
+      netLanes(netlist.numNets(), 0),
+      haveFaults(!this->faultSet.empty())
+{
+    const char *why = nullptr;
+    bool ok = supports(nl, faultSet, &why);
+    dtann_assert(ok, "BatchEvaluator: %s", why ? why : "unsupported");
+    if (haveFaults) {
+        size_t n = nl.numGates();
+        valuePlane.assign(n, noOverride);
+        inputForce.assign(n, {-1, -1, -1, -1});
+        outputForce.assign(n, -1);
+        for (const auto &[gi, fn] : faultSet.overrides) {
+            dtann_assert(gi < n, "override on unknown gate %u", gi);
+            int arity = nl.gate(gi).arity();
+            dtann_assert(fn.numInputs() == arity,
+                         "override arity mismatch on gate %u", gi);
+            // Materialise the table's value plane; the MEM plane is
+            // empty (isStateless() checked above).
+            uint32_t plane = 0;
+            for (uint32_t combo = 0; combo < (1u << arity); ++combo) {
+                if (fn.eval(combo) == LogicValue::One)
+                    plane |= 1u << combo;
+            }
+            valuePlane[gi] = plane;
+        }
+        for (const StuckAtFault &f : faultSet.stuckAt) {
+            dtann_assert(f.gate < n, "stuck-at on unknown gate %u",
+                         f.gate);
+            if (f.input < 0) {
+                outputForce[f.gate] = f.value ? 1 : 0;
+            } else {
+                dtann_assert(f.input < nl.gate(f.gate).arity(),
+                             "stuck-at input index out of range");
+                inputForce[f.gate][static_cast<size_t>(f.input)] =
+                    f.value ? 1 : 0;
+            }
+        }
+        if (cleanFn)
+            cone = computeFaultCone(nl, faultSet);
+    }
 }
 
 void
@@ -21,34 +89,69 @@ BatchEvaluator::setInputLanes(size_t index, uint64_t lanes)
 void
 BatchEvaluator::evaluate()
 {
-    for (size_t gi = 0; gi < nl.numGates(); ++gi) {
+    sweepGates(nullptr);
+}
+
+void
+BatchEvaluator::sweepGates(const std::vector<uint32_t> *active)
+{
+    size_t n = active ? active->size() : nl.numGates();
+    ++sweepCount;
+    gateSweepCount += n;
+    for (size_t idx = 0; idx < n; ++idx) {
+        size_t gi = active ? (*active)[idx] : idx;
         const Gate &g = nl.gate(gi);
-        uint64_t a = g.arity() > 0 ? netLanes[g.in[0]] : 0;
-        uint64_t b = g.arity() > 1 ? netLanes[g.in[1]] : 0;
-        uint64_t c = g.arity() > 2 ? netLanes[g.in[2]] : 0;
-        uint64_t d = g.arity() > 3 ? netLanes[g.in[3]] : 0;
-        uint64_t out;
-        switch (g.kind) {
-          case GateKind::Const0: out = 0; break;
-          case GateKind::Const1: out = ~0ull; break;
-          case GateKind::Not: out = ~a; break;
-          case GateKind::Nand2: out = ~(a & b); break;
-          case GateKind::Nand3: out = ~(a & b & c); break;
-          case GateKind::Nor2: out = ~(a | b); break;
-          case GateKind::Nor3: out = ~(a | b | c); break;
-          case GateKind::Aoi21: out = ~((a & b) | c); break;
-          case GateKind::Aoi22: out = ~((a & b) | (c & d)); break;
-          case GateKind::Oai21: out = ~((a | b) & c); break;
-          case GateKind::Oai22: out = ~((a | b) & (c | d)); break;
-          case GateKind::CarryN:
-            out = ~((a & b) | (c & (a | b)));
-            break;
-          case GateKind::MirrorSumN:
-            out = ~((a & b & c) | (d & (a | b | c)));
-            break;
-          default:
-            panic("batch eval: bad gate kind");
+        int arity = g.arity();
+        uint64_t in[4] = {};
+        for (int i = 0; i < arity; ++i)
+            in[i] = netLanes[g.in[i]];
+        if (haveFaults) {
+            const auto &force = inputForce[gi];
+            for (int i = 0; i < arity; ++i) {
+                if (force[static_cast<size_t>(i)] >= 0)
+                    in[i] = force[static_cast<size_t>(i)] ? ~0ull : 0;
+            }
         }
+        uint64_t out;
+        if (haveFaults && valuePlane[gi] != noOverride) {
+            // Truth-table mux: for each combination whose table
+            // entry is One, select the lanes presenting it.
+            uint32_t plane = valuePlane[gi];
+            out = 0;
+            for (uint32_t combo = 0; combo < (1u << arity); ++combo) {
+                if (!(plane >> combo & 1))
+                    continue;
+                uint64_t sel = ~0ull;
+                for (int i = 0; i < arity; ++i)
+                    sel &= (combo >> i & 1) ? in[i] : ~in[i];
+                out |= sel;
+            }
+        } else {
+            uint64_t a = in[0], b = in[1], c = in[2], d = in[3];
+            switch (g.kind) {
+              case GateKind::Const0: out = 0; break;
+              case GateKind::Const1: out = ~0ull; break;
+              case GateKind::Not: out = ~a; break;
+              case GateKind::Nand2: out = ~(a & b); break;
+              case GateKind::Nand3: out = ~(a & b & c); break;
+              case GateKind::Nor2: out = ~(a | b); break;
+              case GateKind::Nor3: out = ~(a | b | c); break;
+              case GateKind::Aoi21: out = ~((a & b) | c); break;
+              case GateKind::Aoi22: out = ~((a & b) | (c & d)); break;
+              case GateKind::Oai21: out = ~((a | b) & c); break;
+              case GateKind::Oai22: out = ~((a | b) & (c | d)); break;
+              case GateKind::CarryN:
+                out = ~((a & b) | (c & (a | b)));
+                break;
+              case GateKind::MirrorSumN:
+                out = ~((a & b & c) | (d & (a | b | c)));
+                break;
+              default:
+                panic("batch eval: bad gate kind");
+            }
+        }
+        if (haveFaults && outputForce[gi] >= 0)
+            out = outputForce[gi] ? ~0ull : 0;
         netLanes[g.out] = out;
     }
 }
@@ -61,27 +164,53 @@ BatchEvaluator::outputLanes(size_t index) const
     return netLanes[nl.outputs()[index]];
 }
 
-std::vector<uint64_t>
-BatchEvaluator::evaluateVectors(const std::vector<uint64_t> &vectors)
+void
+BatchEvaluator::evaluateLanes(const uint64_t *vectors, uint64_t *out,
+                              size_t count)
 {
-    dtann_assert(vectors.size() <= 64, "at most 64 lanes");
+    dtann_assert(count <= 64, "at most 64 lanes");
     size_t n_in = nl.inputs().size();
     dtann_assert(n_in <= 64, "at most 64 primary inputs");
     for (size_t i = 0; i < n_in; ++i) {
         uint64_t lanes = 0;
-        for (size_t l = 0; l < vectors.size(); ++l)
+        for (size_t l = 0; l < count; ++l)
             lanes |= ((vectors[l] >> i) & 1) << l;
-        setInputLanes(i, lanes);
+        netLanes[nl.inputs()[i]] = lanes;
     }
-    evaluate();
+    sweepGates(cone.valid ? &cone.activeGates : nullptr);
     size_t n_out = nl.outputs().size();
     dtann_assert(n_out <= 64, "at most 64 primary outputs");
-    std::vector<uint64_t> result(vectors.size(), 0);
-    for (size_t o = 0; o < n_out; ++o) {
-        uint64_t lanes = outputLanes(o);
-        for (size_t l = 0; l < vectors.size(); ++l)
-            result[l] |= ((lanes >> l) & 1) << o;
+    for (size_t l = 0; l < count; ++l)
+        out[l] = 0;
+    if (cone.valid) {
+        // Pruned sweep: only in-cone outputs were simulated; the
+        // rest come from the clean native model, per lane.
+        for (size_t o = 0; o < n_out; ++o) {
+            if (!(cone.outputMask >> o & 1))
+                continue;
+            uint64_t lanes = netLanes[nl.outputs()[o]];
+            for (size_t l = 0; l < count; ++l)
+                out[l] |= ((lanes >> l) & 1) << o;
+        }
+        for (size_t l = 0; l < count; ++l) {
+            uint64_t clean = cleanFn(vectors[l]);
+            out[l] |= clean & ~cone.outputMask;
+        }
+        return;
     }
+    for (size_t o = 0; o < n_out; ++o) {
+        uint64_t lanes = netLanes[nl.outputs()[o]];
+        for (size_t l = 0; l < count; ++l)
+            out[l] |= ((lanes >> l) & 1) << o;
+    }
+}
+
+std::vector<uint64_t>
+BatchEvaluator::evaluateVectors(const std::vector<uint64_t> &vectors)
+{
+    std::vector<uint64_t> result(vectors.size(), 0);
+    if (!vectors.empty())
+        evaluateLanes(vectors.data(), result.data(), vectors.size());
     return result;
 }
 

@@ -1,58 +1,140 @@
 /**
  * @file
- * Bit-parallel (64-lane) evaluation of clean combinational
- * netlists.
+ * Bit-parallel (64-lane) evaluation of combinational netlists,
+ * clean or carrying a state-free fault set.
  *
  * Each net holds a 64-bit word whose bit L is the net's value in
  * lane L, and every gate evaluates all lanes with a handful of
  * bitwise operations. This gives a ~40x speedup for exhaustive
- * equivalence checks and distribution sweeps. Restricted to
- * feedback-free netlists without faults: memory effects make
- * evaluation order-dependent across input vectors, which lanes
- * cannot represent.
+ * equivalence checks, distribution sweeps and campaign test passes.
+ *
+ * Fault overrides are applied per gate through their truth table's
+ * value plane: for each input combination whose table entry is One,
+ * a selection mask picks the lanes presenting that combination. The
+ * table's MEM plane must be empty — a MEM entry makes the gate's
+ * output depend on the previous vector, which independent lanes
+ * cannot represent — so eligibility is FaultSet::isStateless() on a
+ * feedback-free netlist (see supports()/tryCreate()); stateful sets
+ * fall back to the scalar relaxation Evaluator.
  */
 
 #ifndef DTANN_CIRCUIT_BATCH_EVALUATOR_HH
 #define DTANN_CIRCUIT_BATCH_EVALUATOR_HH
 
+#include <array>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "circuit/fault_cone.hh"
+#include "circuit/faults.hh"
 #include "circuit/netlist.hh"
 
 namespace dtann {
 
-/** 64-lane evaluator for clean combinational netlists. */
+/** 64-lane evaluator for combinational netlists. */
 class BatchEvaluator
 {
   public:
     /**
-     * @param netlist feedback-free netlist; fatal otherwise
+     * True when (netlist, faults) is batchable: feedback-free and a
+     * state-free fault set. When false and @p why is non-null, *why
+     * points at a static string naming the blocking condition.
      */
-    explicit BatchEvaluator(const Netlist &netlist);
+    static bool supports(const Netlist &netlist, const FaultSet &faults,
+                         const char **why = nullptr);
+
+    /**
+     * Build a batch evaluator, or nullopt when supports() is false.
+     * Callers fall back to the scalar Evaluator on nullopt.
+     *
+     * @param netlist the circuit; must outlive the evaluator
+     * @param faults fault set to apply (copied); must be state-free
+     * @param clean optional native model of the defect-free
+     *        operator; when given, the packed-vector paths
+     *        (evaluateLanes/evaluateVectors) sweep only the fault
+     *        cone and splice out-of-cone output bits from it
+     */
+    static std::optional<BatchEvaluator> tryCreate(
+        const Netlist &netlist, FaultSet faults = {}, CleanFn clean = {});
+
+    /**
+     * @param netlist the circuit; asserts supports(netlist, faults)
+     *        — use tryCreate() when the answer is not known statically
+     */
+    explicit BatchEvaluator(const Netlist &netlist, FaultSet faults = {},
+                            CleanFn clean = {});
 
     /** Set primary input @p index to a 64-lane word. */
     void setInputLanes(size_t index, uint64_t lanes);
 
-    /** Evaluate all lanes in one topological sweep. */
+    /**
+     * Evaluate all lanes in one topological sweep over every gate.
+     * (The granular lane API never prunes, so outputLanes() is valid
+     * for all outputs.)
+     */
     void evaluate();
 
     /** Read primary output @p index as a 64-lane word. */
     uint64_t outputLanes(size_t index) const;
 
     /**
-     * Convenience: evaluate up to 64 input vectors at once.
+     * Evaluate up to 64 packed input vectors at once, cone-pruned
+     * when a clean model was supplied.
      *
      * @param vectors packed input bits, one per lane
+     * @param out packed output bits per lane (count entries)
      * @param count number of vectors (<= 64)
-     * @return packed output bits per lane
      */
+    void evaluateLanes(const uint64_t *vectors, uint64_t *out,
+                       size_t count);
+
+    /** Convenience wrapper over evaluateLanes(). */
     std::vector<uint64_t> evaluateVectors(
         const std::vector<uint64_t> &vectors);
 
+    /** The netlist being evaluated. */
+    const Netlist &netlist() const { return nl; }
+
+    /** The installed fault set. */
+    const FaultSet &faults() const { return faultSet; }
+
+    /** True when the packed-vector paths run cone-pruned. */
+    bool conePruned() const { return cone.valid; }
+
+    /** Batch sweeps executed so far (each covers up to 64 lanes). */
+    uint64_t sweeps() const { return sweepCount; }
+
+    /** Gates swept so far across all batch sweeps. */
+    uint64_t gateSweeps() const { return gateSweepCount; }
+
   private:
     const Netlist &nl;
+    FaultSet faultSet;
+    CleanFn cleanFn;
+    FaultCone cone;
+
+    /** Per-net 64-lane values. */
     std::vector<uint64_t> netLanes;
+
+    /** True when any fault table is populated. */
+    bool haveFaults;
+    /** Sentinel valuePlane entry: gate keeps its native function. */
+    static constexpr uint32_t noOverride = UINT32_MAX;
+    /** Per-gate truth-table value plane (one bit per input combo;
+     *  the MEM plane is empty by the isStateless() precondition).
+     *  Entry is noOverride when the gate is clean. */
+    std::vector<uint32_t> valuePlane;
+    /** Per-gate, per-input stuck value (-1 = none). */
+    std::vector<std::array<int8_t, 4>> inputForce;
+    /** Per-gate output stuck value (-1 = none). */
+    std::vector<int8_t> outputForce;
+
+    uint64_t sweepCount = 0;
+    uint64_t gateSweepCount = 0;
+
+    /** Sweep @p active gates (all gates when null). */
+    void sweepGates(const std::vector<uint32_t> *active);
 };
 
 } // namespace dtann

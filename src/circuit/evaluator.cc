@@ -13,12 +13,16 @@ constexpr int maxSweeps = 64;
 
 } // namespace
 
-Evaluator::Evaluator(const Netlist &netlist, FaultSet faults)
+Evaluator::Evaluator(const Netlist &netlist, FaultSet faults,
+                     CleanFn clean)
     : nl(netlist), faultSet(std::move(faults)),
+      cleanFn(std::move(clean)),
       netVal(netlist.numNets(), 0),
       haveFaults(!this->faultSet.empty()),
       needsRelaxation(netlist.hasFeedback())
 {
+    if (cleanFn && haveFaults)
+        cone = computeFaultCone(nl, faultSet);
     size_t n = nl.numGates();
     if (haveFaults) {
         overridePtr.assign(n, nullptr);
@@ -103,7 +107,14 @@ Evaluator::gateInputs(size_t gi) const
 void
 Evaluator::evaluate()
 {
-    size_t n = nl.numGates();
+    runSweeps(nullptr);
+    latchDelayed();
+}
+
+void
+Evaluator::runSweeps(const std::vector<uint32_t> *active)
+{
+    size_t n = active ? active->size() : nl.numGates();
     oscillated = false;
     // Feedback-free netlists settle in a single topological sweep
     // (builders emit gates in dependency order); MEM entries read
@@ -112,7 +123,9 @@ Evaluator::evaluate()
     int sweep_cap = needsRelaxation ? maxSweeps : 1;
     for (sweeps = 0; sweeps < sweep_cap; ++sweeps) {
         bool changed = false;
-        for (size_t gi = 0; gi < n; ++gi) {
+        gateEvalCount += n;
+        for (size_t idx = 0; idx < n; ++idx) {
+            size_t gi = active ? (*active)[idx] : idx;
             const Gate &g = nl.gate(gi);
             uint8_t v;
             if (haveFaults && delayedFlag[gi]) {
@@ -138,7 +151,11 @@ Evaluator::evaluate()
     }
     if (needsRelaxation && sweeps == maxSweeps)
         oscillated = true;
+}
 
+void
+Evaluator::latchDelayed()
+{
     // Latch new pending values of delayed gates for the next round.
     if (haveFaults) {
         for (uint32_t gi : faultSet.delayed) {
@@ -186,8 +203,31 @@ uint64_t
 Evaluator::evaluateBits(uint64_t input_bits)
 {
     setInputBits(input_bits, nl.inputs().size());
-    evaluate();
-    return outputBits(std::min<size_t>(nl.outputs().size(), 64));
+    size_t n_out = std::min<size_t>(nl.outputs().size(), 64);
+    if (!cone.valid) {
+        evaluate();
+        return outputBits(n_out);
+    }
+
+    // Pruned path: only the fault cone (plus its fan-in support) is
+    // simulated; every output outside the cone is bit-identical to
+    // the clean operator, so those bits come from the native model.
+    // The cone is only valid for feedback-free netlists, where all
+    // fault semantics (MEM retention, delayed outputs, stuck-ats)
+    // depend solely on the active gates' nets, which persist across
+    // calls exactly as in the full sweep.
+    runSweeps(&cone.activeGates);
+    latchDelayed();
+    uint64_t sim = outputBits(n_out);
+    uint64_t clean = cleanFn(input_bits);
+    uint64_t bits = (clean & ~cone.outputMask) | (sim & cone.outputMask);
+    // Keep granular output() reads consistent: write the clean bits
+    // back into the output nets the pruned sweep never touched.
+    for (size_t o = 0; o < n_out; ++o) {
+        if (!(cone.outputMask >> o & 1))
+            netVal[nl.outputs()[o]] = (bits >> o) & 1;
+    }
+    return bits;
 }
 
 } // namespace dtann

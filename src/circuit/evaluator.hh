@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "circuit/fault_cone.hh"
 #include "circuit/faults.hh"
 #include "circuit/netlist.hh"
 
@@ -30,8 +31,14 @@ class Evaluator
     /**
      * @param netlist the circuit; must outlive the evaluator
      * @param faults faults to apply (copied)
+     * @param clean optional native model of the defect-free operator
+     *        (packed inputs -> packed outputs). When given and the
+     *        netlist is feedback-free, evaluateBits() simulates only
+     *        the fault cone and splices all other output bits from
+     *        this model instead of sweeping every gate.
      */
-    explicit Evaluator(const Netlist &netlist, FaultSet faults = {});
+    explicit Evaluator(const Netlist &netlist, FaultSet faults = {},
+                       CleanFn clean = {});
 
     // Internal tables point into the owned fault set; keep the
     // evaluator pinned in place.
@@ -77,9 +84,20 @@ class Evaluator
     /** The installed fault set. */
     const FaultSet &faults() const { return faultSet; }
 
+    /** True when evaluateBits() runs the cone-pruned path. */
+    bool conePruned() const { return cone.valid; }
+
+    /** The fault-cone analysis (valid only when conePruned()). */
+    const FaultCone &faultCone() const { return cone; }
+
+    /** Total scalar gate evaluations (gates x sweeps) so far. */
+    uint64_t gateEvals() const { return gateEvalCount; }
+
   private:
     const Netlist &nl;
     FaultSet faultSet;
+    CleanFn cleanFn;
+    FaultCone cone;
 
     /** Per-net current value. */
     std::vector<uint8_t> netVal;
@@ -100,9 +118,16 @@ class Evaluator
 
     int sweeps = 0;
     bool oscillated = false;
+    uint64_t gateEvalCount = 0;
 
     /** Compute the (fault-adjusted) packed inputs of gate @p gi. */
     uint32_t gateInputs(size_t gi) const;
+
+    /** Sweep @p active gates (all gates when null) until stable. */
+    void runSweeps(const std::vector<uint32_t> *active);
+
+    /** Latch pending values of delayed gates for the next round. */
+    void latchDelayed();
 };
 
 } // namespace dtann

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fault-cone analysis for pruned faulty-netlist evaluation.
+ *
+ * Only the fanout cone of the faulty gates can differ from the
+ * clean circuit; every other net is bit-identical to the defect-free
+ * evaluation. A pruned evaluator therefore needs to simulate just
+ * the cone plus its transitive fan-in support (the clean gates whose
+ * values the cone reads), and can splice the remaining output bits
+ * from a native (fixed-point) model of the clean operator. For the
+ * 1-5 defect counts the campaigns inject, the support set is a small
+ * fraction of a ~2k-gate operator netlist.
+ */
+
+#ifndef DTANN_CIRCUIT_FAULT_CONE_HH
+#define DTANN_CIRCUIT_FAULT_CONE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "circuit/faults.hh"
+#include "circuit/netlist.hh"
+
+namespace dtann {
+
+/**
+ * Native model of a clean operator: maps packed primary-input bits
+ * to packed primary-output bits, bit-identical to evaluating the
+ * defect-free netlist (e.g. a fixed-point multiply for a multiplier
+ * netlist). Pruned evaluators splice the output bits outside the
+ * fault cone from this function instead of simulating the gates
+ * that produce them.
+ */
+using CleanFn = std::function<uint64_t(uint64_t)>;
+
+/** Result of the cone analysis over one (netlist, fault set). */
+struct FaultCone
+{
+    /**
+     * True when pruned evaluation is applicable: the netlist is
+     * feedback-free (gate order is topological, one sweep settles),
+     * has at most 64 primary outputs (so the affected set packs into
+     * an output mask) and at least one fault was given.
+     */
+    bool valid = false;
+
+    /**
+     * Gates that must be simulated, ascending (= topological)
+     * order: the fanout cone of the faulty gates plus the cone's
+     * transitive fan-in support.
+     */
+    std::vector<uint32_t> activeGates;
+
+    /** Bit o set when primary output o lies inside the fanout cone
+     *  (only these bits may differ from the clean operator). */
+    uint64_t outputMask = 0;
+
+    /** Number of gates in the fanout cone proper (subset of
+     *  activeGates; for diagnostics). */
+    size_t coneSize = 0;
+};
+
+/**
+ * Compute the fault cone of @p faults over @p nl.
+ *
+ * Returns an invalid cone (valid == false) when the fault set is
+ * empty, the netlist has feedback, or it has more than 64 primary
+ * outputs; callers then evaluate the full netlist.
+ */
+FaultCone computeFaultCone(const Netlist &nl, const FaultSet &faults);
+
+} // namespace dtann
+
+#endif // DTANN_CIRCUIT_FAULT_CONE_HH

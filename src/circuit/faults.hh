@@ -49,6 +49,27 @@ struct FaultSet
         return overrides.empty() && delayed.empty() && stuckAt.empty();
     }
 
+    /**
+     * True when evaluation under this fault set is a pure function
+     * of the current inputs: no delay faults (the output lags one
+     * evaluation) and no MEM truth-table entries (a floating output
+     * retains its previous value). Stuck-at faults and non-MEM
+     * overrides are stateless. State-free fault sets on
+     * feedback-free netlists are eligible for the 64-lane batch
+     * evaluator; stateful ones must go through the scalar relaxation
+     * Evaluator, whose net values persist across calls.
+     */
+    bool
+    isStateless() const
+    {
+        if (!delayed.empty())
+            return false;
+        for (const auto &[gate, fn] : overrides)
+            if (fn.hasMem())
+                return false;
+        return true;
+    }
+
     /** Merge another fault set into this one. */
     void
     merge(const FaultSet &other)

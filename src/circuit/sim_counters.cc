@@ -1,0 +1,60 @@
+#include "circuit/sim_counters.hh"
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace dtann {
+
+double
+SimCounters::laneOccupancy() const
+{
+    if (batchSweeps == 0)
+        return 0.0;
+    return static_cast<double>(batchVectors) /
+        (64.0 * static_cast<double>(batchSweeps));
+}
+
+double
+SimCounters::scalarFallbackRate() const
+{
+    uint64_t total = vectors();
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(scalarVectors) /
+        static_cast<double>(total);
+}
+
+std::string
+SimCounters::toJson() const
+{
+    std::string out = "{\"scalar_vectors\":" +
+        std::to_string(scalarVectors);
+    out += ",\"batch_vectors\":" + std::to_string(batchVectors);
+    out += ",\"batch_sweeps\":" + std::to_string(batchSweeps);
+    out += ",\"gate_evals\":" + std::to_string(gateEvals);
+    out += ",\"batch_gate_sweeps\":" + std::to_string(batchGateSweeps);
+    out += ",\"lane_occupancy\":" + jsonNumber(laneOccupancy());
+    out += ",\"scalar_fallback_rate\":" +
+        jsonNumber(scalarFallbackRate());
+    out += "}";
+    return out;
+}
+
+void
+logSimCounters(const char *what, const SimCounters &c)
+{
+    if (c.vectors() == 0)
+        return;
+    inform("%s sim counters: %llu vectors (%llu batch / %llu scalar), "
+           "lane occupancy %.2f, scalar fallback %.1f%%, "
+           "%llu scalar gate evals, %llu batch gate sweeps",
+           what,
+           static_cast<unsigned long long>(c.vectors()),
+           static_cast<unsigned long long>(c.batchVectors),
+           static_cast<unsigned long long>(c.scalarVectors),
+           c.laneOccupancy(), 100.0 * c.scalarFallbackRate(),
+           static_cast<unsigned long long>(c.gateEvals),
+           static_cast<unsigned long long>(c.batchGateSweeps));
+}
+
+} // namespace dtann

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Throughput accounting for faulty-operator simulation.
+ *
+ * Campaigns funnel their retraining epochs and test sweeps through
+ * gate-level simulation of the defective operators; these counters
+ * record how much of that work went down each path (64-lane batch
+ * vs scalar relaxation) and how many gate evaluations it cost, so a
+ * campaign can report its effective speedup alongside its results.
+ * All fields are plain sums, so merging is order-independent and
+ * campaign totals stay bit-identical for any thread count.
+ */
+
+#ifndef DTANN_CIRCUIT_SIM_COUNTERS_HH
+#define DTANN_CIRCUIT_SIM_COUNTERS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dtann {
+
+/** Work counters of one or more simulated faulty operators. */
+struct SimCounters
+{
+    /** Input vectors evaluated one at a time (relaxation path). */
+    uint64_t scalarVectors = 0;
+    /** Input vectors evaluated through the 64-lane batch path. */
+    uint64_t batchVectors = 0;
+    /** Batch sweeps executed (each covers up to 64 vectors). */
+    uint64_t batchSweeps = 0;
+    /** Scalar gate evaluations executed (gates x sweeps). */
+    uint64_t gateEvals = 0;
+    /** Gates swept by batch calls (each sweep covers 64 lanes). */
+    uint64_t batchGateSweeps = 0;
+
+    /** Accumulate another counter set. */
+    void
+    merge(const SimCounters &o)
+    {
+        scalarVectors += o.scalarVectors;
+        batchVectors += o.batchVectors;
+        batchSweeps += o.batchSweeps;
+        gateEvals += o.gateEvals;
+        batchGateSweeps += o.batchGateSweeps;
+    }
+
+    /** Total vectors pushed through faulty operators. */
+    uint64_t vectors() const { return scalarVectors + batchVectors; }
+
+    /** Mean occupied lanes per batch sweep, in [0, 1]. */
+    double laneOccupancy() const;
+
+    /** Fraction of vectors that fell back to the scalar path. */
+    double scalarFallbackRate() const;
+
+    /** Single JSON object (embedded in campaign exports). */
+    std::string toJson() const;
+};
+
+/**
+ * Log one env::dump()-style banner line summarising @p c, tagged
+ * with @p what (e.g. the campaign name). No-op when no vectors were
+ * simulated.
+ */
+void logSimCounters(const char *what, const SimCounters &c);
+
+} // namespace dtann
+
+#endif // DTANN_CIRCUIT_SIM_COUNTERS_HH

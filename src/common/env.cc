@@ -90,6 +90,36 @@ jsonOutDir()
     return v != nullptr ? std::string(v) : std::string();
 }
 
+namespace {
+
+/** Shared parser for the 0/1 opt-out knobs. */
+bool
+boolKnob(const char *name)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr || *v == '\0' || std::strcmp(v, "0") == 0)
+        return false;
+    if (std::strcmp(v, "1") == 0)
+        return true;
+    warn("ignoring invalid %s='%s' (expected 0 or 1); knob off",
+         name, v);
+    return false;
+}
+
+} // namespace
+
+bool
+noBatch()
+{
+    return boolKnob("DTANN_NO_BATCH");
+}
+
+bool
+noCone()
+{
+    return boolKnob("DTANN_NO_CONE");
+}
+
 namespace env {
 
 void
@@ -101,10 +131,13 @@ dump()
     };
     inform("DTANN knobs: DTANN_FULL=%s (scale=%s) DTANN_SEED=%s "
            "(seed=%lu) DTANN_THREADS=%s (threads=%d) "
-           "DTANN_JSON_OUT=%s",
+           "DTANN_JSON_OUT=%s DTANN_NO_BATCH=%s (batch=%s) "
+           "DTANN_NO_CONE=%s (cone=%s)",
            raw("DTANN_FULL"), fullScale() ? "full" : "quick",
            raw("DTANN_SEED"), experimentSeed(), raw("DTANN_THREADS"),
-           threadCount(), raw("DTANN_JSON_OUT"));
+           threadCount(), raw("DTANN_JSON_OUT"),
+           raw("DTANN_NO_BATCH"), noBatch() ? "off" : "on",
+           raw("DTANN_NO_CONE"), noCone() ? "off" : "on");
 }
 
 } // namespace env

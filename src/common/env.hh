@@ -43,6 +43,21 @@ int threadCount();
  */
 std::string jsonOutDir();
 
+/**
+ * True when DTANN_NO_BATCH=1 disables the 64-lane faulty batch
+ * path, forcing every vector through the scalar Evaluator. Campaign
+ * results are bit-identical either way; the knob exists for
+ * equivalence tests and for isolating perf regressions. Values other
+ * than 0/1 are rejected with a warning.
+ */
+bool noBatch();
+
+/**
+ * True when DTANN_NO_CONE=1 disables fault-cone pruning, forcing
+ * full-netlist sweeps. Same contract as noBatch().
+ */
+bool noCone();
+
 namespace env {
 
 /**

@@ -4,9 +4,12 @@
 #include <cstdio>
 #include <tuple>
 
+#include <array>
+
 #include "ann/sigmoid.hh"
 #include "common/logging.hh"
 #include "rtl/adder.hh"
+#include "rtl/clean_model.hh"
 #include "rtl/latch.hh"
 #include "rtl/multiplier.hh"
 #include "rtl/sigmoid_unit.hh"
@@ -109,11 +112,24 @@ std::vector<InjectionRecord>
 Accelerator::injectDefects(const UnitSite &site, int count, Rng &rng)
 {
     std::shared_ptr<const Netlist> nl;
+    CleanFn clean;
     switch (site.kind) {
-      case UnitKind::WeightLatch: nl = latchNl; break;
-      case UnitKind::Multiplier: nl = multNl; break;
-      case UnitKind::AdderStage: nl = addNl; break;
-      case UnitKind::Activation: nl = actNl; break;
+      case UnitKind::WeightLatch:
+        // Feedback netlist: no pruned/batched path to feed.
+        nl = latchNl;
+        break;
+      case UnitKind::Multiplier:
+        nl = multNl;
+        clean = cleanMultiplierSigned(16);
+        break;
+      case UnitKind::AdderStage:
+        nl = addNl;
+        clean = cleanAdder(24, false);
+        break;
+      case UnitKind::Activation:
+        nl = actNl;
+        clean = cleanSigmoidUnit(logisticPwlTable());
+        break;
     }
     Injection inj = injectTransistorDefects(*nl, count, rng);
     std::vector<InjectionRecord> records = inj.records;
@@ -128,14 +144,14 @@ Accelerator::injectDefects(const UnitSite &site, int count, Rng &rng)
         combined.records = it->second->faultRecords();
         combined.records.insert(combined.records.end(), records.begin(),
                                 records.end());
-        it->second =
-            std::make_unique<OperatorSim>(nl, std::move(combined));
+        it->second = std::make_unique<OperatorSim>(
+            nl, std::move(combined), std::move(clean));
     } else {
         Injection fresh;
         fresh.faults = std::move(inj.faults);
         fresh.records = records;
-        faulty[site] =
-            std::make_unique<OperatorSim>(nl, std::move(fresh));
+        faulty[site] = std::make_unique<OperatorSim>(
+            nl, std::move(fresh), std::move(clean));
     }
     probes[site]; // ensure a probe exists
     return records;
@@ -307,6 +323,101 @@ Accelerator::unitAct(Layer layer, int neuron, Fix16 x)
 }
 
 void
+Accelerator::unitMulLanes(Layer layer, int neuron, int synapse, Fix16 w,
+                          const Fix16 *x, Fix16 *out, size_t lanes)
+{
+    UnitSite site{UnitKind::Multiplier, layer, neuron, synapse};
+    if (isBypassed(site)) {
+        for (size_t l = 0; l < lanes; ++l)
+            out[l] = Fix16(); // product gated to zero
+        return;
+    }
+    OperatorSim *sim = simFor(site);
+    if (!sim) {
+        for (size_t l = 0; l < lanes; ++l)
+            out[l] = Fix16::hwMul(w, x[l]);
+        return;
+    }
+    std::array<uint64_t, 64> in, product;
+    for (size_t l = 0; l < lanes; ++l)
+        in[l] = static_cast<uint64_t>(w.bits()) |
+            (static_cast<uint64_t>(x[l].bits()) << 16);
+    sim->applyLanes(in.data(), product.data(), lanes);
+    DeviationProbe &pr = probes[site];
+    // Probe updates in lane (= row) order: the Welford accumulator
+    // is order-dependent, and bit-identity with the scalar path
+    // requires the same per-site sequence.
+    for (size_t l = 0; l < lanes; ++l) {
+        Fix16 clean = Fix16::hwMul(w, x[l]);
+        Fix16 got = Fix16::fromRaw(static_cast<int16_t>(
+            (product[l] >> Fix16::fracBits) & 0xffff));
+        pr.amplitude.add(std::abs(got.toDouble() - clean.toDouble()));
+        out[l] = got;
+    }
+}
+
+void
+Accelerator::unitAddLanes(Layer layer, int neuron, int stage, Acc24 *acc,
+                          const Acc24 *b, size_t lanes)
+{
+    UnitSite site{UnitKind::AdderStage, layer, neuron, stage};
+    if (isBypassed(site))
+        return; // stage skipped: accumulator passes through
+    OperatorSim *sim = simFor(site);
+    if (!sim) {
+        for (size_t l = 0; l < lanes; ++l)
+            acc[l] = Acc24::hwAdd(acc[l], b[l]);
+        return;
+    }
+    std::array<uint64_t, 64> in, sum;
+    for (size_t l = 0; l < lanes; ++l)
+        in[l] = static_cast<uint64_t>(acc[l].bits()) |
+            (static_cast<uint64_t>(b[l].bits()) << 24);
+    sim->applyLanes(in.data(), sum.data(), lanes);
+    DeviationProbe &pr = probes[site];
+    for (size_t l = 0; l < lanes; ++l) {
+        Acc24 clean = Acc24::hwAdd(acc[l], b[l]);
+        uint32_t u = static_cast<uint32_t>(sum[l] & 0xffffffull);
+        int32_t raw = (u & 0x800000u)
+            ? static_cast<int32_t>(u | 0xff000000u)
+            : static_cast<int32_t>(u);
+        Acc24 got = Acc24::fromRaw(raw);
+        pr.amplitude.add(std::abs(got.toDouble() - clean.toDouble()));
+        acc[l] = got;
+    }
+}
+
+void
+Accelerator::unitActLanes(Layer layer, int neuron, const Fix16 *x,
+                          Fix16 *out, size_t lanes)
+{
+    UnitSite site{UnitKind::Activation, layer, neuron, 0};
+    if (isBypassed(site)) {
+        for (size_t l = 0; l < lanes; ++l)
+            out[l] = Fix16(); // neuron silenced
+        return;
+    }
+    OperatorSim *sim = simFor(site);
+    if (!sim) {
+        for (size_t l = 0; l < lanes; ++l)
+            out[l] = logisticPwlFix(x[l]);
+        return;
+    }
+    std::array<uint64_t, 64> in, y;
+    for (size_t l = 0; l < lanes; ++l)
+        in[l] = static_cast<uint64_t>(x[l].bits());
+    sim->applyLanes(in.data(), y.data(), lanes);
+    DeviationProbe &pr = probes[site];
+    for (size_t l = 0; l < lanes; ++l) {
+        Fix16 clean = logisticPwlFix(x[l]);
+        Fix16 got =
+            Fix16::fromRaw(static_cast<int16_t>(y[l] & 0xffff));
+        pr.amplitude.add(std::abs(got.toDouble() - clean.toDouble()));
+        out[l] = got;
+    }
+}
+
+void
 Accelerator::setWeights(const MlpWeights &w)
 {
     dtann_assert(w.topology() == logical, "weight topology mismatch");
@@ -368,6 +479,48 @@ Accelerator::forwardLayer(Layer layer, std::span<const Fix16> in,
             hidSums[static_cast<size_t>(n)] = acc;
         out[static_cast<size_t>(n)] =
             unitAct(layer, n, acc.toFix16Sat());
+    }
+}
+
+void
+Accelerator::forwardLayerLanes(Layer layer,
+                               const std::vector<const Fix16 *> &in,
+                               const std::vector<Fix16 *> &out,
+                               size_t lanes)
+{
+    dtann_assert(lanes >= 1 && lanes <= 64, "lane count out of range");
+    const Fix16 one = Fix16::fromDouble(1.0);
+    int fanin = layer == Layer::Hidden ? cfg.inputs : cfg.hidden;
+    int neurons = layer == Layer::Hidden ? cfg.hidden : cfg.outputs;
+    std::array<Fix16, 64> x, p;
+    std::array<Acc24, 64> acc, addend;
+    for (int n = 0; n < neurons; ++n) {
+        Fix16 *weights = layer == Layer::Hidden
+            ? &hidWAt(n, 0) : &outWAt(n, 0);
+        for (size_t l = 0; l < lanes; ++l)
+            x[l] = in[l][0];
+        unitMulLanes(layer, n, 0, weights[0], x.data(), p.data(), lanes);
+        for (size_t l = 0; l < lanes; ++l)
+            acc[l] = Acc24::fromFix16(p[l]);
+        for (int i = 1; i <= fanin; ++i) {
+            for (size_t l = 0; l < lanes; ++l)
+                x[l] = i < fanin ? in[l][i] : one;
+            unitMulLanes(layer, n, i, weights[i], x.data(), p.data(),
+                         lanes);
+            for (size_t l = 0; l < lanes; ++l)
+                addend[l] = Acc24::fromFix16(p[l]);
+            unitAddLanes(layer, n, i - 1, acc.data(), addend.data(),
+                         lanes);
+        }
+        // Mirror the scalar loop: the readable output latches hold
+        // the last processed row's sums.
+        if (layer == Layer::Hidden)
+            hidSums[static_cast<size_t>(n)] = acc[lanes - 1];
+        for (size_t l = 0; l < lanes; ++l)
+            x[l] = acc[l].toFix16Sat();
+        unitActLanes(layer, n, x.data(), p.data(), lanes);
+        for (size_t l = 0; l < lanes; ++l)
+            out[l][n] = p[l];
     }
 }
 
@@ -445,6 +598,67 @@ Accelerator::forward(std::span<const double> input)
         act.output[static_cast<size_t>(k)] =
             out[static_cast<size_t>(k)].toDouble();
     return act;
+}
+
+std::vector<Activations>
+Accelerator::forwardBatch(std::span<const std::vector<double>> inputs)
+{
+    size_t rows = inputs.size();
+    std::vector<std::vector<Fix16>> phys(
+        rows, std::vector<Fix16>(static_cast<size_t>(cfg.inputs)));
+    for (size_t r = 0; r < rows; ++r) {
+        dtann_assert(static_cast<int>(inputs[r].size()) ==
+                         logical.inputs,
+                     "logical input arity mismatch");
+        for (size_t i = 0; i < inputs[r].size(); ++i)
+            phys[r][i] = Fix16::fromDouble(inputs[r][i]);
+    }
+
+    std::vector<std::vector<Fix16>> hid(
+        rows, std::vector<Fix16>(static_cast<size_t>(cfg.hidden)));
+    std::vector<std::vector<Fix16>> outv(
+        rows, std::vector<Fix16>(static_cast<size_t>(cfg.outputs)));
+    for (size_t pos = 0; pos < rows; pos += 64) {
+        size_t lanes = std::min<size_t>(64, rows - pos);
+        std::vector<const Fix16 *> inPtr(lanes);
+        std::vector<const Fix16 *> hidIn(lanes);
+        std::vector<Fix16 *> hidPtr(lanes), outPtr(lanes);
+        for (size_t l = 0; l < lanes; ++l) {
+            inPtr[l] = phys[pos + l].data();
+            hidIn[l] = hid[pos + l].data();
+            hidPtr[l] = hid[pos + l].data();
+            outPtr[l] = outv[pos + l].data();
+        }
+        forwardLayerLanes(Layer::Hidden, inPtr, hidPtr, lanes);
+        forwardLayerLanes(Layer::Output, hidIn, outPtr, lanes);
+    }
+
+    std::vector<Activations> acts(rows);
+    for (size_t r = 0; r < rows; ++r) {
+        Activations &act = acts[r];
+        act.hidden.resize(static_cast<size_t>(logical.hidden));
+        for (int j = 0; j < logical.hidden; ++j)
+            act.hidden[static_cast<size_t>(j)] =
+                hid[r][static_cast<size_t>(j)].toDouble();
+        act.output.resize(static_cast<size_t>(logical.outputs));
+        for (int k = 0; k < logical.outputs; ++k)
+            act.output[static_cast<size_t>(k)] =
+                outv[r][static_cast<size_t>(k)].toDouble();
+    }
+    // Mirror per-row forward(): the activation scratch holds the
+    // last processed row.
+    if (rows > 0)
+        hiddenAct = hid[rows - 1];
+    return acts;
+}
+
+SimCounters
+Accelerator::simCounters() const
+{
+    SimCounters c;
+    for (const auto &[site, sim] : faulty)
+        c.merge(sim->counters());
+    return c;
 }
 
 } // namespace dtann

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "ann/mlp.hh"
+#include "circuit/sim_counters.hh"
 #include "common/fixed_point.hh"
 #include "common/stats.hh"
 #include "rtl/builder.hh"
@@ -109,6 +110,19 @@ class Accelerator : public ForwardModel
 
     /** Forward one logical input row through the array. */
     Activations forward(std::span<const double> input) override;
+
+    /**
+     * Forward a batch of logical input rows, evaluating each faulty
+     * unit up to 64 rows per gate-level sweep (state-free fault
+     * sets) or in row order through its scalar simulation
+     * otherwise. Bit-identical to calling forward() per row,
+     * including the per-unit deviation-probe update order.
+     */
+    std::vector<Activations> forwardBatch(
+        std::span<const std::vector<double>> inputs) override;
+
+    /** Aggregate simulation work counters over all faulty units. */
+    SimCounters simCounters() const;
 
     /** Fixed-point forward on the physical array (padded input). */
     std::vector<Fix16> forwardFix(std::span<const Fix16> physical_input);
@@ -256,9 +270,24 @@ class Accelerator : public ForwardModel
     Fix16 unitLatchStore(Layer layer, int neuron, int synapse, Fix16 d);
     /** @} */
 
+    /** Lane-wise unit operations (<= 64 rows at a time). @{ */
+    void unitMulLanes(Layer layer, int neuron, int synapse, Fix16 w,
+                      const Fix16 *x, Fix16 *out, size_t lanes);
+    void unitAddLanes(Layer layer, int neuron, int stage, Acc24 *acc,
+                      const Acc24 *b, size_t lanes);
+    void unitActLanes(Layer layer, int neuron, const Fix16 *x,
+                      Fix16 *out, size_t lanes);
+    /** @} */
+
     /** Run one physical layer. */
     void forwardLayer(Layer layer, std::span<const Fix16> in,
                       std::span<Fix16> out);
+
+    /** Run one physical layer over <= 64 rows (one pointer each). */
+    void forwardLayerLanes(Layer layer,
+                           const std::vector<const Fix16 *> &in,
+                           const std::vector<Fix16 *> &out,
+                           size_t lanes);
 };
 
 } // namespace dtann

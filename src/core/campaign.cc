@@ -10,6 +10,7 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "rtl/adder.hh"
+#include "rtl/clean_model.hh"
 #include "rtl/multiplier.hh"
 #include "rtl/operator_sim.hh"
 
@@ -66,13 +67,22 @@ runFig5(const Fig5Config &config)
 
     // One independent injection per repetition; each evaluates all
     // 256 input pairs in random order to avoid special behaviour
-    // from defect-induced memory (paper Section III-A).
+    // from defect-induced memory (paper Section III-A). The pairs
+    // reach each faulty operator through applyLanes(): state-free
+    // fault sets run 64 pairs per bit-parallel sweep, stateful ones
+    // fall back to the scalar path in the same order, so histograms
+    // are bit-identical either way.
     struct RepHists
     {
         IntHistogram none, gate, trans;
+        SimCounters sim;
     };
     size_t reps = static_cast<size_t>(std::max(0, config.repetitions));
     std::vector<RepHists> hists(reps);
+
+    CleanFn clean_fn = config.op == Fig5Operator::Adder4
+        ? cleanAdder(4, true)
+        : cleanMultiplierUnsigned(4);
 
     CampaignEngine engine(config.threads, config.onCellDone);
     engine.beginCampaign(reps);
@@ -82,26 +92,33 @@ runFig5(const Fig5Config &config)
             injectTransistorDefects(*nl, config.defects, rng);
         Injection gate_inj =
             injectGateLevelFaults(*nl, config.defects, rng);
-        OperatorSim trans_sim(nl, std::move(trans_inj));
-        OperatorSim gate_sim(nl, std::move(gate_inj));
+        OperatorSim trans_sim(nl, std::move(trans_inj), clean_fn);
+        OperatorSim gate_sim(nl, std::move(gate_inj), clean_fn);
 
         std::vector<uint64_t> pairs(256);
         for (uint64_t i = 0; i < 256; ++i)
             pairs[i] = i;
         rng.shuffle(pairs);
 
+        std::vector<uint64_t> trans_out(256), gate_out(256);
+        trans_sim.applyLanes(pairs.data(), trans_out.data(), 256);
+        gate_sim.applyLanes(pairs.data(), gate_out.data(), 256);
+
         RepHists &h = hists[rep];
-        for (uint64_t in : pairs) {
+        for (size_t i = 0; i < 256; ++i) {
+            uint64_t in = pairs[i];
             uint64_t a = in & 0xf, b = in >> 4;
             int64_t clean = config.op == Fig5Operator::Adder4
                 ? static_cast<int64_t>(a + b)
                 : static_cast<int64_t>(a * b);
             h.none.add(clean);
             h.trans.add(static_cast<int64_t>(
-                trans_sim.apply(in) & ((1ull << out_bits) - 1)));
+                trans_out[i] & ((1ull << out_bits) - 1)));
             h.gate.add(static_cast<int64_t>(
-                gate_sim.apply(in) & ((1ull << out_bits) - 1)));
+                gate_out[i] & ((1ull << out_bits) - 1)));
         }
+        h.sim.merge(trans_sim.counters());
+        h.sim.merge(gate_sim.counters());
         engine.reportCell(op_name, config.defects,
                           static_cast<int>(rep), 0.0);
     });
@@ -110,7 +127,9 @@ runFig5(const Fig5Config &config)
         result.none.merge(h.none);
         result.gate.merge(h.gate);
         result.trans.merge(h.trans);
+        result.sim.merge(h.sim);
     }
+    logSimCounters("fig5", result.sim);
     return result;
 }
 
@@ -248,6 +267,7 @@ runFig10(const Fig10Config &config)
         }
 
     std::vector<double> accuracy(cells.size());
+    std::vector<SimCounters> cellSim(cells.size());
     engine.beginCampaign(cells.size());
     engine.parallelFor(cells.size(), [&](size_t i) {
         const Cell &c = cells[i];
@@ -282,6 +302,7 @@ runFig10(const Fig10Config &config)
             acc = Trainer::accuracy(accel, t.ds);
         }
         accuracy[i] = acc;
+        cellSim[i] = accel.simCounters();
         engine.reportCell(t.spec.name, defects, c.rep, acc);
     });
 
@@ -290,10 +311,13 @@ runFig10(const Fig10Config &config)
     std::vector<Fig10Curve> curves(specs.size());
     std::vector<RunningStat> stats(specs.size() *
                                    config.defectCounts.size());
-    for (size_t i = 0; i < cells.size(); ++i)
+    for (size_t i = 0; i < cells.size(); ++i) {
         stats[cells[i].task * config.defectCounts.size() +
               cells[i].variant]
             .add(accuracy[i]);
+        curves[cells[i].task].sim.merge(cellSim[i]);
+    }
+    SimCounters total;
     for (size_t t = 0; t < specs.size(); ++t) {
         curves[t].task = specs[t].name;
         for (size_t d = 0; d < config.defectCounts.size(); ++d) {
@@ -302,7 +326,9 @@ runFig10(const Fig10Config &config)
             curves[t].points.push_back(
                 {config.defectCounts[d], s.mean(), s.stddev()});
         }
+        total.merge(curves[t].sim);
     }
+    logSimCounters("fig10", total);
     return curves;
 }
 
@@ -318,6 +344,7 @@ runFig11(const Fig11Config &config)
 
     size_t reps = static_cast<size_t>(std::max(0, config.repetitions));
     std::vector<Fig11Sample> samples(specs.size() * reps);
+    std::vector<SimCounters> cellSim(samples.size());
 
     engine.beginCampaign(samples.size());
     engine.parallelFor(samples.size(), [&](size_t i) {
@@ -357,12 +384,14 @@ runFig11(const Fig11Config &config)
         sample.amplitude = amp_stat.mean();
         sample.site = records.empty() ? site.describe()
                                       : records.front().what;
+        cellSim[i] = accel.simCounters();
         engine.reportCell(t.spec.name, 1, static_cast<int>(rep),
                           sample.accuracy);
     });
 
     // Bin in cell-index order for deterministic curves.
     std::vector<Fig11Curve> curves(specs.size());
+    SimCounters total;
     for (size_t task = 0; task < specs.size(); ++task) {
         Fig11Curve &curve = curves[task];
         curve.task = specs[task].name;
@@ -371,12 +400,15 @@ runFig11(const Fig11Config &config)
             Fig11Sample &s = samples[task * reps + rep];
             bins.add(s.amplitude, s.accuracy);
             curve.samples.push_back(std::move(s));
+            curve.sim.merge(cellSim[task * reps + rep]);
         }
         for (size_t b = 0; b < bins.numBins(); ++b)
             if (bins.binStat(b).count() > 0)
                 curve.binAccuracy.push_back(
                     {bins.binCenter(b), bins.binStat(b).mean()});
+        total.merge(curve.sim);
     }
+    logSimCounters("fig11", total);
     return curves;
 }
 
@@ -393,7 +425,8 @@ Fig5Result::toJson() const
     out += ",\"histograms\":{\"none\":" + jsonHistogram(none);
     out += ",\"gate\":" + jsonHistogram(gate);
     out += ",\"trans\":" + jsonHistogram(trans);
-    out += "}}";
+    out += "},\"sim\":" + sim.toJson();
+    out += "}";
     return out;
 }
 
@@ -410,7 +443,8 @@ Fig10Curve::toJson() const
         out += ",\"accuracy\":" + jsonNumber(points[i].accuracy);
         out += ",\"stddev\":" + jsonNumber(points[i].stddev) + "}";
     }
-    out += "]}";
+    out += "],\"sim\":" + sim.toJson();
+    out += "}";
     return out;
 }
 
@@ -435,7 +469,8 @@ Fig11Curve::toJson() const
         out += ",\"accuracy\":" + jsonNumber(samples[i].accuracy);
         out += ",\"site\":\"" + jsonEscape(samples[i].site) + "\"}";
     }
-    out += "]}";
+    out += "],\"sim\":" + sim.toJson();
+    out += "}";
     return out;
 }
 

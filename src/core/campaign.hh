@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "ann/trainer.hh"
+#include "circuit/sim_counters.hh"
 #include "common/stats.hh"
 #include "core/engine.hh"
 #include "data/synth_uci.hh"
@@ -59,6 +60,7 @@ struct Fig5Result
     IntHistogram none;  ///< defect-free output distribution
     IntHistogram gate;  ///< gate-level stuck-at injections
     IntHistogram trans; ///< transistor-level injections
+    SimCounters sim;    ///< gate-simulation work accounting
 
     /** Machine-readable export (single JSON object). */
     std::string toJson() const;
@@ -99,6 +101,7 @@ struct Fig10Curve
 {
     std::string task;
     std::vector<Fig10Point> points;
+    SimCounters sim; ///< gate-simulation work over this task's cells
 
     /** Machine-readable export (single JSON object). */
     std::string toJson() const;
@@ -130,6 +133,7 @@ struct Fig11Curve
     std::string task;
     std::vector<std::pair<double, double>> binAccuracy; ///< (amp, acc)
     std::vector<Fig11Sample> samples;
+    SimCounters sim; ///< gate-simulation work over this task's cells
 
     /** Machine-readable export (single JSON object). */
     std::string toJson() const;

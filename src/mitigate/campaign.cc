@@ -132,6 +132,8 @@ runMitigationCampaign(const MitigationConfig &config)
         RunningStat accuracy, coverage, mitigated;
     };
     std::vector<PointStat> stats(specs.size() * n_strat * n_var);
+    std::vector<SimCounters> curveSim(specs.size() * n_strat);
+    SimCounters totalSim;
     for (size_t i = 0; i < cells.size(); ++i) {
         const Cell &c = cells[i];
         PointStat &p = stats[(c.task * n_strat + c.strat) * n_var +
@@ -139,7 +141,10 @@ runMitigationCampaign(const MitigationConfig &config)
         p.accuracy.add(outcomes[i].accuracy);
         p.coverage.add(outcomes[i].coverage);
         p.mitigated.add(outcomes[i].mitigatedUnits);
+        curveSim[c.task * n_strat + c.strat].merge(outcomes[i].sim);
+        totalSim.merge(outcomes[i].sim);
     }
+    logSimCounters("mitigation", totalSim);
 
     std::vector<MitigationCurve> curves;
     curves.reserve(specs.size() * n_strat);
@@ -148,6 +153,7 @@ runMitigationCampaign(const MitigationConfig &config)
             MitigationCurve curve;
             curve.task = specs[t].name;
             curve.strategy = config.strategies[s];
+            curve.sim = curveSim[t * n_strat + s];
             for (size_t d = 0; d < n_var; ++d) {
                 const PointStat &p = stats[(t * n_strat + s) * n_var + d];
                 curve.points.push_back({config.defectCounts[d],
@@ -177,7 +183,7 @@ MitigationCurve::toJson() const
         out += ",\"coverage\":" + jsonNumber(points[i].coverage);
         out += ",\"mitigated\":" + jsonNumber(points[i].mitigated) + "}";
     }
-    out += "]}";
+    out += "],\"sim\":" + sim.toJson() + "}";
     return out;
 }
 

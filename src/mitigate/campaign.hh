@@ -52,6 +52,7 @@ struct MitigationCurve
     std::string task;
     Strategy strategy;
     std::vector<MitigationPoint> points;
+    SimCounters sim; ///< gate-simulation work over this curve's cells
 
     /** Machine-readable export (single JSON object). */
     std::string toJson() const;

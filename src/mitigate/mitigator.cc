@@ -46,6 +46,7 @@ class NoOpMitigator : public Mitigator
         accel.setWeights(setup.baseline);
         MitigationOutcome out;
         out.accuracy = Trainer::accuracy(accel, setup.ds);
+        out.sim = accel.simCounters();
         return out;
     }
 };
@@ -64,6 +65,7 @@ class RetrainOnlyMitigator : public Mitigator
         inject(accel);
         MitigationOutcome out;
         out.accuracy = retrainedAccuracy(accel, setup, rng);
+        out.sim = accel.simCounters();
         return out;
     }
 };
@@ -100,6 +102,7 @@ class BypassFaultyMitigator : public Mitigator
         out.mitigatedUnits =
             static_cast<int>(accel.bypassedSites().size());
         out.accuracy = retrainedAccuracy(accel, setup, rng);
+        out.sim = accel.simCounters();
         return out;
     }
 };
@@ -132,6 +135,7 @@ class RemapToSparesMitigator : public Mitigator
         out.diagnosed = static_cast<int>(map.size());
         out.mitigatedUnits = remapped.remappedCount();
         out.accuracy = retrainedAccuracy(remapped, setup, rng);
+        out.sim = accel.simCounters();
         return out;
     }
 };

@@ -30,6 +30,7 @@
 #include <string>
 
 #include "ann/trainer.hh"
+#include "circuit/sim_counters.hh"
 #include "mitigate/bist.hh"
 
 namespace dtann {
@@ -67,6 +68,7 @@ struct MitigationOutcome
     double coverage = 1.0;
     int diagnosed = 0;      ///< suspect units flagged by BIST
     int mitigatedUnits = 0; ///< units bypassed / outputs remapped
+    SimCounters sim;        ///< gate-simulation work of this cell
 };
 
 /**

@@ -97,4 +97,21 @@ RemappedOutputMlp::forward(std::span<const double> input)
     return act;
 }
 
+std::vector<Activations>
+RemappedOutputMlp::forwardBatch(std::span<const std::vector<double>> inputs)
+{
+    std::vector<Activations> phys = accel.forwardBatch(inputs);
+    std::vector<Activations> acts(phys.size());
+    for (size_t r = 0; r < phys.size(); ++r) {
+        Activations &act = acts[r];
+        act.hidden.assign(phys[r].hidden.begin(),
+                          phys[r].hidden.begin() + logical.hidden);
+        act.output.resize(static_cast<size_t>(logical.outputs));
+        for (int k = 0; k < logical.outputs; ++k)
+            act.output[static_cast<size_t>(k)] = phys[r].output[
+                static_cast<size_t>(map[static_cast<size_t>(k)])];
+    }
+    return acts;
+}
+
 } // namespace dtann

@@ -56,6 +56,11 @@ class RemappedOutputMlp : public ForwardModel
     /** Forward, reading each logical output from its mapped row. */
     Activations forward(std::span<const double> input) override;
 
+    /** Batched forward through the accelerator's 64-lane path,
+     *  steered like forward(). */
+    std::vector<Activations> forwardBatch(
+        std::span<const std::vector<double>> inputs) override;
+
     /** The active assignment. */
     const std::vector<int> &rowMap() const { return map; }
 

@@ -1,0 +1,71 @@
+#include "rtl/clean_model.hh"
+
+#include "common/logging.hh"
+
+namespace dtann {
+
+namespace {
+
+constexpr uint64_t
+lowMask(int bits)
+{
+    return bits >= 64 ? ~0ull : (1ull << bits) - 1;
+}
+
+constexpr int64_t
+signExtend(uint64_t bits, int width)
+{
+    uint64_t sign = 1ull << (width - 1);
+    return static_cast<int64_t>((bits ^ sign)) - static_cast<int64_t>(sign);
+}
+
+} // namespace
+
+CleanFn
+cleanMultiplierSigned(int width)
+{
+    dtann_assert(width >= 1 && width <= 32, "multiplier width");
+    return [width](uint64_t in) -> uint64_t {
+        uint64_t m = lowMask(width);
+        int64_t a = signExtend(in & m, width);
+        int64_t b = signExtend((in >> width) & m, width);
+        uint64_t p = static_cast<uint64_t>(a) * static_cast<uint64_t>(b);
+        return p & lowMask(2 * width);
+    };
+}
+
+CleanFn
+cleanMultiplierUnsigned(int width)
+{
+    dtann_assert(width >= 1 && width <= 32, "multiplier width");
+    return [width](uint64_t in) -> uint64_t {
+        uint64_t m = lowMask(width);
+        uint64_t p = (in & m) * ((in >> width) & m);
+        return p & lowMask(2 * width);
+    };
+}
+
+CleanFn
+cleanAdder(int width, bool carry_out)
+{
+    dtann_assert(width >= 1 && width <= 31, "adder width");
+    return [width, carry_out](uint64_t in) -> uint64_t {
+        uint64_t m = lowMask(width);
+        uint64_t sum = (in & m) + ((in >> width) & m);
+        if (carry_out)
+            return sum & lowMask(width + 1);
+        return sum & m;
+    };
+}
+
+CleanFn
+cleanSigmoidUnit(const PwlTable &table)
+{
+    return [table](uint64_t in) -> uint64_t {
+        Fix16 x = Fix16::fromRaw(
+            static_cast<int16_t>(static_cast<uint16_t>(in & 0xffff)));
+        return sigmoidUnitRef(table, x).bits();
+    };
+}
+
+} // namespace dtann

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Native (defect-free) models of the operator netlists.
+ *
+ * Each factory returns a CleanFn with the netlist's exact packed
+ * input/output bit contract — the same function a clean unit
+ * computes in fixed-point hardware. OperatorSim hands these to the
+ * pruned/batched evaluators, which simulate only the fault cone at
+ * gate level and take every out-of-cone output bit from the native
+ * model. The models are verified bit-identical to the full netlist
+ * sweep by the differential tests.
+ */
+
+#ifndef DTANN_RTL_CLEAN_MODEL_HH
+#define DTANN_RTL_CLEAN_MODEL_HH
+
+#include "circuit/fault_cone.hh"
+#include "rtl/sigmoid_unit.hh"
+
+namespace dtann {
+
+/**
+ * Clean model of buildMultiplierSigned(width): inputs
+ * a[width] | b[width] << width, output the full signed product
+ * modulo 2^(2*width).
+ */
+CleanFn cleanMultiplierSigned(int width);
+
+/** Clean model of buildMultiplierUnsigned(width): same packing,
+ *  unsigned product. */
+CleanFn cleanMultiplierUnsigned(int width);
+
+/**
+ * Clean model of buildRippleAdder / buildCarrySelectAdder: inputs
+ * a[width] | b[width] << width, output (a + b) mod 2^width, with
+ * the carry-out appended at bit @p width when @p carry_out.
+ */
+CleanFn cleanAdder(int width, bool carry_out);
+
+/** Clean model of buildSigmoidUnit(table): x[16] -> f[16], the
+ *  bit-exact sigmoidUnitRef(). */
+CleanFn cleanSigmoidUnit(const PwlTable &table);
+
+} // namespace dtann
+
+#endif // DTANN_RTL_CLEAN_MODEL_HH

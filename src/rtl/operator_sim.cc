@@ -1,0 +1,64 @@
+#include "rtl/operator_sim.hh"
+
+#include "common/env.hh"
+
+namespace dtann {
+
+OperatorSim::OperatorSim(std::shared_ptr<const Netlist> netlist,
+                         Injection injection, CleanFn clean)
+    : nl(std::move(netlist)), records(std::move(injection.records)),
+      eval(*nl, injection.faults, noCone() ? CleanFn{} : clean),
+      batch(noBatch()
+                ? std::optional<BatchEvaluator>{}
+                : BatchEvaluator::tryCreate(
+                      *nl, std::move(injection.faults),
+                      noCone() ? CleanFn{} : std::move(clean)))
+{
+}
+
+uint64_t
+OperatorSim::apply(uint64_t input_bits)
+{
+    ++scalarVectors;
+    return eval.evaluateBits(input_bits);
+}
+
+void
+OperatorSim::applyLanes(const uint64_t *inputs, uint64_t *outputs,
+                        size_t count)
+{
+    if (!batch) {
+        // Scalar fallback: evaluation order matters (memory
+        // effects), so walk the vectors in order.
+        for (size_t i = 0; i < count; ++i)
+            outputs[i] = apply(inputs[i]);
+        return;
+    }
+    for (size_t off = 0; off < count; off += 64) {
+        size_t chunk = std::min<size_t>(64, count - off);
+        batch->evaluateLanes(inputs + off, outputs + off, chunk);
+        batchVectors += chunk;
+    }
+}
+
+void
+OperatorSim::reset()
+{
+    eval.reset();
+}
+
+SimCounters
+OperatorSim::counters() const
+{
+    SimCounters c;
+    c.scalarVectors = scalarVectors;
+    c.batchVectors = batchVectors;
+    c.gateEvals = eval.gateEvals();
+    if (batch) {
+        c.batchSweeps = batch->sweeps();
+        c.batchGateSweeps = batch->gateSweeps();
+    }
+    return c;
+}
+
+} // namespace dtann

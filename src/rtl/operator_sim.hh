@@ -5,17 +5,31 @@
  * The accelerator model routes only defective operators through
  * gate-level simulation; clean ones use native fixed-point
  * arithmetic (the paper's methodology). An OperatorSim owns the
- * evaluation state of one such defective operator instance. The
- * underlying netlist is shared (immutable) across instances of the
- * same operator shape.
+ * evaluation state of one such defective operator instance and
+ * picks the fastest exact evaluation path for its fault set:
+ *
+ *  - 64-lane batch (applyLanes): state-free fault sets on
+ *    feedback-free netlists, cone-pruned when a clean model is
+ *    available;
+ *  - cone-pruned scalar (apply): feedback-free netlists with a
+ *    clean model, any fault semantics (MEM, delay);
+ *  - full scalar relaxation: everything else (e.g. latches).
+ *
+ * All paths are bit-identical to the full scalar sweep; the env
+ * knobs DTANN_NO_BATCH / DTANN_NO_CONE force the slower paths for
+ * equivalence testing. The underlying netlist is shared (immutable)
+ * across instances of the same operator shape.
  */
 
 #ifndef DTANN_RTL_OPERATOR_SIM_HH
 #define DTANN_RTL_OPERATOR_SIM_HH
 
 #include <memory>
+#include <optional>
 
+#include "circuit/batch_evaluator.hh"
 #include "circuit/evaluator.hh"
+#include "circuit/sim_counters.hh"
 #include "rtl/fault_inject.hh"
 
 namespace dtann {
@@ -27,23 +41,45 @@ class OperatorSim
     /**
      * @param netlist the shared operator netlist
      * @param injection the faults to install
+     * @param clean optional native model of the defect-free
+     *        operator (packed bits -> packed bits); enables cone
+     *        pruning and batch splicing
      */
     OperatorSim(std::shared_ptr<const Netlist> netlist,
-                Injection injection)
-        : nl(std::move(netlist)), records(std::move(injection.records)),
-          eval(*nl, std::move(injection.faults))
-    {
-    }
+                Injection injection, CleanFn clean = {});
 
     /**
      * Evaluate the operator. Inputs are the netlist's primary
      * inputs packed LSB-first; the return value packs the primary
      * outputs. State (memory effects) persists across calls.
      */
-    uint64_t apply(uint64_t input_bits) { return eval.evaluateBits(input_bits); }
+    uint64_t apply(uint64_t input_bits);
+
+    /**
+     * Evaluate @p count packed input vectors (any count; chunked
+     * into 64-lane batches internally). Results are bit-identical
+     * to calling apply() in order; fault sets that need the scalar
+     * path fall back to exactly that, preserving state order.
+     */
+    void applyLanes(const uint64_t *inputs, uint64_t *outputs,
+                    size_t count);
 
     /** Clear any internal (defect-induced or latch) state. */
-    void reset() { eval.reset(); }
+    void reset();
+
+    /** True when applyLanes() uses the 64-lane batch path. */
+    bool batched() const { return batch.has_value(); }
+
+    /** True when apply() runs the cone-pruned scalar path. */
+    bool conePruned() const { return eval.conePruned(); }
+
+    /** True when the last apply() hit the relaxation sweep cap.
+     *  Always false on the batch path (feedback-free by
+     *  construction). */
+    bool lastOscillated() const { return eval.lastOscillated(); }
+
+    /** Work counters accumulated by this instance. */
+    SimCounters counters() const;
 
     /** Provenance of the injected faults. */
     const std::vector<InjectionRecord> &faultRecords() const
@@ -61,6 +97,9 @@ class OperatorSim
     std::shared_ptr<const Netlist> nl;
     std::vector<InjectionRecord> records;
     Evaluator eval;
+    std::optional<BatchEvaluator> batch;
+    uint64_t scalarVectors = 0;
+    uint64_t batchVectors = 0;
 };
 
 } // namespace dtann

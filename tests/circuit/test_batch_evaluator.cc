@@ -67,7 +67,7 @@ TEST(BatchEvaluator, LaneIndependence)
     }
 }
 
-TEST(BatchEvaluator, RejectsFeedbackNetlists)
+TEST(BatchEvaluator, TryCreateRejectsFeedbackNetlists)
 {
     Netlist nl;
     NetId a = nl.addNet();
@@ -76,12 +76,85 @@ TEST(BatchEvaluator, RejectsFeedbackNetlists)
     NetId q = nl.addGate(GateKind::Nand2, {a, loop});
     nl.addGateOnto(GateKind::Not, {q}, loop);
     nl.markOutput(q);
-    EXPECT_EXIT(
-        {
-            BatchEvaluator be(nl);
-            (void)be;
-        },
-        ::testing::ExitedWithCode(1), "feedback");
+
+    // Recoverable: callers probe with supports()/tryCreate() and
+    // fall back to the scalar evaluator instead of dying.
+    const char *why = nullptr;
+    EXPECT_FALSE(BatchEvaluator::supports(nl, {}, &why));
+    ASSERT_NE(why, nullptr);
+    EXPECT_NE(std::string(why).find("feedback"), std::string::npos);
+    EXPECT_FALSE(BatchEvaluator::tryCreate(nl).has_value());
+}
+
+TEST(BatchEvaluator, TryCreateRejectsStatefulFaultSets)
+{
+    Netlist nl = buildRippleAdder(4, FaStyle::Nand9, true);
+
+    FaultSet delayed;
+    delayed.delayed.insert(0);
+    EXPECT_FALSE(delayed.isStateless());
+    const char *why = nullptr;
+    EXPECT_FALSE(BatchEvaluator::supports(nl, delayed, &why));
+    ASSERT_NE(why, nullptr);
+    EXPECT_NE(std::string(why).find("stateful"), std::string::npos);
+    EXPECT_FALSE(BatchEvaluator::tryCreate(nl, delayed).has_value());
+
+    // A MEM truth-table entry also makes the set stateful.
+    FaultSet mem;
+    int arity = nl.gate(0).arity();
+    mem.overrides[0] = GateFunction(arity, 0, 1); // combo 0 floats
+    EXPECT_FALSE(mem.isStateless());
+    EXPECT_FALSE(BatchEvaluator::tryCreate(nl, mem).has_value());
+
+    // Stuck-ats and MEM-free overrides are state-free and accepted.
+    FaultSet stateless;
+    stateless.stuckAt.push_back({0, -1, true});
+    stateless.overrides[1] =
+        GateFunction::fromGateKind(nl.gate(1).kind);
+    EXPECT_TRUE(stateless.isStateless());
+    EXPECT_TRUE(BatchEvaluator::tryCreate(nl, stateless).has_value());
+}
+
+TEST(BatchEvaluator, FaultyLanesMatchScalarEvaluator)
+{
+    Netlist nl = buildMultiplierUnsigned(4, FaStyle::Nand9);
+    Rng rng(17);
+    for (int trial = 0; trial < 20; ++trial) {
+        // Random state-free fault set: stuck-ats plus a wrong-
+        // function override.
+        FaultSet faults;
+        uint32_t g1 = static_cast<uint32_t>(
+            rng.nextUint(nl.numGates()));
+        faults.stuckAt.push_back(
+            {g1, static_cast<int8_t>(-1), rng.nextUint(2) == 1});
+        uint32_t g2 = static_cast<uint32_t>(
+            rng.nextUint(nl.numGates()));
+        int in_idx =
+            static_cast<int>(rng.nextUint(
+                static_cast<uint64_t>(nl.gate(g2).arity())));
+        faults.stuckAt.push_back(
+            {g2, static_cast<int8_t>(in_idx), rng.nextUint(2) == 1});
+        uint32_t g3 = static_cast<uint32_t>(
+            rng.nextUint(nl.numGates()));
+        int arity = nl.gate(g3).arity();
+        faults.overrides[g3] = GateFunction(
+            arity,
+            static_cast<uint32_t>(rng.nextUint(1ull << (1 << arity))),
+            0);
+        ASSERT_TRUE(faults.isStateless());
+
+        Evaluator scalar(nl, faults);
+        auto batch = BatchEvaluator::tryCreate(nl, faults);
+        ASSERT_TRUE(batch.has_value());
+
+        std::vector<uint64_t> vectors(64);
+        for (auto &v : vectors)
+            v = rng.nextUint(1ull << 8);
+        auto outs = batch->evaluateVectors(vectors);
+        for (size_t l = 0; l < vectors.size(); ++l)
+            EXPECT_EQ(outs[l], scalar.evaluateBits(vectors[l]))
+                << "trial " << trial << " vector " << vectors[l];
+    }
 }
 
 TEST(BatchEvaluator, ConstantsDriveAllLanes)

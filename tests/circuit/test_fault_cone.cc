@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the fault-cone analysis feeding the pruned evaluators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/evaluator.hh"
+#include "circuit/fault_cone.hh"
+#include "common/rng.hh"
+#include "rtl/adder.hh"
+#include "rtl/fault_inject.hh"
+#include "rtl/latch.hh"
+#include "rtl/multiplier.hh"
+
+namespace dtann {
+namespace {
+
+TEST(FaultCone, EmptyFaultSetIsInvalid)
+{
+    Netlist nl = buildRippleAdder(4, FaStyle::Nand9, true);
+    FaultCone cone = computeFaultCone(nl, FaultSet{});
+    EXPECT_FALSE(cone.valid);
+}
+
+TEST(FaultCone, FeedbackNetlistIsInvalid)
+{
+    Netlist nl = buildLatchRegister(4);
+    ASSERT_TRUE(nl.hasFeedback());
+    FaultSet faults;
+    faults.stuckAt.push_back({0, -1, true});
+    FaultCone cone = computeFaultCone(nl, faults);
+    EXPECT_FALSE(cone.valid);
+}
+
+TEST(FaultCone, ActiveGatesAreClosedUnderFanIn)
+{
+    // Every active gate's input drivers must themselves be active:
+    // the pruned sweep evaluates only activeGates, so any net an
+    // active gate reads must have a simulated (or primary-input)
+    // value. The list must also be ascending = topological.
+    Netlist nl = buildMultiplierUnsigned(6, FaStyle::Nand9);
+    Rng rng(11);
+    for (int trial = 0; trial < 25; ++trial) {
+        Injection inj = injectTransistorDefects(nl, 2, rng);
+        FaultCone cone = computeFaultCone(nl, inj.faults);
+        ASSERT_TRUE(cone.valid);
+        ASSERT_FALSE(cone.activeGates.empty());
+        EXPECT_GE(cone.activeGates.size(), cone.coneSize);
+
+        std::vector<uint8_t> active(nl.numGates(), 0);
+        uint32_t prev = 0;
+        for (size_t i = 0; i < cone.activeGates.size(); ++i) {
+            uint32_t gi = cone.activeGates[i];
+            if (i > 0) {
+                EXPECT_GT(gi, prev);
+            }
+            prev = gi;
+            active[gi] = 1;
+        }
+        std::vector<uint32_t> driver(nl.numNets(), UINT32_MAX);
+        for (size_t gi = 0; gi < nl.numGates(); ++gi)
+            driver[nl.gate(gi).out] = static_cast<uint32_t>(gi);
+        for (uint32_t gi : cone.activeGates) {
+            const Gate &g = nl.gate(gi);
+            for (int i = 0; i < g.arity(); ++i) {
+                uint32_t d = driver[g.in[i]];
+                if (d != UINT32_MAX) {
+                    EXPECT_TRUE(active[d])
+                        << "gate " << gi << " reads un-simulated net";
+                }
+            }
+        }
+    }
+}
+
+TEST(FaultCone, OutOfConeOutputsAreClean)
+{
+    // The semantic guarantee behind output splicing: for every
+    // input vector, output bits outside the cone's mask are
+    // bit-identical between the faulty and the clean netlist.
+    Netlist nl = buildRippleAdder(4, FaStyle::Nand9, true);
+    Rng rng(7);
+    for (int trial = 0; trial < 25; ++trial) {
+        Injection inj = injectTransistorDefects(nl, 1, rng);
+        FaultCone cone = computeFaultCone(nl, inj.faults);
+        ASSERT_TRUE(cone.valid);
+
+        Evaluator clean(nl);
+        Evaluator faulty(nl, inj.faults);
+        for (uint64_t v = 0; v < 256; ++v) {
+            uint64_t c = clean.evaluateBits(v);
+            uint64_t f = faulty.evaluateBits(v);
+            EXPECT_EQ(c & ~cone.outputMask, f & ~cone.outputMask)
+                << "trial " << trial << " vector " << v;
+        }
+    }
+}
+
+TEST(FaultCone, SingleOutputGateFaultHasNarrowCone)
+{
+    // A stuck-at on the gate driving the carry-out (the netlist's
+    // last gate) can only affect outputs fed by that gate.
+    Netlist nl = buildRippleAdder(8, FaStyle::Nand9, true);
+    uint32_t last = static_cast<uint32_t>(nl.numGates() - 1);
+    FaultSet faults;
+    faults.stuckAt.push_back({last, -1, true});
+    FaultCone cone = computeFaultCone(nl, faults);
+    ASSERT_TRUE(cone.valid);
+    // The fanout cone is small even though the support reaches back
+    // through the whole carry chain.
+    EXPECT_LT(cone.coneSize, nl.numGates() / 2);
+    EXPECT_NE(cone.outputMask, 0u);
+}
+
+} // namespace
+} // namespace dtann

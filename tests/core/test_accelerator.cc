@@ -213,6 +213,56 @@ TEST(Accelerator, TrainableThroughFaultyForward)
     EXPECT_GT(faulty_acc, 0.6) << "retraining failed to recover";
 }
 
+TEST(Accelerator, ForwardBatchMatchesPerRowForward)
+{
+    // Two accelerators with identical defects: one fed row by row,
+    // one through forwardBatch (64-lane gate-level batches under
+    // the hood). Outputs and per-site deviation-probe statistics
+    // must be bit-identical — the invariant that makes the batched
+    // campaigns equivalent to the scalar ones.
+    MlpTopology topo{12, 4, 3};
+    Accelerator a(smallArray(), topo);
+    Accelerator b(smallArray(), topo);
+    MlpWeights w(topo);
+    Rng rng(23);
+    w.initRandom(rng, 2.0);
+
+    Rng inj_a(31), inj_b(31);
+    DefectInjector ia(a, SitePool::all());
+    ia.inject(6, inj_a);
+    DefectInjector ib(b, SitePool::all());
+    ib.inject(6, inj_b);
+    ASSERT_EQ(a.faultySites(), b.faultySites());
+    a.setWeights(w);
+    b.setWeights(w);
+
+    // 150 rows: two full 64-lane batches plus a 22-lane remainder.
+    std::vector<std::vector<double>> rows(150,
+                                          std::vector<double>(12));
+    for (auto &r : rows)
+        for (double &v : r)
+            v = rng.nextDouble();
+    std::vector<Activations> batch = b.forwardBatch(rows);
+    ASSERT_EQ(batch.size(), rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+        Activations ref = a.forward(rows[i]);
+        EXPECT_EQ(ref.output, batch[i].output) << "row " << i;
+        EXPECT_EQ(ref.hidden, batch[i].hidden) << "row " << i;
+    }
+
+    for (const UnitSite &s : a.faultySites()) {
+        const DeviationProbe &pa = a.probe(s);
+        const DeviationProbe &pb = b.probe(s);
+        EXPECT_EQ(pa.amplitude.count(), pb.amplitude.count());
+        EXPECT_EQ(pa.amplitude.mean(), pb.amplitude.mean());
+        EXPECT_EQ(pa.amplitude.stddev(), pb.amplitude.stddev());
+    }
+
+    // The batched side actually used the 64-lane path for its
+    // state-free sims.
+    EXPECT_GT(b.simCounters().vectors(), 0u);
+}
+
 TEST(UnitSite, OrderingAndDescription)
 {
     UnitSite a{UnitKind::Multiplier, Layer::Hidden, 0, 1};

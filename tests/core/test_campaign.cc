@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "core/campaign.hh"
 
 namespace dtann {
@@ -64,6 +66,28 @@ TEST(Fig5, MultiplierConfigurationRuns)
     EXPECT_EQ(r.none.at(225), 10u); // 15*15 only
     EXPECT_GT(r.trans.total(), 0u);
     EXPECT_GT(r.gate.total(), 0u);
+}
+
+TEST(Fig5, BatchAndConePathsAreBitIdenticalToScalar)
+{
+    // The campaign's 64-lane / cone-pruned hot path must reproduce
+    // the scalar relaxation results exactly: force the slow paths
+    // via the env knobs and compare whole histograms.
+    Fig5Config cfg = fig5Config(Fig5Operator::Adder4, 3, 30, 9);
+    Fig5Result fast = runFig5(cfg);
+
+    setenv("DTANN_NO_BATCH", "1", 1);
+    setenv("DTANN_NO_CONE", "1", 1);
+    Fig5Result slow = runFig5(cfg);
+    unsetenv("DTANN_NO_BATCH");
+    unsetenv("DTANN_NO_CONE");
+
+    EXPECT_EQ(fast.none.totalVariation(slow.none), 0.0);
+    EXPECT_EQ(fast.trans.totalVariation(slow.trans), 0.0);
+    EXPECT_EQ(fast.gate.totalVariation(slow.gate), 0.0);
+    // The forced run did all its work on the scalar path.
+    EXPECT_EQ(slow.sim.batchVectors, 0u);
+    EXPECT_GT(fast.sim.batchVectors, 0u);
 }
 
 TEST(Fig10, TinyCampaignShowsToleranceShape)

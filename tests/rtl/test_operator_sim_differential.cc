@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Differential suite: the cone-pruned scalar path and the 64-lane
+ * batched path of OperatorSim must be bit-identical to the full
+ * scalar relaxation sweep, for random transistor-level injections
+ * on every operator shape the accelerator simulates — including
+ * the stateless-vs-stateful fallback decision and the oscillation
+ * flag.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "ann/sigmoid.hh"
+#include "circuit/evaluator.hh"
+#include "common/rng.hh"
+#include "rtl/adder.hh"
+#include "rtl/clean_model.hh"
+#include "rtl/latch.hh"
+#include "rtl/multiplier.hh"
+#include "rtl/operator_sim.hh"
+#include "rtl/sigmoid_unit.hh"
+
+namespace dtann {
+namespace {
+
+/**
+ * Run @p trials random injections on @p nl. Per trial: evaluate a
+ * random input sequence on the plain scalar Evaluator (no clean
+ * model, full sweep — the reference semantics), then assert the
+ * OperatorSim batch path (applyLanes) and cone-pruned scalar path
+ * (apply) produce bit-identical outputs and the same oscillation
+ * flag, and that the batch fallback decision matches
+ * FaultSet::isStateless().
+ */
+void
+runDifferential(std::shared_ptr<const Netlist> nl, CleanFn clean,
+                int input_bits, int trials, size_t vectors,
+                uint64_t seed)
+{
+    Rng rng(seed);
+    int batched_trials = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+        int defects = 1 + static_cast<int>(rng.nextUint(4));
+        Injection inj = injectTransistorDefects(*nl, defects, rng);
+        const bool stateless = inj.faults.isStateless();
+
+        std::vector<uint64_t> in(vectors);
+        for (auto &v : in)
+            v = rng.nextUint(1ull << input_bits);
+
+        // Reference: full scalar sweep over every gate.
+        Evaluator ref(*nl, inj.faults);
+        std::vector<uint64_t> want(vectors);
+        for (size_t i = 0; i < vectors; ++i)
+            want[i] = ref.evaluateBits(in[i]);
+        const bool ref_osc = ref.lastOscillated();
+
+        // Batched path (falls back to ordered scalar applies for
+        // stateful fault sets / feedback netlists).
+        Injection inj_lanes{inj.faults, inj.records};
+        OperatorSim lanes(nl, std::move(inj_lanes), clean);
+        EXPECT_EQ(lanes.batched(),
+                  stateless && !nl->hasFeedback() && clean != nullptr)
+            << "trial " << trial;
+        std::vector<uint64_t> got(vectors);
+        lanes.applyLanes(in.data(), got.data(), vectors);
+        for (size_t i = 0; i < vectors; ++i)
+            EXPECT_EQ(got[i], want[i])
+                << "lanes trial " << trial << " vector " << in[i];
+        EXPECT_EQ(lanes.lastOscillated(), ref_osc) << "trial " << trial;
+
+        // Cone-pruned scalar path, one apply() per vector.
+        Injection inj_scalar{inj.faults, inj.records};
+        OperatorSim scalar(nl, std::move(inj_scalar), clean);
+        EXPECT_EQ(scalar.conePruned(),
+                  clean != nullptr && !nl->hasFeedback())
+            << "trial " << trial;
+        for (size_t i = 0; i < vectors; ++i)
+            EXPECT_EQ(scalar.apply(in[i]), want[i])
+                << "scalar trial " << trial << " vector " << in[i];
+        EXPECT_EQ(scalar.lastOscillated(), ref_osc) << "trial " << trial;
+
+        batched_trials += lanes.batched() ? 1 : 0;
+    }
+    // Both sides of the fallback decision must actually be
+    // exercised on feedback-free shapes: transistor-level
+    // reconstruction yields a mix of state-free and MEM behaviours.
+    if (clean && !nl->hasFeedback()) {
+        EXPECT_GT(batched_trials, 0);
+        EXPECT_LT(batched_trials, trials);
+    } else {
+        EXPECT_EQ(batched_trials, 0);
+    }
+}
+
+TEST(OperatorSimDifferential, RippleAdder24)
+{
+    auto nl = std::make_shared<Netlist>(
+        buildRippleAdder(24, FaStyle::Nand9, false));
+    runDifferential(nl, cleanAdder(24, false), 48, 200, 24, 101);
+}
+
+TEST(OperatorSimDifferential, MultiplierSigned16)
+{
+    auto nl = std::make_shared<Netlist>(
+        buildMultiplierSigned(16, FaStyle::Nand9));
+    runDifferential(nl, cleanMultiplierSigned(16), 32, 200, 16, 202);
+}
+
+TEST(OperatorSimDifferential, SigmoidUnit)
+{
+    auto nl = std::make_shared<Netlist>(
+        buildSigmoidUnit(logisticPwlTable(), FaStyle::Nand9));
+    runDifferential(nl, cleanSigmoidUnit(logisticPwlTable()), 16, 200,
+                    24, 303);
+}
+
+TEST(OperatorSimDifferential, LatchRegister16)
+{
+    // Feedback netlist: no clean model, no pruning, no batching —
+    // applyLanes must fall back to ordered scalar applies so latch
+    // state evolves exactly as the reference.
+    auto nl =
+        std::make_shared<Netlist>(buildLatchRegister(16));
+    ASSERT_TRUE(nl->hasFeedback());
+    runDifferential(nl, CleanFn{}, 17, 200, 24, 404);
+}
+
+TEST(OperatorSimDifferential, EnvKnobsForceSlowPaths)
+{
+    // DTANN_NO_BATCH / DTANN_NO_CONE are the equivalence-testing
+    // escape hatches: they must force the fallback paths without
+    // changing a single output bit.
+    auto nl = std::make_shared<Netlist>(
+        buildMultiplierUnsigned(8, FaStyle::Nand9));
+    CleanFn clean = cleanMultiplierUnsigned(8);
+    Rng rng(55);
+    FaultSet faults;
+    faults.stuckAt.push_back(
+        {static_cast<uint32_t>(rng.nextUint(nl->numGates())), -1, true});
+    ASSERT_TRUE(faults.isStateless());
+
+    std::vector<uint64_t> in(96);
+    for (auto &v : in)
+        v = rng.nextUint(1ull << 16);
+    std::vector<uint64_t> want(in.size());
+    {
+        OperatorSim fast(nl, Injection{faults, {}}, clean);
+        ASSERT_TRUE(fast.batched());
+        ASSERT_TRUE(fast.conePruned());
+        fast.applyLanes(in.data(), want.data(), in.size());
+    }
+
+    setenv("DTANN_NO_BATCH", "1", 1);
+    {
+        OperatorSim sim(nl, Injection{faults, {}}, clean);
+        EXPECT_FALSE(sim.batched());
+        EXPECT_TRUE(sim.conePruned());
+        std::vector<uint64_t> got(in.size());
+        sim.applyLanes(in.data(), got.data(), in.size());
+        EXPECT_EQ(got, want);
+    }
+    setenv("DTANN_NO_CONE", "1", 1);
+    {
+        OperatorSim sim(nl, Injection{faults, {}}, clean);
+        EXPECT_FALSE(sim.batched());
+        EXPECT_FALSE(sim.conePruned());
+        std::vector<uint64_t> got(in.size());
+        sim.applyLanes(in.data(), got.data(), in.size());
+        EXPECT_EQ(got, want);
+    }
+    unsetenv("DTANN_NO_BATCH");
+    {
+        OperatorSim sim(nl, Injection{faults, {}}, clean);
+        EXPECT_TRUE(sim.batched());
+        EXPECT_FALSE(sim.conePruned());
+        std::vector<uint64_t> got(in.size());
+        sim.applyLanes(in.data(), got.data(), in.size());
+        EXPECT_EQ(got, want);
+    }
+    unsetenv("DTANN_NO_CONE");
+}
+
+TEST(OperatorSimDifferential, CountersAccountForEveryVector)
+{
+    auto nl = std::make_shared<Netlist>(
+        buildMultiplierUnsigned(6, FaStyle::Nand9));
+    CleanFn clean = cleanMultiplierUnsigned(6);
+    FaultSet faults;
+    faults.stuckAt.push_back({3, -1, false});
+
+    OperatorSim sim(nl, Injection{faults, {}}, clean);
+    ASSERT_TRUE(sim.batched());
+    std::vector<uint64_t> in(130, 5), out(130);
+    sim.applyLanes(in.data(), out.data(), in.size());
+    uint64_t scalar_one = sim.apply(5);
+    EXPECT_EQ(scalar_one, out[0]);
+
+    SimCounters c = sim.counters();
+    EXPECT_EQ(c.batchVectors, 130u);
+    EXPECT_EQ(c.scalarVectors, 1u);
+    EXPECT_EQ(c.vectors(), 131u);
+    EXPECT_EQ(c.batchSweeps, 3u); // 64 + 64 + 2 lanes
+    EXPECT_GT(c.gateEvals, 0u);
+    EXPECT_GT(c.laneOccupancy(), 0.5);
+    EXPECT_LT(c.scalarFallbackRate(), 0.01);
+}
+
+} // namespace
+} // namespace dtann
