@@ -31,7 +31,7 @@ deviationRate(ForwardModel &model, ForwardModel &ref, int inputs,
         std::vector<double> in(static_cast<size_t>(inputs));
         for (double &v : in)
             v = rng.nextDouble();
-        if (model.forward(in).output != ref.forward(in).output)
+        if (model.forward(in).output() != ref.forward(in).output())
             ++deviating;
     }
     return static_cast<double>(deviating) / rows;

@@ -42,6 +42,12 @@ class DecodedAccelerator : public ForwardModel
         return accel.forward(input);
     }
 
+    std::vector<Activations>
+    forwardBatch(std::span<const std::vector<double>> inputs) override
+    {
+        return accel.forwardBatch(inputs);
+    }
+
   private:
     Accelerator &accel;
     WriteDecoder &decoder;

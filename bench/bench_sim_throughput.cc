@@ -10,11 +10,17 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "ann/sigmoid.hh"
 #include "circuit/batch_evaluator.hh"
 #include "circuit/evaluator.hh"
 #include "common/env.hh"
 #include "common/rng.hh"
+#include "core/deep_mux.hh"
+#include "core/injector.hh"
+#include "core/spare.hh"
+#include "core/timemux.hh"
 #include "rtl/adder.hh"
 #include "rtl/clean_model.hh"
 #include "rtl/fault_inject.hh"
@@ -250,6 +256,161 @@ BM_BatchEvalMultiplier16(benchmark::State &state)
         state.iterations() * 64 * nl.numGates()));
 }
 BENCHMARK(BM_BatchEvalMultiplier16);
+
+// ---------------------------------------------------------------
+// Model-level forward throughput: the campaign hot loop is a
+// test-set sweep through a (possibly defective) ForwardModel, so
+// these bound campaign runtime directly. Each family compares the
+// per-row scalar loop (Arg 0) against forwardBatch (Arg 1); all use
+// one lane-batchable injected defect so the batched variants
+// measure the hoisted 64-lane path, and a 256-row sweep so lane
+// groups are full.
+
+constexpr size_t kSweepRows = 256;
+
+std::vector<std::vector<double>>
+sweepRows(int width, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<double>> rows(kSweepRows);
+    for (auto &row : rows) {
+        row.resize(static_cast<size_t>(width));
+        for (double &v : row)
+            v = rng.nextDouble();
+    }
+    return rows;
+}
+
+/**
+ * Build a 12-4-3 array mapped to @p topo with one injected defect
+ * whose faulty sim is lane-batchable (redrawing sites until
+ * batchPure() holds, the model-level analogue of the state-free
+ * redraw above).
+ */
+std::unique_ptr<Accelerator>
+pureFaultyArray(MlpTopology topo, uint64_t seed)
+{
+    AcceleratorConfig cfg;
+    cfg.inputs = 12;
+    cfg.hidden = 4;
+    cfg.outputs = 3;
+    Rng rng(seed);
+    std::unique_ptr<Accelerator> accel;
+    do {
+        accel = std::make_unique<Accelerator>(cfg, topo);
+        DefectInjector inj(*accel, SitePool::inputAndHidden());
+        inj.inject(1, rng);
+    } while (!accel->batchPure());
+    return accel;
+}
+
+void
+sweepModel(benchmark::State &state, ForwardModel &model,
+           const std::vector<std::vector<double>> &rows)
+{
+    if (state.range(0)) {
+        for (auto _ : state) {
+            auto acts = model.forwardBatch(rows);
+            benchmark::DoNotOptimize(acts.data());
+        }
+    } else {
+        for (auto _ : state) {
+            for (const auto &row : rows) {
+                Activations act = model.forward(row);
+                benchmark::DoNotOptimize(act.layers.data());
+            }
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * rows.size()));
+    state.counters["rows/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations() * rows.size()),
+        benchmark::Counter::kIsRate);
+}
+
+void
+BM_AcceleratorForwardFaulty(benchmark::State &state)
+{
+    // The plain-Accelerator sweep: the per-vector cost baseline the
+    // wrapper batch paths are held to (within 2x).
+    auto accel = pureFaultyArray({12, 4, 3}, 21);
+    MlpWeights w({12, 4, 3});
+    Rng wr(7);
+    w.initRandom(wr, 1.2);
+    accel->setWeights(w);
+    sweepModel(state, *accel, sweepRows(12, 8));
+}
+BENCHMARK(BM_AcceleratorForwardFaulty)->Arg(0)->Arg(1);
+
+void
+BM_TimeMuxForwardFaulty(benchmark::State &state)
+{
+    // Fit topology (mux factor 1): isolates the mux engine's
+    // per-pass weight-reload overhead against the plain sweep.
+    auto accel = pureFaultyArray({12, 4, 3}, 21);
+    TimeMuxedMlp mux(*accel, {12, 4, 3});
+    MlpWeights w({12, 4, 3});
+    Rng wr(7);
+    w.initRandom(wr, 1.2);
+    mux.setWeights(w);
+    sweepModel(state, mux, sweepRows(12, 8));
+}
+BENCHMARK(BM_TimeMuxForwardFaulty)->Arg(0)->Arg(1);
+
+void
+BM_TimeMuxForwardFaultyMuxed(benchmark::State &state)
+{
+    // Oversized logical network (mux factor 4): the Fig 5/10/11
+    // campaign shape where batching pays the most.
+    auto accel = pureFaultyArray({12, 4, 3}, 21);
+    TimeMuxedMlp mux(*accel, {12, 12, 3});
+    MlpWeights w({12, 12, 3});
+    Rng wr(7);
+    w.initRandom(wr, 1.2);
+    mux.setWeights(w);
+    sweepModel(state, mux, sweepRows(12, 8));
+}
+BENCHMARK(BM_TimeMuxForwardFaultyMuxed)->Arg(0)->Arg(1);
+
+void
+BM_SpareForwardFaulty(benchmark::State &state)
+{
+    AcceleratorConfig cfg;
+    cfg.inputs = 12;
+    cfg.hidden = 4;
+    cfg.outputs = 6; // 3 copies of 2 logical outputs
+    MlpTopology logical{12, 4, 2};
+    Rng rng(33);
+    std::unique_ptr<Accelerator> accel;
+    do {
+        accel = std::make_unique<Accelerator>(
+            cfg, sparedTopology(logical, 3));
+        DefectInjector inj(*accel, SitePool::outputCritical());
+        inj.inject(1, rng);
+    } while (!accel->batchPure());
+    SparedOutputMlp spared(*accel, logical, 3);
+    MlpWeights w(logical);
+    Rng wr(7);
+    w.initRandom(wr, 1.2);
+    spared.setWeights(w);
+    sweepModel(state, spared, sweepRows(12, 8));
+}
+BENCHMARK(BM_SpareForwardFaulty)->Arg(0)->Arg(1);
+
+void
+BM_DeepMuxForwardFaulty(benchmark::State &state)
+{
+    // 3-stage stack on the same array: the deep-campaign hot loop.
+    auto accel = pureFaultyArray({12, 4, 3}, 21);
+    DeepTopology topo{{12, 9, 7, 3}};
+    DeepMuxedNetwork deep(*accel, topo);
+    DeepWeights w(topo);
+    Rng wr(7);
+    w.initRandom(wr, 1.0);
+    deep.setLayerWeights(w);
+    sweepModel(state, deep, sweepRows(12, 8));
+}
+BENCHMARK(BM_DeepMuxForwardFaulty)->Arg(0)->Arg(1);
 
 } // namespace
 

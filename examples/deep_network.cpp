@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "ann/trainer.hh"
 #include "core/deep_mux.hh"
 #include "core/injector.hh"
 #include "data/synth_uci.hh"
@@ -37,23 +38,23 @@ main()
     std::printf(" on the 90-10-10 array: %zu passes per row\n",
                 deep.passesPerRow());
 
-    DeepTrainer trainer(60, 0.3, 0.3);
+    Trainer trainer({10, 60, 0.3, 0.3});
     DeepWeights init(topo);
     init.initRandom(rng, 1.2);
-    DeepWeights w = trainer.train(deep, ds, rng, &init);
+    DeepWeights w = trainer.trainLayers(deep, ds, rng, &init);
     std::printf("clean accuracy        : %.3f\n",
-                DeepTrainer::accuracy(deep, ds));
+                evalAccuracy(deep, ds));
 
     DefectInjector injector(accel, SitePool::inputAndHidden(),
                             SiteWeighting::Uniform);
     injector.inject(6, rng);
     std::printf("with 6 defects        : %.3f (every logical layer "
                 "shares the faulty units)\n",
-                DeepTrainer::accuracy(deep, ds));
+                evalAccuracy(deep, ds));
 
-    DeepTrainer retrainer(20, 0.3, 0.3);
-    retrainer.train(deep, ds, rng, &w);
+    Trainer retrainer({10, 20, 0.3, 0.3});
+    retrainer.trainLayers(deep, ds, rng, &w);
     std::printf("after retraining      : %.3f\n",
-                DeepTrainer::accuracy(deep, ds));
+                evalAccuracy(deep, ds));
     return 0;
 }

@@ -28,7 +28,7 @@ main()
     Trainer trainer({6, 60, 0.1, 0.1});
     trainer.train(accel, ds, rng);
     std::printf("spam-filter accuracy: %.3f\n",
-                Trainer::accuracy(accel, ds));
+                evalAccuracy(accel, ds));
 
     // Stream the test set through the double-buffered DMA channel.
     HandshakeChannel<DmaRow> in_ch;

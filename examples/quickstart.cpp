@@ -41,7 +41,7 @@ main()
     Trainer trainer({6, 120, 0.2, 0.1});
     MlpWeights weights = trainer.train(accel, ds, rng);
     std::printf("clean accuracy      : %.3f\n",
-                Trainer::accuracy(accel, ds));
+                evalAccuracy(accel, ds));
 
     // 4. Silicon happens: a dozen random transistor-level defects
     //    in the input and hidden layers (operators and latches
@@ -53,13 +53,13 @@ main()
     for (const auto &r : records)
         std::printf("  %s\n", r.what.c_str());
     std::printf("accuracy w/ defects : %.3f (no retraining)\n",
-                Trainer::accuracy(accel, ds));
+                evalAccuracy(accel, ds));
 
     // 5. Retrain through the faulty hardware: back-propagation
     //    silences the faulty elements.
     Trainer retrainer({6, 40, 0.2, 0.1});
     retrainer.train(accel, ds, rng, &weights);
     std::printf("accuracy retrained  : %.3f\n",
-                Trainer::accuracy(accel, ds));
+                evalAccuracy(accel, ds));
     return 0;
 }

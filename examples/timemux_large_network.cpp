@@ -73,7 +73,7 @@ main()
     Trainer trainer({10, 12, 0.3, 0.1});
     trainer.train(mux, ds, rng);
     std::printf("accuracy after training   : %.3f\n",
-                Trainer::accuracy(mux, ds));
+                evalAccuracy(mux, ds));
 
     // Defect multiplication: one faulty physical activation is
     // shared by every logical neuron that rides it.
@@ -81,6 +81,6 @@ main()
     injector.inject(2, rng);
     std::printf("accuracy with 2 defects   : %.3f (mux factor "
                 "multiplies their reach)\n",
-                Trainer::accuracy(mux, ds));
+                evalAccuracy(mux, ds));
     return 0;
 }

@@ -16,7 +16,7 @@ crossValidate(ForwardModel &model, const Dataset &ds, int k,
         Dataset train_set = complementSubset(ds, folds, f);
         Dataset test_set = subset(ds, folds[f]);
         trainer.train(model, train_set, rng, init);
-        stat.add(Trainer::accuracy(model, test_set));
+        stat.add(evalAccuracy(model, test_set));
     }
     return {stat.mean(), stat.stddev(), k};
 }

@@ -1,75 +1,30 @@
 #include "ann/deep.hh"
 
-#include <numeric>
-
 #include "ann/sigmoid.hh"
-#include "ann/trainer.hh"
 #include "common/logging.hh"
 
 namespace dtann {
 
-DeepWeights::DeepWeights(DeepTopology t) : topo(std::move(t))
+MlpTopology
+FloatDeepMlp::topology() const
 {
-    dtann_assert(topo.layers.size() >= 3,
-                 "deep topology needs input, >=1 hidden, output");
-    for (int width : topo.layers)
-        dtann_assert(width >= 1, "degenerate layer");
-    stages_.resize(topo.stages());
-    for (size_t s = 0; s < topo.stages(); ++s)
-        stages_[s].assign(
-            static_cast<size_t>(topo.layers[s + 1]) *
-                static_cast<size_t>(topo.layers[s] + 1),
-            0.0);
-}
-
-double &
-DeepWeights::at(size_t s, int j, int i)
-{
-    dtann_assert(s < topo.stages(), "stage out of range");
-    dtann_assert(j >= 0 && j < topo.layers[s + 1] && i >= 0 &&
-                     i <= topo.layers[s],
-                 "weight index out of range");
-    return stages_[s][static_cast<size_t>(j) *
-                          static_cast<size_t>(topo.layers[s] + 1) +
-                      static_cast<size_t>(i)];
-}
-
-double
-DeepWeights::at(size_t s, int j, int i) const
-{
-    return const_cast<DeepWeights *>(this)->at(s, j, i);
+    return {topo.inputs(), topo.layers[topo.layers.size() - 2],
+            topo.outputs()};
 }
 
 void
-DeepWeights::initRandom(Rng &rng, double range)
-{
-    for (auto &stage : stages_)
-        for (double &w : stage)
-            w = rng.nextDouble(-range, range);
-}
-
-size_t
-DeepWeights::count() const
-{
-    size_t total = 0;
-    for (const auto &stage : stages_)
-        total += stage.size();
-    return total;
-}
-
-void
-FloatDeepMlp::setWeights(const DeepWeights &w)
+FloatDeepMlp::setLayerWeights(const DeepWeights &w)
 {
     dtann_assert(w.topology() == topo, "weight topology mismatch");
     weights = w;
 }
 
-std::vector<std::vector<double>>
-FloatDeepMlp::forwardAll(std::span<const double> input)
+Activations
+FloatDeepMlp::forward(std::span<const double> input)
 {
     dtann_assert(static_cast<int>(input.size()) == topo.inputs(),
                  "input arity mismatch");
-    std::vector<std::vector<double>> acts;
+    Activations act;
     std::vector<double> current(input.begin(), input.end());
     for (size_t s = 0; s < topo.stages(); ++s) {
         int fanin = topo.layers[s];
@@ -81,114 +36,10 @@ FloatDeepMlp::forwardAll(std::span<const double> input)
                 o += weights.at(s, j, i) * current[static_cast<size_t>(i)];
             next[static_cast<size_t>(j)] = logistic(o);
         }
-        acts.push_back(next);
+        act.layers.push_back(next);
         current = std::move(next);
     }
-    return acts;
-}
-
-DeepWeights
-DeepTrainer::train(DeepForwardModel &model, const Dataset &train_set,
-                   Rng &rng, const DeepWeights *init) const
-{
-    DeepTopology topo = model.topology();
-    dtann_assert(topo.inputs() == train_set.numAttributes,
-                 "dataset arity mismatch");
-    dtann_assert(topo.outputs() >= train_set.numClasses,
-                 "too few outputs for dataset classes");
-
-    DeepWeights w(topo);
-    if (init) {
-        dtann_assert(init->topology() == topo,
-                     "init weight topology mismatch");
-        w = *init;
-    } else {
-        w.initRandom(rng);
-    }
-    DeepWeights delta(topo);
-    model.setWeights(w);
-
-    std::vector<size_t> order(train_set.size());
-    std::iota(order.begin(), order.end(), 0);
-
-    // Per-layer gradient buffers.
-    std::vector<std::vector<double>> grad(topo.stages());
-    for (size_t s = 0; s < topo.stages(); ++s)
-        grad[s].resize(static_cast<size_t>(topo.layers[s + 1]));
-
-    for (int epoch = 0; epoch < epochs; ++epoch) {
-        rng.shuffle(order);
-        for (size_t n : order) {
-            const auto &x = train_set.rows[n];
-            auto acts = model.forwardAll(x);
-
-            // Output layer gradient.
-            size_t last = topo.stages() - 1;
-            for (int k = 0; k < topo.outputs(); ++k) {
-                double y = acts[last][static_cast<size_t>(k)];
-                double t = k == train_set.labels[n] ? 1.0 : 0.0;
-                grad[last][static_cast<size_t>(k)] =
-                    logisticDerivFromY(y) * (t - y);
-            }
-            // Back-propagate through the hidden stages.
-            for (size_t s = last; s-- > 0;) {
-                int width = topo.layers[s + 1];
-                int above = topo.layers[s + 2];
-                for (int j = 0; j < width; ++j) {
-                    double back = 0.0;
-                    for (int k = 0; k < above; ++k)
-                        back += grad[s + 1][static_cast<size_t>(k)] *
-                            w.at(s + 1, k, j);
-                    grad[s][static_cast<size_t>(j)] =
-                        logisticDerivFromY(
-                            acts[s][static_cast<size_t>(j)]) *
-                        back;
-                }
-            }
-            // Updates with momentum; layer s's input is acts[s-1]
-            // (or the row itself for s = 0).
-            for (size_t s = 0; s < topo.stages(); ++s) {
-                int fanin = topo.layers[s];
-                int width = topo.layers[s + 1];
-                for (int j = 0; j < width; ++j) {
-                    double g = grad[s][static_cast<size_t>(j)];
-                    for (int i = 0; i < fanin; ++i) {
-                        double in_val = s == 0
-                            ? x[static_cast<size_t>(i)]
-                            : acts[s - 1][static_cast<size_t>(i)];
-                        double d = learningRate * g * in_val +
-                            momentum * delta.at(s, j, i);
-                        delta.at(s, j, i) = d;
-                        w.at(s, j, i) += d;
-                    }
-                    double db = learningRate * g +
-                        momentum * delta.at(s, j, fanin);
-                    delta.at(s, j, fanin) = db;
-                    w.at(s, j, fanin) += db;
-                }
-            }
-            model.setWeights(w);
-        }
-    }
-    return w;
-}
-
-double
-DeepTrainer::accuracy(DeepForwardModel &model, const Dataset &test_set)
-{
-    if (test_set.size() == 0)
-        return 0.0;
-    size_t correct = 0;
-    for (size_t n = 0; n < test_set.size(); ++n) {
-        auto acts = model.forwardAll(test_set.rows[n]);
-        std::span<const double> outs(
-            acts.back().data(),
-            static_cast<size_t>(test_set.numClasses));
-        if (argmax(outs) == test_set.labels[n])
-            ++correct;
-    }
-    return static_cast<double>(correct) /
-        static_cast<double>(test_set.size());
+    return act;
 }
 
 } // namespace dtann

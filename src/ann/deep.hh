@@ -5,79 +5,22 @@
  * The paper's future work targets Deep Networks ("ANNs made of a
  * large number of wide layers ... recently shown to outperform
  * SVMs") mapped onto the array via time-multiplexing. This module
- * generalizes the 2-layer MLP: an arbitrary stack of sigmoid
- * layers, its float reference model, and back-propagation through
- * all layers. The accelerator-backed counterpart lives in
- * core/deep_mux.hh.
+ * holds the float reference for an arbitrary stack of sigmoid
+ * layers on the unified ForwardModel hierarchy; layer stacks are
+ * described by DeepTopology/DeepWeights (ann/mlp.hh) and trained by
+ * the one staged Trainer (ann/trainer.hh). The accelerator-backed
+ * counterpart lives in core/deep_mux.hh.
  */
 
 #ifndef DTANN_ANN_DEEP_HH
 #define DTANN_ANN_DEEP_HH
 
-#include <span>
-#include <vector>
-
-#include "common/rng.hh"
-#include "data/dataset.hh"
+#include "ann/mlp.hh"
 
 namespace dtann {
 
-/** Layer widths, input first, output last (>= 3 entries). */
-struct DeepTopology
-{
-    std::vector<int> layers;
-
-    int inputs() const { return layers.front(); }
-    int outputs() const { return layers.back(); }
-    /** Number of weight matrices (= layers.size() - 1). */
-    size_t stages() const { return layers.size() - 1; }
-
-    bool operator==(const DeepTopology &o) const = default;
-};
-
-/** Dense weights: stage s maps layer s to layer s+1, bias last. */
-class DeepWeights
-{
-  public:
-    DeepWeights() = default;
-    explicit DeepWeights(DeepTopology topo);
-
-    const DeepTopology &topology() const { return topo; }
-
-    /** Weight from unit @p i of layer @p s (bias when i equals
-     *  that layer's width) to unit @p j of layer s+1. @{ */
-    double &at(size_t s, int j, int i);
-    double at(size_t s, int j, int i) const;
-    /** @} */
-
-    void initRandom(Rng &rng, double range = 0.5);
-
-    size_t count() const;
-
-  private:
-    DeepTopology topo;
-    std::vector<std::vector<double>> stages_;
-};
-
-/** Forward path of a deep network. */
-class DeepForwardModel
-{
-  public:
-    virtual ~DeepForwardModel() = default;
-
-    virtual DeepTopology topology() const = 0;
-    virtual void setWeights(const DeepWeights &w) = 0;
-
-    /**
-     * Run one row; returns post-activation values of every layer
-     * after the input (activations[s] is layer s+1's output).
-     */
-    virtual std::vector<std::vector<double>> forwardAll(
-        std::span<const double> input) = 0;
-};
-
-/** Double-precision reference (exact sigmoid). */
-class FloatDeepMlp : public DeepForwardModel
+/** Double-precision reference deep network (exact sigmoid). */
+class FloatDeepMlp : public ForwardModel
 {
   public:
     explicit FloatDeepMlp(DeepTopology topo)
@@ -85,43 +28,21 @@ class FloatDeepMlp : public DeepForwardModel
     {
     }
 
-    DeepTopology topology() const override { return topo; }
-    void setWeights(const DeepWeights &w) override;
-    std::vector<std::vector<double>> forwardAll(
-        std::span<const double> input) override;
+    /** 2-layer view: {inputs, last hidden width, outputs}. */
+    MlpTopology topology() const override;
+    DeepTopology layerTopology() const override { return topo; }
+    void setLayerWeights(const DeepWeights &w) override;
+    Activations forward(std::span<const double> input) override;
+    std::vector<Activations> forwardBatch(
+        std::span<const std::vector<double>> inputs) override
+    {
+        return rowLoopBatch(inputs); // native arithmetic: a row loop
+                                     // is already the fastest path
+    }
 
   private:
     DeepTopology topo;
     DeepWeights weights;
-};
-
-/** Back-propagation through an arbitrary layer stack. */
-class DeepTrainer
-{
-  public:
-    /**
-     * @param epochs training epochs
-     * @param learning_rate step size
-     * @param momentum per-weight momentum factor
-     */
-    DeepTrainer(int epochs, double learning_rate, double momentum)
-        : epochs(epochs), learningRate(learning_rate),
-          momentum(momentum)
-    {
-    }
-
-    /** Train @p model on @p train_set (MSE, one-hot targets). */
-    DeepWeights train(DeepForwardModel &model, const Dataset &train_set,
-                      Rng &rng, const DeepWeights *init = nullptr) const;
-
-    /** Classification accuracy (argmax over the task's classes). */
-    static double accuracy(DeepForwardModel &model,
-                           const Dataset &test_set);
-
-  private:
-    int epochs;
-    double learningRate;
-    double momentum;
 };
 
 } // namespace dtann

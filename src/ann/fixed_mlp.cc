@@ -92,13 +92,11 @@ FixedMlp::forward(std::span<const double> input)
         fix_in[i] = Fix16::fromDouble(input[i]);
     std::vector<Fix16> out = forwardFix(fix_in);
 
-    Activations act;
-    act.hidden.resize(hiddenAct.size());
+    Activations act(hiddenAct.size(), out.size());
     for (size_t j = 0; j < hiddenAct.size(); ++j)
-        act.hidden[j] = hiddenAct[j].toDouble();
-    act.output.resize(out.size());
+        act.hidden()[j] = hiddenAct[j].toDouble();
     for (size_t k = 0; k < out.size(); ++k)
-        act.output[k] = out[k].toDouble();
+        act.output()[k] = out[k].toDouble();
     return act;
 }
 

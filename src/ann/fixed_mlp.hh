@@ -30,6 +30,13 @@ class FixedMlp : public ForwardModel
 
     Activations forward(std::span<const double> input) override;
 
+    std::vector<Activations> forwardBatch(
+        std::span<const std::vector<double>> inputs) override
+    {
+        return rowLoopBatch(inputs); // native arithmetic: a row loop
+                                     // is already the fastest path
+    }
+
     /** Forward on already-quantized inputs (used by tests). */
     std::vector<Fix16> forwardFix(std::span<const Fix16> input);
 

@@ -1,6 +1,5 @@
 #include "ann/fixed_trainer.hh"
 
-#include <numeric>
 #include <vector>
 
 #include "common/logging.hh"
@@ -18,34 +17,28 @@ mac(Fix16 acc, Fix16 a, Fix16 b)
 
 } // namespace
 
-MlpWeights
-FixedTrainer::train(ForwardModel &model, const Dataset &train_set,
-                    Rng &rng, const MlpWeights *init) const
+DeepWeights
+FixedTrainer::trainLayers(ForwardModel &model, const Dataset &train_set,
+                          Rng &rng, const DeepWeights *init) const
 {
-    MlpTopology topo = model.topology();
-    dtann_assert(topo.inputs == train_set.numAttributes,
+    DeepTopology topo = model.layerTopology();
+    dtann_assert(topo.inputs() == train_set.numAttributes,
                  "dataset arity mismatch");
-    dtann_assert(topo.outputs >= train_set.numClasses,
+    dtann_assert(topo.outputs() >= train_set.numClasses,
                  "too few outputs for dataset classes");
 
-    // Q6.10 shadow weights.
-    size_t n_hid = static_cast<size_t>(topo.hidden) *
-        static_cast<size_t>(topo.inputs + 1);
-    size_t n_out = static_cast<size_t>(topo.outputs) *
-        static_cast<size_t>(topo.hidden + 1);
-    std::vector<Fix16> hid_w(n_hid), out_w(n_out);
-    auto hid_at = [&](int j, int i) -> Fix16 & {
-        return hid_w[static_cast<size_t>(j) *
-                         static_cast<size_t>(topo.inputs + 1) +
+    // Q6.10 shadow weights, one flat array per stage (bias last).
+    std::vector<std::vector<Fix16>> sw(topo.stages());
+    for (size_t s = 0; s < topo.stages(); ++s)
+        sw[s].resize(static_cast<size_t>(topo.layers[s + 1]) *
+                     static_cast<size_t>(topo.layers[s] + 1));
+    auto at = [&](size_t s, int j, int i) -> Fix16 & {
+        return sw[s][static_cast<size_t>(j) *
+                         static_cast<size_t>(topo.layers[s] + 1) +
                      static_cast<size_t>(i)];
     };
-    auto out_at = [&](int k, int j) -> Fix16 & {
-        return out_w[static_cast<size_t>(k) *
-                         static_cast<size_t>(topo.hidden + 1) +
-                     static_cast<size_t>(j)];
-    };
 
-    MlpWeights w(topo);
+    DeepWeights w(topo);
     if (init) {
         dtann_assert(init->topology() == topo,
                      "init weight topology mismatch");
@@ -53,49 +46,47 @@ FixedTrainer::train(ForwardModel &model, const Dataset &train_set,
     } else {
         w.initRandom(rng);
     }
-    for (int j = 0; j < topo.hidden; ++j)
-        for (int i = 0; i <= topo.inputs; ++i)
-            hid_at(j, i) = Fix16::fromDouble(w.hid(j, i));
-    for (int k = 0; k < topo.outputs; ++k)
-        for (int j = 0; j <= topo.hidden; ++j)
-            out_at(k, j) = Fix16::fromDouble(w.out(k, j));
+    for (size_t s = 0; s < topo.stages(); ++s)
+        for (int j = 0; j < topo.layers[s + 1]; ++j)
+            for (int i = 0; i <= topo.layers[s]; ++i)
+                at(s, j, i) = Fix16::fromDouble(w.at(s, j, i));
 
     auto push = [&]() {
-        for (int j = 0; j < topo.hidden; ++j)
-            for (int i = 0; i <= topo.inputs; ++i)
-                w.hid(j, i) = hid_at(j, i).toDouble();
-        for (int k = 0; k < topo.outputs; ++k)
-            for (int j = 0; j <= topo.hidden; ++j)
-                w.out(k, j) = out_at(k, j).toDouble();
-        model.setWeights(w);
+        for (size_t s = 0; s < topo.stages(); ++s)
+            for (int j = 0; j < topo.layers[s + 1]; ++j)
+                for (int i = 0; i <= topo.layers[s]; ++i)
+                    w.at(s, j, i) = at(s, j, i).toDouble();
+        model.setLayerWeights(w);
     };
     push();
 
     const Fix16 lr = Fix16::fromDouble(hyper.learningRate);
     const Fix16 one = Fix16::fromDouble(1.0);
 
-    std::vector<size_t> order(train_set.size());
-    std::iota(order.begin(), order.end(), 0);
-    std::vector<Fix16> delta_out(static_cast<size_t>(topo.outputs));
-    std::vector<Fix16> delta_hid(static_cast<size_t>(topo.hidden));
-    std::vector<Fix16> x(static_cast<size_t>(topo.inputs));
-    std::vector<Fix16> hid_act(static_cast<size_t>(topo.hidden));
+    std::vector<Fix16> x(static_cast<size_t>(topo.inputs()));
+    std::vector<std::vector<Fix16>> act_fx(topo.stages());
+    std::vector<std::vector<Fix16>> grad(topo.stages());
+    for (size_t s = 0; s < topo.stages(); ++s) {
+        act_fx[s].resize(static_cast<size_t>(topo.layers[s + 1]));
+        grad[s].resize(static_cast<size_t>(topo.layers[s + 1]));
+    }
 
-    for (int epoch = 0; epoch < hyper.epochs; ++epoch) {
-        rng.shuffle(order);
-        for (size_t n : order) {
-            for (int i = 0; i < topo.inputs; ++i)
+    runTrainingEpochs(
+        model, train_set, rng, hyper.epochs, [&](size_t n) {
+            for (int i = 0; i < topo.inputs(); ++i)
                 x[static_cast<size_t>(i)] = Fix16::fromDouble(
                     train_set.rows[n][static_cast<size_t>(i)]);
             Activations act = model.forward(train_set.rows[n]);
-            for (int j = 0; j < topo.hidden; ++j)
-                hid_act[static_cast<size_t>(j)] = Fix16::fromDouble(
-                    act.hidden[static_cast<size_t>(j)]);
+            for (size_t s = 0; s < topo.stages(); ++s)
+                for (int j = 0; j < topo.layers[s + 1]; ++j)
+                    act_fx[s][static_cast<size_t>(j)] =
+                        Fix16::fromDouble(
+                            act.layers[s][static_cast<size_t>(j)]);
 
             // Output gradients: (t - y) * y * (1 - y), all Q6.10.
-            for (int k = 0; k < topo.outputs; ++k) {
-                Fix16 y = Fix16::fromDouble(
-                    act.output[static_cast<size_t>(k)]);
+            size_t last = topo.stages() - 1;
+            for (int k = 0; k < topo.outputs(); ++k) {
+                Fix16 y = act_fx[last][static_cast<size_t>(k)];
                 Fix16 t = Fix16::fromDouble(
                     k == train_set.labels[n] ? 1.0 : 0.0);
                 Fix16 err = Fix16::satAdd(
@@ -103,48 +94,61 @@ FixedTrainer::train(ForwardModel &model, const Dataset &train_set,
                 Fix16 deriv = Fix16::satMul(
                     y, Fix16::satAdd(one,
                                      Fix16::fromDouble(-y.toDouble())));
-                delta_out[static_cast<size_t>(k)] =
+                grad[last][static_cast<size_t>(k)] =
                     Fix16::satMul(deriv, err);
             }
-            // Hidden gradients.
-            for (int j = 0; j < topo.hidden; ++j) {
-                Fix16 back;
-                for (int k = 0; k < topo.outputs; ++k)
-                    back = mac(back, delta_out[static_cast<size_t>(k)],
-                               out_at(k, j));
-                Fix16 h = hid_act[static_cast<size_t>(j)];
-                Fix16 deriv = Fix16::satMul(
-                    h, Fix16::satAdd(one,
-                                     Fix16::fromDouble(-h.toDouble())));
-                delta_hid[static_cast<size_t>(j)] =
-                    Fix16::satMul(deriv, back);
+            // Hidden-stage gradients.
+            for (size_t s = last; s-- > 0;) {
+                int width = topo.layers[s + 1];
+                int above = topo.layers[s + 2];
+                for (int j = 0; j < width; ++j) {
+                    Fix16 back;
+                    for (int k = 0; k < above; ++k)
+                        back = mac(back,
+                                   grad[s + 1][static_cast<size_t>(k)],
+                                   at(s + 1, k, j));
+                    Fix16 h = act_fx[s][static_cast<size_t>(j)];
+                    Fix16 deriv = Fix16::satMul(
+                        h,
+                        Fix16::satAdd(
+                            one, Fix16::fromDouble(-h.toDouble())));
+                    grad[s][static_cast<size_t>(j)] =
+                        Fix16::satMul(deriv, back);
+                }
             }
-            // Updates: w += lr * delta * activation (no momentum in
+            // Updates: w += lr * grad * activation (no momentum in
             // the on-line datapath; Q6.10 momentum memory would
             // underflow immediately).
-            for (int k = 0; k < topo.outputs; ++k) {
-                Fix16 scaled =
-                    Fix16::satMul(lr, delta_out[static_cast<size_t>(k)]);
-                for (int j = 0; j < topo.hidden; ++j)
-                    out_at(k, j) =
-                        mac(out_at(k, j), scaled,
-                            hid_act[static_cast<size_t>(j)]);
-                out_at(k, topo.hidden) =
-                    Fix16::satAdd(out_at(k, topo.hidden), scaled);
-            }
-            for (int j = 0; j < topo.hidden; ++j) {
-                Fix16 scaled =
-                    Fix16::satMul(lr, delta_hid[static_cast<size_t>(j)]);
-                for (int i = 0; i < topo.inputs; ++i)
-                    hid_at(j, i) = mac(hid_at(j, i), scaled,
-                                       x[static_cast<size_t>(i)]);
-                hid_at(j, topo.inputs) =
-                    Fix16::satAdd(hid_at(j, topo.inputs), scaled);
+            for (size_t s = 0; s < topo.stages(); ++s) {
+                int fanin = topo.layers[s];
+                int width = topo.layers[s + 1];
+                const std::vector<Fix16> &in_fx =
+                    s == 0 ? x : act_fx[s - 1];
+                for (int j = 0; j < width; ++j) {
+                    Fix16 scaled = Fix16::satMul(
+                        lr, grad[s][static_cast<size_t>(j)]);
+                    for (int i = 0; i < fanin; ++i)
+                        at(s, j, i) = mac(at(s, j, i), scaled,
+                                          in_fx[static_cast<size_t>(i)]);
+                    at(s, j, fanin) =
+                        Fix16::satAdd(at(s, j, fanin), scaled);
+                }
             }
             push();
-        }
-    }
+        });
     return w;
+}
+
+MlpWeights
+FixedTrainer::train(ForwardModel &model, const Dataset &train_set,
+                    Rng &rng, const MlpWeights *init) const
+{
+    if (init) {
+        DeepWeights init_layers = toLayerWeights(*init);
+        return toMlpWeights(
+            trainLayers(model, train_set, rng, &init_layers));
+    }
+    return toMlpWeights(trainLayers(model, train_set, rng));
 }
 
 } // namespace dtann

@@ -9,7 +9,9 @@
  * models that extension: gradients, deltas and weight updates are
  * all computed in Q6.10 with hardware semantics, so the entire
  * learning loop could live next to the array (smart sensors,
- * industrial control — the paper's on-line use cases).
+ * industrial control — the paper's on-line use cases). It trains
+ * through an arbitrary layer stack, sharing the epoch core in
+ * ann/train_core.hh with the float Trainer.
  *
  * Q6.10 weight updates underflow for very small gradients, so
  * on-line training prefers somewhat larger learning rates; the
@@ -31,7 +33,8 @@ class FixedTrainer
     explicit FixedTrainer(Hyper hyper) : hyper(hyper) {}
 
     /**
-     * Train @p model on @p train_set with fixed-point updates.
+     * Train @p model on @p train_set with fixed-point updates
+     * (2-layer convenience wrapper around trainLayers()).
      *
      * The shadow weights are Q6.10; every arithmetic step uses
      * saturating fixed-point operations (a training datapath would
@@ -41,6 +44,12 @@ class FixedTrainer
      */
     MlpWeights train(ForwardModel &model, const Dataset &train_set,
                      Rng &rng, const MlpWeights *init = nullptr) const;
+
+    /** Train through the model's full layer stack (the canonical
+     *  entry point — train() is defined in terms of it). */
+    DeepWeights trainLayers(ForwardModel &model,
+                            const Dataset &train_set, Rng &rng,
+                            const DeepWeights *init = nullptr) const;
 
     const Hyper &hyperParams() const { return hyper; }
 

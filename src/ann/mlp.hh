@@ -4,8 +4,11 @@
  * double-precision reference forward model.
  *
  * The paper's network is a 2-layer MLP (one hidden layer, sigmoid
- * activations). Each neuron has a bias, modelled as one extra
- * synapse whose input is the constant 1.
+ * activations); the Section VII extensions stack more layers. Each
+ * neuron has a bias, modelled as one extra synapse whose input is
+ * the constant 1. One model hierarchy serves both shapes: every
+ * ForwardModel produces the full layer stack of activations, and
+ * batched evaluation is the canonical entry point.
  */
 
 #ifndef DTANN_ANN_MLP_HH
@@ -14,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "circuit/sim_counters.hh"
 #include "common/rng.hh"
 
 namespace dtann {
@@ -27,6 +31,22 @@ struct MlpTopology
 
     bool operator==(const MlpTopology &o) const = default;
 };
+
+/** Layer widths, input first, output last (>= 3 entries). */
+struct DeepTopology
+{
+    std::vector<int> layers;
+
+    int inputs() const { return layers.front(); }
+    int outputs() const { return layers.back(); }
+    /** Number of weight matrices (= layers.size() - 1). */
+    size_t stages() const { return layers.size() - 1; }
+
+    bool operator==(const DeepTopology &o) const = default;
+};
+
+/** View a 2-layer topology as a layer stack. */
+DeepTopology toLayerTopology(MlpTopology t);
 
 /**
  * Dense weight storage: hidden weights are [hidden][inputs + 1]
@@ -64,11 +84,67 @@ class MlpWeights
     std::vector<double> outputW;
 };
 
-/** Post-activation values produced by one forward pass. */
+/** Dense weights: stage s maps layer s to layer s+1, bias last. */
+class DeepWeights
+{
+  public:
+    DeepWeights() = default;
+    explicit DeepWeights(DeepTopology topo);
+
+    const DeepTopology &topology() const { return topo; }
+
+    /** Weight from unit @p i of layer @p s (bias when i equals
+     *  that layer's width) to unit @p j of layer s+1. @{ */
+    double &at(size_t s, int j, int i);
+    double at(size_t s, int j, int i) const;
+    /** @} */
+
+    void initRandom(Rng &rng, double range = 0.5);
+
+    size_t count() const;
+
+  private:
+    DeepTopology topo;
+    std::vector<std::vector<double>> stages_;
+};
+
+/** View 2-layer weights as a 2-stage stack (exact value copy). */
+DeepWeights toLayerWeights(const MlpWeights &w);
+
+/** Collapse a 2-stage stack to 2-layer weights (exact value copy). */
+MlpWeights toMlpWeights(const DeepWeights &w);
+
+/**
+ * Post-activation values of every layer after the input:
+ * layers.front() is the first hidden layer, layers.back() the
+ * output layer. 2-layer models produce exactly two entries.
+ */
 struct Activations
 {
-    std::vector<double> hidden;
-    std::vector<double> output;
+    std::vector<std::vector<double>> layers;
+
+    Activations() = default;
+
+    /** Allocate a 2-layer record (hidden + output). */
+    Activations(size_t hidden_size, size_t output_size)
+        : layers{std::vector<double>(hidden_size),
+                 std::vector<double>(output_size)}
+    {
+    }
+
+    /** Output-layer values. @{ */
+    std::vector<double> &output() { return layers.back(); }
+    const std::vector<double> &output() const { return layers.back(); }
+    /** @} */
+
+    /** The hidden layer feeding the output (the only hidden layer
+     *  of a 2-layer model). @{ */
+    std::vector<double> &hidden() { return layers[layers.size() - 2]; }
+    const std::vector<double> &hidden() const
+    {
+        return layers[layers.size() - 2];
+    }
+    /** @} */
 };
 
 /**
@@ -79,38 +155,59 @@ struct Activations
  * reference, the fixed-point model, or the (possibly defective)
  * hardware accelerator model. This is how retraining "factors in
  * the faulty elements".
+ *
+ * forwardBatch() is the canonical evaluation entry point: campaign
+ * test sweeps hand whole datasets to the model so faulty operators
+ * can be evaluated up to 64 rows per gate-level sweep. The scalar
+ * forward() is defined in terms of it; models with a cheaper native
+ * scalar path (training updates weights per sample) override
+ * forward() and may implement forwardBatch() with rowLoopBatch().
+ * A concrete model must override at least one of the two.
  */
 class ForwardModel
 {
   public:
     virtual ~ForwardModel() = default;
 
-    /** Network dimensions. */
+    /** Network dimensions, collapsed to the 2-layer view
+     *  {inputs, width of the layer feeding the output, outputs}
+     *  (exact for 2-layer models). */
     virtual MlpTopology topology() const = 0;
 
-    /** Install weights (hardware models quantize/write latches). */
-    virtual void setWeights(const MlpWeights &w) = 0;
+    /** Full layer stack; the default is the 2-layer topology(). */
+    virtual DeepTopology layerTopology() const;
 
-    /** Run one input row through the network. */
-    virtual Activations forward(std::span<const double> input) = 0;
+    /** Install 2-layer weights (hardware models quantize/write
+     *  latches). The default wraps them into a 2-stage stack and
+     *  calls setLayerWeights(). */
+    virtual void setWeights(const MlpWeights &w);
+
+    /** Install a full weight stack. The default requires a 2-stage
+     *  stack and calls setWeights(). */
+    virtual void setLayerWeights(const DeepWeights &w);
+
+    /** Run one input row; the default evaluates a 1-row batch. */
+    virtual Activations forward(std::span<const double> input);
 
     /**
-     * Run a batch of input rows. Semantically identical to calling
-     * forward() on each row in order — the default does exactly
-     * that, which is already optimal for native models. Hardware
-     * models override it to push rows through their faulty
-     * operators 64 lanes per gate-level sweep; results stay
-     * bit-identical to the per-row path.
+     * Run a batch of input rows — the canonical entry point.
+     * Results are semantically identical to calling forward() on
+     * each row in order; hardware models push rows through their
+     * faulty operators 64 lanes per gate-level sweep.
      */
     virtual std::vector<Activations>
-    forwardBatch(std::span<const std::vector<double>> inputs)
-    {
-        std::vector<Activations> out;
-        out.reserve(inputs.size());
-        for (const auto &row : inputs)
-            out.push_back(forward(row));
-        return out;
-    }
+    forwardBatch(std::span<const std::vector<double>> inputs) = 0;
+
+    /** Gate-evaluation work of any underlying faulty-operator
+     *  simulations (zero for native models). Wrapper models report
+     *  their backing Accelerator's counters. */
+    virtual SimCounters simCounters() const { return {}; }
+
+  protected:
+    /** Row-at-a-time batch fallback: exact per-row semantics for
+     *  models without (or temporarily denied) a lane-batched path. */
+    std::vector<Activations>
+    rowLoopBatch(std::span<const std::vector<double>> inputs);
 };
 
 /** Double-precision reference MLP (exact sigmoid). */
@@ -122,6 +219,12 @@ class FloatMlp : public ForwardModel
     MlpTopology topology() const override { return topo; }
     void setWeights(const MlpWeights &w) override;
     Activations forward(std::span<const double> input) override;
+    std::vector<Activations> forwardBatch(
+        std::span<const std::vector<double>> inputs) override
+    {
+        return rowLoopBatch(inputs); // native arithmetic: a row loop
+                                     // is already the fastest path
+    }
 
   private:
     MlpTopology topo;

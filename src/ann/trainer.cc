@@ -1,34 +1,21 @@
 #include "ann/trainer.hh"
 
-#include <numeric>
-
 #include "ann/sigmoid.hh"
 #include "common/logging.hh"
 
 namespace dtann {
 
-int
-argmax(std::span<const double> values)
+DeepWeights
+Trainer::trainLayers(ForwardModel &model, const Dataset &train_set,
+                     Rng &rng, const DeepWeights *init) const
 {
-    dtann_assert(!values.empty(), "argmax of empty span");
-    size_t best = 0;
-    for (size_t i = 1; i < values.size(); ++i)
-        if (values[i] > values[best])
-            best = i;
-    return static_cast<int>(best);
-}
-
-MlpWeights
-Trainer::train(ForwardModel &model, const Dataset &train_set,
-               Rng &rng, const MlpWeights *init) const
-{
-    MlpTopology topo = model.topology();
-    dtann_assert(topo.inputs == train_set.numAttributes,
+    DeepTopology topo = model.layerTopology();
+    dtann_assert(topo.inputs() == train_set.numAttributes,
                  "dataset arity mismatch");
-    dtann_assert(topo.outputs >= train_set.numClasses,
+    dtann_assert(topo.outputs() >= train_set.numClasses,
                  "too few outputs for dataset classes");
 
-    MlpWeights w(topo);
+    DeepWeights w(topo);
     if (init) {
         dtann_assert(init->topology() == topo,
                      "init weight topology mismatch");
@@ -36,119 +23,80 @@ Trainer::train(ForwardModel &model, const Dataset &train_set,
     } else {
         w.initRandom(rng);
     }
-    MlpWeights delta(topo); // momentum memory, zero-initialized
-    model.setWeights(w);
+    DeepWeights delta(topo); // momentum memory, zero-initialized
+    model.setLayerWeights(w);
 
-    std::vector<size_t> order(train_set.size());
-    std::iota(order.begin(), order.end(), 0);
+    // Per-layer gradient buffers.
+    std::vector<std::vector<double>> grad(topo.stages());
+    for (size_t s = 0; s < topo.stages(); ++s)
+        grad[s].resize(static_cast<size_t>(topo.layers[s + 1]));
 
-    std::vector<double> target(static_cast<size_t>(topo.outputs));
-    std::vector<double> delta_out(static_cast<size_t>(topo.outputs));
-    std::vector<double> delta_hid(static_cast<size_t>(topo.hidden));
-
-    for (int epoch = 0; epoch < hyper.epochs; ++epoch) {
-        rng.shuffle(order);
-        for (size_t n : order) {
+    runTrainingEpochs(
+        model, train_set, rng, hyper.epochs, [&](size_t n) {
             const auto &x = train_set.rows[n];
             Activations act = model.forward(x);
-
-            std::fill(target.begin(), target.end(), 0.0);
-            target[static_cast<size_t>(train_set.labels[n])] = 1.0;
+            const auto &acts = act.layers;
 
             // Output-layer gradients from post-activation values.
-            for (int k = 0; k < topo.outputs; ++k) {
-                double y = act.output[static_cast<size_t>(k)];
-                delta_out[static_cast<size_t>(k)] =
-                    logisticDerivFromY(y) *
-                    (target[static_cast<size_t>(k)] - y);
+            size_t last = topo.stages() - 1;
+            for (int k = 0; k < topo.outputs(); ++k) {
+                double y = acts[last][static_cast<size_t>(k)];
+                double t = k == train_set.labels[n] ? 1.0 : 0.0;
+                grad[last][static_cast<size_t>(k)] =
+                    logisticDerivFromY(y) * (t - y);
             }
-            // Hidden-layer gradients.
-            for (int j = 0; j < topo.hidden; ++j) {
-                double back = 0.0;
-                for (int k = 0; k < topo.outputs; ++k)
-                    back += delta_out[static_cast<size_t>(k)] * w.out(k, j);
-                delta_hid[static_cast<size_t>(j)] =
-                    logisticDerivFromY(act.hidden[static_cast<size_t>(j)]) *
-                    back;
-            }
-            // Weight updates with momentum.
-            for (int k = 0; k < topo.outputs; ++k) {
-                double dk = delta_out[static_cast<size_t>(k)];
-                for (int j = 0; j < topo.hidden; ++j) {
-                    double d = hyper.learningRate * dk *
-                            act.hidden[static_cast<size_t>(j)] +
-                        hyper.momentum * delta.out(k, j);
-                    delta.out(k, j) = d;
-                    w.out(k, j) += d;
+            // Back-propagate through the hidden stages.
+            for (size_t s = last; s-- > 0;) {
+                int width = topo.layers[s + 1];
+                int above = topo.layers[s + 2];
+                for (int j = 0; j < width; ++j) {
+                    double back = 0.0;
+                    for (int k = 0; k < above; ++k)
+                        back += grad[s + 1][static_cast<size_t>(k)] *
+                            w.at(s + 1, k, j);
+                    grad[s][static_cast<size_t>(j)] =
+                        logisticDerivFromY(
+                            acts[s][static_cast<size_t>(j)]) *
+                        back;
                 }
-                double db = hyper.learningRate * dk +
-                    hyper.momentum * delta.out(k, topo.hidden);
-                delta.out(k, topo.hidden) = db;
-                w.out(k, topo.hidden) += db;
             }
-            for (int j = 0; j < topo.hidden; ++j) {
-                double dj = delta_hid[static_cast<size_t>(j)];
-                for (int i = 0; i < topo.inputs; ++i) {
-                    double d = hyper.learningRate * dj *
-                            x[static_cast<size_t>(i)] +
-                        hyper.momentum * delta.hid(j, i);
-                    delta.hid(j, i) = d;
-                    w.hid(j, i) += d;
+            // Updates with momentum; layer s's input is acts[s-1]
+            // (or the row itself for s = 0).
+            for (size_t s = 0; s < topo.stages(); ++s) {
+                int fanin = topo.layers[s];
+                int width = topo.layers[s + 1];
+                for (int j = 0; j < width; ++j) {
+                    double g = grad[s][static_cast<size_t>(j)];
+                    for (int i = 0; i < fanin; ++i) {
+                        double in_val = s == 0
+                            ? x[static_cast<size_t>(i)]
+                            : acts[s - 1][static_cast<size_t>(i)];
+                        double d = hyper.learningRate * g * in_val +
+                            hyper.momentum * delta.at(s, j, i);
+                        delta.at(s, j, i) = d;
+                        w.at(s, j, i) += d;
+                    }
+                    double db = hyper.learningRate * g +
+                        hyper.momentum * delta.at(s, j, fanin);
+                    delta.at(s, j, fanin) = db;
+                    w.at(s, j, fanin) += db;
                 }
-                double db = hyper.learningRate * dj +
-                    hyper.momentum * delta.hid(j, topo.inputs);
-                delta.hid(j, topo.inputs) = db;
-                w.hid(j, topo.inputs) += db;
             }
-            model.setWeights(w);
-        }
-    }
+            model.setLayerWeights(w);
+        });
     return w;
 }
 
-double
-Trainer::accuracy(ForwardModel &model, const Dataset &test_set)
+MlpWeights
+Trainer::train(ForwardModel &model, const Dataset &train_set,
+               Rng &rng, const MlpWeights *init) const
 {
-    if (test_set.size() == 0)
-        return 0.0;
-    size_t correct = 0;
-    // Test sweeps have no feedback into the weights, so rows go
-    // through the batched forward path (64 rows per gate-level
-    // sweep on faulty hardware); training cannot do this, as it
-    // updates weights after every sample.
-    std::span<const std::vector<double>> rows(test_set.rows);
-    std::vector<Activations> acts = model.forwardBatch(rows);
-    for (size_t n = 0; n < acts.size(); ++n) {
-        // Restrict the prediction to the classes the task uses (the
-        // physical network may have spare outputs).
-        std::span<const double> outs(
-            acts[n].output.data(),
-            static_cast<size_t>(test_set.numClasses));
-        if (argmax(outs) == test_set.labels[n])
-            ++correct;
+    if (init) {
+        DeepWeights init_layers = toLayerWeights(*init);
+        return toMlpWeights(
+            trainLayers(model, train_set, rng, &init_layers));
     }
-    return static_cast<double>(correct) /
-        static_cast<double>(test_set.size());
-}
-
-double
-Trainer::mse(ForwardModel &model, const Dataset &test_set)
-{
-    if (test_set.size() == 0)
-        return 0.0;
-    double total = 0.0;
-    int outputs = model.topology().outputs;
-    std::span<const std::vector<double>> rows(test_set.rows);
-    std::vector<Activations> acts = model.forwardBatch(rows);
-    for (size_t n = 0; n < acts.size(); ++n) {
-        for (int k = 0; k < outputs; ++k) {
-            double t =
-                k == test_set.labels[n] ? 1.0 : 0.0;
-            double e = t - acts[n].output[static_cast<size_t>(k)];
-            total += e * e;
-        }
-    }
-    return total / (static_cast<double>(test_set.size()) * outputs);
+    return toMlpWeights(trainLayers(model, train_set, rng));
 }
 
 } // namespace dtann

@@ -4,17 +4,19 @@
  *
  * The trainer owns double-precision shadow weights and updates them
  * with classic online back-propagation (learning rate + momentum,
- * MSE objective). Forward activations come from a ForwardModel —
- * the float reference, the fixed-point model, or the (possibly
+ * MSE objective) through an arbitrary stack of sigmoid layers — the
+ * 2-layer paper networks and the Section VII deep stacks share this
+ * one implementation. Forward activations come from a ForwardModel
+ * — the float reference, the fixed-point model, or the (possibly
  * defective) accelerator — so retraining silences faulty elements
- * exactly as the paper describes.
+ * exactly as the paper describes. Evaluation helpers (accuracy,
+ * MSE) live in ann/train_core.hh and run batch-first.
  */
 
 #ifndef DTANN_ANN_TRAINER_HH
 #define DTANN_ANN_TRAINER_HH
 
-#include "ann/mlp.hh"
-#include "data/dataset.hh"
+#include "ann/train_core.hh"
 
 namespace dtann {
 
@@ -38,7 +40,8 @@ class Trainer
     explicit Trainer(Hyper hyper) : hyper(hyper) {}
 
     /**
-     * Train @p model on @p train_set.
+     * Train @p model on @p train_set (2-layer convenience wrapper
+     * around trainLayers()).
      *
      * @param model forward path; receives weight updates each step
      * @param train_set training examples (normalized to [0, 1])
@@ -50,20 +53,20 @@ class Trainer
     MlpWeights train(ForwardModel &model, const Dataset &train_set,
                      Rng &rng, const MlpWeights *init = nullptr) const;
 
-    /** Classification accuracy of @p model on @p test_set. */
-    static double accuracy(ForwardModel &model, const Dataset &test_set);
-
-    /** Mean squared error of @p model on @p test_set. */
-    static double mse(ForwardModel &model, const Dataset &test_set);
+    /**
+     * Train @p model through its full layer stack
+     * (model.layerTopology()); the canonical entry point — the
+     * 2-layer train() is defined in terms of it.
+     */
+    DeepWeights trainLayers(ForwardModel &model,
+                            const Dataset &train_set, Rng &rng,
+                            const DeepWeights *init = nullptr) const;
 
     const Hyper &hyperParams() const { return hyper; }
 
   private:
     Hyper hyper;
 };
-
-/** Index of the largest output (class prediction). */
-int argmax(std::span<const double> values);
 
 } // namespace dtann
 

@@ -492,6 +492,8 @@ Accelerator::forwardLayerLanes(Layer layer,
     const Fix16 one = Fix16::fromDouble(1.0);
     int fanin = layer == Layer::Hidden ? cfg.inputs : cfg.hidden;
     int neurons = layer == Layer::Hidden ? cfg.hidden : cfg.outputs;
+    if (layer == Layer::Hidden)
+        hidSumsLanes.resize(lanes * static_cast<size_t>(cfg.hidden));
     std::array<Fix16, 64> x, p;
     std::array<Acc24, 64> acc, addend;
     for (int n = 0; n < neurons; ++n) {
@@ -513,9 +515,14 @@ Accelerator::forwardLayerLanes(Layer layer,
                          lanes);
         }
         // Mirror the scalar loop: the readable output latches hold
-        // the last processed row's sums.
-        if (layer == Layer::Hidden)
+        // the last processed row's sums. The per-lane sums feed the
+        // time-multiplexed batch path's key-logic accumulation.
+        if (layer == Layer::Hidden) {
             hidSums[static_cast<size_t>(n)] = acc[lanes - 1];
+            for (size_t l = 0; l < lanes; ++l)
+                hidSumsLanes[l * static_cast<size_t>(cfg.hidden) +
+                             static_cast<size_t>(n)] = acc[l];
+        }
         for (size_t l = 0; l < lanes; ++l)
             x[l] = acc[l].toFix16Sat();
         unitActLanes(layer, n, x.data(), p.data(), lanes);
@@ -558,6 +565,25 @@ Accelerator::loadPhysicalOutputRow(int phys_neuron,
     }
 }
 
+void
+Accelerator::runHiddenLayerLanes(const std::vector<const Fix16 *> &in,
+                                 const std::vector<Fix16 *> &out,
+                                 size_t lanes)
+{
+    dtann_assert(in.size() >= lanes && out.size() >= lanes,
+                 "lane pointer arity mismatch");
+    forwardLayerLanes(Layer::Hidden, in, out, lanes);
+}
+
+bool
+Accelerator::batchPure() const
+{
+    for (const auto &[site, sim] : faulty)
+        if (!sim->batched())
+            return false;
+    return true;
+}
+
 std::vector<Fix16>
 Accelerator::runHiddenLayer(std::span<const Fix16> physical_input)
 {
@@ -588,14 +614,13 @@ Accelerator::forward(std::span<const double> input)
         phys[i] = Fix16::fromDouble(input[i]);
     std::vector<Fix16> out = forwardFix(phys);
 
-    Activations act;
-    act.hidden.resize(static_cast<size_t>(logical.hidden));
+    Activations act(static_cast<size_t>(logical.hidden),
+                    static_cast<size_t>(logical.outputs));
     for (int j = 0; j < logical.hidden; ++j)
-        act.hidden[static_cast<size_t>(j)] =
+        act.hidden()[static_cast<size_t>(j)] =
             hiddenAct[static_cast<size_t>(j)].toDouble();
-    act.output.resize(static_cast<size_t>(logical.outputs));
     for (int k = 0; k < logical.outputs; ++k)
-        act.output[static_cast<size_t>(k)] =
+        act.output()[static_cast<size_t>(k)] =
             out[static_cast<size_t>(k)].toDouble();
     return act;
 }
@@ -636,13 +661,13 @@ Accelerator::forwardBatch(std::span<const std::vector<double>> inputs)
     std::vector<Activations> acts(rows);
     for (size_t r = 0; r < rows; ++r) {
         Activations &act = acts[r];
-        act.hidden.resize(static_cast<size_t>(logical.hidden));
+        act = Activations(static_cast<size_t>(logical.hidden),
+                          static_cast<size_t>(logical.outputs));
         for (int j = 0; j < logical.hidden; ++j)
-            act.hidden[static_cast<size_t>(j)] =
+            act.hidden()[static_cast<size_t>(j)] =
                 hid[r][static_cast<size_t>(j)].toDouble();
-        act.output.resize(static_cast<size_t>(logical.outputs));
         for (int k = 0; k < logical.outputs; ++k)
-            act.output[static_cast<size_t>(k)] =
+            act.output()[static_cast<size_t>(k)] =
                 outv[r][static_cast<size_t>(k)].toDouble();
     }
     // Mirror per-row forward(): the activation scratch holds the

@@ -122,7 +122,18 @@ class Accelerator : public ForwardModel
         std::span<const std::vector<double>> inputs) override;
 
     /** Aggregate simulation work counters over all faulty units. */
-    SimCounters simCounters() const;
+    SimCounters simCounters() const override;
+
+    /**
+     * True when every faulty unit's simulation is a pure function
+     * (64-lane batchable: state-free faults on feedback-free
+     * netlists; vacuously true on a clean array). Wrapper models
+     * that hoist weight reloads across input rows (time-mux) may
+     * only do so under this predicate — stateful simulations and
+     * faulty weight latches depend on the exact per-row operation
+     * order. DTANN_NO_BATCH clears it, forcing the per-row paths.
+     */
+    bool batchPure() const;
 
     /** Fixed-point forward on the physical array (padded input). */
     std::vector<Fix16> forwardFix(std::span<const Fix16> physical_input);
@@ -155,6 +166,26 @@ class Accelerator : public ForwardModel
 
     /** Pre-activation sums of the last hidden-layer run. */
     const std::vector<Acc24> &hiddenSums() const { return hidSums; }
+
+    /**
+     * Run only the physical hidden layer over <= 64 input rows with
+     * the currently loaded weights (one weight load serves every
+     * lane — the time-multiplexed batch path). Activations land in
+     * @p out (one pointer per lane, cfg.hidden values each);
+     * per-lane pre-activation sums stay readable via
+     * hiddenSumsLanes(). Bit-identical per lane to runHiddenLayer()
+     * when batchPure() holds.
+     */
+    void runHiddenLayerLanes(const std::vector<const Fix16 *> &in,
+                             const std::vector<Fix16 *> &out,
+                             size_t lanes);
+
+    /** Per-lane pre-activation sums of the last lane-batched
+     *  hidden-layer run: lane l, neuron n at [l * hidden + n]. */
+    const std::vector<Acc24> &hiddenSumsLanes() const
+    {
+        return hidSumsLanes;
+    }
 
     /** @} */
 
@@ -256,6 +287,8 @@ class Accelerator : public ForwardModel
 
     std::vector<Fix16> hiddenAct;
     std::vector<Acc24> hidSums;
+    /** [lane * hidden + neuron] sums of the last lanes run. */
+    std::vector<Acc24> hidSumsLanes;
 
     Fix16 &hidWAt(int j, int i);
     Fix16 &outWAt(int k, int j);

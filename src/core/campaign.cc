@@ -299,7 +299,7 @@ runFig10(const Fig10Config &config)
             // Ablation: no retraining, test the baseline weights
             // through the faulty hardware.
             accel.setWeights(t.baseline);
-            acc = Trainer::accuracy(accel, t.ds);
+            acc = evalAccuracy(accel, t.ds);
         }
         accuracy[i] = acc;
         cellSim[i] = accel.simCounters();
@@ -373,7 +373,7 @@ runFig11(const Fig11Config &config)
             Dataset test_set = subset(t.ds, folds[f]);
             retrainer.train(accel, train_set, rng, &t.baseline);
             accel.clearProbes();
-            acc_stat.add(Trainer::accuracy(accel, test_set));
+            acc_stat.add(evalAccuracy(accel, test_set));
             const DeviationProbe &p = accel.probe(site);
             if (p.amplitude.count() > 0)
                 amp_stat.add(p.amplitude.mean());

@@ -11,8 +11,15 @@ DeepMuxedNetwork::DeepMuxedNetwork(Accelerator &a, DeepTopology t)
                  "deep topology needs input, >=1 hidden, output");
 }
 
+MlpTopology
+DeepMuxedNetwork::topology() const
+{
+    return {topo.inputs(), topo.layers[topo.layers.size() - 2],
+            topo.outputs()};
+}
+
 void
-DeepMuxedNetwork::setWeights(const DeepWeights &w)
+DeepMuxedNetwork::setLayerWeights(const DeepWeights &w)
 {
     dtann_assert(w.topology() == topo, "weight topology mismatch");
     stageRows.assign(topo.stages(), {});
@@ -31,8 +38,8 @@ DeepMuxedNetwork::setWeights(const DeepWeights &w)
     }
 }
 
-std::vector<std::vector<double>>
-DeepMuxedNetwork::forwardAll(std::span<const double> input)
+Activations
+DeepMuxedNetwork::forward(std::span<const double> input)
 {
     dtann_assert(static_cast<int>(input.size()) == topo.inputs(),
                  "input arity mismatch");
@@ -42,14 +49,47 @@ DeepMuxedNetwork::forwardAll(std::span<const double> input)
     for (size_t i = 0; i < input.size(); ++i)
         current[i] = Fix16::fromDouble(input[i]);
 
-    std::vector<std::vector<double>> acts;
+    Activations act;
     for (size_t s = 0; s < topo.stages(); ++s) {
         std::vector<Fix16> next =
             muxRunLayer(accel, stageRows[s], current);
         std::vector<double> as_double(next.size());
         for (size_t j = 0; j < next.size(); ++j)
             as_double[j] = next[j].toDouble();
-        acts.push_back(std::move(as_double));
+        act.layers.push_back(std::move(as_double));
+        current = std::move(next);
+    }
+    return act;
+}
+
+std::vector<Activations>
+DeepMuxedNetwork::forwardBatch(std::span<const std::vector<double>> inputs)
+{
+    dtann_assert(!stageRows.empty(), "setWeights() before forward()");
+    if (!accel.batchPure())
+        return rowLoopBatch(inputs); // stateful faulty units need
+                                     // the exact per-row sequence
+    size_t N = inputs.size();
+    std::vector<std::vector<Fix16>> current(N);
+    for (size_t r = 0; r < N; ++r) {
+        dtann_assert(static_cast<int>(inputs[r].size()) ==
+                         topo.inputs(),
+                     "input arity mismatch");
+        current[r].resize(inputs[r].size());
+        for (size_t i = 0; i < inputs[r].size(); ++i)
+            current[r][i] = Fix16::fromDouble(inputs[r][i]);
+    }
+
+    std::vector<Activations> acts(N);
+    for (size_t s = 0; s < topo.stages(); ++s) {
+        std::vector<std::vector<Fix16>> next =
+            muxRunLayerBatch(accel, stageRows[s], current);
+        for (size_t r = 0; r < N; ++r) {
+            std::vector<double> as_double(next[r].size());
+            for (size_t j = 0; j < next[r].size(); ++j)
+                as_double[j] = next[r][j].toDouble();
+            acts[r].layers.push_back(std::move(as_double));
+        }
         current = std::move(next);
     }
     return acts;

@@ -15,13 +15,12 @@
 #ifndef DTANN_CORE_DEEP_MUX_HH
 #define DTANN_CORE_DEEP_MUX_HH
 
-#include "ann/deep.hh"
 #include "core/timemux.hh"
 
 namespace dtann {
 
-/** Accelerator-backed DeepForwardModel. */
-class DeepMuxedNetwork : public DeepForwardModel
+/** Accelerator-backed deep-network ForwardModel. */
+class DeepMuxedNetwork : public ForwardModel
 {
   public:
     /**
@@ -30,13 +29,30 @@ class DeepMuxedNetwork : public DeepForwardModel
      */
     DeepMuxedNetwork(Accelerator &accel, DeepTopology topo);
 
-    DeepTopology topology() const override { return topo; }
+    /** 2-layer view: {inputs, last hidden width, outputs}. */
+    MlpTopology topology() const override;
+    DeepTopology layerTopology() const override { return topo; }
 
     /** Quantize all stages; rows reload per pass. */
-    void setWeights(const DeepWeights &w) override;
+    void setLayerWeights(const DeepWeights &w) override;
 
-    std::vector<std::vector<double>> forwardAll(
-        std::span<const double> input) override;
+    Activations forward(std::span<const double> input) override;
+
+    /**
+     * Batched forward: when every faulty unit is lane-batchable
+     * (accel.batchPure()) each stage runs through
+     * muxRunLayerBatch() — weight reloads hoisted across up to 64
+     * rows — otherwise the exact per-row loop. Outputs are
+     * bit-identical to forward() per row either way.
+     */
+    std::vector<Activations> forwardBatch(
+        std::span<const std::vector<double>> inputs) override;
+
+    /** Work counters of the backing accelerator's faulty units. */
+    SimCounters simCounters() const override
+    {
+        return accel.simCounters();
+    }
 
     /** Array passes per input row over the whole stack. */
     size_t passesPerRow() const;

@@ -41,19 +41,24 @@ SparedOutputMlp::setWeights(const MlpWeights &w)
     accel.setWeights(dup);
 }
 
+namespace {
+
+/** Merge the replicated physical outputs of one row into the
+ *  logical outputs (median for odd copy counts, middle-pair mean
+ *  for even). */
 Activations
-SparedOutputMlp::forward(std::span<const double> input)
+combineCopies(const Activations &phys, MlpTopology logical, int copies)
 {
-    Activations phys = accel.forward(input);
     Activations act;
-    act.hidden = phys.hidden;
-    act.output.resize(static_cast<size_t>(logical.outputs));
+    act.layers.resize(2);
+    act.hidden() = phys.hidden();
+    act.output().resize(static_cast<size_t>(logical.outputs));
     std::vector<double> copy_vals(static_cast<size_t>(copies));
     for (int k = 0; k < logical.outputs; ++k) {
         for (int c = 0; c < copies; ++c)
             copy_vals[static_cast<size_t>(c)] =
-                phys.output[static_cast<size_t>(k +
-                                                c * logical.outputs)];
+                phys.output()[static_cast<size_t>(
+                    k + c * logical.outputs)];
         std::sort(copy_vals.begin(), copy_vals.end());
         double combined;
         if (copies % 2 == 1) {
@@ -66,9 +71,28 @@ SparedOutputMlp::forward(std::span<const double> input)
                 (copy_vals[static_cast<size_t>(copies / 2 - 1)] +
                  copy_vals[static_cast<size_t>(copies / 2)]);
         }
-        act.output[static_cast<size_t>(k)] = combined;
+        act.output()[static_cast<size_t>(k)] = combined;
     }
     return act;
+}
+
+} // namespace
+
+Activations
+SparedOutputMlp::forward(std::span<const double> input)
+{
+    return combineCopies(accel.forward(input), logical, copies);
+}
+
+std::vector<Activations>
+SparedOutputMlp::forwardBatch(std::span<const std::vector<double>> inputs)
+{
+    std::vector<Activations> phys = accel.forwardBatch(inputs);
+    std::vector<Activations> acts;
+    acts.reserve(phys.size());
+    for (const Activations &p : phys)
+        acts.push_back(combineCopies(p, logical, copies));
+    return acts;
 }
 
 } // namespace dtann

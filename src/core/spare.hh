@@ -42,6 +42,18 @@ class SparedOutputMlp : public ForwardModel
     /** Forward with the copy combiner (average or median). */
     Activations forward(std::span<const double> input) override;
 
+    /** Batched forward through the accelerator's 64-lane path; the
+     *  copy combiner runs per row, so results are bit-identical to
+     *  forward() (probes and counters included). */
+    std::vector<Activations> forwardBatch(
+        std::span<const std::vector<double>> inputs) override;
+
+    /** Work counters of the backing accelerator's faulty units. */
+    SimCounters simCounters() const override
+    {
+        return accel.simCounters();
+    }
+
     /** The replicated-output topology the array actually runs. */
     MlpTopology physicalTopology() const { return replicated; }
 

@@ -118,6 +118,129 @@ muxRunLayer(Accelerator &accel,
     return result;
 }
 
+std::vector<std::vector<Fix16>>
+muxRunLayerBatch(Accelerator &accel,
+                 const std::vector<std::vector<Fix16>> &rows,
+                 const std::vector<std::vector<Fix16>> &inputs)
+{
+    const AcceleratorConfig &cfg = accel.config();
+    int P = cfg.inputs;          // physical fan-in per pass
+    int B = cfg.hidden;          // physical neurons per pass
+    size_t N = inputs.size();
+    int fanin = N == 0 ? 0 : static_cast<int>(inputs[0].size());
+    int chunks = (fanin + P - 1) / P;
+
+    std::vector<std::vector<Fix16>> result(
+        N, std::vector<Fix16>(rows.size()));
+    std::vector<Fix16> phys_row(static_cast<size_t>(P + 1));
+    std::vector<std::vector<Fix16>> phys_in(
+        64, std::vector<Fix16>(static_cast<size_t>(P)));
+    std::vector<std::vector<Fix16>> acts(
+        64, std::vector<Fix16>(static_cast<size_t>(B)));
+
+    for (size_t pos = 0; pos < N; pos += 64) {
+        size_t lanes = std::min<size_t>(64, N - pos);
+        std::vector<const Fix16 *> inPtr(lanes);
+        std::vector<Fix16 *> actPtr(lanes);
+        for (size_t l = 0; l < lanes; ++l) {
+            inPtr[l] = phys_in[l].data();
+            actPtr[l] = acts[l].data();
+        }
+
+        for (size_t batch = 0; batch < rows.size();
+             batch += static_cast<size_t>(B)) {
+            size_t in_batch =
+                std::min<size_t>(static_cast<size_t>(B),
+                                 rows.size() - batch);
+            if (chunks == 1) {
+                // Fits in one pass: whole rows (weights + bias)
+                // loaded once, then all lanes activate directly.
+                for (size_t p = 0; p < in_batch; ++p) {
+                    const auto &row = rows[batch + p];
+                    std::fill(phys_row.begin(), phys_row.end(),
+                              Fix16());
+                    for (int i = 0; i < fanin; ++i)
+                        phys_row[static_cast<size_t>(i)] =
+                            row[static_cast<size_t>(i)];
+                    phys_row[static_cast<size_t>(P)] = row.back();
+                    accel.loadPhysicalHiddenRow(static_cast<int>(p),
+                                                phys_row);
+                }
+                for (size_t l = 0; l < lanes; ++l) {
+                    auto &in = phys_in[l];
+                    std::fill(in.begin(), in.end(), Fix16());
+                    for (int i = 0; i < fanin; ++i)
+                        in[static_cast<size_t>(i)] =
+                            inputs[pos + l][static_cast<size_t>(i)];
+                }
+                accel.runHiddenLayerLanes(inPtr, actPtr, lanes);
+                for (size_t l = 0; l < lanes; ++l)
+                    for (size_t p = 0; p < in_batch; ++p)
+                        result[pos + l][batch + p] = acts[l][p];
+                continue;
+            }
+
+            // Oversized fan-in: accumulate per-lane chunk sums in
+            // key logic.
+            std::vector<Acc24> totals(lanes * in_batch);
+            for (int c = 0; c < chunks; ++c) {
+                int base = c * P;
+                int width = std::min(P, fanin - base);
+                bool last = c == chunks - 1;
+                for (size_t p = 0; p < in_batch; ++p) {
+                    const auto &row = rows[batch + p];
+                    std::fill(phys_row.begin(), phys_row.end(),
+                              Fix16());
+                    for (int i = 0; i < width; ++i)
+                        phys_row[static_cast<size_t>(i)] =
+                            row[static_cast<size_t>(base + i)];
+                    if (last)
+                        phys_row[static_cast<size_t>(P)] = row.back();
+                    accel.loadPhysicalHiddenRow(static_cast<int>(p),
+                                                phys_row);
+                }
+                for (size_t l = 0; l < lanes; ++l) {
+                    auto &in = phys_in[l];
+                    std::fill(in.begin(), in.end(), Fix16());
+                    for (int i = 0; i < width; ++i)
+                        in[static_cast<size_t>(i)] =
+                            inputs[pos + l]
+                                  [static_cast<size_t>(base + i)];
+                }
+                accel.runHiddenLayerLanes(inPtr, actPtr, lanes);
+                const std::vector<Acc24> &sums =
+                    accel.hiddenSumsLanes();
+                for (size_t l = 0; l < lanes; ++l)
+                    for (size_t p = 0; p < in_batch; ++p)
+                        totals[l * in_batch + p] = Acc24::hwAdd(
+                            totals[l * in_batch + p],
+                            sums[l * static_cast<size_t>(B) + p]);
+            }
+            // Final activation pass: feed each neuron's saturated
+            // sum back on its own input line with an exact weight
+            // of 1.0 so the physical activation unit produces the
+            // neuron output — one identity load for all lanes.
+            for (size_t p = 0; p < in_batch; ++p) {
+                std::fill(phys_row.begin(), phys_row.end(), Fix16());
+                phys_row[p] = Fix16::fromDouble(1.0);
+                accel.loadPhysicalHiddenRow(static_cast<int>(p),
+                                            phys_row);
+            }
+            for (size_t l = 0; l < lanes; ++l) {
+                auto &in = phys_in[l];
+                std::fill(in.begin(), in.end(), Fix16());
+                for (size_t p = 0; p < in_batch; ++p)
+                    in[p] = totals[l * in_batch + p].toFix16Sat();
+            }
+            accel.runHiddenLayerLanes(inPtr, actPtr, lanes);
+            for (size_t l = 0; l < lanes; ++l)
+                for (size_t p = 0; p < in_batch; ++p)
+                    result[pos + l][batch + p] = acts[l][p];
+        }
+    }
+    return result;
+}
+
 Activations
 TimeMuxedMlp::forward(std::span<const double> input)
 {
@@ -133,13 +256,51 @@ TimeMuxedMlp::forward(std::span<const double> input)
     std::vector<Fix16> output = muxRunLayer(accel, outRows, hidden);
 
     Activations act;
-    act.hidden.reserve(hidden.size());
+    act.layers.resize(2);
+    act.layers[0].reserve(hidden.size());
     for (Fix16 h : hidden)
-        act.hidden.push_back(h.toDouble());
-    act.output.reserve(output.size());
+        act.layers[0].push_back(h.toDouble());
+    act.layers[1].reserve(output.size());
     for (Fix16 o : output)
-        act.output.push_back(o.toDouble());
+        act.layers[1].push_back(o.toDouble());
     return act;
+}
+
+std::vector<Activations>
+TimeMuxedMlp::forwardBatch(std::span<const std::vector<double>> inputs)
+{
+    dtann_assert(!hidRows.empty(), "setWeights() before forward()");
+    if (!accel.batchPure())
+        return rowLoopBatch(inputs); // stateful faulty units need
+                                     // the exact per-row sequence
+    size_t N = inputs.size();
+    std::vector<std::vector<Fix16>> fix_in(N);
+    for (size_t r = 0; r < N; ++r) {
+        dtann_assert(static_cast<int>(inputs[r].size()) ==
+                         logical.inputs,
+                     "logical input arity mismatch");
+        fix_in[r].resize(inputs[r].size());
+        for (size_t i = 0; i < inputs[r].size(); ++i)
+            fix_in[r][i] = Fix16::fromDouble(inputs[r][i]);
+    }
+
+    std::vector<std::vector<Fix16>> hidden =
+        muxRunLayerBatch(accel, hidRows, fix_in);
+    std::vector<std::vector<Fix16>> output =
+        muxRunLayerBatch(accel, outRows, hidden);
+
+    std::vector<Activations> acts(N);
+    for (size_t r = 0; r < N; ++r) {
+        Activations &act = acts[r];
+        act.layers.resize(2);
+        act.layers[0].reserve(hidden[r].size());
+        for (Fix16 h : hidden[r])
+            act.layers[0].push_back(h.toDouble());
+        act.layers[1].reserve(output[r].size());
+        for (Fix16 o : output[r])
+            act.layers[1].push_back(o.toDouble());
+    }
+    return acts;
 }
 
 size_t

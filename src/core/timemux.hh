@@ -48,6 +48,31 @@ std::vector<Fix16> muxRunLayer(
     Accelerator &accel, const std::vector<std::vector<Fix16>> &rows,
     std::span<const Fix16> input);
 
+/**
+ * Batched muxRunLayer: run the same logical layer for up to 64
+ * input rows per weight load. Each (neuron batch, chunk) weight
+ * reload is hoisted out of the per-row loop and the loaded rows are
+ * evaluated over all lanes through the accelerator's lane-batched
+ * hidden layer, so faulty operators see 64 rows per gate-level
+ * sweep instead of one.
+ *
+ * Caller must check accel.batchPure(): outputs are then
+ * bit-identical per row to muxRunLayer() (every faulty operator is
+ * a pure function, and clean latch stores are idempotent), though
+ * per-unit deviation probes accumulate the same deviations in lane
+ * order rather than row-major order. With stateful faulty units the
+ * hoisted reload sequence would diverge — callers fall back to the
+ * per-row engine instead.
+ *
+ * @param accel physical array
+ * @param rows quantized weight rows, [neuron][fanin + 1], bias last
+ * @param inputs one input activation vector per row (size = fanin)
+ * @return [row][neuron] activations
+ */
+std::vector<std::vector<Fix16>> muxRunLayerBatch(
+    Accelerator &accel, const std::vector<std::vector<Fix16>> &rows,
+    const std::vector<std::vector<Fix16>> &inputs);
+
 /** Array passes needed by muxRunLayer for this geometry. */
 size_t muxLayerPasses(const AcceleratorConfig &cfg, int neurons,
                       int fanin);
@@ -68,6 +93,22 @@ class TimeMuxedMlp : public ForwardModel
     void setWeights(const MlpWeights &w) override;
 
     Activations forward(std::span<const double> input) override;
+
+    /**
+     * Batched forward: when every faulty unit is lane-batchable
+     * (accel.batchPure()) the weight reloads of each pass are
+     * hoisted across up to 64 input rows via muxRunLayerBatch();
+     * otherwise falls back to the exact per-row loop. Outputs are
+     * bit-identical to forward() per row either way.
+     */
+    std::vector<Activations> forwardBatch(
+        std::span<const std::vector<double>> inputs) override;
+
+    /** Work counters of the backing accelerator's faulty units. */
+    SimCounters simCounters() const override
+    {
+        return accel.simCounters();
+    }
 
     /** Array passes needed per input row. */
     size_t passesPerRow() const;

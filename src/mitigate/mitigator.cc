@@ -45,7 +45,7 @@ class NoOpMitigator : public Mitigator
         inject(accel);
         accel.setWeights(setup.baseline);
         MitigationOutcome out;
-        out.accuracy = Trainer::accuracy(accel, setup.ds);
+        out.accuracy = evalAccuracy(accel, setup.ds);
         out.sim = accel.simCounters();
         return out;
     }

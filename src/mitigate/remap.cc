@@ -88,12 +88,13 @@ RemappedOutputMlp::forward(std::span<const double> input)
 {
     Activations phys = accel.forward(input);
     Activations act;
-    act.hidden.assign(phys.hidden.begin(),
-                      phys.hidden.begin() + logical.hidden);
-    act.output.resize(static_cast<size_t>(logical.outputs));
+    act.layers.resize(2);
+    act.hidden().assign(phys.hidden().begin(),
+                        phys.hidden().begin() + logical.hidden);
+    act.output().resize(static_cast<size_t>(logical.outputs));
     for (int k = 0; k < logical.outputs; ++k)
-        act.output[static_cast<size_t>(k)] =
-            phys.output[static_cast<size_t>(map[static_cast<size_t>(k)])];
+        act.output()[static_cast<size_t>(k)] = phys.output()[
+            static_cast<size_t>(map[static_cast<size_t>(k)])];
     return act;
 }
 
@@ -104,11 +105,12 @@ RemappedOutputMlp::forwardBatch(std::span<const std::vector<double>> inputs)
     std::vector<Activations> acts(phys.size());
     for (size_t r = 0; r < phys.size(); ++r) {
         Activations &act = acts[r];
-        act.hidden.assign(phys[r].hidden.begin(),
-                          phys[r].hidden.begin() + logical.hidden);
-        act.output.resize(static_cast<size_t>(logical.outputs));
+        act.layers.resize(2);
+        act.hidden().assign(phys[r].hidden().begin(),
+                            phys[r].hidden().begin() + logical.hidden);
+        act.output().resize(static_cast<size_t>(logical.outputs));
         for (int k = 0; k < logical.outputs; ++k)
-            act.output[static_cast<size_t>(k)] = phys[r].output[
+            act.output()[static_cast<size_t>(k)] = phys[r].output()[
                 static_cast<size_t>(map[static_cast<size_t>(k)])];
     }
     return acts;

@@ -61,6 +61,12 @@ class RemappedOutputMlp : public ForwardModel
     std::vector<Activations> forwardBatch(
         std::span<const std::vector<double>> inputs) override;
 
+    /** Work counters of the backing accelerator's faulty units. */
+    SimCounters simCounters() const override
+    {
+        return accel.simCounters();
+    }
+
     /** The active assignment. */
     const std::vector<int> &rowMap() const { return map; }
 

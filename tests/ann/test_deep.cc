@@ -1,6 +1,7 @@
 /**
  * @file
- * Tests for deep (multi-hidden-layer) networks and their trainer.
+ * Tests for deep (multi-hidden-layer) networks on the unified
+ * ForwardModel hierarchy and the staged Trainer.
  */
 
 #include <gtest/gtest.h>
@@ -10,6 +11,7 @@
 #include "ann/deep.hh"
 #include "ann/mlp.hh"
 #include "ann/sigmoid.hh"
+#include "ann/trainer.hh"
 
 namespace dtann {
 namespace {
@@ -63,15 +65,39 @@ TEST(FloatDeepMlp, SingleStageMatchesManual)
     w.at(1, 0, 1) = -0.5;
     w.at(1, 0, 2) = 0.25;
     FloatDeepMlp m(t);
-    m.setWeights(w);
-    auto acts = m.forwardAll(std::vector<double>{0.3, 0.7});
+    m.setLayerWeights(w);
+    Activations act = m.forward(std::vector<double>{0.3, 0.7});
     double h0 = logistic(0.3 - 0.7 + 0.5);
     double h1 = logistic(0.6 - 1.0);
     double o = logistic(1.5 * h0 - 0.5 * h1 + 0.25);
-    ASSERT_EQ(acts.size(), 2u);
-    EXPECT_NEAR(acts[0][0], h0, 1e-12);
-    EXPECT_NEAR(acts[0][1], h1, 1e-12);
-    EXPECT_NEAR(acts[1][0], o, 1e-12);
+    ASSERT_EQ(act.layers.size(), 2u);
+    EXPECT_NEAR(act.hidden()[0], h0, 1e-12);
+    EXPECT_NEAR(act.hidden()[1], h1, 1e-12);
+    EXPECT_NEAR(act.output()[0], o, 1e-12);
+}
+
+TEST(FloatDeepMlp, BatchMatchesScalar)
+{
+    DeepTopology t{{3, 5, 4, 2}};
+    FloatDeepMlp m(t);
+    DeepWeights w(t);
+    Rng rng(21);
+    w.initRandom(rng, 1.0);
+    m.setLayerWeights(w);
+
+    std::vector<std::vector<double>> rows;
+    for (int r = 0; r < 17; ++r) {
+        std::vector<double> in(3);
+        for (double &v : in)
+            v = rng.nextDouble();
+        rows.push_back(in);
+    }
+    std::vector<Activations> batch = m.forwardBatch(rows);
+    ASSERT_EQ(batch.size(), rows.size());
+    for (size_t r = 0; r < rows.size(); ++r) {
+        Activations ref = m.forward(rows[r]);
+        EXPECT_EQ(batch[r].layers, ref.layers) << "row " << r;
+    }
 }
 
 TEST(DeepTrainer, TwoHiddenLayersLearnXor)
@@ -86,9 +112,9 @@ TEST(DeepTrainer, TwoHiddenLayersLearnXor)
     Rng rng(3);
     DeepWeights init(t);
     init.initRandom(rng, 1.5);
-    DeepTrainer trainer(400, 0.5, 0.5);
-    trainer.train(model, ds, rng, &init);
-    EXPECT_GT(DeepTrainer::accuracy(model, ds), 0.9);
+    Trainer trainer({4, 400, 0.5, 0.5});
+    trainer.trainLayers(model, ds, rng, &init);
+    EXPECT_GT(evalAccuracy(model, ds), 0.9);
 }
 
 TEST(DeepTrainer, DeeperStackStillTrains)
@@ -99,9 +125,9 @@ TEST(DeepTrainer, DeeperStackStillTrains)
     Rng rng(9);
     DeepWeights init(t);
     init.initRandom(rng, 1.5);
-    DeepTrainer trainer(600, 0.4, 0.5);
-    trainer.train(model, ds, rng, &init);
-    EXPECT_GT(DeepTrainer::accuracy(model, ds), 0.85);
+    Trainer trainer({4, 600, 0.4, 0.5});
+    trainer.trainLayers(model, ds, rng, &init);
+    EXPECT_GT(evalAccuracy(model, ds), 0.85);
 }
 
 TEST(DeepTrainer, WarmStartKeepsAccuracy)
@@ -110,11 +136,12 @@ TEST(DeepTrainer, WarmStartKeepsAccuracy)
     DeepTopology t{{2, 6, 4, 2}};
     FloatDeepMlp model(t);
     Rng rng(5);
-    DeepWeights w = DeepTrainer(400, 0.5, 0.5).train(model, ds, rng);
-    double before = DeepTrainer::accuracy(model, ds);
+    DeepWeights w =
+        Trainer({4, 400, 0.5, 0.5}).trainLayers(model, ds, rng);
+    double before = evalAccuracy(model, ds);
     EXPECT_GT(before, 0.9);
-    DeepTrainer(10, 0.5, 0.5).train(model, ds, rng, &w);
-    EXPECT_GT(DeepTrainer::accuracy(model, ds), before - 0.1);
+    Trainer({4, 10, 0.5, 0.5}).trainLayers(model, ds, rng, &w);
+    EXPECT_GT(evalAccuracy(model, ds), before - 0.1);
 }
 
 TEST(DeepTrainer, MatchesTwoLayerSemantics)
@@ -126,7 +153,7 @@ TEST(DeepTrainer, MatchesTwoLayerSemantics)
     Rng rng(11);
     dw.initRandom(rng, 1.0);
     FloatDeepMlp deep(t);
-    deep.setWeights(dw);
+    deep.setLayerWeights(dw);
 
     // Mirror the weights into the 2-layer structures.
     MlpTopology topo{3, 4, 2};
@@ -141,12 +168,40 @@ TEST(DeepTrainer, MatchesTwoLayerSemantics)
     flat.setWeights(w);
 
     std::vector<double> in{0.2, 0.5, 0.9};
-    auto deep_acts = deep.forwardAll(in);
+    Activations deep_acts = deep.forward(in);
     Activations flat_acts = flat.forward(in);
     for (size_t j = 0; j < 4; ++j)
-        EXPECT_NEAR(deep_acts[0][j], flat_acts.hidden[j], 1e-12);
+        EXPECT_NEAR(deep_acts.hidden()[j], flat_acts.hidden()[j],
+                    1e-12);
     for (size_t k = 0; k < 2; ++k)
-        EXPECT_NEAR(deep_acts[1][k], flat_acts.output[k], 1e-12);
+        EXPECT_NEAR(deep_acts.output()[k], flat_acts.output()[k],
+                    1e-12);
+}
+
+TEST(DeepTrainer, StagedTrainerMatchesTwoLayerWrapper)
+{
+    // train() (2-layer MlpWeights API) must be bit-identical to
+    // trainLayers() on the equivalent layer stack: same RNG draw
+    // order, same FP expression shapes.
+    Dataset ds = xorDataset();
+    MlpTopology topo{2, 6, 2};
+    Hyper h{6, 40, 0.5, 0.5};
+
+    FloatMlp flat(topo);
+    Rng r1(31);
+    MlpWeights flat_w = Trainer(h).train(flat, ds, r1);
+
+    FloatDeepMlp deep(toLayerTopology(topo));
+    Rng r2(31);
+    DeepWeights deep_w = Trainer(h).trainLayers(deep, ds, r2);
+
+    MlpWeights collapsed = toMlpWeights(deep_w);
+    for (int j = 0; j < topo.hidden; ++j)
+        for (int i = 0; i <= topo.inputs; ++i)
+            EXPECT_EQ(flat_w.hid(j, i), collapsed.hid(j, i));
+    for (int k = 0; k < topo.outputs; ++k)
+        for (int j = 0; j <= topo.hidden; ++j)
+            EXPECT_EQ(flat_w.out(k, j), collapsed.out(k, j));
 }
 
 } // namespace

@@ -55,8 +55,8 @@ TEST(FixedMlp, SaturationBeforeActivation)
     m.setWeights(w);
     std::vector<double> in{1.0, 1.0, 1.0, 1.0};
     Activations act = m.forward(in);
-    EXPECT_NEAR(act.hidden[0], 1.0, 0.01);
-    EXPECT_NEAR(act.output[0], 1.0, 0.01);
+    EXPECT_NEAR(act.hidden()[0], 1.0, 0.01);
+    EXPECT_NEAR(act.output()[0], 1.0, 0.01);
 }
 
 TEST(FixedMlp, BiasContributes)
@@ -70,8 +70,8 @@ TEST(FixedMlp, BiasContributes)
     FixedMlp m(topo);
     m.setWeights(w);
     Activations act = m.forward(std::vector<double>{0.0});
-    EXPECT_NEAR(act.hidden[0], logistic(3.0), 0.03);
-    EXPECT_NEAR(act.output[0], logistic(-3.0), 0.03);
+    EXPECT_NEAR(act.hidden()[0], logistic(3.0), 0.03);
+    EXPECT_NEAR(act.output()[0], logistic(-3.0), 0.03);
 }
 
 TEST(FixedMlp, AgreesWithFloatWithinQuantization)
@@ -90,8 +90,8 @@ TEST(FixedMlp, AgreesWithFloatWithinQuantization)
             v = rng.nextDouble();
         Activations qa = qm.forward(in);
         Activations fa = fm.forward(in);
-        for (size_t k = 0; k < qa.output.size(); ++k)
-            EXPECT_NEAR(qa.output[k], fa.output[k], 0.05);
+        for (size_t k = 0; k < qa.output().size(); ++k)
+            EXPECT_NEAR(qa.output()[k], fa.output()[k], 0.05);
     }
 }
 
@@ -106,8 +106,8 @@ TEST(FixedMlp, DeterministicForward)
     std::vector<double> in{0.2, 0.8, 0.5};
     Activations a = m.forward(in);
     Activations b = m.forward(in);
-    EXPECT_EQ(a.output, b.output);
-    EXPECT_EQ(a.hidden, b.hidden);
+    EXPECT_EQ(a.output(), b.output());
+    EXPECT_EQ(a.hidden(), b.hidden());
 }
 
 } // namespace

@@ -41,7 +41,7 @@ TEST(FixedTrainer, LearnsSeparableBlobs)
     FixedTrainer trainer({4, 60, 0.5, 0.0});
     Rng rng(7);
     trainer.train(model, ds, rng);
-    EXPECT_GT(Trainer::accuracy(model, ds), 0.9);
+    EXPECT_GT(evalAccuracy(model, ds), 0.9);
 }
 
 TEST(FixedTrainer, LearnsSyntheticIris)
@@ -53,7 +53,7 @@ TEST(FixedTrainer, LearnsSyntheticIris)
     FixedTrainer trainer({8, 80, 0.5, 0.0});
     Rng rng(5);
     trainer.train(model, ds, rng);
-    EXPECT_GT(Trainer::accuracy(model, ds), 0.8);
+    EXPECT_GT(evalAccuracy(model, ds), 0.8);
 }
 
 TEST(FixedTrainer, WeightsAreQuantized)
@@ -128,10 +128,10 @@ TEST(FixedTrainer, WarmStartRetainsAccuracy)
     Rng rng(5);
     FixedTrainer trainer({4, 60, 0.5, 0.0});
     MlpWeights w = trainer.train(model, ds, rng);
-    double before = Trainer::accuracy(model, ds);
+    double before = evalAccuracy(model, ds);
     FixedTrainer touchup({4, 5, 0.5, 0.0});
     touchup.train(model, ds, rng, &w);
-    EXPECT_GE(Trainer::accuracy(model, ds), before - 0.1);
+    EXPECT_GE(evalAccuracy(model, ds), before - 0.1);
 }
 
 } // namespace

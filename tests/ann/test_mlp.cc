@@ -67,11 +67,11 @@ TEST(FloatMlp, ForwardMatchesManualComputation)
     double h0 = logistic(1.0 * x0 - 1.0 * x1 + 0.5);
     double h1 = logistic(2.0 * x0 - 1.0);
     double o = logistic(1.5 * h0 - 0.5 * h1 + 0.25);
-    ASSERT_EQ(act.hidden.size(), 2u);
-    EXPECT_NEAR(act.hidden[0], h0, 1e-12);
-    EXPECT_NEAR(act.hidden[1], h1, 1e-12);
-    ASSERT_EQ(act.output.size(), 1u);
-    EXPECT_NEAR(act.output[0], o, 1e-12);
+    ASSERT_EQ(act.hidden().size(), 2u);
+    EXPECT_NEAR(act.hidden()[0], h0, 1e-12);
+    EXPECT_NEAR(act.hidden()[1], h1, 1e-12);
+    ASSERT_EQ(act.output().size(), 1u);
+    EXPECT_NEAR(act.output()[0], o, 1e-12);
 }
 
 TEST(FloatMlp, OutputsBoundedBySigmoid)
@@ -84,7 +84,7 @@ TEST(FloatMlp, OutputsBoundedBySigmoid)
     mlp.setWeights(w);
     std::vector<double> in{0.1, 0.9, 0.5, 0.0, 1.0};
     Activations act = mlp.forward(in);
-    for (double y : act.output) {
+    for (double y : act.output()) {
         EXPECT_GT(y, 0.0);
         EXPECT_LT(y, 1.0);
     }
@@ -96,7 +96,7 @@ TEST(FloatMlp, ZeroWeightsGiveHalfOutputs)
     FloatMlp mlp(topo);
     mlp.setWeights(MlpWeights(topo));
     Activations act = mlp.forward(std::vector<double>{0.2, 0.4, 0.6});
-    for (double y : act.output)
+    for (double y : act.output())
         EXPECT_DOUBLE_EQ(y, 0.5);
 }
 

@@ -38,7 +38,7 @@ TEST(Trainer, LearnsXor)
     Trainer trainer({6, 400, 0.5, 0.5});
     Rng rng(3);
     trainer.train(model, ds, rng);
-    EXPECT_GT(Trainer::accuracy(model, ds), 0.95);
+    EXPECT_GT(evalAccuracy(model, ds), 0.95);
 }
 
 TEST(Trainer, WarmStartImprovesOverColdShortRun)
@@ -53,7 +53,7 @@ TEST(Trainer, WarmStartImprovesOverColdShortRun)
     // Short retraining from the converged weights keeps accuracy.
     Trainer short_trainer({6, 10, 0.5, 0.5});
     short_trainer.train(model, ds, rng, &trained);
-    double warm = Trainer::accuracy(model, ds);
+    double warm = evalAccuracy(model, ds);
     EXPECT_GT(warm, 0.9);
 }
 
@@ -66,7 +66,7 @@ TEST(Trainer, LearnsSyntheticIris)
     Trainer trainer({8, 100, 0.2, 0.1});
     Rng rng(5);
     trainer.train(model, ds, rng);
-    EXPECT_GT(Trainer::accuracy(model, ds), 0.85);
+    EXPECT_GT(evalAccuracy(model, ds), 0.85);
 }
 
 TEST(Trainer, AccuracyOfUntrainedNetIsChanceLike)
@@ -79,7 +79,7 @@ TEST(Trainer, AccuracyOfUntrainedNetIsChanceLike)
     Rng rng(5);
     w.initRandom(rng);
     model.setWeights(w);
-    EXPECT_LT(Trainer::accuracy(model, ds), 0.7);
+    EXPECT_LT(evalAccuracy(model, ds), 0.7);
 }
 
 TEST(Trainer, MseDecreasesWithTraining)
@@ -91,9 +91,9 @@ TEST(Trainer, MseDecreasesWithTraining)
     MlpWeights w(topo);
     w.initRandom(rng);
     model.setWeights(w);
-    double before = Trainer::mse(model, ds);
+    double before = evalMse(model, ds);
     Trainer({6, 200, 0.5, 0.5}).train(model, ds, rng, &w);
-    double after = Trainer::mse(model, ds);
+    double after = evalMse(model, ds);
     EXPECT_LT(after, before);
 }
 
@@ -119,8 +119,8 @@ TEST(FixedMlp, MatchesFloatAccuracyAfterQuantization)
 
     FixedMlp qmodel(topo);
     qmodel.setWeights(w);
-    double facc = Trainer::accuracy(fmodel, ds);
-    double qacc = Trainer::accuracy(qmodel, ds);
+    double facc = evalAccuracy(fmodel, ds);
+    double qacc = evalAccuracy(qmodel, ds);
     EXPECT_GT(facc, 0.85);
     EXPECT_NEAR(qacc, facc, 0.05);
 }
@@ -135,7 +135,7 @@ TEST(FixedMlp, TrainingThroughFixedForwardWorks)
     Trainer trainer({8, 100, 0.2, 0.1});
     Rng rng(5);
     trainer.train(model, ds, rng);
-    EXPECT_GT(Trainer::accuracy(model, ds), 0.8);
+    EXPECT_GT(evalAccuracy(model, ds), 0.8);
 }
 
 TEST(CrossVal, TenFoldOnIris)

@@ -45,8 +45,8 @@ TEST(Accelerator, CleanForwardMatchesFixedMlpBitExact)
             v = rng.nextDouble();
         Activations a = accel.forward(in);
         Activations b = ref.forward(in);
-        EXPECT_EQ(a.output, b.output);
-        EXPECT_EQ(a.hidden, b.hidden);
+        EXPECT_EQ(a.output(), b.output());
+        EXPECT_EQ(a.hidden(), b.hidden());
     }
 }
 
@@ -66,7 +66,7 @@ TEST(Accelerator, LogicalSubsetMatchesFixedMlp)
         std::vector<double> in(5);
         for (double &v : in)
             v = rng.nextDouble();
-        EXPECT_EQ(accel.forward(in).output, ref.forward(in).output);
+        EXPECT_EQ(accel.forward(in).output(), ref.forward(in).output());
     }
 }
 
@@ -141,7 +141,7 @@ TEST(Accelerator, ManyMultiplierDefectsChangeOutputs)
         std::vector<double> in(12);
         for (double &v : in)
             v = rng.nextDouble();
-        deviated = accel.forward(in).hidden != ref.forward(in).hidden;
+        deviated = accel.forward(in).hidden() != ref.forward(in).hidden();
     }
     EXPECT_TRUE(deviated);
 }
@@ -202,14 +202,14 @@ TEST(Accelerator, TrainableThroughFaultyForward)
     Trainer trainer({6, 60, 0.2, 0.1});
     Rng rng(5);
     MlpWeights clean = trainer.train(accel, ds, rng);
-    double clean_acc = Trainer::accuracy(accel, ds);
+    double clean_acc = evalAccuracy(accel, ds);
     EXPECT_GT(clean_acc, 0.8);
 
     DefectInjector injector(accel, SitePool::inputAndHidden());
     injector.inject(4, rng);
     Trainer retrainer({6, 30, 0.2, 0.1});
     retrainer.train(accel, ds, rng, &clean);
-    double faulty_acc = Trainer::accuracy(accel, ds);
+    double faulty_acc = evalAccuracy(accel, ds);
     EXPECT_GT(faulty_acc, 0.6) << "retraining failed to recover";
 }
 
@@ -246,8 +246,8 @@ TEST(Accelerator, ForwardBatchMatchesPerRowForward)
     ASSERT_EQ(batch.size(), rows.size());
     for (size_t i = 0; i < rows.size(); ++i) {
         Activations ref = a.forward(rows[i]);
-        EXPECT_EQ(ref.output, batch[i].output) << "row " << i;
-        EXPECT_EQ(ref.hidden, batch[i].hidden) << "row " << i;
+        EXPECT_EQ(ref.output(), batch[i].output()) << "row " << i;
+        EXPECT_EQ(ref.hidden(), batch[i].hidden()) << "row " << i;
     }
 
     for (const UnitSite &s : a.faultySites()) {

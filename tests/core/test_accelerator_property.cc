@@ -54,7 +54,7 @@ TEST_P(UnitKindProperty, HeavyDefectsEventuallyObservableWhenExcited)
             std::vector<double> in(10);
             for (double &v : in)
                 v = rng.nextDouble();
-            differs = accel.forward(in).hidden != ref.forward(in).hidden;
+            differs = accel.forward(in).hidden() != ref.forward(in).hidden();
         }
         observed += differs ? 1 : 0;
     }
@@ -110,7 +110,7 @@ TEST(AcceleratorMapping, OneOutputTaskWorks)
     w.out(0, 0) = 2.0;
     accel.setWeights(w);
     Activations act = accel.forward(std::vector<double>{1.0});
-    EXPECT_GT(act.output[0], 0.5);
+    EXPECT_GT(act.output()[0], 0.5);
 }
 
 TEST(AcceleratorMapping, ExactFitUsesAllUnits)
@@ -133,8 +133,8 @@ TEST(AcceleratorMapping, UnusedRegionWeightsStayZero)
     w.initRandom(rng, 1.0);
     accel.setWeights(w);
     Activations act = accel.forward(std::vector<double>{0.3, 0.9});
-    EXPECT_EQ(act.output.size(), 2u);
-    EXPECT_EQ(act.hidden.size(), 2u);
+    EXPECT_EQ(act.output().size(), 2u);
+    EXPECT_EQ(act.hidden().size(), 2u);
 }
 
 } // namespace

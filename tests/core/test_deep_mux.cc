@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include "ann/deep.hh"
 #include "ann/fixed_mlp.hh"
+#include "ann/trainer.hh"
 #include "core/deep_mux.hh"
 #include "core/injector.hh"
 #include "data/synth_uci.hh"
@@ -35,23 +37,16 @@ TEST(DeepMux, TwoStageStackMatchesFixedMlp)
     DeepWeights dw(t);
     Rng rng(3);
     dw.initRandom(rng, 1.2);
-    deep.setWeights(dw);
-    MlpWeights w({10, 4, 3});
-    for (int j = 0; j < 4; ++j)
-        for (int i = 0; i <= 10; ++i)
-            w.hid(j, i) = dw.at(0, j, i);
-    for (int k = 0; k < 3; ++k)
-        for (int j = 0; j <= 4; ++j)
-            w.out(k, j) = dw.at(1, k, j);
-    ref.setWeights(w);
+    deep.setLayerWeights(dw);
+    ref.setLayerWeights(dw);
 
     for (int tcase = 0; tcase < 25; ++tcase) {
         std::vector<double> in(10);
         for (double &v : in)
             v = rng.nextDouble();
-        auto acts = deep.forwardAll(in);
+        Activations acts = deep.forward(in);
         Activations r = ref.forward(in);
-        EXPECT_EQ(acts.back(), r.output);
+        EXPECT_EQ(acts.output(), r.output());
     }
 }
 
@@ -63,13 +58,13 @@ TEST(DeepMux, ThreeHiddenLayersRun)
     DeepWeights w(t);
     Rng rng(5);
     w.initRandom(rng, 1.0);
-    deep.setWeights(w);
+    deep.setLayerWeights(w);
     std::vector<double> in(12, 0.5);
-    auto acts = deep.forwardAll(in);
-    ASSERT_EQ(acts.size(), 4u);
-    EXPECT_EQ(acts[0].size(), 9u);
-    EXPECT_EQ(acts[3].size(), 3u);
-    for (const auto &layer : acts)
+    Activations act = deep.forward(in);
+    ASSERT_EQ(act.layers.size(), 4u);
+    EXPECT_EQ(act.layers[0].size(), 9u);
+    EXPECT_EQ(act.layers[3].size(), 3u);
+    for (const auto &layer : act.layers)
         for (double y : layer) {
             EXPECT_GE(y, 0.0);
             EXPECT_LE(y, 1.0 + 1e-9);
@@ -95,10 +90,10 @@ TEST(DeepMux, TrainsOnIris)
     cfg.outputs = 3;
     Accelerator accel(cfg, {8, 4, 3});
     DeepMuxedNetwork deep(accel, DeepTopology{{4, 6, 5, 3}});
-    DeepTrainer trainer(60, 0.3, 0.2);
+    Trainer trainer({5, 60, 0.3, 0.2});
     Rng rng(7);
-    trainer.train(deep, ds, rng);
-    EXPECT_GT(DeepTrainer::accuracy(deep, ds), 0.8);
+    trainer.trainLayers(deep, ds, rng);
+    EXPECT_GT(evalAccuracy(deep, ds), 0.8);
 }
 
 TEST(DeepMux, PhysicalDefectTouchesMultipleLayers)
@@ -112,25 +107,46 @@ TEST(DeepMux, PhysicalDefectTouchesMultipleLayers)
     DeepWeights w(t);
     Rng rng(17);
     w.initRandom(rng, 1.0);
-    deep.setWeights(w);
-    ref.setWeights(w);
+    deep.setLayerWeights(w);
+    ref.setLayerWeights(w);
 
     UnitSite site{UnitKind::Activation, Layer::Hidden, 1, 0};
     accel.injectDefects(site, 25, rng);
 
     std::vector<double> in(12, 0.6);
-    auto faulty = deep.forwardAll(in);
-    auto clean = ref.forwardAll(in);
+    Activations faulty = deep.forward(in);
+    Activations clean = ref.forward(in);
     int corrupted_layers = 0;
-    for (size_t s = 0; s < faulty.size(); ++s) {
-        for (size_t j = 0; j < faulty[s].size(); ++j)
-            if (std::abs(faulty[s][j] - clean[s][j]) > 0.25) {
+    for (size_t s = 0; s < faulty.layers.size(); ++s) {
+        for (size_t j = 0; j < faulty.layers[s].size(); ++j)
+            if (std::abs(faulty.layers[s][j] - clean.layers[s][j]) >
+                0.25) {
                 ++corrupted_layers;
                 break;
             }
     }
     EXPECT_GE(corrupted_layers, 2)
         << "defect should propagate across stacked layers";
+}
+
+TEST(DeepMux, CountersAggregateAcceleratorWork)
+{
+    DeepTopology t{{12, 8, 8, 3}};
+    Accelerator accel(smallArray(), {12, 4, 3});
+    DeepMuxedNetwork deep(accel, t);
+    DeepWeights w(t);
+    Rng rng(23);
+    w.initRandom(rng, 1.0);
+    deep.setLayerWeights(w);
+    UnitSite site{UnitKind::Multiplier, Layer::Hidden, 0, 2};
+    accel.injectDefects(site, 10, rng);
+
+    EXPECT_EQ(deep.simCounters().gateEvals, 0u);
+    std::vector<double> in(12, 0.4);
+    deep.forward(in);
+    SimCounters after = deep.simCounters();
+    EXPECT_GT(after.gateEvals, 0u);
+    EXPECT_EQ(after.gateEvals, accel.simCounters().gateEvals);
 }
 
 } // namespace

@@ -83,8 +83,8 @@ TEST(WriteDecoder, CleanDecodedWritesEqualDirectWrites)
         std::vector<double> in(12);
         for (double &v : in)
             v = rng.nextDouble();
-        EXPECT_EQ(via_decoder.forward(in).output,
-                  direct.forward(in).output);
+        EXPECT_EQ(via_decoder.forward(in).output(),
+                  direct.forward(in).output());
     }
 }
 
@@ -125,8 +125,8 @@ TEST(WriteDecoder, FaultyDecoderCorruptsNetworkFunction)
             std::vector<double> in(12);
             for (double &v : in)
                 v = in_rng.nextDouble();
-            if (corrupted.forward(in).output !=
-                direct.forward(in).output)
+            if (corrupted.forward(in).output() !=
+                direct.forward(in).output())
                 return; // corruption observed: the paper's point
         }
     }

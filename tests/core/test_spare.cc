@@ -52,9 +52,9 @@ TEST(Spare, CleanForwardEqualsUnsparedNetwork)
             v = rng.nextDouble();
         Activations a = spared.forward(in);
         Activations b = plain_accel.forward(in);
-        ASSERT_EQ(a.output.size(), b.output.size());
-        for (size_t k = 0; k < a.output.size(); ++k)
-            EXPECT_DOUBLE_EQ(a.output[k], b.output[k]);
+        ASSERT_EQ(a.output().size(), b.output().size());
+        for (size_t k = 0; k < a.output().size(); ++k)
+            EXPECT_DOUBLE_EQ(a.output()[k], b.output()[k]);
     }
 }
 
@@ -91,11 +91,11 @@ TEST(Spare, HalvesImpactOfOutputActivationFault)
         std::vector<double> in(12);
         for (double &v : in)
             v = rng.nextDouble();
-        double clean = clean_accel.forward(in).output[0];
+        double clean = clean_accel.forward(in).output()[0];
         max_dev_spared = std::max(
-            max_dev_spared, std::abs(spared.forward(in).output[0] - clean));
+            max_dev_spared, std::abs(spared.forward(in).output()[0] - clean));
         max_dev_plain = std::max(
-            max_dev_plain, std::abs(plain_accel.forward(in).output[0] -
+            max_dev_plain, std::abs(plain_accel.forward(in).output()[0] -
                                     clean));
     }
     EXPECT_GT(max_dev_plain, 0.0) << "fault never excited";
@@ -130,8 +130,8 @@ TEST(Spare, MedianOfThreeRejectsSingleBrokenCopyExactly)
             v = rng.nextDouble();
         Activations a = spared.forward(in);
         Activations b = clean.forward(in);
-        for (size_t k = 0; k < a.output.size(); ++k)
-            EXPECT_DOUBLE_EQ(a.output[k], b.output[k])
+        for (size_t k = 0; k < a.output().size(); ++k)
+            EXPECT_DOUBLE_EQ(a.output()[k], b.output()[k])
                 << "output " << k << " row " << t;
     }
 }
@@ -163,7 +163,7 @@ TEST(Spare, TrainableEndToEnd)
     Trainer trainer({6, 60, 0.2, 0.1});
     Rng rng(5);
     trainer.train(spared, ds, rng);
-    EXPECT_GT(Trainer::accuracy(spared, ds), 0.8);
+    EXPECT_GT(evalAccuracy(spared, ds), 0.8);
 }
 
 } // namespace

@@ -46,7 +46,7 @@ TEST(TimeMux, FittingNetworkMatchesFixedMlpBitExact)
         std::vector<double> in(10);
         for (double &v : in)
             v = rng.nextDouble();
-        EXPECT_EQ(mux.forward(in).output, ref.forward(in).output);
+        EXPECT_EQ(mux.forward(in).output(), ref.forward(in).output());
     }
 }
 
@@ -65,8 +65,8 @@ TEST(TimeMux, MoreHiddenNeuronsThanPhysical)
         std::vector<double> in(10);
         for (double &v : in)
             v = rng.nextDouble();
-        EXPECT_EQ(mux.forward(in).output, ref.forward(in).output);
-        EXPECT_EQ(mux.forward(in).hidden, ref.forward(in).hidden);
+        EXPECT_EQ(mux.forward(in).output(), ref.forward(in).output());
+        EXPECT_EQ(mux.forward(in).hidden(), ref.forward(in).hidden());
     }
 }
 
@@ -85,7 +85,7 @@ TEST(TimeMux, OversizedFaninUsesChunkAccumulation)
         std::vector<double> in(30);
         for (double &v : in)
             v = rng.nextDouble();
-        EXPECT_EQ(mux.forward(in).output, ref.forward(in).output);
+        EXPECT_EQ(mux.forward(in).output(), ref.forward(in).output());
     }
 }
 
@@ -135,8 +135,8 @@ TEST(TimeMux, DefectAffectsManyLogicalNeurons)
     // Logical hidden neurons 1, 5, 9 all ride physical neuron 1.
     int corrupted = 0;
     for (int j : {1, 5, 9})
-        if (faulty.hidden[static_cast<size_t>(j)] !=
-            clean.hidden[static_cast<size_t>(j)])
+        if (faulty.hidden()[static_cast<size_t>(j)] !=
+            clean.hidden()[static_cast<size_t>(j)])
             ++corrupted;
     // A heavy activation fault corrupts most mapped neurons.
     EXPECT_GE(corrupted, 2) << "defect multiplication not observed";

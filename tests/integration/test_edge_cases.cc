@@ -88,7 +88,7 @@ TEST(EdgeCases, TimeMuxSingleNeuronLayers)
     FixedMlp ref({6, 1, 1});
     ref.setWeights(w);
     std::vector<double> in(6, 0.5);
-    EXPECT_EQ(mux.forward(in).output, ref.forward(in).output);
+    EXPECT_EQ(mux.forward(in).output(), ref.forward(in).output());
 }
 
 TEST(EdgeCases, YieldWithSinglePointCurve)
@@ -118,10 +118,10 @@ TEST(EdgeCases, AcceleratorBiasOnlyNetwork)
     w.out(1, 2) = -2.0;
     accel.setWeights(w);
     Activations act = accel.forward(std::vector<double>(4, 0.0));
-    EXPECT_GT(act.hidden[0], 0.95);
-    EXPECT_LT(act.hidden[1], 0.05);
-    EXPECT_GT(act.output[0], 0.8);
-    EXPECT_LT(act.output[1], 0.2);
+    EXPECT_GT(act.hidden()[0], 0.95);
+    EXPECT_LT(act.hidden()[1], 0.05);
+    EXPECT_GT(act.output()[0], 0.8);
+    EXPECT_LT(act.output()[1], 0.2);
 }
 
 TEST(EdgeCases, InjectingIntoAllUnitsOfATinyArrayStillRuns)
@@ -140,7 +140,7 @@ TEST(EdgeCases, InjectingIntoAllUnitsOfATinyArrayStillRuns)
     w.initRandom(rng, 1.0);
     accel.setWeights(w);
     Activations act = accel.forward(std::vector<double>{0.2, 0.5, 0.8});
-    for (double y : act.output) {
+    for (double y : act.output()) {
         EXPECT_GE(y, -32.0);
         EXPECT_LE(y, 32.0);
     }

@@ -51,14 +51,14 @@ TEST(EndToEnd, TrainedAcceleratorKernelAndFixedMlpAgreeBitwise)
         const auto &row = ds.rows[n];
         Activations a = accel.forward(row);
         Activations f = fixed.forward(row);
-        EXPECT_EQ(a.output, f.output);
+        EXPECT_EQ(a.output(), f.output());
 
         std::vector<Fix16> fix_row(row.size());
         for (size_t i = 0; i < row.size(); ++i)
             fix_row[i] = Fix16::fromDouble(row[i]);
         auto k = runSoftwareKernel(topo, hid_w, out_w, fix_row);
         for (size_t c = 0; c < k.size(); ++c)
-            EXPECT_DOUBLE_EQ(k[c].toDouble(), a.output[c]);
+            EXPECT_DOUBLE_EQ(k[c].toDouble(), a.output()[c]);
     }
 }
 
@@ -178,13 +178,13 @@ TEST(EndToEnd, TimeMuxedDefectiveNetworkRetrains)
     TimeMuxedMlp mux(accel, {4, 6, 3}); // 2 batches of hidden
     Rng rng(13);
     MlpWeights w = Trainer({6, 40, 0.3, 0.1}).train(mux, ds, rng);
-    double clean = Trainer::accuracy(mux, ds);
+    double clean = evalAccuracy(mux, ds);
     EXPECT_GT(clean, 0.7);
 
     DefectInjector inj(accel, SitePool::inputAndHidden());
     inj.inject(2, rng);
     Trainer({6, 15, 0.3, 0.1}).train(mux, ds, rng, &w);
-    EXPECT_GT(Trainer::accuracy(mux, ds), 0.6);
+    EXPECT_GT(evalAccuracy(mux, ds), 0.6);
 }
 
 TEST(EndToEnd, SparedAndDecodedPathsCompose)
@@ -221,7 +221,7 @@ TEST(EndToEnd, SparedAndDecodedPathsCompose)
         std::vector<double> in(8);
         for (double &v : in)
             v = rng.nextDouble();
-        EXPECT_EQ(spared.forward(in).output, plain.forward(in).output);
+        EXPECT_EQ(spared.forward(in).output(), plain.forward(in).output());
     }
 }
 

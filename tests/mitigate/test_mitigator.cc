@@ -155,7 +155,7 @@ TEST(RemappedOutputMlp, CleanForwardIsInvariantToRowChoice)
         Activations b = steered.forward(in);
         // On a defect-free array a spare row computes exactly what
         // the original row would have.
-        EXPECT_EQ(a.output, b.output);
+        EXPECT_EQ(a.output(), b.output());
     }
 }
 
@@ -169,7 +169,7 @@ TEST(Mitigator, NoOpOnCleanArrayMatchesBaseline)
 
     Accelerator accel(f.array, f.logical);
     accel.setWeights(f.baseline);
-    EXPECT_DOUBLE_EQ(out.accuracy, Trainer::accuracy(accel, f.ds));
+    EXPECT_DOUBLE_EQ(out.accuracy, evalAccuracy(accel, f.ds));
     EXPECT_DOUBLE_EQ(out.coverage, 1.0);
     EXPECT_EQ(out.diagnosed, 0);
     EXPECT_EQ(out.mitigatedUnits, 0);
