@@ -90,13 +90,16 @@ main()
             ",\"depth\":" + std::to_string(nl.depth()) +
             ",\"observable_defect_fraction\":" + jsonNumber(frac) + "}";
     };
-    maybeWriteJson("ablation_adder_arch",
-                   "{\"figure\":\"ablation_adder_arch\",\"trials\":" +
-                       std::to_string(trials) + ",\"architectures\":[" +
-                       arch_json("ripple-carry", ripple, ripple_frac) +
-                       "," +
-                       arch_json("carry-select/4", select, select_frac) +
-                       "]}");
+    maybeWriteJson(
+        "ablation_adder_arch",
+        campaignEnvelope(
+            "ablation_adder_arch",
+            "{\"trials\":" + std::to_string(trials) + "}",
+            experimentSeed(), SimCounters(),
+            "{\"architectures\":[" +
+                arch_json("ripple-carry", ripple, ripple_frac) + "," +
+                arch_json("carry-select/4", select, select_frac) +
+                "]}"));
     std::printf("\n(carry-select shortens the accumulator critical "
                 "path at ~2x transistor cost; its speculative "
                 "duplication also masks more single defects — the "

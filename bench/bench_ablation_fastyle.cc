@@ -68,6 +68,7 @@ main()
                  "array area mm^2", "masked 1-defect frac",
                  "fig5 TV @20 defects"});
     std::string styles_json;
+    SimCounters sim;
     for (FaStyle style : {FaStyle::Nand9, FaStyle::Mirror}) {
         Netlist bit = buildRippleAdder(1, style, true);
         AcceleratorConfig cfg;
@@ -81,6 +82,7 @@ main()
         f5cfg.seed = experimentSeed() + static_cast<uint64_t>(style);
         f5cfg.style = style;
         Fig5Result f5 = runFig5(f5cfg);
+        sim.merge(f5.sim);
         double tv = f5.trans.totalVariation(f5.none);
         t.addRow({styleName(style),
                   std::to_string(bit.transistorCount()),
@@ -99,11 +101,14 @@ main()
             ",\"fig5_tv_at_20_defects\":" + jsonNumber(tv) + "}";
     }
     t.print(std::cout);
-    maybeWriteJson("ablation_fastyle",
-                   "{\"figure\":\"ablation_fastyle\",\"trials\":" +
-                       std::to_string(trials) + ",\"repetitions\":" +
-                       std::to_string(reps) + ",\"styles\":[" +
-                       styles_json + "]}");
+    maybeWriteJson(
+        "ablation_fastyle",
+        campaignEnvelope("ablation_fastyle",
+                         "{\"trials\":" + std::to_string(trials) +
+                             ",\"repetitions\":" +
+                             std::to_string(reps) + "}",
+                         experimentSeed(), sim,
+                         "{\"styles\":[" + styles_json + "]}"));
     std::printf("\n(the cost model is calibrated at the NAND9 "
                 "point; the mirror adder trades ~22%% fewer adder "
                 "transistors for complex-gate fault behaviour)\n");

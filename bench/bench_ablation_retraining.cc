@@ -63,8 +63,16 @@ main()
                 "counts are evaluation bias, not harm from "
                 "retraining)\n");
 
+    SimCounters sim;
+    for (const auto &c : with)
+        sim.merge(c.sim);
+    for (const auto &c : without)
+        sim.merge(c.sim);
     maybeWriteJson("ablation_retraining",
-                   "{\"retrained\":" + toJson(with) +
-                       ",\"no_retrain\":" + toJson(without) + "}");
+                   campaignEnvelope(
+                       "ablation_retraining", base.toJson(), base.seed,
+                       sim,
+                       "{\"retrained\":" + toJson(with) +
+                           ",\"no_retrain\":" + toJson(without) + "}"));
     return 0;
 }

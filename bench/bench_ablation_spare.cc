@@ -98,15 +98,19 @@ main()
         100.0 * (copies - 1) * cm.outputCriticalAreaFraction();
     maybeWriteJson(
         "ablation_spare",
-        "{\"figure\":\"ablation_spare\",\"repetitions\":" +
-            std::to_string(reps) + ",\"copies\":" +
-            std::to_string(copies) + ",\"plain\":{\"mean_accuracy\":" +
-            jsonNumber(plain_acc.mean()) + ",\"worst_accuracy\":" +
-            jsonNumber(plain_worst.min()) +
-            "},\"spared\":{\"mean_accuracy\":" +
-            jsonNumber(spared_acc.mean()) + ",\"worst_accuracy\":" +
-            jsonNumber(spared_worst.min()) +
-            "},\"area_cost_percent\":" + jsonNumber(area_cost) + "}");
+        campaignEnvelope(
+            "ablation_spare",
+            "{\"repetitions\":" + std::to_string(reps) +
+                ",\"copies\":" + std::to_string(copies) + "}",
+            experimentSeed(), SimCounters(),
+            "{\"plain\":{\"mean_accuracy\":" +
+                jsonNumber(plain_acc.mean()) + ",\"worst_accuracy\":" +
+                jsonNumber(plain_worst.min()) +
+                "},\"spared\":{\"mean_accuracy\":" +
+                jsonNumber(spared_acc.mean()) + ",\"worst_accuracy\":" +
+                jsonNumber(spared_worst.min()) +
+                "},\"area_cost_percent\":" + jsonNumber(area_cost) +
+                "}"));
     std::printf("\narea cost of sparing: output layer replicated "
                 "x%d, i.e. about +%.2f%% of total array area\n",
                 copies, area_cost);

@@ -134,11 +134,16 @@ main()
                     "multiplying the effective defect count)\n");
         maybeWriteJson(
             "ablation_timemux",
-            "{\"figure\":\"ablation_timemux\",\"mappings\":[" +
-                mappings_json + "],\"deviation\":{\"repetitions\":" +
-                std::to_string(reps) + ",\"defects\":3,\"spatial\":" +
-                jsonNumber(spatial_rate.mean()) + ",\"time_muxed\":" +
-                jsonNumber(mux_rate.mean()) + "}}");
+            campaignEnvelope(
+                "ablation_timemux",
+                "{\"repetitions\":" + std::to_string(reps) +
+                    ",\"defects\":3}",
+                experimentSeed(), SimCounters(),
+                "{\"mappings\":[" + mappings_json +
+                    "],\"deviation\":{\"spatial\":" +
+                    jsonNumber(spatial_rate.mean()) +
+                    ",\"time_muxed\":" + jsonNumber(mux_rate.mean()) +
+                    "}}"));
     }
     return 0;
 }

@@ -3,15 +3,18 @@
  * Fig 10: accuracy vs number of defects in the input and hidden
  * layers, after retraining, for the 10 benchmark tasks.
  *
- * Quick mode trades repetition count, fold count, dataset size and
- * epoch budget for runtime while keeping the paper's shape: flat
- * accuracy up to ~12 defects, gradual degradation beyond.
+ * Thin wrapper over the built-in "fig10" scenario spec (quick mode
+ * trades repetition count, fold count, dataset size and epoch
+ * budget for runtime while keeping the paper's shape: flat accuracy
+ * up to ~12 defects, gradual degradation beyond); this bench and
+ * `dtann_campaign --builtin fig10` run the identical campaign.
  */
 
 #include <chrono>
 
 #include "bench_util.hh"
-#include "core/campaign.hh"
+#include "service/builtin_specs.hh"
+#include "service/runner.hh"
 
 using namespace dtann;
 
@@ -21,26 +24,12 @@ main()
     benchBanner("Fig 10: accuracy vs # defects (input+hidden layers)",
                 "Temam, ISCA 2012, Figure 10");
 
-    Fig10Config cfg;
-    cfg.seed = experimentSeed();
-    if (fullScale()) {
-        cfg.repetitions = 100;
-        cfg.folds = 10;
-        cfg.rows = 0; // original dataset sizes
-        cfg.epochScale = 1.0;
-        cfg.retrainScale = 0.25;
-    } else {
-        cfg.defectCounts = {0, 3, 6, 12, 18, 24, 27, 54};
-        cfg.repetitions = 1;
-        cfg.folds = 2;
-        cfg.rows = 300;
-        cfg.epochScale = 0.3;
-        cfg.retrainScale = 0.3;
-    }
+    ScenarioSpec spec = builtinSpec("fig10", fullScale());
+    applyEnvOverrides(spec);
 
     // Progress heartbeat on stderr so paper-scale runs (hours) are
     // observably alive; cheap enough to leave on at quick scale.
-    cfg.onCellDone = [](const CellReport &r) {
+    spec.runConfig().onCellDone = [](const CellReport &r) {
         if (r.cellsDone % 50 == 0 || r.cellsDone == r.cellsTotal)
             std::fprintf(stderr, "  [%zu/%zu] %s defects=%d rep=%d\n",
                          r.cellsDone, r.cellsTotal, r.task.c_str(),
@@ -48,14 +37,17 @@ main()
     };
 
     auto start = std::chrono::steady_clock::now();
-    auto curves = runFig10(cfg);
+    ScenarioResult result = runScenario(spec);
     double secs = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start)
                       .count();
     std::printf("campaign wall clock: %.2f s (%d worker threads; "
                 "set DTANN_THREADS to change — results are "
                 "bit-identical for any count)\n",
-                secs, ThreadPool::resolveThreads(cfg.threads));
+                secs,
+                ThreadPool::resolveThreads(spec.runConfig().threads));
+
+    const std::vector<Fig10Curve> &curves = result.fig10;
 
     // Print one combined series: rows = defect counts, one column
     // per task (the paper's figure layout).
@@ -89,6 +81,6 @@ main()
                 "defects)\n",
                 tolerant_at_12, curves.size());
 
-    maybeWriteJson("fig10", toJson(curves));
+    maybeWriteJson(result.name, result.json);
     return 0;
 }

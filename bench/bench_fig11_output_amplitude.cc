@@ -2,10 +2,14 @@
  * @file
  * Fig 11: accuracy vs error amplitude for single defects in the
  * output layer's adders and activation functions.
+ *
+ * Thin wrapper over the built-in "fig11" scenario spec; this bench
+ * and `dtann_campaign --builtin fig11` run the identical campaign.
  */
 
 #include "bench_util.hh"
-#include "core/campaign.hh"
+#include "service/builtin_specs.hh"
+#include "service/runner.hh"
 
 using namespace dtann;
 
@@ -15,24 +19,11 @@ main()
     benchBanner("Fig 11: accuracy vs output-layer error amplitude",
                 "Temam, ISCA 2012, Figure 11");
 
-    Fig11Config cfg;
-    cfg.seed = experimentSeed();
-    if (fullScale()) {
-        cfg.repetitions = 100;
-        cfg.folds = 10;
-        cfg.rows = 0;
-        cfg.epochScale = 1.0;
-        cfg.retrainScale = 0.25;
-    } else {
-        cfg.tasks = {"iris", "ionosphere", "robot", "wine"};
-        cfg.repetitions = 12;
-        cfg.folds = 2;
-        cfg.rows = 300;
-        cfg.epochScale = 0.3;
-        cfg.retrainScale = 0.3;
-    }
+    ScenarioSpec spec = builtinSpec("fig11", fullScale());
+    applyEnvOverrides(spec);
+    ScenarioResult result = runScenario(spec);
+    const std::vector<Fig11Curve> &curves = result.fig11;
 
-    auto curves = runFig11(cfg);
     for (const auto &c : curves) {
         std::vector<std::vector<double>> points;
         for (const auto &[amp, acc] : c.binAccuracy)
@@ -66,6 +57,6 @@ main()
                 "cannot sway the class; some tasks are sensitive "
                 "even to tiny errors)\n");
 
-    maybeWriteJson("fig11", toJson(curves));
+    maybeWriteJson(result.name, result.json);
     return 0;
 }

@@ -1,26 +1,30 @@
 /**
  * @file
- * Fig 5: output-value distributions of a 4-bit adder (1/5/20
- * defects) and a 4-bit multiplier (20 defects), comparing
- * transistor-level and gate-level fault injection against the
- * defect-free distribution.
+ * Fig 5: output-value distributions of 4-bit operators under
+ * defects, comparing transistor-level and gate-level fault
+ * injection against the defect-free distribution.
+ *
+ * Thin wrapper over the built-in "fig5" scenario spec: the sweep
+ * axes (operators x defect counts), scale, and seed all come from
+ * builtinSpec(), so this bench and `dtann_campaign --builtin fig5`
+ * run the identical campaign.
  */
 
 #include "bench_util.hh"
-#include "core/campaign.hh"
+#include "service/builtin_specs.hh"
+#include "service/runner.hh"
 
 using namespace dtann;
 
 namespace {
 
-std::string all_json; ///< accumulates every configuration's export
-
 void
-printResult(const Fig5Result &r, const char *name, int max_value)
+printResult(const Fig5Result &r)
 {
-    if (!all_json.empty())
-        all_json += ",";
-    all_json += r.toJson();
+    const char *name = r.op == Fig5Operator::Adder4
+        ? "4-bit adder"
+        : "4-bit multiplier";
+    int max_value = r.op == Fig5Operator::Adder4 ? 30 : 225;
     std::printf("\n-- %s, %d defect(s), %d repetitions --\n", name,
                 r.defects, r.repetitions);
     std::vector<std::vector<double>> points;
@@ -46,22 +50,14 @@ main()
 {
     benchBanner("Fig 5: 4-bit operator behaviour under defects",
                 "Temam, ISCA 2012, Figure 5");
-    Fig5Config cfg;
-    cfg.repetitions = scaled(1000, 200);
 
-    for (int defects : {1, 5, 20}) {
-        cfg.op = Fig5Operator::Adder4;
-        cfg.defects = defects;
-        // Each configuration gets its own counter-derived seed so
-        // results stay independent of run order and thread count.
-        cfg.seed = experimentSeed() + static_cast<uint64_t>(defects);
-        printResult(runFig5(cfg), "4-bit adder", 30);
-    }
-    cfg.op = Fig5Operator::Multiplier4;
-    cfg.defects = 20;
-    cfg.seed = experimentSeed() + 1000;
-    printResult(runFig5(cfg), "4-bit multiplier", 225);
+    ScenarioSpec spec = builtinSpec("fig5", fullScale());
+    applyEnvOverrides(spec);
+    ScenarioResult result = runScenario(spec);
 
-    maybeWriteJson("fig5", "[" + all_json + "]");
+    for (const Fig5Result &r : result.fig5)
+        printResult(r);
+
+    maybeWriteJson(result.name, result.json);
     return 0;
 }

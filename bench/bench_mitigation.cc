@@ -10,12 +10,17 @@
  * output-row remapping onto spares. Defects are drawn over the
  * whole array — including the output layer, the Fig 11 weak spot —
  * and every strategy of a cell faces identical physical defects.
+ *
+ * Thin wrapper over the built-in "mitigation" scenario spec; this
+ * bench and `dtann_campaign --builtin mitigation` run the identical
+ * campaign.
  */
 
 #include <chrono>
 
 #include "bench_util.hh"
-#include "mitigate/campaign.hh"
+#include "service/builtin_specs.hh"
+#include "service/runner.hh"
 
 using namespace dtann;
 
@@ -26,30 +31,11 @@ main()
                 "extension of Temam, ISCA 2012, Section VI-C "
                 "(diagnosis-driven mitigation)");
 
-    MitigationConfig cfg;
-    cfg.seed = experimentSeed();
-    // Low-class-count tasks leave spare physical output rows on the
-    // 90-10-10 array for the remap strategy to use.
-    if (fullScale()) {
-        cfg.tasks = {"breast", "iris", "vehicle"};
-        cfg.defectCounts = {0, 2, 4, 8, 14, 20, 27};
-        cfg.repetitions = 30;
-        cfg.folds = 10;
-        cfg.rows = 0;
-        cfg.epochScale = 1.0;
-        cfg.retrainScale = 0.25;
-    } else {
-        cfg.tasks = {"breast", "iris"};
-        cfg.defectCounts = {0, 2, 4, 8, 14};
-        cfg.repetitions = 3;
-        cfg.folds = 2;
-        cfg.rows = 240;
-        cfg.epochScale = 0.3;
-        cfg.retrainScale = 0.3;
-    }
-    cfg.bist.vectorsPerUnit = scaled(16, 8);
+    ScenarioSpec spec = builtinSpec("mitigation", fullScale());
+    applyEnvOverrides(spec);
+    const MitigationConfig &cfg = spec.mitigation;
 
-    cfg.onCellDone = [](const CellReport &r) {
+    spec.runConfig().onCellDone = [](const CellReport &r) {
         if (r.cellsDone % 25 == 0 || r.cellsDone == r.cellsTotal)
             std::fprintf(stderr, "  [%zu/%zu] %s defects=%d rep=%d\n",
                          r.cellsDone, r.cellsTotal, r.task.c_str(),
@@ -57,12 +43,13 @@ main()
     };
 
     auto start = std::chrono::steady_clock::now();
-    std::vector<MitigationCurve> curves = runMitigationCampaign(cfg);
+    ScenarioResult result = runScenario(spec);
     double secs = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start)
                       .count();
     std::printf("campaign wall clock: %.2f s (%d worker threads)\n\n",
                 secs, ThreadPool::resolveThreads(cfg.threads));
+    const std::vector<MitigationCurve> &curves = result.mitigation;
 
     // One table per task: rows = defect counts, one accuracy column
     // per strategy, plus the bypass/remap diagnosis coverage.
@@ -136,6 +123,6 @@ main()
                 "bypass converts undiagnosed heavy faults into clean "
                 "zeros)\n");
 
-    maybeWriteJson("mitigation", toJson(curves));
+    maybeWriteJson(result.name, result.json);
     return 0;
 }

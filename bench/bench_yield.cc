@@ -66,12 +66,14 @@ main()
             "}";
     }
     t.print(std::cout);
-    maybeWriteJson("yield",
-                   "{\"figure\":\"yield\",\"area_mm2\":" +
-                       jsonNumber(area) + ",\"threshold\":" +
-                       jsonNumber(threshold) + ",\"accuracy_curve\":" +
-                       curve.toJson() + ",\"points\":[" + points_json +
-                       "]}");
+    maybeWriteJson(
+        "yield",
+        campaignEnvelope(
+            "yield", cfg.toJson(), cfg.seed, curve.sim,
+            "{\"area_mm2\":" + jsonNumber(area) + ",\"threshold\":" +
+                jsonNumber(threshold) + ",\"accuracy_curve\":" +
+                curve.toJson() + ",\"points\":[" + points_json +
+                "]}"));
     std::printf("\n(classic yield = P(zero defects): what a "
                 "defect-intolerant custom circuit of equal area "
                 "would yield; the gap is the paper's argument for "

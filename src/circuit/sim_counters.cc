@@ -40,6 +40,18 @@ SimCounters::toJson() const
     return out;
 }
 
+SimCounters
+SimCounters::fromJson(const JsonValue &v)
+{
+    SimCounters c;
+    c.scalarVectors = jsonGetUint(v, "scalar_vectors", 0);
+    c.batchVectors = jsonGetUint(v, "batch_vectors", 0);
+    c.batchSweeps = jsonGetUint(v, "batch_sweeps", 0);
+    c.gateEvals = jsonGetUint(v, "gate_evals", 0);
+    c.batchGateSweeps = jsonGetUint(v, "batch_gate_sweeps", 0);
+    return c;
+}
+
 void
 logSimCounters(const char *what, const SimCounters &c)
 {

@@ -55,6 +55,13 @@ struct SimCounters
 
     /** Single JSON object (embedded in campaign exports). */
     std::string toJson() const;
+
+    /**
+     * Parse a toJson() payload back (derived rates are recomputed,
+     * not read). Counters round-trip exactly; the result journal
+     * relies on this for bit-identical campaign resume.
+     */
+    static SimCounters fromJson(const class JsonValue &v);
 };
 
 /**

@@ -1,6 +1,10 @@
 #include "common/json.hh"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace dtann {
 
@@ -40,6 +44,537 @@ std::string
 jsonString(const std::string &s)
 {
     return "\"" + jsonEscape(s) + "\"";
+}
+
+// ---------------------------------------------------------------
+// JsonValue
+
+const char *
+JsonValue::kindName() const
+{
+    switch (k) {
+      case Kind::Null: return "null";
+      case Kind::Bool: return "bool";
+      case Kind::Number: return "number";
+      case Kind::String: return "string";
+      case Kind::Array: return "array";
+      case Kind::Object: return "object";
+    }
+    return "?";
+}
+
+namespace {
+
+[[noreturn]] void
+kindMismatch(const char *want, const char *got)
+{
+    throw JsonError(std::string("expected JSON ") + want + ", got " +
+                    got);
+}
+
+} // namespace
+
+bool
+JsonValue::asBool() const
+{
+    if (k != Kind::Bool)
+        kindMismatch("bool", kindName());
+    return b;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (k != Kind::Number)
+        kindMismatch("number", kindName());
+    return num;
+}
+
+int64_t
+JsonValue::asInt(int64_t lo, int64_t hi) const
+{
+    if (k != Kind::Number)
+        kindMismatch("integer", kindName());
+    double r = std::round(num);
+    if (r != num)
+        throw JsonError("expected JSON integer, got fraction '" + raw +
+                        "'");
+    if (num < static_cast<double>(lo) || num > static_cast<double>(hi))
+        throw JsonError("JSON integer '" + raw + "' out of range");
+    return static_cast<int64_t>(num);
+}
+
+uint64_t
+JsonValue::asUint() const
+{
+    if (k != Kind::Number)
+        kindMismatch("non-negative integer", kindName());
+    // Re-parse the raw token: doubles lose integers above 2^53, and
+    // seeds / gate-eval counters are full 64-bit values.
+    const char *p = raw.c_str();
+    if (*p == '-' || raw.find_first_of(".eE") != std::string::npos)
+        throw JsonError("expected non-negative JSON integer, got '" +
+                        raw + "'");
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(p, &end, 10);
+    if (end == p || *end != '\0' || errno == ERANGE)
+        throw JsonError("non-negative JSON integer '" + raw +
+                        "' out of range");
+    return static_cast<uint64_t>(v);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (k != Kind::String)
+        kindMismatch("string", kindName());
+    return str;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    if (k != Kind::Array)
+        kindMismatch("array", kindName());
+    return elems;
+}
+
+const JsonValue::Members &
+JsonValue::members() const
+{
+    if (k != Kind::Object)
+        kindMismatch("object", kindName());
+    return obj;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (k != Kind::Object)
+        return nullptr;
+    for (const auto &[name, value] : obj)
+        if (name == key)
+            return &value;
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (v == nullptr)
+        throw JsonError("missing JSON key '" + key + "'");
+    return *v;
+}
+
+JsonValue
+JsonValue::makeNull()
+{
+    return JsonValue();
+}
+
+JsonValue
+JsonValue::makeBool(bool b)
+{
+    JsonValue v;
+    v.k = Kind::Bool;
+    v.b = b;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(double num, std::string raw)
+{
+    JsonValue v;
+    v.k = Kind::Number;
+    v.num = num;
+    v.raw = std::move(raw);
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string s)
+{
+    JsonValue v;
+    v.k = Kind::String;
+    v.str = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> elems)
+{
+    JsonValue v;
+    v.k = Kind::Array;
+    v.elems = std::move(elems);
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject(Members members)
+{
+    JsonValue v;
+    v.k = Kind::Object;
+    v.obj = std::move(members);
+    return v;
+}
+
+// ---------------------------------------------------------------
+// Parser
+
+namespace {
+
+/** Recursive-descent JSON parser with line/column error positions. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipSpace();
+        if (pos != s.size())
+            fail("trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        size_t line = 1, col = 1;
+        for (size_t i = 0; i < pos && i < s.size(); ++i) {
+            if (s[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        throw JsonError("JSON parse error at line " +
+                        std::to_string(line) + ", column " +
+                        std::to_string(col) + ": " + what);
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r'))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        if (pos >= s.size())
+            fail("unexpected end of input");
+        return s[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" + s[pos] +
+                 "'");
+        ++pos;
+    }
+
+    bool
+    consumeWord(const char *w)
+    {
+        size_t n = std::char_traits<char>::length(w);
+        if (s.compare(pos, n, w) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return JsonValue::makeString(parseString());
+          case 't':
+            if (consumeWord("true"))
+                return JsonValue::makeBool(true);
+            fail("invalid literal");
+          case 'f':
+            if (consumeWord("false"))
+                return JsonValue::makeBool(false);
+            fail("invalid literal");
+          case 'n':
+            if (consumeWord("null"))
+                return JsonValue::makeNull();
+            fail("invalid literal");
+          default: return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue::Members members;
+        if (peek() == '}') {
+            ++pos;
+            return JsonValue::makeObject(std::move(members));
+        }
+        while (true) {
+            if (peek() != '"')
+                fail("expected object key string");
+            std::string key = parseString();
+            expect(':');
+            JsonValue value = parseValue();
+            for (const auto &[name, unused] : members)
+                if (name == key)
+                    fail("duplicate object key '" + key + "'");
+            members.emplace_back(std::move(key), std::move(value));
+            char c = peek();
+            if (c == ',') {
+                ++pos;
+                continue;
+            }
+            if (c == '}') {
+                ++pos;
+                return JsonValue::makeObject(std::move(members));
+            }
+            fail("expected ',' or '}' in object");
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        std::vector<JsonValue> elems;
+        if (peek() == ']') {
+            ++pos;
+            return JsonValue::makeArray(std::move(elems));
+        }
+        while (true) {
+            elems.push_back(parseValue());
+            char c = peek();
+            if (c == ',') {
+                ++pos;
+                continue;
+            }
+            if (c == ']') {
+                ++pos;
+                return JsonValue::makeArray(std::move(elems));
+            }
+            fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos >= s.size())
+                fail("unterminated string");
+            char c = s[pos++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= s.size())
+                fail("unterminated escape");
+            char e = s[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos + 4 > s.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = s[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("invalid \\u escape digit");
+                }
+                // The writers only escape control characters, so
+                // decode Basic Latin directly and encode the rest
+                // as UTF-8 (no surrogate-pair support needed).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default: fail("invalid escape character");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        skipSpace();
+        size_t start = pos;
+        if (pos < s.size() && s[pos] == '-')
+            ++pos;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+                s[pos] == '+' || s[pos] == '-'))
+            ++pos;
+        if (pos == start)
+            fail("expected a JSON value");
+        std::string raw = s.substr(start, pos - start);
+        errno = 0;
+        char *end = nullptr;
+        double v = std::strtod(raw.c_str(), &end);
+        if (end != raw.c_str() + raw.size()) {
+            pos = start;
+            fail("malformed number '" + raw + "'");
+        }
+        return JsonValue::makeNumber(v, std::move(raw));
+    }
+
+    const std::string &s;
+    size_t pos = 0;
+};
+
+} // namespace
+
+JsonValue
+jsonParse(const std::string &text)
+{
+    return Parser(text).parseDocument();
+}
+
+// ---------------------------------------------------------------
+// Typed field readers
+
+namespace {
+
+/** Rethrow accessor errors with the offending key named. */
+template <typename Fn>
+auto
+withKey(const char *key, Fn fn) -> decltype(fn())
+{
+    try {
+        return fn();
+    } catch (const JsonError &e) {
+        throw JsonError(std::string("key '") + key + "': " + e.what());
+    }
+}
+
+} // namespace
+
+int
+jsonGetInt(const JsonValue &obj, const char *key, int fallback, int lo,
+           int hi)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr)
+        return fallback;
+    return withKey(key, [&] {
+        return static_cast<int>(v->asInt(lo, hi));
+    });
+}
+
+uint64_t
+jsonGetUint(const JsonValue &obj, const char *key, uint64_t fallback)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr)
+        return fallback;
+    return withKey(key, [&] { return v->asUint(); });
+}
+
+double
+jsonGetDouble(const JsonValue &obj, const char *key, double fallback)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr)
+        return fallback;
+    return withKey(key, [&] { return v->asNumber(); });
+}
+
+bool
+jsonGetBool(const JsonValue &obj, const char *key, bool fallback)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr)
+        return fallback;
+    return withKey(key, [&] { return v->asBool(); });
+}
+
+std::string
+jsonGetString(const JsonValue &obj, const char *key,
+              const std::string &fallback)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr)
+        return fallback;
+    return withKey(key, [&] { return v->asString(); });
+}
+
+std::vector<int>
+jsonGetIntArray(const JsonValue &obj, const char *key,
+                std::vector<int> fallback)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr)
+        return fallback;
+    return withKey(key, [&] {
+        std::vector<int> out;
+        for (const JsonValue &e : v->items())
+            out.push_back(static_cast<int>(e.asInt(INT32_MIN,
+                                                   INT32_MAX)));
+        return out;
+    });
+}
+
+std::vector<std::string>
+jsonGetStringArray(const JsonValue &obj, const char *key,
+                   std::vector<std::string> fallback)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr)
+        return fallback;
+    return withKey(key, [&] {
+        std::vector<std::string> out;
+        for (const JsonValue &e : v->items())
+            out.push_back(e.asString());
+        return out;
+    });
 }
 
 } // namespace dtann

@@ -1,19 +1,36 @@
 /**
  * @file
- * Minimal JSON emission helpers.
+ * Minimal JSON emission and parsing.
  *
  * The repo exports machine-readable results (DTANN_JSON_OUT) from
- * campaigns and benches by string concatenation — no external JSON
- * dependency. These helpers keep escaping and number formatting
- * consistent across all exporters.
+ * campaigns and benches by string concatenation, and — since the
+ * campaign-as-a-service layer — parses scenario specs and result
+ * journals back in. No external JSON dependency: the writer side is
+ * a handful of escaping/formatting helpers, the reader side is a
+ * small recursive-descent parser producing JsonValue trees.
+ *
+ * Symmetry contract: everything emitted by the toJson() exporters
+ * (jsonNumber uses %.17g, so doubles round-trip exactly; integers
+ * are emitted via std::to_string and re-parsed from the raw token,
+ * so uint64 counters round-trip exactly too) parses back to equal
+ * values. The spec/journal subsystems rely on this for bit-identical
+ * checkpoint/resume.
  */
 
 #ifndef DTANN_COMMON_JSON_HH
 #define DTANN_COMMON_JSON_HH
 
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace dtann {
+
+// ---------------------------------------------------------------
+// Emission
 
 /** Minimal JSON string escaping (quotes, backslashes, control). */
 std::string jsonEscape(const std::string &s);
@@ -23,6 +40,110 @@ std::string jsonNumber(double v);
 
 /** Quoted, escaped JSON string literal. */
 std::string jsonString(const std::string &s);
+
+// ---------------------------------------------------------------
+// Parsing
+
+/**
+ * Error raised by jsonParse() on malformed input and by the
+ * JsonValue accessors on kind mismatches. what() carries a
+ * line/column position for parse errors.
+ */
+struct JsonError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * One parsed JSON value. Object members keep insertion order, so a
+ * parse -> emit round trip of canonically ordered documents is the
+ * identity.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+    using Members = std::vector<std::pair<std::string, JsonValue>>;
+
+    JsonValue() = default;
+
+    Kind kind() const { return k; }
+    bool isNull() const { return k == Kind::Null; }
+    bool isObject() const { return k == Kind::Object; }
+    bool isArray() const { return k == Kind::Array; }
+
+    /** @name Checked accessors (throw JsonError on kind mismatch) */
+    ///@{
+    bool asBool() const;
+    double asNumber() const;
+    /** Integer in [lo, hi]; throws on fractions and out-of-range. */
+    int64_t asInt(int64_t lo = INT64_MIN, int64_t hi = INT64_MAX) const;
+    /**
+     * Non-negative integer re-parsed from the raw token, so 64-bit
+     * counters survive even beyond double's 2^53 integer range.
+     */
+    uint64_t asUint() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &items() const; ///< array elements
+    const Members &members() const;              ///< object members
+    ///@}
+
+    /** Object member lookup; nullptr when absent (or not an object). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Object member lookup; throws JsonError naming @p key when absent. */
+    const JsonValue &at(const std::string &key) const;
+
+    static JsonValue makeNull();
+    static JsonValue makeBool(bool b);
+    /** @p raw is the literal token (kept for exact integers). */
+    static JsonValue makeNumber(double v, std::string raw);
+    static JsonValue makeString(std::string s);
+    static JsonValue makeArray(std::vector<JsonValue> elems);
+    static JsonValue makeObject(Members members);
+
+  private:
+    const char *kindName() const;
+
+    Kind k = Kind::Null;
+    bool b = false;
+    double num = 0.0;
+    std::string raw; ///< number token as written (exact integers)
+    std::string str;
+    std::vector<JsonValue> elems;
+    Members obj;
+};
+
+/**
+ * Parse one JSON document. Trailing non-whitespace, unterminated
+ * strings, bad escapes etc. raise JsonError with a line/column
+ * position. Supports exactly the JSON value grammar the writers
+ * emit (no comments, no trailing commas).
+ */
+JsonValue jsonParse(const std::string &text);
+
+// ---------------------------------------------------------------
+// Typed field readers
+//
+// Small helpers for config fromJson() implementations: read an
+// optional member of @p obj, returning @p fallback when absent and
+// raising JsonError naming the key on a type mismatch.
+
+int jsonGetInt(const JsonValue &obj, const char *key, int fallback,
+               int lo = INT32_MIN, int hi = INT32_MAX);
+uint64_t jsonGetUint(const JsonValue &obj, const char *key,
+                     uint64_t fallback);
+double jsonGetDouble(const JsonValue &obj, const char *key,
+                     double fallback);
+bool jsonGetBool(const JsonValue &obj, const char *key, bool fallback);
+std::string jsonGetString(const JsonValue &obj, const char *key,
+                          const std::string &fallback);
+std::vector<int> jsonGetIntArray(const JsonValue &obj, const char *key,
+                                 std::vector<int> fallback);
+std::vector<std::string>
+jsonGetStringArray(const JsonValue &obj, const char *key,
+                   std::vector<std::string> fallback);
 
 } // namespace dtann
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/json.hh"
+
 namespace dtann {
 
 void
@@ -61,6 +63,35 @@ IntHistogram::merge(const IntHistogram &other)
 {
     for (const auto &[v, c] : other.counts)
         counts[v] += c;
+}
+
+std::string
+IntHistogram::toJson() const
+{
+    std::string out = "[";
+    bool first = true;
+    for (const auto &[value, count] : counts) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "[" + std::to_string(value) + "," +
+            std::to_string(count) + "]";
+    }
+    return out + "]";
+}
+
+IntHistogram
+IntHistogram::fromJson(const JsonValue &v)
+{
+    IntHistogram h;
+    for (const JsonValue &entry : v.items()) {
+        const auto &pair = entry.items();
+        if (pair.size() != 2)
+            throw JsonError("histogram entry is not a [value, count] "
+                            "pair");
+        h.add(pair[0].asInt(), pair[1].asUint());
+    }
+    return h;
 }
 
 double

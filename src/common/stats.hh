@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 namespace dtann {
@@ -65,6 +66,11 @@ class IntHistogram
 
     /** Merge another histogram into this one. */
     void merge(const IntHistogram &other);
+
+    /** JSON export: [[value, count], ...] in increasing value order. */
+    std::string toJson() const;
+    /** Parse a toJson() payload back; throws JsonError on mismatch. */
+    static IntHistogram fromJson(const class JsonValue &v);
 
     /**
      * Total-variation distance to another histogram, in [0, 1].

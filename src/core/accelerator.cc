@@ -7,6 +7,7 @@
 #include <array>
 
 #include "ann/sigmoid.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "rtl/adder.hh"
 #include "rtl/clean_model.hh"
@@ -15,6 +16,34 @@
 #include "rtl/sigmoid_unit.hh"
 
 namespace dtann {
+
+std::string
+AcceleratorConfig::toJson() const
+{
+    std::string out = "{\"inputs\":" + std::to_string(inputs);
+    out += ",\"hidden\":" + std::to_string(hidden);
+    out += ",\"outputs\":" + std::to_string(outputs);
+    out += ",\"fa_style\":" + jsonString(faStyleName(faStyle));
+    out += "}";
+    return out;
+}
+
+AcceleratorConfig
+AcceleratorConfig::fromJson(const JsonValue &v)
+{
+    if (!v.isObject())
+        throw JsonError("accelerator config must be a JSON object");
+    AcceleratorConfig c;
+    c.inputs = jsonGetInt(v, "inputs", c.inputs, 1, 1 << 20);
+    c.hidden = jsonGetInt(v, "hidden", c.hidden, 1, 1 << 20);
+    c.outputs = jsonGetInt(v, "outputs", c.outputs, 1, 1 << 20);
+    std::string style =
+        jsonGetString(v, "fa_style", faStyleName(c.faStyle));
+    if (!faStyleFromName(style, c.faStyle))
+        throw JsonError("unknown fa_style '" + style +
+                        "' (expected nand9 or mirror)");
+    return c;
+}
 
 bool
 UnitSite::operator<(const UnitSite &o) const

@@ -47,6 +47,13 @@ struct AcceleratorConfig
     int hidden = 10;
     int outputs = 10;
     FaStyle faStyle = FaStyle::Nand9;
+
+    /** JSON object (embedded in campaign specs and exports). */
+    std::string toJson() const;
+    /** Symmetric counterpart of toJson(); throws JsonError. */
+    static AcceleratorConfig fromJson(const class JsonValue &v);
+
+    bool operator==(const AcceleratorConfig &o) const = default;
 };
 
 /** Unit kinds that can host defects (paper Section VI-C). */

@@ -29,22 +29,114 @@ enum StreamRoot : uint64_t {
     kStreamCell = 3,  ///< {kStreamCell, task, variant, rep}: one cell
 };
 
-std::string
-jsonHistogram(const IntHistogram &h)
+} // namespace
+
+// ---------------------------------------------------------------
+// Config JSON (symmetric with the scenario-spec parser)
+
+const char *
+fig5OperatorName(Fig5Operator op)
 {
-    std::string out = "[";
-    bool first = true;
-    for (const auto &[value, count] : h.items()) {
-        if (!first)
-            out += ",";
-        first = false;
-        out += "[" + std::to_string(value) + "," +
-            std::to_string(count) + "]";
-    }
-    return out + "]";
+    return op == Fig5Operator::Adder4 ? "adder4" : "multiplier4";
 }
 
-} // namespace
+bool
+fig5OperatorFromName(const std::string &name, Fig5Operator &out)
+{
+    if (name == "adder4") {
+        out = Fig5Operator::Adder4;
+        return true;
+    }
+    if (name == "multiplier4") {
+        out = Fig5Operator::Multiplier4;
+        return true;
+    }
+    return false;
+}
+
+std::string
+Fig5Config::toJson() const
+{
+    std::string out = "{" + jsonRunFields();
+    out += ",\"operator\":" + jsonString(fig5OperatorName(op));
+    out += ",\"defects\":" + std::to_string(defects);
+    out += ",\"fa_style\":" + jsonString(faStyleName(style));
+    out += "}";
+    return out;
+}
+
+Fig5Config
+Fig5Config::fromJson(const JsonValue &v)
+{
+    Fig5Config c;
+    c.readRunFields(v);
+    std::string op_name =
+        jsonGetString(v, "operator", fig5OperatorName(c.op));
+    if (!fig5OperatorFromName(op_name, c.op))
+        throw JsonError("unknown operator '" + op_name +
+                        "' (expected adder4 or multiplier4)");
+    c.defects = jsonGetInt(v, "defects", c.defects, 0, 1 << 20);
+    std::string style =
+        jsonGetString(v, "fa_style", faStyleName(c.style));
+    if (!faStyleFromName(style, c.style))
+        throw JsonError("unknown fa_style '" + style +
+                        "' (expected nand9 or mirror)");
+    return c;
+}
+
+std::string
+Fig10Config::toJson() const
+{
+    std::string out = "{" + jsonCampaignFields();
+    out += ",\"defect_counts\":[";
+    for (size_t i = 0; i < defectCounts.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += std::to_string(defectCounts[i]);
+    }
+    out += "],\"retrain\":";
+    out += retrain ? "true" : "false";
+    out += "}";
+    return out;
+}
+
+Fig10Config
+Fig10Config::fromJson(const JsonValue &v)
+{
+    Fig10Config c;
+    c.readCampaignFields(v);
+    c.defectCounts = jsonGetIntArray(v, "defect_counts", c.defectCounts);
+    c.retrain = jsonGetBool(v, "retrain", c.retrain);
+    return c;
+}
+
+std::string
+Fig11Config::toJson() const
+{
+    return "{" + jsonCampaignFields() + "}";
+}
+
+Fig11Config
+Fig11Config::fromJson(const JsonValue &v)
+{
+    Fig11Config c;
+    c.readCampaignFields(v);
+    return c;
+}
+
+std::string
+campaignEnvelope(const std::string &kind, const std::string &configJson,
+                 uint64_t seed, const SimCounters &sim,
+                 const std::string &resultsJson)
+{
+    std::string out = "{\"kind\":" + jsonString(kind);
+    out += ",\"config\":" + configJson;
+    out += ",\"seed\":" + std::to_string(seed);
+    out += ",\"sim\":" + sim.toJson();
+    out += ",\"results\":" + resultsJson;
+    out += "}";
+    return out;
+}
 
 // ---------------------------------------------------------------
 // Fig 5
@@ -57,13 +149,14 @@ runFig5(const Fig5Config &config)
             ? buildRippleAdder(4, config.style, true)
             : buildMultiplierUnsigned(4, config.style));
     size_t out_bits = nl->outputs().size();
-    const char *op_name =
-        config.op == Fig5Operator::Adder4 ? "adder4" : "multiplier4";
+    const char *op_name = fig5OperatorName(config.op);
 
     Fig5Result result;
     result.op = config.op;
     result.defects = config.defects;
     result.repetitions = config.repetitions;
+    result.style = config.style;
+    result.seed = config.seed;
 
     // One independent injection per repetition; each evaluates all
     // 256 input pairs in random order to avoid special behaviour
@@ -84,9 +177,22 @@ runFig5(const Fig5Config &config)
         ? cleanAdder(4, true)
         : cleanMultiplierUnsigned(4);
 
-    CampaignEngine engine(config.threads, config.onCellDone);
+    CampaignEngine engine(config);
     engine.beginCampaign(reps);
+    const std::string variant = "d" + std::to_string(config.defects);
     engine.parallelFor(reps, [&](size_t rep) {
+        RepHists &h = hists[rep];
+        CellKey key{"fig5", op_name, variant, rep};
+        if (journalLookup(config.journal, key, [&](const JsonValue &v) {
+                h.none = IntHistogram::fromJson(v.at("none"));
+                h.gate = IntHistogram::fromJson(v.at("gate"));
+                h.trans = IntHistogram::fromJson(v.at("trans"));
+                h.sim = SimCounters::fromJson(v.at("sim"));
+            })) {
+            engine.reportCell(op_name, config.defects,
+                              static_cast<int>(rep), 0.0);
+            return;
+        }
         Rng rng = Rng::substream(config.seed, {kStreamCell, rep});
         Injection trans_inj =
             injectTransistorDefects(*nl, config.defects, rng);
@@ -104,7 +210,6 @@ runFig5(const Fig5Config &config)
         trans_sim.applyLanes(pairs.data(), trans_out.data(), 256);
         gate_sim.applyLanes(pairs.data(), gate_out.data(), 256);
 
-        RepHists &h = hists[rep];
         for (size_t i = 0; i < 256; ++i) {
             uint64_t in = pairs[i];
             uint64_t a = in & 0xf, b = in >> 4;
@@ -119,6 +224,12 @@ runFig5(const Fig5Config &config)
         }
         h.sim.merge(trans_sim.counters());
         h.sim.merge(gate_sim.counters());
+        if (config.journal)
+            config.journal->store(
+                key, "{\"none\":" + h.none.toJson() +
+                    ",\"gate\":" + h.gate.toJson() +
+                    ",\"trans\":" + h.trans.toJson() +
+                    ",\"sim\":" + h.sim.toJson() + "}");
         engine.reportCell(op_name, config.defects,
                           static_cast<int>(rep), 0.0);
     });
@@ -274,6 +385,18 @@ runFig10(const Fig10Config &config)
         const TaskContext &t = ctx[c.task];
         int defects = config.defectCounts[c.variant];
 
+        CellKey key{"fig10", t.spec.name,
+                    "v" + std::to_string(c.variant) + ":d" +
+                        std::to_string(defects),
+                    static_cast<uint64_t>(c.rep)};
+        if (journalLookup(config.journal, key, [&](const JsonValue &v) {
+                accuracy[i] = v.at("accuracy").asNumber();
+                cellSim[i] = SimCounters::fromJson(v.at("sim"));
+            })) {
+            engine.reportCell(t.spec.name, defects, c.rep, accuracy[i]);
+            return;
+        }
+
         // The cell's whole randomness budget comes from one
         // counter-derived stream: injection first, then fold
         // shuffling and retraining.
@@ -303,6 +426,10 @@ runFig10(const Fig10Config &config)
         }
         accuracy[i] = acc;
         cellSim[i] = accel.simCounters();
+        if (config.journal)
+            config.journal->store(
+                key, "{\"accuracy\":" + jsonNumber(acc) +
+                    ",\"sim\":" + cellSim[i].toJson() + "}");
         engine.reportCell(t.spec.name, defects, c.rep, acc);
     });
 
@@ -352,6 +479,20 @@ runFig11(const Fig11Config &config)
         size_t rep = i % reps;
         const TaskContext &t = ctx[task];
 
+        CellKey key{"fig11", t.spec.name, "v0", rep};
+        if (journalLookup(config.journal, key, [&](const JsonValue &v) {
+                Fig11Sample &s = samples[i];
+                s.task = t.spec.name;
+                s.amplitude = v.at("amplitude").asNumber();
+                s.accuracy = v.at("accuracy").asNumber();
+                s.site = v.at("site").asString();
+                cellSim[i] = SimCounters::fromJson(v.at("sim"));
+            })) {
+            engine.reportCell(t.spec.name, 1, static_cast<int>(rep),
+                              samples[i].accuracy);
+            return;
+        }
+
         Rng rng = Rng::substream(config.seed,
                                  {kStreamCell, task, 0, rep});
 
@@ -385,6 +526,12 @@ runFig11(const Fig11Config &config)
         sample.site = records.empty() ? site.describe()
                                       : records.front().what;
         cellSim[i] = accel.simCounters();
+        if (config.journal)
+            config.journal->store(
+                key, "{\"amplitude\":" + jsonNumber(sample.amplitude) +
+                    ",\"accuracy\":" + jsonNumber(sample.accuracy) +
+                    ",\"site\":" + jsonString(sample.site) +
+                    ",\"sim\":" + cellSim[i].toJson() + "}");
         engine.reportCell(t.spec.name, 1, static_cast<int>(rep),
                           sample.accuracy);
     });
@@ -418,13 +565,15 @@ runFig11(const Fig11Config &config)
 std::string
 Fig5Result::toJson() const
 {
-    std::string out = "{\"figure\":\"fig5\",\"operator\":\"";
-    out += op == Fig5Operator::Adder4 ? "adder4" : "multiplier4";
-    out += "\",\"defects\":" + std::to_string(defects);
+    std::string out = "{\"figure\":\"fig5\",\"operator\":";
+    out += jsonString(fig5OperatorName(op));
+    out += ",\"defects\":" + std::to_string(defects);
     out += ",\"repetitions\":" + std::to_string(repetitions);
-    out += ",\"histograms\":{\"none\":" + jsonHistogram(none);
-    out += ",\"gate\":" + jsonHistogram(gate);
-    out += ",\"trans\":" + jsonHistogram(trans);
+    out += ",\"fa_style\":" + jsonString(faStyleName(style));
+    out += ",\"seed\":" + std::to_string(seed);
+    out += ",\"histograms\":{\"none\":" + none.toJson();
+    out += ",\"gate\":" + gate.toJson();
+    out += ",\"trans\":" + trans.toJson();
     out += "},\"sim\":" + sim.toJson();
     out += "}";
     return out;

@@ -37,18 +37,30 @@ namespace dtann {
 /** Operator targeted by the Fig 5 experiment. */
 enum class Fig5Operator : uint8_t { Adder4, Multiplier4 };
 
-/** Scaling knobs of the small-operator defect campaign. */
-struct Fig5Config
+/** Stable operator name ("adder4"/"multiplier4"), used in JSON. */
+const char *fig5OperatorName(Fig5Operator op);
+
+/** Parse a fig5OperatorName(); returns false on unknown names. */
+bool fig5OperatorFromName(const std::string &name, Fig5Operator &out);
+
+/**
+ * Scaling knobs of the small-operator defect campaign. Execution
+ * fields (repetitions/seed/threads/progress/journal) come from the
+ * shared CampaignRunConfig base, so every campaign config presents
+ * one API shape to the scenario-spec parser.
+ */
+struct Fig5Config : CampaignRunConfig
 {
+    Fig5Config() { repetitions = 1000; }
+
     Fig5Operator op = Fig5Operator::Adder4;
     int defects = 1;
-    int repetitions = 1000; ///< faulty operators per histogram
-    uint64_t seed = 1;
     FaStyle style = FaStyle::Nand9;
-    /** Worker threads; 0 = auto (DTANN_THREADS, else hardware). */
-    int threads = 0;
-    /** Optional per-repetition progress callback. */
-    ProgressCallback onCellDone;
+
+    /** JSON object (spec echo). */
+    std::string toJson() const;
+    /** Symmetric counterpart of toJson(); throws JsonError. */
+    static Fig5Config fromJson(const JsonValue &v);
 };
 
 /** Result histograms of one Fig 5 configuration. */
@@ -57,6 +69,8 @@ struct Fig5Result
     Fig5Operator op;
     int defects;
     int repetitions;
+    FaStyle style = FaStyle::Nand9;
+    uint64_t seed = 0;  ///< the variant's derived seed
     IntHistogram none;  ///< defect-free output distribution
     IntHistogram gate;  ///< gate-level stuck-at injections
     IntHistogram trans; ///< transistor-level injections
@@ -86,6 +100,11 @@ struct Fig10Config : CampaignConfig
      * capacity to silence out defects").
      */
     bool retrain = true;
+
+    /** JSON object (spec echo). */
+    std::string toJson() const;
+    /** Symmetric counterpart of toJson(); throws JsonError. */
+    static Fig10Config fromJson(const JsonValue &v);
 };
 
 /** One (defect count, accuracy) point. */
@@ -116,6 +135,10 @@ std::vector<Fig10Curve> runFig10(const Fig10Config &config);
 /** Scaling knobs of the output-layer amplitude campaign. */
 struct Fig11Config : CampaignConfig
 {
+    /** JSON object (spec echo). */
+    std::string toJson() const;
+    /** Symmetric counterpart of toJson(); throws JsonError. */
+    static Fig11Config fromJson(const JsonValue &v);
 };
 
 /** One faulty network's (amplitude, accuracy) observation. */
@@ -171,8 +194,26 @@ toJson(const std::vector<Curve> &curves)
 }
 
 /**
+ * The shared export envelope: every campaign/bench JSON export is
+ * one object of the form
+ *
+ *   {"kind": <campaign kind>, "config": <config echo>,
+ *    "seed": <campaign seed>, "sim": <SimCounters>,
+ *    "results": <kind-specific payload>}
+ *
+ * so downstream tooling can dispatch on "kind" and reproduce any
+ * result from its embedded config echo and seed alone.
+ */
+std::string campaignEnvelope(const std::string &kind,
+                             const std::string &configJson,
+                             uint64_t seed, const SimCounters &sim,
+                             const std::string &resultsJson);
+
+/**
  * Mirror a JSON payload to $DTANN_JSON_OUT/<name>.json when that
- * environment variable names a directory.
+ * environment variable names a directory. All benches and the
+ * dtann_campaign driver export through this one path; payloads are
+ * campaignEnvelope() objects.
  *
  * @return true when a file was written
  */

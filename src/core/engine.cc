@@ -1,8 +1,93 @@
 #include "core/engine.hh"
 
+#include "common/json.hh"
+#include "common/logging.hh"
+
 namespace dtann {
 
-CampaignEngine::CampaignEngine(const CampaignConfig &config)
+std::string
+CellKey::toString() const
+{
+    return campaign + "/" + task + "/" + variant + "/" +
+        std::to_string(rep);
+}
+
+bool
+journalLookup(CellCache *journal, const CellKey &key,
+              const std::function<void(const JsonValue &)> &decode)
+{
+    if (journal == nullptr)
+        return false;
+    std::string payload;
+    if (!journal->lookup(key, payload))
+        return false;
+    try {
+        decode(jsonParse(payload));
+        return true;
+    } catch (const JsonError &e) {
+        warn("journaled cell %s is corrupt (%s); recomputing",
+             key.toString().c_str(), e.what());
+        return false;
+    }
+}
+
+std::string
+CampaignRunConfig::jsonRunFields() const
+{
+    std::string out = "\"repetitions\":" + std::to_string(repetitions);
+    out += ",\"seed\":" + std::to_string(seed);
+    out += ",\"threads\":" + std::to_string(threads);
+    return out;
+}
+
+void
+CampaignRunConfig::readRunFields(const JsonValue &v)
+{
+    repetitions = jsonGetInt(v, "repetitions", repetitions, 1,
+                             1 << 30);
+    seed = jsonGetUint(v, "seed", seed);
+    threads = jsonGetInt(v, "threads", threads, 0, 4096);
+}
+
+std::string
+CampaignConfig::jsonCampaignFields() const
+{
+    std::string out = jsonRunFields();
+    out += ",\"tasks\":[";
+    for (size_t i = 0; i < tasks.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += jsonString(tasks[i]);
+    }
+    out += "],\"folds\":" + std::to_string(folds);
+    out += ",\"rows\":" + std::to_string(rows);
+    out += ",\"epoch_scale\":" + jsonNumber(epochScale);
+    out += ",\"retrain_scale\":" + jsonNumber(retrainScale);
+    out += ",\"array\":" + array.toJson();
+    out += ",\"weighting\":" + jsonString(siteWeightingName(weighting));
+    return out;
+}
+
+void
+CampaignConfig::readCampaignFields(const JsonValue &v)
+{
+    readRunFields(v);
+    tasks = jsonGetStringArray(v, "tasks", tasks);
+    folds = jsonGetInt(v, "folds", folds, 2, 1 << 20);
+    rows = static_cast<size_t>(
+        jsonGetInt(v, "rows", static_cast<int>(rows), 0, 1 << 30));
+    epochScale = jsonGetDouble(v, "epoch_scale", epochScale);
+    retrainScale = jsonGetDouble(v, "retrain_scale", retrainScale);
+    if (const JsonValue *a = v.find("array"))
+        array = AcceleratorConfig::fromJson(*a);
+    std::string w =
+        jsonGetString(v, "weighting", siteWeightingName(weighting));
+    if (!siteWeightingFromName(w, weighting))
+        throw JsonError("unknown weighting '" + w +
+                        "' (expected uniform or transistor)");
+}
+
+CampaignEngine::CampaignEngine(const CampaignRunConfig &config)
     : pool(config.threads), onCellDone(config.onCellDone)
 {
 }

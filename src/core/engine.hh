@@ -53,28 +53,105 @@ struct CellReport
 using ProgressCallback = std::function<void(const CellReport &)>;
 
 /**
- * Knobs shared by every campaign (hoisted from the former
- * Fig10Config/Fig11Config duplication). Figure-specific configs
- * derive from this.
+ * Stable address of one campaign cell in a results journal.
+ *
+ * Cells are independent, deterministic work units: all of a cell's
+ * randomness derives from Rng::substream(seed, {root, task, variant,
+ * rep}), so a journaled cell result keyed by these coordinates can
+ * be replayed into a resumed campaign bit-identically. The variant
+ * component is a self-describing string (e.g. "v2:d6", or
+ * "v1:d4:bypass" for mitigation cells) because different campaign
+ * kinds sweep different axes.
  */
-struct CampaignConfig
+struct CellKey
+{
+    std::string campaign; ///< campaign kind ("fig5", "fig10", ...)
+    std::string task;     ///< task or operator name
+    std::string variant;  ///< swept-axis coordinates within the task
+    uint64_t rep = 0;     ///< repetition index within the variant
+
+    /** Canonical "campaign/task/variant/rep" form (map key). */
+    std::string toString() const;
+};
+
+/**
+ * Checkpoint store consulted by the campaign runners: before a cell
+ * is computed, lookup() may produce the journaled payload of a
+ * previous run (the cell is then skipped); after a cell is
+ * computed, store() persists its payload. Payloads are JSON
+ * produced and parsed by the campaign that owns the cell, and
+ * round-trip exactly, so a resumed campaign is bit-identical to an
+ * uninterrupted one. Both methods are called from worker threads
+ * and must be thread-safe.
+ */
+class CellCache
+{
+  public:
+    virtual ~CellCache() = default;
+
+    /** @return true and the payload when @p key is journaled. */
+    virtual bool lookup(const CellKey &key, std::string &payload) = 0;
+
+    /** Persist a freshly computed cell result. */
+    virtual void store(const CellKey &key,
+                       const std::string &payload) = 0;
+};
+
+/**
+ * Look @p key up in @p journal (nullptr = no journal) and hand the
+ * parsed payload to @p decode. Returns true when the cell was
+ * replayed from the journal and must be skipped; returns false —
+ * the cell must be computed — when the journal has no such key or
+ * the payload fails to parse (corrupt journals degrade to
+ * recomputation, never to a crash; a warning is logged).
+ */
+bool journalLookup(
+    CellCache *journal, const CellKey &key,
+    const std::function<void(const class JsonValue &)> &decode);
+
+/**
+ * Execution knobs shared by *every* campaign config, including
+ * Fig5Config (hoisted from the former per-config duplication so
+ * the spec parser sees one API shape everywhere).
+ */
+struct CampaignRunConfig
+{
+    int repetitions = 100; ///< faulty networks per campaign point
+    uint64_t seed = 1;
+    /** Worker threads; 0 = auto (DTANN_THREADS, else hardware). */
+    int threads = 0;
+    /** Optional per-cell progress callback. */
+    ProgressCallback onCellDone;
+    /** Optional checkpoint/resume store (owned by the caller). */
+    CellCache *journal = nullptr;
+
+    /** Shared-field JSON fragment (no surrounding braces). */
+    std::string jsonRunFields() const;
+    /** Populate the shared fields present in JSON object @p v. */
+    void readRunFields(const class JsonValue &v);
+};
+
+/**
+ * Knobs shared by the network-level campaigns (Fig 10/11, the
+ * mitigation sweep). Figure-specific configs derive from this.
+ */
+struct CampaignConfig : CampaignRunConfig
 {
     std::vector<std::string> tasks; ///< empty = all 10
-    int repetitions = 100; ///< faulty networks per campaign point
     int folds = 10;        ///< cross-validation folds
     size_t rows = 0;       ///< dataset size (0 = original)
     double epochScale = 1.0;    ///< scales baseline training epochs
     double retrainScale = 0.25; ///< retraining epochs vs baseline
-    uint64_t seed = 1;
     AcceleratorConfig array;
     /** Unit-instance draw: the paper picks operators/latches
      *  uniformly ("randomly pick one of the logic operators or
      *  latches"). */
     SiteWeighting weighting = SiteWeighting::Uniform;
-    /** Worker threads; 0 = auto (DTANN_THREADS, else hardware). */
-    int threads = 0;
-    /** Optional per-cell progress callback. */
-    ProgressCallback onCellDone;
+
+    /** Shared-field JSON fragment (run fields + campaign fields). */
+    std::string jsonCampaignFields() const;
+    /** Populate the shared fields present in JSON object @p v. */
+    void readCampaignFields(const class JsonValue &v);
 };
 
 /**
@@ -89,7 +166,7 @@ class CampaignEngine
 {
   public:
     /** Engine for @p config (thread count and progress callback). */
-    explicit CampaignEngine(const CampaignConfig &config);
+    explicit CampaignEngine(const CampaignRunConfig &config);
 
     /** Standalone engine (benches, non-figure campaigns). */
     explicit CampaignEngine(int threads,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 
 namespace dtann {
@@ -34,6 +35,74 @@ SitePool::all()
     SitePool p;
     p.hiddenLayer = p.outputLayer = true;
     return p;
+}
+
+std::string
+SitePool::toJson() const
+{
+    auto flag = [](bool b) { return b ? "true" : "false"; };
+    std::string out = "{\"hidden_layer\":";
+    out += flag(hiddenLayer);
+    out += ",\"output_layer\":";
+    out += flag(outputLayer);
+    out += ",\"latches\":";
+    out += flag(latches);
+    out += ",\"multipliers\":";
+    out += flag(multipliers);
+    out += ",\"adders\":";
+    out += flag(adders);
+    out += ",\"activations\":";
+    out += flag(activations);
+    out += "}";
+    return out;
+}
+
+SitePool
+SitePool::fromJson(const JsonValue &v)
+{
+    if (v.kind() == JsonValue::Kind::String) {
+        const std::string &name = v.asString();
+        if (name == "all")
+            return all();
+        if (name == "input_hidden")
+            return inputAndHidden();
+        if (name == "output_critical")
+            return outputCritical();
+        throw JsonError("unknown site pool '" + name +
+                        "' (expected all, input_hidden or "
+                        "output_critical)");
+    }
+    if (!v.isObject())
+        throw JsonError("site pool must be a name string or an "
+                        "object of eligibility flags");
+    SitePool p;
+    p.hiddenLayer = jsonGetBool(v, "hidden_layer", p.hiddenLayer);
+    p.outputLayer = jsonGetBool(v, "output_layer", p.outputLayer);
+    p.latches = jsonGetBool(v, "latches", p.latches);
+    p.multipliers = jsonGetBool(v, "multipliers", p.multipliers);
+    p.adders = jsonGetBool(v, "adders", p.adders);
+    p.activations = jsonGetBool(v, "activations", p.activations);
+    return p;
+}
+
+const char *
+siteWeightingName(SiteWeighting w)
+{
+    return w == SiteWeighting::Uniform ? "uniform" : "transistor";
+}
+
+bool
+siteWeightingFromName(const std::string &name, SiteWeighting &out)
+{
+    if (name == "uniform") {
+        out = SiteWeighting::Uniform;
+        return true;
+    }
+    if (name == "transistor") {
+        out = SiteWeighting::Transistor;
+        return true;
+    }
+    return false;
 }
 
 std::vector<UnitSite>

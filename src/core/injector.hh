@@ -34,6 +34,17 @@ struct SitePool
     static SitePool outputCritical();
     /** Every unit in the array. */
     static SitePool all();
+
+    /** JSON object of the six eligibility flags. */
+    std::string toJson() const;
+    /**
+     * Symmetric counterpart of toJson(). Also accepts the named
+     * shorthands "all", "input_hidden" and "output_critical" as a
+     * JSON string. Throws JsonError on anything else.
+     */
+    static SitePool fromJson(const class JsonValue &v);
+
+    bool operator==(const SitePool &o) const = default;
 };
 
 /** How unit instances are drawn. */
@@ -41,6 +52,12 @@ enum class SiteWeighting : uint8_t {
     Uniform,    ///< each eligible instance equally likely
     Transistor, ///< probability proportional to transistor count
 };
+
+/** Stable lower-case weighting name, used in JSON specs. */
+const char *siteWeightingName(SiteWeighting w);
+
+/** Parse a siteWeightingName(); returns false on unknown names. */
+bool siteWeightingFromName(const std::string &name, SiteWeighting &out);
 
 /**
  * Enumerate every unit instance of @p cfg that @p pool makes

@@ -1,6 +1,7 @@
 #include "mitigate/campaign.hh"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/json.hh"
 
@@ -53,6 +54,54 @@ prepareTask(const MitigationConfig &config, const UciTaskSpec &spec,
 
 } // namespace
 
+std::string
+MitigationConfig::toJson() const
+{
+    std::string out = "{" + jsonCampaignFields();
+    out += ",\"defect_counts\":[";
+    for (size_t i = 0; i < defectCounts.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += std::to_string(defectCounts[i]);
+    }
+    out += "],\"strategies\":[";
+    for (size_t i = 0; i < strategies.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += jsonString(strategyName(strategies[i]));
+    }
+    out += "],\"bist_vectors_per_unit\":" +
+        std::to_string(bist.vectorsPerUnit);
+    out += ",\"inject_pool\":" + injectPool.toJson();
+    out += "}";
+    return out;
+}
+
+MitigationConfig
+MitigationConfig::fromJson(const JsonValue &v)
+{
+    MitigationConfig c;
+    c.readCampaignFields(v);
+    c.defectCounts = jsonGetIntArray(v, "defect_counts", c.defectCounts);
+    if (const JsonValue *s = v.find("strategies")) {
+        c.strategies.clear();
+        for (const JsonValue &e : s->items()) {
+            Strategy strat;
+            if (!strategyFromName(e.asString(), strat))
+                throw JsonError(
+                    "unknown strategy '" + e.asString() +
+                    "' (expected noop, retrain, bypass or remap)");
+            c.strategies.push_back(strat);
+        }
+    }
+    c.bist.vectorsPerUnit = jsonGetInt(v, "bist_vectors_per_unit",
+                                       c.bist.vectorsPerUnit, 1,
+                                       1 << 20);
+    if (const JsonValue *p = v.find("inject_pool"))
+        c.injectPool = SitePool::fromJson(*p);
+    return c;
+}
+
 std::vector<MitigationCurve>
 runMitigationCampaign(const MitigationConfig &config)
 {
@@ -91,6 +140,27 @@ runMitigationCampaign(const MitigationConfig &config)
         int defects = config.defectCounts[c.variant];
         Strategy strategy = config.strategies[c.strat];
 
+        CellKey key{"mitigation", t.spec.name,
+                    "v" + std::to_string(c.variant) + ":d" +
+                        std::to_string(defects) + ":" +
+                        strategyName(strategy),
+                    static_cast<uint64_t>(c.rep)};
+        if (journalLookup(config.journal, key, [&](const JsonValue &v) {
+                MitigationOutcome &o = outcomes[i];
+                o.accuracy = v.at("accuracy").asNumber();
+                o.coverage = v.at("coverage").asNumber();
+                o.diagnosed = static_cast<int>(
+                    v.at("diagnosed").asInt(0, INT32_MAX));
+                o.mitigatedUnits = static_cast<int>(
+                    v.at("mitigated_units").asInt(0, INT32_MAX));
+                o.sim = SimCounters::fromJson(v.at("sim"));
+            })) {
+            engine.reportCell(t.spec.name + std::string(":") +
+                                  strategyName(strategy),
+                              defects, c.rep, outcomes[i].accuracy);
+            return;
+        }
+
         MitigationSetup setup{
             config.array,
             t.logical,
@@ -119,6 +189,16 @@ runMitigationCampaign(const MitigationConfig &config)
             config.seed, {kStreamCell, c.task, c.variant, c.strat,
                           static_cast<uint64_t>(c.rep)});
         outcomes[i] = makeMitigator(strategy)->run(setup, inject, rng);
+        if (config.journal) {
+            const MitigationOutcome &o = outcomes[i];
+            config.journal->store(
+                key, "{\"accuracy\":" + jsonNumber(o.accuracy) +
+                    ",\"coverage\":" + jsonNumber(o.coverage) +
+                    ",\"diagnosed\":" + std::to_string(o.diagnosed) +
+                    ",\"mitigated_units\":" +
+                    std::to_string(o.mitigatedUnits) +
+                    ",\"sim\":" + o.sim.toJson() + "}");
+        }
         engine.reportCell(t.spec.name + std::string(":") +
                               strategyName(strategy),
                           defects, c.rep, outcomes[i].accuracy);

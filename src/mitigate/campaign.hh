@@ -34,6 +34,11 @@ struct MitigationConfig : CampaignConfig
      * RemapToSpares addresses is part of the comparison.
      */
     SitePool injectPool = SitePool::all();
+
+    /** JSON object (spec echo). */
+    std::string toJson() const;
+    /** Symmetric counterpart of toJson(); throws JsonError. */
+    static MitigationConfig fromJson(const JsonValue &v);
 };
 
 /** One (defect count, accuracy) point of a strategy's curve. */

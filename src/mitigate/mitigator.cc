@@ -18,6 +18,20 @@ strategyName(Strategy s)
     panic("bad strategy");
 }
 
+bool
+strategyFromName(const std::string &name, Strategy &out)
+{
+    for (Strategy s : {Strategy::NoOp, Strategy::RetrainOnly,
+                       Strategy::BypassFaulty,
+                       Strategy::RemapToSpares}) {
+        if (name == strategyName(s)) {
+            out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
 namespace {
 
 /** Retrain through @p model and cross-validate (shared tail). */

@@ -46,6 +46,9 @@ enum class Strategy : uint8_t {
 /** Stable short name (used in reports and JSON exports). */
 const char *strategyName(Strategy s);
 
+/** Parse a strategyName(); returns false on unknown names. */
+bool strategyFromName(const std::string &name, Strategy &out);
+
 /** Per-cell inputs shared by every strategy. */
 struct MitigationSetup
 {

@@ -4,6 +4,26 @@
 
 namespace dtann {
 
+const char *
+faStyleName(FaStyle s)
+{
+    return s == FaStyle::Nand9 ? "nand9" : "mirror";
+}
+
+bool
+faStyleFromName(const std::string &name, FaStyle &out)
+{
+    if (name == "nand9") {
+        out = FaStyle::Nand9;
+        return true;
+    }
+    if (name == "mirror") {
+        out = FaStyle::Mirror;
+        return true;
+    }
+    return false;
+}
+
 Bus
 NetlistBuilder::inputBus(int width)
 {

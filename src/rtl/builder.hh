@@ -12,6 +12,7 @@
 #ifndef DTANN_RTL_BUILDER_HH
 #define DTANN_RTL_BUILDER_HH
 
+#include <string>
 #include <vector>
 
 #include "circuit/netlist.hh"
@@ -26,6 +27,12 @@ enum class FaStyle : uint8_t {
     Nand9,  ///< classic 9x NAND2 full adder (36 transistors)
     Mirror, ///< 28-transistor mirror adder (complex CMOS gates)
 };
+
+/** Stable lower-case style name ("nand9"/"mirror"), used in JSON. */
+const char *faStyleName(FaStyle s);
+
+/** Parse a faStyleName(); returns false on unknown names. */
+bool faStyleFromName(const std::string &name, FaStyle &out);
 
 /** Sum/carry pair returned by adder cells. */
 struct SumCarry

@@ -1,0 +1,116 @@
+#include "service/builtin_specs.hh"
+
+#include <stdexcept>
+
+namespace dtann {
+
+namespace {
+
+/** The documented default experiment seed (the ISCA 2012 date —
+ *  the same fallback env.cc uses for DTANN_SEED). */
+constexpr uint64_t kSeed = 20120609;
+
+/** Quick-scale knobs shared by the network-level campaigns. */
+void
+quickNetworkScale(CampaignConfig &c)
+{
+    c.folds = 2;
+    c.rows = 300;
+    c.epochScale = 0.3;
+    c.retrainScale = 0.3;
+}
+
+ScenarioSpec
+fig5Spec(bool full)
+{
+    ScenarioSpec s;
+    s.kind = s.name = "fig5";
+    s.fig5.seed = kSeed;
+    s.fig5.repetitions = full ? 1000 : 200;
+    s.fig5.operators = {Fig5Operator::Adder4, Fig5Operator::Multiplier4};
+    s.fig5.defectCounts = {1, 5, 20};
+    return s;
+}
+
+ScenarioSpec
+fig10Spec(bool full)
+{
+    ScenarioSpec s;
+    s.kind = s.name = "fig10";
+    s.fig10.seed = kSeed;
+    if (full) {
+        s.fig10.repetitions = 100;
+    } else {
+        s.fig10.defectCounts = {0, 3, 6, 12, 18, 24, 27, 54};
+        s.fig10.repetitions = 1;
+        quickNetworkScale(s.fig10);
+    }
+    return s;
+}
+
+ScenarioSpec
+fig11Spec(bool full)
+{
+    ScenarioSpec s;
+    s.kind = s.name = "fig11";
+    s.fig11.seed = kSeed;
+    if (full) {
+        s.fig11.repetitions = 100;
+    } else {
+        s.fig11.tasks = {"iris", "ionosphere", "robot", "wine"};
+        s.fig11.repetitions = 12;
+        quickNetworkScale(s.fig11);
+    }
+    return s;
+}
+
+ScenarioSpec
+mitigationSpec(bool full)
+{
+    ScenarioSpec s;
+    s.kind = s.name = "mitigation";
+    MitigationConfig &c = s.mitigation;
+    c.seed = kSeed;
+    // Low-class-count tasks leave spare physical output rows on the
+    // 90-10-10 array for the remap strategy to use.
+    if (full) {
+        c.tasks = {"breast", "iris", "vehicle"};
+        c.defectCounts = {0, 2, 4, 8, 14, 20, 27};
+        c.repetitions = 30;
+        c.bist.vectorsPerUnit = 16;
+    } else {
+        c.tasks = {"breast", "iris"};
+        c.defectCounts = {0, 2, 4, 8, 14};
+        c.repetitions = 3;
+        c.rows = 240;
+        c.folds = 2;
+        c.epochScale = 0.3;
+        c.retrainScale = 0.3;
+        c.bist.vectorsPerUnit = 8;
+    }
+    return s;
+}
+
+} // namespace
+
+ScenarioSpec
+builtinSpec(const std::string &kind, bool full)
+{
+    if (kind == "fig5")
+        return fig5Spec(full);
+    if (kind == "fig10")
+        return fig10Spec(full);
+    if (kind == "fig11")
+        return fig11Spec(full);
+    if (kind == "mitigation")
+        return mitigationSpec(full);
+    throw std::invalid_argument("unknown built-in spec '" + kind + "'");
+}
+
+std::vector<std::string>
+builtinSpecNames()
+{
+    return scenarioKinds();
+}
+
+} // namespace dtann

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Built-in scenario specs: the quick/full campaign shapes the
+ * figure benches used to hardcode, now expressed as ScenarioSpecs
+ * so `bench_fig10` and `dtann_campaign --builtin fig10` run the
+ * exact same campaign through the exact same path.
+ */
+
+#ifndef DTANN_SERVICE_BUILTIN_SPECS_HH
+#define DTANN_SERVICE_BUILTIN_SPECS_HH
+
+#include <string>
+#include <vector>
+
+#include "service/spec.hh"
+
+namespace dtann {
+
+/**
+ * The built-in spec for @p kind ("fig5", "fig10", "fig11",
+ * "mitigation") at quick (@p full = false) or paper (@p full =
+ * true) scale. Quick scale preserves the shape of every paper
+ * result at a fraction of the runtime; see EXPERIMENTS.md.
+ *
+ * @throws std::invalid_argument on unknown kinds
+ */
+ScenarioSpec builtinSpec(const std::string &kind, bool full);
+
+/** Names accepted by builtinSpec() (== scenarioKinds()). */
+std::vector<std::string> builtinSpecNames();
+
+} // namespace dtann
+
+#endif // DTANN_SERVICE_BUILTIN_SPECS_HH

@@ -1,0 +1,99 @@
+#include "service/journal.hh"
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace dtann {
+
+ResultJournal::ResultJournal(const std::string &path,
+                             const std::string &specEcho)
+{
+    std::ifstream in(path);
+    std::string line;
+    bool have_header = false;
+    size_t lineno = 0;
+    while (in && std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        if (!have_header) {
+            // A corrupt header is not recoverable: without it we
+            // cannot tell whose cells these are.
+            JsonValue v = jsonParse(line);
+            if (v.at("journal").asString() != "dtann")
+                throw JsonError("'" + path +
+                                "' is not a dtann results journal");
+            if (v.at("spec").asString() != specEcho)
+                throw JsonError(
+                    "journal '" + path +
+                    "' was written by a different spec; point "
+                    "--journal at a fresh file or delete it");
+            have_header = true;
+            continue;
+        }
+        try {
+            JsonValue v = jsonParse(line);
+            cells[v.at("cell").asString()] = v.at("payload").asString();
+        } catch (const JsonError &e) {
+            // Typically the partial trailing line of a killed run.
+            warn("journal '%s' line %zu is unreadable (%s); "
+                 "skipping it",
+                 path.c_str(), lineno, e.what());
+        }
+    }
+    in.close();
+    resumed = cells.size();
+
+    // A killed run can leave a partial record with no trailing
+    // newline; appending straight onto it would corrupt the next
+    // record too. Seal such a tail with a newline so the partial
+    // line stays an isolated (warned, skipped) casualty.
+    bool seal_tail = false;
+    {
+        std::ifstream tail(path, std::ios::binary | std::ios::ate);
+        if (tail && tail.tellg() > 0) {
+            tail.seekg(-1, std::ios::end);
+            char last = '\n';
+            tail.get(last);
+            seal_tail = last != '\n';
+        }
+    }
+
+    out.open(path, std::ios::app);
+    if (!out)
+        throw std::runtime_error("cannot open journal '" + path +
+                                 "' for writing");
+    if (seal_tail) {
+        out << "\n";
+        out.flush();
+    }
+    if (!have_header) {
+        out << "{\"journal\":\"dtann\",\"version\":1,\"spec\":"
+            << jsonString(specEcho) << "}\n";
+        out.flush();
+    }
+}
+
+bool
+ResultJournal::lookup(const CellKey &key, std::string &payload)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cells.find(key.toString());
+    if (it == cells.end())
+        return false;
+    payload = it->second;
+    return true;
+}
+
+void
+ResultJournal::store(const CellKey &key, const std::string &payload)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (!cells.emplace(key.toString(), payload).second)
+        return; // already journaled; keep the file append-once
+    out << "{\"cell\":" << jsonString(key.toString())
+        << ",\"payload\":" << jsonString(payload) << "}\n";
+    out.flush();
+}
+
+} // namespace dtann

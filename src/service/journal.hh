@@ -1,0 +1,64 @@
+/**
+ * @file
+ * File-backed results journal (the CellCache the driver plugs into
+ * campaign runners for checkpoint/resume).
+ *
+ * Format: JSON Lines. The first line is a header binding the
+ * journal to one spec; every following line is one completed cell:
+ *
+ *   {"journal":"dtann","version":1,"spec":"<canonical spec echo>"}
+ *   {"cell":"fig10/iris/v2:d6/17","payload":"<cell result JSON>"}
+ *
+ * Spec echo and cell payloads are stored as JSON *strings* (escaped
+ * documents) so resume compares and replays them byte-exactly — the
+ * round-trip guarantee the bit-identical-resume contract rests on.
+ * Cells are appended and flushed as they complete, so a killed run
+ * loses at most the line being written; a partial trailing line is
+ * tolerated (skipped with a warning) on reopen. Reopening with a
+ * different spec echo is an error: a journal belongs to exactly one
+ * campaign.
+ */
+
+#ifndef DTANN_SERVICE_JOURNAL_HH
+#define DTANN_SERVICE_JOURNAL_HH
+
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/engine.hh"
+
+namespace dtann {
+
+class ResultJournal final : public CellCache
+{
+  public:
+    /**
+     * Open @p path, creating it (with a header) when absent or
+     * empty, else loading its journaled cells for resume.
+     *
+     * @param specEcho the campaign's canonical spec JSON
+     *        (ScenarioSpec::toJson() after overrides); must match
+     *        the header of an existing journal byte-for-byte
+     * @throws JsonError on a corrupt header or a spec mismatch
+     * @throws std::runtime_error when the file cannot be opened
+     */
+    ResultJournal(const std::string &path, const std::string &specEcho);
+
+    /** Cells loaded from an existing journal at open. */
+    size_t resumedCells() const { return resumed; }
+
+    bool lookup(const CellKey &key, std::string &payload) override;
+    void store(const CellKey &key, const std::string &payload) override;
+
+  private:
+    std::mutex mu;
+    std::map<std::string, std::string> cells; ///< key -> payload
+    std::ofstream out;                        ///< append stream
+    size_t resumed = 0;
+};
+
+} // namespace dtann
+
+#endif // DTANN_SERVICE_JOURNAL_HH

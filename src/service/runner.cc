@@ -1,0 +1,105 @@
+#include "service/runner.hh"
+
+#include <cstdlib>
+
+#include "common/env.hh"
+#include "common/json.hh"
+
+namespace dtann {
+
+namespace {
+
+/**
+ * Config echo for the result envelope. The worker thread count is
+ * an execution knob, not campaign data — results are bit-identical
+ * at any width — so it is normalized to 0 here, keeping the whole
+ * export reproducible across widths (and across journal resumes
+ * that change the width).
+ */
+template <typename Config>
+std::string
+echoJson(const Config &config)
+{
+    Config echo = config;
+    echo.threads = 0;
+    return echo.toJson();
+}
+
+} // namespace
+
+ScenarioResult
+runScenario(const ScenarioSpec &spec)
+{
+    ScenarioResult r;
+    r.kind = spec.kind;
+    r.name = spec.name.empty() ? spec.kind : spec.name;
+
+    std::string results;
+    if (spec.kind == "fig5") {
+        // The sweep expander turns the spec axes into independent
+        // per-variant configs; each variant parallelises its
+        // repetitions internally.
+        results = "[";
+        for (const Fig5Config &cell : spec.fig5.expand()) {
+            Fig5Result res = runFig5(cell);
+            r.sim.merge(res.sim);
+            r.cells += static_cast<size_t>(res.repetitions);
+            if (results.size() > 1)
+                results += ",";
+            results += res.toJson();
+            r.fig5.push_back(std::move(res));
+        }
+        results += "]";
+        r.json = campaignEnvelope(r.kind, echoJson(spec.fig5),
+                                  spec.fig5.seed, r.sim, results);
+    } else if (spec.kind == "fig10") {
+        r.fig10 = runFig10(spec.fig10);
+        for (const Fig10Curve &c : r.fig10) {
+            r.sim.merge(c.sim);
+            for (const Fig10Point &p : c.points)
+                r.cells += p.defects == 0
+                    ? 1
+                    : static_cast<size_t>(spec.fig10.repetitions);
+        }
+        r.json = campaignEnvelope(r.kind, echoJson(spec.fig10),
+                                  spec.fig10.seed, r.sim,
+                                  toJson(r.fig10));
+    } else if (spec.kind == "fig11") {
+        r.fig11 = runFig11(spec.fig11);
+        for (const Fig11Curve &c : r.fig11) {
+            r.sim.merge(c.sim);
+            r.cells += c.samples.size();
+        }
+        r.json = campaignEnvelope(r.kind, echoJson(spec.fig11),
+                                  spec.fig11.seed, r.sim,
+                                  toJson(r.fig11));
+    } else {
+        r.mitigation = runMitigationCampaign(spec.mitigation);
+        for (const MitigationCurve &c : r.mitigation) {
+            r.sim.merge(c.sim);
+            for (const MitigationPoint &p : c.points)
+                r.cells += p.defects == 0
+                    ? 1
+                    : static_cast<size_t>(
+                          spec.mitigation.repetitions);
+        }
+        r.json = campaignEnvelope(r.kind, echoJson(spec.mitigation),
+                                  spec.mitigation.seed, r.sim,
+                                  toJson(r.mitigation));
+    }
+    return r;
+}
+
+void
+applyEnvOverrides(ScenarioSpec &spec)
+{
+    CampaignRunConfig &run = spec.runConfig();
+    // experimentSeed() falls back to the repo default when DTANN_SEED
+    // is unset — only an explicitly set knob may beat the spec.
+    if (std::getenv("DTANN_SEED") != nullptr)
+        run.seed = experimentSeed();
+    if (threadCount() != 0)
+        run.threads = threadCount();
+}
+
+} // namespace dtann

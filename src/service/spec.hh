@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Scenario specs: one JSON document describes one campaign.
+ *
+ * A spec names a campaign kind ("fig5", "fig10", "fig11",
+ * "mitigation") and carries that kind's config fields inline —
+ * parsed into the existing config structs through their fromJson()
+ * constructors, which are symmetric with toJson(), so
+ * parse(spec.toJson()) is the identity. The dtann_campaign driver
+ * runs any spec through the campaign runners (service/runner.hh);
+ * the benches build their specs from service/builtin_specs.hh.
+ *
+ * Fig 5 is the one kind whose paper experiment sweeps an axis the
+ * per-run config cannot express (operator x defect count), so its
+ * spec level is a Fig5Sweep that expand()s into per-variant
+ * Fig5Configs with counter-derived per-variant seeds.
+ */
+
+#ifndef DTANN_SERVICE_SPEC_HH
+#define DTANN_SERVICE_SPEC_HH
+
+#include <string>
+#include <vector>
+
+#include "core/campaign.hh"
+#include "mitigate/campaign.hh"
+
+namespace dtann {
+
+/**
+ * The Fig 5 sweep axes: operators x defect counts, cross-producted
+ * by expand() into independent Fig5Config variants.
+ */
+struct Fig5Sweep : CampaignRunConfig
+{
+    Fig5Sweep() { repetitions = 1000; }
+
+    std::vector<Fig5Operator> operators = {Fig5Operator::Adder4};
+    std::vector<int> defectCounts = {1};
+    FaStyle style = FaStyle::Nand9;
+
+    /** JSON object (spec echo). */
+    std::string toJson() const;
+    /** Symmetric counterpart of toJson(); throws JsonError. */
+    static Fig5Sweep fromJson(const JsonValue &v);
+
+    /**
+     * Cross-product the axes into one Fig5Config per (operator,
+     * defect count) cell, operator-major. Every variant derives its
+     * own seed (seed + defects + 1000 * operator index) so results
+     * are independent of sweep order; journal/threads/progress are
+     * propagated verbatim.
+     */
+    std::vector<Fig5Config> expand() const;
+};
+
+/**
+ * One parsed scenario spec. Exactly the config matching `kind` is
+ * meaningful; the others stay default-constructed.
+ */
+struct ScenarioSpec
+{
+    std::string kind; ///< "fig5" | "fig10" | "fig11" | "mitigation"
+    /** Export name (JSON file stem, journal display); default kind. */
+    std::string name;
+
+    Fig5Sweep fig5;
+    Fig10Config fig10;
+    Fig11Config fig11;
+    MitigationConfig mitigation;
+
+    /** The active kind's execution knobs (seed/threads/journal/...). */
+    CampaignRunConfig &runConfig();
+    const CampaignRunConfig &runConfig() const;
+
+    /**
+     * Canonical JSON echo: {"kind":..., "name":..., <config
+     * fields>}. Execution-context members that are not data
+     * (progress callback, journal pointer) are not part of it.
+     */
+    std::string toJson() const;
+
+    /**
+     * The echo a results journal binds to: toJson() with the worker
+     * thread count normalized to 0. Campaign results are
+     * bit-identical for any thread count, so a journal written at
+     * one width must resume at another; every other field changes
+     * the campaign's results and therefore the journal identity.
+     */
+    std::string journalEcho() const;
+
+    /** Symmetric counterpart of toJson(); throws JsonError. */
+    static ScenarioSpec fromJson(const JsonValue &v);
+
+    /** Parse a spec document; throws JsonError with position info. */
+    static ScenarioSpec parse(const std::string &text);
+};
+
+/** The valid spec kinds, for error messages and --list. */
+std::vector<std::string> scenarioKinds();
+
+} // namespace dtann
+
+#endif // DTANN_SERVICE_SPEC_HH

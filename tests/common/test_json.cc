@@ -1,0 +1,152 @@
+/**
+ * @file
+ * JSON reader tests: the parser that backs scenario specs and
+ * result journals, and its symmetry with the emission helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "common/json.hh"
+
+namespace dtann {
+namespace {
+
+TEST(JsonParse, Scalars)
+{
+    EXPECT_TRUE(jsonParse("null").isNull());
+    EXPECT_TRUE(jsonParse("true").asBool());
+    EXPECT_FALSE(jsonParse("false").asBool());
+    EXPECT_DOUBLE_EQ(jsonParse("3.25").asNumber(), 3.25);
+    EXPECT_DOUBLE_EQ(jsonParse("-4e2").asNumber(), -400.0);
+    EXPECT_EQ(jsonParse("42").asInt(), 42);
+    EXPECT_EQ(jsonParse("\"hi\"").asString(), "hi");
+}
+
+TEST(JsonParse, Containers)
+{
+    JsonValue v = jsonParse("[1, [2, 3], {\"a\": 4}]");
+    ASSERT_TRUE(v.isArray());
+    ASSERT_EQ(v.items().size(), 3u);
+    EXPECT_EQ(v.items()[0].asInt(), 1);
+    EXPECT_EQ(v.items()[1].items()[1].asInt(), 3);
+    EXPECT_EQ(v.items()[2].at("a").asInt(), 4);
+}
+
+TEST(JsonParse, ObjectKeepsInsertionOrder)
+{
+    JsonValue v = jsonParse("{\"z\": 1, \"a\": 2, \"m\": 3}");
+    ASSERT_EQ(v.members().size(), 3u);
+    EXPECT_EQ(v.members()[0].first, "z");
+    EXPECT_EQ(v.members()[1].first, "a");
+    EXPECT_EQ(v.members()[2].first, "m");
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    EXPECT_EQ(jsonParse("\"a\\\"b\\\\c\\n\"").asString(), "a\"b\\c\n");
+    // \u escapes decode to UTF-8.
+    EXPECT_EQ(jsonParse("\"\\u0041\"").asString(), "A");
+    EXPECT_EQ(jsonParse("\"\\u00e9\"").asString(), "\xc3\xa9");
+}
+
+TEST(JsonParse, EscapeEmitParseRoundTrip)
+{
+    std::string nasty = "line\nquote\"back\\slash\ttab\x01";
+    EXPECT_EQ(jsonParse(jsonString(nasty)).asString(), nasty);
+}
+
+TEST(JsonParse, NumberRoundTripsExactly)
+{
+    for (double x : {0.1, 1.0 / 3.0, 1e-300, -2.5e17,
+                     std::numeric_limits<double>::denorm_min()})
+        EXPECT_EQ(jsonParse(jsonNumber(x)).asNumber(), x);
+}
+
+TEST(JsonParse, Uint64BeyondDoubleRange)
+{
+    // 2^63 + 1 is not representable as a double integer; asUint()
+    // must recover it from the raw token.
+    uint64_t big = (1ull << 63) + 1;
+    JsonValue v = jsonParse(std::to_string(big));
+    EXPECT_EQ(v.asUint(), big);
+}
+
+TEST(JsonParse, ErrorsCarryPosition)
+{
+    try {
+        jsonParse("{\"a\": 1,\n  oops}");
+        FAIL() << "expected JsonError";
+    } catch (const JsonError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(JsonParse, RejectsMalformedDocuments)
+{
+    EXPECT_THROW(jsonParse(""), JsonError);
+    EXPECT_THROW(jsonParse("{\"a\":}"), JsonError);
+    EXPECT_THROW(jsonParse("[1,]"), JsonError);
+    EXPECT_THROW(jsonParse("\"unterminated"), JsonError);
+    EXPECT_THROW(jsonParse("{\"a\":1} trailing"), JsonError);
+    EXPECT_THROW(jsonParse("nul"), JsonError);
+    EXPECT_THROW(jsonParse("\"bad \\q escape\""), JsonError);
+}
+
+TEST(JsonParse, RejectsDuplicateKeys)
+{
+    EXPECT_THROW(jsonParse("{\"a\": 1, \"a\": 2}"), JsonError);
+}
+
+TEST(JsonValueAccessors, KindMismatchesThrow)
+{
+    JsonValue v = jsonParse("{\"s\": \"x\", \"n\": 1.5}");
+    EXPECT_THROW(v.at("s").asNumber(), JsonError);
+    EXPECT_THROW(v.at("n").asString(), JsonError);
+    EXPECT_THROW(v.at("n").items(), JsonError);
+    EXPECT_THROW(v.asNumber(), JsonError); // object is not a number
+    EXPECT_THROW(v.at("missing"), JsonError);
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonValueAccessors, IntRangeChecks)
+{
+    EXPECT_THROW(jsonParse("1.5").asInt(), JsonError);
+    EXPECT_THROW(jsonParse("300").asInt(0, 255), JsonError);
+    EXPECT_THROW(jsonParse("-1").asUint(), JsonError);
+    EXPECT_EQ(jsonParse("255").asInt(0, 255), 255);
+}
+
+TEST(JsonTypedReaders, FallbackAndMismatch)
+{
+    JsonValue v = jsonParse(
+        "{\"i\": 7, \"d\": 0.5, \"b\": true, \"s\": \"str\","
+        " \"ia\": [1,2], \"sa\": [\"x\"]}");
+    EXPECT_EQ(jsonGetInt(v, "i", -1), 7);
+    EXPECT_EQ(jsonGetInt(v, "absent", -1), -1);
+    EXPECT_DOUBLE_EQ(jsonGetDouble(v, "d", 0.0), 0.5);
+    EXPECT_TRUE(jsonGetBool(v, "b", false));
+    EXPECT_EQ(jsonGetString(v, "s", ""), "str");
+    EXPECT_EQ(jsonGetIntArray(v, "ia", {}),
+              (std::vector<int>{1, 2}));
+    EXPECT_EQ(jsonGetStringArray(v, "sa", {}),
+              (std::vector<std::string>{"x"}));
+
+    // Mismatches name the offending key.
+    try {
+        jsonGetInt(v, "s", 0);
+        FAIL() << "expected JsonError";
+    } catch (const JsonError &e) {
+        EXPECT_NE(std::string(e.what()).find("'s'"),
+                  std::string::npos)
+            << e.what();
+    }
+    EXPECT_THROW(jsonGetIntArray(v, "sa", {}), JsonError);
+}
+
+} // namespace
+} // namespace dtann

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * ResultJournal tests: the JSONL checkpoint store — append, reopen,
+ * spec binding, and tolerance of the partial trailing line a killed
+ * run leaves behind.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "service/journal.hh"
+
+namespace dtann {
+namespace {
+
+std::string
+tempPath(const std::string &stem)
+{
+    return testing::TempDir() + "dtann_" + stem + "_" +
+        std::to_string(::getpid()) + ".jnl";
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream s;
+    s << in.rdbuf();
+    return s.str();
+}
+
+TEST(ResultJournal, StoreThenReopenReplays)
+{
+    std::string path = tempPath("reopen");
+    std::remove(path.c_str());
+    CellKey a{"fig10", "iris", "v0:d0", 0};
+    CellKey b{"fig10", "iris", "v1:d4", 3};
+    {
+        ResultJournal j(path, "{\"kind\":\"fig10\"}");
+        EXPECT_EQ(j.resumedCells(), 0u);
+        std::string payload;
+        EXPECT_FALSE(j.lookup(a, payload));
+        j.store(a, "{\"accuracy\":0.5}");
+        j.store(b, "{\"accuracy\":0.25}");
+    }
+    ResultJournal j(path, "{\"kind\":\"fig10\"}");
+    EXPECT_EQ(j.resumedCells(), 2u);
+    std::string payload;
+    ASSERT_TRUE(j.lookup(a, payload));
+    EXPECT_EQ(payload, "{\"accuracy\":0.5}");
+    ASSERT_TRUE(j.lookup(b, payload));
+    EXPECT_EQ(payload, "{\"accuracy\":0.25}");
+    EXPECT_FALSE(j.lookup({"fig10", "iris", "v0:d0", 1}, payload));
+    std::remove(path.c_str());
+}
+
+TEST(ResultJournal, RejectsDifferentSpec)
+{
+    std::string path = tempPath("mismatch");
+    std::remove(path.c_str());
+    { ResultJournal j(path, "{\"seed\":1}"); }
+    EXPECT_THROW(ResultJournal(path, "{\"seed\":2}"), JsonError);
+    std::remove(path.c_str());
+}
+
+TEST(ResultJournal, RejectsForeignFiles)
+{
+    std::string path = tempPath("foreign");
+    {
+        std::ofstream out(path);
+        out << "{\"some\":\"other file\"}\n";
+    }
+    EXPECT_THROW(ResultJournal(path, "{}"), JsonError);
+    std::remove(path.c_str());
+}
+
+TEST(ResultJournal, ToleratesPartialTrailingLine)
+{
+    std::string path = tempPath("partial");
+    std::remove(path.c_str());
+    {
+        ResultJournal j(path, "{}");
+        j.store({"fig5", "adder4", "d2", 0}, "{\"x\":1}");
+    }
+    // Simulate a kill mid-append: a truncated final line.
+    {
+        std::ofstream out(path, std::ios::app);
+        out << "{\"cell\":\"fig5/adder4/d2/1\",\"payl";
+    }
+    ResultJournal j(path, "{}");
+    EXPECT_EQ(j.resumedCells(), 1u);
+    std::string payload;
+    EXPECT_TRUE(j.lookup({"fig5", "adder4", "d2", 0}, payload));
+    EXPECT_FALSE(j.lookup({"fig5", "adder4", "d2", 1}, payload));
+    // The journal stays usable for appends after the bad line.
+    j.store({"fig5", "adder4", "d2", 2}, "{\"x\":3}");
+    ResultJournal j2(path, "{}");
+    EXPECT_EQ(j2.resumedCells(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(ResultJournal, StoreIsAppendOncePerKey)
+{
+    std::string path = tempPath("idem");
+    std::remove(path.c_str());
+    {
+        ResultJournal j(path, "{}");
+        j.store({"fig5", "adder4", "d1", 0}, "{\"x\":1}");
+        j.store({"fig5", "adder4", "d1", 0}, "{\"x\":1}");
+    }
+    std::string text = slurp(path);
+    size_t lines = 0;
+    for (char c : text)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 2u); // header + one cell
+    std::remove(path.c_str());
+}
+
+TEST(ResultJournal, PayloadsSurviveEscaping)
+{
+    // Payloads are stored as escaped JSON strings; the exact bytes
+    // must come back (the bit-identical-resume contract).
+    std::string path = tempPath("escape");
+    std::remove(path.c_str());
+    std::string payload =
+        "{\"site\":\"output adder \\\"7\\\"\",\"v\":0.1}";
+    {
+        ResultJournal j(path, "{}");
+        j.store({"fig11", "iris", "v0", 0}, payload);
+    }
+    ResultJournal j(path, "{}");
+    std::string got;
+    ASSERT_TRUE(j.lookup({"fig11", "iris", "v0", 0}, got));
+    EXPECT_EQ(got, payload);
+    std::remove(path.c_str());
+}
+
+TEST(CellKey, CanonicalString)
+{
+    CellKey k{"mitigation", "breast", "v2:d4:bypass", 17};
+    EXPECT_EQ(k.toString(), "mitigation/breast/v2:d4:bypass/17");
+}
+
+} // namespace
+} // namespace dtann

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Kill-and-resume bit-identity: a campaign resumed from a
+ * truncated journal must produce byte-for-byte the same export as
+ * an uninterrupted run — the tentpole contract of the service
+ * layer. Also covers the corrupt-payload path (recompute, don't
+ * crash) and full-journal replays that do no simulation work.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+#include <vector>
+
+#include "service/journal.hh"
+#include "service/runner.hh"
+
+namespace dtann {
+namespace {
+
+std::string
+tempPath(const std::string &stem)
+{
+    return testing::TempDir() + "dtann_" + stem + "_" +
+        std::to_string(::getpid()) + ".jnl";
+}
+
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+void
+writeLines(const std::string &path,
+           const std::vector<std::string> &lines)
+{
+    std::ofstream out(path);
+    for (const std::string &l : lines)
+        out << l << "\n";
+}
+
+/** Run @p spec against a journal at @p path. */
+std::string
+runWithJournal(ScenarioSpec spec, const std::string &path,
+               size_t *resumed = nullptr)
+{
+    ResultJournal journal(path, spec.journalEcho());
+    if (resumed != nullptr)
+        *resumed = journal.resumedCells();
+    spec.runConfig().journal = &journal;
+    return runScenario(spec).json;
+}
+
+/** A seconds-scale fig10 campaign with several journalable cells. */
+ScenarioSpec
+tinyFig10()
+{
+    ScenarioSpec spec;
+    spec.kind = spec.name = "fig10";
+    spec.fig10.tasks = {"iris"};
+    spec.fig10.defectCounts = {0, 3};
+    spec.fig10.repetitions = 3;
+    spec.fig10.folds = 2;
+    spec.fig10.rows = 90;
+    spec.fig10.epochScale = 0.1;
+    spec.fig10.retrainScale = 0.2;
+    spec.fig10.seed = 11;
+    spec.fig10.threads = 2;
+    return spec;
+}
+
+ScenarioSpec
+tinyFig5()
+{
+    ScenarioSpec spec;
+    spec.kind = spec.name = "fig5";
+    spec.fig5.operators = {Fig5Operator::Adder4,
+                           Fig5Operator::Multiplier4};
+    spec.fig5.defectCounts = {2};
+    spec.fig5.repetitions = 4;
+    spec.fig5.seed = 5;
+    spec.fig5.threads = 2;
+    return spec;
+}
+
+ScenarioSpec
+tinyMitigation()
+{
+    ScenarioSpec spec;
+    spec.kind = spec.name = "mitigation";
+    spec.mitigation.tasks = {"iris"};
+    spec.mitigation.defectCounts = {0, 4};
+    spec.mitigation.strategies = {Strategy::RetrainOnly,
+                                  Strategy::RemapToSpares};
+    spec.mitigation.repetitions = 2;
+    spec.mitigation.folds = 2;
+    spec.mitigation.rows = 90;
+    spec.mitigation.epochScale = 0.1;
+    spec.mitigation.retrainScale = 0.2;
+    spec.mitigation.bist.vectorsPerUnit = 4;
+    spec.mitigation.seed = 13;
+    spec.mitigation.threads = 2;
+    return spec;
+}
+
+class ResumeBitIdentity
+    : public testing::TestWithParam<ScenarioSpec (*)()>
+{
+};
+
+TEST_P(ResumeBitIdentity, TruncatedJournalResumesExactly)
+{
+    ScenarioSpec spec = GetParam()();
+    std::string path = tempPath("resume_" + spec.kind);
+    std::remove(path.c_str());
+
+    // Ground truth: no journal at all.
+    std::string expected = runScenario(spec).json;
+
+    // First run journals every cell and matches the journal-less run.
+    EXPECT_EQ(runWithJournal(spec, path), expected);
+
+    std::vector<std::string> lines = readLines(path);
+    ASSERT_GT(lines.size(), 3u) << "want cells to truncate";
+
+    // Kill simulation: drop the tail, keep header + a cell prefix.
+    std::vector<std::string> truncated(
+        lines.begin(), lines.begin() + (lines.size() / 2 + 1));
+    writeLines(path, truncated);
+
+    size_t resumed = 0;
+    EXPECT_EQ(runWithJournal(spec, path, &resumed), expected);
+    EXPECT_EQ(resumed, truncated.size() - 1);
+
+    // A complete journal replays everything, still bit-identically.
+    size_t all = 0;
+    EXPECT_EQ(runWithJournal(spec, path, &all), expected);
+    EXPECT_EQ(all, lines.size() - 1);
+    std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Campaigns, ResumeBitIdentity,
+    testing::Values(&tinyFig10, &tinyFig5, &tinyMitigation),
+    [](const testing::TestParamInfo<ScenarioSpec (*)()> &info) {
+        return info.param().kind;
+    });
+
+TEST(Resume, CorruptPayloadRecomputesBitIdentically)
+{
+    ScenarioSpec spec = tinyFig10();
+    std::string path = tempPath("corrupt");
+    std::remove(path.c_str());
+
+    std::string expected = runWithJournal(spec, path);
+
+    // Mangle one journaled payload into undecodable JSON. The
+    // resumed run must warn, recompute that cell, and still match.
+    std::vector<std::string> lines = readLines(path);
+    ASSERT_GT(lines.size(), 2u);
+    lines[2] = lines[2].substr(0, lines[2].find("\"payload\"")) +
+        "\"payload\":\"{\\\"not\\\": \\\"a cell\\\"}\"}";
+    writeLines(path, lines);
+
+    EXPECT_EQ(runWithJournal(spec, path), expected);
+    std::remove(path.c_str());
+}
+
+TEST(Resume, ThreadCountInvariantWithJournal)
+{
+    // Journaled replay must not depend on scheduling: resume with a
+    // different thread count and still match.
+    ScenarioSpec spec = tinyFig10();
+    std::string path = tempPath("threads");
+    std::remove(path.c_str());
+
+    std::string expected = runScenario(spec).json;
+    runWithJournal(spec, path);
+
+    std::vector<std::string> lines = readLines(path);
+    writeLines(path, {lines.begin(), lines.begin() + 2});
+
+    // The journal echo normalizes the thread count away, so the
+    // same journal serves any execution width.
+    ScenarioSpec wide = spec;
+    wide.fig10.threads = 4;
+    EXPECT_EQ(runWithJournal(wide, path), expected);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace dtann

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Scenario-spec tests: parse -> toJson -> parse identity for every
+ * campaign kind, the Fig 5 sweep expander, env overrides, and the
+ * error messages malformed specs produce.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/json.hh"
+#include "service/builtin_specs.hh"
+#include "service/runner.hh"
+#include "service/spec.hh"
+
+namespace dtann {
+namespace {
+
+TEST(ScenarioSpec, RoundTripIsIdentityForEveryBuiltin)
+{
+    for (const std::string &kind : builtinSpecNames())
+        for (bool full : {false, true}) {
+            ScenarioSpec spec = builtinSpec(kind, full);
+            std::string echo = spec.toJson();
+            ScenarioSpec reparsed = ScenarioSpec::parse(echo);
+            EXPECT_EQ(reparsed.toJson(), echo)
+                << kind << (full ? " full" : " quick");
+            EXPECT_EQ(reparsed.kind, kind);
+        }
+}
+
+TEST(ScenarioSpec, ParsePopulatesConfigFields)
+{
+    ScenarioSpec spec = ScenarioSpec::parse(R"({
+        "kind": "fig10",
+        "name": "my-run",
+        "repetitions": 5,
+        "seed": 99,
+        "tasks": ["iris", "wine"],
+        "folds": 3,
+        "rows": 120,
+        "epoch_scale": 0.5,
+        "retrain_scale": 0.4,
+        "defect_counts": [0, 4, 8],
+        "retrain": false
+    })");
+    EXPECT_EQ(spec.kind, "fig10");
+    EXPECT_EQ(spec.name, "my-run");
+    EXPECT_EQ(spec.fig10.repetitions, 5);
+    EXPECT_EQ(spec.fig10.seed, 99u);
+    EXPECT_EQ(spec.fig10.tasks,
+              (std::vector<std::string>{"iris", "wine"}));
+    EXPECT_EQ(spec.fig10.folds, 3);
+    EXPECT_EQ(spec.fig10.rows, 120u);
+    EXPECT_DOUBLE_EQ(spec.fig10.epochScale, 0.5);
+    EXPECT_EQ(spec.fig10.defectCounts, (std::vector<int>{0, 4, 8}));
+    EXPECT_FALSE(spec.fig10.retrain);
+}
+
+TEST(ScenarioSpec, OmittedFieldsKeepDefaults)
+{
+    ScenarioSpec spec = ScenarioSpec::parse("{\"kind\": \"fig11\"}");
+    Fig11Config defaults;
+    EXPECT_EQ(spec.name, "fig11");
+    EXPECT_EQ(spec.fig11.repetitions, defaults.repetitions);
+    EXPECT_EQ(spec.fig11.folds, defaults.folds);
+    EXPECT_EQ(spec.fig11.seed, defaults.seed);
+}
+
+TEST(ScenarioSpec, MitigationStrategiesAndPoolParse)
+{
+    ScenarioSpec spec = ScenarioSpec::parse(R"({
+        "kind": "mitigation",
+        "strategies": ["retrain", "remap"],
+        "bist_vectors_per_unit": 4,
+        "inject_pool": "output_critical"
+    })");
+    EXPECT_EQ(spec.mitigation.strategies,
+              (std::vector<Strategy>{Strategy::RetrainOnly,
+                                     Strategy::RemapToSpares}));
+    EXPECT_EQ(spec.mitigation.bist.vectorsPerUnit, 4);
+    EXPECT_EQ(spec.mitigation.injectPool, SitePool::outputCritical());
+}
+
+/** Expect parse(text) to throw a JsonError mentioning @p needle. */
+void
+expectSpecError(const std::string &text, const std::string &needle)
+{
+    try {
+        ScenarioSpec::parse(text);
+        FAIL() << "expected JsonError for: " << text;
+    } catch (const JsonError &e) {
+        EXPECT_NE(std::string(e.what()).find(needle),
+                  std::string::npos)
+            << "message '" << e.what() << "' lacks '" << needle << "'";
+    }
+}
+
+TEST(ScenarioSpec, MalformedSpecsNameTheProblem)
+{
+    expectSpecError("[1, 2]", "object");
+    expectSpecError("{}", "kind");
+    expectSpecError("{\"kind\": \"fig12\"}",
+                    "unknown campaign kind 'fig12'");
+    expectSpecError("{\"kind\": \"fig12\"}", "fig5, fig10");
+    expectSpecError("{\"kind\": \"fig10\", \"repetitions\": 0}",
+                    "repetitions");
+    expectSpecError("{\"kind\": \"fig10\", \"folds\": \"many\"}",
+                    "folds");
+    expectSpecError("{\"kind\": \"fig5\", \"operators\": [\"nand\"]}",
+                    "unknown operator 'nand'");
+    expectSpecError("{\"kind\": \"fig5\", \"fa_style\": \"tree\"}",
+                    "unknown fa_style 'tree'");
+    expectSpecError(
+        "{\"kind\": \"mitigation\", \"strategies\": [\"pray\"]}",
+        "unknown strategy 'pray'");
+    expectSpecError(
+        "{\"kind\": \"fig10\", \"weighting\": \"alphabetical\"}",
+        "unknown weighting");
+    expectSpecError("{\"kind\": \"fig10\",", "line 1");
+}
+
+TEST(Fig5Sweep, ExpandCrossProductsOperatorByDefects)
+{
+    Fig5Sweep sweep;
+    sweep.seed = 50;
+    sweep.repetitions = 7;
+    sweep.threads = 3;
+    sweep.operators = {Fig5Operator::Adder4, Fig5Operator::Multiplier4};
+    sweep.defectCounts = {1, 5, 20};
+    sweep.style = FaStyle::Mirror;
+
+    std::vector<Fig5Config> cells = sweep.expand();
+    ASSERT_EQ(cells.size(), 6u);
+    // Operator-major order, each with a variant-derived seed.
+    EXPECT_EQ(cells[0].op, Fig5Operator::Adder4);
+    EXPECT_EQ(cells[0].defects, 1);
+    EXPECT_EQ(cells[0].seed, 51u); // 50 + 1 + 1000*0
+    EXPECT_EQ(cells[2].defects, 20);
+    EXPECT_EQ(cells[2].seed, 70u);
+    EXPECT_EQ(cells[3].op, Fig5Operator::Multiplier4);
+    EXPECT_EQ(cells[3].seed, 1051u); // 50 + 1 + 1000*1
+    for (const Fig5Config &c : cells) {
+        EXPECT_EQ(c.repetitions, 7);
+        EXPECT_EQ(c.threads, 3);
+        EXPECT_EQ(c.style, FaStyle::Mirror);
+    }
+}
+
+TEST(EnvOverrides, SeedAndThreadsBeatTheSpecOnlyWhenSet)
+{
+    ScenarioSpec spec = builtinSpec("fig10", false);
+    uint64_t spec_seed = spec.fig10.seed;
+
+    unsetenv("DTANN_SEED");
+    unsetenv("DTANN_THREADS");
+    applyEnvOverrides(spec);
+    EXPECT_EQ(spec.runConfig().seed, spec_seed);
+    EXPECT_EQ(spec.runConfig().threads, 0);
+
+    setenv("DTANN_SEED", "424242", 1);
+    setenv("DTANN_THREADS", "2", 1);
+    applyEnvOverrides(spec);
+    EXPECT_EQ(spec.runConfig().seed, 424242u);
+    EXPECT_EQ(spec.runConfig().threads, 2);
+    unsetenv("DTANN_SEED");
+    unsetenv("DTANN_THREADS");
+}
+
+} // namespace
+} // namespace dtann

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Campaign-as-a-service driver: run any scenario spec.
+ *
+ *   dtann_campaign specs/fig10.json
+ *   dtann_campaign --builtin mitigation --full
+ *   dtann_campaign specs/fig10.json --journal run.jnl --out fig10.json
+ *
+ * The spec (a JSON document, see DESIGN.md and specs/) picks the
+ * campaign kind and all of its knobs; DTANN_SEED/DTANN_THREADS act
+ * as documented overrides applied in exactly one place
+ * (applyEnvOverrides). With --journal, completed cells are
+ * checkpointed to a results journal as they finish, and a rerun
+ * against the same journal skips them — the final export is
+ * bit-identical to an uninterrupted run, so long campaigns survive
+ * kills, crashes, and reboots.
+ *
+ * Exit codes: 0 success, 1 spec/journal/IO error, 2 usage error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "common/json.hh"
+#include "core/campaign.hh"
+#include "service/builtin_specs.hh"
+#include "service/journal.hh"
+#include "service/runner.hh"
+
+using namespace dtann;
+
+namespace {
+
+int
+usage(FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: dtann_campaign [options] [spec.json]\n"
+        "\n"
+        "Run one campaign described by a scenario spec.\n"
+        "\n"
+        "  --builtin NAME  run a built-in spec instead of a file\n"
+        "                  (%s)\n"
+        "  --full          built-in spec at paper scale "
+        "(default: quick)\n"
+        "  --journal FILE  checkpoint finished cells to FILE and\n"
+        "                  resume by skipping cells journaled there\n"
+        "  --out FILE      write the result envelope JSON to FILE\n"
+        "                  ('-' = stdout, the default)\n"
+        "  --progress N    progress heartbeat to stderr every N\n"
+        "                  cells (default 50; 0 disables)\n"
+        "  --list          list built-in spec names and exit\n"
+        "\n"
+        "Environment overrides (applied after parsing the spec):\n"
+        "  DTANN_SEED      overrides the spec's seed\n"
+        "  DTANN_THREADS   overrides the spec's worker threads\n"
+        "  DTANN_JSON_OUT  also mirror the envelope to this dir\n",
+        [] {
+            static std::string names;
+            for (const std::string &n : builtinSpecNames())
+                names += (names.empty() ? "" : ", ") + n;
+            return names.c_str();
+        }());
+    return to == stderr ? 2 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string spec_path, builtin, journal_path, out_path = "-";
+    bool full = false;
+    long progress_every = 50;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires an argument\n",
+                             flag);
+                std::exit(usage(stderr));
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h")
+            return usage(stdout);
+        if (arg == "--list") {
+            for (const std::string &n : builtinSpecNames())
+                std::printf("%s\n", n.c_str());
+            return 0;
+        }
+        if (arg == "--builtin")
+            builtin = value("--builtin");
+        else if (arg == "--full")
+            full = true;
+        else if (arg == "--journal")
+            journal_path = value("--journal");
+        else if (arg == "--out")
+            out_path = value("--out");
+        else if (arg == "--progress")
+            progress_every = std::strtol(value("--progress"), nullptr, 10);
+        else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return usage(stderr);
+        } else if (spec_path.empty())
+            spec_path = arg;
+        else {
+            std::fprintf(stderr, "more than one spec given\n");
+            return usage(stderr);
+        }
+    }
+    if (spec_path.empty() == builtin.empty()) {
+        std::fprintf(stderr,
+                     "give exactly one of a spec file or --builtin\n");
+        return usage(stderr);
+    }
+
+    try {
+        ScenarioSpec spec;
+        if (!builtin.empty()) {
+            spec = builtinSpec(builtin, full);
+        } else {
+            std::ifstream in(spec_path);
+            if (!in) {
+                std::fprintf(stderr, "cannot read spec '%s'\n",
+                             spec_path.c_str());
+                return 1;
+            }
+            std::ostringstream text;
+            text << in.rdbuf();
+            spec = ScenarioSpec::parse(text.str());
+        }
+        applyEnvOverrides(spec);
+
+        if (progress_every > 0)
+            spec.runConfig().onCellDone = [=](const CellReport &r) {
+                if (r.cellsDone % static_cast<size_t>(progress_every) ==
+                        0 ||
+                    r.cellsDone == r.cellsTotal)
+                    std::fprintf(stderr,
+                                 "  [%zu/%zu] %s defects=%d rep=%d\n",
+                                 r.cellsDone, r.cellsTotal,
+                                 r.task.c_str(), r.defects, r.rep);
+            };
+
+        // The journal binds to the spec echo *after* overrides: a
+        // different seed or axis set is a different campaign. (The
+        // echo normalizes the thread count away — results are
+        // bit-identical for any width, so resume may change it.)
+        std::unique_ptr<ResultJournal> journal;
+        if (!journal_path.empty()) {
+            journal = std::make_unique<ResultJournal>(
+                journal_path, spec.journalEcho());
+            spec.runConfig().journal = journal.get();
+            if (journal->resumedCells() > 0)
+                std::fprintf(stderr,
+                             "resuming: %zu cells journaled in %s\n",
+                             journal->resumedCells(),
+                             journal_path.c_str());
+        }
+
+        ScenarioResult result = runScenario(spec);
+        std::fprintf(stderr, "%s: %zu cells done\n",
+                     result.name.c_str(), result.cells);
+
+        if (out_path == "-") {
+            std::printf("%s\n", result.json.c_str());
+        } else {
+            std::ofstream out(out_path);
+            if (!out) {
+                std::fprintf(stderr, "cannot write '%s'\n",
+                             out_path.c_str());
+                return 1;
+            }
+            out << result.json << "\n";
+        }
+        maybeWriteJson(result.name, result.json);
+        return 0;
+    } catch (const JsonError &e) {
+        std::fprintf(stderr, "spec error: %s\n", e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
