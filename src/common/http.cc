@@ -1,0 +1,425 @@
+#include "common/http.hh"
+
+#include <algorithm>
+#include <cctype>
+
+namespace dtann {
+
+namespace {
+
+std::string
+toLower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+std::string
+trimOws(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t");
+    return s.substr(b, e - b + 1);
+}
+
+/** RFC 7230 token characters (header names, methods). */
+bool
+isTokenChar(char c)
+{
+    static const std::string extra = "!#$%&'*+-.^_`|~";
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+        extra.find(c) != std::string::npos;
+}
+
+bool
+isToken(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s)
+        if (!isTokenChar(c))
+            return false;
+    return true;
+}
+
+} // namespace
+
+const std::string &
+HttpMessage::header(const std::string &name) const
+{
+    static const std::string empty;
+    for (const auto &h : headers)
+        if (h.first == name)
+            return h.second;
+    return empty;
+}
+
+std::string
+HttpMessage::path() const
+{
+    size_t q = target.find('?');
+    return q == std::string::npos ? target : target.substr(0, q);
+}
+
+std::string
+HttpMessage::query() const
+{
+    size_t q = target.find('?');
+    return q == std::string::npos ? "" : target.substr(q + 1);
+}
+
+HttpParser::HttpParser(Mode mode, size_t max_body, size_t max_headers)
+    : mode(mode), maxBody(max_body), maxHeaders(max_headers)
+{
+}
+
+HttpParser::State
+HttpParser::fail(int status, const std::string &why)
+{
+    phase = Phase::Failed;
+    st = State::Error;
+    errStatus = status;
+    errMessage = why;
+    buf.clear();
+    return st;
+}
+
+/**
+ * Pop one line (terminated by LF, optional preceding CR stripped)
+ * off the buffer. Returns false when no full line has arrived yet.
+ */
+bool
+HttpParser::consumeLine(std::string &line)
+{
+    size_t lf = buf.find('\n');
+    if (lf == std::string::npos)
+        return false;
+    size_t end = (lf > 0 && buf[lf - 1] == '\r') ? lf - 1 : lf;
+    line.assign(buf, 0, end);
+    buf.erase(0, lf + 1);
+    return true;
+}
+
+void
+HttpParser::parseStartLine(const std::string &line)
+{
+    if (mode == Mode::Request) {
+        size_t sp1 = line.find(' ');
+        size_t sp2 =
+            sp1 == std::string::npos ? sp1 : line.find(' ', sp1 + 1);
+        if (sp2 == std::string::npos ||
+            line.find(' ', sp2 + 1) != std::string::npos) {
+            fail(400, "malformed request line '" + line + "'");
+            return;
+        }
+        msg.method = line.substr(0, sp1);
+        msg.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+        msg.version = line.substr(sp2 + 1);
+        if (!isToken(msg.method)) {
+            fail(400, "malformed method '" + msg.method + "'");
+            return;
+        }
+        if (msg.target.empty() || msg.target[0] != '/') {
+            fail(400, "malformed request target '" + msg.target + "'");
+            return;
+        }
+    } else {
+        // Status line: HTTP/1.x SP 3DIGIT SP reason.
+        size_t sp1 = line.find(' ');
+        if (sp1 == std::string::npos) {
+            fail(400, "malformed status line '" + line + "'");
+            return;
+        }
+        msg.version = line.substr(0, sp1);
+        size_t sp2 = line.find(' ', sp1 + 1);
+        std::string code = line.substr(
+            sp1 + 1,
+            sp2 == std::string::npos ? std::string::npos
+                                     : sp2 - sp1 - 1);
+        if (code.size() != 3 ||
+            !std::all_of(code.begin(), code.end(), [](unsigned char c) {
+                return std::isdigit(c) != 0;
+            })) {
+            fail(400, "malformed status code '" + code + "'");
+            return;
+        }
+        msg.status = std::stoi(code);
+        msg.reason =
+            sp2 == std::string::npos ? "" : line.substr(sp2 + 1);
+    }
+    if (msg.version.rfind("HTTP/1.", 0) != 0 ||
+        msg.version.size() != 8 ||
+        !std::isdigit(static_cast<unsigned char>(msg.version[7]))) {
+        fail(400, "unsupported HTTP version '" + msg.version + "'");
+        return;
+    }
+    phase = Phase::Headers;
+}
+
+void
+HttpParser::parseHeaderLine(const std::string &line)
+{
+    if (line[0] == ' ' || line[0] == '\t') {
+        // Obsolete line folding: deliberately rejected (RFC 7230
+        // §3.2.4 allows refusing it) — nothing we speak with emits
+        // it, and accepting it complicates value handling.
+        fail(400, "folded header line");
+        return;
+    }
+    size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) {
+        fail(400, "malformed header line '" + line + "'");
+        return;
+    }
+    std::string name = line.substr(0, colon);
+    if (!isToken(name)) {
+        fail(400, "malformed header name '" + name + "'");
+        return;
+    }
+    msg.headers.emplace_back(toLower(name),
+                             trimOws(line.substr(colon + 1)));
+}
+
+void
+HttpParser::endOfHeaders()
+{
+    const std::string &te = msg.header("transfer-encoding");
+    const std::string &cl = msg.header("content-length");
+    if (!te.empty()) {
+        if (toLower(trimOws(te)) != "chunked") {
+            fail(501, "unsupported transfer encoding '" + te + "'");
+            return;
+        }
+        phase = Phase::ChunkSize;
+        return;
+    }
+    if (!cl.empty()) {
+        // Digits only; reject duplicates that disagree (request
+        // smuggling vector in real deployments, plain ambiguity
+        // here).
+        for (const auto &h : msg.headers)
+            if (h.first == "content-length" && h.second != cl) {
+                fail(400, "conflicting content-length headers");
+                return;
+            }
+        uint64_t len = 0;
+        if (cl.empty() ||
+            !std::all_of(cl.begin(), cl.end(), [](unsigned char c) {
+                return std::isdigit(c) != 0;
+            }) ||
+            cl.size() > 18) {
+            fail(400, "malformed content-length '" + cl + "'");
+            return;
+        }
+        len = std::stoull(cl);
+        if (len > maxBody) {
+            fail(413, "body of " + cl + " bytes exceeds the " +
+                     std::to_string(maxBody) + "-byte limit");
+            return;
+        }
+        bodyRemaining = static_cast<size_t>(len);
+        phase = bodyRemaining == 0 ? Phase::Complete : Phase::FixedBody;
+        return;
+    }
+    // No body framing: requests have no body; responses run to
+    // connection close (finish()).
+    phase = mode == Mode::Request ? Phase::Complete
+                                  : Phase::UntilCloseBody;
+}
+
+HttpParser::State
+HttpParser::feed(const char *data, size_t len)
+{
+    if (phase == Phase::Complete || phase == Phase::Failed)
+        return st;
+    buf.append(data, len);
+
+    while (true) {
+        switch (phase) {
+        case Phase::StartLine:
+        case Phase::Headers:
+        case Phase::Trailers: {
+            std::string line;
+            if (!consumeLine(line)) {
+                // The unconsumed tail is all header bytes in these
+                // phases; cap it so an unterminated line cannot grow
+                // without bound.
+                if (headerBytes + buf.size() > maxHeaders)
+                    return fail(431, "header section exceeds " +
+                                    std::to_string(maxHeaders) +
+                                    " bytes");
+                st = State::NeedMore;
+                return st;
+            }
+            headerBytes += line.size() + 1;
+            if (headerBytes > maxHeaders)
+                return fail(431, "header section exceeds " +
+                                std::to_string(maxHeaders) + " bytes");
+            if (phase == Phase::StartLine) {
+                if (line.empty())
+                    continue; // tolerate leading blank lines
+                parseStartLine(line);
+            } else if (line.empty()) {
+                if (phase == Phase::Trailers)
+                    phase = Phase::Complete;
+                else
+                    endOfHeaders();
+            } else if (phase == Phase::Headers) {
+                parseHeaderLine(line);
+            }
+            // Trailer fields of a chunked body are ignored.
+            break;
+        }
+        case Phase::FixedBody: {
+            size_t take = std::min(bodyRemaining, buf.size());
+            msg.body.append(buf, 0, take);
+            buf.erase(0, take);
+            bodyRemaining -= take;
+            if (bodyRemaining > 0) {
+                st = State::NeedMore;
+                return st;
+            }
+            phase = Phase::Complete;
+            break;
+        }
+        case Phase::UntilCloseBody:
+            if (msg.body.size() + buf.size() > maxBody)
+                return fail(413, "body exceeds the " +
+                                std::to_string(maxBody) +
+                                "-byte limit");
+            msg.body.append(buf);
+            buf.clear();
+            st = State::NeedMore;
+            return st;
+        case Phase::ChunkSize: {
+            std::string line;
+            if (!consumeLine(line)) {
+                st = State::NeedMore;
+                return st;
+            }
+            // Chunk extensions (";...") are allowed and ignored.
+            std::string hex = trimOws(line.substr(0, line.find(';')));
+            if (hex.empty() || hex.size() > 15 ||
+                !std::all_of(hex.begin(), hex.end(),
+                             [](unsigned char c) {
+                                 return std::isxdigit(c) != 0;
+                             }))
+                return fail(400,
+                            "malformed chunk size '" + line + "'");
+            uint64_t size = std::stoull(hex, nullptr, 16);
+            if (msg.body.size() + size > maxBody)
+                return fail(413, "chunked body exceeds the " +
+                                std::to_string(maxBody) +
+                                "-byte limit");
+            if (size == 0) {
+                phase = Phase::Trailers;
+            } else {
+                bodyRemaining = static_cast<size_t>(size);
+                phase = Phase::ChunkData;
+            }
+            break;
+        }
+        case Phase::ChunkData: {
+            size_t take = std::min(bodyRemaining, buf.size());
+            msg.body.append(buf, 0, take);
+            buf.erase(0, take);
+            bodyRemaining -= take;
+            if (bodyRemaining > 0) {
+                st = State::NeedMore;
+                return st;
+            }
+            phase = Phase::ChunkDataEnd;
+            break;
+        }
+        case Phase::ChunkDataEnd: {
+            std::string line;
+            if (!consumeLine(line)) {
+                st = State::NeedMore;
+                return st;
+            }
+            if (!line.empty())
+                return fail(400, "missing CRLF after chunk data");
+            phase = Phase::ChunkSize;
+            break;
+        }
+        case Phase::Complete:
+            st = State::Done;
+            return st;
+        case Phase::Failed:
+            return st;
+        }
+        if (phase == Phase::Failed)
+            return st;
+        if (phase == Phase::Complete) {
+            st = State::Done;
+            return st;
+        }
+    }
+}
+
+HttpParser::State
+HttpParser::finish()
+{
+    if (phase == Phase::Complete || phase == Phase::Failed)
+        return st;
+    if (phase == Phase::UntilCloseBody) {
+        phase = Phase::Complete;
+        st = State::Done;
+        return st;
+    }
+    return fail(400, "truncated message");
+}
+
+const char *
+httpStatusReason(int status)
+{
+    switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 410: return "Gone";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+    }
+}
+
+std::string
+httpResponse(int status, const std::string &body,
+             const std::string &content_type)
+{
+    std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+        httpStatusReason(status) + "\r\n";
+    out += "Content-Type: " + content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+std::string
+httpRequest(const std::string &method, const std::string &target,
+            const std::string &body)
+{
+    std::string out = method + " " + target + " HTTP/1.1\r\n";
+    out += "Host: dtannd\r\n";
+    if (!body.empty())
+        out += "Content-Type: application/json\r\n";
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+} // namespace dtann

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Minimal hand-rolled HTTP/1.1 for the campaign daemon.
+ *
+ * The daemon (service/server) and the dtann_campaign client speak a
+ * deliberately small slice of HTTP/1.1 over local sockets: one
+ * request per connection, JSON bodies, Content-Length or chunked
+ * transfer coding, no external dependencies. This module is the
+ * wire layer only — an incremental message parser plus
+ * serialization helpers — with no socket knowledge, so the edge
+ * cases (truncated requests, oversized bodies, malformed chunking)
+ * are unit-testable byte by byte.
+ *
+ * Parser contract: feed() bytes as they arrive; the parser settles
+ * in Done (one complete message, trailing bytes ignored) or Error
+ * (with an HTTP status — 400 malformed, 413 too large, 431 header
+ * section too large, 501 unsupported transfer coding). A proper
+ * prefix of a valid message is never an Error, so truncation is
+ * always distinguishable from malformed input.
+ */
+
+#ifndef DTANN_COMMON_HTTP_HH
+#define DTANN_COMMON_HTTP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dtann {
+
+/** One parsed HTTP message (request or response). */
+struct HttpMessage
+{
+    // Request start line (request mode).
+    std::string method;  ///< e.g. "GET"
+    std::string target;  ///< raw request target, e.g. "/jobs/3"
+    // Status line (response mode).
+    int status = 0;
+    std::string reason;
+
+    std::string version; ///< e.g. "HTTP/1.1"
+    /** Headers in arrival order; names lower-cased, values trimmed. */
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    /** Value of the first header named @p name (lower-case), or "". */
+    const std::string &header(const std::string &name) const;
+
+    /** The target's path ("/jobs/3") without the query string. */
+    std::string path() const;
+    /** The target's query string (after '?'), or "". */
+    std::string query() const;
+};
+
+/** Incremental HTTP/1.1 message parser (see file comment). */
+class HttpParser
+{
+  public:
+    enum class Mode : uint8_t { Request, Response };
+    enum class State : uint8_t { NeedMore, Done, Error };
+
+    explicit HttpParser(Mode mode = Mode::Request,
+                        size_t max_body = kDefaultMaxBody,
+                        size_t max_headers = kDefaultMaxHeaders);
+
+    /** Default request-body cap (daemon specs are small JSON). */
+    static constexpr size_t kDefaultMaxBody = 1 << 20;
+    /** Default cap on the start line + header section. */
+    static constexpr size_t kDefaultMaxHeaders = 64 << 10;
+
+    /**
+     * Consume @p len bytes. Returns the parser state afterwards;
+     * once Done or Error, further bytes are ignored.
+     */
+    State feed(const char *data, size_t len);
+    State feed(const std::string &data)
+    {
+        return feed(data.data(), data.size());
+    }
+
+    /**
+     * Signal end of input (peer closed). In response mode a body
+     * delimited by connection close completes here; everything else
+     * still mid-message becomes a 400 "truncated" Error.
+     */
+    State finish();
+
+    State state() const { return st; }
+    /** The parsed message; meaningful once state() == Done. */
+    const HttpMessage &message() const { return msg; }
+
+    /** HTTP status for the failure (400/413/431/501); Error only. */
+    int errorStatus() const { return errStatus; }
+    /** Human-readable parse failure; Error only. */
+    const std::string &errorMessage() const { return errMessage; }
+
+  private:
+    enum class Phase : uint8_t {
+        StartLine,
+        Headers,
+        FixedBody,
+        UntilCloseBody,
+        ChunkSize,
+        ChunkData,
+        ChunkDataEnd,
+        Trailers,
+        Complete,
+        Failed,
+    };
+
+    State fail(int status, const std::string &why);
+    bool consumeLine(std::string &line);
+    void parseStartLine(const std::string &line);
+    void parseHeaderLine(const std::string &line);
+    void endOfHeaders();
+
+    Mode mode;
+    size_t maxBody;
+    size_t maxHeaders;
+
+    Phase phase = Phase::StartLine;
+    State st = State::NeedMore;
+    HttpMessage msg;
+    std::string buf;          ///< unconsumed input
+    size_t headerBytes = 0;   ///< start line + headers seen so far
+    size_t bodyRemaining = 0; ///< FixedBody/ChunkData bytes left
+    int errStatus = 0;
+    std::string errMessage;
+};
+
+/** Standard reason phrase for @p status ("OK", "Not Found", ...). */
+const char *httpStatusReason(int status);
+
+/**
+ * Serialize a one-shot response: status line, Content-Type,
+ * Content-Length and Connection: close headers, then @p body.
+ */
+std::string httpResponse(int status, const std::string &body,
+                         const std::string &content_type =
+                             "application/json");
+
+/** Serialize a one-shot request with a Content-Length body. */
+std::string httpRequest(const std::string &method,
+                        const std::string &target,
+                        const std::string &body = "");
+
+} // namespace dtann
+
+#endif // DTANN_COMMON_HTTP_HH

@@ -1,0 +1,202 @@
+#include "common/socket.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace dtann {
+
+namespace {
+
+[[noreturn]] void
+fail(const std::string &what)
+{
+    throw SocketError(what + ": " + std::strerror(errno));
+}
+
+/** Split "host:port"; returns false for Unix-socket addresses. */
+bool
+parseTcpAddress(const std::string &address, std::string &host,
+                int &port)
+{
+    if (address.rfind("unix:", 0) == 0)
+        return false;
+    size_t colon = address.rfind(':');
+    if (colon == std::string::npos)
+        throw SocketError("address '" + address +
+                          "' is neither host:port nor unix:<path>");
+    host = address.substr(0, colon);
+    try {
+        size_t end = 0;
+        port = std::stoi(address.substr(colon + 1), &end);
+        if (end != address.size() - colon - 1 || port < 0 ||
+            port > 65535)
+            throw std::invalid_argument("range");
+    } catch (const std::exception &) {
+        throw SocketError("bad port in address '" + address + "'");
+    }
+    return true;
+}
+
+sockaddr_in
+tcpSockaddr(const std::string &host, int port)
+{
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(static_cast<uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1)
+        throw SocketError("cannot parse IPv4 address '" + host + "'");
+    return sa;
+}
+
+sockaddr_un
+unixSockaddr(const std::string &path)
+{
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(sa.sun_path))
+        throw SocketError("unix socket path too long: " + path);
+    std::memcpy(sa.sun_path, path.c_str(), path.size() + 1);
+    return sa;
+}
+
+} // namespace
+
+Socket &
+Socket::operator=(Socket &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+size_t
+Socket::readSome(char *buf, size_t cap)
+{
+    for (;;) {
+        ssize_t n = ::read(fd_, buf, cap);
+        if (n >= 0)
+            return static_cast<size_t>(n);
+        if (errno != EINTR)
+            fail("read");
+    }
+}
+
+void
+Socket::writeAll(const char *data, size_t len)
+{
+    size_t off = 0;
+    while (off < len) {
+        ssize_t n = ::write(fd_, data + off, len - off);
+        if (n > 0) {
+            off += static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        fail("write");
+    }
+}
+
+ListenSocket::ListenSocket(const std::string &address, int backlog)
+{
+    std::string host;
+    int port = 0;
+    if (parseTcpAddress(address, host, port)) {
+        int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            fail("socket");
+        sock = Socket(fd);
+        int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        sockaddr_in sa = tcpSockaddr(host, port);
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&sa),
+                   sizeof(sa)) != 0)
+            fail("bind " + address);
+        socklen_t len = sizeof(sa);
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&sa),
+                          &len) != 0)
+            fail("getsockname");
+        tcpPort = ntohs(sa.sin_port);
+        addr = host + ":" + std::to_string(tcpPort);
+    } else {
+        std::string path = address.substr(5);
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            fail("socket");
+        sock = Socket(fd);
+        ::unlink(path.c_str()); // a stale socket file blocks bind
+        sockaddr_un sa = unixSockaddr(path);
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&sa),
+                   sizeof(sa)) != 0)
+            fail("bind " + address);
+        unixPath = path;
+        addr = address;
+    }
+    if (::listen(sock.fd(), backlog) != 0)
+        fail("listen " + address);
+}
+
+ListenSocket::~ListenSocket()
+{
+    if (!unixPath.empty())
+        ::unlink(unixPath.c_str());
+}
+
+Socket
+ListenSocket::accept()
+{
+    for (;;) {
+        int fd = ::accept(sock.fd(), nullptr, nullptr);
+        if (fd >= 0)
+            return Socket(fd);
+        if (errno != EINTR)
+            fail("accept");
+    }
+}
+
+Socket
+connectTo(const std::string &address)
+{
+    std::string host;
+    int port = 0;
+    if (parseTcpAddress(address, host, port)) {
+        int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            fail("socket");
+        Socket s(fd);
+        sockaddr_in sa = tcpSockaddr(host, port);
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&sa),
+                      sizeof(sa)) != 0)
+            fail("connect " + address);
+        return s;
+    }
+    std::string path = address.substr(5);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        fail("socket");
+    Socket s(fd);
+    sockaddr_un sa = unixSockaddr(path);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&sa),
+                  sizeof(sa)) != 0)
+        fail("connect " + address);
+    return s;
+}
+
+} // namespace dtann

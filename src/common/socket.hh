@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Thin RAII wrappers over local stream sockets.
+ *
+ * The campaign daemon (service/server) listens on either a loopback
+ * TCP socket or a Unix-domain socket; the dtann_campaign client
+ * connects to the same addresses. Both ends use one address syntax:
+ *
+ *   "127.0.0.1:8437"   loopback TCP (port 0 = kernel-assigned)
+ *   "unix:/path/sock"  Unix-domain stream socket
+ *
+ * No external dependencies; errors surface as SocketError with the
+ * errno message attached. This is deliberately a minimal, blocking
+ * API — the daemon's request handling is short-lived per
+ * connection, and heavy work happens on the campaign pool, not on
+ * sockets.
+ */
+
+#ifndef DTANN_COMMON_SOCKET_HH
+#define DTANN_COMMON_SOCKET_HH
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace dtann {
+
+/** Error from socket setup or I/O; what() includes strerror. */
+struct SocketError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/** One connected (or listening) stream socket, closed on destroy. */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(Socket &&other) noexcept : fd_(other.fd_)
+    {
+        other.fd_ = -1;
+    }
+    Socket &operator=(Socket &&other) noexcept;
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+    void close();
+
+    /**
+     * Read up to @p cap bytes into @p buf. Returns the byte count,
+     * 0 on orderly peer close. Retries EINTR; throws SocketError on
+     * other failures.
+     */
+    size_t readSome(char *buf, size_t cap);
+
+    /** Write all @p len bytes (retrying partial writes and EINTR). */
+    void writeAll(const char *data, size_t len);
+    void writeAll(const std::string &data)
+    {
+        writeAll(data.data(), data.size());
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * A bound, listening server socket for @p address (see file
+ * comment for the syntax). For TCP, port 0 binds a kernel-assigned
+ * ephemeral port. For Unix sockets, a stale socket file at the path
+ * is removed before binding.
+ */
+class ListenSocket
+{
+  public:
+    explicit ListenSocket(const std::string &address, int backlog = 16);
+    ~ListenSocket();
+
+    ListenSocket(const ListenSocket &) = delete;
+    ListenSocket &operator=(const ListenSocket &) = delete;
+
+    /** Block until a client connects. */
+    Socket accept();
+
+    /**
+     * The resolved address: for TCP the actual bound port
+     * ("127.0.0.1:41873"), for Unix sockets "unix:<path>".
+     */
+    const std::string &address() const { return addr; }
+
+    /** Bound TCP port, or 0 for Unix sockets. */
+    int port() const { return tcpPort; }
+
+    int fd() const { return sock.fd(); }
+
+  private:
+    Socket sock;
+    std::string addr;
+    std::string unixPath; ///< non-empty => unlink on destroy
+    int tcpPort = 0;
+};
+
+/** Connect to a daemon at @p address (same syntax as listening). */
+Socket connectTo(const std::string &address);
+
+} // namespace dtann
+
+#endif // DTANN_COMMON_SOCKET_HH

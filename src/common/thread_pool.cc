@@ -29,6 +29,8 @@ ThreadPool::~ThreadPool()
 {
     {
         std::lock_guard<std::mutex> lk(mu);
+        dtann_assert(batches.empty(),
+                     "ThreadPool destroyed with a batch in flight");
         stopping = true;
     }
     wake.notify_all();
@@ -36,42 +38,54 @@ ThreadPool::~ThreadPool()
         w.join();
 }
 
-void
-ThreadPool::drainBatch()
+ThreadPool::Batch *
+ThreadPool::pickBatch()
 {
-    for (;;) {
-        size_t i = nextIndex.fetch_add(1, std::memory_order_relaxed);
-        if (i >= batchSize)
-            return;
-        try {
-            (*batchFn)(i);
-        } catch (...) {
-            std::lock_guard<std::mutex> lk(mu);
-            if (!firstError)
-                firstError = std::current_exception();
+    // Rotate the starting point so concurrent batches share the
+    // workers fairly: each claim starts scanning one batch past the
+    // previous claim's winner instead of always draining the oldest
+    // batch first.
+    size_t n = batches.size();
+    for (size_t probe = 0; probe < n; ++probe) {
+        Batch *b = batches[(rrCursor + probe) % n];
+        if (b->next < b->size) {
+            rrCursor = (rrCursor + probe + 1) % n;
+            return b;
         }
+    }
+    return nullptr;
+}
+
+void
+ThreadPool::runIndex(Batch *b, size_t index)
+{
+    try {
+        (*b->fn)(index);
+    } catch (...) {
+        std::lock_guard<std::mutex> lk(mu);
+        if (!b->firstError)
+            b->firstError = std::current_exception();
     }
 }
 
 void
 ThreadPool::workerLoop()
 {
-    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mu);
     for (;;) {
-        std::unique_lock<std::mutex> lk(mu);
-        wake.wait(lk, [&] { return stopping || generation != seen; });
+        Batch *b = nullptr;
+        wake.wait(lk, [&] {
+            return stopping || (b = pickBatch()) != nullptr;
+        });
         if (stopping)
             return;
-        seen = generation;
+        size_t index = b->next++;
+        ++b->running;
         lk.unlock();
-
-        drainBatch();
-
+        runIndex(b, index);
         lk.lock();
-        if (--running == 0) {
-            lk.unlock();
+        if (--b->running == 0 && b->next >= b->size)
             done.notify_all();
-        }
     }
 }
 
@@ -83,37 +97,55 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
     if (workers.empty()) {
         // Same drain-then-rethrow semantics as the threaded path:
         // one throwing index never starves the rest of the batch.
-        batchSize = n;
-        batchFn = &fn;
-        nextIndex.store(0, std::memory_order_relaxed);
-        firstError = nullptr;
-        drainBatch();
-        batchFn = nullptr;
-        if (firstError)
-            std::rethrow_exception(firstError);
+        // All state is local, so concurrent callers stay isolated.
+        std::exception_ptr first;
+        for (size_t i = 0; i < n; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                if (!first)
+                    first = std::current_exception();
+            }
+        }
+        if (first)
+            std::rethrow_exception(first);
         return;
     }
 
-    {
-        std::lock_guard<std::mutex> lk(mu);
-        dtann_assert(batchFn == nullptr,
-                     "nested/concurrent parallelFor on one pool");
-        batchSize = n;
-        batchFn = &fn;
-        nextIndex.store(0, std::memory_order_relaxed);
-        running = workers.size();
-        firstError = nullptr;
-        ++generation;
-    }
-    wake.notify_all();
-
-    drainBatch(); // the calling thread participates
+    Batch batch;
+    batch.size = n;
+    batch.fn = &fn;
 
     std::unique_lock<std::mutex> lk(mu);
-    done.wait(lk, [&] { return running == 0; });
-    batchFn = nullptr;
-    if (firstError)
-        std::rethrow_exception(firstError);
+    batches.push_back(&batch);
+    wake.notify_all();
+
+    // The calling thread participates, claiming only from its own
+    // batch: a job's submitter always works on that job, while the
+    // shared workers interleave all active batches fairly.
+    while (batch.next < batch.size) {
+        size_t index = batch.next++;
+        ++batch.running;
+        lk.unlock();
+        runIndex(&batch, index);
+        lk.lock();
+        if (--batch.running == 0 && batch.next >= batch.size)
+            done.notify_all();
+    }
+    done.wait(lk, [&] {
+        return batch.next >= batch.size && batch.running == 0;
+    });
+    for (size_t i = 0; i < batches.size(); ++i)
+        if (batches[i] == &batch) {
+            batches.erase(batches.begin() + static_cast<long>(i));
+            break;
+        }
+    if (rrCursor >= batches.size())
+        rrCursor = 0;
+    lk.unlock();
+
+    if (batch.firstError)
+        std::rethrow_exception(batch.firstError);
 }
 
 } // namespace dtann

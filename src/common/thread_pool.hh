@@ -3,20 +3,29 @@
  * Fixed-size worker pool for embarrassingly parallel campaign work.
  *
  * The pool runs index-based batches (parallelFor): workers pull the
- * next index from a shared atomic counter until the batch is
- * exhausted. The calling thread participates, so a pool of size 1
+ * next index from the batch until it is exhausted. The calling
+ * thread participates in its own batch, so a pool of size 1
  * executes entirely on the caller with no handoff, and results are
  * bit-identical for any pool size as long as the per-index work
  * derives all of its randomness from the index (see
  * Rng::substream).
+ *
+ * Several threads may call parallelFor on the same pool
+ * concurrently (the campaign daemon runs every admitted job's
+ * batches on one shared pool): each call owns an independent batch,
+ * and workers claim indices round-robin across the active batches,
+ * so concurrent batches share the pool fairly instead of queueing
+ * behind each other. Completion of one batch never waits on
+ * another; each caller returns as soon as its own indices have
+ * drained.
  */
 
 #ifndef DTANN_COMMON_THREAD_POOL_HH
 #define DTANN_COMMON_THREAD_POOL_HH
 
-#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -47,7 +56,9 @@ class ThreadPool
      * Blocks until every index has completed. Indices are claimed
      * dynamically, so long and short items mix freely; @p fn must
      * not assume any execution order. The first exception thrown by
-     * @p fn is rethrown here after the batch drains.
+     * @p fn is rethrown here after the batch drains. Thread-safe:
+     * concurrent calls run as independent, fairly interleaved
+     * batches.
      */
     void parallelFor(size_t n, const std::function<void(size_t)> &fn);
 
@@ -58,24 +69,30 @@ class ThreadPool
     static int resolveThreads(int requested);
 
   private:
+    /** One parallelFor call in flight; owned by its caller's frame. */
+    struct Batch
+    {
+        size_t size = 0;
+        const std::function<void(size_t)> *fn = nullptr;
+        size_t next = 0;    ///< next unclaimed index (guarded by mu)
+        size_t running = 0; ///< threads currently inside fn
+        std::exception_ptr firstError;
+    };
+
     void workerLoop();
-    /** Claim and run indices until the current batch is exhausted. */
-    void drainBatch();
+    /** Next batch with unclaimed indices, round-robin; or nullptr. */
+    Batch *pickBatch();
+    /** Run one claimed index of @p b; called without the lock. */
+    void runIndex(Batch *b, size_t index);
 
     std::vector<std::thread> workers;
 
     std::mutex mu;
-    std::condition_variable wake; ///< workers wait for a new batch
-    std::condition_variable done; ///< caller waits for batch drain
-    uint64_t generation = 0;      ///< bumped per batch
+    std::condition_variable wake; ///< workers: claimable work exists
+    std::condition_variable done; ///< callers: a batch drained
+    std::vector<Batch *> batches; ///< active batches (callers' frames)
+    size_t rrCursor = 0;          ///< fair-share rotation point
     bool stopping = false;
-
-    // Current batch (valid while running > 0 or inside parallelFor).
-    size_t batchSize = 0;
-    const std::function<void(size_t)> *batchFn = nullptr;
-    std::atomic<size_t> nextIndex{0};
-    size_t running = 0; ///< workers still draining the batch
-    std::exception_ptr firstError;
 };
 
 } // namespace dtann

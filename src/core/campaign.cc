@@ -144,12 +144,19 @@ campaignEnvelope(const std::string &kind, const std::string &configJson,
 Fig5Result
 runFig5(const Fig5Config &config)
 {
-    auto nl = std::make_shared<Netlist>(
-        config.op == Fig5Operator::Adder4
-            ? buildRippleAdder(4, config.style, true)
-            : buildMultiplierUnsigned(4, config.style));
-    size_t out_bits = nl->outputs().size();
     const char *op_name = fig5OperatorName(config.op);
+    auto build_netlist = [&] {
+        return config.op == Fig5Operator::Adder4
+            ? buildRippleAdder(4, config.style, true)
+            : buildMultiplierUnsigned(4, config.style);
+    };
+    std::shared_ptr<const Netlist> nl = config.contextCache != nullptr
+        ? config.contextCache->netlist(
+              std::string("netlist/") + op_name + "/" +
+                  faStyleName(config.style),
+              build_netlist)
+        : std::make_shared<const Netlist>(build_netlist());
+    size_t out_bits = nl->outputs().size();
 
     Fig5Result result;
     result.op = config.op;
@@ -301,20 +308,6 @@ maybeWriteJson(const std::string &name, const std::string &json)
 
 namespace {
 
-/**
- * Per-task state shared (read-only) by every cell of that task:
- * the dataset, the topology, and the clean baseline weights that
- * warm-start each retraining run.
- */
-struct TaskContext
-{
-    UciTaskSpec spec;
-    Dataset ds;
-    Hyper hyper;
-    MlpTopology logical;
-    MlpWeights baseline;
-};
-
 TaskContext
 prepareTask(const CampaignConfig &config, const UciTaskSpec &spec,
             size_t task_index)
@@ -336,19 +329,39 @@ prepareTask(const CampaignConfig &config, const UciTaskSpec &spec,
     return t;
 }
 
-/** Prepare every selected task in parallel. */
-std::vector<TaskContext>
-prepareTasks(CampaignEngine &engine, const CampaignConfig &config,
-             const std::vector<UciTaskSpec> &specs)
+} // namespace
+
+std::string
+taskContextKey(const CampaignConfig &config, const UciTaskSpec &spec,
+               size_t index)
 {
-    std::vector<TaskContext> ctx(specs.size());
+    // Everything prepareTask() reads, canonically encoded; two
+    // configs with equal keys build bit-identical contexts.
+    return "task/" + spec.name + "/" + std::to_string(index) +
+        "/seed=" + std::to_string(config.seed) +
+        ";rows=" + std::to_string(config.rows) +
+        ";epoch_scale=" + jsonNumber(config.epochScale) +
+        ";array=" + config.array.toJson();
+}
+
+std::vector<std::shared_ptr<const TaskContext>>
+prepareCampaignTasks(CampaignEngine &engine,
+                     const CampaignConfig &config,
+                     const std::vector<UciTaskSpec> &specs)
+{
+    std::vector<std::shared_ptr<const TaskContext>> ctx(specs.size());
     engine.parallelFor(specs.size(), [&](size_t t) {
-        ctx[t] = prepareTask(config, specs[t], t);
+        if (config.contextCache != nullptr) {
+            ctx[t] = config.contextCache->task(
+                taskContextKey(config, specs[t], t),
+                [&] { return prepareTask(config, specs[t], t); });
+        } else {
+            ctx[t] = std::make_shared<const TaskContext>(
+                prepareTask(config, specs[t], t));
+        }
     });
     return ctx;
 }
-
-} // namespace
 
 // ---------------------------------------------------------------
 // Fig 10
@@ -358,7 +371,7 @@ runFig10(const Fig10Config &config)
 {
     std::vector<UciTaskSpec> specs = selectTasks(config.tasks);
     CampaignEngine engine(config);
-    std::vector<TaskContext> ctx = prepareTasks(engine, config, specs);
+    auto ctx = prepareCampaignTasks(engine, config, specs);
 
     // Flatten the campaign into independent cells. The defect-free
     // point is a single evaluation (no injection randomness).
@@ -382,7 +395,7 @@ runFig10(const Fig10Config &config)
     engine.beginCampaign(cells.size());
     engine.parallelFor(cells.size(), [&](size_t i) {
         const Cell &c = cells[i];
-        const TaskContext &t = ctx[c.task];
+        const TaskContext &t = *ctx[c.task];
         int defects = config.defectCounts[c.variant];
 
         CellKey key{"fig10", t.spec.name,
@@ -467,7 +480,7 @@ runFig11(const Fig11Config &config)
 {
     std::vector<UciTaskSpec> specs = selectTasks(config.tasks);
     CampaignEngine engine(config);
-    std::vector<TaskContext> ctx = prepareTasks(engine, config, specs);
+    auto ctx = prepareCampaignTasks(engine, config, specs);
 
     size_t reps = static_cast<size_t>(std::max(0, config.repetitions));
     std::vector<Fig11Sample> samples(specs.size() * reps);
@@ -477,7 +490,7 @@ runFig11(const Fig11Config &config)
     engine.parallelFor(samples.size(), [&](size_t i) {
         size_t task = i / reps;
         size_t rep = i % reps;
-        const TaskContext &t = ctx[task];
+        const TaskContext &t = *ctx[task];
 
         CellKey key{"fig11", t.spec.name, "v0", rep};
         if (journalLookup(config.journal, key, [&](const JsonValue &v) {

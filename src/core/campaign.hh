@@ -19,6 +19,8 @@
 #ifndef DTANN_CORE_CAMPAIGN_HH
 #define DTANN_CORE_CAMPAIGN_HH
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -170,6 +172,76 @@ std::vector<Fig11Curve> runFig11(const Fig11Config &config);
 
 /** Task specs selected by a campaign config (empty = all 10). */
 std::vector<UciTaskSpec> selectTasks(const std::vector<std::string> &names);
+
+/**
+ * Per-task state shared (read-only) by every cell of that task:
+ * the dataset, the topology, and the clean baseline weights that
+ * warm-start each retraining run. Building one is the expensive
+ * pre-cell phase of the network-level campaigns (dataset synthesis
+ * plus a full clean-accelerator training run), and it is a pure
+ * function of the campaign's (seed, rows, epoch scale, array) plus
+ * the task spec and its index — which is what makes it cacheable
+ * across concurrent campaigns (see SharedContextCache).
+ */
+struct TaskContext
+{
+    UciTaskSpec spec;
+    Dataset ds;
+    Hyper hyper;
+    MlpTopology logical;
+    MlpWeights baseline;
+};
+
+/**
+ * Cross-campaign cache for the expensive deterministic state the
+ * campaigns otherwise rebuild per run: prepared task contexts
+ * (dataset + clean baseline) and operator netlists. Implementations
+ * must be thread-safe and must return the build() result for a key
+ * exactly once — concurrent requests for the same key share one
+ * build. Keys canonically encode every input of the build (see
+ * taskContextKey()), so a cache hit is bit-identical to a rebuild.
+ *
+ * The campaign daemon installs one of these per process
+ * (CampaignRunConfig::contextCache); offline runs leave the pointer
+ * null and build directly.
+ */
+class SharedContextCache
+{
+  public:
+    virtual ~SharedContextCache() = default;
+
+    /** Cached TaskContext for @p key, building via @p build on miss. */
+    virtual std::shared_ptr<const TaskContext>
+    task(const std::string &key,
+         const std::function<TaskContext()> &build) = 0;
+
+    /** Cached operator netlist for @p key (e.g. "adder4/nand9"). */
+    virtual std::shared_ptr<const Netlist>
+    netlist(const std::string &key,
+            const std::function<Netlist()> &build) = 0;
+};
+
+/**
+ * Canonical cache key of the TaskContext prepareCampaignTasks()
+ * builds for task @p index of @p config: every config field the
+ * build depends on (seed, rows, epoch scale, array) plus the task
+ * name and its index (the RNG substreams are index-addressed).
+ * Deliberately campaign-kind-agnostic: Fig 10, Fig 11 and the
+ * mitigation campaign derive identical contexts from identical
+ * (seed, scale) configs and therefore share cache entries.
+ */
+std::string taskContextKey(const CampaignConfig &config,
+                           const UciTaskSpec &spec, size_t index);
+
+/**
+ * Prepare the per-task contexts of @p specs in parallel on
+ * @p engine, consulting @p config.contextCache when set. Shared by
+ * every network-level campaign (Fig 10/11, mitigation).
+ */
+std::vector<std::shared_ptr<const TaskContext>>
+prepareCampaignTasks(CampaignEngine &engine,
+                     const CampaignConfig &config,
+                     const std::vector<UciTaskSpec> &specs);
 
 /** Hyper-parameters used on the hardware for @p spec. */
 Hyper hardwareHyper(const UciTaskSpec &spec, const AcceleratorConfig &a,

@@ -88,13 +88,39 @@ CampaignConfig::readCampaignFields(const JsonValue &v)
 }
 
 CampaignEngine::CampaignEngine(const CampaignRunConfig &config)
-    : pool(config.threads), onCellDone(config.onCellDone)
+    : owned(config.sharedPool != nullptr
+                ? nullptr
+                : std::make_unique<ThreadPool>(config.threads)),
+      pool(config.sharedPool != nullptr ? config.sharedPool
+                                        : owned.get()),
+      cancel(config.cancel), onCellDone(config.onCellDone)
 {
 }
 
 CampaignEngine::CampaignEngine(int threads, ProgressCallback on_cell_done)
-    : pool(threads), onCellDone(std::move(on_cell_done))
+    : owned(std::make_unique<ThreadPool>(threads)), pool(owned.get()),
+      onCellDone(std::move(on_cell_done))
 {
+}
+
+void
+CampaignEngine::parallelFor(size_t n,
+                            const std::function<void(size_t)> &fn)
+{
+    if (cancel == nullptr) {
+        pool->parallelFor(n, fn);
+        return;
+    }
+    // Cooperative cancellation: raised mid-batch, the remaining
+    // indices become no-ops, the batch drains quickly, and the
+    // campaign unwinds here instead of producing a partial result.
+    pool->parallelFor(n, [&](size_t i) {
+        if (cancel->load(std::memory_order_relaxed))
+            return;
+        fn(i);
+    });
+    if (cancel->load(std::memory_order_relaxed))
+        throw CampaignCancelled();
 }
 
 void

@@ -20,9 +20,12 @@
 #ifndef DTANN_CORE_ENGINE_HH
 #define DTANN_CORE_ENGINE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -32,6 +35,21 @@
 #include "core/injector.hh"
 
 namespace dtann {
+
+class SharedContextCache; // core/campaign.hh
+
+/**
+ * Thrown by CampaignEngine::parallelFor when the campaign's cancel
+ * flag (CampaignRunConfig::cancel) is raised: remaining cells are
+ * skipped, the batch drains, and the campaign unwinds through the
+ * runner without producing a result. Journaled cells survive, so a
+ * cancelled campaign resubmitted against the same journal resumes
+ * where it stopped.
+ */
+struct CampaignCancelled : std::runtime_error
+{
+    CampaignCancelled() : std::runtime_error("campaign cancelled") {}
+};
 
 /** Progress report for one finished campaign cell. */
 struct CellReport
@@ -124,6 +142,27 @@ struct CampaignRunConfig
     ProgressCallback onCellDone;
     /** Optional checkpoint/resume store (owned by the caller). */
     CellCache *journal = nullptr;
+    /**
+     * Optional cooperative cancellation flag (owned by the caller).
+     * Once it reads true, the engine stops starting cells and the
+     * runner unwinds with CampaignCancelled.
+     */
+    const std::atomic<bool> *cancel = nullptr;
+    /**
+     * Optional externally owned worker pool. When set, the engine
+     * schedules its batches there instead of creating a pool of its
+     * own — the campaign daemon points every admitted job here, so
+     * concurrent jobs share one pool fair-share (`threads` is then
+     * ignored). Results are bit-identical either way.
+     */
+    ThreadPool *sharedPool = nullptr;
+    /**
+     * Optional cross-campaign cache for the expensive read-only
+     * state (netlist, dataset + clean baseline weights) campaigns
+     * prepare before their cells run; see core/campaign.hh. Shared
+     * by concurrent daemon jobs so the same circuit is built once.
+     */
+    SharedContextCache *contextCache = nullptr;
 
     /** Shared-field JSON fragment (no surrounding braces). */
     std::string jsonRunFields() const;
@@ -173,18 +212,16 @@ class CampaignEngine
                             ProgressCallback on_cell_done = {});
 
     /** Resolved execution width (>= 1). */
-    int threads() const { return pool.size(); }
+    int threads() const { return pool->size(); }
 
     /**
      * Run fn(0) .. fn(n-1) on the pool; blocks until done. @p fn
      * must derive randomness only from its index (Rng::substream)
-     * and write only to its own result slot.
+     * and write only to its own result slot. When the config's
+     * cancel flag is raised, unstarted indices are skipped and
+     * CampaignCancelled is thrown once the batch drains.
      */
-    void
-    parallelFor(size_t n, const std::function<void(size_t)> &fn)
-    {
-        pool.parallelFor(n, fn);
-    }
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
 
     /** Arm progress accounting for a campaign of @p total cells. */
     void beginCampaign(size_t total);
@@ -197,7 +234,9 @@ class CampaignEngine
                     double accuracy);
 
   private:
-    ThreadPool pool;
+    std::unique_ptr<ThreadPool> owned; ///< empty with a shared pool
+    ThreadPool *pool;                  ///< owned.get() or borrowed
+    const std::atomic<bool> *cancel = nullptr;
     ProgressCallback onCellDone;
     std::mutex mu;
     size_t done = 0;

@@ -23,35 +23,6 @@ enum StreamRoot : uint64_t {
     kStreamInject = 4, ///< {kStreamInject, task, variant, rep}
 };
 
-/** Per-task state shared read-only by that task's cells. */
-struct TaskContext
-{
-    UciTaskSpec spec;
-    Dataset ds;
-    Hyper hyper;
-    MlpTopology logical;
-    MlpWeights baseline;
-};
-
-TaskContext
-prepareTask(const MitigationConfig &config, const UciTaskSpec &spec,
-            size_t task_index)
-{
-    TaskContext t;
-    t.spec = spec;
-    Rng data_rng =
-        Rng::substream(config.seed, {kStreamData, task_index});
-    t.ds = makeSyntheticTask(spec, data_rng, config.rows);
-    t.hyper = hardwareHyper(spec, config.array, config.epochScale);
-    t.logical = {spec.attributes, t.hyper.hidden, spec.classes};
-
-    Accelerator accel(config.array, t.logical);
-    Rng train_rng =
-        Rng::substream(config.seed, {kStreamTrain, task_index});
-    t.baseline = Trainer(t.hyper).train(accel, t.ds, train_rng);
-    return t;
-}
-
 } // namespace
 
 std::string
@@ -108,10 +79,10 @@ runMitigationCampaign(const MitigationConfig &config)
     std::vector<UciTaskSpec> specs = selectTasks(config.tasks);
     CampaignEngine engine(config);
 
-    std::vector<TaskContext> ctx(specs.size());
-    engine.parallelFor(specs.size(), [&](size_t t) {
-        ctx[t] = prepareTask(config, specs[t], t);
-    });
+    // The shared preparation path (core/campaign): identical
+    // (seed, scale) configs yield identical contexts to Fig 10/11,
+    // so a daemon's context cache is shared across campaign kinds.
+    auto ctx = prepareCampaignTasks(engine, config, specs);
 
     // Flatten into independent cells. The defect-free point runs a
     // single repetition per strategy (no injection randomness).
@@ -136,7 +107,7 @@ runMitigationCampaign(const MitigationConfig &config)
     engine.beginCampaign(cells.size());
     engine.parallelFor(cells.size(), [&](size_t i) {
         const Cell &c = cells[i];
-        const TaskContext &t = ctx[c.task];
+        const TaskContext &t = *ctx[c.task];
         int defects = config.defectCounts[c.variant];
         Strategy strategy = config.strategies[c.strat];
 

@@ -1,0 +1,122 @@
+#include "service/client.hh"
+
+#include <utility>
+
+#include "common/http.hh"
+#include "common/json.hh"
+#include "common/socket.hh"
+
+namespace dtann {
+
+namespace {
+
+/** The daemon's {"error":...} message, or the raw body. */
+std::string
+errorMessage(const std::string &body)
+{
+    try {
+        JsonValue v = jsonParse(body);
+        return v.at("error").asString();
+    } catch (const JsonError &) {
+        return body.empty() ? "empty response" : body;
+    }
+}
+
+/** Throw unless @p r is 2xx; returns it otherwise. */
+const CampaignClient::Response &
+expectOk(const CampaignClient::Response &r)
+{
+    if (r.status < 200 || r.status > 299)
+        throw ClientError(r.status, errorMessage(r.body));
+    return r;
+}
+
+} // namespace
+
+CampaignClient::CampaignClient(std::string address)
+    : addr(std::move(address))
+{
+}
+
+CampaignClient::Response
+CampaignClient::request(const std::string &method,
+                        const std::string &target,
+                        const std::string &body) const
+{
+    try {
+        Socket conn = connectTo(addr);
+        conn.writeAll(httpRequest(method, target, body));
+
+        HttpParser parser(HttpParser::Mode::Response);
+        char buf[4096];
+        while (parser.state() == HttpParser::State::NeedMore) {
+            size_t n = conn.readSome(buf, sizeof(buf));
+            if (n == 0) {
+                parser.finish();
+                break;
+            }
+            parser.feed(buf, n);
+        }
+        if (parser.state() != HttpParser::State::Done)
+            throw ClientError(0, "daemon at " + addr +
+                                     " sent an unparseable response: " +
+                                     parser.errorMessage());
+        return {parser.message().status, parser.message().body};
+    } catch (const SocketError &e) {
+        throw ClientError(0, std::string("cannot reach daemon at ") +
+                                 addr + ": " + e.what());
+    }
+}
+
+uint64_t
+CampaignClient::submit(const std::string &specText) const
+{
+    const Response r = expectOk(request("POST", "/jobs", specText));
+    try {
+        return static_cast<uint64_t>(
+            jsonParse(r.body).at("id").asInt());
+    } catch (const JsonError &e) {
+        throw ClientError(0, std::string("malformed submit response: ") +
+                                 e.what());
+    }
+}
+
+std::string
+CampaignClient::status(uint64_t id) const
+{
+    return expectOk(request("GET", "/jobs/" + std::to_string(id)))
+        .body;
+}
+
+std::string
+CampaignClient::result(uint64_t id) const
+{
+    // 202 ("still running") is a 2xx but not a result; only 200
+    // carries the envelope.
+    const Response r =
+        request("GET", "/jobs/" + std::to_string(id) + "/result");
+    if (r.status != 200)
+        throw ClientError(r.status, errorMessage(r.body));
+    return r.body;
+}
+
+void
+CampaignClient::cancel(uint64_t id) const
+{
+    expectOk(request("DELETE", "/jobs/" + std::to_string(id)));
+}
+
+std::string
+CampaignClient::metrics() const
+{
+    return expectOk(request("GET", "/metrics")).body;
+}
+
+void
+CampaignClient::shutdown(bool cancelRunning) const
+{
+    expectOk(request("POST", cancelRunning ? "/shutdown?mode=now"
+                                           : "/shutdown"));
+}
+
+} // namespace dtann

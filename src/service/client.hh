@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Client for a running dtannd daemon (service/server).
+ *
+ * A thin, blocking HTTP/1.1 client over the shared socket layer:
+ * one request per connection (the daemon closes after answering),
+ * JSON bodies both ways. The dtann_campaign subcommands (submit /
+ * status / result / cancel) are built on it; tests use it to drive
+ * a daemon end to end.
+ *
+ * request() is the transport primitive and returns whatever the
+ * daemon said (status + body); the typed helpers turn non-2xx
+ * answers into ClientError carrying the daemon's error message and
+ * the HTTP status, so callers can map outcomes to exit codes.
+ */
+
+#ifndef DTANN_SERVICE_CLIENT_HH
+#define DTANN_SERVICE_CLIENT_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace dtann {
+
+/** A non-2xx daemon answer; what() is the daemon's error message. */
+struct ClientError : std::runtime_error
+{
+    ClientError(int status_, const std::string &message)
+        : std::runtime_error(message), status(status_)
+    {
+    }
+    int status; ///< HTTP status (0 = transport-level failure)
+};
+
+class CampaignClient
+{
+  public:
+    /** @param address daemon address (common/socket.hh syntax). */
+    explicit CampaignClient(std::string address);
+
+    /**
+     * One round trip: connect, send, read the full response.
+     * @return {status, body}
+     * @throws ClientError(status=0) when the daemon cannot be
+     *         reached or answers unparseable bytes
+     */
+    struct Response
+    {
+        int status = 0;
+        std::string body;
+    };
+    Response request(const std::string &method,
+                     const std::string &target,
+                     const std::string &body = "") const;
+
+    /** POST /jobs. @return the new job id. */
+    uint64_t submit(const std::string &specText) const;
+
+    /** GET /jobs/<id>. @return the status document. */
+    std::string status(uint64_t id) const;
+
+    /**
+     * GET /jobs/<id>/result. @return the campaign envelope once the
+     * job is done; throws ClientError (202/404/410/500) otherwise.
+     */
+    std::string result(uint64_t id) const;
+
+    /** DELETE /jobs/<id>. */
+    void cancel(uint64_t id) const;
+
+    /** GET /metrics. @return the metrics document. */
+    std::string metrics() const;
+
+    /** POST /shutdown (mode=now when @p cancelRunning). */
+    void shutdown(bool cancelRunning = false) const;
+
+  private:
+    std::string addr;
+};
+
+} // namespace dtann
+
+#endif // DTANN_SERVICE_CLIENT_HH

@@ -1,5 +1,11 @@
 #include "service/journal.hh"
 
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 #include "common/json.hh"
 #include "common/logging.hh"
 
@@ -8,40 +14,74 @@ namespace dtann {
 ResultJournal::ResultJournal(const std::string &path,
                              const std::string &specEcho)
 {
-    std::ifstream in(path);
-    std::string line;
-    bool have_header = false;
-    size_t lineno = 0;
-    while (in && std::getline(in, line)) {
-        ++lineno;
-        if (line.empty())
-            continue;
-        if (!have_header) {
-            // A corrupt header is not recoverable: without it we
-            // cannot tell whose cells these are.
-            JsonValue v = jsonParse(line);
-            if (v.at("journal").asString() != "dtann")
-                throw JsonError("'" + path +
-                                "' is not a dtann results journal");
-            if (v.at("spec").asString() != specEcho)
-                throw JsonError(
-                    "journal '" + path +
-                    "' was written by a different spec; point "
-                    "--journal at a fresh file or delete it");
-            have_header = true;
-            continue;
-        }
-        try {
-            JsonValue v = jsonParse(line);
-            cells[v.at("cell").asString()] = v.at("payload").asString();
-        } catch (const JsonError &e) {
-            // Typically the partial trailing line of a killed run.
-            warn("journal '%s' line %zu is unreadable (%s); "
-                 "skipping it",
-                 path.c_str(), lineno, e.what());
-        }
+    // Writer lock first: hold an advisory exclusive flock on the
+    // file before reading a single byte, so a concurrent
+    // driver/daemon can neither race our resume scan nor interleave
+    // appends. The fd stays open (and locked) for the journal's
+    // lifetime; flock is per open-file-description, so a second
+    // open — even in this process — conflicts as intended.
+    lockFd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (lockFd < 0)
+        throw std::runtime_error("cannot open journal '" + path +
+                                 "': " + std::strerror(errno));
+    if (::flock(lockFd, LOCK_EX | LOCK_NB) != 0) {
+        int err = errno;
+        ::close(lockFd);
+        lockFd = -1;
+        if (err == EWOULDBLOCK)
+            throw std::runtime_error(
+                "journal '" + path +
+                "' is locked by another process (a driver or daemon "
+                "is already resuming this campaign); wait for it to "
+                "finish or use a different --journal file");
+        throw std::runtime_error("cannot lock journal '" + path +
+                                 "': " + std::strerror(err));
     }
-    in.close();
+
+    bool have_header = false;
+    try {
+        std::ifstream in(path);
+        std::string line;
+        size_t lineno = 0;
+        while (in && std::getline(in, line)) {
+            ++lineno;
+            if (line.empty())
+                continue;
+            if (!have_header) {
+                // A corrupt header is not recoverable: without it
+                // we cannot tell whose cells these are.
+                JsonValue v = jsonParse(line);
+                if (v.at("journal").asString() != "dtann")
+                    throw JsonError(
+                        "'" + path +
+                        "' is not a dtann results journal");
+                if (v.at("spec").asString() != specEcho)
+                    throw JsonError(
+                        "journal '" + path +
+                        "' was written by a different spec; point "
+                        "--journal at a fresh file or delete it");
+                have_header = true;
+                continue;
+            }
+            try {
+                JsonValue v = jsonParse(line);
+                cells[v.at("cell").asString()] =
+                    v.at("payload").asString();
+            } catch (const JsonError &e) {
+                // Typically the partial trailing line of a killed
+                // run.
+                warn("journal '%s' line %zu is unreadable (%s); "
+                     "skipping it",
+                     path.c_str(), lineno, e.what());
+            }
+        }
+    } catch (...) {
+        // The destructor will not run for a half-constructed
+        // object; drop the lock here.
+        ::close(lockFd);
+        lockFd = -1;
+        throw;
+    }
     resumed = cells.size();
 
     // A killed run can leave a partial record with no trailing
@@ -60,9 +100,12 @@ ResultJournal::ResultJournal(const std::string &path,
     }
 
     out.open(path, std::ios::app);
-    if (!out)
+    if (!out) {
+        ::close(lockFd);
+        lockFd = -1;
         throw std::runtime_error("cannot open journal '" + path +
                                  "' for writing");
+    }
     if (seal_tail) {
         out << "\n";
         out.flush();
@@ -72,6 +115,12 @@ ResultJournal::ResultJournal(const std::string &path,
             << jsonString(specEcho) << "}\n";
         out.flush();
     }
+}
+
+ResultJournal::~ResultJournal()
+{
+    if (lockFd >= 0)
+        ::close(lockFd); // releases the flock
 }
 
 bool

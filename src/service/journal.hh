@@ -17,6 +17,12 @@
  * tolerated (skipped with a warning) on reopen. Reopening with a
  * different spec echo is an error: a journal belongs to exactly one
  * campaign.
+ *
+ * Single-writer guard: the journal holds an advisory exclusive
+ * flock(2) on the file for its whole lifetime, so two drivers (or a
+ * driver and a daemon) can never resume the same journal
+ * concurrently — the second opener fails immediately with a clear
+ * error instead of interleaving appends.
  */
 
 #ifndef DTANN_SERVICE_JOURNAL_HH
@@ -42,9 +48,13 @@ class ResultJournal final : public CellCache
      *        (ScenarioSpec::toJson() after overrides); must match
      *        the header of an existing journal byte-for-byte
      * @throws JsonError on a corrupt header or a spec mismatch
-     * @throws std::runtime_error when the file cannot be opened
+     * @throws std::runtime_error when the file cannot be opened or
+     *         another process already holds its writer lock
      */
     ResultJournal(const std::string &path, const std::string &specEcho);
+
+    /** Releases the advisory writer lock. */
+    ~ResultJournal() override;
 
     /** Cells loaded from an existing journal at open. */
     size_t resumedCells() const { return resumed; }
@@ -56,6 +66,7 @@ class ResultJournal final : public CellCache
     std::mutex mu;
     std::map<std::string, std::string> cells; ///< key -> payload
     std::ofstream out;                        ///< append stream
+    int lockFd = -1; ///< fd holding the advisory flock
     size_t resumed = 0;
 };
 

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Spec admission: expand a parsed scenario spec into its cell plan
+ * without running anything.
+ *
+ * planSpec() enumerates exactly the (task, variant, repetitions)
+ * groups the campaign runners will schedule — the daemon admits
+ * every submitted job through it (rejecting bad specs before they
+ * reach the queue, and sizing the job's progress fraction), and
+ * `dtann_campaign --validate` prints it as a dry run. Keeping one
+ * enumeration path means the daemon's advertised cell count always
+ * matches what the runners actually execute (ScenarioResult.cells),
+ * which the service tests assert.
+ */
+
+#ifndef DTANN_SERVICE_PLAN_HH
+#define DTANN_SERVICE_PLAN_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "service/spec.hh"
+
+namespace dtann {
+
+/** One (task, variant) group of identical-shape cells. */
+struct PlanRow
+{
+    std::string task;    ///< task or operator name
+    std::string variant; ///< swept-axis coordinates (CellKey form)
+    size_t reps = 0;     ///< repetitions scheduled for the group
+};
+
+/** The expanded cell plan of one spec. */
+struct SpecPlan
+{
+    size_t cells = 0; ///< total cells (== ScenarioResult.cells)
+    std::vector<PlanRow> rows;
+
+    /** {"cells":N,"rows":[{"task":...,"variant":...,"reps":N}...]} */
+    std::string toJson() const;
+};
+
+/**
+ * Expand @p spec into its plan. Performs the same validation the
+ * runners would (unknown task names etc. throw), so a spec that
+ * plans cleanly is admissible.
+ */
+SpecPlan planSpec(const ScenarioSpec &spec);
+
+} // namespace dtann
+
+#endif // DTANN_SERVICE_PLAN_HH

@@ -1,0 +1,229 @@
+#include "service/server/http_server.hh"
+
+#include <chrono>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace dtann {
+
+namespace {
+
+std::string
+errorBody(const std::string &message)
+{
+    return "{\"error\":" + jsonString(message) + "}";
+}
+
+/**
+ * Parse "/jobs/<id>[/result]" out of @p path. Returns true and
+ * fills @p id / @p rest ("" or "result") when the path is a
+ * well-formed job reference.
+ */
+bool
+parseJobPath(const std::string &path, uint64_t &id, std::string &rest)
+{
+    const std::string prefix = "/jobs/";
+    if (path.compare(0, prefix.size(), prefix) != 0)
+        return false;
+    size_t pos = prefix.size();
+    size_t end = path.find('/', pos);
+    std::string digits = path.substr(
+        pos, end == std::string::npos ? std::string::npos : end - pos);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos ||
+        digits.size() > 18)
+        return false;
+    id = std::stoull(digits);
+    rest = end == std::string::npos ? "" : path.substr(end + 1);
+    return rest.empty() || rest == "result";
+}
+
+int
+log2Bucket(uint64_t us)
+{
+    int b = 0;
+    while (us > 1 && b < 19) {
+        us >>= 1;
+        ++b;
+    }
+    return b;
+}
+
+} // namespace
+
+CampaignServer::CampaignServer(JobQueue &queue_,
+                               const std::string &listenAddress)
+    : queue(queue_), listener(listenAddress)
+{
+}
+
+std::string
+CampaignServer::dispatch(const HttpMessage &req, std::string &label)
+{
+    const std::string path = req.path();
+
+    if (path == "/jobs" && req.method == "POST") {
+        label = "POST /jobs";
+        try {
+            uint64_t id = queue.submit(req.body);
+            return httpResponse(201,
+                                "{\"id\":" + std::to_string(id) + "}");
+        } catch (const JsonError &e) {
+            return httpResponse(400, errorBody(e.what()));
+        } catch (const std::exception &e) {
+            return httpResponse(503, errorBody(e.what()));
+        }
+    }
+
+    uint64_t id = 0;
+    std::string rest;
+    if (parseJobPath(path, id, rest)) {
+        if (rest.empty() && req.method == "GET") {
+            label = "GET /jobs/<id>";
+            std::string status = queue.statusJson(id);
+            if (status.empty())
+                return httpResponse(404, errorBody("unknown job"));
+            return httpResponse(200, status);
+        }
+        if (rest == "result" && req.method == "GET") {
+            label = "GET /jobs/<id>/result";
+            std::string out;
+            switch (queue.result(id, out)) {
+              case JobQueue::ResultState::Unknown:
+                return httpResponse(404, errorBody("unknown job"));
+              case JobQueue::ResultState::Pending:
+                return httpResponse(202,
+                                    errorBody("job is not finished"));
+              case JobQueue::ResultState::Cancelled:
+                return httpResponse(410,
+                                    errorBody("job was cancelled"));
+              case JobQueue::ResultState::Failed:
+                return httpResponse(500, errorBody(out));
+              case JobQueue::ResultState::Ready:
+                return httpResponse(200, out);
+            }
+        }
+        if (rest.empty() && req.method == "DELETE") {
+            label = "DELETE /jobs/<id>";
+            if (!queue.cancel(id))
+                return httpResponse(404, errorBody("unknown job"));
+            return httpResponse(
+                200, "{\"id\":" + std::to_string(id) +
+                         ",\"cancelled\":true}");
+        }
+        return httpResponse(405, errorBody("method not allowed"));
+    }
+
+    if (path == "/metrics" && req.method == "GET") {
+        label = "GET /metrics";
+        std::string body = queue.metricsJson();
+        // Splice the HTTP layer's own counters into the queue's
+        // document: {...,"http":{...}}.
+        body.insert(body.size() - 1, ",\"http\":" + httpStatsJson());
+        return httpResponse(200, body);
+    }
+
+    if (path == "/shutdown" && req.method == "POST") {
+        label = "POST /shutdown";
+        bool now = req.query() == "mode=now";
+        stopRequested = true;
+        cancelOnStop = now;
+        return httpResponse(
+            200, std::string("{\"shutting_down\":true,\"mode\":\"") +
+                     (now ? "now" : "drain") + "\"}");
+    }
+
+    if (path == "/jobs" || path == "/metrics" || path == "/shutdown")
+        return httpResponse(405, errorBody("method not allowed"));
+    return httpResponse(404, errorBody("no such endpoint"));
+}
+
+std::string
+CampaignServer::handle(const HttpMessage &req)
+{
+    auto start = std::chrono::steady_clock::now();
+    std::string label = "other";
+    std::string response = dispatch(req, label);
+    auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+    recordLatency(label, static_cast<uint64_t>(us));
+    return response;
+}
+
+void
+CampaignServer::recordLatency(const std::string &label, uint64_t us)
+{
+    std::lock_guard<std::mutex> lock(statsMu);
+    EndpointStats &s = stats[label];
+    ++s.count;
+    s.totalUs += us;
+    if (us > s.maxUs)
+        s.maxUs = us;
+    ++s.buckets[log2Bucket(us)];
+}
+
+std::string
+CampaignServer::httpStatsJson() const
+{
+    std::lock_guard<std::mutex> lock(statsMu);
+    std::string out = "{";
+    bool first = true;
+    for (const auto &kv : stats) {
+        if (!first)
+            out += ",";
+        first = false;
+        const EndpointStats &s = kv.second;
+        out += jsonString(kv.first) + ":{";
+        out += "\"count\":" + std::to_string(s.count);
+        out += ",\"total_us\":" + std::to_string(s.totalUs);
+        out += ",\"max_us\":" + std::to_string(s.maxUs);
+        out += ",\"log2_us_buckets\":[";
+        for (size_t i = 0; i < s.buckets.size(); ++i)
+            out += (i ? "," : "") + std::to_string(s.buckets[i]);
+        out += "]}";
+    }
+    out += "}";
+    return out;
+}
+
+bool
+CampaignServer::serve()
+{
+    while (!stopRequested) {
+        Socket conn;
+        try {
+            conn = listener.accept();
+        } catch (const SocketError &e) {
+            warn("accept failed: %s", e.what());
+            continue;
+        }
+
+        try {
+            HttpParser parser(HttpParser::Mode::Request);
+            char buf[4096];
+            while (parser.state() == HttpParser::State::NeedMore) {
+                size_t n = conn.readSome(buf, sizeof(buf));
+                if (n == 0) {
+                    parser.finish();
+                    break;
+                }
+                parser.feed(buf, n);
+            }
+            if (parser.state() == HttpParser::State::Done) {
+                conn.writeAll(handle(parser.message()));
+            } else {
+                conn.writeAll(httpResponse(
+                    parser.errorStatus(),
+                    errorBody(parser.errorMessage())));
+            }
+        } catch (const SocketError &e) {
+            // A client hanging up mid-exchange is its own problem.
+            warn("connection error: %s", e.what());
+        }
+    }
+    return cancelOnStop;
+}
+
+} // namespace dtann

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The dtannd HTTP front end: routes requests onto a JobQueue.
+ *
+ * API (one request per connection, JSON in and out):
+ *
+ *   POST   /jobs              body = scenario spec -> 201 {"id":...}
+ *                             (400 + parser message on a bad spec)
+ *   GET    /jobs/<id>         200 status document, 404 unknown
+ *   GET    /jobs/<id>/result  200 campaign envelope when done;
+ *                             202 still queued/running, 410 after
+ *                             cancel, 500 + message after failure
+ *   DELETE /jobs/<id>         cancel: 200, 404 unknown
+ *   GET    /metrics           200 queue/cache/sim/http counters
+ *   POST   /shutdown[?mode=now]  200, then the serve loop returns;
+ *                             default drains running jobs, mode=now
+ *                             cancels them
+ *
+ * The routing layer is a pure request -> response function
+ * (handle()), so every endpoint and error path is unit-testable
+ * without sockets; serve() is a thin blocking accept loop around
+ * it. Per-endpoint latency histograms (count / total / max / log2
+ * buckets, microseconds) accumulate in handle() and are exported in
+ * /metrics under "http".
+ */
+
+#ifndef DTANN_SERVICE_SERVER_HTTP_SERVER_HH
+#define DTANN_SERVICE_SERVER_HTTP_SERVER_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/http.hh"
+#include "common/socket.hh"
+#include "service/server/job_queue.hh"
+
+namespace dtann {
+
+class CampaignServer
+{
+  public:
+    /**
+     * Bind @p listenAddress (common/socket.hh syntax; TCP port 0 =
+     * ephemeral) and serve @p queue. @throws SocketError when the
+     * address cannot be bound.
+     */
+    CampaignServer(JobQueue &queue, const std::string &listenAddress);
+
+    /** The resolved listen address ("127.0.0.1:41873", "unix:..."). */
+    const std::string &address() const { return listener.address(); }
+    /** Bound TCP port (0 for Unix sockets). */
+    int port() const { return listener.port(); }
+
+    /**
+     * Accept and answer connections until a POST /shutdown arrives.
+     * @return true when the shutdown asked for mode=now (cancel
+     * running jobs rather than draining them).
+     */
+    bool serve();
+
+    /**
+     * Route one parsed request to a complete serialized HTTP
+     * response. Pure aside from JobQueue effects and latency
+     * accounting — the unit-test seam.
+     */
+    std::string handle(const HttpMessage &req);
+
+    /** True once a shutdown request has been handled. */
+    bool shutdownRequested() const { return stopRequested; }
+
+  private:
+    /** Latency record of one routed endpoint. */
+    struct EndpointStats
+    {
+        uint64_t count = 0;
+        uint64_t totalUs = 0;
+        uint64_t maxUs = 0;
+        /** bucket[i] counts latencies in [2^i, 2^(i+1)) us. */
+        std::array<uint64_t, 20> buckets{};
+    };
+
+    std::string dispatch(const HttpMessage &req, std::string &label);
+    void recordLatency(const std::string &label, uint64_t us);
+    std::string httpStatsJson() const;
+
+    JobQueue &queue;
+    ListenSocket listener;
+
+    mutable std::mutex statsMu;
+    std::map<std::string, EndpointStats> stats;
+
+    bool stopRequested = false;
+    bool cancelOnStop = false;
+};
+
+} // namespace dtann
+
+#endif // DTANN_SERVICE_SERVER_HTTP_SERVER_HH

@@ -1,0 +1,408 @@
+#include "service/server/job_queue.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "service/journal.hh"
+#include "service/runner.hh"
+
+namespace fs = std::filesystem;
+
+namespace dtann {
+
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot read '" + path + "'");
+    std::ostringstream body;
+    body << in.rdbuf();
+    return body.str();
+}
+
+/**
+ * Publish @p content at @p path via a same-directory temp file and
+ * rename, so the file either exists complete or not at all — the
+ * property the "result file is the done marker" protocol needs.
+ */
+void
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw std::runtime_error("cannot write '" + tmp + "'");
+        out << content;
+        out.flush();
+        if (!out)
+            throw std::runtime_error("short write to '" + tmp + "'");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        throw std::runtime_error("cannot publish '" + path + "'");
+}
+
+/** Drop the per-run context pointers before the journal dies. */
+void
+clearRunContext(CampaignRunConfig &run)
+{
+    run.journal = nullptr;
+    run.cancel = nullptr;
+    run.sharedPool = nullptr;
+    run.contextCache = nullptr;
+    run.onCellDone = nullptr;
+}
+
+} // namespace
+
+const char *
+jobStateName(JobState s)
+{
+    switch (s) {
+      case JobState::Queued:
+        return "queued";
+      case JobState::Running:
+        return "running";
+      case JobState::Done:
+        return "done";
+      case JobState::Failed:
+        return "failed";
+      case JobState::Cancelled:
+        return "cancelled";
+    }
+    return "unknown";
+}
+
+JobQueue::JobQueue(const Config &config)
+    : cfg(config), pool(config.threads)
+{
+    if (cfg.runners < 1)
+        cfg.runners = 1;
+    scanStateDir();
+    for (int i = 0; i < cfg.runners; ++i)
+        runners.emplace_back([this] { runnerLoop(); });
+}
+
+JobQueue::~JobQueue()
+{
+    shutdown(true);
+}
+
+std::string
+JobQueue::jobPath(uint64_t id, const char *suffix) const
+{
+    return cfg.stateDir + "/job-" + std::to_string(id) + suffix;
+}
+
+void
+JobQueue::scanStateDir()
+{
+    fs::create_directories(cfg.stateDir);
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(cfg.stateDir)) {
+        std::string name = entry.path().filename().string();
+        // Only spec files anchor a job; everything else is derived.
+        const std::string prefix = "job-", suffix = ".spec.json";
+        if (name.size() <= prefix.size() + suffix.size() ||
+            name.compare(0, prefix.size(), prefix) != 0 ||
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0)
+            continue;
+        std::string digits = name.substr(
+            prefix.size(), name.size() - prefix.size() - suffix.size());
+        if (digits.empty() ||
+            digits.find_first_not_of("0123456789") != std::string::npos)
+            continue;
+        uint64_t id = std::stoull(digits);
+
+        auto job = std::make_unique<Job>();
+        job->id = id;
+        try {
+            job->specText = readFile(entry.path().string());
+            job->spec = ScenarioSpec::parse(job->specText);
+            job->plan = planSpec(job->spec);
+        } catch (const std::exception &e) {
+            // An admitted spec no longer loading means the state dir
+            // was damaged; keep the job visible as failed.
+            job->state = JobState::Failed;
+            job->error = e.what();
+            warn("state dir job %llu is unloadable: %s",
+                 (unsigned long long)id, e.what());
+        }
+
+        if (job->state != JobState::Failed) {
+            if (fs::exists(jobPath(id, ".result.json"))) {
+                job->state = JobState::Done;
+                job->cellsDone = job->plan.cells;
+            } else if (fs::exists(jobPath(id, ".cancelled"))) {
+                job->state = JobState::Cancelled;
+            } else if (fs::exists(jobPath(id, ".error"))) {
+                job->state = JobState::Failed;
+                try {
+                    job->error = readFile(jobPath(id, ".error"));
+                } catch (const std::exception &) {
+                    job->error = "failed (reason lost)";
+                }
+                while (!job->error.empty() &&
+                       job->error.back() == '\n')
+                    job->error.pop_back();
+            }
+        }
+
+        if (id >= nextId)
+            nextId = id + 1;
+        jobs.emplace(id, std::move(job));
+    }
+
+    // Unfinished jobs resume in id (submission) order; their
+    // journals replay every cell that completed before the restart.
+    size_t resumed = 0;
+    for (auto &kv : jobs)
+        if (kv.second->state == JobState::Queued) {
+            queued.push_back(kv.second.get());
+            ++resumed;
+        }
+    if (resumed > 0)
+        inform("resuming %zu unfinished job(s) from '%s'", resumed,
+               cfg.stateDir.c_str());
+}
+
+uint64_t
+JobQueue::submit(const std::string &specText)
+{
+    // Admission: a spec that parses and plans is runnable; anything
+    // else is rejected here with the parser's message, before any
+    // state exists.
+    auto job = std::make_unique<Job>();
+    job->specText = specText;
+    job->spec = ScenarioSpec::parse(specText);
+    job->plan = planSpec(job->spec);
+
+    std::unique_lock<std::mutex> lock(mu);
+    if (stopping)
+        throw std::runtime_error("daemon is shutting down");
+    uint64_t id = nextId++;
+    job->id = id;
+    Job *raw = job.get();
+    jobs.emplace(id, std::move(job));
+    lock.unlock();
+
+    try {
+        writeFileAtomic(jobPath(id, ".spec.json"), specText);
+    } catch (...) {
+        std::lock_guard<std::mutex> relock(mu);
+        jobs.erase(id);
+        throw;
+    }
+
+    lock.lock();
+    queued.push_back(raw);
+    wake.notify_one();
+    return id;
+}
+
+std::string
+JobQueue::statusJson(uint64_t id) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = jobs.find(id);
+    if (it == jobs.end())
+        return "";
+    const Job &job = *it->second;
+    std::string out = "{\"id\":" + std::to_string(job.id);
+    out += ",\"state\":" +
+           jsonString(jobStateName(job.state));
+    out += ",\"kind\":" + jsonString(job.spec.kind);
+    out += ",\"name\":" + jsonString(job.spec.name);
+    out += ",\"cells_done\":" +
+           std::to_string(job.cellsDone.load());
+    out += ",\"cells_total\":" + std::to_string(job.plan.cells);
+    if (job.state == JobState::Failed)
+        out += ",\"error\":" + jsonString(job.error);
+    out += "}";
+    return out;
+}
+
+JobQueue::ResultState
+JobQueue::result(uint64_t id, std::string &out) const
+{
+    JobState state;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = jobs.find(id);
+        if (it == jobs.end())
+            return ResultState::Unknown;
+        state = it->second->state;
+        if (state == JobState::Failed)
+            out = it->second->error;
+    }
+    switch (state) {
+      case JobState::Queued:
+      case JobState::Running:
+        return ResultState::Pending;
+      case JobState::Cancelled:
+        return ResultState::Cancelled;
+      case JobState::Failed:
+        return ResultState::Failed;
+      case JobState::Done:
+        break;
+    }
+    // The result file is immutable once renamed into place, so it is
+    // read outside the lock.
+    out = readFile(jobPath(id, ".result.json"));
+    return ResultState::Ready;
+}
+
+bool
+JobQueue::cancel(uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = jobs.find(id);
+    if (it == jobs.end())
+        return false;
+    Job &job = *it->second;
+    if (job.state == JobState::Queued) {
+        for (auto q = queued.begin(); q != queued.end(); ++q)
+            if (*q == &job) {
+                queued.erase(q);
+                break;
+            }
+        finishJob(job, JobState::Cancelled, "");
+    } else if (job.state == JobState::Running) {
+        // Cooperative: the runner observes the flag at the next cell
+        // boundary and retires the job as cancelled.
+        job.cancelFlag.store(true);
+    }
+    return true;
+}
+
+std::string
+JobQueue::metricsJson() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    size_t counts[5] = {0, 0, 0, 0, 0};
+    for (const auto &kv : jobs)
+        ++counts[static_cast<int>(kv.second->state)];
+    std::string out = "{\"jobs\":{";
+    out += "\"queued\":" +
+           std::to_string(counts[(int)JobState::Queued]);
+    out += ",\"running\":" +
+           std::to_string(counts[(int)JobState::Running]);
+    out += ",\"done\":" + std::to_string(counts[(int)JobState::Done]);
+    out += ",\"failed\":" +
+           std::to_string(counts[(int)JobState::Failed]);
+    out += ",\"cancelled\":" +
+           std::to_string(counts[(int)JobState::Cancelled]);
+    out += "},\"queue_depth\":" + std::to_string(queued.size());
+    out += ",\"workers\":" + std::to_string(pool.size());
+    out += ",\"runners\":" + std::to_string(runners.size());
+    out += ",\"cache\":" + sharedCache.statsJson();
+    out += ",\"sim\":" + simTotals.toJson();
+    out += "}";
+    return out;
+}
+
+void
+JobQueue::finishJob(Job &job, JobState state, const std::string &error)
+{
+    job.state = state;
+    job.error = error;
+    try {
+        if (state == JobState::Cancelled)
+            writeFileAtomic(jobPath(job.id, ".cancelled"), "");
+        else if (state == JobState::Failed)
+            writeFileAtomic(jobPath(job.id, ".error"), error + "\n");
+    } catch (const std::exception &e) {
+        // In-memory state stays authoritative for this lifetime; a
+        // restart will re-run the job, which is safe (journaled).
+        warn("cannot persist job %llu outcome: %s",
+             (unsigned long long)job.id, e.what());
+    }
+}
+
+void
+JobQueue::runJob(Job &job)
+{
+    CampaignRunConfig &run = job.spec.runConfig();
+    try {
+        ResultJournal journal(jobPath(job.id, ".jnl"),
+                              job.spec.journalEcho());
+        run.journal = &journal;
+        run.cancel = &job.cancelFlag;
+        run.sharedPool = &pool;
+        run.contextCache = &sharedCache;
+        Job *self = &job;
+        run.onCellDone = [self](const CellReport &r) {
+            self->cellsDone.store(r.cellsDone);
+        };
+
+        ScenarioResult res = runScenario(job.spec);
+        clearRunContext(run);
+        writeFileAtomic(jobPath(job.id, ".result.json"),
+                        res.json + "\n");
+        std::lock_guard<std::mutex> lock(mu);
+        simTotals.merge(res.sim);
+        finishJob(job, JobState::Done, "");
+    } catch (const CampaignCancelled &) {
+        clearRunContext(run);
+        std::lock_guard<std::mutex> lock(mu);
+        finishJob(job, JobState::Cancelled, "");
+    } catch (const std::exception &e) {
+        clearRunContext(run);
+        std::lock_guard<std::mutex> lock(mu);
+        finishJob(job, JobState::Failed, e.what());
+    }
+}
+
+void
+JobQueue::runnerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+        wake.wait(lock,
+                  [this] { return stopping || !queued.empty(); });
+        if (queued.empty()) {
+            if (stopping)
+                return;
+            continue;
+        }
+        Job *job = queued.front();
+        queued.pop_front();
+        job->state = JobState::Running;
+        lock.unlock();
+        runJob(*job);
+        lock.lock();
+    }
+}
+
+void
+JobQueue::shutdown(bool cancelRunning)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+        if (cancelRunning) {
+            while (!queued.empty()) {
+                Job *job = queued.front();
+                queued.pop_front();
+                finishJob(*job, JobState::Cancelled, "");
+            }
+            for (auto &kv : jobs)
+                if (kv.second->state == JobState::Running)
+                    kv.second->cancelFlag.store(true);
+        }
+        wake.notify_all();
+    }
+    for (std::thread &t : runners)
+        if (t.joinable())
+            t.join();
+}
+
+} // namespace dtann

@@ -1,0 +1,89 @@
+#include "service/server/shared_cache.hh"
+
+namespace dtann {
+
+template <typename T>
+std::shared_ptr<const T>
+ServerCache::get(Shard<T> &shard, const std::string &key,
+                 const std::function<T()> &build)
+{
+    std::shared_future<std::shared_ptr<const T>> fut;
+    std::promise<std::shared_ptr<const T>> mine;
+    bool builder = false;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = shard.entries.find(key);
+        if (it != shard.entries.end()) {
+            ++shard.hits;
+            fut = it->second;
+        } else {
+            ++shard.misses;
+            builder = true;
+            fut = mine.get_future().share();
+            shard.entries.emplace(key, fut);
+        }
+    }
+    if (!builder)
+        return fut.get(); // rethrows the builder's exception, if any
+
+    try {
+        mine.set_value(std::make_shared<const T>(build()));
+    } catch (...) {
+        // Poisoning the entry would wedge every later requester on
+        // a transient failure; drop it so the next request retries.
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            shard.entries.erase(key);
+        }
+        mine.set_exception(std::current_exception());
+    }
+    return fut.get();
+}
+
+std::shared_ptr<const TaskContext>
+ServerCache::task(const std::string &key,
+                  const std::function<TaskContext()> &build)
+{
+    return get(tasks, key, build);
+}
+
+std::shared_ptr<const Netlist>
+ServerCache::netlist(const std::string &key,
+                     const std::function<Netlist()> &build)
+{
+    return get(netlists, key, build);
+}
+
+ServerCache::Stats
+ServerCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    Stats s;
+    s.taskHits = tasks.hits;
+    s.taskMisses = tasks.misses;
+    s.netlistHits = netlists.hits;
+    s.netlistMisses = netlists.misses;
+    return s;
+}
+
+std::string
+ServerCache::statsJson() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto shard = [](const char *name, uint64_t hits, uint64_t misses,
+                    size_t entries) {
+        return std::string("\"") + name +
+               "\":{\"hits\":" + std::to_string(hits) +
+               ",\"misses\":" + std::to_string(misses) +
+               ",\"entries\":" + std::to_string(entries) + "}";
+    };
+    return "{" +
+           shard("task", tasks.hits, tasks.misses,
+                 tasks.entries.size()) +
+           "," +
+           shard("netlist", netlists.hits, netlists.misses,
+                 netlists.entries.size()) +
+           "}";
+}
+
+} // namespace dtann

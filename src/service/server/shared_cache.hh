@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The daemon's cross-job cache for expensive campaign state.
+ *
+ * Concurrent jobs racing strategies (or whole campaign kinds) over
+ * the same circuit rebuild identical state: operator netlists and
+ * prepared task contexts (synthetic dataset + clean baseline
+ * weights, i.e. a full training run). ServerCache implements the
+ * SharedContextCache hook the campaign runners consult
+ * (core/campaign.hh) with build-once semantics: the first requester
+ * of a key builds, every concurrent requester of the same key
+ * blocks on the same shared_future instead of duplicating the work,
+ * and later requesters hit the completed entry. Hit/miss counters
+ * per entry kind surface in GET /metrics.
+ *
+ * Keys canonically encode every build input (taskContextKey), so a
+ * hit is bit-identical to a rebuild — caching never changes any
+ * campaign result, it only removes redundant work.
+ */
+
+#ifndef DTANN_SERVICE_SERVER_SHARED_CACHE_HH
+#define DTANN_SERVICE_SERVER_SHARED_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/campaign.hh"
+
+namespace dtann {
+
+class ServerCache final : public SharedContextCache
+{
+  public:
+    std::shared_ptr<const TaskContext>
+    task(const std::string &key,
+         const std::function<TaskContext()> &build) override;
+
+    std::shared_ptr<const Netlist>
+    netlist(const std::string &key,
+            const std::function<Netlist()> &build) override;
+
+    /** Per-kind hit/miss counts (a miss is a build). */
+    struct Stats
+    {
+        uint64_t taskHits = 0, taskMisses = 0;
+        uint64_t netlistHits = 0, netlistMisses = 0;
+    };
+    Stats stats() const;
+
+    /** {"task":{"hits":..,"misses":..,"entries":..},"netlist":...} */
+    std::string statsJson() const;
+
+  private:
+    /** One build-once map: key -> future of the built value. */
+    template <typename T> struct Shard
+    {
+        std::map<std::string, std::shared_future<std::shared_ptr<const T>>>
+            entries;
+        uint64_t hits = 0, misses = 0;
+    };
+
+    template <typename T>
+    std::shared_ptr<const T> get(Shard<T> &shard,
+                                 const std::string &key,
+                                 const std::function<T()> &build);
+
+    mutable std::mutex mu;
+    Shard<TaskContext> tasks;
+    Shard<Netlist> netlists;
+};
+
+} // namespace dtann
+
+#endif // DTANN_SERVICE_SERVER_SHARED_CACHE_HH

@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# End-to-end dtannd smoke test.
+#
+#   daemon_smoke.sh <dtannd> <dtann_campaign> <smoke_spec> <workdir>
+#
+# Phase 1: launch the daemon on an ephemeral port, submit the smoke
+# spec, poll it to completion, and check the fetched result is
+# byte-identical to an offline dtann_campaign run of the same spec.
+#
+# Phase 2 (the tentpole contract): submit a bigger campaign, kill
+# the daemon with SIGKILL once the job has journaled some cells,
+# restart it on the same state dir, and verify the resumed job's
+# result is byte-identical to an offline run — nothing a SIGKILL
+# can hit may change campaign output.
+set -u
+
+DTANND=$1
+CLI=$2
+SMOKE_SPEC=$3
+WORK=$4
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# The offline reference runs must see the same spec the daemon
+# runs: no env overrides on either side.
+unset DTANN_SEED DTANN_THREADS DTANN_JSON_OUT DTANN_SERVER
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+cd "$WORK" || fail "cannot enter $WORK"
+
+DAEMON_PID=
+cleanup() { [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null; }
+trap cleanup EXIT
+
+start_daemon() {
+    rm -f port.txt
+    "$DTANND" --state-dir state --listen 127.0.0.1:0 \
+        --port-file port.txt >daemon.log 2>&1 &
+    DAEMON_PID=$!
+    for _ in $(seq 1 100); do
+        [ -s port.txt ] && break
+        kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died on start"
+        sleep 0.1
+    done
+    [ -s port.txt ] || fail "daemon never published its port"
+    ADDR=$(cat port.txt)
+}
+
+await_done() { # $1 = job id, $2 = max seconds
+    for _ in $(seq 1 $(($2 * 2))); do
+        STATUS=$("$CLI" status --server "$ADDR" "$1") \
+            || fail "status query failed"
+        case $STATUS in
+        *'"state":"done"'*) return 0 ;;
+        *'"state":"failed"'* | *'"state":"cancelled"'*)
+            fail "job $1 ended badly: $STATUS" ;;
+        esac
+        sleep 0.5
+    done
+    fail "job $1 did not finish: $STATUS"
+}
+
+# ---- Phase 1: submit -> done -> result == offline run ------------
+
+start_daemon
+
+"$CLI" --validate "$SMOKE_SPEC" >/dev/null || fail "--validate failed"
+
+ID=$("$CLI" submit --server "$ADDR" "$SMOKE_SPEC") \
+    || fail "submit failed"
+await_done "$ID" 120
+"$CLI" result --server "$ADDR" "$ID" --out daemon_smoke.json \
+    || fail "result fetch failed"
+
+"$CLI" "$SMOKE_SPEC" --out offline_smoke.json >/dev/null 2>&1 \
+    || fail "offline smoke run failed"
+cmp -s daemon_smoke.json offline_smoke.json \
+    || fail "daemon result differs from offline run"
+
+# ---- Phase 2: kill -9 mid-job, restart, resume bit-identically ---
+
+# Enough cells (12000, ~0.3 ms each) that the campaign runs for a
+# few seconds and the SIGKILL lands mid-job.
+cat >big_spec.json <<'EOF'
+{"kind":"fig5","name":"killme","repetitions":3000,"seed":13,
+ "operators":["adder4","multiplier4"],"defect_counts":[1,2]}
+EOF
+
+BIG=$("$CLI" submit --server "$ADDR" big_spec.json) \
+    || fail "big submit failed"
+
+# Wait until the job has journaled at least one cell, then SIGKILL.
+PROGRESSED=
+for _ in $(seq 1 240); do
+    STATUS=$("$CLI" status --server "$ADDR" "$BIG") || STATUS=""
+    case $STATUS in
+    *'"state":"done"'*)
+        # Too fast to interrupt: still a valid (if weaker) pass for
+        # the restart path below.
+        PROGRESSED=done
+        break ;;
+    *'"cells_done":0'* | "") sleep 0.1 ;;
+    *) PROGRESSED=mid; break ;;
+    esac
+done
+[ -n "$PROGRESSED" ] || fail "big job never made progress: $STATUS"
+
+kill -9 "$DAEMON_PID" || fail "could not kill daemon"
+wait "$DAEMON_PID" 2>/dev/null
+DAEMON_PID=
+
+start_daemon
+await_done "$BIG" 240
+"$CLI" result --server "$ADDR" "$BIG" --out daemon_big.json \
+    || fail "big result fetch failed"
+
+"$CLI" big_spec.json --out offline_big.json >/dev/null 2>&1 \
+    || fail "offline big run failed"
+cmp -s daemon_big.json offline_big.json \
+    || fail "resumed result differs from offline run (kill -9 broke bit-identity)"
+
+# The restarted daemon must have resumed, not recomputed from zero:
+# its journal already held cells at the kill.
+[ -s state/job-"$BIG".jnl ] || fail "big job has no journal"
+
+"$CLI" shutdown --server "$ADDR" || fail "shutdown failed"
+wait "$DAEMON_PID" 2>/dev/null
+DAEMON_PID=
+
+echo "PASS (phase2: $PROGRESSED)"
+exit 0

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * HTTP wire-layer tests: the incremental parser's happy paths and
+ * every rejection class — malformed start lines and headers (400),
+ * oversized bodies (413) and header sections (431), unsupported
+ * transfer codings (501) — plus the property the daemon's socket
+ * loop depends on: a proper prefix of a valid message is never an
+ * Error, so truncation is always distinguishable from garbage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/http.hh"
+
+namespace dtann {
+namespace {
+
+using State = HttpParser::State;
+
+HttpParser
+feedAll(const std::string &bytes,
+        HttpParser::Mode mode = HttpParser::Mode::Request,
+        size_t max_body = HttpParser::kDefaultMaxBody,
+        size_t max_headers = HttpParser::kDefaultMaxHeaders)
+{
+    HttpParser p(mode, max_body, max_headers);
+    p.feed(bytes);
+    return p;
+}
+
+TEST(HttpParser, SimpleRequestLine)
+{
+    HttpParser p =
+        feedAll("GET /jobs/3?x=1 HTTP/1.1\r\nHost: a\r\n\r\n");
+    ASSERT_EQ(p.state(), State::Done);
+    EXPECT_EQ(p.message().method, "GET");
+    EXPECT_EQ(p.message().target, "/jobs/3?x=1");
+    EXPECT_EQ(p.message().path(), "/jobs/3");
+    EXPECT_EQ(p.message().query(), "x=1");
+    EXPECT_EQ(p.message().version, "HTTP/1.1");
+    EXPECT_EQ(p.message().header("host"), "a");
+    EXPECT_TRUE(p.message().body.empty());
+}
+
+TEST(HttpParser, HeaderNamesLowerCasedValuesTrimmed)
+{
+    HttpParser p = feedAll(
+        "GET / HTTP/1.1\r\nCoNtEnT-TyPe:   text/plain  \r\n\r\n");
+    ASSERT_EQ(p.state(), State::Done);
+    EXPECT_EQ(p.message().header("content-type"), "text/plain");
+}
+
+TEST(HttpParser, BareLfLineEndings)
+{
+    HttpParser p = feedAll(
+        "POST /jobs HTTP/1.1\ncontent-length: 2\n\nhi");
+    ASSERT_EQ(p.state(), State::Done);
+    EXPECT_EQ(p.message().body, "hi");
+}
+
+TEST(HttpParser, LeadingBlankLinesTolerated)
+{
+    HttpParser p = feedAll("\r\n\r\nGET / HTTP/1.1\r\n\r\n");
+    ASSERT_EQ(p.state(), State::Done);
+    EXPECT_EQ(p.message().method, "GET");
+}
+
+TEST(HttpParser, FixedBodySplitAcrossFeeds)
+{
+    HttpParser p;
+    EXPECT_EQ(p.feed("POST /jobs HTTP/1.1\r\ncontent-le"),
+              State::NeedMore);
+    EXPECT_EQ(p.feed("ngth: 10\r\n\r\n{\"kind"), State::NeedMore);
+    EXPECT_EQ(p.feed("\":1}"), State::Done);
+    EXPECT_EQ(p.message().body, "{\"kind\":1}");
+    // Trailing bytes after the complete message are ignored.
+    EXPECT_EQ(p.feed("GARBAGE"), State::Done);
+}
+
+TEST(HttpParser, ByteAtATimeIsNeverAnError)
+{
+    const std::string request =
+        "POST /jobs HTTP/1.1\r\n"
+        "Host: localhost\r\n"
+        "Transfer-Encoding: chunked\r\n"
+        "\r\n"
+        "4;ext=1\r\nWiki\r\n"
+        "5\r\npedia\r\n"
+        "0\r\n"
+        "X-Trailer: ignored\r\n"
+        "\r\n";
+    // Every prefix must be NeedMore (or Done at the very end):
+    // truncation is never misdiagnosed as malformed input.
+    for (size_t cut = 0; cut <= request.size(); ++cut) {
+        HttpParser p = feedAll(request.substr(0, cut));
+        if (cut < request.size())
+            EXPECT_EQ(p.state(), State::NeedMore) << "cut=" << cut;
+        else
+            EXPECT_EQ(p.state(), State::Done);
+    }
+    // And byte-at-a-time delivery assembles the same message.
+    HttpParser p;
+    for (char c : request)
+        p.feed(&c, 1);
+    ASSERT_EQ(p.state(), State::Done);
+    EXPECT_EQ(p.message().body, "Wikipedia");
+}
+
+TEST(HttpParser, TruncatedRequestIs400OnFinish)
+{
+    HttpParser p =
+        feedAll("POST /jobs HTTP/1.1\r\ncontent-length: 50\r\n\r\nshort");
+    EXPECT_EQ(p.state(), State::NeedMore);
+    EXPECT_EQ(p.finish(), State::Error);
+    EXPECT_EQ(p.errorStatus(), 400);
+}
+
+TEST(HttpParser, MalformedStartLines)
+{
+    EXPECT_EQ(feedAll("GET\r\n\r\n").state(), State::Error);
+    EXPECT_EQ(feedAll("GET /\r\n\r\n").state(), State::Error);
+    EXPECT_EQ(feedAll("GET / NOTHTTP/9\r\n\r\n").state(),
+              State::Error);
+    HttpParser p = feedAll("GET / NOTHTTP/9\r\n\r\n");
+    EXPECT_EQ(p.errorStatus(), 400);
+}
+
+TEST(HttpParser, FoldedHeaderRejected)
+{
+    HttpParser p = feedAll(
+        "GET / HTTP/1.1\r\nx-a: 1\r\n  folded\r\n\r\n");
+    EXPECT_EQ(p.state(), State::Error);
+    EXPECT_EQ(p.errorStatus(), 400);
+}
+
+TEST(HttpParser, HeaderWithoutColonRejected)
+{
+    HttpParser p = feedAll("GET / HTTP/1.1\r\nnocolon\r\n\r\n");
+    EXPECT_EQ(p.state(), State::Error);
+    EXPECT_EQ(p.errorStatus(), 400);
+}
+
+TEST(HttpParser, ConflictingContentLengthsRejected)
+{
+    HttpParser p = feedAll(
+        "POST / HTTP/1.1\r\ncontent-length: 2\r\n"
+        "content-length: 3\r\n\r\nab");
+    EXPECT_EQ(p.state(), State::Error);
+    EXPECT_EQ(p.errorStatus(), 400);
+}
+
+TEST(HttpParser, GarbageContentLengthRejected)
+{
+    HttpParser p = feedAll(
+        "POST / HTTP/1.1\r\ncontent-length: 12abc\r\n\r\n");
+    EXPECT_EQ(p.state(), State::Error);
+    EXPECT_EQ(p.errorStatus(), 400);
+}
+
+TEST(HttpParser, BadChunkSizeRejected)
+{
+    HttpParser p = feedAll(
+        "POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n"
+        "zz\r\n");
+    EXPECT_EQ(p.state(), State::Error);
+    EXPECT_EQ(p.errorStatus(), 400);
+}
+
+TEST(HttpParser, MissingChunkTerminatorRejected)
+{
+    HttpParser p = feedAll(
+        "POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n"
+        "4\r\nWikiXX\r\n");
+    EXPECT_EQ(p.state(), State::Error);
+    EXPECT_EQ(p.errorStatus(), 400);
+}
+
+TEST(HttpParser, OversizedFixedBodyIs413)
+{
+    HttpParser p = feedAll(
+        "POST / HTTP/1.1\r\ncontent-length: 100\r\n\r\n",
+        HttpParser::Mode::Request, /*max_body=*/10);
+    EXPECT_EQ(p.state(), State::Error);
+    EXPECT_EQ(p.errorStatus(), 413);
+}
+
+TEST(HttpParser, OversizedChunkedBodyIs413)
+{
+    std::string req =
+        "POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n"
+        "8\r\nAAAAAAAA\r\n8\r\nBBBBBBBB\r\n";
+    HttpParser p = feedAll(req, HttpParser::Mode::Request,
+                           /*max_body=*/10);
+    EXPECT_EQ(p.state(), State::Error);
+    EXPECT_EQ(p.errorStatus(), 413);
+}
+
+TEST(HttpParser, OversizedHeaderSectionIs431)
+{
+    std::string req = "GET / HTTP/1.1\r\n";
+    for (int i = 0; i < 50; ++i)
+        req += "x-filler-" + std::to_string(i) + ": " +
+               std::string(100, 'a') + "\r\n";
+    req += "\r\n";
+    HttpParser p = feedAll(req, HttpParser::Mode::Request,
+                           HttpParser::kDefaultMaxBody,
+                           /*max_headers=*/512);
+    EXPECT_EQ(p.state(), State::Error);
+    EXPECT_EQ(p.errorStatus(), 431);
+}
+
+TEST(HttpParser, UnsupportedTransferEncodingIs501)
+{
+    HttpParser p = feedAll(
+        "POST / HTTP/1.1\r\ntransfer-encoding: gzip\r\n\r\n");
+    EXPECT_EQ(p.state(), State::Error);
+    EXPECT_EQ(p.errorStatus(), 501);
+}
+
+TEST(HttpParser, ResponseWithContentLength)
+{
+    HttpParser p = feedAll(
+        "HTTP/1.1 404 Not Found\r\ncontent-length: 2\r\n\r\nno",
+        HttpParser::Mode::Response);
+    ASSERT_EQ(p.state(), State::Done);
+    EXPECT_EQ(p.message().status, 404);
+    EXPECT_EQ(p.message().reason, "Not Found");
+    EXPECT_EQ(p.message().body, "no");
+}
+
+TEST(HttpParser, ResponseBodyUntilClose)
+{
+    HttpParser p(HttpParser::Mode::Response);
+    p.feed("HTTP/1.1 200 OK\r\n\r\npart");
+    EXPECT_EQ(p.state(), State::NeedMore);
+    p.feed("ial");
+    EXPECT_EQ(p.finish(), State::Done);
+    EXPECT_EQ(p.message().body, "partial");
+}
+
+TEST(HttpWire, ResponseRoundTrip)
+{
+    std::string wire = httpResponse(200, "{\"ok\":true}");
+    HttpParser p = feedAll(wire, HttpParser::Mode::Response);
+    ASSERT_EQ(p.state(), State::Done);
+    EXPECT_EQ(p.message().status, 200);
+    EXPECT_EQ(p.message().header("content-type"), "application/json");
+    EXPECT_EQ(p.message().header("connection"), "close");
+    EXPECT_EQ(p.message().body, "{\"ok\":true}");
+}
+
+TEST(HttpWire, RequestRoundTrip)
+{
+    std::string wire = httpRequest("POST", "/jobs", "{\"kind\":1}");
+    HttpParser p = feedAll(wire);
+    ASSERT_EQ(p.state(), State::Done);
+    EXPECT_EQ(p.message().method, "POST");
+    EXPECT_EQ(p.message().target, "/jobs");
+    EXPECT_EQ(p.message().body, "{\"kind\":1}");
+}
+
+} // namespace
+} // namespace dtann

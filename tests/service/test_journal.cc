@@ -92,13 +92,15 @@ TEST(ResultJournal, ToleratesPartialTrailingLine)
         std::ofstream out(path, std::ios::app);
         out << "{\"cell\":\"fig5/adder4/d2/1\",\"payl";
     }
-    ResultJournal j(path, "{}");
-    EXPECT_EQ(j.resumedCells(), 1u);
-    std::string payload;
-    EXPECT_TRUE(j.lookup({"fig5", "adder4", "d2", 0}, payload));
-    EXPECT_FALSE(j.lookup({"fig5", "adder4", "d2", 1}, payload));
-    // The journal stays usable for appends after the bad line.
-    j.store({"fig5", "adder4", "d2", 2}, "{\"x\":3}");
+    {
+        ResultJournal j(path, "{}");
+        EXPECT_EQ(j.resumedCells(), 1u);
+        std::string payload;
+        EXPECT_TRUE(j.lookup({"fig5", "adder4", "d2", 0}, payload));
+        EXPECT_FALSE(j.lookup({"fig5", "adder4", "d2", 1}, payload));
+        // The journal stays usable for appends after the bad line.
+        j.store({"fig5", "adder4", "d2", 2}, "{\"x\":3}");
+    }
     ResultJournal j2(path, "{}");
     EXPECT_EQ(j2.resumedCells(), 2u);
     std::remove(path.c_str());
@@ -137,6 +139,39 @@ TEST(ResultJournal, PayloadsSurviveEscaping)
     std::string got;
     ASSERT_TRUE(j.lookup({"fig11", "iris", "v0", 0}, got));
     EXPECT_EQ(got, payload);
+    std::remove(path.c_str());
+}
+
+TEST(ResultJournal, SecondWriterIsRejected)
+{
+    // The advisory flock is per open-file-description, so even a
+    // second journal in the same process conflicts — exactly the
+    // driver-vs-daemon double-resume the guard exists to stop.
+    std::string path = tempPath("locked");
+    std::remove(path.c_str());
+    ResultJournal first(path, "{}");
+    try {
+        ResultJournal second(path, "{}");
+        FAIL() << "second writer must be rejected";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find(
+                      "locked by another process"),
+                  std::string::npos)
+            << e.what();
+    }
+    // The failed open must not have broken the holder's lock.
+    first.store({"fig5", "adder4", "d2", 0}, "{}");
+    std::remove(path.c_str());
+}
+
+TEST(ResultJournal, LockReleasedOnDestroy)
+{
+    std::string path = tempPath("relock");
+    std::remove(path.c_str());
+    {
+        ResultJournal j(path, "{}");
+    }
+    EXPECT_NO_THROW(ResultJournal(path, "{}"));
     std::remove(path.c_str());
 }
 

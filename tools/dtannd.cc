@@ -1,0 +1,135 @@
+/**
+ * @file
+ * dtannd: the campaign service daemon.
+ *
+ *   dtannd --state-dir /var/tmp/dtannd --listen 127.0.0.1:8437
+ *   dtannd --state-dir ./state --listen 127.0.0.1:0 --port-file p
+ *
+ * Accepts scenario specs over local HTTP (POST /jobs), runs them as
+ * queued jobs on one shared worker pool with shared task/netlist
+ * caches, and serves status, results, and metrics back; see
+ * service/server/http_server.hh for the endpoint table and
+ * DESIGN.md §12 for the architecture.
+ *
+ * Every job is journaled in the state directory, so killing the
+ * daemon — even with SIGKILL mid-job — loses nothing: on restart it
+ * re-queues unfinished jobs and resumes them bit-identically from
+ * their journals. Graceful shutdown is an endpoint (POST /shutdown;
+ * drain by default, ?mode=now cancels running jobs), not a signal.
+ *
+ * With a TCP listen address of port 0 the kernel assigns a port;
+ * the resolved address is printed on stdout ("listening on ...")
+ * and, with --port-file, published to a file (atomically, so a
+ * watcher never reads a partial write).
+ *
+ * Exit codes: 0 clean shutdown, 1 runtime error, 2 usage error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/logging.hh"
+#include "service/server/http_server.hh"
+
+using namespace dtann;
+
+namespace {
+
+int
+usage(FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: dtannd --state-dir DIR [options]\n"
+        "\n"
+        "Campaign service daemon: accepts scenario specs over HTTP,\n"
+        "runs them as journaled jobs, serves results and metrics.\n"
+        "\n"
+        "  --state-dir DIR  job persistence root (required); an\n"
+        "                   existing dir resumes its unfinished jobs\n"
+        "  --listen ADDR    listen address: \"127.0.0.1:PORT\" (0 =\n"
+        "                   ephemeral) or \"unix:/path\"\n"
+        "                   (default 127.0.0.1:0)\n"
+        "  --threads N      shared worker pool width (default: all\n"
+        "                   hardware threads)\n"
+        "  --runners N      jobs running concurrently (default 2)\n"
+        "  --port-file FILE publish the resolved address to FILE\n");
+    return to == stderr ? 2 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    JobQueue::Config cfg;
+    std::string listen = "127.0.0.1:0", port_file;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires an argument\n",
+                             flag);
+                std::exit(usage(stderr));
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h")
+            return usage(stdout);
+        if (arg == "--state-dir")
+            cfg.stateDir = value("--state-dir");
+        else if (arg == "--listen")
+            listen = value("--listen");
+        else if (arg == "--threads")
+            cfg.threads =
+                (int)std::strtol(value("--threads"), nullptr, 10);
+        else if (arg == "--runners")
+            cfg.runners =
+                (int)std::strtol(value("--runners"), nullptr, 10);
+        else if (arg == "--port-file")
+            port_file = value("--port-file");
+        else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return usage(stderr);
+        }
+    }
+    if (cfg.stateDir.empty()) {
+        std::fprintf(stderr, "--state-dir is required\n");
+        return usage(stderr);
+    }
+
+    try {
+        JobQueue queue(cfg);
+        CampaignServer server(queue, listen);
+
+        std::printf("listening on %s\n", server.address().c_str());
+        std::fflush(stdout);
+        if (!port_file.empty()) {
+            std::string tmp = port_file + ".tmp";
+            {
+                std::ofstream out(tmp, std::ios::trunc);
+                if (!out)
+                    throw std::runtime_error("cannot write '" + tmp +
+                                             "'");
+                out << server.address() << "\n";
+            }
+            if (std::rename(tmp.c_str(), port_file.c_str()) != 0)
+                throw std::runtime_error("cannot publish '" +
+                                         port_file + "'");
+        }
+
+        bool cancel_running = server.serve();
+        inform("shutting down (%s)",
+               cancel_running ? "cancelling running jobs"
+                              : "draining running jobs");
+        queue.shutdown(cancel_running);
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "dtannd: %s\n", e.what());
+        return 1;
+    }
+}
