@@ -7,6 +7,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -15,7 +18,9 @@
 #include "ann/sigmoid.hh"
 #include "circuit/batch_evaluator.hh"
 #include "circuit/evaluator.hh"
+#include "circuit/lane_plane.hh"
 #include "common/env.hh"
+#include "common/json.hh"
 #include "common/rng.hh"
 #include "core/deep_mux.hh"
 #include "core/injector.hh"
@@ -181,6 +186,43 @@ BM_BatchEvalMultiplier16Faulty(benchmark::State &state)
         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_BatchEvalMultiplier16Faulty)->Arg(1)->Arg(8);
+
+void
+BM_BatchEvalMultiplier16FaultyLanes(benchmark::State &state)
+{
+    // The faulty sweep at each supported plane width (Arg = lanes):
+    // 64 is the single-word differential oracle, 256/512 the wide
+    // planes (DESIGN.md §9). The label records which kernel ISA this
+    // machine dispatched to, so envelopes from different hosts stay
+    // comparable.
+    size_t lanes = static_cast<size_t>(state.range(0));
+    Netlist nl = buildMultiplierSigned(16, FaStyle::Nand9);
+    Rng rng(2);
+    Injection inj = injectTransistorDefects(nl, 8, rng);
+    while (!inj.faults.isStateless())
+        inj = injectTransistorDefects(nl, 8, rng);
+    auto ev =
+        BatchEvaluator::tryCreate(nl, std::move(inj.faults),
+                                  cleanMultiplierSigned(16), lanes);
+    std::vector<uint64_t> in(lanes), out(lanes);
+    Rng vrng(6);
+    for (auto &v : in)
+        v = vrng.nextUint(1ull << 32);
+    for (auto _ : state) {
+        ev->evaluateLanes(in.data(), out.data(), lanes);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(
+        state.iterations() * lanes * nl.numGates()));
+    state.counters["vectors/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations() * lanes),
+        benchmark::Counter::kIsRate);
+    state.SetLabel(laneSweepIsaFor(lanes / 64));
+}
+BENCHMARK(BM_BatchEvalMultiplier16FaultyLanes)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(512);
 
 void
 BM_EvalSigmoidUnit(benchmark::State &state)
@@ -414,12 +456,49 @@ BENCHMARK(BM_DeepMuxForwardFaulty)->Arg(0)->Arg(1);
 
 } // namespace
 
+#ifndef DTANN_BUILD_TYPE
+#define DTANN_BUILD_TYPE "unknown"
+#endif
+
+namespace {
+
+/**
+ * The "dtann_build_type" recorded in an existing bench envelope at
+ * @p path; empty when the file is absent, unreadable, or predates
+ * build-type stamping.
+ */
+std::string
+recordedBuildType(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return "";
+    std::ostringstream body;
+    body << in.rdbuf();
+    try {
+        JsonValue v = jsonParse(body.str());
+        if (const JsonValue *ctx = v.find("context"))
+            if (const JsonValue *bt = ctx->find("dtann_build_type"))
+                return bt->asString();
+    } catch (const std::exception &) {
+    }
+    return "";
+}
+
+} // namespace
+
 /**
  * Custom main: like every figure bench, mirror the results to
  * $DTANN_JSON_OUT/sim_throughput.json when that directory is set
  * (google-benchmark's own JSON reporter format), so the perf
  * trajectory of the simulator hot path is machine-readable. An
  * explicit --benchmark_out on the command line wins.
+ *
+ * The envelope's context records the dtann build type and the
+ * negotiated lane width/ISA. Baseline guard: a JSON target that was
+ * recorded from a Release build is never overwritten by any other
+ * build type — debug numbers silently replacing a Release baseline
+ * would invalidate every later regression comparison.
  */
 int
 main(int argc, char **argv)
@@ -432,11 +511,28 @@ main(int argc, char **argv)
     std::string dir = jsonOutDir();
     std::string out_flag, fmt_flag;
     if (!dir.empty() && !has_out) {
-        out_flag = "--benchmark_out=" + dir + "/sim_throughput.json";
+        std::string out_path = dir + "/sim_throughput.json";
+        std::string prev = recordedBuildType(out_path);
+        if (prev == "Release" &&
+            std::string(DTANN_BUILD_TYPE) != "Release") {
+            std::fprintf(
+                stderr,
+                "bench_sim_throughput: refusing to overwrite '%s': "
+                "it was recorded from a Release build and this is a "
+                "%s build; rebuild with -DCMAKE_BUILD_TYPE=Release "
+                "or point DTANN_JSON_OUT elsewhere\n",
+                out_path.c_str(), DTANN_BUILD_TYPE);
+            return 1;
+        }
+        out_flag = "--benchmark_out=" + out_path;
         fmt_flag = "--benchmark_out_format=json";
         args.push_back(out_flag.data());
         args.push_back(fmt_flag.data());
     }
+    benchmark::AddCustomContext("dtann_build_type", DTANN_BUILD_TYPE);
+    benchmark::AddCustomContext(
+        "dtann_lanes", std::to_string(batchLaneWidth()));
+    benchmark::AddCustomContext("dtann_lane_isa", batchLaneIsa());
     int n = static_cast<int>(args.size());
     benchmark::Initialize(&n, args.data());
     if (benchmark::ReportUnrecognizedArguments(n, args.data()))

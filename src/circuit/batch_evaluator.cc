@@ -25,21 +25,25 @@ BatchEvaluator::supports(const Netlist &netlist, const FaultSet &faults,
 
 std::optional<BatchEvaluator>
 BatchEvaluator::tryCreate(const Netlist &netlist, FaultSet faults,
-                          CleanFn clean)
+                          CleanFn clean, size_t lanes)
 {
     if (!supports(netlist, faults))
         return std::nullopt;
-    return std::optional<BatchEvaluator>(
-        BatchEvaluator(netlist, std::move(faults), std::move(clean)));
+    return std::optional<BatchEvaluator>(BatchEvaluator(
+        netlist, std::move(faults), std::move(clean), lanes));
 }
 
 BatchEvaluator::BatchEvaluator(const Netlist &netlist, FaultSet faults,
-                               CleanFn clean)
+                               CleanFn clean, size_t lanes)
     : nl(netlist), faultSet(std::move(faults)),
       cleanFn(std::move(clean)),
-      netLanes(netlist.numNets(), 0),
+      words(lanes / 64),
+      sweepFn(laneSweepFor(lanes / 64)),
+      netLanes(netlist.numNets() * (lanes / 64), 0),
       haveFaults(!this->faultSet.empty())
 {
+    dtann_assert(lanes == 64 || lanes == 256 || lanes == 512,
+                 "BatchEvaluator: bad lane width %zu", lanes);
     const char *why = nullptr;
     bool ok = supports(nl, faultSet, &why);
     dtann_assert(ok, "BatchEvaluator: %s", why ? why : "unsupported");
@@ -83,7 +87,10 @@ void
 BatchEvaluator::setInputLanes(size_t index, uint64_t lanes)
 {
     dtann_assert(index < nl.inputs().size(), "input index out of range");
-    netLanes[nl.inputs()[index]] = lanes;
+    uint64_t *plane = &netLanes[nl.inputs()[index] * words];
+    plane[0] = lanes;
+    for (size_t w = 1; w < words; ++w)
+        plane[w] = 0;
 }
 
 void
@@ -98,62 +105,23 @@ BatchEvaluator::sweepGates(const std::vector<uint32_t> *active)
     size_t n = active ? active->size() : nl.numGates();
     ++sweepCount;
     gateSweepCount += n;
-    for (size_t idx = 0; idx < n; ++idx) {
-        size_t gi = active ? (*active)[idx] : idx;
-        const Gate &g = nl.gate(gi);
-        int arity = g.arity();
-        uint64_t in[4] = {};
-        for (int i = 0; i < arity; ++i)
-            in[i] = netLanes[g.in[i]];
-        if (haveFaults) {
-            const auto &force = inputForce[gi];
-            for (int i = 0; i < arity; ++i) {
-                if (force[static_cast<size_t>(i)] >= 0)
-                    in[i] = force[static_cast<size_t>(i)] ? ~0ull : 0;
-            }
-        }
-        uint64_t out;
-        if (haveFaults && valuePlane[gi] != noOverride) {
-            // Truth-table mux: for each combination whose table
-            // entry is One, select the lanes presenting it.
-            uint32_t plane = valuePlane[gi];
-            out = 0;
-            for (uint32_t combo = 0; combo < (1u << arity); ++combo) {
-                if (!(plane >> combo & 1))
-                    continue;
-                uint64_t sel = ~0ull;
-                for (int i = 0; i < arity; ++i)
-                    sel &= (combo >> i & 1) ? in[i] : ~in[i];
-                out |= sel;
-            }
-        } else {
-            uint64_t a = in[0], b = in[1], c = in[2], d = in[3];
-            switch (g.kind) {
-              case GateKind::Const0: out = 0; break;
-              case GateKind::Const1: out = ~0ull; break;
-              case GateKind::Not: out = ~a; break;
-              case GateKind::Nand2: out = ~(a & b); break;
-              case GateKind::Nand3: out = ~(a & b & c); break;
-              case GateKind::Nor2: out = ~(a | b); break;
-              case GateKind::Nor3: out = ~(a | b | c); break;
-              case GateKind::Aoi21: out = ~((a & b) | c); break;
-              case GateKind::Aoi22: out = ~((a & b) | (c & d)); break;
-              case GateKind::Oai21: out = ~((a | b) & c); break;
-              case GateKind::Oai22: out = ~((a | b) & (c | d)); break;
-              case GateKind::CarryN:
-                out = ~((a & b) | (c & (a | b)));
-                break;
-              case GateKind::MirrorSumN:
-                out = ~((a & b & c) | (d & (a | b | c)));
-                break;
-              default:
-                panic("batch eval: bad gate kind");
-            }
-        }
-        if (haveFaults && outputForce[gi] >= 0)
-            out = outputForce[gi] ? ~0ull : 0;
-        netLanes[g.out] = out;
-    }
+    if (n == 0)
+        return;
+    // The sweep itself lives in a width-templated kernel picked at
+    // construction (see circuit/lane_plane.hh): the W-word loops
+    // vectorize in the per-ISA translation units, and W == 1 is PR
+    // 3's original single-word sweep.
+    LaneSweepCtx ctx;
+    ctx.gates = &nl.gate(0);
+    ctx.active = active ? active->data() : nullptr;
+    ctx.count = n;
+    ctx.haveFaults = haveFaults;
+    ctx.valuePlane = haveFaults ? valuePlane.data() : nullptr;
+    ctx.inputForce =
+        haveFaults ? inputForce.data()->data() : nullptr;
+    ctx.outputForce = haveFaults ? outputForce.data() : nullptr;
+    ctx.netLanes = netLanes.data();
+    sweepFn(ctx);
 }
 
 uint64_t
@@ -161,21 +129,22 @@ BatchEvaluator::outputLanes(size_t index) const
 {
     dtann_assert(index < nl.outputs().size(),
                  "output index out of range");
-    return netLanes[nl.outputs()[index]];
+    return netLanes[nl.outputs()[index] * words];
 }
 
 void
 BatchEvaluator::evaluateLanes(const uint64_t *vectors, uint64_t *out,
                               size_t count)
 {
-    dtann_assert(count <= 64, "at most 64 lanes");
+    dtann_assert(count <= laneCount(), "at most laneCount() lanes");
     size_t n_in = nl.inputs().size();
     dtann_assert(n_in <= 64, "at most 64 primary inputs");
     for (size_t i = 0; i < n_in; ++i) {
-        uint64_t lanes = 0;
+        uint64_t *plane = &netLanes[nl.inputs()[i] * words];
+        for (size_t w = 0; w < words; ++w)
+            plane[w] = 0;
         for (size_t l = 0; l < count; ++l)
-            lanes |= ((vectors[l] >> i) & 1) << l;
-        netLanes[nl.inputs()[i]] = lanes;
+            plane[l >> 6] |= ((vectors[l] >> i) & 1) << (l & 63);
     }
     sweepGates(cone.valid ? &cone.activeGates : nullptr);
     size_t n_out = nl.outputs().size();
@@ -188,9 +157,10 @@ BatchEvaluator::evaluateLanes(const uint64_t *vectors, uint64_t *out,
         for (size_t o = 0; o < n_out; ++o) {
             if (!(cone.outputMask >> o & 1))
                 continue;
-            uint64_t lanes = netLanes[nl.outputs()[o]];
+            const uint64_t *plane =
+                &netLanes[nl.outputs()[o] * words];
             for (size_t l = 0; l < count; ++l)
-                out[l] |= ((lanes >> l) & 1) << o;
+                out[l] |= ((plane[l >> 6] >> (l & 63)) & 1) << o;
         }
         for (size_t l = 0; l < count; ++l) {
             uint64_t clean = cleanFn(vectors[l]);
@@ -199,9 +169,9 @@ BatchEvaluator::evaluateLanes(const uint64_t *vectors, uint64_t *out,
         return;
     }
     for (size_t o = 0; o < n_out; ++o) {
-        uint64_t lanes = netLanes[nl.outputs()[o]];
+        const uint64_t *plane = &netLanes[nl.outputs()[o] * words];
         for (size_t l = 0; l < count; ++l)
-            out[l] |= ((lanes >> l) & 1) << o;
+            out[l] |= ((plane[l >> 6] >> (l & 63)) & 1) << o;
     }
 }
 

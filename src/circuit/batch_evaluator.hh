@@ -1,12 +1,18 @@
 /**
  * @file
- * Bit-parallel (64-lane) evaluation of combinational netlists,
+ * Bit-parallel (wide-lane) evaluation of combinational netlists,
  * clean or carrying a state-free fault set.
  *
- * Each net holds a 64-bit word whose bit L is the net's value in
- * lane L, and every gate evaluates all lanes with a handful of
- * bitwise operations. This gives a ~40x speedup for exhaustive
- * equivalence checks, distribution sweeps and campaign test passes.
+ * Each net holds a lane plane of W consecutive 64-bit words (W in
+ * {1, 4, 8} -> 64/256/512 lanes; see circuit/lane_plane.hh) whose
+ * bit L is the net's value in lane L, and every gate evaluates all
+ * lanes with a handful of bitwise operations — vectorized into
+ * ymm/zmm registers when the machine has AVX2/AVX-512. This gives a
+ * ~40x speedup over the scalar sweep at 64 lanes and several-fold
+ * more at the wide widths. The default width is 64 (one word, PR
+ * 3's original layout, kept as the differential oracle); callers on
+ * the campaign hot path pass batchLaneWidth() to get the machine's
+ * best width, subject to the DTANN_LANES knob.
  *
  * Fault overrides are applied per gate through their truth table's
  * value plane: for each input combination whose table entry is One,
@@ -28,11 +34,12 @@
 
 #include "circuit/fault_cone.hh"
 #include "circuit/faults.hh"
+#include "circuit/lane_plane.hh"
 #include "circuit/netlist.hh"
 
 namespace dtann {
 
-/** 64-lane evaluator for combinational netlists. */
+/** Wide-lane evaluator for combinational netlists. */
 class BatchEvaluator
 {
   public:
@@ -54,18 +61,29 @@ class BatchEvaluator
      *        operator; when given, the packed-vector paths
      *        (evaluateLanes/evaluateVectors) sweep only the fault
      *        cone and splice out-of-cone output bits from it
+     * @param lanes plane width: 64 (default, the single-word
+     *        oracle), 256 or 512; batchLaneWidth() resolves the
+     *        machine's best width from the DTANN_LANES knob
      */
     static std::optional<BatchEvaluator> tryCreate(
-        const Netlist &netlist, FaultSet faults = {}, CleanFn clean = {});
+        const Netlist &netlist, FaultSet faults = {}, CleanFn clean = {},
+        size_t lanes = 64);
 
     /**
      * @param netlist the circuit; asserts supports(netlist, faults)
      *        — use tryCreate() when the answer is not known statically
      */
     explicit BatchEvaluator(const Netlist &netlist, FaultSet faults = {},
-                            CleanFn clean = {});
+                            CleanFn clean = {}, size_t lanes = 64);
 
-    /** Set primary input @p index to a 64-lane word. */
+    /** Lanes evaluated per sweep (64, 256 or 512). */
+    size_t laneCount() const { return 64 * words; }
+
+    /**
+     * Set primary input @p index to a 64-lane word (lanes 64 and up
+     * of a wider plane are cleared — the granular API addresses the
+     * first word only; the packed paths use the full width).
+     */
     void setInputLanes(size_t index, uint64_t lanes);
 
     /**
@@ -75,16 +93,17 @@ class BatchEvaluator
      */
     void evaluate();
 
-    /** Read primary output @p index as a 64-lane word. */
+    /** Read primary output @p index as a 64-lane word (first word
+     *  of the plane; pairs with setInputLanes()). */
     uint64_t outputLanes(size_t index) const;
 
     /**
-     * Evaluate up to 64 packed input vectors at once, cone-pruned
-     * when a clean model was supplied.
+     * Evaluate up to laneCount() packed input vectors at once,
+     * cone-pruned when a clean model was supplied.
      *
      * @param vectors packed input bits, one per lane
      * @param out packed output bits per lane (count entries)
-     * @param count number of vectors (<= 64)
+     * @param count number of vectors (<= laneCount())
      */
     void evaluateLanes(const uint64_t *vectors, uint64_t *out,
                        size_t count);
@@ -102,7 +121,8 @@ class BatchEvaluator
     /** True when the packed-vector paths run cone-pruned. */
     bool conePruned() const { return cone.valid; }
 
-    /** Batch sweeps executed so far (each covers up to 64 lanes). */
+    /** Batch sweeps executed so far (each covers up to laneCount()
+     *  lanes). */
     uint64_t sweeps() const { return sweepCount; }
 
     /** Gates swept so far across all batch sweeps. */
@@ -114,13 +134,17 @@ class BatchEvaluator
     CleanFn cleanFn;
     FaultCone cone;
 
-    /** Per-net 64-lane values. */
+    /** Plane width in 64-bit words (1, 4 or 8). */
+    size_t words;
+    /** Sweep kernel for this width, best ISA the CPU executes. */
+    LaneSweepFn sweepFn;
+    /** Per-net lane planes, strided [net * words + w]. */
     std::vector<uint64_t> netLanes;
 
     /** True when any fault table is populated. */
     bool haveFaults;
     /** Sentinel valuePlane entry: gate keeps its native function. */
-    static constexpr uint32_t noOverride = UINT32_MAX;
+    static constexpr uint32_t noOverride = kLaneNoOverride;
     /** Per-gate truth-table value plane (one bit per input combo;
      *  the MEM plane is empty by the isStateless() precondition).
      *  Entry is noOverride when the gate is clean. */

@@ -1,0 +1,99 @@
+#include "circuit/lane_plane.hh"
+
+#include "common/env.hh"
+#include "common/logging.hh"
+
+namespace dtann {
+
+namespace {
+
+/** Runtime ISA probes; both false on non-x86 builds. */
+bool
+cpuHasAvx2()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+}
+
+bool
+cpuHasAvx512()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx512f") != 0;
+#else
+    return false;
+#endif
+}
+
+#ifdef DTANN_HAVE_AVX512_TU
+constexpr bool haveAvx512Tu = true;
+#else
+constexpr bool haveAvx512Tu = false;
+#endif
+#ifdef DTANN_HAVE_AVX2_TU
+constexpr bool haveAvx2Tu = true;
+#else
+constexpr bool haveAvx2Tu = false;
+#endif
+
+} // namespace
+
+size_t
+batchLaneWords()
+{
+    switch (laneConfig()) {
+      case 64: return 1;
+      case 256: return 4;
+      case 512: return 8;
+      default: // auto: widest plane with native SIMD backing
+        if (haveAvx512Tu && cpuHasAvx512())
+            return 8;
+        return 4;
+    }
+}
+
+size_t
+batchLaneWidth()
+{
+    return 64 * batchLaneWords();
+}
+
+const char *
+batchLaneIsa()
+{
+    return laneSweepIsaFor(batchLaneWords());
+}
+
+LaneSweepFn
+laneSweepFor(size_t words)
+{
+    if (words > 1) {
+#ifdef DTANN_HAVE_AVX512_TU
+        if (words == 8 && cpuHasAvx512())
+            return laneSweepAvx512(words);
+#endif
+#ifdef DTANN_HAVE_AVX2_TU
+        if (cpuHasAvx2())
+            return laneSweepAvx2(words);
+#endif
+    }
+    return laneSweepGeneric(words);
+}
+
+const char *
+laneSweepIsaFor(size_t words)
+{
+    if (words > 1) {
+        if (haveAvx512Tu && words == 8 && cpuHasAvx512())
+            return "avx512";
+        if (haveAvx2Tu && cpuHasAvx2())
+            return "avx2";
+        return "generic-unrolled";
+    }
+    return "scalar64";
+}
+
+} // namespace dtann

@@ -8,10 +8,10 @@ namespace dtann {
 double
 SimCounters::laneOccupancy() const
 {
-    if (batchSweeps == 0)
+    if (batchLaneSlots == 0)
         return 0.0;
     return static_cast<double>(batchVectors) /
-        (64.0 * static_cast<double>(batchSweeps));
+        static_cast<double>(batchLaneSlots);
 }
 
 double
@@ -31,6 +31,7 @@ SimCounters::toJson() const
         std::to_string(scalarVectors);
     out += ",\"batch_vectors\":" + std::to_string(batchVectors);
     out += ",\"batch_sweeps\":" + std::to_string(batchSweeps);
+    out += ",\"batch_lane_slots\":" + std::to_string(batchLaneSlots);
     out += ",\"gate_evals\":" + std::to_string(gateEvals);
     out += ",\"batch_gate_sweeps\":" + std::to_string(batchGateSweeps);
     out += ",\"lane_occupancy\":" + jsonNumber(laneOccupancy());
@@ -47,6 +48,10 @@ SimCounters::fromJson(const JsonValue &v)
     c.scalarVectors = jsonGetUint(v, "scalar_vectors", 0);
     c.batchVectors = jsonGetUint(v, "batch_vectors", 0);
     c.batchSweeps = jsonGetUint(v, "batch_sweeps", 0);
+    // Pre-wide-lane payloads lack the slot count; those sweeps were
+    // all 64 lanes wide.
+    c.batchLaneSlots =
+        jsonGetUint(v, "batch_lane_slots", 64 * c.batchSweeps);
     c.gateEvals = jsonGetUint(v, "gate_evals", 0);
     c.batchGateSweeps = jsonGetUint(v, "batch_gate_sweeps", 0);
     return c;

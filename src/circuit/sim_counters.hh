@@ -4,11 +4,14 @@
  *
  * Campaigns funnel their retraining epochs and test sweeps through
  * gate-level simulation of the defective operators; these counters
- * record how much of that work went down each path (64-lane batch
+ * record how much of that work went down each path (wide-lane batch
  * vs scalar relaxation) and how many gate evaluations it cost, so a
  * campaign can report its effective speedup alongside its results.
  * All fields are plain sums, so merging is order-independent and
- * campaign totals stay bit-identical for any thread count.
+ * campaign totals stay bit-identical for any thread count. Sweep
+ * and lane-slot counts depend on the configured lane width
+ * (DTANN_LANES); the scientific results they ride along with do
+ * not.
  */
 
 #ifndef DTANN_CIRCUIT_SIM_COUNTERS_HH
@@ -24,13 +27,16 @@ struct SimCounters
 {
     /** Input vectors evaluated one at a time (relaxation path). */
     uint64_t scalarVectors = 0;
-    /** Input vectors evaluated through the 64-lane batch path. */
+    /** Input vectors evaluated through the wide-lane batch path. */
     uint64_t batchVectors = 0;
-    /** Batch sweeps executed (each covers up to 64 vectors). */
+    /** Batch sweeps executed (one kernel pass, any lane width). */
     uint64_t batchSweeps = 0;
+    /** Lane slots provisioned across batch sweeps (sum of each
+     *  sweep's lane width; occupancy = batchVectors / this). */
+    uint64_t batchLaneSlots = 0;
     /** Scalar gate evaluations executed (gates x sweeps). */
     uint64_t gateEvals = 0;
-    /** Gates swept by batch calls (each sweep covers 64 lanes). */
+    /** Gates swept by batch calls (whole planes per gate). */
     uint64_t batchGateSweeps = 0;
 
     /** Accumulate another counter set. */
@@ -40,6 +46,7 @@ struct SimCounters
         scalarVectors += o.scalarVectors;
         batchVectors += o.batchVectors;
         batchSweeps += o.batchSweeps;
+        batchLaneSlots += o.batchLaneSlots;
         gateEvals += o.gateEvals;
         batchGateSweeps += o.batchGateSweeps;
     }

@@ -120,6 +120,23 @@ noCone()
     return boolKnob("DTANN_NO_CONE");
 }
 
+int
+laneConfig()
+{
+    const char *v = std::getenv("DTANN_LANES");
+    if (v == nullptr || *v == '\0')
+        return 0;
+    unsigned long n = 0;
+    if (!parseNonNegative(v, n) ||
+        (n != 0 && n != 64 && n != 256 && n != 512)) {
+        warn("ignoring invalid DTANN_LANES='%s' (expected 64, 256, "
+             "512, or 0 for auto); using automatic lane width",
+             v);
+        return 0;
+    }
+    return static_cast<int>(n);
+}
+
 namespace env {
 
 void
@@ -132,12 +149,13 @@ dump()
     inform("DTANN knobs: DTANN_FULL=%s (scale=%s) DTANN_SEED=%s "
            "(seed=%lu) DTANN_THREADS=%s (threads=%d) "
            "DTANN_JSON_OUT=%s DTANN_NO_BATCH=%s (batch=%s) "
-           "DTANN_NO_CONE=%s (cone=%s)",
+           "DTANN_NO_CONE=%s (cone=%s) DTANN_LANES=%s (lanes=%d)",
            raw("DTANN_FULL"), fullScale() ? "full" : "quick",
            raw("DTANN_SEED"), experimentSeed(), raw("DTANN_THREADS"),
            threadCount(), raw("DTANN_JSON_OUT"),
            raw("DTANN_NO_BATCH"), noBatch() ? "off" : "on",
-           raw("DTANN_NO_CONE"), noCone() ? "off" : "on");
+           raw("DTANN_NO_CONE"), noCone() ? "off" : "on",
+           raw("DTANN_LANES"), laneConfig());
 }
 
 } // namespace env

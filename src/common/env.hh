@@ -58,6 +58,16 @@ bool noBatch();
  */
 bool noCone();
 
+/**
+ * Requested batch lane width from DTANN_LANES: 64, 256 or 512, or
+ * 0 when unset (auto: the widest plane the machine backs with
+ * native SIMD — see circuit/lane_plane.hh, which resolves this).
+ * Other values are rejected with a warning and fall back to auto.
+ * Results are bit-identical at every width; 64 keeps the original
+ * single-word path as the differential oracle.
+ */
+int laneConfig();
+
 namespace env {
 
 /**

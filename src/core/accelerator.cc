@@ -7,6 +7,7 @@
 #include <array>
 
 #include "ann/sigmoid.hh"
+#include "circuit/lane_plane.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "rtl/adder.hh"
@@ -367,7 +368,7 @@ Accelerator::unitMulLanes(Layer layer, int neuron, int synapse, Fix16 w,
             out[l] = Fix16::hwMul(w, x[l]);
         return;
     }
-    std::array<uint64_t, 64> in, product;
+    std::array<uint64_t, kMaxLanes> in, product;
     for (size_t l = 0; l < lanes; ++l)
         in[l] = static_cast<uint64_t>(w.bits()) |
             (static_cast<uint64_t>(x[l].bits()) << 16);
@@ -398,7 +399,7 @@ Accelerator::unitAddLanes(Layer layer, int neuron, int stage, Acc24 *acc,
             acc[l] = Acc24::hwAdd(acc[l], b[l]);
         return;
     }
-    std::array<uint64_t, 64> in, sum;
+    std::array<uint64_t, kMaxLanes> in, sum;
     for (size_t l = 0; l < lanes; ++l)
         in[l] = static_cast<uint64_t>(acc[l].bits()) |
             (static_cast<uint64_t>(b[l].bits()) << 24);
@@ -432,7 +433,7 @@ Accelerator::unitActLanes(Layer layer, int neuron, const Fix16 *x,
             out[l] = logisticPwlFix(x[l]);
         return;
     }
-    std::array<uint64_t, 64> in, y;
+    std::array<uint64_t, kMaxLanes> in, y;
     for (size_t l = 0; l < lanes; ++l)
         in[l] = static_cast<uint64_t>(x[l].bits());
     sim->applyLanes(in.data(), y.data(), lanes);
@@ -517,14 +518,15 @@ Accelerator::forwardLayerLanes(Layer layer,
                                const std::vector<Fix16 *> &out,
                                size_t lanes)
 {
-    dtann_assert(lanes >= 1 && lanes <= 64, "lane count out of range");
+    dtann_assert(lanes >= 1 && lanes <= kMaxLanes,
+                 "lane count out of range");
     const Fix16 one = Fix16::fromDouble(1.0);
     int fanin = layer == Layer::Hidden ? cfg.inputs : cfg.hidden;
     int neurons = layer == Layer::Hidden ? cfg.hidden : cfg.outputs;
     if (layer == Layer::Hidden)
         hidSumsLanes.resize(lanes * static_cast<size_t>(cfg.hidden));
-    std::array<Fix16, 64> x, p;
-    std::array<Acc24, 64> acc, addend;
+    std::array<Fix16, kMaxLanes> x, p;
+    std::array<Acc24, kMaxLanes> acc, addend;
     for (int n = 0; n < neurons; ++n) {
         Fix16 *weights = layer == Layer::Hidden
             ? &hidWAt(n, 0) : &outWAt(n, 0);
@@ -672,8 +674,9 @@ Accelerator::forwardBatch(std::span<const std::vector<double>> inputs)
         rows, std::vector<Fix16>(static_cast<size_t>(cfg.hidden)));
     std::vector<std::vector<Fix16>> outv(
         rows, std::vector<Fix16>(static_cast<size_t>(cfg.outputs)));
-    for (size_t pos = 0; pos < rows; pos += 64) {
-        size_t lanes = std::min<size_t>(64, rows - pos);
+    size_t width = batchLaneWidth();
+    for (size_t pos = 0; pos < rows; pos += width) {
+        size_t lanes = std::min(width, rows - pos);
         std::vector<const Fix16 *> inPtr(lanes);
         std::vector<const Fix16 *> hidIn(lanes);
         std::vector<Fix16 *> hidPtr(lanes), outPtr(lanes);

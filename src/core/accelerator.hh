@@ -120,10 +120,12 @@ class Accelerator : public ForwardModel
 
     /**
      * Forward a batch of logical input rows, evaluating each faulty
-     * unit up to 64 rows per gate-level sweep (state-free fault
-     * sets) or in row order through its scalar simulation
-     * otherwise. Bit-identical to calling forward() per row,
-     * including the per-unit deviation-probe update order.
+     * unit up to batchLaneWidth() rows per gate-level sweep
+     * (state-free fault sets; 64/256/512 lanes per the DTANN_LANES
+     * knob) or in row order through its scalar simulation
+     * otherwise. Bit-identical to calling forward() per row at
+     * every lane width, including the per-unit deviation-probe
+     * update order.
      */
     std::vector<Activations> forwardBatch(
         std::span<const std::vector<double>> inputs) override;
@@ -133,7 +135,7 @@ class Accelerator : public ForwardModel
 
     /**
      * True when every faulty unit's simulation is a pure function
-     * (64-lane batchable: state-free faults on feedback-free
+     * (lane-batchable: state-free faults on feedback-free
      * netlists; vacuously true on a clean array). Wrapper models
      * that hoist weight reloads across input rows (time-mux) may
      * only do so under this predicate — stateful simulations and
@@ -175,8 +177,8 @@ class Accelerator : public ForwardModel
     const std::vector<Acc24> &hiddenSums() const { return hidSums; }
 
     /**
-     * Run only the physical hidden layer over <= 64 input rows with
-     * the currently loaded weights (one weight load serves every
+     * Run only the physical hidden layer over <= kMaxLanes input
+     * rows with the currently loaded weights (one weight load serves every
      * lane — the time-multiplexed batch path). Activations land in
      * @p out (one pointer per lane, cfg.hidden values each);
      * per-lane pre-activation sums stay readable via
@@ -310,7 +312,7 @@ class Accelerator : public ForwardModel
     Fix16 unitLatchStore(Layer layer, int neuron, int synapse, Fix16 d);
     /** @} */
 
-    /** Lane-wise unit operations (<= 64 rows at a time). @{ */
+    /** Lane-wise unit operations (<= kMaxLanes rows at a time). @{ */
     void unitMulLanes(Layer layer, int neuron, int synapse, Fix16 w,
                       const Fix16 *x, Fix16 *out, size_t lanes);
     void unitAddLanes(Layer layer, int neuron, int stage, Acc24 *acc,
@@ -323,7 +325,8 @@ class Accelerator : public ForwardModel
     void forwardLayer(Layer layer, std::span<const Fix16> in,
                       std::span<Fix16> out);
 
-    /** Run one physical layer over <= 64 rows (one pointer each). */
+    /** Run one physical layer over <= kMaxLanes rows (one pointer
+     *  each). */
     void forwardLayerLanes(Layer layer,
                            const std::vector<const Fix16 *> &in,
                            const std::vector<Fix16 *> &out,

@@ -200,6 +200,10 @@ runFig5(const Fig5Config &config)
                               static_cast<int>(rep), 0.0);
             return;
         }
+        // Sharded worker: cells owned by other shards are left for
+        // their processes; the merged journals replay them later.
+        if (!config.inShard(rep))
+            return;
         Rng rng = Rng::substream(config.seed, {kStreamCell, rep});
         Injection trans_inj =
             injectTransistorDefects(*nl, config.defects, rng);
@@ -409,6 +413,8 @@ runFig10(const Fig10Config &config)
             engine.reportCell(t.spec.name, defects, c.rep, accuracy[i]);
             return;
         }
+        if (!config.inShard(i))
+            return;
 
         // The cell's whole randomness budget comes from one
         // counter-derived stream: injection first, then fold
@@ -505,6 +511,8 @@ runFig11(const Fig11Config &config)
                               samples[i].accuracy);
             return;
         }
+        if (!config.inShard(i))
+            return;
 
         Rng rng = Rng::substream(config.seed,
                                  {kStreamCell, task, 0, rep});

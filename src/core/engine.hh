@@ -163,6 +163,29 @@ struct CampaignRunConfig
      * by concurrent daemon jobs so the same circuit is built once.
      */
     SharedContextCache *contextCache = nullptr;
+    /**
+     * Deterministic multi-process sharding: with shardCount > 1
+     * this run computes only the cells whose flat index i within
+     * each campaign cell list satisfies i % shardCount ==
+     * shardIndex; the rest stay empty (journaled cells replay
+     * regardless of the filter). Cells are placement-independent —
+     * all their randomness is Rng::substream of the cell
+     * coordinates — so merging the shards' journals and replaying
+     * them through an unsharded run reproduces the single-process
+     * result byte for byte. Execution knobs only: never serialized
+     * into specs or journal echoes.
+     */
+    int shardCount = 1;
+    /** This worker's shard in [0, shardCount). */
+    int shardIndex = 0;
+
+    /** True when flat cell index @p i belongs to this shard. */
+    bool inShard(size_t i) const
+    {
+        return shardCount <= 1 ||
+               i % static_cast<size_t>(shardCount) ==
+                   static_cast<size_t>(shardIndex);
+    }
 
     /** Shared-field JSON fragment (no surrounding braces). */
     std::string jsonRunFields() const;

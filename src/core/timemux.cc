@@ -1,5 +1,6 @@
 #include "core/timemux.hh"
 
+#include "circuit/lane_plane.hh"
 #include "common/logging.hh"
 
 namespace dtann {
@@ -132,14 +133,15 @@ muxRunLayerBatch(Accelerator &accel,
 
     std::vector<std::vector<Fix16>> result(
         N, std::vector<Fix16>(rows.size()));
+    size_t width = batchLaneWidth();
     std::vector<Fix16> phys_row(static_cast<size_t>(P + 1));
     std::vector<std::vector<Fix16>> phys_in(
-        64, std::vector<Fix16>(static_cast<size_t>(P)));
+        width, std::vector<Fix16>(static_cast<size_t>(P)));
     std::vector<std::vector<Fix16>> acts(
-        64, std::vector<Fix16>(static_cast<size_t>(B)));
+        width, std::vector<Fix16>(static_cast<size_t>(B)));
 
-    for (size_t pos = 0; pos < N; pos += 64) {
-        size_t lanes = std::min<size_t>(64, N - pos);
+    for (size_t pos = 0; pos < N; pos += width) {
+        size_t lanes = std::min(width, N - pos);
         std::vector<const Fix16 *> inPtr(lanes);
         std::vector<Fix16 *> actPtr(lanes);
         for (size_t l = 0; l < lanes; ++l) {

@@ -131,6 +131,8 @@ runMitigationCampaign(const MitigationConfig &config)
                               defects, c.rep, outcomes[i].accuracy);
             return;
         }
+        if (!config.inShard(i))
+            return;
 
         MitigationSetup setup{
             config.array,

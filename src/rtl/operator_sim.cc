@@ -1,5 +1,6 @@
 #include "rtl/operator_sim.hh"
 
+#include "circuit/lane_plane.hh"
 #include "common/env.hh"
 
 namespace dtann {
@@ -12,7 +13,8 @@ OperatorSim::OperatorSim(std::shared_ptr<const Netlist> netlist,
                 ? std::optional<BatchEvaluator>{}
                 : BatchEvaluator::tryCreate(
                       *nl, std::move(injection.faults),
-                      noCone() ? CleanFn{} : std::move(clean)))
+                      noCone() ? CleanFn{} : std::move(clean),
+                      batchLaneWidth()))
 {
 }
 
@@ -34,8 +36,9 @@ OperatorSim::applyLanes(const uint64_t *inputs, uint64_t *outputs,
             outputs[i] = apply(inputs[i]);
         return;
     }
-    for (size_t off = 0; off < count; off += 64) {
-        size_t chunk = std::min<size_t>(64, count - off);
+    size_t width = batch->laneCount();
+    for (size_t off = 0; off < count; off += width) {
+        size_t chunk = std::min(width, count - off);
         batch->evaluateLanes(inputs + off, outputs + off, chunk);
         batchVectors += chunk;
     }
@@ -56,6 +59,7 @@ OperatorSim::counters() const
     c.gateEvals = eval.gateEvals();
     if (batch) {
         c.batchSweeps = batch->sweeps();
+        c.batchLaneSlots = batch->sweeps() * batch->laneCount();
         c.batchGateSweeps = batch->gateSweeps();
     }
     return c;

@@ -8,9 +8,10 @@
  * evaluation state of one such defective operator instance and
  * picks the fastest exact evaluation path for its fault set:
  *
- *  - 64-lane batch (applyLanes): state-free fault sets on
- *    feedback-free netlists, cone-pruned when a clean model is
- *    available;
+ *  - wide-lane batch (applyLanes; 64/256/512 lanes per sweep, see
+ *    circuit/lane_plane.hh and the DTANN_LANES knob): state-free
+ *    fault sets on feedback-free netlists, cone-pruned when a
+ *    clean model is available;
  *  - cone-pruned scalar (apply): feedback-free netlists with a
  *    clean model, any fault semantics (MEM, delay);
  *  - full scalar relaxation: everything else (e.g. latches).
@@ -57,9 +58,10 @@ class OperatorSim
 
     /**
      * Evaluate @p count packed input vectors (any count; chunked
-     * into 64-lane batches internally). Results are bit-identical
-     * to calling apply() in order; fault sets that need the scalar
-     * path fall back to exactly that, preserving state order.
+     * into laneCount()-wide batches internally). Results are
+     * bit-identical to calling apply() in order at every lane
+     * width; fault sets that need the scalar path fall back to
+     * exactly that, preserving state order.
      */
     void applyLanes(const uint64_t *inputs, uint64_t *outputs,
                     size_t count);
@@ -67,8 +69,14 @@ class OperatorSim
     /** Clear any internal (defect-induced or latch) state. */
     void reset();
 
-    /** True when applyLanes() uses the 64-lane batch path. */
+    /** True when applyLanes() uses the wide-lane batch path. */
     bool batched() const { return batch.has_value(); }
+
+    /** Lanes per batch sweep (0 on the scalar fallback). */
+    size_t laneCount() const
+    {
+        return batch ? batch->laneCount() : 0;
+    }
 
     /** True when apply() runs the cone-pruned scalar path. */
     bool conePruned() const { return eval.conePruned(); }

@@ -13,6 +13,7 @@ namespace dtann {
 
 ResultJournal::ResultJournal(const std::string &path,
                              const std::string &specEcho)
+    : spec(specEcho)
 {
     // Writer lock first: hold an advisory exclusive flock on the
     // file before reading a single byte, so a concurrent
@@ -138,11 +139,70 @@ void
 ResultJournal::store(const CellKey &key, const std::string &payload)
 {
     std::lock_guard<std::mutex> lock(mu);
-    if (!cells.emplace(key.toString(), payload).second)
+    storeLocked(key.toString(), payload);
+}
+
+void
+ResultJournal::storeLocked(const std::string &key,
+                           const std::string &payload)
+{
+    if (!cells.emplace(key, payload).second)
         return; // already journaled; keep the file append-once
-    out << "{\"cell\":" << jsonString(key.toString())
+    out << "{\"cell\":" << jsonString(key)
         << ",\"payload\":" << jsonString(payload) << "}\n";
     out.flush();
+}
+
+size_t
+ResultJournal::absorb(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        warn("cannot read shard journal '%s'; skipping it",
+             path.c_str());
+        return 0;
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    size_t added = 0;
+    size_t before = cells.size();
+    bool have_header = false;
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        try {
+            JsonValue v = jsonParse(line);
+            if (!have_header) {
+                if (v.at("journal").asString() != "dtann" ||
+                    v.at("spec").asString() != spec) {
+                    warn("shard journal '%s' belongs to a different "
+                         "spec; skipping it",
+                         path.c_str());
+                    return 0;
+                }
+                have_header = true;
+                continue;
+            }
+            storeLocked(v.at("cell").asString(),
+                        v.at("payload").asString());
+        } catch (const JsonError &e) {
+            if (!have_header) {
+                warn("shard journal '%s' has no readable header "
+                     "(%s); skipping it",
+                     path.c_str(), e.what());
+                return 0;
+            }
+            // Typically the partial trailing line of a killed
+            // worker; the replay recomputes that cell.
+            warn("shard journal '%s' line %zu is unreadable (%s); "
+                 "skipping it",
+                 path.c_str(), lineno, e.what());
+        }
+    }
+    added = cells.size() - before;
+    return added;
 }
 
 } // namespace dtann

@@ -62,12 +62,31 @@ class ResultJournal final : public CellCache
     bool lookup(const CellKey &key, std::string &payload) override;
     void store(const CellKey &key, const std::string &payload) override;
 
+    /**
+     * Merge another journal file's cells into this journal (the
+     * sharded-campaign index-order merge: each worker process
+     * journals its shard of cells into its own file, then the
+     * parent absorbs them all and replays the campaign against the
+     * merged journal). @p path is read without taking its writer
+     * lock — only absorb journals whose writer has exited. A file
+     * whose header spec differs from ours is skipped whole with a
+     * warning (the replay recomputes anything missing); unreadable
+     * cell lines are skipped like at open. Returns the number of
+     * cells newly added.
+     */
+    size_t absorb(const std::string &path);
+
   private:
     std::mutex mu;
+    std::string spec;                         ///< bound spec echo
     std::map<std::string, std::string> cells; ///< key -> payload
     std::ofstream out;                        ///< append stream
     int lockFd = -1; ///< fd holding the advisory flock
     size_t resumed = 0;
+
+    /** store() by canonical key string; mu must be held. */
+    void storeLocked(const std::string &key,
+                     const std::string &payload);
 };
 
 } // namespace dtann

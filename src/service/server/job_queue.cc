@@ -1,14 +1,25 @@
 #include "service/server/job_queue.hh"
 
+#include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
+#include <fcntl.h>
 #include <filesystem>
 #include <fstream>
+#include <spawn.h>
 #include <sstream>
+#include <sys/wait.h>
+#include <unistd.h>
 
+#include "circuit/lane_plane.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "service/journal.hh"
 #include "service/runner.hh"
+
+extern "C" char **environ;
 
 namespace fs = std::filesystem;
 
@@ -47,6 +58,26 @@ writeFileAtomic(const std::string &path, const std::string &content)
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0)
         throw std::runtime_error("cannot publish '" + path + "'");
+}
+
+/**
+ * Cells journaled in @p path so far: its non-empty line count minus
+ * the header. Reading a file another process is appending to is
+ * fine here — lines are flushed whole, and this only feeds progress
+ * reporting, never results.
+ */
+size_t
+countJournalCells(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return 0;
+    size_t lines = 0;
+    std::string line;
+    while (std::getline(in, line))
+        if (!line.empty())
+            ++lines;
+    return lines > 0 ? lines - 1 : 0;
 }
 
 /** Drop the per-run context pointers before the journal dies. */
@@ -99,6 +130,12 @@ std::string
 JobQueue::jobPath(uint64_t id, const char *suffix) const
 {
     return cfg.stateDir + "/job-" + std::to_string(id) + suffix;
+}
+
+std::string
+JobQueue::shardJournalPath(uint64_t id, int shard) const
+{
+    return jobPath(id, ".jnl.shard-") + std::to_string(shard);
 }
 
 void
@@ -303,6 +340,25 @@ JobQueue::metricsJson() const
     out += "},\"queue_depth\":" + std::to_string(queued.size());
     out += ",\"workers\":" + std::to_string(pool.size());
     out += ",\"runners\":" + std::to_string(runners.size());
+    out += ",\"lanes\":{\"width\":" +
+           std::to_string(batchLaneWidth()) +
+           ",\"isa\":" + jsonString(batchLaneIsa()) + "}";
+    out += ",\"shard_workers\":" + std::to_string(cfg.shardWorkers);
+    std::string shards;
+    for (const auto &kv : jobs) {
+        const Job &job = *kv.second;
+        if (job.state != JobState::Running || job.shardCells.empty())
+            continue;
+        for (size_t k = 0; k < job.shardCells.size(); ++k) {
+            if (!shards.empty())
+                shards += ",";
+            shards += "{\"job\":" + std::to_string(job.id) +
+                      ",\"shard\":" + std::to_string(k) +
+                      ",\"cells_done\":" +
+                      std::to_string(job.shardCells[k]) + "}";
+        }
+    }
+    out += ",\"shards\":[" + shards + "]";
     out += ",\"cache\":" + sharedCache.statsJson();
     out += ",\"sim\":" + simTotals.toJson();
     out += "}";
@@ -328,12 +384,165 @@ JobQueue::finishJob(Job &job, JobState state, const std::string &error)
 }
 
 void
+JobQueue::runShardWorkers(Job &job)
+{
+    const int n = cfg.shardWorkers;
+    const std::string specPath = jobPath(job.id, ".spec.json");
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        job.shardCells.assign(static_cast<size_t>(n), 0);
+    }
+
+    struct Worker
+    {
+        pid_t pid = -1;
+        int attempts = 0;
+        bool done = false;
+    };
+    std::vector<Worker> crew(static_cast<size_t>(n));
+
+    auto spawn = [&](int k) {
+        std::string jnl = shardJournalPath(job.id, k);
+        std::string shardArg =
+            std::to_string(k) + "/" + std::to_string(n);
+        std::string logPath = jnl + ".log";
+        const char *argv[] = {cfg.workerCmd.c_str(),
+                              specPath.c_str(),
+                              "--journal",
+                              jnl.c_str(),
+                              "--shard",
+                              shardArg.c_str(),
+                              "--progress",
+                              "0",
+                              nullptr};
+        // Worker chatter goes to a per-shard log beside its
+        // journal, kept for post-mortems until the job succeeds.
+        posix_spawn_file_actions_t fa;
+        posix_spawn_file_actions_init(&fa);
+        posix_spawn_file_actions_addopen(
+            &fa, 1, logPath.c_str(),
+            O_WRONLY | O_CREAT | O_APPEND, 0644);
+        posix_spawn_file_actions_adddup2(&fa, 1, 2);
+        pid_t pid = -1;
+        int rc = posix_spawn(&pid, cfg.workerCmd.c_str(), &fa,
+                             nullptr,
+                             const_cast<char *const *>(argv),
+                             environ);
+        posix_spawn_file_actions_destroy(&fa);
+        if (rc != 0)
+            throw std::runtime_error("cannot spawn shard worker '" +
+                                     cfg.workerCmd +
+                                     "': " + std::strerror(rc));
+        crew[static_cast<size_t>(k)].pid = pid;
+        ++crew[static_cast<size_t>(k)].attempts;
+    };
+
+    auto killCrew = [&] {
+        for (Worker &w : crew)
+            if (w.pid > 0)
+                ::kill(w.pid, SIGTERM);
+        for (Worker &w : crew)
+            if (w.pid > 0) {
+                int st = 0;
+                ::waitpid(w.pid, &st, 0);
+                w.pid = -1;
+            }
+    };
+
+    inform("job %llu: sharding %zu cell(s) across %d worker "
+           "processes",
+           (unsigned long long)job.id, job.plan.cells, n);
+    for (int k = 0; k < n; ++k)
+        spawn(k);
+
+    constexpr int kMaxAttempts = 5;
+    size_t running = crew.size();
+    try {
+        while (running > 0) {
+            if (job.cancelFlag.load())
+                throw CampaignCancelled();
+            for (int k = 0; k < n; ++k) {
+                Worker &w = crew[static_cast<size_t>(k)];
+                if (w.pid <= 0)
+                    continue;
+                int st = 0;
+                pid_t got = ::waitpid(w.pid, &st, WNOHANG);
+                if (got == 0)
+                    continue;
+                w.pid = -1;
+                if (got > 0 && WIFEXITED(st) &&
+                    WEXITSTATUS(st) == 0) {
+                    w.done = true;
+                    --running;
+                    continue;
+                }
+                // The shard journal holds everything the worker
+                // finished; the respawn resumes behind it, so a
+                // crash costs at most the cell being computed.
+                if (w.attempts >= kMaxAttempts)
+                    throw std::runtime_error(
+                        "shard worker " + std::to_string(k) + "/" +
+                        std::to_string(n) + " failed " +
+                        std::to_string(w.attempts) +
+                        " time(s); giving up (see " +
+                        shardJournalPath(job.id, k) + ".log)");
+                warn("job %llu: shard worker %d/%d died; "
+                     "respawning (attempt %d)",
+                     (unsigned long long)job.id, k, n,
+                     w.attempts + 1);
+                spawn(k);
+            }
+            // Progress: a shard journal's line count IS its cell
+            // count, so polling the files is enough — no pipe
+            // protocol with the workers needed.
+            size_t total = 0;
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                for (int k = 0; k < n; ++k) {
+                    size_t idx = static_cast<size_t>(k);
+                    if (!crew[idx].done || job.shardCells[idx] == 0)
+                        job.shardCells[idx] = countJournalCells(
+                            shardJournalPath(job.id, k));
+                    total += job.shardCells[idx];
+                }
+            }
+            job.cellsDone.store(total);
+            if (running > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(200));
+        }
+    } catch (...) {
+        killCrew();
+        throw;
+    }
+}
+
+void
 JobQueue::runJob(Job &job)
 {
     CampaignRunConfig &run = job.spec.runConfig();
+    bool sharded = cfg.shardWorkers >= 2 && !cfg.workerCmd.empty();
     try {
+        if (sharded)
+            runShardWorkers(job);
+
         ResultJournal journal(jobPath(job.id, ".jnl"),
                               job.spec.journalEcho());
+        if (sharded) {
+            // Index-order merge: absorb every shard's cells, then
+            // replay the campaign against the merged journal. The
+            // replay recomputes any cell a dying worker failed to
+            // journal and accumulates results in global cell-index
+            // order, so the envelope published below is
+            // byte-identical to a single-process run.
+            size_t merged = 0;
+            for (int k = 0; k < cfg.shardWorkers; ++k)
+                merged += journal.absorb(shardJournalPath(job.id, k));
+            inform("job %llu: absorbed %zu cell(s) from %d shard "
+                   "journal(s); replaying for the merged result",
+                   (unsigned long long)job.id, merged,
+                   cfg.shardWorkers);
+        }
         run.journal = &journal;
         run.cancel = &job.cancelFlag;
         run.sharedPool = &pool;
@@ -347,6 +556,12 @@ JobQueue::runJob(Job &job)
         clearRunContext(run);
         writeFileAtomic(jobPath(job.id, ".result.json"),
                         res.json + "\n");
+        if (sharded)
+            for (int k = 0; k < cfg.shardWorkers; ++k) {
+                std::error_code ec;
+                fs::remove(shardJournalPath(job.id, k), ec);
+                fs::remove(shardJournalPath(job.id, k) + ".log", ec);
+            }
         std::lock_guard<std::mutex> lock(mu);
         simTotals.merge(res.sim);
         finishJob(job, JobState::Done, "");

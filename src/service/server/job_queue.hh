@@ -30,6 +30,16 @@
  * (their journals replay completed cells), and new ids continue
  * after the highest found. Determinism makes this safe: a resumed
  * job's result is byte-identical to an uninterrupted run.
+ *
+ * Multi-process sharding (Config::shardWorkers >= 2, dtannd
+ * --workers): each job is split across N `dtann_campaign --shard
+ * k/N` worker processes, each journaling its own slice of the
+ * placement-independent cell list to job-<id>.jnl.shard-<k>. The
+ * runner babysits the crew — a worker that dies (crash, OOM kill)
+ * is respawned and resumes from its shard journal — then absorbs
+ * the shard journals into the canonical job journal and replays the
+ * campaign in-process, so the published result is byte-identical to
+ * a single-process run. Shard journals are deleted on success.
  */
 
 #ifndef DTANN_SERVICE_SERVER_JOB_QUEUE_HH
@@ -69,6 +79,14 @@ class JobQueue
         int threads = 0;
         /** Jobs executing concurrently (queue runner threads). */
         int runners = 2;
+        /**
+         * Shard every job across this many worker processes
+         * (>= 2 enables multi-process mode; 0/1 = in-process).
+         * Needs workerCmd.
+         */
+        int shardWorkers = 0;
+        /** dtann_campaign binary spawned as the shard worker. */
+        std::string workerCmd;
     };
 
     /** Create/scan the state dir and start the runner crew. */
@@ -116,7 +134,9 @@ class JobQueue
     /**
      * Queue/cache/simulation metrics object for GET /metrics:
      * {"jobs":{per-state counts},"queue_depth":...,
-     *  "workers":...,"runners":...,"cache":...,"sim":...}
+     *  "workers":...,"runners":...,"lanes":{negotiated batch lane
+     *  width + ISA},"shard_workers":...,"shards":[per-worker shard
+     *  progress of running sharded jobs],"cache":...,"sim":...}
      */
     std::string metricsJson() const;
 
@@ -139,12 +159,26 @@ class JobQueue
         std::atomic<bool> cancelFlag{false};
         std::atomic<size_t> cellsDone{0};
         std::string error; ///< failure message (state Failed)
+        /** Per-worker journaled-cell counts while the job runs
+         *  sharded (guarded by the queue mutex; empty otherwise). */
+        std::vector<size_t> shardCells;
     };
 
     std::string jobPath(uint64_t id, const char *suffix) const;
+    /** Path of worker @p shard's journal for job @p id. */
+    std::string shardJournalPath(uint64_t id, int shard) const;
     void scanStateDir();
     void runnerLoop();
     void runJob(Job &job);
+    /**
+     * Spawn and babysit the shard worker crew for @p job: one
+     * `dtann_campaign --shard k/N` process per shard, each
+     * journaling to shardJournalPath(). Dead workers are respawned
+     * (resuming from their journal) up to a retry cap. Throws
+     * CampaignCancelled when the job's cancel flag interrupts the
+     * crew, std::runtime_error when a shard keeps failing.
+     */
+    void runShardWorkers(Job &job);
     /** Finish @p job: set state, write its marker file. */
     void finishJob(Job &job, JobState state, const std::string &error);
 

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Wide lane planes (DESIGN.md §9): DTANN_LANES width/ISA
+ * negotiation, and bit-identity of the sweep kernels across every
+ * supported plane width — the single-word 64-lane layout is the
+ * oracle, and the generic unrolled kernels must agree with whatever
+ * SIMD kernel the machine dispatches to.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "circuit/batch_evaluator.hh"
+#include "circuit/lane_plane.hh"
+#include "common/rng.hh"
+#include "rtl/clean_model.hh"
+#include "rtl/fault_inject.hh"
+#include "rtl/multiplier.hh"
+
+namespace dtann {
+namespace {
+
+/** Save DTANN_LANES on entry, restore it on scope exit. */
+struct LaneEnvGuard
+{
+    bool had;
+    std::string saved;
+    LaneEnvGuard()
+    {
+        const char *v = std::getenv("DTANN_LANES");
+        had = v != nullptr;
+        if (had)
+            saved = v;
+    }
+    ~LaneEnvGuard()
+    {
+        if (had)
+            setenv("DTANN_LANES", saved.c_str(), 1);
+        else
+            unsetenv("DTANN_LANES");
+    }
+};
+
+TEST(LanePlane, KnobResolvesWidthLive)
+{
+    LaneEnvGuard guard;
+    setenv("DTANN_LANES", "64", 1);
+    EXPECT_EQ(batchLaneWords(), 1u);
+    EXPECT_EQ(batchLaneWidth(), 64u);
+    setenv("DTANN_LANES", "256", 1);
+    EXPECT_EQ(batchLaneWords(), 4u);
+    EXPECT_EQ(batchLaneWidth(), 256u);
+    setenv("DTANN_LANES", "512", 1);
+    EXPECT_EQ(batchLaneWords(), 8u);
+    EXPECT_EQ(batchLaneWidth(), 512u);
+    // Auto (unset or 0) picks a wide plane, never the 64-lane
+    // oracle: that one is only ever an explicit request.
+    unsetenv("DTANN_LANES");
+    size_t auto_words = batchLaneWords();
+    EXPECT_TRUE(auto_words == 4 || auto_words == 8);
+    setenv("DTANN_LANES", "0", 1);
+    EXPECT_EQ(batchLaneWords(), auto_words);
+    // An unsupported width warns and falls back to auto rather than
+    // aborting a campaign over a typo.
+    setenv("DTANN_LANES", "128", 1);
+    EXPECT_EQ(batchLaneWords(), auto_words);
+}
+
+TEST(LanePlane, EveryWidthHasAKernel)
+{
+    for (size_t words : {1u, 4u, 8u}) {
+        EXPECT_NE(laneSweepFor(words), nullptr) << words;
+        EXPECT_NE(laneSweepGeneric(words), nullptr) << words;
+        EXPECT_NE(laneSweepIsaFor(words), nullptr) << words;
+    }
+    EXPECT_STREQ(laneSweepIsaFor(1), "scalar64");
+    EXPECT_EQ(std::string(batchLaneIsa()),
+              laneSweepIsaFor(batchLaneWords()));
+}
+
+/** 200 packed vectors through a 12-bit multiplier netlist. */
+std::vector<uint64_t>
+sweepAtWidth(const Netlist &nl, const FaultSet &faults, CleanFn clean,
+             size_t lanes, const std::vector<uint64_t> &in)
+{
+    auto ev = BatchEvaluator::tryCreate(nl, faults, clean, lanes);
+    EXPECT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->laneCount(), lanes);
+    std::vector<uint64_t> out(in.size());
+    // Deliberately sweep in chunks that do not divide the plane
+    // width so partially-filled planes are covered too.
+    size_t chunk = lanes - 3;
+    for (size_t off = 0; off < in.size(); off += chunk) {
+        size_t n = std::min(chunk, in.size() - off);
+        ev->evaluateLanes(in.data() + off, out.data() + off, n);
+    }
+    return out;
+}
+
+TEST(LanePlane, CleanSweepBitIdenticalAcrossWidths)
+{
+    Netlist nl = buildMultiplierUnsigned(6, FaStyle::Nand9);
+    Rng rng(11);
+    std::vector<uint64_t> in(200);
+    for (auto &v : in)
+        v = rng.nextUint(1ull << 12);
+
+    auto oracle = sweepAtWidth(nl, {}, {}, 64, in);
+    EXPECT_EQ(sweepAtWidth(nl, {}, {}, 256, in), oracle);
+    EXPECT_EQ(sweepAtWidth(nl, {}, {}, 512, in), oracle);
+}
+
+TEST(LanePlane, FaultySweepBitIdenticalAcrossWidths)
+{
+    // Random transistor injections exercise the truth-table value
+    // planes and the stuck input/output forces at every width.
+    Netlist nl = buildMultiplierUnsigned(6, FaStyle::Nand9);
+    CleanFn clean = cleanMultiplierUnsigned(6);
+    Rng rng(12);
+    int faulty_trials = 0;
+    for (int trial = 0; trial < 40; ++trial) {
+        Injection inj =
+            injectTransistorDefects(nl, 1 + (trial % 4), rng);
+        if (!inj.faults.isStateless())
+            continue;
+        ++faulty_trials;
+        std::vector<uint64_t> in(200);
+        for (auto &v : in)
+            v = rng.nextUint(1ull << 12);
+        auto oracle = sweepAtWidth(nl, inj.faults, clean, 64, in);
+        EXPECT_EQ(sweepAtWidth(nl, inj.faults, clean, 256, in), oracle)
+            << "trial " << trial;
+        EXPECT_EQ(sweepAtWidth(nl, inj.faults, clean, 512, in), oracle)
+            << "trial " << trial;
+    }
+    EXPECT_GT(faulty_trials, 5);
+}
+
+TEST(LanePlane, FullPlanesMatchSingleWordOracle)
+{
+    // Exactly full wide planes (no partial-plane masking in play):
+    // the dispatched — on this machine possibly SIMD — kernels must
+    // reproduce the single-word 64-lane sweep bit for bit.
+    Netlist nl = buildMultiplierUnsigned(6, FaStyle::Nand9);
+    Rng rng(13);
+    Injection inj = injectTransistorDefects(nl, 2, rng);
+    while (!inj.faults.isStateless())
+        inj = injectTransistorDefects(nl, 2, rng);
+
+    std::vector<uint64_t> in(512);
+    for (auto &v : in)
+        v = rng.nextUint(1ull << 12);
+
+    std::vector<uint64_t> oracle(in.size());
+    BatchEvaluator ev64(nl, inj.faults, cleanMultiplierUnsigned(6),
+                        64);
+    for (size_t off = 0; off < in.size(); off += 64)
+        ev64.evaluateLanes(in.data() + off, oracle.data() + off, 64);
+
+    for (size_t words : {4u, 8u}) {
+        size_t lanes = 64 * words;
+        BatchEvaluator ev(nl, inj.faults,
+                          cleanMultiplierUnsigned(6), lanes);
+        std::vector<uint64_t> out(in.size());
+        for (size_t off = 0; off < in.size(); off += lanes)
+            ev.evaluateLanes(in.data() + off, out.data() + off,
+                             lanes);
+        EXPECT_EQ(out, oracle) << "words " << words;
+    }
+}
+
+} // namespace
+} // namespace dtann

@@ -90,6 +90,31 @@ TEST(Fig5, BatchAndConePathsAreBitIdenticalToScalar)
     EXPECT_GT(fast.sim.batchVectors, 0u);
 }
 
+TEST(Fig5, ResultsBitIdenticalAcrossLaneWidths)
+{
+    // The DTANN_LANES plane-width knob (DESIGN.md §9) is a pure
+    // throughput control: whole campaign histograms must not move
+    // by a single count across 64/256/512/auto.
+    Fig5Config cfg = fig5Config(Fig5Operator::Adder4, 3, 30, 9);
+    auto runAt = [&](const char *lanes) {
+        if (lanes)
+            setenv("DTANN_LANES", lanes, 1);
+        else
+            unsetenv("DTANN_LANES");
+        Fig5Result r = runFig5(cfg);
+        unsetenv("DTANN_LANES");
+        return r;
+    };
+    Fig5Result oracle = runAt("64");
+    for (const char *lanes :
+         {"256", "512", static_cast<const char *>(nullptr)}) {
+        Fig5Result r = runAt(lanes);
+        EXPECT_EQ(oracle.none.totalVariation(r.none), 0.0);
+        EXPECT_EQ(oracle.trans.totalVariation(r.trans), 0.0);
+        EXPECT_EQ(oracle.gate.totalVariation(r.gate), 0.0);
+    }
+}
+
 TEST(Fig10, TinyCampaignShowsToleranceShape)
 {
     Fig10Config cfg;

@@ -262,5 +262,40 @@ TEST(ForwardBatchDifferential, EnvKnobsPreserveBits)
     expectBitIdentical(want_batch, run(true));
 }
 
+TEST(ForwardBatchDifferential, BatchBitIdenticalAcrossLaneWidths)
+{
+    // DTANN_LANES resizes the hoisted mux batch engine's chunks and
+    // the fault-plane width underneath forwardBatch; no activation
+    // bit may move across 64/256/512/auto.
+    MlpTopology logical{12, 12, 3}; // mux factor 4
+    MlpWeights w(logical);
+    Rng wr(5);
+    w.initRandom(wr, 1.2);
+
+    auto runAt = [&](const char *lanes) {
+        if (lanes)
+            setenv("DTANN_LANES", lanes, 1);
+        else
+            unsetenv("DTANN_LANES");
+        Accelerator accel(smallArray(), {12, 4, 3});
+        TimeMuxedMlp mux(accel, logical);
+        mux.setWeights(w);
+        DefectInjector inj(accel, SitePool::inputAndHidden());
+        Rng ir(7);
+        inj.inject(4, ir);
+        Rng rr(9);
+        // 300 rows: spans several wide planes and ends on a partial
+        // chunk at every width.
+        auto rows = randomRows(300, 12, rr);
+        auto acts = mux.forwardBatch(rows);
+        unsetenv("DTANN_LANES");
+        return acts;
+    };
+    auto oracle = runAt("64");
+    expectBitIdentical(oracle, runAt("256"));
+    expectBitIdentical(oracle, runAt("512"));
+    expectBitIdentical(oracle, runAt(nullptr)); // auto width
+}
+
 } // namespace
 } // namespace dtann

@@ -183,6 +183,44 @@ TEST(OperatorSimDifferential, EnvKnobsForceSlowPaths)
     unsetenv("DTANN_NO_CONE");
 }
 
+TEST(OperatorSimDifferential, BitIdenticalAcrossLaneWidths)
+{
+    // The DTANN_LANES knob must never change results: sweep every
+    // supported plane width (and auto) against the 64-lane oracle
+    // on the same stateless injection.
+    auto nl = std::make_shared<Netlist>(
+        buildMultiplierUnsigned(6, FaStyle::Nand9));
+    CleanFn clean = cleanMultiplierUnsigned(6);
+    Rng rng(77);
+    Injection inj = injectTransistorDefects(*nl, 2, rng);
+    while (!inj.faults.isStateless())
+        inj = injectTransistorDefects(*nl, 2, rng);
+
+    std::vector<uint64_t> in(300);
+    for (auto &v : in)
+        v = rng.nextUint(1ull << 12);
+
+    auto runAt = [&](const char *lanes, size_t expect_width) {
+        if (lanes)
+            setenv("DTANN_LANES", lanes, 1);
+        else
+            unsetenv("DTANN_LANES");
+        Injection copy{inj.faults, inj.records};
+        OperatorSim sim(nl, std::move(copy), clean);
+        EXPECT_TRUE(sim.batched());
+        if (expect_width > 0)
+            EXPECT_EQ(sim.laneCount(), expect_width);
+        std::vector<uint64_t> out(in.size());
+        sim.applyLanes(in.data(), out.data(), in.size());
+        unsetenv("DTANN_LANES");
+        return out;
+    };
+    auto oracle = runAt("64", 64);
+    EXPECT_EQ(runAt("256", 256), oracle);
+    EXPECT_EQ(runAt("512", 512), oracle);
+    EXPECT_EQ(runAt(nullptr, 0), oracle); // auto width
+}
+
 TEST(OperatorSimDifferential, CountersAccountForEveryVector)
 {
     auto nl = std::make_shared<Netlist>(
@@ -202,9 +240,16 @@ TEST(OperatorSimDifferential, CountersAccountForEveryVector)
     EXPECT_EQ(c.batchVectors, 130u);
     EXPECT_EQ(c.scalarVectors, 1u);
     EXPECT_EQ(c.vectors(), 131u);
-    EXPECT_EQ(c.batchSweeps, 3u); // 64 + 64 + 2 lanes
+    // Sweep accounting follows the configured lane width: 130
+    // vectors need ceil(130 / width) kernel passes of width slots.
+    size_t width = sim.laneCount();
+    ASSERT_GT(width, 0u);
+    uint64_t sweeps = (130 + width - 1) / width;
+    EXPECT_EQ(c.batchSweeps, sweeps);
+    EXPECT_EQ(c.batchLaneSlots, sweeps * width);
     EXPECT_GT(c.gateEvals, 0u);
-    EXPECT_GT(c.laneOccupancy(), 0.5);
+    EXPECT_NEAR(c.laneOccupancy(),
+                130.0 / static_cast<double>(sweeps * width), 1e-12);
     EXPECT_LT(c.scalarFallbackRate(), 0.01);
 }
 

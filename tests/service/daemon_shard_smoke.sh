@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# End-to-end sharded-campaign smoke test.
+#
+#   daemon_shard_smoke.sh <dtannd> <dtann_campaign> <workdir>
+#
+# Launch dtannd with --workers 2 so jobs fan out across forked
+# dtann_campaign shard workers, submit a campaign big enough to run
+# for a few seconds, SIGKILL one worker mid-job (the daemon must
+# respawn it and the shard journal must make the restart cheap), and
+# verify the finished job:
+#   - is byte-identical to an offline single-process run,
+#   - advertised per-worker shard progress and the negotiated lane
+#     width on /metrics while running,
+#   - cleaned up its shard journals on success.
+set -u
+
+DTANND=$1
+CLI=$2
+WORK=$3
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# Both the daemon and the offline reference must run the same spec
+# with no environment overrides.
+unset DTANN_SEED DTANN_THREADS DTANN_JSON_OUT DTANN_SERVER DTANN_LANES
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+cd "$WORK" || fail "cannot enter $WORK"
+
+DAEMON_PID=
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null
+    # Orphaned shard workers hold flocks on journals in our workdir.
+    pkill -9 -f "jnl\.shard-" 2>/dev/null
+    return 0
+}
+trap cleanup EXIT
+
+"$DTANND" --state-dir state --listen 127.0.0.1:0 --port-file port.txt \
+    --workers 2 --worker-bin "$CLI" >daemon.log 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+    [ -s port.txt ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died on start"
+    sleep 0.1
+done
+[ -s port.txt ] || fail "daemon never published its port"
+ADDR=$(cat port.txt)
+
+# The idle daemon already advertises its shard pool and the
+# negotiated lane plane.
+METRICS=$("$CLI" metrics --server "$ADDR") || fail "metrics failed"
+case $METRICS in
+*'"shard_workers":2'*) ;;
+*) fail "metrics missing shard_workers: $METRICS" ;;
+esac
+case $METRICS in
+*'"lanes":{"width":'*) ;;
+*) fail "metrics missing lane negotiation: $METRICS" ;;
+esac
+
+# 12000 cells (~seconds of work) so the worker SIGKILL lands mid-job.
+cat >shard_spec.json <<'EOF'
+{"kind":"fig5","name":"sharded","repetitions":3000,"seed":13,
+ "operators":["adder4","multiplier4"],"defect_counts":[1,2]}
+EOF
+
+ID=$("$CLI" submit --server "$ADDR" shard_spec.json) \
+    || fail "submit failed"
+
+# Wait for the workers to appear, kill one, and watch /metrics for
+# per-shard progress while the job runs.
+KILLED=
+SHARDS_SEEN=
+DONE_EARLY=
+for _ in $(seq 1 240); do
+    STATUS=$("$CLI" status --server "$ADDR" "$ID") || STATUS=""
+    case $STATUS in
+    *'"state":"done"'*) DONE_EARLY=yes; break ;;
+    *'"state":"failed"'* | *'"state":"cancelled"'*)
+        fail "job $ID ended badly: $STATUS" ;;
+    esac
+    if [ -z "$SHARDS_SEEN" ]; then
+        M=$("$CLI" metrics --server "$ADDR") || M=""
+        case $M in *'"shards":['*'"cells_done"'*) SHARDS_SEEN=yes ;; esac
+    fi
+    if [ -z "$KILLED" ]; then
+        WPID=$(pgrep -f "jnl\.shard-0" | head -n 1)
+        if [ -n "$WPID" ]; then
+            kill -9 "$WPID" 2>/dev/null && KILLED=yes
+        fi
+    fi
+    [ -n "$KILLED" ] && [ -n "$SHARDS_SEEN" ] && break
+    sleep 0.1
+done
+[ -n "$KILLED$DONE_EARLY" ] || fail "no shard worker ever appeared"
+
+for _ in $(seq 1 480); do
+    STATUS=$("$CLI" status --server "$ADDR" "$ID") \
+        || fail "status query failed"
+    case $STATUS in
+    *'"state":"done"'*) break ;;
+    *'"state":"failed"'* | *'"state":"cancelled"'*)
+        fail "job $ID ended badly: $STATUS" ;;
+    esac
+    sleep 0.5
+done
+case $STATUS in
+*'"state":"done"'*) ;;
+*) fail "job $ID did not finish: $STATUS" ;;
+esac
+
+"$CLI" result --server "$ADDR" "$ID" --out sharded.json \
+    || fail "result fetch failed"
+
+# The acceptance contract: the merged sharded run is byte-identical
+# to a single-process run of the same spec.
+"$CLI" shard_spec.json --out offline.json >/dev/null 2>&1 \
+    || fail "offline run failed"
+cmp -s sharded.json offline.json \
+    || fail "sharded result differs from single-process run"
+
+# Shard journals are scratch: gone once the job merged and exported.
+LEFTOVER=$(ls state/*.jnl.shard-* 2>/dev/null) && [ -n "$LEFTOVER" ] \
+    && fail "shard journals not cleaned up: $LEFTOVER"
+
+"$CLI" shutdown --server "$ADDR" || fail "shutdown failed"
+wait "$DAEMON_PID" 2>/dev/null
+DAEMON_PID=
+
+DETAIL="killed=${KILLED:-no} shards_metric=${SHARDS_SEEN:-no}"
+[ -n "$DONE_EARLY" ] && DETAIL="$DETAIL (job finished before kill)"
+echo "PASS ($DETAIL)"
+exit 0

@@ -181,5 +181,99 @@ TEST(CellKey, CanonicalString)
     EXPECT_EQ(k.toString(), "mitigation/breast/v2:d4:bypass/17");
 }
 
+TEST(ResultJournal, AbsorbMergesShardJournals)
+{
+    // The sharded-campaign merge: worker shards journal disjoint
+    // cell sets into their own files; the parent absorbs them all
+    // and serves every cell.
+    std::string shard0 = tempPath("absorb_s0");
+    std::string shard1 = tempPath("absorb_s1");
+    std::string merged = tempPath("absorb_merged");
+    std::remove(shard0.c_str());
+    std::remove(shard1.c_str());
+    std::remove(merged.c_str());
+
+    CellKey a{"fig10", "iris", "v0:d0", 0};
+    CellKey b{"fig10", "iris", "v0:d0", 1};
+    CellKey c{"fig10", "iris", "v1:d4", 0};
+    {
+        ResultJournal j(shard0, "{\"kind\":\"fig10\"}");
+        j.store(a, "{\"accuracy\":0.5}");
+        j.store(c, "{\"accuracy\":0.25}");
+    }
+    {
+        ResultJournal j(shard1, "{\"kind\":\"fig10\"}");
+        j.store(b, "{\"accuracy\":0.75}");
+        j.store(c, "{\"accuracy\":0.25}"); // duplicate of shard0's
+    }
+
+    ResultJournal j(merged, "{\"kind\":\"fig10\"}");
+    EXPECT_EQ(j.absorb(shard0), 2u);
+    EXPECT_EQ(j.absorb(shard1), 1u); // c already absorbed
+    std::string payload;
+    ASSERT_TRUE(j.lookup(a, payload));
+    EXPECT_EQ(payload, "{\"accuracy\":0.5}");
+    ASSERT_TRUE(j.lookup(b, payload));
+    EXPECT_EQ(payload, "{\"accuracy\":0.75}");
+    ASSERT_TRUE(j.lookup(c, payload));
+    EXPECT_EQ(payload, "{\"accuracy\":0.25}");
+    std::remove(shard0.c_str());
+    std::remove(shard1.c_str());
+    std::remove(merged.c_str());
+}
+
+TEST(ResultJournal, AbsorbedCellsSurviveReopen)
+{
+    std::string shard = tempPath("absorb_persist_s");
+    std::string merged = tempPath("absorb_persist_m");
+    std::remove(shard.c_str());
+    std::remove(merged.c_str());
+    CellKey a{"fig5", "adder4", "d2", 3};
+    {
+        ResultJournal j(shard, "{\"op\":\"adder4\"}");
+        j.store(a, "{\"hist\":[1,2]}");
+    }
+    {
+        ResultJournal j(merged, "{\"op\":\"adder4\"}");
+        EXPECT_EQ(j.absorb(shard), 1u);
+    }
+    // Absorption appends to the merged file, so the cells are there
+    // after reopening — the daemon's replay depends on this.
+    ResultJournal j(merged, "{\"op\":\"adder4\"}");
+    EXPECT_EQ(j.resumedCells(), 1u);
+    std::string payload;
+    ASSERT_TRUE(j.lookup(a, payload));
+    EXPECT_EQ(payload, "{\"hist\":[1,2]}");
+    std::remove(shard.c_str());
+    std::remove(merged.c_str());
+}
+
+TEST(ResultJournal, AbsorbSkipsForeignAndMissingFiles)
+{
+    std::string merged = tempPath("absorb_guard_m");
+    std::string foreign = tempPath("absorb_guard_f");
+    std::string other = tempPath("absorb_guard_o");
+    std::remove(merged.c_str());
+    std::remove(other.c_str());
+    {
+        std::ofstream out(foreign);
+        out << "not json at all\n";
+    }
+    {
+        // A shard journal bound to a different spec must be skipped
+        // whole — absorbing cells keyed by another campaign would
+        // poison the replay.
+        ResultJournal j(other, "{\"seed\":2}");
+        j.store({"fig5", "adder4", "d1", 0}, "{}");
+    }
+    ResultJournal j(merged, "{\"seed\":1}");
+    EXPECT_EQ(j.absorb(foreign), 0u);
+    EXPECT_EQ(j.absorb(other), 0u);
+    EXPECT_EQ(j.absorb(merged + ".does-not-exist"), 0u);
+    std::remove(merged.c_str());
+    std::remove(foreign.c_str());
+    std::remove(other.c_str());
+}
+
 } // namespace
 } // namespace dtann

@@ -148,6 +148,83 @@ TEST_P(ResumeBitIdentity, TruncatedJournalResumesExactly)
     std::remove(path.c_str());
 }
 
+TEST_P(ResumeBitIdentity, ShardedWorkersMergeBitIdentically)
+{
+    // The multi-process campaign contract: two workers each compute
+    // the cells with index % 2 == shard into their own journals;
+    // absorbing both into one journal and replaying unsharded must
+    // reproduce the single-process export byte for byte.
+    ScenarioSpec spec = GetParam()();
+    std::string expected = runScenario(spec).json;
+
+    std::string shard0 = tempPath("shard0_" + spec.kind);
+    std::string shard1 = tempPath("shard1_" + spec.kind);
+    std::string merged = tempPath("sharded_" + spec.kind);
+    std::remove(shard0.c_str());
+    std::remove(shard1.c_str());
+    std::remove(merged.c_str());
+
+    size_t cells[2] = {0, 0};
+    for (int k = 0; k < 2; ++k) {
+        ScenarioSpec worker = spec;
+        worker.runConfig().shardCount = 2;
+        worker.runConfig().shardIndex = k;
+        // Shard coordinates are execution context, not data: the
+        // echo matches the unsharded spec, so the parent can absorb.
+        EXPECT_EQ(worker.journalEcho(), spec.journalEcho());
+        ResultJournal journal(k == 0 ? shard0 : shard1,
+                              worker.journalEcho());
+        worker.runConfig().journal = &journal;
+        runScenario(worker); // partial export, ignored by design
+        cells[k] = readLines(k == 0 ? shard0 : shard1).size() - 1;
+    }
+    EXPECT_GT(cells[0], 0u);
+    EXPECT_GT(cells[1], 0u);
+
+    ResultJournal journal(merged, spec.journalEcho());
+    EXPECT_EQ(journal.absorb(shard0), cells[0]);
+    EXPECT_EQ(journal.absorb(shard1), cells[1]);
+    ScenarioSpec replay = spec;
+    replay.runConfig().journal = &journal;
+    EXPECT_EQ(runScenario(replay).json, expected);
+
+    std::remove(shard0.c_str());
+    std::remove(shard1.c_str());
+    std::remove(merged.c_str());
+}
+
+TEST_P(ResumeBitIdentity, DeadShardCellsAreRecomputedOnReplay)
+{
+    // A worker killed mid-job leaves a short (or missing) shard
+    // journal; the parent's unsharded replay recomputes whatever is
+    // absent and still exports byte-identically.
+    ScenarioSpec spec = GetParam()();
+    std::string expected = runScenario(spec).json;
+
+    std::string shard0 = tempPath("deadshard_" + spec.kind);
+    std::string merged = tempPath("deadmerge_" + spec.kind);
+    std::remove(shard0.c_str());
+    std::remove(merged.c_str());
+
+    {
+        ScenarioSpec worker = spec;
+        worker.runConfig().shardCount = 2;
+        worker.runConfig().shardIndex = 0;
+        ResultJournal journal(shard0, worker.journalEcho());
+        worker.runConfig().journal = &journal;
+        runScenario(worker);
+    }
+    // Shard 1 "died" before journaling anything at all.
+    ResultJournal journal(merged, spec.journalEcho());
+    EXPECT_GT(journal.absorb(shard0), 0u);
+    ScenarioSpec replay = spec;
+    replay.runConfig().journal = &journal;
+    EXPECT_EQ(runScenario(replay).json, expected);
+
+    std::remove(shard0.c_str());
+    std::remove(merged.c_str());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Campaigns, ResumeBitIdentity,
     testing::Values(&tinyFig10, &tinyFig5, &tinyMitigation),

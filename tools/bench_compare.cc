@@ -1,0 +1,198 @@
+/**
+ * @file
+ * bench_compare: diff two google-benchmark JSON envelopes.
+ *
+ *   bench_compare BASELINE.json CURRENT.json [--tolerance F]
+ *
+ * Matches benchmarks by name, prints a speedup table (baseline time
+ * over current time, so > 1 is faster than the baseline), and fails
+ * when any benchmark regressed beyond the tolerance: current time
+ * above baseline * (1 + F), default F = 0.5. Only plain iteration
+ * runs are compared (aggregate rows are skipped), and only names
+ * present in both files count — a new benchmark has no baseline to
+ * regress against.
+ *
+ * Comparing across build types is meaningless (a debug run is not a
+ * regression of a Release baseline), so when the two envelopes
+ * record different "dtann_build_type" contexts the tool explains
+ * that and exits 77 — ctest's SKIP_RETURN_CODE, turning the
+ * perf-smoke comparison into a skip instead of a false alarm.
+ *
+ * Exit codes: 0 within tolerance, 1 regression, 2 usage or
+ * unreadable input, 77 build-type mismatch (skip).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+using namespace dtann;
+
+namespace {
+
+int
+usage(FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: bench_compare BASELINE.json CURRENT.json "
+        "[--tolerance F]\n"
+        "\n"
+        "Compare two google-benchmark JSON envelopes; fail (exit 1)\n"
+        "when a benchmark in CURRENT is slower than BASELINE by\n"
+        "more than the tolerance fraction (default 0.5). Exits 77\n"
+        "when the envelopes record different dtann build types.\n");
+    return to == stderr ? 2 : 0;
+}
+
+struct Run
+{
+    double realTime = 0.0;
+    std::string timeUnit;
+};
+
+struct Envelope
+{
+    std::string buildType; ///< context.dtann_build_type ("" if absent)
+    std::map<std::string, Run> runs;
+};
+
+Envelope
+loadEnvelope(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot read '" + path + "'");
+    std::ostringstream body;
+    body << in.rdbuf();
+    JsonValue v = jsonParse(body.str());
+
+    Envelope env;
+    if (const JsonValue *ctx = v.find("context"))
+        if (const JsonValue *bt = ctx->find("dtann_build_type"))
+            env.buildType = bt->asString();
+    const JsonValue *benches = v.find("benchmarks");
+    if (!benches)
+        throw std::runtime_error("'" + path +
+                                 "' has no \"benchmarks\" array");
+    for (const JsonValue &b : benches->items()) {
+        // Aggregates (mean/median/stddev rows of repeated runs)
+        // would double-count; compare plain iteration runs only.
+        if (const JsonValue *rt = b.find("run_type"))
+            if (rt->asString() != "iteration")
+                continue;
+        Run run;
+        run.realTime = b.at("real_time").asNumber();
+        if (const JsonValue *u = b.find("time_unit"))
+            run.timeUnit = u->asString();
+        env.runs[b.at("name").asString()] = run;
+    }
+    return env;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string basePath, curPath;
+    double tolerance = 0.5;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h")
+            return usage(stdout);
+        if (arg == "--tolerance") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "--tolerance requires an argument\n");
+                return usage(stderr);
+            }
+            char *end = nullptr;
+            tolerance = std::strtod(argv[++i], &end);
+            if (end == nullptr || *end != '\0' || tolerance < 0) {
+                std::fprintf(stderr, "bad tolerance '%s'\n", argv[i]);
+                return usage(stderr);
+            }
+        } else if (basePath.empty())
+            basePath = arg;
+        else if (curPath.empty())
+            curPath = arg;
+        else {
+            std::fprintf(stderr, "unexpected argument '%s'\n",
+                         arg.c_str());
+            return usage(stderr);
+        }
+    }
+    if (basePath.empty() || curPath.empty())
+        return usage(stderr);
+
+    Envelope base, cur;
+    try {
+        base = loadEnvelope(basePath);
+        cur = loadEnvelope(curPath);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "bench_compare: %s\n", e.what());
+        return 2;
+    }
+
+    if (base.buildType != cur.buildType) {
+        std::fprintf(
+            stderr,
+            "bench_compare: build types differ (baseline '%s' vs "
+            "current '%s'); timings are not comparable — skipping\n",
+            base.buildType.empty() ? "unrecorded"
+                                   : base.buildType.c_str(),
+            cur.buildType.empty() ? "unrecorded"
+                                  : cur.buildType.c_str());
+        return 77;
+    }
+
+    std::printf("%-48s %14s %14s %9s\n", "benchmark",
+                "baseline", "current", "speedup");
+    size_t compared = 0;
+    std::vector<std::string> regressions;
+    for (const auto &kv : cur.runs) {
+        auto it = base.runs.find(kv.first);
+        if (it == base.runs.end())
+            continue;
+        const Run &b = it->second, &c = kv.second;
+        if (!b.timeUnit.empty() && !c.timeUnit.empty() &&
+            b.timeUnit != c.timeUnit) {
+            std::printf("%-48s  (time units differ: %s vs %s)\n",
+                        kv.first.c_str(), b.timeUnit.c_str(),
+                        c.timeUnit.c_str());
+            continue;
+        }
+        ++compared;
+        double speedup =
+            c.realTime > 0 ? b.realTime / c.realTime : 0.0;
+        bool regressed =
+            c.realTime > b.realTime * (1.0 + tolerance);
+        std::printf("%-48s %12.1f%s %12.1f%s %8.2fx%s\n",
+                    kv.first.c_str(), b.realTime,
+                    b.timeUnit.c_str(), c.realTime,
+                    c.timeUnit.c_str(), speedup,
+                    regressed ? "  REGRESSED" : "");
+        if (regressed)
+            regressions.push_back(kv.first);
+    }
+    std::printf("%zu benchmark(s) compared, tolerance %.0f%%\n",
+                compared, 100.0 * tolerance);
+    if (!regressions.empty()) {
+        std::fprintf(stderr,
+                     "bench_compare: %zu benchmark(s) regressed "
+                     "beyond tolerance:\n",
+                     regressions.size());
+        for (const std::string &name : regressions)
+            std::fprintf(stderr, "  %s\n", name.c_str());
+        return 1;
+    }
+    return 0;
+}

@@ -86,6 +86,13 @@ usage(FILE *to)
         "                  its cell plan, run nothing\n"
         "  --journal FILE  checkpoint finished cells to FILE and\n"
         "                  resume by skipping cells journaled there\n"
+        "  --shard K/N     worker mode: compute only the cells whose\n"
+        "                  index i has i %% N == K, journaling them to\n"
+        "                  --journal (required); no result envelope\n"
+        "                  is written. N workers' journals merged and\n"
+        "                  replayed reproduce the unsharded result\n"
+        "                  byte-identically (dtannd --workers does\n"
+        "                  this automatically)\n"
         "  --out FILE      write the result envelope JSON to FILE\n"
         "                  ('-' = stdout, the default)\n"
         "  --progress N    progress heartbeat to stderr every N\n"
@@ -184,7 +191,27 @@ struct Options
     bool validate = false;
     bool now = false;
     long progress_every = 50;
+    int shard_index = 0, shard_count = 1;
 };
+
+/** Parse a --shard "K/N" argument; false on malformed input. */
+bool
+parseShard(const char *arg, int &index, int &count)
+{
+    char *end = nullptr;
+    long k = std::strtol(arg, &end, 10);
+    if (end == arg || *end != '/')
+        return false;
+    const char *rest = end + 1;
+    long n = std::strtol(rest, &end, 10);
+    if (end == rest || *end != '\0')
+        return false;
+    if (n < 1 || k < 0 || k >= n || n > 4096)
+        return false;
+    index = static_cast<int>(k);
+    count = static_cast<int>(n);
+    return true;
+}
 
 int
 runDaemonCommand(const Options &opt)
@@ -317,6 +344,16 @@ main(int argc, char **argv)
         else if (arg == "--progress")
             opt.progress_every =
                 std::strtol(value("--progress"), nullptr, 10);
+        else if (arg == "--shard") {
+            const char *v = value("--shard");
+            if (!parseShard(v, opt.shard_index, opt.shard_count)) {
+                std::fprintf(stderr,
+                             "bad --shard '%s' (expected K/N with "
+                             "0 <= K < N)\n",
+                             v);
+                return usage(stderr);
+            }
+        }
         else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
             return usage(stderr);
@@ -363,6 +400,17 @@ main(int argc, char **argv)
         if (opt.validate)
             return validateSpec(spec);
 
+        if (opt.shard_count > 1) {
+            if (opt.journal_path.empty()) {
+                std::fprintf(stderr,
+                             "--shard needs --journal FILE (the "
+                             "shard's cells are its only output)\n");
+                return usage(stderr);
+            }
+            spec.runConfig().shardIndex = opt.shard_index;
+            spec.runConfig().shardCount = opt.shard_count;
+        }
+
         if (opt.progress_every > 0) {
             long every = opt.progress_every;
             spec.runConfig().onCellDone = [every](const CellReport &r) {
@@ -395,6 +443,17 @@ main(int argc, char **argv)
         std::fprintf(stderr, "%s: %zu cells done\n",
                      result.name.c_str(), result.cells);
 
+        if (opt.shard_count > 1) {
+            // Worker mode: the shard's journal is the product; the
+            // in-process accumulation covers only this shard's
+            // cells, so the envelope would be misleading.
+            std::fprintf(stderr,
+                         "shard %d/%d journaled to %s (no envelope "
+                         "written)\n",
+                         opt.shard_index, opt.shard_count,
+                         opt.journal_path.c_str());
+            return kOk;
+        }
         if (!writeOut(opt.out_path, result.json))
             return kIoError;
         maybeWriteJson(result.name, result.json);

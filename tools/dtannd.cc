@@ -30,6 +30,7 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <unistd.h>
 
 #include "common/logging.hh"
 #include "service/server/http_server.hh"
@@ -56,8 +57,34 @@ usage(FILE *to)
         "  --threads N      shared worker pool width (default: all\n"
         "                   hardware threads)\n"
         "  --runners N      jobs running concurrently (default 2)\n"
+        "  --workers N      shard every job across N dtann_campaign\n"
+        "                   worker processes (default 0 = run jobs\n"
+        "                   in-process); results are byte-identical\n"
+        "                   either way\n"
+        "  --worker-bin P   dtann_campaign binary to spawn as shard\n"
+        "                   workers (default: next to this binary)\n"
         "  --port-file FILE publish the resolved address to FILE\n");
     return to == stderr ? 2 : 0;
+}
+
+/**
+ * The sibling dtann_campaign of this dtannd binary — the default
+ * shard worker. Resolved via /proc/self/exe so it works no matter
+ * what cwd or PATH the daemon was launched with.
+ */
+std::string
+siblingCampaignBinary()
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        return "";
+    buf[n] = '\0';
+    std::string path(buf);
+    size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return "";
+    return path.substr(0, slash + 1) + "dtann_campaign";
 }
 
 } // namespace
@@ -90,6 +117,11 @@ main(int argc, char **argv)
         else if (arg == "--runners")
             cfg.runners =
                 (int)std::strtol(value("--runners"), nullptr, 10);
+        else if (arg == "--workers")
+            cfg.shardWorkers =
+                (int)std::strtol(value("--workers"), nullptr, 10);
+        else if (arg == "--worker-bin")
+            cfg.workerCmd = value("--worker-bin");
         else if (arg == "--port-file")
             port_file = value("--port-file");
         else {
@@ -100,6 +132,23 @@ main(int argc, char **argv)
     if (cfg.stateDir.empty()) {
         std::fprintf(stderr, "--state-dir is required\n");
         return usage(stderr);
+    }
+    if (cfg.shardWorkers < 0 || cfg.shardWorkers > 4096) {
+        std::fprintf(stderr, "--workers must be in [0, 4096]\n");
+        return usage(stderr);
+    }
+    if (cfg.shardWorkers >= 2) {
+        if (cfg.workerCmd.empty())
+            cfg.workerCmd = siblingCampaignBinary();
+        if (cfg.workerCmd.empty() ||
+            ::access(cfg.workerCmd.c_str(), X_OK) != 0) {
+            std::fprintf(stderr,
+                         "--workers %d needs an executable "
+                         "dtann_campaign worker binary ('%s' is "
+                         "not); pass one with --worker-bin\n",
+                         cfg.shardWorkers, cfg.workerCmd.c_str());
+            return usage(stderr);
+        }
     }
 
     try {
