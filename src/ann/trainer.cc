@@ -24,6 +24,22 @@ Trainer::trainLayers(ForwardModel &model, const Dataset &train_set,
         w.initRandom(rng);
     }
     DeepWeights delta(topo); // momentum memory, zero-initialized
+
+    // Pruned synapses stay at exactly zero: cleared out of the
+    // warm start, and re-cleared after every update so neither the
+    // gradient step nor the momentum memory can revive them.
+    auto applyPruneMask = [&] {
+        for (const PrunedSynapse &p : prune) {
+            dtann_assert(p.stage < topo.stages() && p.neuron >= 0 &&
+                             p.neuron < topo.layers[p.stage + 1] &&
+                             p.input >= 0 &&
+                             p.input <= topo.layers[p.stage],
+                         "prune mask out of topology range");
+            w.at(p.stage, p.neuron, p.input) = 0.0;
+            delta.at(p.stage, p.neuron, p.input) = 0.0;
+        }
+    };
+    applyPruneMask();
     model.setLayerWeights(w);
 
     // Per-layer gradient buffers.
@@ -82,6 +98,7 @@ Trainer::trainLayers(ForwardModel &model, const Dataset &train_set,
                     w.at(s, j, fanin) += db;
                 }
             }
+            applyPruneMask();
             model.setLayerWeights(w);
         });
     return w;

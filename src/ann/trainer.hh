@@ -29,6 +29,21 @@ struct Hyper
     double momentum = 0.1;
 };
 
+/**
+ * One synapse frozen at zero for a whole training run (fault-aware
+ * pruning, Zhang et al. arXiv:1802.04657): stage @p stage maps
+ * layer stage to stage+1, @p neuron is the target unit, @p input
+ * the source unit (the layer width addresses the bias synapse).
+ */
+struct PrunedSynapse
+{
+    size_t stage;
+    int neuron;
+    int input;
+
+    bool operator==(const PrunedSynapse &o) const = default;
+};
+
 /** Online back-propagation over an abstract forward path. */
 class Trainer
 {
@@ -64,8 +79,27 @@ class Trainer
 
     const Hyper &hyperParams() const { return hyper; }
 
+    /**
+     * Freeze the given synapses at zero weight (and zero momentum)
+     * for every training step. This keeps the shadow weights
+     * consistent with hardware whose corresponding multiplier or
+     * adder input has been pruned away: without it, back-propagation
+     * through non-zero shadow weights steers gradients through
+     * connections the forward path no longer has.
+     */
+    void setPruneMask(std::vector<PrunedSynapse> mask)
+    {
+        prune = std::move(mask);
+    }
+
+    const std::vector<PrunedSynapse> &pruneMask() const
+    {
+        return prune;
+    }
+
   private:
     Hyper hyper;
+    std::vector<PrunedSynapse> prune;
 };
 
 } // namespace dtann

@@ -258,6 +258,50 @@ Accelerator::bypassedSites() const
     return {bypassed.begin(), bypassed.end()};
 }
 
+void
+Accelerator::setActivationClamp(Layer layer, Fix16 lo, Fix16 hi)
+{
+    dtann_assert(static_cast<int16_t>(lo.bits()) <=
+                     static_cast<int16_t>(hi.bits()),
+                 "clamp window is empty");
+    ActivationClamp &c = clamps[static_cast<size_t>(layer)];
+    c.enabled = true;
+    c.lo = lo;
+    c.hi = hi;
+}
+
+void
+Accelerator::clearActivationClamps()
+{
+    clamps[0] = ActivationClamp();
+    clamps[1] = ActivationClamp();
+    clampHitCount = 0;
+}
+
+const ActivationClamp &
+Accelerator::activationClamp(Layer layer) const
+{
+    return clamps[static_cast<size_t>(layer)];
+}
+
+Fix16
+Accelerator::clampValue(Layer layer, Fix16 x)
+{
+    const ActivationClamp &c = clamps[static_cast<size_t>(layer)];
+    if (!c.enabled)
+        return x;
+    int16_t v = static_cast<int16_t>(x.bits());
+    if (v < static_cast<int16_t>(c.lo.bits())) {
+        ++clampHitCount;
+        return c.lo;
+    }
+    if (v > static_cast<int16_t>(c.hi.bits())) {
+        ++clampHitCount;
+        return c.hi;
+    }
+    return x;
+}
+
 const DeviationProbe &
 Accelerator::probe(const UnitSite &site) const
 {
@@ -507,8 +551,10 @@ Accelerator::forwardLayer(Layer layer, std::span<const Fix16> in,
         }
         if (layer == Layer::Hidden)
             hidSums[static_cast<size_t>(n)] = acc;
+        // The clamp sits after the activation unit on the datapath
+        // only; bistAct() reads the unit raw via unitAct().
         out[static_cast<size_t>(n)] =
-            unitAct(layer, n, acc.toFix16Sat());
+            clampValue(layer, unitAct(layer, n, acc.toFix16Sat()));
     }
 }
 
@@ -557,8 +603,10 @@ Accelerator::forwardLayerLanes(Layer layer,
         for (size_t l = 0; l < lanes; ++l)
             x[l] = acc[l].toFix16Sat();
         unitActLanes(layer, n, x.data(), p.data(), lanes);
+        // Clamp in lane (= row) order after the unit, mirroring the
+        // scalar path bit for bit at every lane width.
         for (size_t l = 0; l < lanes; ++l)
-            out[l][n] = p[l];
+            out[l][n] = clampValue(layer, p[l]);
     }
 }
 

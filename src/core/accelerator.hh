@@ -89,6 +89,22 @@ struct DeviationProbe
 };
 
 /**
+ * A per-layer activation clamp window (mitigation hook): a pair of
+ * comparators after every activation unit of the layer saturates
+ * the datapath value into [lo, hi], filtering the exceptional
+ * outputs a defective sigmoid unit can emit (the full ±32 Q6.10
+ * range) before they reach the next layer. The clean PWL sigmoid
+ * lands in [0, 1], so a profiled window never alters a healthy
+ * unit.
+ */
+struct ActivationClamp
+{
+    bool enabled = false;
+    Fix16 lo;
+    Fix16 hi;
+};
+
+/**
  * Functional + defect model of the accelerator array.
  *
  * Implements ForwardModel for the mapped logical task so the
@@ -253,6 +269,23 @@ class Accelerator : public ForwardModel
     std::vector<UnitSite> bypassedSites() const;
     /** @} */
 
+    /** @name Activation clamping (src/mitigate ClampActivations)
+     *
+     * The clamp applies on the *datapath* only — after the
+     * activation unit's output, before the value feeds the next
+     * layer or leaves the array — so the BIST scan path still
+     * observes raw (unclamped) unit responses and diagnosis stays
+     * honest. Scalar and lane-batched forwards clamp identically,
+     * preserving bit-identity at every lane width.
+     * @{ */
+    void setActivationClamp(Layer layer, Fix16 lo, Fix16 hi);
+    void clearActivationClamps();
+    const ActivationClamp &activationClamp(Layer layer) const;
+    /** Datapath values saturated by the clamps since the last
+     *  clearActivationClamps(). */
+    uint64_t clampHits() const { return clampHitCount; }
+    /** @} */
+
     /** Deviation probe of a faulty unit (empty stats when clean). */
     const DeviationProbe &probe(const UnitSite &site) const;
 
@@ -290,6 +323,9 @@ class Accelerator : public ForwardModel
     std::map<UnitSite, std::unique_ptr<OperatorSim>> faulty;
     /** Units disconnected by the mitigation bypass muxes. */
     std::set<UnitSite> bypassed;
+    /** Per-layer activation clamp windows (Hidden, Output). */
+    ActivationClamp clamps[2];
+    uint64_t clampHitCount = 0;
     /** Deviation probes per faulty unit. */
     std::map<UnitSite, DeviationProbe> probes;
     DeviationProbe cleanProbe; // returned for clean sites
@@ -304,6 +340,9 @@ class Accelerator : public ForwardModel
 
     /** Faulty-unit lookup; null when the site is clean. */
     OperatorSim *simFor(const UnitSite &site);
+
+    /** Apply @p layer's clamp window to one datapath value. */
+    Fix16 clampValue(Layer layer, Fix16 x);
 
     /** Per-unit operations (route through sim when faulty). @{ */
     Fix16 unitMul(Layer layer, int neuron, int synapse, Fix16 w, Fix16 x);

@@ -89,6 +89,26 @@ CostModel::arrayTransistors() const
 }
 
 size_t
+CostModel::outputRowTransistors() const
+{
+    size_t syn = static_cast<size_t>(cfg.hidden + 1);
+    size_t stages = static_cast<size_t>(cfg.hidden);
+    return syn * (multT + latchT) + stages * addT + actT;
+}
+
+double
+CostModel::areaOf(size_t transistors) const
+{
+    return static_cast<double>(transistors) * areaPerTransistorMm2;
+}
+
+double
+CostModel::energyPerRowOf(size_t transistors) const
+{
+    return static_cast<double>(transistors) * energyPerTransistorNj;
+}
+
+size_t
 CostModel::interfaceTransistors() const
 {
     // Per-bit cost of one gated D latch (NOT + 4x NAND2).

@@ -54,6 +54,25 @@ class CostModel
     /** Transistors in the interface and key logic. */
     size_t interfaceTransistors() const;
 
+    /** Per-unit netlist transistor counts (this config's FA style)
+     *  — the building blocks mitigation hardware budgets are
+     *  costed from. @{ */
+    size_t multiplierTransistors() const { return multT; }
+    size_t adderTransistors() const { return addT; }
+    size_t latchTransistors() const { return latchT; }
+    size_t activationTransistors() const { return actT; }
+    /** One full physical output row (synapse latches + multipliers,
+     *  adder chain, activation unit) — the increment a provisioned
+     *  spare row costs. */
+    size_t outputRowTransistors() const;
+    /** @} */
+
+    /** Area/energy for @p transistors at this model's calibration
+     *  (area in mm^2; energy in nJ per row at datapath activity). @{ */
+    double areaOf(size_t transistors) const;
+    double energyPerRowOf(size_t transistors) const;
+    /** @} */
+
     /** Critical-path depth in gate levels (one row). */
     int criticalPathDepth() const;
 

@@ -41,11 +41,25 @@ SparedOutputMlp::setWeights(const MlpWeights &w)
     accel.setWeights(dup);
 }
 
+double
+medianVote(std::vector<double> &copy_vals)
+{
+    size_t n = copy_vals.size();
+    dtann_assert(n >= 1, "vote needs at least one copy");
+    std::sort(copy_vals.begin(), copy_vals.end());
+    if (n % 2 == 1) {
+        // Odd copy count: exact median rejects any single outlier
+        // copy.
+        return copy_vals[n / 2];
+    }
+    // Even: mean of the middle pair (average for 2 copies).
+    return 0.5 * (copy_vals[n / 2 - 1] + copy_vals[n / 2]);
+}
+
 namespace {
 
 /** Merge the replicated physical outputs of one row into the
- *  logical outputs (median for odd copy counts, middle-pair mean
- *  for even). */
+ *  logical outputs via the shared vote rule. */
 Activations
 combineCopies(const Activations &phys, MlpTopology logical, int copies)
 {
@@ -59,19 +73,8 @@ combineCopies(const Activations &phys, MlpTopology logical, int copies)
             copy_vals[static_cast<size_t>(c)] =
                 phys.output()[static_cast<size_t>(
                     k + c * logical.outputs)];
-        std::sort(copy_vals.begin(), copy_vals.end());
-        double combined;
-        if (copies % 2 == 1) {
-            // Odd copy count: exact median rejects any single
-            // outlier copy.
-            combined = copy_vals[static_cast<size_t>(copies / 2)];
-        } else {
-            // Even: mean of the middle pair (average for 2 copies).
-            combined = 0.5 *
-                (copy_vals[static_cast<size_t>(copies / 2 - 1)] +
-                 copy_vals[static_cast<size_t>(copies / 2)]);
-        }
-        act.output()[static_cast<size_t>(k)] = combined;
+        act.output()[static_cast<size_t>(k)] =
+            medianVote(copy_vals);
     }
     return act;
 }

@@ -20,6 +20,17 @@
 
 namespace dtann {
 
+/**
+ * The key-logic copy-combine rule shared by every redundant-output
+ * path (blind spares here, diagnosed replication in
+ * mitigate/replicate): odd copy counts take the exact median —
+ * rejecting any single broken copy, including stuck-high outputs an
+ * averager cannot outvote — and even counts take the mean of the
+ * middle pair (a plain average for 2 copies). Sorts @p copy_vals in
+ * place.
+ */
+double medianVote(std::vector<double> &copy_vals);
+
 /** ForwardModel replicating every logical output N times. */
 class SparedOutputMlp : public ForwardModel
 {

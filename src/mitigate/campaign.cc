@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "common/json.hh"
+#include "core/cost_model.hh"
 
 namespace dtann {
 
@@ -19,11 +20,150 @@ namespace {
 enum StreamRoot : uint64_t {
     kStreamData = 1,   ///< {kStreamData, task}: dataset generation
     kStreamTrain = 2,  ///< {kStreamTrain, task}: baseline training
-    kStreamCell = 3,   ///< {kStreamCell, task, variant, strat, rep}
+    kStreamCell = 3,   ///< {kStreamCell, task, variant, strategy id, rep}
     kStreamInject = 4, ///< {kStreamInject, task, variant, rep}
 };
 
+/**
+ * Decode one journaled mitigation cell.
+ *
+ * Journal-compat contract: a payload written by a different build
+ * may lack fields this build knows (or carry extras it doesn't).
+ * Every result field is *required for replay* — a missing one
+ * throws JsonError here, which journalLookup turns into a warn +
+ * recompute of just that cell, because substituting a default
+ * would silently change the merged export (the byte-identity
+ * contract). Extra unknown fields are ignored, and *within* the
+ * sim object genuinely derivable counters default (see
+ * SimCounters::fromJson, e.g. pre-wide-lane lane slots). The
+ * outcome is built locally and committed whole, so a mid-decode
+ * throw can never leave a half-rehydrated cell behind.
+ */
+MitigationOutcome
+decodeJournaledCell(const JsonValue &v)
+{
+    MitigationOutcome o;
+    o.accuracy = v.at("accuracy").asNumber();
+    o.coverage = v.at("coverage").asNumber();
+    o.diagnosed =
+        static_cast<int>(v.at("diagnosed").asInt(0, INT32_MAX));
+    o.mitigatedUnits =
+        static_cast<int>(v.at("mitigated_units").asInt(0, INT32_MAX));
+    o.sim = SimCounters::fromJson(v.at("sim"));
+    return o;
+}
+
+/**
+ * Per-bit transistor estimates for the small mitigation add-ons, in
+ * the same NAND-cell style the unit netlists use: a 2:1 mux is
+ * three NAND2s (12 T), a magnitude-comparator bit-slice about
+ * 10 T. Coarse, but measured against the exact netlist counts of
+ * the units they attach to, so the overhead *ratios* are honest.
+ */
+constexpr size_t kMuxBitT = 12;
+constexpr size_t kCmpBitT = 10;
+
 } // namespace
+
+MitigationCost
+mitigationCost(Strategy s, const AcceleratorConfig &array,
+               MlpTopology logical, const BistConfig &bist)
+{
+    CostModel model(array);
+    MitigationCost c;
+
+    size_t syn = static_cast<size_t>(array.hidden) *
+            static_cast<size_t>(array.inputs + 1) +
+        static_cast<size_t>(array.outputs) *
+            static_cast<size_t>(array.hidden + 1);
+    size_t stages = static_cast<size_t>(array.hidden) *
+            static_cast<size_t>(array.inputs) +
+        static_cast<size_t>(array.outputs) *
+            static_cast<size_t>(array.hidden);
+    size_t acts = static_cast<size_t>(array.hidden) +
+        static_cast<size_t>(array.outputs);
+    int spare_rows = std::max(0, array.outputs - logical.outputs);
+
+    // Scan-access isolation muxes on every unit's inputs — the
+    // hardware that lets BIST drive a unit apart from the datapath.
+    // Static in mission mode: area only.
+    size_t scan = syn * (16 + 16) * kMuxBitT // mult operands + latch D
+        + stages * 48 * kMuxBitT             // two 24-bit adder operands
+        + acts * 16 * kMuxBitT;              // activation input
+
+    switch (s) {
+      case Strategy::NoOp:
+      case Strategy::RetrainOnly:
+        // Blind strategies on the stock array: retraining runs on
+        // the companion core, outside the array budget (as in the
+        // paper's own accounting).
+        break;
+      case Strategy::BypassFaulty:
+        // One output-gating mux per unit: product (16 b), adder
+        // stage (24 b), activation (16 b); the product mux covers
+        // the latch+multiplier pair.
+        c.missionTransistors = syn * 16 * kMuxBitT +
+            stages * 24 * kMuxBitT + acts * 16 * kMuxBitT;
+        c.testTransistors = scan;
+        c.bistVectorsPerUnit = bist.vectorsPerUnit;
+        break;
+      case Strategy::RemapToSpares:
+        // Provisioned spare rows plus a row-steering mux per
+        // logical output (one 2:1 stage per spare candidate).
+        c.spareRows = spare_rows;
+        c.missionTransistors =
+            static_cast<size_t>(spare_rows) *
+                model.outputRowTransistors() +
+            static_cast<size_t>(logical.outputs) *
+                static_cast<size_t>(spare_rows) * 16 * kMuxBitT;
+        c.testTransistors = scan;
+        c.bistVectorsPerUnit = bist.vectorsPerUnit;
+        break;
+      case Strategy::ClampActivations:
+        // Two comparators + one saturating mux, 16 bits, after
+        // every physical activation unit. Blind: no scan, no BIST.
+        c.missionTransistors =
+            acts * 16 * (2 * kCmpBitT + kMuxBitT);
+        break;
+      case Strategy::ReplicateCritical:
+        // Provisioned spare rows plus a median-of-3 voter (three
+        // comparators, two muxes, 16 bits) per logical output.
+        c.spareRows = spare_rows;
+        c.missionTransistors =
+            static_cast<size_t>(spare_rows) *
+                model.outputRowTransistors() +
+            static_cast<size_t>(logical.outputs) * 16 *
+                (3 * kCmpBitT + 2 * kMuxBitT);
+        c.testTransistors = scan;
+        c.bistVectorsPerUnit = bist.vectorsPerUnit;
+        break;
+    }
+
+    BlockCost base = model.accelerator();
+    c.areaOverhead =
+        model.areaOf(c.missionTransistors + c.testTransistors) /
+        base.areaMm2;
+    c.energyOverhead =
+        model.energyPerRowOf(c.missionTransistors) /
+        base.energyPerRowNj;
+    return c;
+}
+
+std::string
+MitigationCost::toJson() const
+{
+    std::string out =
+        "{\"spare_rows\":" + std::to_string(spareRows);
+    out += ",\"bist_vectors_per_unit\":" +
+        std::to_string(bistVectorsPerUnit);
+    out += ",\"mission_transistors\":" +
+        std::to_string(missionTransistors);
+    out += ",\"test_transistors\":" + std::to_string(testTransistors);
+    out += ",\"area_overhead\":" + jsonNumber(areaOverhead);
+    out += ",\"energy_overhead\":" + jsonNumber(energyOverhead);
+    out += "}";
+    return out;
+}
 
 std::string
 MitigationConfig::toJson() const
@@ -59,9 +199,9 @@ MitigationConfig::fromJson(const JsonValue &v)
         for (const JsonValue &e : s->items()) {
             Strategy strat;
             if (!strategyFromName(e.asString(), strat))
-                throw JsonError(
-                    "unknown strategy '" + e.asString() +
-                    "' (expected noop, retrain, bypass or remap)");
+                throw JsonError("unknown strategy '" + e.asString() +
+                                "' (expected one of: " +
+                                strategyNameList() + ")");
             c.strategies.push_back(strat);
         }
     }
@@ -104,6 +244,10 @@ runMitigationCampaign(const MitigationConfig &config)
         }
 
     std::vector<MitigationOutcome> outcomes(cells.size());
+    // A sharded run computes only its own cells (plus whatever the
+    // journal replays); the rest stay default-constructed and must
+    // not leak into the aggregates below.
+    std::vector<uint8_t> computed(cells.size(), 0);
     engine.beginCampaign(cells.size());
     engine.parallelFor(cells.size(), [&](size_t i) {
         const Cell &c = cells[i];
@@ -117,15 +261,13 @@ runMitigationCampaign(const MitigationConfig &config)
                         strategyName(strategy),
                     static_cast<uint64_t>(c.rep)};
         if (journalLookup(config.journal, key, [&](const JsonValue &v) {
-                MitigationOutcome &o = outcomes[i];
-                o.accuracy = v.at("accuracy").asNumber();
-                o.coverage = v.at("coverage").asNumber();
-                o.diagnosed = static_cast<int>(
-                    v.at("diagnosed").asInt(0, INT32_MAX));
-                o.mitigatedUnits = static_cast<int>(
-                    v.at("mitigated_units").asInt(0, INT32_MAX));
-                o.sim = SimCounters::fromJson(v.at("sim"));
+                // Decode into a local and commit whole: if an older
+                // build's payload misses a field, the JsonError
+                // escapes *before* outcomes[i] is touched and
+                // journalLookup recomputes this cell.
+                outcomes[i] = decodeJournaledCell(v);
             })) {
+            computed[i] = 1;
             engine.reportCell(t.spec.name + std::string(":") +
                                   strategyName(strategy),
                               defects, c.rep, outcomes[i].accuracy);
@@ -158,10 +300,15 @@ runMitigationCampaign(const MitigationConfig &config)
             injector.inject(defects, inject_rng);
         };
 
+        // Keyed by the stable strategy id, not the lineup index:
+        // a strategy's stream (and thus its whole curve) must not
+        // move when the lineup around it is reordered or trimmed.
         Rng rng = Rng::substream(
-            config.seed, {kStreamCell, c.task, c.variant, c.strat,
+            config.seed, {kStreamCell, c.task, c.variant,
+                          static_cast<uint64_t>(strategy),
                           static_cast<uint64_t>(c.rep)});
         outcomes[i] = makeMitigator(strategy)->run(setup, inject, rng);
+        computed[i] = 1;
         if (config.journal) {
             const MitigationOutcome &o = outcomes[i];
             config.journal->store(
@@ -177,7 +324,12 @@ runMitigationCampaign(const MitigationConfig &config)
                           defects, c.rep, outcomes[i].accuracy);
     });
 
-    // Deterministic accumulation in cell-index order.
+    // Deterministic accumulation in cell-index order. Only computed
+    // cells contribute: a shard split can starve a (strategy, defect)
+    // pair entirely, and folding the default-constructed placeholders
+    // in would poison its means (accuracy 0, coverage 1) while
+    // looking like data. A starved point instead reports samples == 0
+    // with all-zero means (the RunningStat empty contract — no NaN).
     size_t n_var = config.defectCounts.size();
     size_t n_strat = config.strategies.size();
     struct PointStat
@@ -188,6 +340,8 @@ runMitigationCampaign(const MitigationConfig &config)
     std::vector<SimCounters> curveSim(specs.size() * n_strat);
     SimCounters totalSim;
     for (size_t i = 0; i < cells.size(); ++i) {
+        if (!computed[i])
+            continue;
         const Cell &c = cells[i];
         PointStat &p = stats[(c.task * n_strat + c.strat) * n_var +
                              c.variant];
@@ -207,14 +361,27 @@ runMitigationCampaign(const MitigationConfig &config)
             curve.task = specs[t].name;
             curve.strategy = config.strategies[s];
             curve.sim = curveSim[t * n_strat + s];
+            curve.cost = mitigationCost(config.strategies[s],
+                                        config.array, ctx[t]->logical,
+                                        config.bist);
+            // The Pareto y coordinate: mean accuracy over the
+            // defective points, weighting each defect count equally
+            // (matching how Fig 10 curves are read).
+            RunningStat pareto;
             for (size_t d = 0; d < n_var; ++d) {
                 const PointStat &p = stats[(t * n_strat + s) * n_var + d];
                 curve.points.push_back({config.defectCounts[d],
                                         p.accuracy.mean(),
                                         p.accuracy.stddev(),
                                         p.coverage.mean(),
-                                        p.mitigated.mean()});
+                                        p.mitigated.mean(),
+                                        static_cast<long>(
+                                            p.accuracy.count())});
+                if (config.defectCounts[d] > 0 &&
+                    p.accuracy.count() > 0)
+                    pareto.add(p.accuracy.mean());
             }
+            curve.paretoAccuracy = pareto.mean();
             curves.push_back(std::move(curve));
         }
     return curves;
@@ -234,9 +401,15 @@ MitigationCurve::toJson() const
         out += ",\"accuracy\":" + jsonNumber(points[i].accuracy);
         out += ",\"stddev\":" + jsonNumber(points[i].stddev);
         out += ",\"coverage\":" + jsonNumber(points[i].coverage);
-        out += ",\"mitigated\":" + jsonNumber(points[i].mitigated) + "}";
+        out += ",\"mitigated\":" + jsonNumber(points[i].mitigated);
+        out += ",\"count\":" + std::to_string(points[i].samples) + "}";
     }
-    out += "],\"sim\":" + sim.toJson() + "}";
+    out += "],\"cost\":" + cost.toJson();
+    out += ",\"pareto\":{\"accuracy\":" + jsonNumber(paretoAccuracy);
+    out += ",\"area_overhead\":" + jsonNumber(cost.areaOverhead);
+    out += ",\"energy_overhead\":" + jsonNumber(cost.energyOverhead);
+    out += "}";
+    out += ",\"sim\":" + sim.toJson() + "}";
     return out;
 }
 

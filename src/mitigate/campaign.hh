@@ -23,9 +23,8 @@ namespace dtann {
 struct MitigationConfig : CampaignConfig
 {
     std::vector<int> defectCounts = {0, 2, 4, 8, 14, 20};
-    std::vector<Strategy> strategies = {
-        Strategy::NoOp, Strategy::RetrainOnly, Strategy::BypassFaulty,
-        Strategy::RemapToSpares};
+    /** Every implemented strategy races by default. */
+    std::vector<Strategy> strategies = allStrategies();
     /** Diagnosis budget used by the map-driven strategies. */
     BistConfig bist;
     /**
@@ -49,7 +48,43 @@ struct MitigationPoint
     double stddev;
     double coverage;  ///< mean diagnosis coverage vs ground truth
     double mitigated; ///< mean units bypassed / outputs remapped
+    /** Cells aggregated into this point. A sharded run can starve a
+     *  (strategy, defect) pair entirely — then the count is 0 and
+     *  the means above are 0 by the RunningStat empty contract
+     *  (never NaN). */
+    long samples = 0;
 };
+
+/**
+ * Hardware budget of one (task, strategy) pair, costed from the
+ * same netlist-measured transistor counts as core/cost_model's
+ * Table III calibration. Overheads are fractions of the base
+ * array's area / per-row energy. Spare output rows count against
+ * the strategies that *require* them (remap, replicate): a chip
+ * provisioned for any other strategy could omit those rows.
+ * Scan-access logic is static in mission mode, so it contributes
+ * area but not per-row energy; the BIST vector budget is one-time
+ * configuration work reported explicitly rather than folded into
+ * the per-row numbers.
+ */
+struct MitigationCost
+{
+    int spareRows = 0;             ///< provisioned spare output rows
+    int bistVectorsPerUnit = 0;    ///< diagnosis budget (0 = blind)
+    size_t missionTransistors = 0; ///< added logic toggling per row
+    size_t testTransistors = 0;    ///< scan access (static in mission)
+    double areaOverhead = 0.0;     ///< added area / base array area
+    double energyOverhead = 0.0;   ///< added row energy / base row energy
+
+    /** Machine-readable export (single JSON object). */
+    std::string toJson() const;
+};
+
+/** Cost @p s on @p array for a task mapped as @p logical. */
+MitigationCost mitigationCost(Strategy s,
+                              const AcceleratorConfig &array,
+                              MlpTopology logical,
+                              const BistConfig &bist);
 
 /** Accuracy-vs-defects curve of one (task, strategy) pair. */
 struct MitigationCurve
@@ -58,6 +93,12 @@ struct MitigationCurve
     Strategy strategy;
     std::vector<MitigationPoint> points;
     SimCounters sim; ///< gate-simulation work over this curve's cells
+    /** The strategy's hardware budget on this task's mapping. */
+    MitigationCost cost;
+    /** Mean accuracy over the defective points (defects > 0) — the
+     *  y coordinate of this curve's accuracy-vs-area/energy Pareto
+     *  point (cost carries the x coordinates). */
+    double paretoAccuracy = 0.0;
 
     /** Machine-readable export (single JSON object). */
     std::string toJson() const;

@@ -1,10 +1,26 @@
 #include "mitigate/mitigator.hh"
 
+#include <algorithm>
+#include <set>
+#include <tuple>
+
 #include "ann/crossval.hh"
 #include "common/logging.hh"
 #include "mitigate/remap.hh"
+#include "mitigate/replicate.hh"
 
 namespace dtann {
+
+const std::vector<Strategy> &
+allStrategies()
+{
+    static const std::vector<Strategy> all = {
+        Strategy::NoOp,          Strategy::RetrainOnly,
+        Strategy::BypassFaulty,  Strategy::RemapToSpares,
+        Strategy::ClampActivations, Strategy::ReplicateCritical,
+    };
+    return all;
+}
 
 const char *
 strategyName(Strategy s)
@@ -14,6 +30,8 @@ strategyName(Strategy s)
       case Strategy::RetrainOnly: return "retrain";
       case Strategy::BypassFaulty: return "bypass";
       case Strategy::RemapToSpares: return "remap";
+      case Strategy::ClampActivations: return "clamp";
+      case Strategy::ReplicateCritical: return "replicate";
     }
     panic("bad strategy");
 }
@@ -21,9 +39,7 @@ strategyName(Strategy s)
 bool
 strategyFromName(const std::string &name, Strategy &out)
 {
-    for (Strategy s : {Strategy::NoOp, Strategy::RetrainOnly,
-                       Strategy::BypassFaulty,
-                       Strategy::RemapToSpares}) {
+    for (Strategy s : allStrategies()) {
         if (name == strategyName(s)) {
             out = s;
             return true;
@@ -32,17 +48,101 @@ strategyFromName(const std::string &name, Strategy &out)
     return false;
 }
 
+std::string
+strategyNameList()
+{
+    std::string list;
+    for (Strategy s : allStrategies()) {
+        if (!list.empty())
+            list += ", ";
+        list += strategyName(s);
+    }
+    return list;
+}
+
+std::vector<PrunedSynapse>
+pruneMaskForBypasses(const Accelerator &accel, MlpTopology logical)
+{
+    const AcceleratorConfig &cfg = accel.config();
+    std::set<std::tuple<size_t, int, int>> mask;
+
+    // Map a physical synapse index to its logical input index:
+    // indices below the logical fan-in map directly, the physical
+    // bias column maps to the logical bias, everything else is an
+    // unused zero-weight synapse.
+    auto logicalInput = [](int index, int phys_fanin,
+                           int logical_fanin) {
+        if (index < logical_fanin)
+            return index;
+        if (index == phys_fanin)
+            return logical_fanin; // bias synapse
+        return -1;
+    };
+
+    for (const UnitSite &s : accel.bypassedSites()) {
+        size_t stage = s.layer == Layer::Hidden ? 0 : 1;
+        int width = stage == 0 ? logical.hidden : logical.outputs;
+        int fanin = stage == 0 ? logical.inputs : logical.hidden;
+        int phys_fanin = stage == 0 ? cfg.inputs : cfg.hidden;
+        if (s.neuron >= width)
+            continue; // unused physical row
+
+        switch (s.kind) {
+          case UnitKind::Multiplier:
+          case UnitKind::WeightLatch: {
+            int i = logicalInput(s.index, phys_fanin, fanin);
+            if (i >= 0)
+                mask.insert({stage, s.neuron, i});
+            break;
+          }
+          case UnitKind::AdderStage: {
+            // Stage t accumulates the product of synapse t+1 (the
+            // chain starts from synapse 0's product); skipping the
+            // stage drops exactly that product.
+            int i = logicalInput(s.index + 1, phys_fanin, fanin);
+            if (i >= 0)
+                mask.insert({stage, s.neuron, i});
+            break;
+          }
+          case UnitKind::Activation: {
+            // A silenced hidden neuron feeds constant zero into the
+            // output layer: prune every synapse reading it so
+            // back-propagation stops steering gradients through the
+            // dead connection. (Output activations are never
+            // bypassed — see BypassFaultyMitigator.)
+            if (s.layer == Layer::Hidden && s.neuron < logical.hidden)
+                for (int k = 0; k < logical.outputs; ++k)
+                    mask.insert({1, k, s.neuron});
+            break;
+          }
+        }
+    }
+
+    std::vector<PrunedSynapse> out;
+    out.reserve(mask.size());
+    for (const auto &[stage, neuron, input] : mask)
+        out.push_back({stage, neuron, input});
+    return out;
+}
+
 namespace {
 
 /** Retrain through @p model and cross-validate (shared tail). */
 double
 retrainedAccuracy(ForwardModel &model, const MitigationSetup &setup,
-                  Rng &rng)
+                  Rng &rng, const Trainer &retrainer)
 {
-    Trainer retrainer(setup.retrain);
     return crossValidate(model, setup.ds, setup.folds, retrainer, rng,
                          &setup.baseline)
         .meanAccuracy;
+}
+
+double
+retrainedAccuracy(ForwardModel &model, const MitigationSetup &setup,
+                  Rng &rng)
+{
+    return retrainedAccuracy(model, setup, rng,
+                             Trainer(setup.retrain));
 }
 
 class NoOpMitigator : public Mitigator
@@ -110,12 +210,20 @@ class BypassFaultyMitigator : public Mitigator
             accel.bypassUnit(s);
         }
 
+        // Fault-aware pruning: the trainer's shadow weights at the
+        // bypassed synapses are frozen to zero, keeping back-
+        // propagation consistent with the hardware's zeroed
+        // forward path.
+        Trainer retrainer(setup.retrain);
+        retrainer.setPruneMask(
+            pruneMaskForBypasses(accel, setup.logical));
+
         MitigationOutcome out;
         out.coverage = report.coverage();
         out.diagnosed = static_cast<int>(map.size());
         out.mitigatedUnits =
             static_cast<int>(accel.bypassedSites().size());
-        out.accuracy = retrainedAccuracy(accel, setup, rng);
+        out.accuracy = retrainedAccuracy(accel, setup, rng, retrainer);
         out.sim = accel.simCounters();
         return out;
     }
@@ -154,6 +262,96 @@ class RemapToSparesMitigator : public Mitigator
     }
 };
 
+/** Clamp-profiling margin: one-sixteenth of a value unit beyond
+ *  the observed clean range, so quantization wobble at the window
+ *  edge never clips a healthy activation. */
+constexpr double kClampMargin = 1.0 / 16.0;
+
+class ClampActivationsMitigator : public Mitigator
+{
+  public:
+    Strategy kind() const override
+    {
+        return Strategy::ClampActivations;
+    }
+
+    MitigationOutcome
+    run(const MitigationSetup &setup,
+        const std::function<void(Accelerator &)> &inject,
+        Rng &rng) override
+    {
+        Accelerator accel(setup.array, setup.logical);
+        inject(accel);
+
+        // Learn the per-layer windows by profiling the clean
+        // reference network over the task data (deterministic — no
+        // diagnosis, no randomness), Liu-Cheng style: the filter
+        // bounds come from what healthy activations actually span.
+        FloatMlp ref(setup.logical);
+        ref.setWeights(setup.baseline);
+        double lo[2] = {1e300, 1e300};
+        double hi[2] = {-1e300, -1e300};
+        for (const Activations &act : ref.forwardBatch(setup.ds.rows))
+            for (size_t layer = 0; layer < 2; ++layer)
+                for (double v : act.layers[layer]) {
+                    lo[layer] = std::min(lo[layer], v);
+                    hi[layer] = std::max(hi[layer], v);
+                }
+        for (Layer layer : {Layer::Hidden, Layer::Output})
+            accel.setActivationClamp(
+                layer,
+                Fix16::fromDouble(
+                    lo[static_cast<size_t>(layer)] - kClampMargin),
+                Fix16::fromDouble(
+                    hi[static_cast<size_t>(layer)] + kClampMargin));
+
+        // Retrain through the clamped array so the weights adapt to
+        // the filtered forward path.
+        MitigationOutcome out;
+        out.accuracy = retrainedAccuracy(accel, setup, rng);
+        // Blind strategy: no diagnosis, nothing missed by its own
+        // contract. Every physical activation unit gets a
+        // comparator pair.
+        out.mitigatedUnits = setup.array.hidden + setup.array.outputs;
+        out.sim = accel.simCounters();
+        return out;
+    }
+};
+
+class ReplicateCriticalMitigator : public Mitigator
+{
+  public:
+    Strategy kind() const override
+    {
+        return Strategy::ReplicateCritical;
+    }
+
+    MitigationOutcome
+    run(const MitigationSetup &setup,
+        const std::function<void(Accelerator &)> &inject,
+        Rng &rng) override
+    {
+        Accelerator accel(setup.array,
+                          ReplicatedOutputMlp::extendedTopology(
+                              setup.logical, setup.array));
+        inject(accel);
+
+        DefectMap map;
+        DiagnosisReport report = diagnose(accel, setup.bist, rng, &map);
+        ReplicatedOutputMlp replicated(
+            accel, setup.logical,
+            planOutputReplication(map, setup.logical, setup.array));
+
+        MitigationOutcome out;
+        out.coverage = report.coverage();
+        out.diagnosed = static_cast<int>(map.size());
+        out.mitigatedUnits = replicated.spareRowsUsed();
+        out.accuracy = retrainedAccuracy(replicated, setup, rng);
+        out.sim = accel.simCounters();
+        return out;
+    }
+};
+
 } // namespace
 
 std::unique_ptr<Mitigator>
@@ -168,6 +366,10 @@ makeMitigator(Strategy s)
         return std::make_unique<BypassFaultyMitigator>();
       case Strategy::RemapToSpares:
         return std::make_unique<RemapToSparesMitigator>();
+      case Strategy::ClampActivations:
+        return std::make_unique<ClampActivationsMitigator>();
+      case Strategy::ReplicateCritical:
+        return std::make_unique<ReplicateCriticalMitigator>();
     }
     panic("bad strategy");
 }

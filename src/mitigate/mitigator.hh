@@ -12,14 +12,29 @@
  *                   the faulty array (Section VI-C).
  *  - BypassFaulty:  BIST diagnosis, then disconnect diagnosed units
  *                   (zero product / skipped stage / silenced
- *                   neuron) and retrain around the bypasses —
- *                   fault-aware pruning in the style of Zhang et
- *                   al. (arXiv:1802.04657).
+ *                   neuron) and retrain around the bypasses with
+ *                   the matching synapse-level prune mask on the
+ *                   trainer's shadow weights — fault-aware pruning
+ *                   in the style of Zhang et al. (arXiv:1802.04657).
  *  - RemapToSpares: BIST diagnosis, then steer logical outputs off
  *                   diagnosed-faulty physical output rows onto
  *                   clean spare rows (map-driven use of the spare
  *                   output neurons the paper adds blindly), plus
  *                   retraining for the hidden layer.
+ *  - ClampActivations: blind (no diagnosis) learned activation
+ *                   clamping — per-layer windows profiled from the
+ *                   clean reference network bound every activation
+ *                   unit's datapath output, filtering the
+ *                   exceptional values faulty sigmoid units emit
+ *                   before they reach the next layer; retraining
+ *                   runs through the clamped array so the weights
+ *                   adapt to the filter (Liu-Cheng style).
+ *  - ReplicateCritical: BIST diagnosis, then replicate
+ *                   diagnosed-faulty output rows onto clean spare
+ *                   rows and merge the copies with the spare-array
+ *                   median voter (RedMulE-FT style replication +
+ *                   voting) — the suspect row stays in the vote, so
+ *                   a median-of-3 tolerates a wrong diagnosis.
  */
 
 #ifndef DTANN_MITIGATE_MITIGATOR_HH
@@ -41,13 +56,23 @@ enum class Strategy : uint8_t {
     RetrainOnly,
     BypassFaulty,
     RemapToSpares,
+    ClampActivations,
+    ReplicateCritical,
 };
+
+/** Every implemented strategy, in enum order — the single source
+ *  the name parser, spec error messages, and default campaign
+ *  racing lists derive from. */
+const std::vector<Strategy> &allStrategies();
 
 /** Stable short name (used in reports and JSON exports). */
 const char *strategyName(Strategy s);
 
 /** Parse a strategyName(); returns false on unknown names. */
 bool strategyFromName(const std::string &name, Strategy &out);
+
+/** "noop, retrain, ..." — for error messages naming a bad value. */
+std::string strategyNameList();
 
 /** Per-cell inputs shared by every strategy. */
 struct MitigationSetup
@@ -105,6 +130,19 @@ class Mitigator
 
 /** Build the requested strategy. */
 std::unique_ptr<Mitigator> makeMitigator(Strategy s);
+
+/**
+ * The synapse-level prune mask matching @p accel's active bypasses
+ * for a task mapped with @p logical (coordinates in the logical
+ * 2-stage weight space): a bypassed multiplier/latch prunes its
+ * synapse, a bypassed adder stage prunes the synapse whose product
+ * it would have accumulated, and a bypassed hidden activation
+ * prunes every output-layer synapse reading that silenced neuron.
+ * Bypasses on physical units outside the logical mapping carry no
+ * trainable weight and are skipped.
+ */
+std::vector<PrunedSynapse>
+pruneMaskForBypasses(const Accelerator &accel, MlpTopology logical);
 
 } // namespace dtann
 

@@ -97,6 +97,48 @@ TEST(Trainer, MseDecreasesWithTraining)
     EXPECT_LT(after, before);
 }
 
+TEST(Trainer, PruneMaskFreezesSynapsesToZero)
+{
+    // Fault-aware pruning support: masked synapses must stay exactly
+    // zero through init, every update, and the returned weights —
+    // the trainer's shadow state may never diverge from a hardware
+    // forward path that zeroed those connections.
+    Dataset ds = xorDataset();
+    MlpTopology topo{2, 6, 2};
+    FloatMlp model(topo);
+    Trainer trainer({6, 100, 0.5, 0.5});
+    trainer.setPruneMask({{0, 2, 1},
+                          {0, 3, 2}, // hidden neuron 3's bias column
+                          {1, 0, 4}});
+    EXPECT_EQ(trainer.pruneMask().size(), 3u);
+    Rng rng(3);
+    MlpWeights w = trainer.train(model, ds, rng);
+    EXPECT_EQ(w.hid(2, 1), 0.0);
+    EXPECT_EQ(w.hid(3, 2), 0.0);
+    EXPECT_EQ(w.out(0, 4), 0.0);
+    // The rest of the network trains normally around the holes.
+    EXPECT_NE(w.hid(2, 0), 0.0);
+    EXPECT_GT(evalAccuracy(model, ds), 0.85);
+}
+
+TEST(Trainer, PruneMaskZeroesWarmStartWeights)
+{
+    // A warm start whose pruned synapses carry nonzero values (the
+    // usual case: baseline weights trained before the fault) must be
+    // cleaned before the first forward pass.
+    Dataset ds = xorDataset();
+    MlpTopology topo{2, 6, 2};
+    FloatMlp model(topo);
+    Rng rng(3);
+    MlpWeights init = Trainer({6, 60, 0.5, 0.5}).train(model, ds, rng);
+    ASSERT_NE(init.out(1, 2), 0.0);
+
+    Trainer pruned({6, 1, 0.5, 0.5});
+    pruned.setPruneMask({{1, 1, 2}});
+    MlpWeights w = pruned.train(model, ds, rng, &init);
+    EXPECT_EQ(w.out(1, 2), 0.0);
+}
+
 TEST(Trainer, ArgmaxBasics)
 {
     std::vector<double> v{0.1, 0.9, 0.3};

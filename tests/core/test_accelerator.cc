@@ -263,6 +263,124 @@ TEST(Accelerator, ForwardBatchMatchesPerRowForward)
     EXPECT_GT(b.simCounters().vectors(), 0u);
 }
 
+TEST(Accelerator, ActivationClampSaturatesDatapath)
+{
+    // A clamp window on the output layer bounds every datapath
+    // value into [lo, hi]; in-window values pass through untouched
+    // and clearActivationClamps() restores the exact raw forward.
+    MlpTopology topo{12, 4, 3};
+    Accelerator accel(smallArray(), topo);
+    MlpWeights w(topo);
+    Rng rng(41);
+    w.initRandom(rng, 2.0);
+    accel.setWeights(w);
+
+    std::vector<std::vector<double>> rows(40, std::vector<double>(12));
+    for (auto &r : rows)
+        for (double &v : r)
+            v = rng.nextDouble();
+
+    std::vector<Activations> raw;
+    for (const auto &r : rows)
+        raw.push_back(accel.forward(r));
+    EXPECT_EQ(accel.clampHits(), 0u);
+
+    const Fix16 lo = Fix16::fromDouble(0.25);
+    const Fix16 hi = Fix16::fromDouble(0.75);
+    accel.setActivationClamp(Layer::Output, lo, hi);
+    EXPECT_TRUE(accel.activationClamp(Layer::Output).enabled);
+    EXPECT_FALSE(accel.activationClamp(Layer::Hidden).enabled);
+
+    uint64_t expected_hits = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+        Activations clamped = accel.forward(rows[i]);
+        // Hidden layer has no clamp: bit-identical to the raw run.
+        EXPECT_EQ(clamped.hidden(), raw[i].hidden());
+        for (size_t n = 0; n < clamped.output().size(); ++n) {
+            double v = raw[i].output()[n];
+            double expect = v;
+            if (v < lo.toDouble()) {
+                expect = lo.toDouble();
+                ++expected_hits;
+            } else if (v > hi.toDouble()) {
+                expect = hi.toDouble();
+                ++expected_hits;
+            }
+            EXPECT_EQ(clamped.output()[n], expect)
+                << "row " << i << " neuron " << n;
+        }
+    }
+    // The sigmoid range [0, 1] is wider than [0.25, 0.75]: some
+    // outputs must have been saturated, and each one counted.
+    EXPECT_GT(expected_hits, 0u);
+    EXPECT_EQ(accel.clampHits(), expected_hits);
+
+    accel.clearActivationClamps();
+    EXPECT_FALSE(accel.activationClamp(Layer::Output).enabled);
+    EXPECT_EQ(accel.clampHits(), 0u);
+    for (size_t i = 0; i < rows.size(); ++i) {
+        Activations again = accel.forward(rows[i]);
+        EXPECT_EQ(again.output(), raw[i].output());
+        EXPECT_EQ(again.hidden(), raw[i].hidden());
+    }
+}
+
+TEST(Accelerator, ClampedBatchMatchesScalarForward)
+{
+    // Clamping happens after the activation unit in both the scalar
+    // and the lane-batched forward: identical windows on identical
+    // arrays must agree bit for bit, hit counters included.
+    MlpTopology topo{12, 4, 3};
+    Accelerator a(smallArray(), topo);
+    Accelerator b(smallArray(), topo);
+    MlpWeights w(topo);
+    Rng rng(43);
+    w.initRandom(rng, 2.0);
+
+    // Defective units make the clamp actually bite: injected faults
+    // can push activations far outside the clean sigmoid range.
+    Rng inj_a(47), inj_b(47);
+    DefectInjector ia(a, SitePool::all());
+    ia.inject(8, inj_a);
+    DefectInjector ib(b, SitePool::all());
+    ib.inject(8, inj_b);
+    ASSERT_EQ(a.faultySites(), b.faultySites());
+    a.setWeights(w);
+    b.setWeights(w);
+
+    const Fix16 lo = Fix16::fromDouble(-0.0625);
+    const Fix16 hi = Fix16::fromDouble(1.0625);
+    a.setActivationClamp(Layer::Hidden, lo, hi);
+    a.setActivationClamp(Layer::Output, lo, hi);
+    b.setActivationClamp(Layer::Hidden, lo, hi);
+    b.setActivationClamp(Layer::Output, lo, hi);
+
+    std::vector<std::vector<double>> rows(100,
+                                          std::vector<double>(12));
+    for (auto &r : rows)
+        for (double &v : r)
+            v = rng.nextDouble();
+    std::vector<Activations> batch = b.forwardBatch(rows);
+    ASSERT_EQ(batch.size(), rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+        Activations ref = a.forward(rows[i]);
+        EXPECT_EQ(ref.output(), batch[i].output()) << "row " << i;
+        EXPECT_EQ(ref.hidden(), batch[i].hidden()) << "row " << i;
+    }
+    EXPECT_EQ(a.clampHits(), b.clampHits());
+}
+
+TEST(Accelerator, EmptyClampWindowIsRejected)
+{
+    MlpTopology topo{12, 4, 3};
+    Accelerator accel(smallArray(), topo);
+    EXPECT_EXIT(accel.setActivationClamp(Layer::Output,
+                                         Fix16::fromDouble(0.5),
+                                         Fix16::fromDouble(0.25)),
+                testing::KilledBySignal(SIGABRT),
+                "clamp window is empty");
+}
+
 TEST(UnitSite, OrderingAndDescription)
 {
     UnitSite a{UnitKind::Multiplier, Layer::Hidden, 0, 1};

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "mitigate/campaign.hh"
 
 namespace dtann {
@@ -126,17 +128,107 @@ TEST(MitigationCampaign, MapStrategiesReportMeasuredCoverage)
     }
 }
 
+TEST(MitigationCampaign, StarvedShardReportsZeroSamplesNotNaN)
+{
+    // Cell order is strategy-major within a (task, defect count):
+    // with 2 strategies x 2 reps and shardCount 4, shard 0 computes
+    // only (NoOp, rep 0) — RetrainOnly is starved entirely. The
+    // aggregate must say so (samples == 0, all-zero means), never
+    // leak the uncomputed placeholder outcomes or emit NaN.
+    MitigationConfig cfg = tinyConfig();
+    cfg.strategies = {Strategy::NoOp, Strategy::RetrainOnly};
+    cfg.defectCounts = {3};
+    cfg.shardCount = 4;
+    cfg.shardIndex = 0;
+    auto curves = runMitigationCampaign(cfg);
+    ASSERT_EQ(curves.size(), 2u);
+    ASSERT_EQ(curves[0].points.size(), 1u);
+
+    const MitigationPoint &fed = curves[0].points[0];
+    EXPECT_EQ(fed.samples, 1);
+    EXPECT_GT(fed.accuracy, 0.0);
+
+    const MitigationPoint &starved = curves[1].points[0];
+    EXPECT_EQ(starved.samples, 0);
+    EXPECT_EQ(starved.accuracy, 0.0);
+    EXPECT_EQ(starved.stddev, 0.0);
+    EXPECT_EQ(starved.coverage, 0.0);
+    EXPECT_EQ(starved.mitigated, 0.0);
+    EXPECT_FALSE(std::isnan(starved.accuracy));
+    EXPECT_FALSE(std::isnan(starved.stddev));
+    EXPECT_FALSE(std::isnan(curves[1].paretoAccuracy));
+    EXPECT_EQ(curves[1].paretoAccuracy, 0.0);
+
+    std::string j = curves[1].toJson();
+    EXPECT_NE(j.find("\"count\":0"), std::string::npos);
+    EXPECT_EQ(j.find("nan"), std::string::npos);
+    EXPECT_EQ(j.find("inf"), std::string::npos);
+}
+
+TEST(MitigationCampaign, CurvesCarryCostAndPareto)
+{
+    MitigationConfig cfg = tinyConfig();
+    auto curves = runMitigationCampaign(cfg);
+    for (const MitigationCurve &c : curves) {
+        // Costs must match the standalone cost model for this
+        // (strategy, array, task) triple...
+        MitigationCost expect = mitigationCost(
+            c.strategy, cfg.array, MlpTopology{4, 6, 3}, cfg.bist);
+        EXPECT_EQ(c.cost.spareRows, expect.spareRows);
+        EXPECT_EQ(c.cost.missionTransistors, expect.missionTransistors);
+        EXPECT_EQ(c.cost.testTransistors, expect.testTransistors);
+        EXPECT_DOUBLE_EQ(c.cost.areaOverhead, expect.areaOverhead);
+        EXPECT_DOUBLE_EQ(c.cost.energyOverhead, expect.energyOverhead);
+
+        // ...and obey the accounting rules: only diagnosis-driven
+        // strategies spend scan/BIST budget, only spare-consuming
+        // ones are charged rows.
+        bool blind = c.strategy == Strategy::NoOp ||
+            c.strategy == Strategy::RetrainOnly ||
+            c.strategy == Strategy::ClampActivations;
+        EXPECT_EQ(c.cost.bistVectorsPerUnit,
+                  blind ? 0 : cfg.bist.vectorsPerUnit);
+        EXPECT_EQ(c.cost.testTransistors > 0, !blind);
+        bool spares = c.strategy == Strategy::RemapToSpares ||
+            c.strategy == Strategy::ReplicateCritical;
+        EXPECT_EQ(c.cost.spareRows, spares ? 3 : 0);
+        EXPECT_GE(c.cost.areaOverhead, 0.0);
+        EXPECT_GE(c.cost.energyOverhead, 0.0);
+        EXPECT_LT(c.cost.areaOverhead, 1.0)
+            << "mitigation logic must stay a fraction of the array";
+
+        // The Pareto y coordinate averages the defective points.
+        EXPECT_DOUBLE_EQ(c.paretoAccuracy, c.points[1].accuracy);
+    }
+
+    // Free strategies cost nothing; hardware-backed ones don't.
+    for (const MitigationCurve &c : curves) {
+        bool free = c.strategy == Strategy::NoOp ||
+            c.strategy == Strategy::RetrainOnly;
+        EXPECT_EQ(c.cost.missionTransistors == 0, free)
+            << strategyName(c.strategy);
+    }
+}
+
 TEST(MitigationCurve, JsonCarriesStrategyAndPoints)
 {
     MitigationCurve c;
     c.task = "iris";
     c.strategy = Strategy::BypassFaulty;
-    c.points.push_back({3, 0.9, 0.01, 0.75, 2.0});
+    c.points.push_back({3, 0.9, 0.01, 0.75, 2.0, 5});
+    c.cost.spareRows = 2;
+    c.cost.areaOverhead = 0.125;
+    c.paretoAccuracy = 0.9;
     std::string j = c.toJson();
     EXPECT_NE(j.find("\"task\":\"iris\""), std::string::npos);
     EXPECT_NE(j.find("\"strategy\":\"bypass\""), std::string::npos);
     EXPECT_NE(j.find("\"defects\":3"), std::string::npos);
     EXPECT_NE(j.find("\"coverage\":"), std::string::npos);
+    EXPECT_NE(j.find("\"count\":5"), std::string::npos);
+    EXPECT_NE(j.find("\"cost\":{\"spare_rows\":2"), std::string::npos);
+    EXPECT_NE(j.find("\"pareto\":{\"accuracy\":0.9"),
+              std::string::npos);
+    EXPECT_NE(j.find("\"area_overhead\":0.125"), std::string::npos);
 
     std::string arr = toJson(std::vector<MitigationCurve>{c, c});
     EXPECT_EQ(arr.front(), '[');

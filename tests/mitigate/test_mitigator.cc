@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <tuple>
+
 #include "ann/trainer.hh"
 #include "core/campaign.hh"
 #include "data/synth_uci.hh"
@@ -78,13 +81,30 @@ TEST(Strategy, NamesAreStable)
     EXPECT_STREQ(strategyName(Strategy::RetrainOnly), "retrain");
     EXPECT_STREQ(strategyName(Strategy::BypassFaulty), "bypass");
     EXPECT_STREQ(strategyName(Strategy::RemapToSpares), "remap");
+    EXPECT_STREQ(strategyName(Strategy::ClampActivations), "clamp");
+    EXPECT_STREQ(strategyName(Strategy::ReplicateCritical),
+                 "replicate");
+}
+
+TEST(Strategy, AllStrategiesEnumeratesEveryName)
+{
+    EXPECT_EQ(allStrategies().size(), 6u);
+    // The list drives the default campaign racing order and the
+    // spec parser; every entry must round-trip through its name.
+    for (Strategy s : allStrategies()) {
+        Strategy parsed;
+        ASSERT_TRUE(strategyFromName(strategyName(s), parsed));
+        EXPECT_EQ(parsed, s);
+    }
+    EXPECT_EQ(strategyNameList(),
+              "noop, retrain, bypass, remap, clamp, replicate");
+    Strategy unused;
+    EXPECT_FALSE(strategyFromName("pray", unused));
 }
 
 TEST(Strategy, FactoryRoundTrips)
 {
-    for (Strategy s :
-         {Strategy::NoOp, Strategy::RetrainOnly, Strategy::BypassFaulty,
-          Strategy::RemapToSpares}) {
+    for (Strategy s : allStrategies()) {
         auto m = makeMitigator(s);
         ASSERT_NE(m, nullptr);
         EXPECT_EQ(m->kind(), s);
@@ -228,6 +248,94 @@ TEST(Mitigator, RemapSteersDiagnosedOutputRows)
     EXPECT_GT(out.diagnosed, 0);
     EXPECT_GE(out.mitigatedUnits, 1)
         << "a diagnosed output row should be remapped to a spare";
+    EXPECT_GE(out.accuracy, 0.0);
+    EXPECT_LE(out.accuracy, 1.0);
+}
+
+TEST(PruneMask, MapsBypassedUnitsToLogicalSynapses)
+{
+    Fixture &f = fixture();
+    Accelerator accel(f.array, f.logical);
+
+    // A hidden-layer multiplier prunes its own synapse; the physical
+    // bias column (index == cfg.inputs) maps to the logical bias.
+    accel.bypassUnit({UnitKind::Multiplier, Layer::Hidden, 1, 2});
+    accel.bypassUnit({UnitKind::WeightLatch, Layer::Hidden, 1,
+                      f.array.inputs});
+    // Output adder stage t accumulates synapse t+1's product.
+    accel.bypassUnit({UnitKind::AdderStage, Layer::Output, 0, 1});
+    // A silenced hidden neuron prunes every output synapse reading it.
+    accel.bypassUnit({UnitKind::Activation, Layer::Hidden, 3, 0});
+    // Physical rows beyond the logical mapping carry no weight.
+    accel.bypassUnit({UnitKind::Multiplier, Layer::Hidden, 7, 0});
+    // Synapses beyond the logical fan-in (but not the bias) are
+    // zero-weight padding.
+    accel.bypassUnit({UnitKind::Multiplier, Layer::Hidden, 0, 9});
+
+    std::vector<PrunedSynapse> mask =
+        pruneMaskForBypasses(accel, f.logical);
+    std::vector<PrunedSynapse> expect = {
+        {0, 1, 2},
+        {0, 1, f.logical.inputs}, // bias
+        {1, 0, 2},
+        {1, 0, 3},
+        {1, 1, 3},
+        {1, 2, 3},
+    };
+    auto key = [](const PrunedSynapse &p) {
+        return std::tuple<size_t, int, int>{p.stage, p.neuron, p.input};
+    };
+    std::sort(expect.begin(), expect.end(),
+              [&](const PrunedSynapse &a, const PrunedSynapse &b) {
+                  return key(a) < key(b);
+              });
+    ASSERT_EQ(mask.size(), expect.size());
+    for (size_t i = 0; i < mask.size(); ++i)
+        EXPECT_EQ(mask[i], expect[i]) << "entry " << i;
+}
+
+TEST(Mitigator, ClampProfilesCleanRangeAndStaysBlind)
+{
+    Fixture &f = fixture();
+    MitigationSetup setup = f.setup();
+    Rng rng(23);
+    MitigationOutcome clean =
+        makeMitigator(Strategy::ClampActivations)
+            ->run(setup, injectNothing, rng);
+    // Blind strategy: no diagnosis, every physical activation unit
+    // carries a comparator pair.
+    EXPECT_DOUBLE_EQ(clean.coverage, 1.0);
+    EXPECT_EQ(clean.diagnosed, 0);
+    EXPECT_EQ(clean.mitigatedUnits, f.array.hidden + f.array.outputs);
+    EXPECT_GT(clean.accuracy, 0.6)
+        << "clamping the clean range must not break a clean array";
+
+    Rng rng2(23);
+    MitigationOutcome faulty =
+        makeMitigator(Strategy::ClampActivations)
+            ->run(setup, heavyInjector(4, 81), rng2);
+    EXPECT_GE(faulty.accuracy, 0.0);
+    EXPECT_LE(faulty.accuracy, 1.0);
+}
+
+TEST(Mitigator, ReplicateRecruitsSparesForDiagnosedOutputs)
+{
+    Fixture &f = fixture();
+    MitigationSetup setup = f.setup();
+    Rng rng(29);
+    // Deterministically destroy logical output row 1's activation.
+    auto inject = [](Accelerator &accel) {
+        Rng ir(83);
+        accel.injectDefects({UnitKind::Activation, Layer::Output, 1, 0},
+                            15, ir);
+    };
+    MitigationOutcome out =
+        makeMitigator(Strategy::ReplicateCritical)
+            ->run(setup, inject, rng);
+    EXPECT_GT(out.diagnosed, 0);
+    EXPECT_GE(out.mitigatedUnits, 1)
+        << "a diagnosed output row should recruit spare copies";
+    EXPECT_LE(out.mitigatedUnits, 2) << "one faulty row, two spares max";
     EXPECT_GE(out.accuracy, 0.0);
     EXPECT_LE(out.accuracy, 1.0);
 }

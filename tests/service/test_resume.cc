@@ -252,6 +252,50 @@ TEST(Resume, CorruptPayloadRecomputesBitIdentically)
     std::remove(path.c_str());
 }
 
+TEST(Resume, FieldStrippedPayloadRecomputesBitIdentically)
+{
+    // Journal-compat regression: a journal written by an older build
+    // can lack per-cell fields this build requires (and carry extras
+    // it has never heard of). Replay must tolerate both — recompute
+    // the incomplete cell instead of aborting or default-filling,
+    // ignore the unknown field — and still export byte-identically.
+    ScenarioSpec spec = tinyMitigation();
+    std::string path = tempPath("stripped");
+    std::remove(path.c_str());
+
+    std::string expected = runWithJournal(spec, path);
+
+    std::vector<std::string> lines = readLines(path);
+    ASSERT_GT(lines.size(), 4u);
+    // Strip the "coverage" field from the first cell payload (the
+    // payload is an escaped JSON string, so the field text carries
+    // backslash-quotes), simulating a pre-coverage build's journal.
+    bool stripped = false, extended = false;
+    for (std::string &line : lines) {
+        size_t start = line.find(",\\\"coverage\\\":");
+        if (!stripped && start != std::string::npos) {
+            size_t end = line.find(",\\\"diagnosed\\\"");
+            ASSERT_NE(end, std::string::npos);
+            line.erase(start, end - start);
+            stripped = true;
+            continue;
+        }
+        // Add an unknown field to a different cell: a *newer* build's
+        // journal replays fine as long as the known fields are there.
+        size_t sim = line.find(",\\\"sim\\\"");
+        if (stripped && !extended && sim != std::string::npos) {
+            line.insert(sim, ",\\\"from_the_future\\\":42");
+            extended = true;
+        }
+    }
+    ASSERT_TRUE(stripped) << "no mitigation payload carried coverage";
+    ASSERT_TRUE(extended);
+    writeLines(path, lines);
+
+    EXPECT_EQ(runWithJournal(spec, path), expected);
+    std::remove(path.c_str());
+}
+
 TEST(Resume, ThreadCountInvariantWithJournal)
 {
     // Journaled replay must not depend on scheduling: resume with a

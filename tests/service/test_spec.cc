@@ -72,15 +72,21 @@ TEST(ScenarioSpec, MitigationStrategiesAndPoolParse)
 {
     ScenarioSpec spec = ScenarioSpec::parse(R"({
         "kind": "mitigation",
-        "strategies": ["retrain", "remap"],
+        "strategies": ["retrain", "remap", "clamp", "replicate"],
         "bist_vectors_per_unit": 4,
         "inject_pool": "output_critical"
     })");
     EXPECT_EQ(spec.mitigation.strategies,
               (std::vector<Strategy>{Strategy::RetrainOnly,
-                                     Strategy::RemapToSpares}));
+                                     Strategy::RemapToSpares,
+                                     Strategy::ClampActivations,
+                                     Strategy::ReplicateCritical}));
     EXPECT_EQ(spec.mitigation.bist.vectorsPerUnit, 4);
     EXPECT_EQ(spec.mitigation.injectPool, SitePool::outputCritical());
+
+    // An omitted strategy list races every implemented strategy.
+    ScenarioSpec all = ScenarioSpec::parse("{\"kind\": \"mitigation\"}");
+    EXPECT_EQ(all.mitigation.strategies, allStrategies());
 }
 
 /** Expect parse(text) to throw a JsonError mentioning @p needle. */
@@ -115,6 +121,10 @@ TEST(ScenarioSpec, MalformedSpecsNameTheProblem)
     expectSpecError(
         "{\"kind\": \"mitigation\", \"strategies\": [\"pray\"]}",
         "unknown strategy 'pray'");
+    // The message names every accepted strategy.
+    expectSpecError(
+        "{\"kind\": \"mitigation\", \"strategies\": [\"pray\"]}",
+        strategyNameList());
     expectSpecError(
         "{\"kind\": \"fig10\", \"weighting\": \"alphabetical\"}",
         "unknown weighting");

@@ -1,27 +1,42 @@
 /**
  * @file
- * bench_compare: diff two google-benchmark JSON envelopes.
+ * bench_compare: diff two google-benchmark JSON envelopes, or two
+ * campaign result envelopes (the {"kind", "config", "results"}
+ * objects dtann_campaign and the benches export).
  *
  *   bench_compare BASELINE.json CURRENT.json [--tolerance F]
  *
- * Matches benchmarks by name, prints a speedup table (baseline time
- * over current time, so > 1 is faster than the baseline), and fails
- * when any benchmark regressed beyond the tolerance: current time
- * above baseline * (1 + F), default F = 0.5. Only plain iteration
- * runs are compared (aggregate rows are skipped), and only names
- * present in both files count — a new benchmark has no baseline to
- * regress against.
+ * Benchmark mode matches benchmarks by name, prints a speedup table
+ * (baseline time over current time, so > 1 is faster than the
+ * baseline), and fails when any benchmark regressed beyond the
+ * tolerance: current time above baseline * (1 + F), default
+ * F = 0.5. Only plain iteration runs are compared (aggregate rows
+ * are skipped), and only names present in both files count — a new
+ * benchmark has no baseline to regress against.
  *
- * Comparing across build types is meaningless (a debug run is not a
- * regression of a Release baseline), so when the two envelopes
- * record different "dtann_build_type" contexts the tool explains
- * that and exits 77 — ctest's SKIP_RETURN_CODE, turning the
- * perf-smoke comparison into a skip instead of a false alarm.
+ * Campaign mode is selected automatically when both inputs are
+ * campaign envelopes. It matches result curves by figure, task and
+ * strategy, and reports per-point accuracy deltas plus the
+ * mitigation Pareto movement (pareto accuracy, area/energy
+ * overhead). Campaign numbers are deterministic measurements, not
+ * timings, so this mode is informational: it always exits 0 (added
+ * or removed curves are listed, mirroring the no-baseline rule
+ * above) and never trips the perf-smoke gate.
  *
- * Exit codes: 0 within tolerance, 1 regression, 2 usage or
- * unreadable input, 77 build-type mismatch (skip).
+ * Comparing across build types is meaningless for timings (a debug
+ * run is not a regression of a Release baseline), so when two
+ * benchmark envelopes record different "dtann_build_type" contexts
+ * the tool explains that and exits 77 — ctest's SKIP_RETURN_CODE,
+ * turning the perf-smoke comparison into a skip instead of a false
+ * alarm.
+ *
+ * Exit codes: 0 within tolerance (always, in campaign mode),
+ * 1 regression, 2 usage or unreadable/mismatched input, 77
+ * build-type mismatch (skip).
  */
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,7 +63,12 @@ usage(FILE *to)
         "Compare two google-benchmark JSON envelopes; fail (exit 1)\n"
         "when a benchmark in CURRENT is slower than BASELINE by\n"
         "more than the tolerance fraction (default 0.5). Exits 77\n"
-        "when the envelopes record different dtann build types.\n");
+        "when the envelopes record different dtann build types.\n"
+        "\n"
+        "When both files are campaign envelopes (dtann_campaign /\n"
+        "bench JSON exports) the tool diffs result curves instead:\n"
+        "per-point accuracy deltas and Pareto movement, always\n"
+        "exit 0 (informational).\n");
     return to == stderr ? 2 : 0;
 }
 
@@ -64,16 +84,29 @@ struct Envelope
     std::map<std::string, Run> runs;
 };
 
-Envelope
-loadEnvelope(const std::string &path)
+JsonValue
+loadJson(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
         throw std::runtime_error("cannot read '" + path + "'");
     std::ostringstream body;
     body << in.rdbuf();
-    JsonValue v = jsonParse(body.str());
+    return jsonParse(body.str());
+}
 
+/** A campaign envelope carries "kind" + "results" instead of the
+ *  google-benchmark "benchmarks" array. */
+bool
+isCampaignEnvelope(const JsonValue &v)
+{
+    return v.find("benchmarks") == nullptr &&
+        v.find("kind") != nullptr && v.find("results") != nullptr;
+}
+
+Envelope
+loadEnvelope(const std::string &path, const JsonValue &v)
+{
     Envelope env;
     if (const JsonValue *ctx = v.find("context"))
         if (const JsonValue *bt = ctx->find("dtann_build_type"))
@@ -95,6 +128,114 @@ loadEnvelope(const std::string &path)
         env.runs[b.at("name").asString()] = run;
     }
     return env;
+}
+
+/** One campaign result curve, reduced to comparable numbers. */
+struct CurveData
+{
+    std::map<double, double> accuracy; ///< x (defects/amplitude) -> mean
+    bool hasPareto = false;
+    double paretoAcc = 0.0;
+    double areaOvh = 0.0;
+    double energyOvh = 0.0;
+};
+
+/**
+ * Flatten a campaign envelope's curves, keyed "figure task[:strategy]"
+ * — the same identity the campaign layer uses to order them. Points
+ * use whichever x coordinate the figure carries (defect counts, or
+ * amplitude bins for fig11).
+ */
+std::map<std::string, CurveData>
+loadCurves(const JsonValue &v)
+{
+    std::map<std::string, CurveData> curves;
+    for (const JsonValue &c : v.at("results").items()) {
+        std::string key;
+        if (const JsonValue *fig = c.find("figure"))
+            key = fig->asString();
+        if (const JsonValue *task = c.find("task"))
+            key += (key.empty() ? "" : " ") + task->asString();
+        if (const JsonValue *strat = c.find("strategy"))
+            key += ":" + strat->asString();
+
+        CurveData data;
+        const JsonValue *points = c.find("points");
+        if (points == nullptr)
+            points = c.find("bins");
+        if (points != nullptr)
+            for (const JsonValue &p : points->items()) {
+                const JsonValue *x = p.find("defects");
+                if (x == nullptr)
+                    x = p.find("amplitude");
+                const JsonValue *acc = p.find("accuracy");
+                if (x != nullptr && acc != nullptr)
+                    data.accuracy[x->asNumber()] = acc->asNumber();
+            }
+        if (const JsonValue *pareto = c.find("pareto")) {
+            data.hasPareto = true;
+            data.paretoAcc = pareto->at("accuracy").asNumber();
+            data.areaOvh = pareto->at("area_overhead").asNumber();
+            data.energyOvh = pareto->at("energy_overhead").asNumber();
+        }
+        curves[key] = data;
+    }
+    return curves;
+}
+
+/** Informational diff of two campaign envelopes; always returns 0. */
+int
+compareCampaigns(const JsonValue &base, const JsonValue &cur)
+{
+    std::map<std::string, CurveData> b = loadCurves(base);
+    std::map<std::string, CurveData> c = loadCurves(cur);
+
+    std::printf("campaign envelope diff (kind \"%s\", "
+                "informational)\n",
+                cur.at("kind").asString().c_str());
+    std::printf("%-40s %9s %9s %12s\n", "curve", "points",
+                "max |da|", "pareto da");
+    size_t compared = 0;
+    for (const auto &kv : c) {
+        auto it = b.find(kv.first);
+        if (it == b.end()) {
+            std::printf("%-40s  (new curve, no baseline)\n",
+                        kv.first.c_str());
+            continue;
+        }
+        ++compared;
+        const CurveData &bd = it->second, &cd = kv.second;
+        double max_delta = 0.0;
+        size_t matched = 0;
+        for (const auto &pt : cd.accuracy) {
+            auto bp = bd.accuracy.find(pt.first);
+            if (bp == bd.accuracy.end())
+                continue;
+            ++matched;
+            max_delta = std::max(max_delta,
+                                 std::abs(pt.second - bp->second));
+        }
+        if (cd.hasPareto && bd.hasPareto) {
+            std::printf("%-40s %9zu %9.4f %+12.4f\n",
+                        kv.first.c_str(), matched, max_delta,
+                        cd.paretoAcc - bd.paretoAcc);
+            if (cd.areaOvh != bd.areaOvh ||
+                cd.energyOvh != bd.energyOvh)
+                std::printf("%-40s   cost moved: area %+0.4f, "
+                            "energy %+0.4f\n",
+                            "", cd.areaOvh - bd.areaOvh,
+                            cd.energyOvh - bd.energyOvh);
+        } else {
+            std::printf("%-40s %9zu %9.4f %12s\n", kv.first.c_str(),
+                        matched, max_delta, "-");
+        }
+    }
+    for (const auto &kv : b)
+        if (c.find(kv.first) == c.end())
+            std::printf("%-40s  (removed, baseline only)\n",
+                        kv.first.c_str());
+    std::printf("%zu curve(s) compared\n", compared);
+    return 0;
 }
 
 } // namespace
@@ -135,8 +276,25 @@ main(int argc, char **argv)
 
     Envelope base, cur;
     try {
-        base = loadEnvelope(basePath);
-        cur = loadEnvelope(curPath);
+        JsonValue baseJson = loadJson(basePath);
+        JsonValue curJson = loadJson(curPath);
+        bool baseCampaign = isCampaignEnvelope(baseJson);
+        bool curCampaign = isCampaignEnvelope(curJson);
+        if (baseCampaign != curCampaign)
+            throw std::runtime_error(
+                "cannot mix a campaign envelope with a benchmark "
+                "envelope");
+        if (baseCampaign) {
+            std::string bk = baseJson.at("kind").asString();
+            std::string ck = curJson.at("kind").asString();
+            if (bk != ck)
+                throw std::runtime_error(
+                    "campaign kinds differ ('" + bk + "' vs '" + ck +
+                    "')");
+            return compareCampaigns(baseJson, curJson);
+        }
+        base = loadEnvelope(basePath, baseJson);
+        cur = loadEnvelope(curPath, curJson);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "bench_compare: %s\n", e.what());
         return 2;
