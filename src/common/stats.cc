@@ -22,6 +22,26 @@ RunningStat::add(double x)
     m2 += delta * (x - mu);
 }
 
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    lo = std::min(lo, other.lo);
+    hi = std::max(hi, other.hi);
+    size_t total = n + other.n;
+    double delta = other.mu - mu;
+    mu += delta * static_cast<double>(other.n) /
+        static_cast<double>(total);
+    m2 += other.m2 + delta * delta * static_cast<double>(n) *
+        static_cast<double>(other.n) / static_cast<double>(total);
+    n = total;
+}
+
 double
 RunningStat::variance() const
 {

@@ -23,6 +23,15 @@ class RunningStat
     /** Add one sample. */
     void add(double x);
 
+    /**
+     * Fold another accumulator into this one (Chan's parallel
+     * update). The result is a deterministic function of the two
+     * inputs — independent of how their samples were interleaved —
+     * which is what lets a backend keep order-stable per-pass
+     * sub-accumulators and merge them on read.
+     */
+    void merge(const RunningStat &other);
+
     /** Number of samples so far. */
     size_t count() const { return n; }
     /** Sample mean (0 when empty). */

@@ -1,84 +1,16 @@
 #include "core/accelerator.hh"
 
-#include <cmath>
-#include <cstdio>
-#include <tuple>
-
 #include <array>
 
-#include "ann/sigmoid.hh"
 #include "circuit/lane_plane.hh"
-#include "common/json.hh"
 #include "common/logging.hh"
-#include "rtl/adder.hh"
-#include "rtl/clean_model.hh"
-#include "rtl/latch.hh"
-#include "rtl/multiplier.hh"
-#include "rtl/sigmoid_unit.hh"
+#include "core/injector.hh"
 
 namespace dtann {
 
-std::string
-AcceleratorConfig::toJson() const
-{
-    std::string out = "{\"inputs\":" + std::to_string(inputs);
-    out += ",\"hidden\":" + std::to_string(hidden);
-    out += ",\"outputs\":" + std::to_string(outputs);
-    out += ",\"fa_style\":" + jsonString(faStyleName(faStyle));
-    out += "}";
-    return out;
-}
-
-AcceleratorConfig
-AcceleratorConfig::fromJson(const JsonValue &v)
-{
-    if (!v.isObject())
-        throw JsonError("accelerator config must be a JSON object");
-    AcceleratorConfig c;
-    c.inputs = jsonGetInt(v, "inputs", c.inputs, 1, 1 << 20);
-    c.hidden = jsonGetInt(v, "hidden", c.hidden, 1, 1 << 20);
-    c.outputs = jsonGetInt(v, "outputs", c.outputs, 1, 1 << 20);
-    std::string style =
-        jsonGetString(v, "fa_style", faStyleName(c.faStyle));
-    if (!faStyleFromName(style, c.faStyle))
-        throw JsonError("unknown fa_style '" + style +
-                        "' (expected nand9 or mirror)");
-    return c;
-}
-
-bool
-UnitSite::operator<(const UnitSite &o) const
-{
-    return std::tie(kind, layer, neuron, index) <
-        std::tie(o.kind, o.layer, o.neuron, o.index);
-}
-
-std::string
-UnitSite::describe() const
-{
-    const char *k = "?";
-    switch (kind) {
-      case UnitKind::WeightLatch: k = "latch"; break;
-      case UnitKind::Multiplier: k = "mult"; break;
-      case UnitKind::AdderStage: k = "adder"; break;
-      case UnitKind::Activation: k = "act"; break;
-    }
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%s[%s n%d i%d]", k,
-                  layer == Layer::Hidden ? "hid" : "out", neuron, index);
-    return buf;
-}
-
-Accelerator::Accelerator(const AcceleratorConfig &config,
-                         MlpTopology logical_topo)
-    : cfg(config), logical(logical_topo),
-      multNl(std::make_shared<Netlist>(
-          buildMultiplierSigned(16, config.faStyle))),
-      addNl(std::make_shared<Netlist>(
-          buildRippleAdder(24, config.faStyle, false))),
-      latchNl(std::make_shared<Netlist>(buildLatchRegister(16))),
-      actNl(std::make_shared<Netlist>(
-          buildSigmoidUnit(logisticPwlTable(), config.faStyle))),
+SpatialBackend::SpatialBackend(const AcceleratorConfig &config,
+                               MlpTopology logical_topo)
+    : HardwareBackend(config, logical_topo),
       hidW(static_cast<size_t>(config.hidden) *
            static_cast<size_t>(config.inputs + 1)),
       outW(static_cast<size_t>(config.outputs) *
@@ -87,17 +19,10 @@ Accelerator::Accelerator(const AcceleratorConfig &config,
       hiddenAct(static_cast<size_t>(config.hidden)),
       hidSums(static_cast<size_t>(config.hidden))
 {
-    dtann_assert(logical.inputs <= cfg.inputs &&
-                     logical.hidden <= cfg.hidden &&
-                     logical.outputs <= cfg.outputs,
-                 "logical network %d-%d-%d does not fit the %d-%d-%d "
-                 "array (use the time-multiplexed wrapper)",
-                 logical.inputs, logical.hidden, logical.outputs,
-                 cfg.inputs, cfg.hidden, cfg.outputs);
 }
 
 Fix16 &
-Accelerator::hidWAt(int j, int i)
+SpatialBackend::hidWAt(int j, int i)
 {
     return hidW[static_cast<size_t>(j) *
                     static_cast<size_t>(cfg.inputs + 1) +
@@ -105,7 +30,7 @@ Accelerator::hidWAt(int j, int i)
 }
 
 Fix16 &
-Accelerator::outWAt(int k, int j)
+SpatialBackend::outWAt(int k, int j)
 {
     return outW[static_cast<size_t>(k) *
                     static_cast<size_t>(cfg.hidden + 1) +
@@ -113,7 +38,7 @@ Accelerator::outWAt(int k, int j)
 }
 
 int
-Accelerator::unitCount(UnitKind kind) const
+SpatialBackend::unitCount(UnitKind kind) const
 {
     int hid_syn = cfg.hidden * (cfg.inputs + 1);
     int out_syn = cfg.outputs * (cfg.hidden + 1);
@@ -131,368 +56,14 @@ Accelerator::unitCount(UnitKind kind) const
     }
 }
 
-OperatorSim *
-Accelerator::simFor(const UnitSite &site)
-{
-    auto it = faulty.find(site);
-    return it == faulty.end() ? nullptr : it->second.get();
-}
-
-std::vector<InjectionRecord>
-Accelerator::injectDefects(const UnitSite &site, int count, Rng &rng)
-{
-    std::shared_ptr<const Netlist> nl;
-    CleanFn clean;
-    switch (site.kind) {
-      case UnitKind::WeightLatch:
-        // Feedback netlist: no pruned/batched path to feed.
-        nl = latchNl;
-        break;
-      case UnitKind::Multiplier:
-        nl = multNl;
-        clean = cleanMultiplierSigned(16);
-        break;
-      case UnitKind::AdderStage:
-        nl = addNl;
-        clean = cleanAdder(24, false);
-        break;
-      case UnitKind::Activation:
-        nl = actNl;
-        clean = cleanSigmoidUnit(logisticPwlTable());
-        break;
-    }
-    Injection inj = injectTransistorDefects(*nl, count, rng);
-    std::vector<InjectionRecord> records = inj.records;
-
-    // Merge with any defects already present at this site.
-    auto it = faulty.find(site);
-    if (it != faulty.end()) {
-        FaultSet merged = it->second->evaluator().faults();
-        merged.merge(inj.faults);
-        Injection combined;
-        combined.faults = std::move(merged);
-        combined.records = it->second->faultRecords();
-        combined.records.insert(combined.records.end(), records.begin(),
-                                records.end());
-        it->second = std::make_unique<OperatorSim>(
-            nl, std::move(combined), std::move(clean));
-    } else {
-        Injection fresh;
-        fresh.faults = std::move(inj.faults);
-        fresh.records = records;
-        faulty[site] = std::make_unique<OperatorSim>(
-            nl, std::move(fresh), std::move(clean));
-    }
-    probes[site]; // ensure a probe exists
-    return records;
-}
-
-void
-Accelerator::clearDefects()
-{
-    faulty.clear();
-    probes.clear();
-}
-
 std::vector<UnitSite>
-Accelerator::faultySites() const
+SpatialBackend::enumerateSites(const SitePool &pool) const
 {
-    std::vector<UnitSite> sites;
-    for (const auto &[site, sim] : faulty)
-        sites.push_back(site);
-    return sites;
-}
-
-bool
-Accelerator::isFaulty(const UnitSite &site) const
-{
-    return faulty.find(site) != faulty.end();
-}
-
-Fix16
-Accelerator::bistMul(Layer layer, int neuron, int synapse, Fix16 w,
-                     Fix16 x)
-{
-    return unitMul(layer, neuron, synapse, w, x);
-}
-
-Acc24
-Accelerator::bistAdd(Layer layer, int neuron, int stage, Acc24 a, Acc24 b)
-{
-    return unitAdd(layer, neuron, stage, a, b);
-}
-
-Fix16
-Accelerator::bistAct(Layer layer, int neuron, Fix16 x)
-{
-    return unitAct(layer, neuron, x);
-}
-
-Fix16
-Accelerator::bistLatchStore(Layer layer, int neuron, int synapse, Fix16 d)
-{
-    return unitLatchStore(layer, neuron, synapse, d);
+    return dtann::enumerateSites(cfg, pool);
 }
 
 void
-Accelerator::bypassUnit(const UnitSite &site)
-{
-    bypassed.insert(site);
-}
-
-void
-Accelerator::clearBypasses()
-{
-    bypassed.clear();
-}
-
-bool
-Accelerator::isBypassed(const UnitSite &site) const
-{
-    return bypassed.find(site) != bypassed.end();
-}
-
-std::vector<UnitSite>
-Accelerator::bypassedSites() const
-{
-    return {bypassed.begin(), bypassed.end()};
-}
-
-void
-Accelerator::setActivationClamp(Layer layer, Fix16 lo, Fix16 hi)
-{
-    dtann_assert(static_cast<int16_t>(lo.bits()) <=
-                     static_cast<int16_t>(hi.bits()),
-                 "clamp window is empty");
-    ActivationClamp &c = clamps[static_cast<size_t>(layer)];
-    c.enabled = true;
-    c.lo = lo;
-    c.hi = hi;
-}
-
-void
-Accelerator::clearActivationClamps()
-{
-    clamps[0] = ActivationClamp();
-    clamps[1] = ActivationClamp();
-    clampHitCount = 0;
-}
-
-const ActivationClamp &
-Accelerator::activationClamp(Layer layer) const
-{
-    return clamps[static_cast<size_t>(layer)];
-}
-
-Fix16
-Accelerator::clampValue(Layer layer, Fix16 x)
-{
-    const ActivationClamp &c = clamps[static_cast<size_t>(layer)];
-    if (!c.enabled)
-        return x;
-    int16_t v = static_cast<int16_t>(x.bits());
-    if (v < static_cast<int16_t>(c.lo.bits())) {
-        ++clampHitCount;
-        return c.lo;
-    }
-    if (v > static_cast<int16_t>(c.hi.bits())) {
-        ++clampHitCount;
-        return c.hi;
-    }
-    return x;
-}
-
-const DeviationProbe &
-Accelerator::probe(const UnitSite &site) const
-{
-    auto it = probes.find(site);
-    return it == probes.end() ? cleanProbe : it->second;
-}
-
-void
-Accelerator::clearProbes()
-{
-    for (auto &[site, p] : probes)
-        p = DeviationProbe();
-}
-
-Fix16
-Accelerator::unitLatchStore(Layer layer, int neuron, int synapse, Fix16 d)
-{
-    UnitSite site{UnitKind::WeightLatch, layer, neuron, synapse};
-    if (isBypassed(site))
-        return Fix16(); // latch disconnected: weight reads as zero
-    OperatorSim *sim = simFor(site);
-    if (!sim)
-        return d;
-    // Open the latch (EN=1) with D applied, then close it.
-    uint64_t bits = static_cast<uint64_t>(d.bits());
-    sim->apply(bits | (1ull << 16));
-    uint64_t q = sim->apply(bits); // EN=0
-    Fix16 stored = Fix16::fromRaw(static_cast<int16_t>(q & 0xffff));
-    probes[site].amplitude.add(
-        std::abs(stored.toDouble() - d.toDouble()));
-    return stored;
-}
-
-Fix16
-Accelerator::unitMul(Layer layer, int neuron, int synapse, Fix16 w,
-                     Fix16 x)
-{
-    UnitSite site{UnitKind::Multiplier, layer, neuron, synapse};
-    if (isBypassed(site))
-        return Fix16(); // product gated to zero
-    OperatorSim *sim = simFor(site);
-    Fix16 clean = Fix16::hwMul(w, x);
-    if (!sim)
-        return clean;
-    uint64_t in = static_cast<uint64_t>(w.bits()) |
-        (static_cast<uint64_t>(x.bits()) << 16);
-    uint64_t product = sim->apply(in);
-    Fix16 got = Fix16::fromRaw(static_cast<int16_t>(
-        (product >> Fix16::fracBits) & 0xffff));
-    probes[site].amplitude.add(
-        std::abs(got.toDouble() - clean.toDouble()));
-    return got;
-}
-
-Acc24
-Accelerator::unitAdd(Layer layer, int neuron, int stage, Acc24 a, Acc24 b)
-{
-    UnitSite site{UnitKind::AdderStage, layer, neuron, stage};
-    if (isBypassed(site))
-        return a; // stage skipped: accumulator passes through
-    OperatorSim *sim = simFor(site);
-    Acc24 clean = Acc24::hwAdd(a, b);
-    if (!sim)
-        return clean;
-    uint64_t in = static_cast<uint64_t>(a.bits()) |
-        (static_cast<uint64_t>(b.bits()) << 24);
-    uint64_t sum = sim->apply(in) & 0xffffffull;
-    uint32_t u = static_cast<uint32_t>(sum);
-    int32_t raw = (u & 0x800000u)
-        ? static_cast<int32_t>(u | 0xff000000u)
-        : static_cast<int32_t>(u);
-    Acc24 got = Acc24::fromRaw(raw);
-    probes[site].amplitude.add(
-        std::abs(got.toDouble() - clean.toDouble()));
-    return got;
-}
-
-Fix16
-Accelerator::unitAct(Layer layer, int neuron, Fix16 x)
-{
-    UnitSite site{UnitKind::Activation, layer, neuron, 0};
-    if (isBypassed(site))
-        return Fix16(); // neuron silenced
-    OperatorSim *sim = simFor(site);
-    Fix16 clean = logisticPwlFix(x);
-    if (!sim)
-        return clean;
-    uint64_t y = sim->apply(static_cast<uint64_t>(x.bits()));
-    Fix16 got = Fix16::fromRaw(static_cast<int16_t>(y & 0xffff));
-    probes[site].amplitude.add(
-        std::abs(got.toDouble() - clean.toDouble()));
-    return got;
-}
-
-void
-Accelerator::unitMulLanes(Layer layer, int neuron, int synapse, Fix16 w,
-                          const Fix16 *x, Fix16 *out, size_t lanes)
-{
-    UnitSite site{UnitKind::Multiplier, layer, neuron, synapse};
-    if (isBypassed(site)) {
-        for (size_t l = 0; l < lanes; ++l)
-            out[l] = Fix16(); // product gated to zero
-        return;
-    }
-    OperatorSim *sim = simFor(site);
-    if (!sim) {
-        for (size_t l = 0; l < lanes; ++l)
-            out[l] = Fix16::hwMul(w, x[l]);
-        return;
-    }
-    std::array<uint64_t, kMaxLanes> in, product;
-    for (size_t l = 0; l < lanes; ++l)
-        in[l] = static_cast<uint64_t>(w.bits()) |
-            (static_cast<uint64_t>(x[l].bits()) << 16);
-    sim->applyLanes(in.data(), product.data(), lanes);
-    DeviationProbe &pr = probes[site];
-    // Probe updates in lane (= row) order: the Welford accumulator
-    // is order-dependent, and bit-identity with the scalar path
-    // requires the same per-site sequence.
-    for (size_t l = 0; l < lanes; ++l) {
-        Fix16 clean = Fix16::hwMul(w, x[l]);
-        Fix16 got = Fix16::fromRaw(static_cast<int16_t>(
-            (product[l] >> Fix16::fracBits) & 0xffff));
-        pr.amplitude.add(std::abs(got.toDouble() - clean.toDouble()));
-        out[l] = got;
-    }
-}
-
-void
-Accelerator::unitAddLanes(Layer layer, int neuron, int stage, Acc24 *acc,
-                          const Acc24 *b, size_t lanes)
-{
-    UnitSite site{UnitKind::AdderStage, layer, neuron, stage};
-    if (isBypassed(site))
-        return; // stage skipped: accumulator passes through
-    OperatorSim *sim = simFor(site);
-    if (!sim) {
-        for (size_t l = 0; l < lanes; ++l)
-            acc[l] = Acc24::hwAdd(acc[l], b[l]);
-        return;
-    }
-    std::array<uint64_t, kMaxLanes> in, sum;
-    for (size_t l = 0; l < lanes; ++l)
-        in[l] = static_cast<uint64_t>(acc[l].bits()) |
-            (static_cast<uint64_t>(b[l].bits()) << 24);
-    sim->applyLanes(in.data(), sum.data(), lanes);
-    DeviationProbe &pr = probes[site];
-    for (size_t l = 0; l < lanes; ++l) {
-        Acc24 clean = Acc24::hwAdd(acc[l], b[l]);
-        uint32_t u = static_cast<uint32_t>(sum[l] & 0xffffffull);
-        int32_t raw = (u & 0x800000u)
-            ? static_cast<int32_t>(u | 0xff000000u)
-            : static_cast<int32_t>(u);
-        Acc24 got = Acc24::fromRaw(raw);
-        pr.amplitude.add(std::abs(got.toDouble() - clean.toDouble()));
-        acc[l] = got;
-    }
-}
-
-void
-Accelerator::unitActLanes(Layer layer, int neuron, const Fix16 *x,
-                          Fix16 *out, size_t lanes)
-{
-    UnitSite site{UnitKind::Activation, layer, neuron, 0};
-    if (isBypassed(site)) {
-        for (size_t l = 0; l < lanes; ++l)
-            out[l] = Fix16(); // neuron silenced
-        return;
-    }
-    OperatorSim *sim = simFor(site);
-    if (!sim) {
-        for (size_t l = 0; l < lanes; ++l)
-            out[l] = logisticPwlFix(x[l]);
-        return;
-    }
-    std::array<uint64_t, kMaxLanes> in, y;
-    for (size_t l = 0; l < lanes; ++l)
-        in[l] = static_cast<uint64_t>(x[l].bits());
-    sim->applyLanes(in.data(), y.data(), lanes);
-    DeviationProbe &pr = probes[site];
-    for (size_t l = 0; l < lanes; ++l) {
-        Fix16 clean = logisticPwlFix(x[l]);
-        Fix16 got =
-            Fix16::fromRaw(static_cast<int16_t>(y[l] & 0xffff));
-        pr.amplitude.add(std::abs(got.toDouble() - clean.toDouble()));
-        out[l] = got;
-    }
-}
-
-void
-Accelerator::setWeights(const MlpWeights &w)
+SpatialBackend::setWeights(const MlpWeights &w)
 {
     dtann_assert(w.topology() == logical, "weight topology mismatch");
     // Hidden layer: logical weights into the top-left corner; the
@@ -532,8 +103,8 @@ Accelerator::setWeights(const MlpWeights &w)
 }
 
 void
-Accelerator::forwardLayer(Layer layer, std::span<const Fix16> in,
-                          std::span<Fix16> out)
+SpatialBackend::forwardLayer(Layer layer, std::span<const Fix16> in,
+                             std::span<Fix16> out)
 {
     const Fix16 one = Fix16::fromDouble(1.0);
     int fanin = layer == Layer::Hidden ? cfg.inputs : cfg.hidden;
@@ -559,10 +130,10 @@ Accelerator::forwardLayer(Layer layer, std::span<const Fix16> in,
 }
 
 void
-Accelerator::forwardLayerLanes(Layer layer,
-                               const std::vector<const Fix16 *> &in,
-                               const std::vector<Fix16 *> &out,
-                               size_t lanes)
+SpatialBackend::forwardLayerLanes(Layer layer,
+                                  const std::vector<const Fix16 *> &in,
+                                  const std::vector<Fix16 *> &out,
+                                  size_t lanes)
 {
     dtann_assert(lanes >= 1 && lanes <= kMaxLanes,
                  "lane count out of range");
@@ -611,8 +182,8 @@ Accelerator::forwardLayerLanes(Layer layer,
 }
 
 void
-Accelerator::loadPhysicalHiddenRow(int phys_neuron,
-                                   std::span<const Fix16> weights)
+SpatialBackend::loadPhysicalHiddenRow(int phys_neuron,
+                                      std::span<const Fix16> weights)
 {
     dtann_assert(phys_neuron >= 0 && phys_neuron < cfg.hidden,
                  "physical neuron index out of range");
@@ -628,8 +199,8 @@ Accelerator::loadPhysicalHiddenRow(int phys_neuron,
 }
 
 void
-Accelerator::loadPhysicalOutputRow(int phys_neuron,
-                                   std::span<const Fix16> weights)
+SpatialBackend::loadPhysicalOutputRow(int phys_neuron,
+                                      std::span<const Fix16> weights)
 {
     dtann_assert(phys_neuron >= 0 && phys_neuron < cfg.outputs,
                  "physical neuron index out of range");
@@ -645,26 +216,17 @@ Accelerator::loadPhysicalOutputRow(int phys_neuron,
 }
 
 void
-Accelerator::runHiddenLayerLanes(const std::vector<const Fix16 *> &in,
-                                 const std::vector<Fix16 *> &out,
-                                 size_t lanes)
+SpatialBackend::runHiddenLayerLanes(const std::vector<const Fix16 *> &in,
+                                    const std::vector<Fix16 *> &out,
+                                    size_t lanes)
 {
     dtann_assert(in.size() >= lanes && out.size() >= lanes,
                  "lane pointer arity mismatch");
     forwardLayerLanes(Layer::Hidden, in, out, lanes);
 }
 
-bool
-Accelerator::batchPure() const
-{
-    for (const auto &[site, sim] : faulty)
-        if (!sim->batched())
-            return false;
-    return true;
-}
-
 std::vector<Fix16>
-Accelerator::runHiddenLayer(std::span<const Fix16> physical_input)
+SpatialBackend::runHiddenLayer(std::span<const Fix16> physical_input)
 {
     dtann_assert(static_cast<int>(physical_input.size()) == cfg.inputs,
                  "physical input arity mismatch");
@@ -673,7 +235,7 @@ Accelerator::runHiddenLayer(std::span<const Fix16> physical_input)
 }
 
 std::vector<Fix16>
-Accelerator::forwardFix(std::span<const Fix16> physical_input)
+SpatialBackend::forwardFix(std::span<const Fix16> physical_input)
 {
     dtann_assert(static_cast<int>(physical_input.size()) == cfg.inputs,
                  "physical input arity mismatch");
@@ -684,7 +246,7 @@ Accelerator::forwardFix(std::span<const Fix16> physical_input)
 }
 
 Activations
-Accelerator::forward(std::span<const double> input)
+SpatialBackend::forward(std::span<const double> input)
 {
     dtann_assert(static_cast<int>(input.size()) == logical.inputs,
                  "logical input arity mismatch");
@@ -705,7 +267,7 @@ Accelerator::forward(std::span<const double> input)
 }
 
 std::vector<Activations>
-Accelerator::forwardBatch(std::span<const std::vector<double>> inputs)
+SpatialBackend::forwardBatch(std::span<const std::vector<double>> inputs)
 {
     size_t rows = inputs.size();
     std::vector<std::vector<Fix16>> phys(
@@ -755,15 +317,6 @@ Accelerator::forwardBatch(std::span<const std::vector<double>> inputs)
     if (rows > 0)
         hiddenAct = hid[rows - 1];
     return acts;
-}
-
-SimCounters
-Accelerator::simCounters() const
-{
-    SimCounters c;
-    for (const auto &[site, sim] : faulty)
-        c.merge(sim->counters());
-    return c;
 }
 
 } // namespace dtann

@@ -21,109 +21,39 @@
  * synapses hold weight 0. Defects are sampled over the *physical*
  * structure, so they may land in unused regions — as on real
  * silicon.
+ *
+ * The fault-hosting machinery (shared netlists, injection, bypass,
+ * clamps, probes, BIST scan) lives in HardwareBackend
+ * (core/backend.hh); this file contributes the spatial dataflow:
+ * one dedicated unit per (layer, neuron, synapse) operation.
  */
 
 #ifndef DTANN_CORE_ACCELERATOR_HH
 #define DTANN_CORE_ACCELERATOR_HH
 
-#include <map>
-#include <memory>
-#include <set>
-#include <vector>
-
-#include "ann/mlp.hh"
-#include "circuit/sim_counters.hh"
-#include "common/fixed_point.hh"
-#include "common/stats.hh"
-#include "rtl/builder.hh"
-#include "rtl/operator_sim.hh"
+#include "core/backend.hh"
 
 namespace dtann {
 
-/** Physical dimensions and implementation style of the array. */
-struct AcceleratorConfig
-{
-    int inputs = 90;
-    int hidden = 10;
-    int outputs = 10;
-    FaStyle faStyle = FaStyle::Nand9;
-
-    /** JSON object (embedded in campaign specs and exports). */
-    std::string toJson() const;
-    /** Symmetric counterpart of toJson(); throws JsonError. */
-    static AcceleratorConfig fromJson(const class JsonValue &v);
-
-    bool operator==(const AcceleratorConfig &o) const = default;
-};
-
-/** Unit kinds that can host defects (paper Section VI-C). */
-enum class UnitKind : uint8_t {
-    WeightLatch, ///< 16-bit distributed weight storage
-    Multiplier,  ///< per-synapse 16x16 Q6.10 multiplier
-    AdderStage,  ///< one 24-bit stage of a neuron's adder chain
-    Activation,  ///< per-neuron PWL sigmoid unit
-};
-
-/** Layers of the physical array. */
-enum class Layer : uint8_t { Hidden, Output };
-
-/** Address of one hardware unit instance. */
-struct UnitSite
-{
-    UnitKind kind;
-    Layer layer;
-    int neuron;  ///< neuron index within the layer
-    int index;   ///< synapse index (latch/mult) or stage index
-
-    bool operator<(const UnitSite &o) const;
-    bool operator==(const UnitSite &o) const = default;
-
-    /** Human-readable site description. */
-    std::string describe() const;
-};
-
-/** Observed |faulty - clean| deviations at one faulty unit. */
-struct DeviationProbe
-{
-    RunningStat amplitude; ///< absolute deviation, in value units
-};
-
 /**
- * A per-layer activation clamp window (mitigation hook): a pair of
- * comparators after every activation unit of the layer saturates
- * the datapath value into [lo, hi], filtering the exceptional
- * outputs a defective sigmoid unit can emit (the full ±32 Q6.10
- * range) before they reach the next layer. The clean PWL sigmoid
- * lands in [0, 1], so a profiled window never alters a healthy
- * unit.
+ * The paper's spatially expanded array: every pass-addressed
+ * operation has its own dedicated hardware unit (physicalSite() is
+ * the identity), so a defect corrupts exactly one (layer, neuron,
+ * operand) slot of the computation.
  */
-struct ActivationClamp
-{
-    bool enabled = false;
-    Fix16 lo;
-    Fix16 hi;
-};
-
-/**
- * Functional + defect model of the accelerator array.
- *
- * Implements ForwardModel for the mapped logical task so the
- * companion-core Trainer can retrain through the faulty hardware.
- */
-class Accelerator : public ForwardModel
+class SpatialBackend : public HardwareBackend
 {
   public:
     /**
      * @param config physical array dimensions
      * @param logical task network mapped onto the array (must fit)
      */
-    Accelerator(const AcceleratorConfig &config, MlpTopology logical);
+    SpatialBackend(const AcceleratorConfig &config, MlpTopology logical);
 
-    /** The mapped logical topology. */
-    MlpTopology topology() const override { return logical; }
-
-    /** Physical configuration. */
-    const AcceleratorConfig &config() const { return cfg; }
+    BackendKind backendKind() const override
+    {
+        return BackendKind::Spatial;
+    }
 
     /**
      * Quantize logical weights and store them through the (possibly
@@ -145,20 +75,6 @@ class Accelerator : public ForwardModel
      */
     std::vector<Activations> forwardBatch(
         std::span<const std::vector<double>> inputs) override;
-
-    /** Aggregate simulation work counters over all faulty units. */
-    SimCounters simCounters() const override;
-
-    /**
-     * True when every faulty unit's simulation is a pure function
-     * (lane-batchable: state-free faults on feedback-free
-     * netlists; vacuously true on a clean array). Wrapper models
-     * that hoist weight reloads across input rows (time-mux) may
-     * only do so under this predicate — stateful simulations and
-     * faulty weight latches depend on the exact per-row operation
-     * order. DTANN_NO_BATCH clears it, forcing the per-row paths.
-     */
-    bool batchPure() const;
 
     /** Fixed-point forward on the physical array (padded input). */
     std::vector<Fix16> forwardFix(std::span<const Fix16> physical_input);
@@ -214,121 +130,20 @@ class Accelerator : public ForwardModel
 
     /** @} */
 
-    /**
-     * Inject @p count transistor-level defects into one unit
-     * instance chosen by the campaign (the unit becomes gate-level
-     * simulated).
-     *
-     * @return descriptions of the injected faults
-     */
-    std::vector<InjectionRecord> injectDefects(const UnitSite &site,
-                                               int count, Rng &rng);
-
-    /** Remove all injected defects and probes. */
-    void clearDefects();
-
-    /** Sites that currently host defects. */
-    std::vector<UnitSite> faultySites() const;
-
-    /**
-     * Ground-truth query: does @p site currently host injected
-     * defects? Diagnosis code (src/mitigate) scores its inferred
-     * defect maps against this.
-     */
-    bool isFaulty(const UnitSite &site) const;
-
-    /** @name BIST scan access (src/mitigate diagnosis harness)
-     *
-     * Drive a test vector through one unit instance and observe its
-     * raw response, modelling a scan-path that isolates the unit
-     * from the array datapath. Faulty units respond through their
-     * gate-level simulation (including defect-induced memory), clean
-     * units respond with native fixed-point arithmetic. Probing
-     * updates the unit's deviation probe like any other use.
-     * @{ */
-    Fix16 bistMul(Layer layer, int neuron, int synapse, Fix16 w,
-                  Fix16 x);
-    Acc24 bistAdd(Layer layer, int neuron, int stage, Acc24 a, Acc24 b);
-    Fix16 bistAct(Layer layer, int neuron, Fix16 x);
-    Fix16 bistLatchStore(Layer layer, int neuron, int synapse, Fix16 d);
-    /** @} */
-
-    /** @name Defect bypass (src/mitigate mitigation strategies)
-     *
-     * A bypassed unit is disconnected from the datapath by a small
-     * output mux (fault-aware pruning): a bypassed multiplier or
-     * weight latch contributes a zero product, a bypassed adder
-     * stage passes its accumulator input through unchanged (dropping
-     * that stage's product), and a bypassed activation unit emits a
-     * constant zero (silencing the neuron). The bypass takes
-     * precedence over any injected defect at the unit.
-     * @{ */
-    void bypassUnit(const UnitSite &site);
-    void clearBypasses();
-    bool isBypassed(const UnitSite &site) const;
-    std::vector<UnitSite> bypassedSites() const;
-    /** @} */
-
-    /** @name Activation clamping (src/mitigate ClampActivations)
-     *
-     * The clamp applies on the *datapath* only — after the
-     * activation unit's output, before the value feeds the next
-     * layer or leaves the array — so the BIST scan path still
-     * observes raw (unclamped) unit responses and diagnosis stays
-     * honest. Scalar and lane-batched forwards clamp identically,
-     * preserving bit-identity at every lane width.
-     * @{ */
-    void setActivationClamp(Layer layer, Fix16 lo, Fix16 hi);
-    void clearActivationClamps();
-    const ActivationClamp &activationClamp(Layer layer) const;
-    /** Datapath values saturated by the clamps since the last
-     *  clearActivationClamps(). */
-    uint64_t clampHits() const { return clampHitCount; }
-    /** @} */
-
-    /** Deviation probe of a faulty unit (empty stats when clean). */
-    const DeviationProbe &probe(const UnitSite &site) const;
-
-    /** Reset all deviation probes. */
-    void clearProbes();
-
     /** Number of hardware units of @p kind (for site sampling). */
-    int unitCount(UnitKind kind) const;
+    int unitCount(UnitKind kind) const override;
 
-    /** Shared netlists (also used by the cost model). @{ */
-    const Netlist &multiplierNetlist() const { return *multNl; }
-    const Netlist &adderNetlist() const { return *addNl; }
-    const Netlist &latchNetlist() const { return *latchNl; }
-    const Netlist &activationNetlist() const { return *actNl; }
-    /** @} */
+    /** Eligible units in a fixed (layer, neuron, unit) order. */
+    std::vector<UnitSite>
+    enumerateSites(const SitePool &pool) const override;
 
   private:
-    AcceleratorConfig cfg;
-    MlpTopology logical;
-
-    /** Shared unit netlists. */
-    std::shared_ptr<const Netlist> multNl;
-    std::shared_ptr<const Netlist> addNl;
-    std::shared_ptr<const Netlist> latchNl;
-    std::shared_ptr<const Netlist> actNl;
-
     /** Stored physical weights (post-latch values). */
     std::vector<Fix16> hidW; // [hidden][inputs+1]
     std::vector<Fix16> outW; // [outputs][hidden+1]
     /** Values presented on the latch D inputs (pre-latch). */
     std::vector<Fix16> hidWIn;
     std::vector<Fix16> outWIn;
-
-    /** Gate-level sims of faulty units. */
-    std::map<UnitSite, std::unique_ptr<OperatorSim>> faulty;
-    /** Units disconnected by the mitigation bypass muxes. */
-    std::set<UnitSite> bypassed;
-    /** Per-layer activation clamp windows (Hidden, Output). */
-    ActivationClamp clamps[2];
-    uint64_t clampHitCount = 0;
-    /** Deviation probes per faulty unit. */
-    std::map<UnitSite, DeviationProbe> probes;
-    DeviationProbe cleanProbe; // returned for clean sites
 
     std::vector<Fix16> hiddenAct;
     std::vector<Acc24> hidSums;
@@ -337,28 +152,6 @@ class Accelerator : public ForwardModel
 
     Fix16 &hidWAt(int j, int i);
     Fix16 &outWAt(int k, int j);
-
-    /** Faulty-unit lookup; null when the site is clean. */
-    OperatorSim *simFor(const UnitSite &site);
-
-    /** Apply @p layer's clamp window to one datapath value. */
-    Fix16 clampValue(Layer layer, Fix16 x);
-
-    /** Per-unit operations (route through sim when faulty). @{ */
-    Fix16 unitMul(Layer layer, int neuron, int synapse, Fix16 w, Fix16 x);
-    Acc24 unitAdd(Layer layer, int neuron, int stage, Acc24 a, Acc24 b);
-    Fix16 unitAct(Layer layer, int neuron, Fix16 x);
-    Fix16 unitLatchStore(Layer layer, int neuron, int synapse, Fix16 d);
-    /** @} */
-
-    /** Lane-wise unit operations (<= kMaxLanes rows at a time). @{ */
-    void unitMulLanes(Layer layer, int neuron, int synapse, Fix16 w,
-                      const Fix16 *x, Fix16 *out, size_t lanes);
-    void unitAddLanes(Layer layer, int neuron, int stage, Acc24 *acc,
-                      const Acc24 *b, size_t lanes);
-    void unitActLanes(Layer layer, int neuron, const Fix16 *x,
-                      Fix16 *out, size_t lanes);
-    /** @} */
 
     /** Run one physical layer. */
     void forwardLayer(Layer layer, std::span<const Fix16> in,
@@ -371,6 +164,13 @@ class Accelerator : public ForwardModel
                            const std::vector<Fix16 *> &out,
                            size_t lanes);
 };
+
+/**
+ * The paper's array is the default hardware target; most of the
+ * codebase (wrappers, trainers, benches) predates the backend
+ * split and keeps addressing it by this name.
+ */
+using Accelerator = SpatialBackend;
 
 } // namespace dtann
 

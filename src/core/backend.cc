@@ -1,0 +1,626 @@
+#include "core/backend.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <tuple>
+
+#include <array>
+
+#include "ann/sigmoid.hh"
+#include "circuit/lane_plane.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "core/accelerator.hh"
+#include "core/systolic.hh"
+#include "rtl/adder.hh"
+#include "rtl/clean_model.hh"
+#include "rtl/latch.hh"
+#include "rtl/multiplier.hh"
+#include "rtl/sigmoid_unit.hh"
+
+namespace dtann {
+
+std::string
+AcceleratorConfig::toJson() const
+{
+    std::string out = "{\"inputs\":" + std::to_string(inputs);
+    out += ",\"hidden\":" + std::to_string(hidden);
+    out += ",\"outputs\":" + std::to_string(outputs);
+    out += ",\"fa_style\":" + jsonString(faStyleName(faStyle));
+    out += "}";
+    return out;
+}
+
+AcceleratorConfig
+AcceleratorConfig::fromJson(const JsonValue &v)
+{
+    if (!v.isObject())
+        throw JsonError("accelerator config must be a JSON object");
+    AcceleratorConfig c;
+    c.inputs = jsonGetInt(v, "inputs", c.inputs, 1, 1 << 20);
+    c.hidden = jsonGetInt(v, "hidden", c.hidden, 1, 1 << 20);
+    c.outputs = jsonGetInt(v, "outputs", c.outputs, 1, 1 << 20);
+    std::string style =
+        jsonGetString(v, "fa_style", faStyleName(c.faStyle));
+    if (!faStyleFromName(style, c.faStyle))
+        throw JsonError("unknown fa_style '" + style +
+                        "' (expected nand9 or mirror)");
+    return c;
+}
+
+bool
+UnitSite::operator<(const UnitSite &o) const
+{
+    return std::tie(kind, layer, neuron, index) <
+        std::tie(o.kind, o.layer, o.neuron, o.index);
+}
+
+std::string
+UnitSite::describe() const
+{
+    const char *k = "?";
+    switch (kind) {
+      case UnitKind::WeightLatch: k = "latch"; break;
+      case UnitKind::Multiplier: k = "mult"; break;
+      case UnitKind::AdderStage: k = "adder"; break;
+      case UnitKind::Activation: k = "act"; break;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s[%s n%d i%d]", k,
+                  layer == Layer::Hidden ? "hid" : "out", neuron, index);
+    return buf;
+}
+
+SitePool
+SitePool::inputAndHidden()
+{
+    SitePool p;
+    p.hiddenLayer = true;
+    p.outputLayer = false;
+    return p;
+}
+
+SitePool
+SitePool::outputCritical()
+{
+    SitePool p;
+    p.hiddenLayer = false;
+    p.outputLayer = true;
+    p.latches = false;
+    p.multipliers = false;
+    p.adders = true;
+    p.activations = true;
+    return p;
+}
+
+SitePool
+SitePool::all()
+{
+    SitePool p;
+    p.hiddenLayer = p.outputLayer = true;
+    return p;
+}
+
+std::string
+SitePool::toJson() const
+{
+    auto flag = [](bool b) { return b ? "true" : "false"; };
+    std::string out = "{\"hidden_layer\":";
+    out += flag(hiddenLayer);
+    out += ",\"output_layer\":";
+    out += flag(outputLayer);
+    out += ",\"latches\":";
+    out += flag(latches);
+    out += ",\"multipliers\":";
+    out += flag(multipliers);
+    out += ",\"adders\":";
+    out += flag(adders);
+    out += ",\"activations\":";
+    out += flag(activations);
+    out += "}";
+    return out;
+}
+
+SitePool
+SitePool::fromJson(const JsonValue &v)
+{
+    if (v.kind() == JsonValue::Kind::String) {
+        const std::string &name = v.asString();
+        if (name == "all")
+            return all();
+        if (name == "input_hidden")
+            return inputAndHidden();
+        if (name == "output_critical")
+            return outputCritical();
+        throw JsonError("unknown site pool '" + name +
+                        "' (expected all, input_hidden or "
+                        "output_critical)");
+    }
+    if (!v.isObject())
+        throw JsonError("site pool must be a name string or an "
+                        "object of eligibility flags");
+    SitePool p;
+    p.hiddenLayer = jsonGetBool(v, "hidden_layer", p.hiddenLayer);
+    p.outputLayer = jsonGetBool(v, "output_layer", p.outputLayer);
+    p.latches = jsonGetBool(v, "latches", p.latches);
+    p.multipliers = jsonGetBool(v, "multipliers", p.multipliers);
+    p.adders = jsonGetBool(v, "adders", p.adders);
+    p.activations = jsonGetBool(v, "activations", p.activations);
+    return p;
+}
+
+const char *
+backendName(BackendKind kind)
+{
+    return kind == BackendKind::Spatial ? "spatial" : "systolic";
+}
+
+bool
+backendFromName(const std::string &name, BackendKind &out)
+{
+    if (name == "spatial") {
+        out = BackendKind::Spatial;
+        return true;
+    }
+    if (name == "systolic") {
+        out = BackendKind::Systolic;
+        return true;
+    }
+    return false;
+}
+
+std::string
+backendNameList()
+{
+    return "spatial, systolic";
+}
+
+HardwareBackend::HardwareBackend(const AcceleratorConfig &config,
+                                 MlpTopology logical_topo)
+    : cfg(config), logical(logical_topo),
+      multNl(std::make_shared<Netlist>(
+          buildMultiplierSigned(16, config.faStyle))),
+      addNl(std::make_shared<Netlist>(
+          buildRippleAdder(24, config.faStyle, false))),
+      latchNl(std::make_shared<Netlist>(buildLatchRegister(16))),
+      actNl(std::make_shared<Netlist>(
+          buildSigmoidUnit(logisticPwlTable(), config.faStyle)))
+{
+    dtann_assert(logical.inputs <= cfg.inputs &&
+                     logical.hidden <= cfg.hidden &&
+                     logical.outputs <= cfg.outputs,
+                 "logical network %d-%d-%d does not fit the %d-%d-%d "
+                 "array (use the time-multiplexed wrapper)",
+                 logical.inputs, logical.hidden, logical.outputs,
+                 cfg.inputs, cfg.hidden, cfg.outputs);
+}
+
+HardwareBackend::~HardwareBackend() = default;
+
+const Netlist &
+HardwareBackend::unitNetlist(UnitKind kind) const
+{
+    switch (kind) {
+      case UnitKind::WeightLatch:
+        return *latchNl;
+      case UnitKind::Multiplier:
+        return *multNl;
+      case UnitKind::AdderStage:
+        return *addNl;
+      case UnitKind::Activation:
+        return *actNl;
+      default:
+        panic("bad unit kind");
+    }
+}
+
+OperatorSim *
+HardwareBackend::simFor(const UnitSite &site)
+{
+    auto it = faulty.find(site);
+    return it == faulty.end() ? nullptr : it->second.get();
+}
+
+std::vector<InjectionRecord>
+HardwareBackend::injectDefects(const UnitSite &pass_site, int count,
+                               Rng &rng)
+{
+    // Key defects by the physical unit: a pass address given for a
+    // shared (pass-multiplexed) unit lands on the same simulation
+    // the forward paths look up.
+    const UnitSite site = physicalSite(pass_site);
+    std::shared_ptr<const Netlist> nl;
+    CleanFn clean;
+    switch (site.kind) {
+      case UnitKind::WeightLatch:
+        // Feedback netlist: no pruned/batched path to feed.
+        nl = latchNl;
+        break;
+      case UnitKind::Multiplier:
+        nl = multNl;
+        clean = cleanMultiplierSigned(16);
+        break;
+      case UnitKind::AdderStage:
+        nl = addNl;
+        clean = cleanAdder(24, false);
+        break;
+      case UnitKind::Activation:
+        nl = actNl;
+        clean = cleanSigmoidUnit(logisticPwlTable());
+        break;
+    }
+    Injection inj = injectTransistorDefects(*nl, count, rng);
+    std::vector<InjectionRecord> records = inj.records;
+
+    // Merge with any defects already present at this site.
+    auto it = faulty.find(site);
+    if (it != faulty.end()) {
+        FaultSet merged = it->second->evaluator().faults();
+        merged.merge(inj.faults);
+        Injection combined;
+        combined.faults = std::move(merged);
+        combined.records = it->second->faultRecords();
+        combined.records.insert(combined.records.end(), records.begin(),
+                                records.end());
+        it->second = std::make_unique<OperatorSim>(
+            nl, std::move(combined), std::move(clean));
+    } else {
+        Injection fresh;
+        fresh.faults = std::move(inj.faults);
+        fresh.records = records;
+        faulty[site] = std::make_unique<OperatorSim>(
+            nl, std::move(fresh), std::move(clean));
+    }
+    probes[site]; // ensure a probe exists
+    return records;
+}
+
+void
+HardwareBackend::clearDefects()
+{
+    faulty.clear();
+    probes.clear();
+}
+
+std::vector<UnitSite>
+HardwareBackend::faultySites() const
+{
+    std::vector<UnitSite> sites;
+    for (const auto &[site, sim] : faulty)
+        sites.push_back(site);
+    return sites;
+}
+
+bool
+HardwareBackend::isFaulty(const UnitSite &site) const
+{
+    return faulty.find(physicalSite(site)) != faulty.end();
+}
+
+Fix16
+HardwareBackend::bistMul(Layer layer, int neuron, int synapse, Fix16 w,
+                         Fix16 x)
+{
+    return unitMul(layer, neuron, synapse, w, x);
+}
+
+Acc24
+HardwareBackend::bistAdd(Layer layer, int neuron, int stage, Acc24 a,
+                         Acc24 b)
+{
+    return unitAdd(layer, neuron, stage, a, b);
+}
+
+Fix16
+HardwareBackend::bistAct(Layer layer, int neuron, Fix16 x)
+{
+    return unitAct(layer, neuron, x);
+}
+
+Fix16
+HardwareBackend::bistLatchStore(Layer layer, int neuron, int synapse,
+                                Fix16 d)
+{
+    return unitLatchStore(layer, neuron, synapse, d);
+}
+
+void
+HardwareBackend::bypassUnit(const UnitSite &site)
+{
+    bypassed.insert(physicalSite(site));
+}
+
+void
+HardwareBackend::clearBypasses()
+{
+    bypassed.clear();
+}
+
+bool
+HardwareBackend::isBypassed(const UnitSite &site) const
+{
+    return bypassed.find(physicalSite(site)) != bypassed.end();
+}
+
+std::vector<UnitSite>
+HardwareBackend::bypassedSites() const
+{
+    return {bypassed.begin(), bypassed.end()};
+}
+
+void
+HardwareBackend::setActivationClamp(Layer layer, Fix16 lo, Fix16 hi)
+{
+    dtann_assert(static_cast<int16_t>(lo.bits()) <=
+                     static_cast<int16_t>(hi.bits()),
+                 "clamp window is empty");
+    ActivationClamp &c = clamps[static_cast<size_t>(layer)];
+    c.enabled = true;
+    c.lo = lo;
+    c.hi = hi;
+}
+
+void
+HardwareBackend::clearActivationClamps()
+{
+    clamps[0] = ActivationClamp();
+    clamps[1] = ActivationClamp();
+    clampHitCount = 0;
+}
+
+const ActivationClamp &
+HardwareBackend::activationClamp(Layer layer) const
+{
+    return clamps[static_cast<size_t>(layer)];
+}
+
+Fix16
+HardwareBackend::clampValue(Layer layer, Fix16 x)
+{
+    const ActivationClamp &c = clamps[static_cast<size_t>(layer)];
+    if (!c.enabled)
+        return x;
+    int16_t v = static_cast<int16_t>(x.bits());
+    if (v < static_cast<int16_t>(c.lo.bits())) {
+        ++clampHitCount;
+        return c.lo;
+    }
+    if (v > static_cast<int16_t>(c.hi.bits())) {
+        ++clampHitCount;
+        return c.hi;
+    }
+    return x;
+}
+
+const DeviationProbe &
+HardwareBackend::probe(const UnitSite &site) const
+{
+    auto it = probes.find(site);
+    return it == probes.end() ? cleanProbe : it->second;
+}
+
+void
+HardwareBackend::clearProbes()
+{
+    for (auto &[site, p] : probes)
+        p = DeviationProbe();
+}
+
+Fix16
+HardwareBackend::unitLatchStore(Layer layer, int neuron, int synapse,
+                                Fix16 d)
+{
+    UnitSite pass{UnitKind::WeightLatch, layer, neuron, synapse};
+    UnitSite site = physicalSite(pass);
+    if (isBypassed(site))
+        return Fix16(); // latch disconnected: weight reads as zero
+    OperatorSim *sim = simFor(site);
+    if (!sim)
+        return d;
+    // Open the latch (EN=1) with D applied, then close it.
+    uint64_t bits = static_cast<uint64_t>(d.bits());
+    sim->apply(bits | (1ull << 16));
+    uint64_t q = sim->apply(bits); // EN=0
+    Fix16 stored = Fix16::fromRaw(static_cast<int16_t>(q & 0xffff));
+    probes[pass].amplitude.add(
+        std::abs(stored.toDouble() - d.toDouble()));
+    return stored;
+}
+
+Fix16
+HardwareBackend::unitMul(Layer layer, int neuron, int synapse, Fix16 w,
+                         Fix16 x)
+{
+    UnitSite pass{UnitKind::Multiplier, layer, neuron, synapse};
+    UnitSite site = physicalSite(pass);
+    if (isBypassed(site))
+        return Fix16(); // product gated to zero
+    OperatorSim *sim = simFor(site);
+    Fix16 clean = Fix16::hwMul(w, x);
+    if (!sim)
+        return clean;
+    uint64_t in = static_cast<uint64_t>(w.bits()) |
+        (static_cast<uint64_t>(x.bits()) << 16);
+    uint64_t product = sim->apply(in);
+    Fix16 got = Fix16::fromRaw(static_cast<int16_t>(
+        (product >> Fix16::fracBits) & 0xffff));
+    probes[pass].amplitude.add(
+        std::abs(got.toDouble() - clean.toDouble()));
+    return got;
+}
+
+Acc24
+HardwareBackend::unitAdd(Layer layer, int neuron, int stage, Acc24 a,
+                         Acc24 b)
+{
+    UnitSite pass{UnitKind::AdderStage, layer, neuron, stage};
+    UnitSite site = physicalSite(pass);
+    if (isBypassed(site))
+        return a; // stage skipped: accumulator passes through
+    OperatorSim *sim = simFor(site);
+    Acc24 clean = Acc24::hwAdd(a, b);
+    if (!sim)
+        return clean;
+    uint64_t in = static_cast<uint64_t>(a.bits()) |
+        (static_cast<uint64_t>(b.bits()) << 24);
+    uint64_t sum = sim->apply(in) & 0xffffffull;
+    uint32_t u = static_cast<uint32_t>(sum);
+    int32_t raw = (u & 0x800000u)
+        ? static_cast<int32_t>(u | 0xff000000u)
+        : static_cast<int32_t>(u);
+    Acc24 got = Acc24::fromRaw(raw);
+    probes[pass].amplitude.add(
+        std::abs(got.toDouble() - clean.toDouble()));
+    return got;
+}
+
+Fix16
+HardwareBackend::unitAct(Layer layer, int neuron, Fix16 x)
+{
+    UnitSite pass{UnitKind::Activation, layer, neuron, 0};
+    UnitSite site = physicalSite(pass);
+    if (isBypassed(site))
+        return Fix16(); // neuron silenced
+    OperatorSim *sim = simFor(site);
+    Fix16 clean = logisticPwlFix(x);
+    if (!sim)
+        return clean;
+    uint64_t y = sim->apply(static_cast<uint64_t>(x.bits()));
+    Fix16 got = Fix16::fromRaw(static_cast<int16_t>(y & 0xffff));
+    probes[pass].amplitude.add(
+        std::abs(got.toDouble() - clean.toDouble()));
+    return got;
+}
+
+void
+HardwareBackend::unitMulLanes(Layer layer, int neuron, int synapse,
+                              Fix16 w, const Fix16 *x, Fix16 *out,
+                              size_t lanes)
+{
+    UnitSite pass{UnitKind::Multiplier, layer, neuron, synapse};
+    UnitSite site = physicalSite(pass);
+    if (isBypassed(site)) {
+        for (size_t l = 0; l < lanes; ++l)
+            out[l] = Fix16(); // product gated to zero
+        return;
+    }
+    OperatorSim *sim = simFor(site);
+    if (!sim) {
+        for (size_t l = 0; l < lanes; ++l)
+            out[l] = Fix16::hwMul(w, x[l]);
+        return;
+    }
+    std::array<uint64_t, kMaxLanes> in, product;
+    for (size_t l = 0; l < lanes; ++l)
+        in[l] = static_cast<uint64_t>(w.bits()) |
+            (static_cast<uint64_t>(x[l].bits()) << 16);
+    sim->applyLanes(in.data(), product.data(), lanes);
+    DeviationProbe &pr = probes[pass];
+    // Probe updates in lane (= row) order: the Welford accumulator
+    // is order-dependent, and bit-identity with the scalar path
+    // requires the same per-site sequence.
+    for (size_t l = 0; l < lanes; ++l) {
+        Fix16 clean = Fix16::hwMul(w, x[l]);
+        Fix16 got = Fix16::fromRaw(static_cast<int16_t>(
+            (product[l] >> Fix16::fracBits) & 0xffff));
+        pr.amplitude.add(std::abs(got.toDouble() - clean.toDouble()));
+        out[l] = got;
+    }
+}
+
+void
+HardwareBackend::unitAddLanes(Layer layer, int neuron, int stage,
+                              Acc24 *acc, const Acc24 *b, size_t lanes)
+{
+    UnitSite pass{UnitKind::AdderStage, layer, neuron, stage};
+    UnitSite site = physicalSite(pass);
+    if (isBypassed(site))
+        return; // stage skipped: accumulator passes through
+    OperatorSim *sim = simFor(site);
+    if (!sim) {
+        for (size_t l = 0; l < lanes; ++l)
+            acc[l] = Acc24::hwAdd(acc[l], b[l]);
+        return;
+    }
+    std::array<uint64_t, kMaxLanes> in, sum;
+    for (size_t l = 0; l < lanes; ++l)
+        in[l] = static_cast<uint64_t>(acc[l].bits()) |
+            (static_cast<uint64_t>(b[l].bits()) << 24);
+    sim->applyLanes(in.data(), sum.data(), lanes);
+    DeviationProbe &pr = probes[pass];
+    for (size_t l = 0; l < lanes; ++l) {
+        Acc24 clean = Acc24::hwAdd(acc[l], b[l]);
+        uint32_t u = static_cast<uint32_t>(sum[l] & 0xffffffull);
+        int32_t raw = (u & 0x800000u)
+            ? static_cast<int32_t>(u | 0xff000000u)
+            : static_cast<int32_t>(u);
+        Acc24 got = Acc24::fromRaw(raw);
+        pr.amplitude.add(std::abs(got.toDouble() - clean.toDouble()));
+        acc[l] = got;
+    }
+}
+
+void
+HardwareBackend::unitActLanes(Layer layer, int neuron, const Fix16 *x,
+                              Fix16 *out, size_t lanes)
+{
+    UnitSite pass{UnitKind::Activation, layer, neuron, 0};
+    UnitSite site = physicalSite(pass);
+    if (isBypassed(site)) {
+        for (size_t l = 0; l < lanes; ++l)
+            out[l] = Fix16(); // neuron silenced
+        return;
+    }
+    OperatorSim *sim = simFor(site);
+    if (!sim) {
+        for (size_t l = 0; l < lanes; ++l)
+            out[l] = logisticPwlFix(x[l]);
+        return;
+    }
+    std::array<uint64_t, kMaxLanes> in, y;
+    for (size_t l = 0; l < lanes; ++l)
+        in[l] = static_cast<uint64_t>(x[l].bits());
+    sim->applyLanes(in.data(), y.data(), lanes);
+    DeviationProbe &pr = probes[pass];
+    for (size_t l = 0; l < lanes; ++l) {
+        Fix16 clean = logisticPwlFix(x[l]);
+        Fix16 got =
+            Fix16::fromRaw(static_cast<int16_t>(y[l] & 0xffff));
+        pr.amplitude.add(std::abs(got.toDouble() - clean.toDouble()));
+        out[l] = got;
+    }
+}
+
+bool
+HardwareBackend::batchPure() const
+{
+    for (const auto &[site, sim] : faulty)
+        if (!sim->batched())
+            return false;
+    return true;
+}
+
+SimCounters
+HardwareBackend::simCounters() const
+{
+    SimCounters c;
+    for (const auto &[site, sim] : faulty)
+        c.merge(sim->counters());
+    return c;
+}
+
+std::unique_ptr<HardwareBackend>
+makeBackend(BackendKind kind, const AcceleratorConfig &config,
+            MlpTopology logical)
+{
+    switch (kind) {
+      case BackendKind::Spatial:
+        return std::make_unique<SpatialBackend>(config, logical);
+      case BackendKind::Systolic:
+        return std::make_unique<SystolicBackend>(config, logical);
+      default:
+        panic("bad backend kind");
+    }
+}
+
+} // namespace dtann

@@ -324,12 +324,12 @@ prepareTask(const CampaignConfig &config, const UciTaskSpec &spec,
     t.hyper = hardwareHyper(spec, config.array, config.epochScale);
     t.logical = {spec.attributes, t.hyper.hidden, spec.classes};
 
-    // Baseline: train the clean accelerator once; its weights
+    // Baseline: train the clean backend once; its weights
     // warm-start every retraining cell of this task.
-    Accelerator accel(config.array, t.logical);
+    auto accel = makeBackend(config.backend, config.array, t.logical);
     Rng train_rng =
         Rng::substream(config.seed, {kStreamTrain, task_index});
-    t.baseline = Trainer(t.hyper).train(accel, t.ds, train_rng);
+    t.baseline = Trainer(t.hyper).train(*accel, t.ds, train_rng);
     return t;
 }
 
@@ -345,7 +345,8 @@ taskContextKey(const CampaignConfig &config, const UciTaskSpec &spec,
         "/seed=" + std::to_string(config.seed) +
         ";rows=" + std::to_string(config.rows) +
         ";epoch_scale=" + jsonNumber(config.epochScale) +
-        ";array=" + config.array.toJson();
+        ";array=" + config.array.toJson() +
+        ";backend=" + backendName(config.backend);
 }
 
 std::vector<std::shared_ptr<const TaskContext>>
@@ -423,9 +424,10 @@ runFig10(const Fig10Config &config)
             config.seed, {kStreamCell, c.task, c.variant,
                           static_cast<uint64_t>(c.rep)});
 
-        Accelerator accel(config.array, t.logical);
+        auto accel = makeBackend(config.backend, config.array,
+                                 t.logical);
         if (defects > 0) {
-            DefectInjector injector(accel, SitePool::inputAndHidden(),
+            DefectInjector injector(*accel, SitePool::inputAndHidden(),
                                     config.weighting);
             injector.inject(defects, rng);
         }
@@ -434,17 +436,17 @@ runFig10(const Fig10Config &config)
         if (config.retrain) {
             Trainer retrainer(
                 retrainHyper(t.hyper, config.retrainScale));
-            acc = crossValidate(accel, t.ds, config.folds, retrainer,
+            acc = crossValidate(*accel, t.ds, config.folds, retrainer,
                                 rng, &t.baseline)
                       .meanAccuracy;
         } else {
             // Ablation: no retraining, test the baseline weights
             // through the faulty hardware.
-            accel.setWeights(t.baseline);
-            acc = evalAccuracy(accel, t.ds);
+            accel->setWeights(t.baseline);
+            acc = evalAccuracy(*accel, t.ds);
         }
         accuracy[i] = acc;
-        cellSim[i] = accel.simCounters();
+        cellSim[i] = accel->simCounters();
         if (config.journal)
             config.journal->store(
                 key, "{\"accuracy\":" + jsonNumber(acc) +
@@ -517,11 +519,12 @@ runFig11(const Fig11Config &config)
         Rng rng = Rng::substream(config.seed,
                                  {kStreamCell, task, 0, rep});
 
-        Accelerator accel(config.array, t.logical);
-        DefectInjector injector(accel, SitePool::outputCritical(),
+        auto accel = makeBackend(config.backend, config.array,
+                                 t.logical);
+        DefectInjector injector(*accel, SitePool::outputCritical(),
                                 config.weighting);
         auto records = injector.inject(1, rng);
-        UnitSite site = accel.faultySites().front();
+        UnitSite site = accel->faultySites().front();
 
         // Retrain with the faulty output stage, then measure
         // accuracy and the error amplitude at the faulty unit
@@ -533,10 +536,10 @@ runFig11(const Fig11Config &config)
         for (size_t f = 0; f < folds.size(); ++f) {
             Dataset train_set = complementSubset(t.ds, folds, f);
             Dataset test_set = subset(t.ds, folds[f]);
-            retrainer.train(accel, train_set, rng, &t.baseline);
-            accel.clearProbes();
-            acc_stat.add(evalAccuracy(accel, test_set));
-            const DeviationProbe &p = accel.probe(site);
+            retrainer.train(*accel, train_set, rng, &t.baseline);
+            accel->clearProbes();
+            acc_stat.add(evalAccuracy(*accel, test_set));
+            const DeviationProbe &p = accel->probe(site);
             if (p.amplitude.count() > 0)
                 amp_stat.add(p.amplitude.mean());
         }
@@ -546,7 +549,7 @@ runFig11(const Fig11Config &config)
         sample.amplitude = amp_stat.mean();
         sample.site = records.empty() ? site.describe()
                                       : records.front().what;
-        cellSim[i] = accel.simCounters();
+        cellSim[i] = accel->simCounters();
         if (config.journal)
             config.journal->store(
                 key, "{\"amplitude\":" + jsonNumber(sample.amplitude) +

@@ -65,6 +65,7 @@ CampaignConfig::jsonCampaignFields() const
     out += ",\"retrain_scale\":" + jsonNumber(retrainScale);
     out += ",\"array\":" + array.toJson();
     out += ",\"weighting\":" + jsonString(siteWeightingName(weighting));
+    out += ",\"backend\":" + jsonString(backendName(backend));
     return out;
 }
 
@@ -85,6 +86,10 @@ CampaignConfig::readCampaignFields(const JsonValue &v)
     if (!siteWeightingFromName(w, weighting))
         throw JsonError("unknown weighting '" + w +
                         "' (expected uniform or transistor)");
+    std::string b = jsonGetString(v, "backend", backendName(backend));
+    if (!backendFromName(b, backend))
+        throw JsonError("unknown backend '" + b + "' (expected one "
+                        "of: " + backendNameList() + ")");
 }
 
 CampaignEngine::CampaignEngine(const CampaignRunConfig &config)

@@ -209,6 +209,8 @@ struct CampaignConfig : CampaignRunConfig
      *  uniformly ("randomly pick one of the logic operators or
      *  latches"). */
     SiteWeighting weighting = SiteWeighting::Uniform;
+    /** Hardware target the campaign cells instantiate. */
+    BackendKind backend = BackendKind::Spatial;
 
     /** Shared-field JSON fragment (run fields + campaign fields). */
     std::string jsonCampaignFields() const;

@@ -2,88 +2,9 @@
 
 #include <algorithm>
 
-#include "common/json.hh"
 #include "common/logging.hh"
 
 namespace dtann {
-
-SitePool
-SitePool::inputAndHidden()
-{
-    SitePool p;
-    p.hiddenLayer = true;
-    p.outputLayer = false;
-    return p;
-}
-
-SitePool
-SitePool::outputCritical()
-{
-    SitePool p;
-    p.hiddenLayer = false;
-    p.outputLayer = true;
-    p.latches = false;
-    p.multipliers = false;
-    p.adders = true;
-    p.activations = true;
-    return p;
-}
-
-SitePool
-SitePool::all()
-{
-    SitePool p;
-    p.hiddenLayer = p.outputLayer = true;
-    return p;
-}
-
-std::string
-SitePool::toJson() const
-{
-    auto flag = [](bool b) { return b ? "true" : "false"; };
-    std::string out = "{\"hidden_layer\":";
-    out += flag(hiddenLayer);
-    out += ",\"output_layer\":";
-    out += flag(outputLayer);
-    out += ",\"latches\":";
-    out += flag(latches);
-    out += ",\"multipliers\":";
-    out += flag(multipliers);
-    out += ",\"adders\":";
-    out += flag(adders);
-    out += ",\"activations\":";
-    out += flag(activations);
-    out += "}";
-    return out;
-}
-
-SitePool
-SitePool::fromJson(const JsonValue &v)
-{
-    if (v.kind() == JsonValue::Kind::String) {
-        const std::string &name = v.asString();
-        if (name == "all")
-            return all();
-        if (name == "input_hidden")
-            return inputAndHidden();
-        if (name == "output_critical")
-            return outputCritical();
-        throw JsonError("unknown site pool '" + name +
-                        "' (expected all, input_hidden or "
-                        "output_critical)");
-    }
-    if (!v.isObject())
-        throw JsonError("site pool must be a name string or an "
-                        "object of eligibility flags");
-    SitePool p;
-    p.hiddenLayer = jsonGetBool(v, "hidden_layer", p.hiddenLayer);
-    p.outputLayer = jsonGetBool(v, "output_layer", p.outputLayer);
-    p.latches = jsonGetBool(v, "latches", p.latches);
-    p.multipliers = jsonGetBool(v, "multipliers", p.multipliers);
-    p.adders = jsonGetBool(v, "adders", p.adders);
-    p.activations = jsonGetBool(v, "activations", p.activations);
-    return p;
-}
 
 const char *
 siteWeightingName(SiteWeighting w)
@@ -135,9 +56,9 @@ enumerateSites(const AcceleratorConfig &cfg, const SitePool &pool)
     return sites;
 }
 
-DefectInjector::DefectInjector(Accelerator &a, const SitePool &pool,
+DefectInjector::DefectInjector(HardwareBackend &a, const SitePool &pool,
                                SiteWeighting weighting)
-    : accel(a), sites(enumerateSites(a.config(), pool))
+    : accel(a), sites(a.enumerateSites(pool))
 {
     dtann_assert(!sites.empty(), "empty site pool");
 
@@ -145,26 +66,9 @@ DefectInjector::DefectInjector(Accelerator &a, const SitePool &pool,
     double total = 0.0;
     for (const UnitSite &s : sites) {
         double w = 1.0;
-        if (weighting == SiteWeighting::Transistor) {
-            switch (s.kind) {
-              case UnitKind::WeightLatch:
-                w = static_cast<double>(
-                    accel.latchNetlist().transistorCount());
-                break;
-              case UnitKind::Multiplier:
-                w = static_cast<double>(
-                    accel.multiplierNetlist().transistorCount());
-                break;
-              case UnitKind::AdderStage:
-                w = static_cast<double>(
-                    accel.adderNetlist().transistorCount());
-                break;
-              case UnitKind::Activation:
-                w = static_cast<double>(
-                    accel.activationNetlist().transistorCount());
-                break;
-            }
-        }
+        if (weighting == SiteWeighting::Transistor)
+            w = static_cast<double>(
+                accel.unitNetlist(s.kind).transistorCount());
         total += w;
         cumulativeWeight.push_back(total);
     }

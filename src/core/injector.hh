@@ -7,45 +7,18 @@
  * within the target operator or latch." A site pool selects which
  * layers/unit kinds are eligible (Fig 10 uses the input+hidden
  * layers; Fig 11 targets the output-layer adders and activation
- * functions). Unit instances can be drawn uniformly or weighted by
- * their transistor count (area-proportional, the physical default).
+ * functions); the backend maps the pool onto its physical unit
+ * population via HardwareBackend::enumerateSites(). Unit instances
+ * can be drawn uniformly or weighted by their transistor count
+ * (area-proportional, the physical default).
  */
 
 #ifndef DTANN_CORE_INJECTOR_HH
 #define DTANN_CORE_INJECTOR_HH
 
-#include "core/accelerator.hh"
+#include "core/backend.hh"
 
 namespace dtann {
-
-/** Which unit instances are eligible for defects. */
-struct SitePool
-{
-    bool hiddenLayer = true;   ///< synapses into + neurons of hidden
-    bool outputLayer = false;
-    bool latches = true;
-    bool multipliers = true;
-    bool adders = true;
-    bool activations = true;
-
-    /** Fig 10 pool: everything in the input and hidden layers. */
-    static SitePool inputAndHidden();
-    /** Fig 11 pool: output-layer adders and activation functions. */
-    static SitePool outputCritical();
-    /** Every unit in the array. */
-    static SitePool all();
-
-    /** JSON object of the six eligibility flags. */
-    std::string toJson() const;
-    /**
-     * Symmetric counterpart of toJson(). Also accepts the named
-     * shorthands "all", "input_hidden" and "output_critical" as a
-     * JSON string. Throws JsonError on anything else.
-     */
-    static SitePool fromJson(const class JsonValue &v);
-
-    bool operator==(const SitePool &o) const = default;
-};
 
 /** How unit instances are drawn. */
 enum class SiteWeighting : uint8_t {
@@ -60,10 +33,10 @@ const char *siteWeightingName(SiteWeighting w);
 bool siteWeightingFromName(const std::string &name, SiteWeighting &out);
 
 /**
- * Enumerate every unit instance of @p cfg that @p pool makes
- * eligible, in a fixed (layer, neuron, unit) order. Shared by the
- * defect injector (sampling) and the BIST diagnosis harness
- * (exhaustive per-unit probing, src/mitigate).
+ * Enumerate every unit instance of a spatial array @p cfg that
+ * @p pool makes eligible, in a fixed (layer, neuron, unit) order.
+ * This is the SpatialBackend site population; backends expose
+ * theirs via HardwareBackend::enumerateSites().
  */
 std::vector<UnitSite> enumerateSites(const AcceleratorConfig &cfg,
                                      const SitePool &pool);
@@ -73,11 +46,11 @@ class DefectInjector
 {
   public:
     /**
-     * @param accel target array (defects are installed into it)
+     * @param accel target backend (defects are installed into it)
      * @param pool eligible sites
      * @param weighting instance-draw weighting
      */
-    DefectInjector(Accelerator &accel, const SitePool &pool,
+    DefectInjector(HardwareBackend &accel, const SitePool &pool,
                    SiteWeighting weighting = SiteWeighting::Transistor);
 
     /** Draw one random eligible site. */
@@ -98,7 +71,7 @@ class DefectInjector
     const std::vector<UnitSite> &eligibleSites() const { return sites; }
 
   private:
-    Accelerator &accel;
+    HardwareBackend &accel;
     std::vector<UnitSite> sites;
     std::vector<double> cumulativeWeight;
 };

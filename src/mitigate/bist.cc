@@ -32,7 +32,8 @@ testAcc24(int v, Rng &rng)
 
 /** Probe one unit with @p vectors test vectors; true = mismatch. */
 bool
-probeUnit(Accelerator &accel, const UnitSite &s, int vectors, Rng &rng)
+probeUnit(HardwareBackend &accel, const UnitSite &s, int vectors,
+          Rng &rng)
 {
     for (int v = 0; v < vectors; ++v) {
         switch (s.kind) {
@@ -74,13 +75,12 @@ probeUnit(Accelerator &accel, const UnitSite &s, int vectors, Rng &rng)
 } // namespace
 
 BistResult
-runBist(Accelerator &accel, const BistConfig &config, Rng &rng)
+runBist(HardwareBackend &accel, const BistConfig &config, Rng &rng)
 {
     dtann_assert(config.vectorsPerUnit >= 1,
                  "BIST needs at least one vector per unit");
     BistResult result;
-    std::vector<UnitSite> sites =
-        enumerateSites(accel.config(), config.pool);
+    std::vector<UnitSite> sites = accel.enumerateSites(config.pool);
     for (const UnitSite &s : sites) {
         ++result.unitsTested;
         result.vectorsApplied +=
@@ -95,7 +95,7 @@ runBist(Accelerator &accel, const BistConfig &config, Rng &rng)
 }
 
 DiagnosisReport
-diagnose(Accelerator &accel, const BistConfig &config, Rng &rng,
+diagnose(HardwareBackend &accel, const BistConfig &config, Rng &rng,
          DefectMap *out)
 {
     BistResult bist = runBist(accel, config, rng);

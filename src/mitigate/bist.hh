@@ -3,7 +3,7 @@
  * BIST-style defect diagnosis.
  *
  * A built-in self-test pass isolates each unit instance of the
- * array through the scan access path (Accelerator::bist*) and
+ * array through the scan access path (HardwareBackend::bist*) and
  * drives a configurable budget of test vectors through it — two
  * deterministic corner vectors followed by random ones — comparing
  * each response against the native fixed-point reference. Any
@@ -48,8 +48,11 @@ struct BistResult
  * Run one BIST pass over @p accel. Probing exercises faulty units'
  * gate-level simulations (their internal state advances) and resets
  * the deviation probes afterwards; installed weights are untouched.
+ * The probed population is the backend's own physical site
+ * enumeration, so a shared systolic PE is tested once, not once per
+ * pass that routes through it.
  */
-BistResult runBist(Accelerator &accel, const BistConfig &config,
+BistResult runBist(HardwareBackend &accel, const BistConfig &config,
                    Rng &rng);
 
 /**
@@ -57,8 +60,9 @@ BistResult runBist(Accelerator &accel, const BistConfig &config,
  * truth in one step. When @p out is non-null the defect map is
  * copied there for use by a mitigation strategy.
  */
-DiagnosisReport diagnose(Accelerator &accel, const BistConfig &config,
-                         Rng &rng, DefectMap *out = nullptr);
+DiagnosisReport diagnose(HardwareBackend &accel,
+                         const BistConfig &config, Rng &rng,
+                         DefectMap *out = nullptr);
 
 } // namespace dtann
 

@@ -67,22 +67,40 @@ constexpr size_t kCmpBitT = 10;
 
 MitigationCost
 mitigationCost(Strategy s, const AcceleratorConfig &array,
-               MlpTopology logical, const BistConfig &bist)
+               MlpTopology logical, const BistConfig &bist,
+               BackendKind backend)
 {
     CostModel model(array);
     MitigationCost c;
 
-    size_t syn = static_cast<size_t>(array.hidden) *
-            static_cast<size_t>(array.inputs + 1) +
-        static_cast<size_t>(array.outputs) *
-            static_cast<size_t>(array.hidden + 1);
-    size_t stages = static_cast<size_t>(array.hidden) *
-            static_cast<size_t>(array.inputs) +
-        static_cast<size_t>(array.outputs) *
-            static_cast<size_t>(array.hidden);
-    size_t acts = static_cast<size_t>(array.hidden) +
-        static_cast<size_t>(array.outputs);
-    int spare_rows = std::max(0, array.outputs - logical.outputs);
+    size_t syn, stages, acts;
+    int spare_rows;
+    if (backend == BackendKind::Systolic) {
+        // The weight-stationary grid instantiates one latch +
+        // multiplier per PE, one adder stage per inter-PE hop, and
+        // one activation per column; both passes share them. No
+        // spare output rows exist to provision.
+        size_t rows = static_cast<size_t>(
+                          std::max(array.inputs, array.hidden)) + 1;
+        size_t cols = static_cast<size_t>(
+            std::max(array.hidden, array.outputs));
+        syn = rows * cols;
+        stages = (rows - 1) * cols;
+        acts = cols;
+        spare_rows = 0;
+    } else {
+        syn = static_cast<size_t>(array.hidden) *
+                static_cast<size_t>(array.inputs + 1) +
+            static_cast<size_t>(array.outputs) *
+                static_cast<size_t>(array.hidden + 1);
+        stages = static_cast<size_t>(array.hidden) *
+                static_cast<size_t>(array.inputs) +
+            static_cast<size_t>(array.outputs) *
+                static_cast<size_t>(array.hidden);
+        acts = static_cast<size_t>(array.hidden) +
+            static_cast<size_t>(array.outputs);
+        spare_rows = std::max(0, array.outputs - logical.outputs);
+    }
 
     // Scan-access isolation muxes on every unit's inputs — the
     // hardware that lets BIST drive a unit apart from the datapath.
@@ -202,8 +220,22 @@ MitigationConfig::fromJson(const JsonValue &v)
                 throw JsonError("unknown strategy '" + e.asString() +
                                 "' (expected one of: " +
                                 strategyNameList() + ")");
+            // An explicitly requested strategy the backend cannot
+            // drive is a spec error, not something to drop quietly.
+            if (!strategySupported(strat, c.backend))
+                throw JsonError(
+                    "strategy '" + std::string(strategyName(strat)) +
+                    "' is not supported on backend '" +
+                    backendName(c.backend) + "'");
             c.strategies.push_back(strat);
         }
+    } else {
+        // The default lineup races everything the backend can
+        // drive; the spare-row strategies silently drop off the
+        // systolic grid (there are no spare rows to steer).
+        std::erase_if(c.strategies, [&](Strategy strat) {
+            return !strategySupported(strat, c.backend);
+        });
     }
     c.bist.vectorsPerUnit = jsonGetInt(v, "bist_vectors_per_unit",
                                        c.bist.vectorsPerUnit, 1,
@@ -284,12 +316,13 @@ runMitigationCampaign(const MitigationConfig &config)
             t.baseline,
             config.folds,
             config.bist,
+            config.backend,
         };
 
         // Identical physical defects for every strategy of this
         // (task, variant, rep): the inject stream has no strategy
         // coordinate.
-        auto inject = [&](Accelerator &accel) {
+        auto inject = [&](HardwareBackend &accel) {
             if (defects <= 0)
                 return;
             Rng inject_rng = Rng::substream(
@@ -363,7 +396,7 @@ runMitigationCampaign(const MitigationConfig &config)
             curve.sim = curveSim[t * n_strat + s];
             curve.cost = mitigationCost(config.strategies[s],
                                         config.array, ctx[t]->logical,
-                                        config.bist);
+                                        config.bist, config.backend);
             // The Pareto y coordinate: mean accuracy over the
             // defective points, weighting each defect count equally
             // (matching how Fig 10 curves are read).

@@ -80,11 +80,19 @@ struct MitigationCost
     std::string toJson() const;
 };
 
-/** Cost @p s on @p array for a task mapped as @p logical. */
+/**
+ * Cost @p s on @p array for a task mapped as @p logical, with unit
+ * populations counted for @p backend (the systolic grid shares its
+ * PEs between both passes and provisions no spare rows). Overhead
+ * ratios are always reported against the paper's spatial base
+ * array, keeping them comparable across backends.
+ */
 MitigationCost mitigationCost(Strategy s,
                               const AcceleratorConfig &array,
                               MlpTopology logical,
-                              const BistConfig &bist);
+                              const BistConfig &bist,
+                              BackendKind backend =
+                                  BackendKind::Spatial);
 
 /** Accuracy-vs-defects curve of one (task, strategy) pair. */
 struct MitigationCurve

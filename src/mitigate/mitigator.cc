@@ -60,10 +60,20 @@ strategyNameList()
     return list;
 }
 
+bool
+strategySupported(Strategy s, BackendKind backend)
+{
+    if (backend == BackendKind::Spatial)
+        return true;
+    return s != Strategy::RemapToSpares &&
+        s != Strategy::ReplicateCritical;
+}
+
 std::vector<PrunedSynapse>
-pruneMaskForBypasses(const Accelerator &accel, MlpTopology logical)
+pruneMaskForBypasses(const HardwareBackend &accel, MlpTopology logical)
 {
     const AcceleratorConfig &cfg = accel.config();
+    bool systolic = accel.backendKind() == BackendKind::Systolic;
     std::set<std::tuple<size_t, int, int>> mask;
 
     // Map a physical synapse index to its logical input index:
@@ -79,13 +89,16 @@ pruneMaskForBypasses(const Accelerator &accel, MlpTopology logical)
         return -1;
     };
 
-    for (const UnitSite &s : accel.bypassedSites()) {
-        size_t stage = s.layer == Layer::Hidden ? 0 : 1;
+    // Prune the synapses that bypassed unit @p s zeroes when it
+    // executes logical stage @p stage. On the spatial array a unit
+    // serves exactly one stage; a systolic grid unit is shared by
+    // both passes and gets one view per pass it participates in.
+    auto applyView = [&](const UnitSite &s, size_t stage) {
         int width = stage == 0 ? logical.hidden : logical.outputs;
         int fanin = stage == 0 ? logical.inputs : logical.hidden;
         int phys_fanin = stage == 0 ? cfg.inputs : cfg.hidden;
         if (s.neuron >= width)
-            continue; // unused physical row
+            return; // unused physical row/column
 
         switch (s.kind) {
           case UnitKind::Multiplier:
@@ -108,14 +121,41 @@ pruneMaskForBypasses(const Accelerator &accel, MlpTopology logical)
             // A silenced hidden neuron feeds constant zero into the
             // output layer: prune every synapse reading it so
             // back-propagation stops steering gradients through the
-            // dead connection. (Output activations are never
-            // bypassed — see BypassFaultyMitigator.)
-            if (s.layer == Layer::Hidden && s.neuron < logical.hidden)
+            // dead connection. (Activations that produce network
+            // outputs are never bypassed — see
+            // BypassFaultyMitigator.)
+            if (stage == 0 && s.neuron < logical.hidden)
                 for (int k = 0; k < logical.outputs; ++k)
                     mask.insert({1, k, s.neuron});
             break;
           }
         }
+    };
+
+    for (const UnitSite &s : accel.bypassedSites()) {
+        if (!systolic) {
+            applyView(s, s.layer == Layer::Hidden ? 0 : 1);
+            continue;
+        }
+        // Hidden-canonical grid site: the unit participates in a
+        // pass when its row position lies inside that pass's
+        // physical fan-in (see SystolicBackend's mapping).
+        auto inPass = [&](size_t stage) {
+            int phys_fanin = stage == 0 ? cfg.inputs : cfg.hidden;
+            switch (s.kind) {
+              case UnitKind::Multiplier:
+              case UnitKind::WeightLatch:
+                return s.index <= phys_fanin;
+              case UnitKind::AdderStage:
+                return s.index < phys_fanin;
+              case UnitKind::Activation:
+                return true;
+            }
+            return false;
+        };
+        for (size_t stage = 0; stage < 2; ++stage)
+            if (inPass(stage))
+                applyView(s, stage);
     }
 
     std::vector<PrunedSynapse> out;
@@ -152,15 +192,16 @@ class NoOpMitigator : public Mitigator
 
     MitigationOutcome
     run(const MitigationSetup &setup,
-        const std::function<void(Accelerator &)> &inject,
+        const std::function<void(HardwareBackend &)> &inject,
         Rng &) override
     {
-        Accelerator accel(setup.array, setup.logical);
-        inject(accel);
-        accel.setWeights(setup.baseline);
+        auto accel =
+            makeBackend(setup.backend, setup.array, setup.logical);
+        inject(*accel);
+        accel->setWeights(setup.baseline);
         MitigationOutcome out;
-        out.accuracy = evalAccuracy(accel, setup.ds);
-        out.sim = accel.simCounters();
+        out.accuracy = evalAccuracy(*accel, setup.ds);
+        out.sim = accel->simCounters();
         return out;
     }
 };
@@ -172,14 +213,15 @@ class RetrainOnlyMitigator : public Mitigator
 
     MitigationOutcome
     run(const MitigationSetup &setup,
-        const std::function<void(Accelerator &)> &inject,
+        const std::function<void(HardwareBackend &)> &inject,
         Rng &rng) override
     {
-        Accelerator accel(setup.array, setup.logical);
-        inject(accel);
+        auto accel =
+            makeBackend(setup.backend, setup.array, setup.logical);
+        inject(*accel);
         MitigationOutcome out;
-        out.accuracy = retrainedAccuracy(accel, setup, rng);
-        out.sim = accel.simCounters();
+        out.accuracy = retrainedAccuracy(*accel, setup, rng);
+        out.sim = accel->simCounters();
         return out;
     }
 };
@@ -191,23 +233,31 @@ class BypassFaultyMitigator : public Mitigator
 
     MitigationOutcome
     run(const MitigationSetup &setup,
-        const std::function<void(Accelerator &)> &inject,
+        const std::function<void(HardwareBackend &)> &inject,
         Rng &rng) override
     {
-        Accelerator accel(setup.array, setup.logical);
-        inject(accel);
+        auto accel =
+            makeBackend(setup.backend, setup.array, setup.logical);
+        inject(*accel);
 
         DefectMap map;
-        DiagnosisReport report = diagnose(accel, setup.bist, rng, &map);
+        DiagnosisReport report =
+            diagnose(*accel, setup.bist, rng, &map);
         for (const UnitSite &s : map.suspects()) {
-            // An output-layer activation cannot be disconnected —
-            // its class would never be predicted — so retraining
-            // has to cope with those (the Fig 11 weak spot that
-            // RemapToSpares addresses instead).
-            if (s.layer == Layer::Output &&
-                s.kind == UnitKind::Activation)
+            // An activation that produces a network output cannot
+            // be disconnected — its class would never be predicted
+            // — so retraining has to cope with those (the Fig 11
+            // weak spot that RemapToSpares addresses instead). On
+            // the spatial array that is the output layer; on the
+            // systolic grid the shared activation at column c
+            // produces output c whenever c is an output column.
+            bool output_act = s.kind == UnitKind::Activation &&
+                (setup.backend == BackendKind::Systolic
+                     ? s.neuron < setup.array.outputs
+                     : s.layer == Layer::Output);
+            if (output_act)
                 continue;
-            accel.bypassUnit(s);
+            accel->bypassUnit(s);
         }
 
         // Fault-aware pruning: the trainer's shadow weights at the
@@ -216,15 +266,16 @@ class BypassFaultyMitigator : public Mitigator
         // forward path.
         Trainer retrainer(setup.retrain);
         retrainer.setPruneMask(
-            pruneMaskForBypasses(accel, setup.logical));
+            pruneMaskForBypasses(*accel, setup.logical));
 
         MitigationOutcome out;
         out.coverage = report.coverage();
         out.diagnosed = static_cast<int>(map.size());
         out.mitigatedUnits =
-            static_cast<int>(accel.bypassedSites().size());
-        out.accuracy = retrainedAccuracy(accel, setup, rng, retrainer);
-        out.sim = accel.simCounters();
+            static_cast<int>(accel->bypassedSites().size());
+        out.accuracy =
+            retrainedAccuracy(*accel, setup, rng, retrainer);
+        out.sim = accel->simCounters();
         return out;
     }
 };
@@ -236,9 +287,12 @@ class RemapToSparesMitigator : public Mitigator
 
     MitigationOutcome
     run(const MitigationSetup &setup,
-        const std::function<void(Accelerator &)> &inject,
+        const std::function<void(HardwareBackend &)> &inject,
         Rng &rng) override
     {
+        dtann_assert(
+            strategySupported(Strategy::RemapToSpares, setup.backend),
+            "remap requires the spatial backend");
         // Map the array with every physical output row addressable
         // so spare rows can take over diagnosed-faulty ones.
         Accelerator accel(setup.array,
@@ -277,11 +331,12 @@ class ClampActivationsMitigator : public Mitigator
 
     MitigationOutcome
     run(const MitigationSetup &setup,
-        const std::function<void(Accelerator &)> &inject,
+        const std::function<void(HardwareBackend &)> &inject,
         Rng &rng) override
     {
-        Accelerator accel(setup.array, setup.logical);
-        inject(accel);
+        auto accel =
+            makeBackend(setup.backend, setup.array, setup.logical);
+        inject(*accel);
 
         // Learn the per-layer windows by profiling the clean
         // reference network over the task data (deterministic — no
@@ -298,7 +353,7 @@ class ClampActivationsMitigator : public Mitigator
                     hi[layer] = std::max(hi[layer], v);
                 }
         for (Layer layer : {Layer::Hidden, Layer::Output})
-            accel.setActivationClamp(
+            accel->setActivationClamp(
                 layer,
                 Fix16::fromDouble(
                     lo[static_cast<size_t>(layer)] - kClampMargin),
@@ -308,12 +363,13 @@ class ClampActivationsMitigator : public Mitigator
         // Retrain through the clamped array so the weights adapt to
         // the filtered forward path.
         MitigationOutcome out;
-        out.accuracy = retrainedAccuracy(accel, setup, rng);
+        out.accuracy = retrainedAccuracy(*accel, setup, rng);
         // Blind strategy: no diagnosis, nothing missed by its own
-        // contract. Every physical activation unit gets a
-        // comparator pair.
+        // contract. Every activation unit that feeds the datapath
+        // gets a comparator pair — one per pass position, since the
+        // clamp windows are configured per pass.
         out.mitigatedUnits = setup.array.hidden + setup.array.outputs;
-        out.sim = accel.simCounters();
+        out.sim = accel->simCounters();
         return out;
     }
 };
@@ -328,9 +384,12 @@ class ReplicateCriticalMitigator : public Mitigator
 
     MitigationOutcome
     run(const MitigationSetup &setup,
-        const std::function<void(Accelerator &)> &inject,
+        const std::function<void(HardwareBackend &)> &inject,
         Rng &rng) override
     {
+        dtann_assert(strategySupported(Strategy::ReplicateCritical,
+                                       setup.backend),
+                     "replicate requires the spatial backend");
         Accelerator accel(setup.array,
                           ReplicatedOutputMlp::extendedTopology(
                               setup.logical, setup.array));

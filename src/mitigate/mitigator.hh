@@ -74,6 +74,17 @@ bool strategyFromName(const std::string &name, Strategy &out);
 /** "noop, retrain, ..." — for error messages naming a bad value. */
 std::string strategyNameList();
 
+/**
+ * Whether @p s can run on @p backend. The spare-output-row
+ * strategies (remap, replicate) steer logical outputs across
+ * physical output rows — structure only the spatially expanded
+ * array has. The weight-stationary systolic grid shares its columns
+ * between both passes and provisions no spare rows, so those two
+ * strategies have no hardware to drive there; everything else is
+ * backend-agnostic.
+ */
+bool strategySupported(Strategy s, BackendKind backend);
+
 /** Per-cell inputs shared by every strategy. */
 struct MitigationSetup
 {
@@ -84,6 +95,9 @@ struct MitigationSetup
     const MlpWeights &baseline;  ///< clean-trained warm-start weights
     int folds = 10;              ///< cross-validation folds
     BistConfig bist;             ///< diagnosis budget
+    /** Hardware target the strategy instantiates. Strategies that
+     *  require spatial structure assert strategySupported(). */
+    BackendKind backend = BackendKind::Spatial;
 };
 
 /** What one strategy achieved on one faulty array. */
@@ -125,7 +139,8 @@ class Mitigator
      */
     virtual MitigationOutcome
     run(const MitigationSetup &setup,
-        const std::function<void(Accelerator &)> &inject, Rng &rng) = 0;
+        const std::function<void(HardwareBackend &)> &inject,
+        Rng &rng) = 0;
 };
 
 /** Build the requested strategy. */
@@ -139,10 +154,12 @@ std::unique_ptr<Mitigator> makeMitigator(Strategy s);
  * it would have accumulated, and a bypassed hidden activation
  * prunes every output-layer synapse reading that silenced neuron.
  * Bypasses on physical units outside the logical mapping carry no
- * trainable weight and are skipped.
+ * trainable weight and are skipped. On the systolic backend a
+ * bypassed grid unit is shared by both passes, so its mask entries
+ * cover the matching synapse in *both* logical stages.
  */
 std::vector<PrunedSynapse>
-pruneMaskForBypasses(const Accelerator &accel, MlpTopology logical);
+pruneMaskForBypasses(const HardwareBackend &accel, MlpTopology logical);
 
 } // namespace dtann
 

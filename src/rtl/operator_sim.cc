@@ -41,6 +41,7 @@ OperatorSim::applyLanes(const uint64_t *inputs, uint64_t *outputs,
         size_t chunk = std::min(width, count - off);
         batch->evaluateLanes(inputs + off, outputs + off, chunk);
         batchVectors += chunk;
+        laneSlots += width; // a sweep provisions the whole plane
     }
 }
 
@@ -59,7 +60,13 @@ OperatorSim::counters() const
     c.gateEvals = eval.gateEvals();
     if (batch) {
         c.batchSweeps = batch->sweeps();
-        c.batchLaneSlots = batch->sweeps() * batch->laneCount();
+        // Sweeps driven through applyLanes() report their exact
+        // provisioned slots; sweeps some other path executed on the
+        // evaluator directly fall back to the full-width estimate.
+        uint64_t accounted = laneSlots / batch->laneCount();
+        c.batchLaneSlots = laneSlots +
+            (batch->sweeps() - std::min(batch->sweeps(), accounted)) *
+                batch->laneCount();
         c.batchGateSweeps = batch->gateSweeps();
     }
     return c;

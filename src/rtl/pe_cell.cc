@@ -1,0 +1,27 @@
+#include "rtl/pe_cell.hh"
+
+#include "rtl/adder.hh"
+#include "rtl/latch.hh"
+#include "rtl/multiplier.hh"
+
+namespace dtann {
+
+PeCell::PeCell(FaStyle style)
+    : latchNl(std::make_shared<Netlist>(buildLatchRegister(16))),
+      multNl(std::make_shared<Netlist>(
+          buildMultiplierSigned(16, style))),
+      addNl(std::make_shared<Netlist>(buildRippleAdder(24, style, false)))
+{
+}
+
+PeCellCensus
+PeCell::census() const
+{
+    PeCellCensus c;
+    c.latchTransistors = latchNl->transistorCount();
+    c.multiplierTransistors = multNl->transistorCount();
+    c.adderTransistors = addNl->transistorCount();
+    return c;
+}
+
+} // namespace dtann

@@ -8,8 +8,36 @@
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "service/spec.hh"
 
 namespace dtann {
+
+namespace {
+
+/**
+ * Does the stored header echo bind to the same campaign as the
+ * current one? Byte equality first; failing that, re-parse the
+ * stored echo through the spec parser and compare the canonical
+ * journal echoes. That accepts journals written by an older build
+ * whose echo simply lacks fields the parser now defaults (e.g.
+ * pre-backend journals, which implicitly meant "backend":"spatial")
+ * while still rejecting every echo that decodes to a different
+ * campaign.
+ */
+bool
+specEchoCompatible(const std::string &stored,
+                   const std::string &current)
+{
+    if (stored == current)
+        return true;
+    try {
+        return ScenarioSpec::parse(stored).journalEcho() == current;
+    } catch (const JsonError &) {
+        return false;
+    }
+}
+
+} // namespace
 
 ResultJournal::ResultJournal(const std::string &path,
                              const std::string &specEcho)
@@ -56,7 +84,8 @@ ResultJournal::ResultJournal(const std::string &path,
                     throw JsonError(
                         "'" + path +
                         "' is not a dtann results journal");
-                if (v.at("spec").asString() != specEcho)
+                if (!specEchoCompatible(v.at("spec").asString(),
+                                        specEcho))
                     throw JsonError(
                         "journal '" + path +
                         "' was written by a different spec; point "
@@ -176,7 +205,8 @@ ResultJournal::absorb(const std::string &path)
             JsonValue v = jsonParse(line);
             if (!have_header) {
                 if (v.at("journal").asString() != "dtann" ||
-                    v.at("spec").asString() != spec) {
+                    !specEchoCompatible(v.at("spec").asString(),
+                                        spec)) {
                     warn("shard journal '%s' belongs to a different "
                          "spec; skipping it",
                          path.c_str());

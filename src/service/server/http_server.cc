@@ -117,6 +117,20 @@ CampaignServer::dispatch(const HttpMessage &req, std::string &label)
 
     if (path == "/metrics" && req.method == "GET") {
         label = "GET /metrics";
+        if (req.query() == "format=prometheus") {
+            // Text exposition format for scrapers; the JSON object
+            // stays the default for the CLI and scripts.
+            std::string body =
+                queue.metricsPrometheus() + httpStatsPrometheus();
+            return httpResponse(200, body,
+                                "text/plain; version=0.0.4");
+        }
+        if (!req.query().empty() && req.query() != "format=json")
+            return httpResponse(
+                400, errorBody("unknown metrics format '" +
+                               req.query() +
+                               "' (expected format=json or "
+                               "format=prometheus)"));
         std::string body = queue.metricsJson();
         // Splice the HTTP layer's own counters into the queue's
         // document: {...,"http":{...}}.
@@ -162,6 +176,31 @@ CampaignServer::recordLatency(const std::string &label, uint64_t us)
     if (us > s.maxUs)
         s.maxUs = us;
     ++s.buckets[log2Bucket(us)];
+}
+
+std::string
+CampaignServer::httpStatsPrometheus() const
+{
+    std::lock_guard<std::mutex> lock(statsMu);
+    std::string out;
+    out += "# HELP dtann_http_requests_total Requests by endpoint.\n";
+    out += "# TYPE dtann_http_requests_total counter\n";
+    for (const auto &kv : stats)
+        out += "dtann_http_requests_total{endpoint=\"" + kv.first +
+               "\"} " + std::to_string(kv.second.count) + "\n";
+    out += "# HELP dtann_http_request_us_total Summed request "
+           "latency by endpoint, in microseconds.\n";
+    out += "# TYPE dtann_http_request_us_total counter\n";
+    for (const auto &kv : stats)
+        out += "dtann_http_request_us_total{endpoint=\"" + kv.first +
+               "\"} " + std::to_string(kv.second.totalUs) + "\n";
+    out += "# HELP dtann_http_request_us_max Maximum observed "
+           "request latency by endpoint, in microseconds.\n";
+    out += "# TYPE dtann_http_request_us_max gauge\n";
+    for (const auto &kv : stats)
+        out += "dtann_http_request_us_max{endpoint=\"" + kv.first +
+               "\"} " + std::to_string(kv.second.maxUs) + "\n";
+    return out;
 }
 
 std::string

@@ -85,6 +85,8 @@ class CampaignServer
     std::string dispatch(const HttpMessage &req, std::string &label);
     void recordLatency(const std::string &label, uint64_t us);
     std::string httpStatsJson() const;
+    /** The HTTP layer's own counters in Prometheus text format. */
+    std::string httpStatsPrometheus() const;
 
     JobQueue &queue;
     ListenSocket listener;

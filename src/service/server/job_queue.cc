@@ -327,6 +327,7 @@ JobQueue::metricsJson() const
     size_t counts[5] = {0, 0, 0, 0, 0};
     for (const auto &kv : jobs)
         ++counts[static_cast<int>(kv.second->state)];
+    std::map<std::string, size_t> backends = backendCountsLocked();
     std::string out = "{\"jobs\":{";
     out += "\"queued\":" +
            std::to_string(counts[(int)JobState::Queued]);
@@ -337,6 +338,14 @@ JobQueue::metricsJson() const
            std::to_string(counts[(int)JobState::Failed]);
     out += ",\"cancelled\":" +
            std::to_string(counts[(int)JobState::Cancelled]);
+    out += "},\"backends\":{";
+    bool first_backend = true;
+    for (const auto &kv : backends) {
+        if (!first_backend)
+            out += ",";
+        first_backend = false;
+        out += jsonString(kv.first) + ":" + std::to_string(kv.second);
+    }
     out += "},\"queue_depth\":" + std::to_string(queued.size());
     out += ",\"workers\":" + std::to_string(pool.size());
     out += ",\"runners\":" + std::to_string(runners.size());
@@ -362,6 +371,114 @@ JobQueue::metricsJson() const
     out += ",\"cache\":" + sharedCache.statsJson();
     out += ",\"sim\":" + simTotals.toJson();
     out += "}";
+    return out;
+}
+
+std::map<std::string, size_t>
+JobQueue::backendCountsLocked() const
+{
+    std::map<std::string, size_t> counts;
+    counts[backendName(BackendKind::Spatial)] = 0;
+    counts[backendName(BackendKind::Systolic)] = 0;
+    for (const auto &kv : jobs) {
+        std::string label = kv.second->spec.backendLabel();
+        ++counts[label.empty() ? "none" : label];
+    }
+    return counts;
+}
+
+std::string
+JobQueue::metricsPrometheus() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    size_t counts[5] = {0, 0, 0, 0, 0};
+    for (const auto &kv : jobs)
+        ++counts[static_cast<int>(kv.second->state)];
+
+    std::string out;
+    auto header = [&](const char *name, const char *type,
+                      const char *help) {
+        out += std::string("# HELP ") + name + " " + help + "\n";
+        out += std::string("# TYPE ") + name + " " + type + "\n";
+    };
+
+    header("dtann_jobs", "gauge", "Jobs known to the queue by state.");
+    for (JobState s : {JobState::Queued, JobState::Running,
+                       JobState::Done, JobState::Failed,
+                       JobState::Cancelled})
+        out += std::string("dtann_jobs{state=\"") + jobStateName(s) +
+               "\"} " + std::to_string(counts[(int)s]) + "\n";
+
+    header("dtann_jobs_backend", "gauge",
+           "Jobs by resolved hardware backend.");
+    for (const auto &kv : backendCountsLocked())
+        out += "dtann_jobs_backend{backend=\"" + kv.first + "\"} " +
+               std::to_string(kv.second) + "\n";
+
+    header("dtann_queue_depth", "gauge", "Jobs waiting for a runner.");
+    out += "dtann_queue_depth " + std::to_string(queued.size()) + "\n";
+    header("dtann_workers", "gauge", "Shared worker pool width.");
+    out += "dtann_workers " + std::to_string(pool.size()) + "\n";
+    header("dtann_runners", "gauge", "Concurrent job runner threads.");
+    out += "dtann_runners " + std::to_string(runners.size()) + "\n";
+    header("dtann_lane_width", "gauge",
+           "Negotiated batch SIMD lane width.");
+    out += "dtann_lane_width " + std::to_string(batchLaneWidth()) +
+           "\n";
+    header("dtann_shard_workers", "gauge",
+           "Shard worker processes per job (0 = in-process).");
+    out += "dtann_shard_workers " + std::to_string(cfg.shardWorkers) +
+           "\n";
+
+    header("dtann_shard_cells_done", "gauge",
+           "Cells journaled per worker of running sharded jobs.");
+    for (const auto &kv : jobs) {
+        const Job &job = *kv.second;
+        if (job.state != JobState::Running || job.shardCells.empty())
+            continue;
+        for (size_t k = 0; k < job.shardCells.size(); ++k)
+            out += "dtann_shard_cells_done{job=\"" +
+                   std::to_string(job.id) + "\",shard=\"" +
+                   std::to_string(k) + "\"} " +
+                   std::to_string(job.shardCells[k]) + "\n";
+    }
+
+    ServerCache::Stats cache = sharedCache.stats();
+    header("dtann_cache_hits_total", "counter",
+           "Shared-cache hits by entry kind.");
+    out += "dtann_cache_hits_total{cache=\"task\"} " +
+           std::to_string(cache.taskHits) + "\n";
+    out += "dtann_cache_hits_total{cache=\"netlist\"} " +
+           std::to_string(cache.netlistHits) + "\n";
+    header("dtann_cache_misses_total", "counter",
+           "Shared-cache misses (builds) by entry kind.");
+    out += "dtann_cache_misses_total{cache=\"task\"} " +
+           std::to_string(cache.taskMisses) + "\n";
+    out += "dtann_cache_misses_total{cache=\"netlist\"} " +
+           std::to_string(cache.netlistMisses) + "\n";
+
+    header("dtann_sim_vectors_total", "counter",
+           "Faulty-operator input vectors simulated, by path.");
+    out += "dtann_sim_vectors_total{path=\"scalar\"} " +
+           std::to_string(simTotals.scalarVectors) + "\n";
+    out += "dtann_sim_vectors_total{path=\"batch\"} " +
+           std::to_string(simTotals.batchVectors) + "\n";
+    header("dtann_sim_batch_sweeps_total", "counter",
+           "Wide-lane batch sweeps executed.");
+    out += "dtann_sim_batch_sweeps_total " +
+           std::to_string(simTotals.batchSweeps) + "\n";
+    header("dtann_sim_batch_lane_slots_total", "counter",
+           "Lane slots provisioned across batch sweeps.");
+    out += "dtann_sim_batch_lane_slots_total " +
+           std::to_string(simTotals.batchLaneSlots) + "\n";
+    header("dtann_sim_gate_evals_total", "counter",
+           "Scalar gate evaluations executed.");
+    out += "dtann_sim_gate_evals_total " +
+           std::to_string(simTotals.gateEvals) + "\n";
+    header("dtann_sim_lane_occupancy", "gauge",
+           "Mean occupied lanes per batch sweep, in [0, 1].");
+    out += "dtann_sim_lane_occupancy " +
+           jsonNumber(simTotals.laneOccupancy()) + "\n";
     return out;
 }
 

@@ -133,12 +133,21 @@ class JobQueue
 
     /**
      * Queue/cache/simulation metrics object for GET /metrics:
-     * {"jobs":{per-state counts},"queue_depth":...,
-     *  "workers":...,"runners":...,"lanes":{negotiated batch lane
-     *  width + ISA},"shard_workers":...,"shards":[per-worker shard
-     *  progress of running sharded jobs],"cache":...,"sim":...}
+     * {"jobs":{per-state counts},"backends":{per-hardware-target
+     *  job counts},"queue_depth":...,"workers":...,"runners":...,
+     *  "lanes":{negotiated batch lane width + ISA},
+     *  "shard_workers":...,"shards":[per-worker shard progress of
+     *  running sharded jobs],"cache":...,"sim":...}
      */
     std::string metricsJson() const;
+
+    /**
+     * The same metrics in Prometheus text exposition format
+     * (GET /metrics?format=prometheus): one dtann_-prefixed gauge
+     * or counter per scalar, with job states, hardware backends,
+     * shard progress, and cache shards as labels.
+     */
+    std::string metricsPrometheus() const;
 
     /**
      * Stop admitting jobs and wind down. @p cancelRunning false
@@ -181,6 +190,10 @@ class JobQueue
     void runShardWorkers(Job &job);
     /** Finish @p job: set state, write its marker file. */
     void finishJob(Job &job, JobState state, const std::string &error);
+    /** Jobs per resolved hardware target. Every known backend is
+     *  present (possibly 0); fig5 jobs count under "none". Caller
+     *  holds mu. */
+    std::map<std::string, size_t> backendCountsLocked() const;
 
     Config cfg;
     ThreadPool pool;

@@ -83,6 +83,25 @@ ScenarioSpec::runConfig() const
     return const_cast<ScenarioSpec *>(this)->runConfig();
 }
 
+const CampaignConfig *
+ScenarioSpec::campaignConfig() const
+{
+    if (kind == "fig5")
+        return nullptr;
+    if (kind == "fig10")
+        return &fig10;
+    if (kind == "fig11")
+        return &fig11;
+    return &mitigation;
+}
+
+std::string
+ScenarioSpec::backendLabel() const
+{
+    const CampaignConfig *c = campaignConfig();
+    return c == nullptr ? "" : backendName(c->backend);
+}
+
 std::string
 ScenarioSpec::toJson() const
 {

@@ -74,6 +74,18 @@ struct ScenarioSpec
     const CampaignRunConfig &runConfig() const;
 
     /**
+     * The active kind's network-campaign config, or nullptr for
+     * fig5 (an operator sweep — no network, no hardware backend).
+     */
+    const CampaignConfig *campaignConfig() const;
+
+    /**
+     * Resolved hardware-target name of the active kind ("spatial",
+     * "systolic", ...), or "" for fig5.
+     */
+    std::string backendLabel() const;
+
+    /**
      * Canonical JSON echo: {"kind":..., "name":..., <config
      * fields>}. Execution-context members that are not data
      * (progress callback, journal pointer) are not part of it.

@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "core/accelerator.hh"
 #include "core/injector.hh"
 
 namespace dtann {

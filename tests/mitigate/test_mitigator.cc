@@ -57,16 +57,16 @@ fixture()
 }
 
 void
-injectNothing(Accelerator &)
+injectNothing(HardwareBackend &)
 {
 }
 
 /** Heavy defects: every drawn unit gets 14 extra transistor faults. */
-std::function<void(Accelerator &)>
+std::function<void(HardwareBackend &)>
 heavyInjector(int count, uint64_t seed,
               SitePool pool = SitePool::all())
 {
-    return [count, seed, pool](Accelerator &accel) {
+    return [count, seed, pool](HardwareBackend &accel) {
         Rng rng(seed);
         DefectInjector inj(accel, pool);
         inj.inject(count, rng);
@@ -238,7 +238,7 @@ TEST(Mitigator, RemapSteersDiagnosedOutputRows)
     MitigationSetup setup = f.setup();
     Rng rng(19);
     // Deterministically destroy logical output row 1's activation.
-    auto inject = [](Accelerator &accel) {
+    auto inject = [](HardwareBackend &accel) {
         Rng ir(79);
         accel.injectDefects({UnitKind::Activation, Layer::Output, 1, 0},
                             15, ir);
@@ -324,7 +324,7 @@ TEST(Mitigator, ReplicateRecruitsSparesForDiagnosedOutputs)
     MitigationSetup setup = f.setup();
     Rng rng(29);
     // Deterministically destroy logical output row 1's activation.
-    auto inject = [](Accelerator &accel) {
+    auto inject = [](HardwareBackend &accel) {
         Rng ir(83);
         accel.injectDefects({UnitKind::Activation, Layer::Output, 1, 0},
                             15, ir);

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Backend selection through the campaign-as-a-service layer: the
+ * `backend` spec field routes a whole mitigation campaign onto the
+ * systolic grid, unknown names and unsupported strategies are spec
+ * errors, and the two backends' specs differ only in that field —
+ * the contract that gives both campaigns identical defect
+ * substreams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/json.hh"
+#include "service/runner.hh"
+#include "service/spec.hh"
+
+namespace dtann {
+namespace {
+
+/** A seconds-scale systolic mitigation spec. */
+std::string
+tinySystolicJson(const std::string &backend)
+{
+    return std::string("{\"kind\":\"mitigation\",\"name\":\"tiny\",") +
+        "\"tasks\":[\"iris\"],\"defect_counts\":[0,4]," +
+        "\"repetitions\":2,\"folds\":2,\"rows\":60," +
+        "\"epoch_scale\":0.1,\"retrain_scale\":0.2," +
+        "\"bist_vectors_per_unit\":4,\"seed\":13,\"threads\":2," +
+        "\"backend\":\"" + backend + "\"}";
+}
+
+TEST(BackendCampaign, UnknownBackendNameIsASpecError)
+{
+    try {
+        ScenarioSpec::parse(tinySystolicJson("neuromorphic"));
+        FAIL() << "expected JsonError";
+    } catch (const JsonError &e) {
+        EXPECT_STREQ(e.what(),
+                     "unknown backend 'neuromorphic' (expected one "
+                     "of: spatial, systolic)");
+    }
+}
+
+TEST(BackendCampaign, ExplicitSpareRowStrategyIsASpecErrorOnSystolic)
+{
+    std::string json = tinySystolicJson("systolic");
+    json.insert(json.size() - 1,
+                ",\"strategies\":[\"retrain\",\"remap\"]");
+    try {
+        ScenarioSpec::parse(json);
+        FAIL() << "expected JsonError";
+    } catch (const JsonError &e) {
+        EXPECT_STREQ(e.what(),
+                     "strategy 'remap' is not supported on backend "
+                     "'systolic'");
+    }
+}
+
+TEST(BackendCampaign, DefaultLineupDropsSpareRowStrategiesOnSystolic)
+{
+    ScenarioSpec spec = ScenarioSpec::parse(tinySystolicJson("systolic"));
+    std::string echo = spec.journalEcho();
+    EXPECT_NE(echo.find("\"bypass\""), std::string::npos) << echo;
+    EXPECT_NE(echo.find("\"clamp\""), std::string::npos) << echo;
+    EXPECT_EQ(echo.find("\"remap\""), std::string::npos) << echo;
+    EXPECT_EQ(echo.find("\"replicate\""), std::string::npos) << echo;
+    EXPECT_EQ(spec.backendLabel(), "systolic");
+}
+
+TEST(BackendCampaign, BackendIsTheOnlySpecDelta)
+{
+    // Same spec, two backends: the journal echoes (and therefore
+    // the campaign cell grids and their defect substreams) must
+    // differ only in the backend name — the property that makes a
+    // cross-backend comparison apples to apples. The default
+    // strategy lineups do differ (spare-row strategies exist only
+    // on the spatial array), so pin a shared lineup.
+    std::string spatial_json = tinySystolicJson("spatial");
+    std::string systolic_json = tinySystolicJson("systolic");
+    const std::string lineup =
+        ",\"strategies\":[\"noop\",\"retrain\",\"bypass\",\"clamp\"]";
+    spatial_json.insert(spatial_json.size() - 1, lineup);
+    systolic_json.insert(systolic_json.size() - 1, lineup);
+    std::string spatial_echo =
+        ScenarioSpec::parse(spatial_json).journalEcho();
+    std::string systolic_echo =
+        ScenarioSpec::parse(systolic_json).journalEcho();
+    size_t pos = systolic_echo.find("\"backend\":\"systolic\"");
+    ASSERT_NE(pos, std::string::npos) << systolic_echo;
+    systolic_echo.replace(pos, strlen("\"backend\":\"systolic\""),
+                          "\"backend\":\"spatial\"");
+    EXPECT_EQ(spatial_echo, systolic_echo);
+}
+
+TEST(BackendCampaign, SystolicMitigationCampaignRunsEndToEnd)
+{
+    // The acceptance scenario in miniature: a Fig10-style mitigation
+    // campaign on the systolic grid runs to completion and its
+    // envelope names the backend it ran on.
+    ScenarioSpec spec = ScenarioSpec::parse(tinySystolicJson("systolic"));
+    ScenarioResult result = runScenario(spec);
+    EXPECT_NE(result.json.find("\"backend\":\"systolic\""),
+              std::string::npos);
+    EXPECT_NE(result.json.find("\"results\":["), std::string::npos);
+    // Every default-lineup strategy the grid supports reported a
+    // curve; the spare-row strategies are absent.
+    EXPECT_NE(result.json.find("\"bypass\""), std::string::npos);
+    EXPECT_EQ(result.json.find("\"remap\""), std::string::npos);
+}
+
+} // namespace
+} // namespace dtann

@@ -192,6 +192,58 @@ TEST(CampaignServer, MetricsIncludeHttpLatencies)
     EXPECT_EQ(v.at("jobs").at("queued").asInt(), 0);
 }
 
+TEST(CampaignServer, MetricsJsonCountsJobsPerBackend)
+{
+    ServerFixture fx("srv_backends");
+    HttpMessage r = parseResponse(
+        fx.server.handle(makeRequest("GET", "/metrics")));
+    ASSERT_EQ(r.status, 200);
+    JsonValue v = jsonParse(r.body);
+    // Known backends always report, 0 when idle; fig5 jobs (no
+    // backend) land under "none" once submitted.
+    EXPECT_EQ(v.at("backends").at("spatial").asInt(), 0);
+    EXPECT_EQ(v.at("backends").at("systolic").asInt(), 0);
+
+    ASSERT_EQ(parseResponse(fx.server.handle(makeRequest(
+                                "POST", "/jobs",
+                                tinyFig5("none", 2).toJson())))
+                  .status,
+              201);
+    r = parseResponse(
+        fx.server.handle(makeRequest("GET", "/metrics")));
+    EXPECT_EQ(jsonParse(r.body).at("backends").at("none").asInt(), 1);
+}
+
+TEST(CampaignServer, MetricsPrometheusExposition)
+{
+    ServerFixture fx("srv_prom");
+    fx.server.handle(makeRequest("GET", "/jobs/1")); // warm a label
+    HttpMessage r = parseResponse(fx.server.handle(
+        makeRequest("GET", "/metrics?format=prometheus")));
+    ASSERT_EQ(r.status, 200);
+    EXPECT_EQ(r.header("content-type"), "text/plain; version=0.0.4");
+    for (const char *needle :
+         {"# TYPE dtann_jobs gauge", "dtann_jobs{state=\"queued\"} 0",
+          "dtann_jobs_backend{backend=\"spatial\"} 0",
+          "dtann_jobs_backend{backend=\"systolic\"} 0",
+          "dtann_queue_depth 0", "dtann_sim_lane_occupancy",
+          "dtann_http_requests_total{endpoint=\"GET /jobs/<id>\"} 1"})
+        EXPECT_NE(r.body.find(needle), std::string::npos) << needle;
+
+    // The JSON document stays the default, and an explicit
+    // format=json still serves it.
+    HttpMessage json = parseResponse(fx.server.handle(
+        makeRequest("GET", "/metrics?format=json")));
+    ASSERT_EQ(json.status, 200);
+    EXPECT_NO_THROW(jsonParse(json.body));
+
+    // Unknown formats are a client error, named in the message.
+    HttpMessage bad = parseResponse(fx.server.handle(
+        makeRequest("GET", "/metrics?format=xml")));
+    EXPECT_EQ(bad.status, 400);
+    EXPECT_NE(bad.body.find("format=xml"), std::string::npos);
+}
+
 TEST(CampaignServer, ShutdownEndpointStopsServing)
 {
     ServerFixture fx("srv_shutdown");

@@ -183,10 +183,38 @@ loadCurves(const JsonValue &v)
     return curves;
 }
 
-/** Informational diff of two campaign envelopes; always returns 0. */
+/** Hardware-backend name of an envelope's config. Pre-backend
+ *  envelopes (and fig5, whose config has no backend field) read as
+ *  the implicit "spatial". */
+std::string
+envelopeBackend(const JsonValue &v)
+{
+    if (const JsonValue *config = v.find("config"))
+        if (const JsonValue *backend = config->find("backend"))
+            return backend->asString();
+    return "spatial";
+}
+
+/** Informational diff of two campaign envelopes; always returns 0
+ *  (2 when the envelopes target different hardware backends —
+ *  accuracy deltas between backends are architecture differences,
+ *  not regressions, so the diff would mislead). */
 int
 compareCampaigns(const JsonValue &base, const JsonValue &cur)
 {
+    std::string base_backend = envelopeBackend(base);
+    std::string cur_backend = envelopeBackend(cur);
+    if (base_backend != cur_backend) {
+        std::fprintf(stderr,
+                     "cannot compare campaign envelopes across "
+                     "hardware backends (baseline is '%s', current "
+                     "is '%s'): their accuracy deltas reflect the "
+                     "architecture change, not a regression. Rerun "
+                     "both campaigns on the same backend to "
+                     "compare.\n",
+                     base_backend.c_str(), cur_backend.c_str());
+        return 2;
+    }
     std::map<std::string, CurveData> b = loadCurves(base);
     std::map<std::string, CurveData> c = loadCurves(cur);
 

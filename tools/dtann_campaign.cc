@@ -164,9 +164,15 @@ int
 validateSpec(const ScenarioSpec &spec)
 {
     SpecPlan plan = planSpec(spec);
-    std::printf("spec ok: kind=%s name=%s seed=%llu cells=%zu\n",
+    // Network campaigns name their resolved hardware target; fig5
+    // sweeps bare operators and has none.
+    std::string backend = spec.backendLabel();
+    if (!backend.empty())
+        backend = " backend=" + backend;
+    std::printf("spec ok: kind=%s name=%s seed=%llu cells=%zu%s\n",
                 spec.kind.c_str(), spec.name.c_str(),
-                (unsigned long long)spec.runConfig().seed, plan.cells);
+                (unsigned long long)spec.runConfig().seed, plan.cells,
+                backend.c_str());
     size_t task_w = std::strlen("task"), var_w = std::strlen("variant");
     for (const PlanRow &row : plan.rows) {
         task_w = std::max(task_w, row.task.size());
